@@ -1,0 +1,208 @@
+// Command smodbench regenerates the paper's Figure 7 (test system
+// information) and Figure 8 (performance comparison table), plus the
+// extension sweeps DESIGN.md indexes: the section 5 policy-complexity
+// prediction (-policies) and the section 4.1 encryption ablation
+// (-ablation).
+//
+// Usage:
+//
+//	smodbench                         # default (scaled-down) Figure 8
+//	smodbench -calls 1000000 -rpccalls 100000 -trials 10   # paper scale
+//	smodbench -policies               # per-call policy complexity sweep
+//	smodbench -ablation               # plaintext vs encrypted modules
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/kern"
+	"repro/internal/measure"
+	"repro/internal/modcrypt"
+)
+
+func main() {
+	var (
+		calls    = flag.Int("calls", 0, "calls per trial for getpid and SMOD rows (0 = defaults)")
+		rpcCalls = flag.Int("rpccalls", 0, "calls per trial for the RPC row (0 = default)")
+		trials   = flag.Int("trials", 10, "number of trials")
+		policies = flag.Bool("policies", false, "run the policy-complexity sweep instead of Figure 8")
+		ablation = flag.Bool("ablation", false, "run the encryption ablation instead of Figure 8")
+	)
+	flag.Parse()
+
+	switch {
+	case *policies:
+		runPolicySweep(*trials)
+	case *ablation:
+		runAblation(*trials)
+	default:
+		runFigure8(*calls, *rpcCalls, *trials)
+	}
+}
+
+func runFigure8(calls, rpcCalls, trials int) {
+	fmt.Println(clock.MachineInfo())
+	fmt.Println()
+
+	sc := measure.Default()
+	if calls > 0 {
+		sc.GetpidCalls, sc.SMODCalls = calls, calls
+	}
+	if rpcCalls > 0 {
+		sc.RPCCalls = rpcCalls
+	}
+	if trials > 0 {
+		sc.Trials = trials
+	}
+	rows, err := measure.RunFigure8(sc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("Figure 8: Performance Comparisons (simulated)")
+	fmt.Println()
+	fmt.Print(measure.Figure8Table(rows))
+	fmt.Println()
+	paperComparison(rows)
+}
+
+// paperComparison prints the shape check against the paper's numbers.
+func paperComparison(rows []measure.Stats) {
+	get := func(name string) float64 {
+		for _, r := range rows {
+			if r.Name == name {
+				return r.MeanMicros
+			}
+		}
+		return 0
+	}
+	getpid := get("getpid()")
+	smod := get("SMOD(test-incr)")
+	rpc := get("RPC(test-incr)")
+	fmt.Println("Shape versus the paper (Kim & Prevelakis 2006, Figure 8):")
+	fmt.Printf("  paper: getpid 0.658 us, SMOD(test-incr) 6.407 us (9.7x getpid), RPC 63.23 us (9.9x SMOD)\n")
+	if getpid > 0 && smod > 0 && rpc > 0 {
+		fmt.Printf("  here:  getpid %.3f us, SMOD(test-incr) %.3f us (%.1fx getpid), RPC %.2f us (%.1fx SMOD)\n",
+			getpid, smod, smod/getpid, rpc, rpc/smod)
+	}
+}
+
+func runPolicySweep(trials int) {
+	fmt.Println("Section 5 prediction: per-call policy check cost grows with policy complexity")
+	fmt.Println()
+	fmt.Printf("%-12s %16s %18s\n", "conditions", "microsec/CALL", "stdev(microsec)")
+	for _, conds := range []int{0, 1, 2, 4, 8, 16, 32, 64} {
+		conds := conds
+		s, err := measure.RunSMODIncrWithSpec(fmt.Sprintf("conds=%d", conds), 2000, trials,
+			func(sm *core.SMod, spec *core.ModuleSpec) {
+				if conds == 0 {
+					return // session-only check: the Figure 8 baseline
+				}
+				spec.CheckPerCall = true
+				spec.PolicySrc = []string{policySrcWithConds(conds)}
+			})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-12d %16.6f %18.8f\n", conds, s.MeanMicros, s.StdevMicros)
+	}
+	fmt.Println("\nconditions=0 checks policy at session start only (the paper's measured configuration).")
+}
+
+func policySrcWithConds(n int) string {
+	src := "authorizer: \"POLICY\"\nlicensees: \"bench\"\nconditions:"
+	for i := 0; i < n-1; i++ {
+		src += fmt.Sprintf(" module == \"nomatch%d\" -> \"allow\";", i)
+	}
+	src += " app_domain == \"secmodule\" -> \"allow\";\n"
+	return src
+}
+
+func runAblation(trials int) {
+	fmt.Println("Section 4.1 ablation: plaintext vs AES-encrypted module")
+	fmt.Println()
+
+	// Per-call dispatch cost: must be identical (decrypt-at-session).
+	plain, err := measure.RunSMODIncr(2000, trials)
+	if err != nil {
+		fatal(err)
+	}
+	enc, err := measure.RunSMODIncrWithSpec("SMOD(encrypted)", 2000, trials,
+		func(sm *core.SMod, spec *core.ModuleSpec) {
+			e, err := modcrypt.EncryptArchive(sm.ModKeys, spec.Lib, "bench-key", []byte("bench key"))
+			if err != nil {
+				fatal(err)
+			}
+			spec.Lib = e
+		})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-22s %16s\n", "per-call dispatch", "microsec/CALL")
+	fmt.Printf("%-22s %16.6f\n", "plaintext module", plain.MeanMicros)
+	fmt.Printf("%-22s %16.6f\n", "encrypted module", enc.MeanMicros)
+
+	// Session-start cost: the encrypted module pays AES decrypt into
+	// handle text once per session.
+	fmt.Printf("\n%-22s %18s\n", "session start", "microsec/session")
+	for _, encrypted := range []bool{false, true} {
+		us, err := measureSessionStart(encrypted)
+		if err != nil {
+			fatal(err)
+		}
+		name := "plaintext module"
+		if encrypted {
+			name = "encrypted module"
+		}
+		fmt.Printf("%-22s %18.2f\n", name, us)
+	}
+}
+
+func measureSessionStart(encrypted bool) (float64, error) {
+	k := kern.New()
+	sm := core.Attach(k)
+	lib, err := core.LibCArchive()
+	if err != nil {
+		return 0, err
+	}
+	if encrypted {
+		lib, err = modcrypt.EncryptArchive(sm.ModKeys, lib, "bench-key", []byte("bench key"))
+		if err != nil {
+			return 0, err
+		}
+	}
+	if _, err := sm.Register(&core.ModuleSpec{
+		Name: "libc", Version: 1, Owner: "owner", Lib: lib,
+		PolicySrc: []string{"authorizer: \"POLICY\"\nlicensees: \"bench\"\n"},
+	}); err != nil {
+		return 0, err
+	}
+	const sessions = 50
+	var total uint64
+	for i := 0; i < sessions; i++ {
+		var attachErr error
+		driver := k.SpawnNative("driver", kern.Cred{UID: 1, Name: "bench"}, func(s *kern.Sys) int {
+			before := k.Clk.Cycles()
+			_, attachErr = core.AttachNative(s, "libc", 1, "")
+			total += k.Clk.Cycles() - before
+			return 0
+		})
+		if err := k.RunUntil(func() bool {
+			return driver.State == kern.StateZombie || driver.State == kern.StateDead
+		}, 0); err != nil {
+			return 0, err
+		}
+		if attachErr != nil {
+			return 0, attachErr
+		}
+	}
+	return clock.Micros(total) / sessions, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smodbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,166 @@
+// Command smodrun runs an SM32 client program against the SecModule
+// libc inside the machine simulator. With no arguments it runs a small
+// built-in demo (malloc + write through the protected libc). -trace
+// prints the Figure 1 initialization/call sequence as it happens;
+// -layout dumps the Figure 2 address-space diagrams of the client and
+// handle once the session is up.
+//
+// Usage:
+//
+//	smodrun [-trace] [-layout] [-encrypt] [main.s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/kern"
+	"repro/internal/modcrypt"
+	"repro/internal/obj"
+)
+
+const demoMain = `
+; demo: allocate a buffer with the protected malloc, fill it, print it
+.text
+.global main
+main:
+	ENTER 4
+	PUSHI 16
+	CALL malloc
+	ADDSP 4
+	PUSHRV
+	JZ oom
+	PUSHRV
+	STOREFP -4
+	; memcpy(buf, msg, 15)
+	PUSHI 15
+	PUSHI msg
+	LOADFP -4
+	CALL memcpy
+	ADDSP 12
+	; write(1, buf, 15)
+	PUSHI 15
+	LOADFP -4
+	PUSHI 1
+	CALL write
+	ADDSP 12
+	; return strlen(buf) (15)
+	LOADFP -4
+	CALL strlen
+	ADDSP 4
+	LEAVE
+	RET
+oom:
+	PUSHI 255
+	SETRV
+	LEAVE
+	RET
+.data
+msg: .asciz "hello, module\n"
+`
+
+func main() {
+	var (
+		trace   = flag.Bool("trace", false, "print the Figure 1 SecModule event sequence")
+		layout  = flag.Bool("layout", false, "dump the Figure 2 address-space layouts")
+		encrypt = flag.Bool("encrypt", false, "register the libc module AES-encrypted at rest")
+	)
+	flag.Parse()
+
+	src := demoMain
+	name := "(built-in demo)"
+	if flag.NArg() > 0 {
+		b, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(b)
+		name = flag.Arg(0)
+	}
+
+	k := kern.New()
+	sm := core.Attach(k)
+	if *trace {
+		sm.Tracef = func(format string, args ...any) {
+			fmt.Printf("trace: "+format+"\n", args...)
+		}
+		sm.TraceCalls = true
+	}
+
+	lib, err := core.LibCArchive()
+	if err != nil {
+		fatal(err)
+	}
+	if *encrypt {
+		lib, err = modcrypt.EncryptArchive(sm.ModKeys, lib, "libc-key", []byte("smodrun demo key"))
+		if err != nil {
+			fatal(err)
+		}
+	}
+	m, err := sm.Register(&core.ModuleSpec{
+		Name: "libc", Version: 1, Owner: "owner", Lib: lib,
+		PolicySrc: []string{`authorizer: "POLICY"
+licensees: "user"
+conditions: app_domain == "secmodule" -> "allow";
+`},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	mainObj, err := asm.Assemble(name, src)
+	if err != nil {
+		fatal(err)
+	}
+	im, err := core.LinkClient([]*obj.Object{mainObj},
+		[]core.ClientModule{{Name: "libc", Version: 1}},
+		[]*obj.Archive{lib})
+	if err != nil {
+		fatal(err)
+	}
+	client, err := k.Spawn(name, kern.Cred{UID: 1000, Name: "user"}, im)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *layout {
+		// Run only until the handshake completes, dump, then continue.
+		if err := k.RunUntil(func() bool {
+			return len(sm.SessionsOf(client.PID)) > 0 && sm.SessionsOpened > 0 && sessionReady(sm, client)
+		}, 0); err != nil {
+			fatal(err)
+		}
+		s := sm.SessionsOf(client.PID)[0]
+		fmt.Printf("=== Figure 2: client pid %d address space ===\n%s\n",
+			client.PID, client.Space.Describe())
+		fmt.Printf("=== Figure 2: handle pid %d address space ===\n%s\n",
+			s.Handle.PID, s.Handle.Space.Describe())
+	}
+
+	if err := k.Run(0); err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(k.Console)
+	fmt.Printf("exit status: %d", client.ExitStatus)
+	if client.KilledBy != 0 {
+		fmt.Printf(" (killed by signal %d)", client.KilledBy)
+	}
+	fmt.Printf("   [%d smod calls, %d sessions, %d simulated cycles]\n",
+		sm.Calls, sm.SessionsOpened, k.Clk.Cycles())
+	_ = m
+}
+
+// sessionReady reports whether the client's first session finished its
+// handshake (the handle has force-shared and is serving).
+func sessionReady(sm *core.SMod, client *kern.Proc) bool {
+	ss := sm.SessionsOf(client.PID)
+	return len(ss) > 0 && ss[0].Handle.Space.Partner != nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smodrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,228 @@
+// Command smodtool is the SecModule toolchain front end (the paper's
+// section 4.2 "separate tool chain"): it assembles SM32 sources,
+// bundles objects into archives, lists symbols in objdump -t style,
+// generates client stubs, encrypts libraries for at-rest protection,
+// and emits module specs ready for registration.
+//
+// Objects and archives are stored as SOF JSON files on the host
+// filesystem.
+//
+// Usage:
+//
+//	smodtool asm file.s [-o file.o]          assemble
+//	smodtool ar lib.a member.o...            build an archive
+//	smodtool symbols lib.a                   objdump -t style symbol dump
+//	smodtool funcs lib.a                     exported functions + funcIDs
+//	smodtool stubgen NAME lib.a              client stub assembly to stdout
+//	smodtool crt0 NAME VERSION [CREDFILE]    generated crt0 to stdout
+//	smodtool encrypt lib.a keyid secret -o enc.a    encrypt text at rest
+//	smodtool libc [-o libc.a]                emit the SecModule libc
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/modcrypt"
+	"repro/internal/obj"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "asm":
+		err = cmdAsm(args)
+	case "ar":
+		err = cmdAr(args)
+	case "symbols":
+		err = cmdSymbols(args)
+	case "funcs":
+		err = cmdFuncs(args)
+	case "stubgen":
+		err = cmdStubgen(args)
+	case "crt0":
+		err = cmdCRT0(args)
+	case "encrypt":
+		err = cmdEncrypt(args)
+	case "libc":
+		err = cmdLibc(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smodtool:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: smodtool <asm|ar|symbols|funcs|stubgen|crt0|encrypt|libc> ...`)
+	os.Exit(2)
+}
+
+// splitOutput extracts "-o path" from args, returning the rest.
+func splitOutput(args []string, def string) ([]string, string) {
+	out := def
+	var rest []string
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-o" && i+1 < len(args) {
+			out = args[i+1]
+			i++
+			continue
+		}
+		rest = append(rest, args[i])
+	}
+	return rest, out
+}
+
+func loadArchive(path string) (*obj.Archive, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return obj.UnmarshalArchive(b)
+}
+
+func saveJSON(path string, marshal func() ([]byte, error)) error {
+	b, err := marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+func cmdAsm(args []string) error {
+	args, out := splitOutput(args, "")
+	if len(args) != 1 {
+		return fmt.Errorf("asm: need exactly one source file")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	o, err := asm.Assemble(args[0], string(src))
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		out = args[0] + ".o"
+	}
+	return saveJSON(out, o.Marshal)
+}
+
+func cmdAr(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("ar: need archive name and at least one object")
+	}
+	a := &obj.Archive{Name: args[0]}
+	for _, path := range args[1:] {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		o, err := obj.UnmarshalObject(b)
+		if err != nil {
+			return err
+		}
+		a.Add(o)
+	}
+	return saveJSON(args[0], a.Marshal)
+}
+
+func cmdSymbols(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("symbols: need an archive")
+	}
+	a, err := loadArchive(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Print(a.SymbolDump())
+	return nil
+}
+
+func cmdFuncs(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("funcs: need an archive")
+	}
+	a, err := loadArchive(args[0])
+	if err != nil {
+		return err
+	}
+	// funcIDs are the sorted order, matching registration.
+	for id, name := range a.FuncSymbols() {
+		fmt.Printf("%4d %s\n", id, name)
+	}
+	return nil
+}
+
+func cmdStubgen(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("stubgen: need module name and archive")
+	}
+	a, err := loadArchive(args[1])
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.StubSource(args[0], a))
+	return nil
+}
+
+func cmdCRT0(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("crt0: need module name and version")
+	}
+	version, err := strconv.Atoi(args[1])
+	if err != nil {
+		return fmt.Errorf("crt0: bad version %q", args[1])
+	}
+	cred := ""
+	if len(args) > 2 {
+		b, err := os.ReadFile(args[2])
+		if err != nil {
+			return err
+		}
+		cred = string(b)
+	}
+	fmt.Print(core.CRT0Source([]core.ClientModule{
+		{Name: args[0], Version: version, Credential: cred},
+	}))
+	return nil
+}
+
+func cmdEncrypt(args []string) error {
+	args, out := splitOutput(args, "")
+	if len(args) != 3 {
+		return fmt.Errorf("encrypt: need archive, key id, and secret")
+	}
+	a, err := loadArchive(args[0])
+	if err != nil {
+		return err
+	}
+	ks := modcrypt.NewKeystore()
+	enc, err := modcrypt.EncryptArchive(ks, a, args[1], []byte(args[2]))
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		out = args[0] + ".enc"
+	}
+	fmt.Fprintf(os.Stderr, "note: register the key with the kernel keystore under id %q/<member>\n", args[1])
+	return saveJSON(out, enc.Marshal)
+}
+
+func cmdLibc(args []string) error {
+	_, out := splitOutput(args, "libc_smod.a")
+	a, err := core.LibCArchive()
+	if err != nil {
+		return err
+	}
+	return saveJSON(out, a.Marshal)
+}

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// CLI-level tests for the toolchain, driving the command functions on
+// real files in a temp directory.
+
+const toolLibSrc = `
+.text
+.global double
+double:
+	ENTER 0
+	LOADFP 8
+	PUSHI 2
+	MUL
+	SETRV
+	LEAVE
+	RET
+.global half
+half:
+	ENTER 0
+	LOADFP 8
+	PUSHI 2
+	DIV
+	SETRV
+	LEAVE
+	RET
+`
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out, readErr := io.ReadAll(r)
+	r.Close()
+	if runErr != nil {
+		t.Fatalf("command failed: %v", runErr)
+	}
+	if readErr != nil {
+		t.Fatalf("reading captured stdout: %v", readErr)
+	}
+	return string(out)
+}
+
+func TestToolAsmArSymbolsFuncs(t *testing.T) {
+	dir := t.TempDir()
+	src := writeFile(t, dir, "lib.s", toolLibSrc)
+	objPath := filepath.Join(dir, "lib.o")
+	if err := cmdAsm([]string{src, "-o", objPath}); err != nil {
+		t.Fatal(err)
+	}
+	arPath := filepath.Join(dir, "lib.a")
+	if err := cmdAr([]string{arPath, objPath}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := loadArchive(arPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := a.FuncSymbols()
+	if len(funcs) != 2 || funcs[0] != "double" || funcs[1] != "half" {
+		t.Fatalf("funcs = %v", funcs)
+	}
+
+	out := captureStdout(t, func() error { return cmdSymbols([]string{arPath}) })
+	if !strings.Contains(out, "double") || !strings.Contains(out, " F ") {
+		t.Fatalf("symbols output:\n%s", out)
+	}
+	out = captureStdout(t, func() error { return cmdFuncs([]string{arPath}) })
+	if !strings.Contains(out, "0 double") || !strings.Contains(out, "1 half") {
+		t.Fatalf("funcs output:\n%s", out)
+	}
+}
+
+func TestToolStubgenAndCRT0(t *testing.T) {
+	dir := t.TempDir()
+	src := writeFile(t, dir, "lib.s", toolLibSrc)
+	objPath := filepath.Join(dir, "lib.o")
+	if err := cmdAsm([]string{src, "-o", objPath}); err != nil {
+		t.Fatal(err)
+	}
+	arPath := filepath.Join(dir, "lib.a")
+	if err := cmdAr([]string{arPath, objPath}); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error { return cmdStubgen([]string{"mylib", arPath}) })
+	for _, want := range []string{".global double", ".global half", "TRAP 307", "__smod_mid_mylib"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stubgen lacks %q", want)
+		}
+	}
+	credPath := writeFile(t, dir, "cred.kn", "authorizer: \"v\"\nlicensees: \"c\"\n")
+	out = captureStdout(t, func() error { return cmdCRT0([]string{"mylib", "3", credPath}) })
+	for _, want := range []string{"TRAP 301", "TRAP 320", "TRAP 304", "CALL main"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("crt0 lacks %q", want)
+		}
+	}
+}
+
+func TestToolEncrypt(t *testing.T) {
+	dir := t.TempDir()
+	src := writeFile(t, dir, "lib.s", toolLibSrc)
+	objPath := filepath.Join(dir, "lib.o")
+	if err := cmdAsm([]string{src, "-o", objPath}); err != nil {
+		t.Fatal(err)
+	}
+	arPath := filepath.Join(dir, "lib.a")
+	if err := cmdAr([]string{arPath, objPath}); err != nil {
+		t.Fatal(err)
+	}
+	encPath := filepath.Join(dir, "lib.enc")
+	if err := cmdEncrypt([]string{arPath, "prod-key", "secret", "-o", encPath}); err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := loadArchive(arPath)
+	enc, err := loadArchive(encPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enc.Members[0].Encrypted {
+		t.Fatal("member not marked encrypted")
+	}
+	if string(enc.Members[0].Text) == string(plain.Members[0].Text) {
+		t.Fatal("ciphertext equals plaintext")
+	}
+}
+
+func TestToolLibc(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "libc.a")
+	if err := cmdLibc([]string{"-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := loadArchive(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"malloc": true, "incr": true, "getpid": true}
+	for _, f := range a.FuncSymbols() {
+		delete(want, f)
+	}
+	if len(want) != 0 {
+		t.Fatalf("libc archive missing %v", want)
+	}
+}
+
+func TestToolErrors(t *testing.T) {
+	if err := cmdAsm([]string{}); err == nil {
+		t.Error("asm with no args succeeded")
+	}
+	if err := cmdAr([]string{"just-one"}); err == nil {
+		t.Error("ar with one arg succeeded")
+	}
+	if err := cmdSymbols([]string{"/does/not/exist"}); err == nil {
+		t.Error("symbols on missing file succeeded")
+	}
+	if err := cmdCRT0([]string{"m", "notanumber"}); err == nil {
+		t.Error("crt0 with bad version succeeded")
+	}
+	if err := cmdEncrypt([]string{"a"}); err == nil {
+		t.Error("encrypt with one arg succeeded")
+	}
+	dir := t.TempDir()
+	bad := writeFile(t, dir, "bad.s", ".text\n\tBOGUS\n")
+	if err := cmdAsm([]string{bad}); err == nil {
+		t.Error("assembling bad source succeeded")
+	}
+}
+
+func TestSplitOutput(t *testing.T) {
+	rest, out := splitOutput([]string{"a", "-o", "x", "b"}, "def")
+	if out != "x" || len(rest) != 2 || rest[0] != "a" || rest[1] != "b" {
+		t.Fatalf("rest=%v out=%q", rest, out)
+	}
+	_, out = splitOutput([]string{"a"}, "def")
+	if out != "def" {
+		t.Fatalf("default out = %q", out)
+	}
+}

@@ -1,0 +1,172 @@
+// Licensing: the paper's first motivating case.
+//
+// "For the owner/creator of the code, the right to use, or invoke the
+// functions held in this library can be a valuable asset in terms of
+// income... He may also wish to limit the possibility of outright
+// theft of the work."
+//
+// The module here is distributed AES-encrypted at rest (nobody without
+// the kernel-held key can read its text) and its policy trusts only
+// the vendor. Customers get signed KeyNote credentials: the vendor
+// delegates access to a named licensee, optionally time-limited via
+// the "now" attribute (simulated seconds). The example shows a valid
+// license working, an expired license refused, a forged license
+// refused, and finally the vendor revoking the module with
+// smod_remove, which tears down live sessions.
+//
+// Run: go run ./examples/licensing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/kern"
+	"repro/internal/modcrypt"
+	"repro/internal/obj"
+)
+
+const proprietaryLib = `
+.text
+; the crown jewels: a "proprietary" checksum
+.global checksum
+checksum:
+	ENTER 8
+	PUSHI 0
+	STOREFP -4
+	PUSHI 0
+	STOREFP -8
+ck_loop:
+	LOADFP -8
+	LOADFP 12
+	GEU
+	JNZ ck_done
+	LOADFP -4
+	PUSHI 31
+	MUL
+	LOADFP 8
+	LOADFP -8
+	ADD
+	LOADB
+	ADD
+	STOREFP -4
+	LOADFP -8
+	PUSHI 1
+	ADD
+	STOREFP -8
+	JMP ck_loop
+ck_done:
+	LOADFP -4
+	SETRV
+	LEAVE
+	RET
+`
+
+func main() {
+	k := kern.New()
+	sm := core.Attach(k)
+
+	// The vendor's signing key lives in the kernel policy keystore.
+	sm.PolicyKeys.AddPrincipal("vendor", []byte("vendor signing secret"))
+
+	// Build and encrypt the library; the AES key enters the kernel
+	// keystore and never reaches any client.
+	libObj, err := asm.Assemble("cksum.s", proprietaryLib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plain := &obj.Archive{Name: "libcksum.a"}
+	plain.Add(libObj)
+	lib, err := modcrypt.EncryptArchive(sm.ModKeys, plain, "cksum-key", []byte("product master key"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m, err := sm.Register(&core.ModuleSpec{
+		Name: "cksum", Version: 2, Owner: "vendor", Lib: lib,
+		// Only the vendor is trusted by local policy; customers must
+		// present a credential chain rooted at the vendor.
+		PolicySrc: []string{`authorizer: "POLICY"
+licensees: "vendor"
+`},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered encrypted module %q v%d (encrypted at rest: %v)\n\n",
+		m.Name, m.Version, m.Encrypted)
+
+	// The vendor issues licenses (signed KeyNote credentials).
+	goodLicense, err := sm.PolicyKeys.SignAssertion(`authorizer: "vendor"
+licensees: "customer-a"
+conditions: app_domain == "secmodule" && module == "cksum" -> "allow";
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	expiredLicense, err := sm.PolicyKeys.SignAssertion(`authorizer: "vendor"
+licensees: "customer-b"
+conditions: app_domain == "secmodule" && module == "cksum" && now < 0 -> "allow";
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	forgedLicense := `authorizer: "vendor"
+licensees: "pirate"
+conditions: app_domain == "secmodule" -> "allow";
+signature: "hmac-sha256:0000000000000000000000000000000000000000000000000000000000000000"
+`
+
+	fid, _ := m.FuncID("checksum")
+	try := func(who, license string) {
+		var outcome string
+		client := k.SpawnNative(who, kern.Cred{UID: 10, Name: who}, func(s *kern.Sys) int {
+			c, err := core.AttachNative(s, "cksum", 2, license)
+			if err != nil {
+				outcome = fmt.Sprintf("refused at session start (%v)", err)
+				return 1
+			}
+			data := s.StageBytes([]byte("pay me"))
+			v := c.MustCall(uint32(fid), data, 6)
+			outcome = fmt.Sprintf("licensed: checksum(\"pay me\") = %#x", v)
+			return 0
+		})
+		if err := k.RunUntil(func() bool {
+			return client.State == kern.StateZombie || client.State == kern.StateDead
+		}, 0); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %s\n", who+":", outcome)
+	}
+
+	try("customer-a", goodLicense)
+	try("customer-b", expiredLicense)
+	try("pirate", forgedLicense)
+
+	// Revocation: the vendor removes the module; new sessions fail.
+	fmt.Println("\nvendor revokes the module via smod_remove...")
+	removeCred, err := sm.PolicyKeys.SignAssertion(`authorizer: "vendor"
+licensees: "vendor"
+conditions: operation == "remove" -> "allow";
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var removeErrno int
+	vendor := k.SpawnNative("vendor", kern.Cred{UID: 1, Name: "vendor"}, func(s *kern.Sys) int {
+		blob := s.StageBytes([]byte(removeCred))
+		_, removeErrno = s.Call(core.SysRemoveNo, uint32(m.ID), blob, uint32(len(removeCred)))
+		return 0
+	})
+	if err := k.RunUntil(func() bool {
+		return vendor.State == kern.StateZombie || vendor.State == kern.StateDead
+	}, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("smod_remove errno = %d; module registered afterwards: %v\n",
+		removeErrno, sm.Find("cksum", 2) != 0)
+	try("customer-a", goodLicense)
+	_ = obj.KindFunc
+}

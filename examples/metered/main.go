@@ -1,0 +1,116 @@
+// Metered access: the paper's second motivating case.
+//
+// "Suppose the existence of a piece of executable code that represents
+// a significant drain of computational resources. The owner of the
+// host system may wish to control access to the rights to invoke this
+// code, purely for the sake of preventing the host system from being
+// flat-lined by over-use."
+//
+// The module below exposes an (artificially) expensive function. Its
+// policy is checked per call with the session call count in the action
+// attribute set, so the sixth call is refused — a quota enforced by the
+// kernel-side compliance checker, invisible to and untamperable by the
+// client.
+//
+// Run: go run ./examples/metered
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/asm"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/kern"
+	"repro/internal/obj"
+)
+
+// crunch burns cycles proportional to its argument: the "expensive"
+// resource being metered.
+const expensiveLib = `
+.text
+.global crunch
+crunch:
+	ENTER 4
+	PUSHI 0
+	STOREFP -4
+cr_loop:
+	LOADFP -4
+	LOADFP 8
+	GEU
+	JNZ cr_done
+	LOADFP -4
+	PUSHI 1
+	ADD
+	STOREFP -4
+	JMP cr_loop
+cr_done:
+	LOADFP -4
+	SETRV
+	LEAVE
+	RET
+`
+
+func main() {
+	k := kern.New()
+	sm := core.Attach(k)
+
+	libObj, err := asm.Assemble("crunch.s", expensiveLib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib := &obj.Archive{Name: "libcrunch.a"}
+	lib.Add(libObj)
+
+	// The quota policy: per-call evaluation, at most 5 calls per
+	// session. "calls" is supplied by the kernel from the session's
+	// dispatch counter.
+	m, err := sm.Register(&core.ModuleSpec{
+		Name: "crunch", Version: 1, Owner: "admin", Lib: lib,
+		CheckPerCall: true,
+		PolicySrc: []string{`authorizer: "POLICY"
+licensees: "batchuser"
+conditions: operation == "session" -> "allow";
+            operation == "call" && calls < 5 -> "allow";
+`},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fid, _ := m.FuncID("crunch")
+	var results []string
+	client := k.SpawnNative("batch", kern.Cred{UID: 50, Name: "batchuser"}, func(s *kern.Sys) int {
+		c, err := core.AttachNative(s, "crunch", 1, "")
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 1; i <= 8; i++ {
+			before := k.Clk.Cycles()
+			v, errno := c.Call(uint32(fid), 10_000)
+			spent := clock.Micros(k.Clk.Cycles() - before)
+			switch {
+			case errno == 0:
+				results = append(results, fmt.Sprintf("call %d: crunch(10000) = %d  (%.1f us simulated)", i, v, spent))
+			case errno == kern.EACCES:
+				results = append(results, fmt.Sprintf("call %d: DENIED by quota policy (EACCES)", i))
+			default:
+				results = append(results, fmt.Sprintf("call %d: errno %d", i, errno))
+			}
+		}
+		return 0
+	})
+	if err := k.RunUntil(func() bool {
+		return client.State == kern.StateZombie || client.State == kern.StateDead
+	}, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("metered module: quota of 5 calls per session, enforced per call in the kernel")
+	for _, r := range results {
+		fmt.Println(" ", r)
+	}
+	fmt.Printf("\ncompleted dispatches: %d; policy checks: %d\n", sm.Calls, sm.PolicyChecks)
+	_ = obj.KindFunc
+}

@@ -1,0 +1,398 @@
+// Package asm implements the SM32 assembler, the front of the
+// SecModule toolchain. Source files in a conventional assembler syntax
+// become relocatable obj.Object files; every symbolic operand turns
+// into a relocation resolved by the linker, so libraries, client stubs
+// and crt0 all assemble independently and link in any combination —
+// exactly the workflow the paper's section 4.2 describes.
+//
+// Syntax:
+//
+//	; comment           (also "#")
+//	.text / .data / .bss        select the current section
+//	.global NAME                export NAME
+//	label:                      define label at current position
+//	MNEMONIC [operand]          one SM32 instruction
+//	.word v, v, ...             32-bit little-endian values (data)
+//	.byte v, v, ...             bytes (data)
+//	.asciz "str"                NUL-terminated string (data)
+//	.space N                    N zero bytes (data or bss)
+//	.align N                    pad to N-byte boundary
+//
+// Operands are integers (decimal, 0x hex, 'c' character), symbols, or
+// symbol+offset / symbol-offset. Labels defined in .text get symbol
+// kind 'F' (function), elsewhere 'O' — the inference the stub generator
+// relies on when it greps for functions.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/obj"
+)
+
+// Error is an assembly diagnostic carrying the source line number.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg) }
+
+type assembler struct {
+	file string
+	out  *obj.Object
+
+	section string
+	bss     uint32
+
+	globals map[string]bool
+	defined map[string]bool
+}
+
+// Assemble translates source into a relocatable object named name.
+func Assemble(name, source string) (*obj.Object, error) {
+	a := &assembler{
+		file:    name,
+		out:     &obj.Object{Name: name},
+		section: "text",
+		globals: map[string]bool{},
+		defined: map[string]bool{},
+	}
+	for i, raw := range strings.Split(source, "\n") {
+		if err := a.line(i+1, raw); err != nil {
+			return nil, err
+		}
+	}
+	a.out.BSSSize = a.bss
+	// Mark exported symbols global; exporting an undefined name is an
+	// error (catches typos in .global directives).
+	for g := range a.globals {
+		if !a.defined[g] {
+			return nil, &Error{a.file, 0, fmt.Sprintf(".global %s: symbol never defined", g)}
+		}
+	}
+	for i := range a.out.Symbols {
+		if a.globals[a.out.Symbols[i].Name] {
+			a.out.Symbols[i].Global = true
+		}
+	}
+	return a.out, nil
+}
+
+// MustAssemble panics on assembly errors; for compiled-in runtime
+// sources (crt0, stubs) whose correctness is covered by tests.
+func MustAssemble(name, source string) *obj.Object {
+	o, err := Assemble(name, source)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+func (a *assembler) errf(line int, format string, args ...any) error {
+	return &Error{a.file, line, fmt.Sprintf(format, args...)}
+}
+
+func (a *assembler) pos() uint32 {
+	switch a.section {
+	case "text":
+		return uint32(len(a.out.Text))
+	case "data":
+		return uint32(len(a.out.Data))
+	default:
+		return a.bss
+	}
+}
+
+func (a *assembler) emit(bs ...byte) error {
+	switch a.section {
+	case "text":
+		a.out.Text = append(a.out.Text, bs...)
+	case "data":
+		a.out.Data = append(a.out.Data, bs...)
+	default:
+		for _, b := range bs {
+			if b != 0 {
+				return fmt.Errorf("non-zero byte in .bss")
+			}
+		}
+		a.bss += uint32(len(bs))
+	}
+	return nil
+}
+
+func (a *assembler) defineLabel(line int, name string) error {
+	if a.defined[name] {
+		return a.errf(line, "duplicate label %q", name)
+	}
+	a.defined[name] = true
+	kind := byte(obj.KindObject)
+	if a.section == "text" {
+		kind = obj.KindFunc
+	}
+	a.out.Symbols = append(a.out.Symbols, obj.Symbol{
+		Name: name, Section: a.section, Offset: a.pos(), Kind: kind,
+	})
+	return nil
+}
+
+func (a *assembler) line(line int, raw string) error {
+	// Strip comments, respecting string literals.
+	src := stripComment(raw)
+	src = strings.TrimSpace(src)
+	if src == "" {
+		return nil
+	}
+	// Labels (possibly followed by more on the same line).
+	for {
+		i := strings.Index(src, ":")
+		if i < 0 {
+			break
+		}
+		head := strings.TrimSpace(src[:i])
+		if !isIdent(head) {
+			break
+		}
+		if err := a.defineLabel(line, head); err != nil {
+			return err
+		}
+		src = strings.TrimSpace(src[i+1:])
+		if src == "" {
+			return nil
+		}
+	}
+	if strings.HasPrefix(src, ".") {
+		return a.directive(line, src)
+	}
+	return a.instruction(line, src)
+}
+
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '\\':
+			if inStr {
+				i++
+			}
+		case ';', '#':
+			if !inStr {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) directive(line int, src string) error {
+	fields := strings.SplitN(src, " ", 2)
+	dir := fields[0]
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	switch dir {
+	case ".text", ".data", ".bss":
+		a.section = dir[1:]
+		return nil
+	case ".global", ".globl":
+		if !isIdent(rest) {
+			return a.errf(line, "%s: bad symbol %q", dir, rest)
+		}
+		a.globals[rest] = true
+		return nil
+	case ".word":
+		if a.section == "text" {
+			return a.errf(line, ".word in .text is not supported (use PUSHI)")
+		}
+		for _, f := range splitOperands(rest) {
+			sym, add, n, isSym, err := parseOperand(f)
+			if err != nil {
+				return a.errf(line, ".word: %v", err)
+			}
+			if isSym {
+				a.out.Relocs = append(a.out.Relocs, obj.Reloc{
+					Section: a.section, Offset: a.pos(), Symbol: sym, Addend: add,
+				})
+				if err := a.emit(0, 0, 0, 0); err != nil {
+					return a.errf(line, "%v", err)
+				}
+			} else {
+				v := uint32(n)
+				if err := a.emit(byte(v), byte(v>>8), byte(v>>16), byte(v>>24)); err != nil {
+					return a.errf(line, "%v", err)
+				}
+			}
+		}
+		return nil
+	case ".byte":
+		for _, f := range splitOperands(rest) {
+			_, _, n, isSym, err := parseOperand(f)
+			if err != nil || isSym {
+				return a.errf(line, ".byte: bad value %q", f)
+			}
+			if n < -128 || n > 255 {
+				return a.errf(line, ".byte: value %d out of range", n)
+			}
+			if err := a.emit(byte(n)); err != nil {
+				return a.errf(line, "%v", err)
+			}
+		}
+		return nil
+	case ".asciz":
+		s, err := strconv.Unquote(rest)
+		if err != nil {
+			return a.errf(line, ".asciz: bad string %s", rest)
+		}
+		if err := a.emit(append([]byte(s), 0)...); err != nil {
+			return a.errf(line, "%v", err)
+		}
+		return nil
+	case ".space":
+		n, err := strconv.ParseUint(rest, 0, 32)
+		if err != nil {
+			return a.errf(line, ".space: bad size %q", rest)
+		}
+		if a.section == "bss" {
+			a.bss += uint32(n)
+			return nil
+		}
+		return a.emit(make([]byte, n)...)
+	case ".align":
+		n, err := strconv.ParseUint(rest, 0, 32)
+		if err != nil || n == 0 || n&(n-1) != 0 {
+			return a.errf(line, ".align: bad alignment %q", rest)
+		}
+		pad := (uint32(n) - a.pos()%uint32(n)) % uint32(n)
+		if a.section == "bss" {
+			a.bss += pad
+			return nil
+		}
+		if a.section == "text" {
+			for i := uint32(0); i < pad; i++ {
+				if err := a.emit(cpu.NOP); err != nil {
+					return a.errf(line, "%v", err)
+				}
+			}
+			return nil
+		}
+		return a.emit(make([]byte, pad)...)
+	}
+	return a.errf(line, "unknown directive %s", dir)
+}
+
+func (a *assembler) instruction(line int, src string) error {
+	if a.section != "text" {
+		return a.errf(line, "instruction outside .text")
+	}
+	fields := strings.SplitN(src, " ", 2)
+	mn := strings.ToUpper(fields[0])
+	op, ok := cpu.OpByName(mn)
+	if !ok {
+		return a.errf(line, "unknown mnemonic %q", mn)
+	}
+	if !cpu.HasOperand(op) {
+		if len(fields) == 2 && strings.TrimSpace(fields[1]) != "" {
+			return a.errf(line, "%s takes no operand", mn)
+		}
+		return a.emit(op)
+	}
+	if len(fields) != 2 || strings.TrimSpace(fields[1]) == "" {
+		return a.errf(line, "%s requires an operand", mn)
+	}
+	operand := strings.TrimSpace(fields[1])
+	sym, add, n, isSym, err := parseOperand(operand)
+	if err != nil {
+		return a.errf(line, "%s: %v", mn, err)
+	}
+	if isSym {
+		if !cpu.OperandIsAddress(op) {
+			return a.errf(line, "%s: symbolic operand %q not allowed", mn, operand)
+		}
+		a.out.Relocs = append(a.out.Relocs, obj.Reloc{
+			Section: "text", Offset: a.pos() + 1, Symbol: sym, Addend: add,
+		})
+		return a.emit(op, 0, 0, 0, 0)
+	}
+	v := uint32(n)
+	return a.emit(op, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func splitOperands(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// parseOperand parses an integer, character, or symbol±offset operand.
+// It returns either a numeric value (isSym false) or a symbol name and
+// addend (isSym true).
+func parseOperand(s string) (sym string, addend int32, n int64, isSym bool, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", 0, 0, false, fmt.Errorf("empty operand")
+	}
+	// Character literal.
+	if len(s) >= 3 && s[0] == '\'' {
+		r, _, tail, e := strconv.UnquoteChar(s[1:], '\'')
+		if e != nil || tail != "'" {
+			return "", 0, 0, false, fmt.Errorf("bad char literal %s", s)
+		}
+		return "", 0, int64(r), false, nil
+	}
+	// Plain integer.
+	if v, e := strconv.ParseInt(s, 0, 64); e == nil {
+		if v < -(1<<31) || v > (1<<32)-1 {
+			return "", 0, 0, false, fmt.Errorf("value %d out of 32-bit range", v)
+		}
+		return "", 0, v, false, nil
+	}
+	// symbol, symbol+off, symbol-off.
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			name := strings.TrimSpace(s[:i])
+			if !isIdent(name) {
+				break
+			}
+			offStr := strings.TrimSpace(s[i:])
+			off, e := strconv.ParseInt(offStr, 0, 32)
+			if e != nil {
+				return "", 0, 0, false, fmt.Errorf("bad offset in %q", s)
+			}
+			return name, int32(off), 0, true, nil
+		}
+	}
+	if isIdent(s) {
+		return s, 0, 0, true, nil
+	}
+	return "", 0, 0, false, fmt.Errorf("unparseable operand %q", s)
+}

@@ -1,0 +1,195 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/obj"
+)
+
+func mustAsm(t *testing.T, src string) *obj.Object {
+	t.Helper()
+	o, err := Assemble("t.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestAlignInTextPadsWithNOP(t *testing.T) {
+	o := mustAsm(t, `
+.text
+a:
+	NOP
+.align 8
+b:
+	HALT
+`)
+	bSym := o.Lookup("b")
+	if bSym == nil || bSym.Offset != 8 {
+		t.Fatalf("b offset = %+v, want 8", bSym)
+	}
+	for i := 1; i < 8; i++ {
+		if o.Text[i] != cpu.NOP {
+			t.Fatalf("pad byte %d = %d, want NOP", i, o.Text[i])
+		}
+	}
+}
+
+func TestAlignInDataPadsWithZero(t *testing.T) {
+	o := mustAsm(t, `
+.data
+	.byte 1
+.align 4
+w:	.word 7
+`)
+	if o.Lookup("w").Offset != 4 {
+		t.Fatalf("w offset = %d, want 4", o.Lookup("w").Offset)
+	}
+	if o.Data[1] != 0 || o.Data[2] != 0 || o.Data[3] != 0 {
+		t.Fatalf("padding not zero: %v", o.Data[:4])
+	}
+}
+
+func TestBSSSpaceAndSymbols(t *testing.T) {
+	o := mustAsm(t, `
+.bss
+.global buf
+buf: .space 100
+tail: .space 4
+`)
+	if o.BSSSize != 104 {
+		t.Fatalf("bss size = %d, want 104", o.BSSSize)
+	}
+	b := o.Lookup("buf")
+	if b == nil || b.Section != "bss" || b.Offset != 0 || !b.Global {
+		t.Fatalf("buf = %+v", b)
+	}
+	if o.Lookup("tail").Offset != 100 {
+		t.Fatalf("tail offset = %d", o.Lookup("tail").Offset)
+	}
+}
+
+func TestCharLiteralOperand(t *testing.T) {
+	o := mustAsm(t, `
+.text
+	PUSHI 'A'
+	HALT
+`)
+	if o.Text[1] != 'A' {
+		t.Fatalf("operand = %d, want %d", o.Text[1], 'A')
+	}
+}
+
+func TestDuplicateLabelRejected(t *testing.T) {
+	_, err := Assemble("t.s", ".text\nx:\n\tNOP\nx:\n\tNOP\n")
+	if err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+}
+
+func TestWordInTextRejected(t *testing.T) {
+	_, err := Assemble("t.s", ".text\n.word 5\n")
+	if err == nil || !strings.Contains(err.Error(), ".word") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInstructionInDataRejected(t *testing.T) {
+	_, err := Assemble("t.s", ".data\n\tNOP\n")
+	if err == nil {
+		t.Fatal("instruction in .data accepted")
+	}
+}
+
+func TestOperandRequiredAndForbidden(t *testing.T) {
+	if _, err := Assemble("t.s", ".text\n\tPUSHI\n"); err == nil {
+		t.Fatal("PUSHI without operand accepted")
+	}
+	if _, err := Assemble("t.s", ".text\n\tNOP 5\n"); err == nil {
+		t.Fatal("NOP with operand accepted")
+	}
+}
+
+func TestSymbolicOperandOnNonAddressOpRejected(t *testing.T) {
+	// ENTER's operand is a size, not an address: symbols are invalid.
+	if _, err := Assemble("t.s", ".text\nx:\n\tENTER x\n"); err == nil {
+		t.Fatal("symbolic ENTER operand accepted")
+	}
+}
+
+func TestErrorCarriesLineNumber(t *testing.T) {
+	_, err := Assemble("t.s", ".text\n\tNOP\n\tBOGUS\n")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "t.s:3") {
+		t.Fatalf("error %q lacks file:line", err)
+	}
+}
+
+func TestGlobalOfUndefinedSymbolOK(t *testing.T) {
+	// .global before definition is the normal idiom.
+	o := mustAsm(t, ".text\n.global f\nf:\n\tRET\n")
+	s := o.Lookup("f")
+	if s == nil || !s.Global || s.Kind != obj.KindFunc {
+		t.Fatalf("f = %+v", s)
+	}
+}
+
+func TestDataSymbolKind(t *testing.T) {
+	o := mustAsm(t, ".data\n.global v\nv: .word 1\n")
+	if o.Lookup("v").Kind != obj.KindObject {
+		t.Fatalf("data symbol kind = %c, want O", o.Lookup("v").Kind)
+	}
+}
+
+func TestSymbolMinusOffset(t *testing.T) {
+	o := mustAsm(t, `
+.text
+	JMP target-4
+target:
+	HALT
+`)
+	if len(o.Relocs) != 1 {
+		t.Fatalf("relocs = %d", len(o.Relocs))
+	}
+	if o.Relocs[0].Addend != -4 {
+		t.Fatalf("addend = %d, want -4", o.Relocs[0].Addend)
+	}
+}
+
+func TestAsciiEscapeSequences(t *testing.T) {
+	o := mustAsm(t, ".data\ns: .asciz \"a\\tb\\n\"\n")
+	want := []byte{'a', '\t', 'b', '\n', 0}
+	for i, b := range want {
+		if o.Data[i] != b {
+			t.Fatalf("data[%d] = %d, want %d", i, o.Data[i], b)
+		}
+	}
+}
+
+func TestTrailingCommentAfterOperand(t *testing.T) {
+	o := mustAsm(t, ".text\n\tPUSHI 5 ; five\n\tHALT # done\n")
+	if o.Text[0] != cpu.PUSHI || o.Text[5] != cpu.HALT {
+		t.Fatalf("text = %v", o.Text)
+	}
+}
+
+func TestBadAlignRejected(t *testing.T) {
+	for _, src := range []string{".text\n.align 3\n", ".text\n.align 0\n"} {
+		if _, err := Assemble("t.s", src); err == nil {
+			t.Fatalf("align accepted: %q", src)
+		}
+	}
+}
+
+func TestByteRangeChecked(t *testing.T) {
+	if _, err := Assemble("t.s", ".data\n.byte 256\n"); err == nil {
+		t.Fatal(".byte 256 accepted")
+	}
+	if _, err := Assemble("t.s", ".data\n.byte -200\n"); err == nil {
+		t.Fatal(".byte -200 accepted")
+	}
+}

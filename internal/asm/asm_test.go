@@ -1,0 +1,228 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/obj"
+)
+
+func TestAssembleSimpleFunction(t *testing.T) {
+	src := `
+; testincr returns its argument plus one.
+.text
+.global testincr
+testincr:
+	ENTER 0
+	LOADFP 8
+	PUSHI 1
+	ADD
+	SETRV
+	LEAVE
+	RET
+`
+	o, err := Assemble("incr.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := o.Lookup("testincr")
+	if s == nil {
+		t.Fatal("testincr not defined")
+	}
+	if !s.Global || s.Kind != obj.KindFunc || s.Section != "text" || s.Offset != 0 {
+		t.Fatalf("symbol = %+v", s)
+	}
+	wantLen := 5 + 5 + 5 + 1 + 1 + 1 + 1
+	if len(o.Text) != wantLen {
+		t.Fatalf("text len = %d, want %d", len(o.Text), wantLen)
+	}
+	if o.Text[0] != cpu.ENTER {
+		t.Fatalf("first opcode = %s", cpu.OpName(o.Text[0]))
+	}
+}
+
+func TestSymbolOperandsBecomeRelocs(t *testing.T) {
+	src := `
+.text
+.global f
+f:
+	PUSHI msg
+	CALL g
+	JMP f
+g:
+	RET
+.data
+msg:
+	.asciz "hi"
+`
+	o, err := Assemble("t.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Relocs) != 3 {
+		t.Fatalf("relocs = %d, want 3 (%+v)", len(o.Relocs), o.Relocs)
+	}
+	for _, r := range o.Relocs {
+		if r.Section != "text" {
+			t.Errorf("reloc in %s, want text", r.Section)
+		}
+		// Operand is one byte after the opcode.
+		if (r.Offset-1)%5 == 0 && r.Offset == 0 {
+			t.Errorf("reloc at opcode byte: %+v", r)
+		}
+	}
+	if got := o.Undefined(); len(got) != 0 {
+		t.Fatalf("undefined = %v, want none (all local)", got)
+	}
+}
+
+func TestUndefinedExternalReference(t *testing.T) {
+	o, err := Assemble("t.s", ".text\nmain:\n\tCALL external_fn\n\tHALT\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	und := o.Undefined()
+	if len(und) != 1 || und[0] != "external_fn" {
+		t.Fatalf("undefined = %v", und)
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	src := `
+.data
+.global table
+table:
+	.word 1, 2, 0x10
+	.byte 0xFF, 65
+	.asciz "ab"
+	.align 4
+after:
+	.word table
+.bss
+.global buf
+buf:
+	.space 64
+`
+	o, err := Assemble("d.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 words + 2 bytes + "ab\0" + pad to 4.
+	if o.Data[0] != 1 || o.Data[4] != 2 || o.Data[8] != 0x10 {
+		t.Fatalf("words wrong: % x", o.Data[:12])
+	}
+	if o.Data[12] != 0xFF || o.Data[13] != 65 {
+		t.Fatalf("bytes wrong: % x", o.Data[12:14])
+	}
+	if string(o.Data[14:16]) != "ab" || o.Data[16] != 0 {
+		t.Fatalf("asciz wrong: % x", o.Data[14:17])
+	}
+	after := o.Lookup("after")
+	if after == nil || after.Offset%4 != 0 {
+		t.Fatalf("align failed: %+v", after)
+	}
+	if o.BSSSize != 64 {
+		t.Fatalf("bss = %d, want 64", o.BSSSize)
+	}
+	if b := o.Lookup("buf"); b == nil || b.Section != "bss" || b.Kind != obj.KindObject {
+		t.Fatalf("buf = %+v", b)
+	}
+	// .word with a symbol operand must yield a data reloc.
+	found := false
+	for _, r := range o.Relocs {
+		if r.Section == "data" && r.Symbol == "table" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no data reloc for table: %+v", o.Relocs)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown mnemonic", ".text\nf:\n\tFROB 1\n", "unknown mnemonic"},
+		{"operand on plain op", ".text\nf:\n\tADD 3\n", "takes no operand"},
+		{"missing operand", ".text\nf:\n\tPUSHI\n", "requires an operand"},
+		{"symbolic ENTER", ".text\nf:\n\tENTER f\n", "not allowed"},
+		{"instr in data", ".data\n\tADD\n", "outside .text"},
+		{"dup label", ".text\nf:\nf:\n", "duplicate label"},
+		{"global undefined", ".global nope\n.text\nf:\n\tRET\n", "never defined"},
+		{"bad directive", ".frobnicate 3\n", "unknown directive"},
+		{"bad align", ".data\n.align 3\n", "bad alignment"},
+		{"byte range", ".data\n.byte 300\n", "out of range"},
+	}
+	for _, c := range cases {
+		if _, err := Assemble("e.s", c.src); err == nil {
+			t.Errorf("%s: no error", c.name)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q missing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestCommentsAndLabelsOnSameLine(t *testing.T) {
+	src := ".text\nf: RET ; trailing comment\ng: HALT # other comment\n"
+	o, err := Assemble("c.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Lookup("f") == nil || o.Lookup("g") == nil {
+		t.Fatal("labels not parsed")
+	}
+	if len(o.Text) != 2 {
+		t.Fatalf("text = % x", o.Text)
+	}
+}
+
+func TestCommentCharInsideString(t *testing.T) {
+	o, err := Assemble("s.s", ".data\nmsg: .asciz \"a;b#c\"\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(o.Data) != "a;b#c\x00" {
+		t.Fatalf("data = %q", o.Data)
+	}
+}
+
+func TestNegativeAndHexOperands(t *testing.T) {
+	o, err := Assemble("n.s", ".text\nf:\n\tADDSP -8\n\tPUSHI 0xDEADBEEF\n\tLOADFP 'A'\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ADDSP -8 encodes 0xFFFFFFF8.
+	if o.Text[1] != 0xF8 || o.Text[4] != 0xFF {
+		t.Fatalf("ADDSP -8 encoded % x", o.Text[:5])
+	}
+	if o.Text[6] != 0xEF || o.Text[9] != 0xDE {
+		t.Fatalf("PUSHI hex encoded % x", o.Text[5:10])
+	}
+	if o.Text[11] != 'A' {
+		t.Fatalf("char literal encoded % x", o.Text[10:15])
+	}
+}
+
+func TestSymbolPlusOffset(t *testing.T) {
+	o, err := Assemble("o.s", ".text\nf:\n\tPUSHI tbl+8\n\tPUSHI tbl-4\n.data\ntbl: .word 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Relocs) != 2 {
+		t.Fatalf("relocs = %+v", o.Relocs)
+	}
+	if o.Relocs[0].Addend != 8 || o.Relocs[1].Addend != -4 {
+		t.Fatalf("addends = %d,%d", o.Relocs[0].Addend, o.Relocs[1].Addend)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("bad.s", ".text\n\tFROB\n")
+}

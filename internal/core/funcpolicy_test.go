@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/kern"
+)
+
+// Function-granular policy: the paper's access question is "whether an
+// entity p is allowed to execute some function f_i held secure in the
+// library module m" — these tests pin the f_i part.
+
+func TestPerFunctionPolicyAllowsSubset(t *testing.T) {
+	k, sm := newSMod(t)
+	// testclient may call incr and getpid but nothing else.
+	m := registerLibc(t, sm, func(spec *ModuleSpec) {
+		spec.CheckPerCall = true
+		spec.PolicySrc = []string{`authorizer: "POLICY"
+licensees: "testclient"
+conditions: operation == "session" -> "allow";
+            operation == "call" && (function == "incr" || function == "getpid") -> "allow";
+`}
+	})
+	fidIncr, _ := m.FuncID("incr")
+	fidMalloc, _ := m.FuncID("malloc")
+
+	var incrVal uint32
+	var incrErr, mallocErr int
+	client := k.SpawnNative("c", clientCred(), func(s *kern.Sys) int {
+		c, err := AttachNative(s, "libc", 1, "")
+		if err != nil {
+			return 1
+		}
+		incrVal, incrErr = c.Call(uint32(fidIncr), 10)
+		_, mallocErr = c.Call(uint32(fidMalloc), 64)
+		return 0
+	})
+	if err := k.RunUntil(func() bool {
+		return client.State == kern.StateZombie || client.State == kern.StateDead
+	}, 200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if incrErr != 0 || incrVal != 11 {
+		t.Fatalf("incr: errno %d val %d", incrErr, incrVal)
+	}
+	if mallocErr != kern.EACCES {
+		t.Fatalf("malloc errno = %d, want EACCES (function not licensed)", mallocErr)
+	}
+	if sm.Calls != 1 {
+		t.Fatalf("dispatches = %d, want 1 (denied call never reached the handle)", sm.Calls)
+	}
+}
+
+func TestPerFunctionDenialDoesNotBreakSession(t *testing.T) {
+	k, sm := newSMod(t)
+	m := registerLibc(t, sm, func(spec *ModuleSpec) {
+		spec.CheckPerCall = true
+		spec.PolicySrc = []string{`authorizer: "POLICY"
+licensees: "testclient"
+conditions: operation == "session" -> "allow";
+            operation == "call" && function == "incr" -> "allow";
+`}
+	})
+	fidIncr, _ := m.FuncID("incr")
+	fidFree, _ := m.FuncID("free")
+	var after uint32
+	client := k.SpawnNative("c", clientCred(), func(s *kern.Sys) int {
+		c, err := AttachNative(s, "libc", 1, "")
+		if err != nil {
+			return 1
+		}
+		// Denied call, then a permitted one: the session must survive.
+		c.Call(uint32(fidFree), 0)
+		after, _ = c.Call(uint32(fidIncr), 1)
+		return 0
+	})
+	if err := k.RunUntil(func() bool {
+		return client.State == kern.StateZombie || client.State == kern.StateDead
+	}, 200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if after != 2 {
+		t.Fatalf("post-denial incr = %d, want 2", after)
+	}
+}
+
+func TestBadFuncIDRejectedBeforePolicy(t *testing.T) {
+	k, sm := newSMod(t)
+	registerLibc(t, sm, nil)
+	var errno int
+	client := k.SpawnNative("c", clientCred(), func(s *kern.Sys) int {
+		c, err := AttachNative(s, "libc", 1, "")
+		if err != nil {
+			return 1
+		}
+		_, errno = c.Call(9999)
+		return 0
+	})
+	if err := k.RunUntil(func() bool {
+		return client.State == kern.StateZombie || client.State == kern.StateDead
+	}, 200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if errno != kern.EINVAL {
+		t.Fatalf("errno = %d, want EINVAL", errno)
+	}
+}
+
+func TestMeteringQuotaViaCallsAttribute(t *testing.T) {
+	k, sm := newSMod(t)
+	m := registerLibc(t, sm, func(spec *ModuleSpec) {
+		spec.CheckPerCall = true
+		spec.PolicySrc = []string{`authorizer: "POLICY"
+licensees: "testclient"
+conditions: operation == "session" -> "allow";
+            operation == "call" && calls < 3 -> "allow";
+`}
+	})
+	fid, _ := m.FuncID("incr")
+	var errnos []int
+	client := k.SpawnNative("c", clientCred(), func(s *kern.Sys) int {
+		c, err := AttachNative(s, "libc", 1, "")
+		if err != nil {
+			return 1
+		}
+		for i := 0; i < 5; i++ {
+			_, e := c.Call(uint32(fid), uint32(i))
+			errnos = append(errnos, e)
+		}
+		return 0
+	})
+	if err := k.RunUntil(func() bool {
+		return client.State == kern.StateZombie || client.State == kern.StateDead
+	}, 200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 0, kern.EACCES, kern.EACCES}
+	for i, e := range errnos {
+		if e != want[i] {
+			t.Fatalf("call %d errno = %d, want %d (quota of 3)", i, e, want[i])
+		}
+	}
+}

@@ -1,0 +1,414 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/kern"
+	"repro/internal/obj"
+	"repro/internal/vm"
+)
+
+// Figure 2 golden checks: the address-space layout of an attached
+// client/handle pair, entry by entry.
+
+func attachAndPause(t *testing.T) (*kern.Kernel, *SMod, *kern.Proc, *Session) {
+	t.Helper()
+	k, sm := newSMod(t)
+	registerLibc(t, sm, nil)
+	im := buildClient(t, `
+.text
+.global main
+main:
+	ENTER 0
+	PUSHI 41
+	CALL incr
+	ADDSP 4
+spin:
+	TRAP 298
+	JMP spin
+`)
+	client, err := k.Spawn("client", clientCred(), im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(func() bool { return sm.Calls >= 1 }, 200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	ss := sm.SessionsOf(client.PID)
+	if len(ss) != 1 {
+		t.Fatalf("%d sessions", len(ss))
+	}
+	return k, sm, client, ss[0]
+}
+
+func TestFigure2ClientLayout(t *testing.T) {
+	k, _, client, s := attachAndPause(t)
+	desc := client.Space.Describe()
+	// Client: text private, data+stack shared, nothing above the share
+	// range.
+	for _, want := range []string{"text", "data", "stack"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("client layout lacks %q:\n%s", want, desc)
+		}
+	}
+	for _, e := range client.Space.Entries() {
+		switch e.Name {
+		case "text":
+			if e.Shared {
+				t.Error("client text is shared")
+			}
+		case "data", "stack", "heap":
+			if !e.Shared {
+				t.Errorf("client %s not shared", e.Name)
+			}
+		case "secret", "module-text", "module-data":
+			t.Errorf("client maps %s", e.Name)
+		}
+	}
+	k.Kill(client, kern.SIGKILL)
+	_ = s
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure2HandleLayout(t *testing.T) {
+	k, _, client, s := attachAndPause(t)
+	h := s.Handle
+	names := map[string]*vm.Entry{}
+	for _, e := range h.Space.Entries() {
+		names[e.Name] = e
+	}
+	// Handle: secret + module text/data handle-only; data/stack shared.
+	sec := names["secret"]
+	if sec == nil || sec.Start != kern.SecretBase || sec.End != kern.SecretBase+kern.SecretSize {
+		t.Errorf("secret segment wrong: %+v", sec)
+	}
+	if sec != nil && sec.Shared {
+		t.Error("secret segment is shared")
+	}
+	mt := names["module-text"]
+	if mt == nil || mt.Start != HandleTextBase {
+		t.Errorf("module text wrong: %+v", mt)
+	}
+	if mt != nil && mt.Prot&vm.ProtWrite != 0 {
+		t.Error("module text writable")
+	}
+	md := names["module-data"]
+	if md == nil || md.Start != HandleDataBase {
+		t.Errorf("module data wrong: %+v", md)
+	}
+	for _, n := range []string{"data", "stack"} {
+		if names[n] == nil || !names[n].Shared {
+			t.Errorf("handle %s missing or unshared", n)
+		}
+	}
+	k.Kill(client, kern.SIGKILL)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Figure 3 stack walk: inspect the client stack words at each phase of
+// a dispatch.
+func TestFigure3StackWalk(t *testing.T) {
+	k, sm := newSMod(t)
+	m := registerLibc(t, sm, nil)
+	im := buildClient(t, incrMain)
+	client, err := k.Spawn("client", clientCred(), im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop at the moment the dispatch record is queued (client blocked
+	// inside smod_call, handle not yet run) — Figure 3 step 2.
+	err = k.RunUntil(func() bool {
+		s := sm.SessionFor(client.PID, m.ID)
+		return s != nil && s.inCall
+	}, 200_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := client.CPU.SP
+	read := func(off uint32) uint32 {
+		v, err := client.Space.Read32(sp + off)
+		if err != nil {
+			t.Fatalf("read SP+%d: %v", off, err)
+		}
+		return v
+	}
+	fidIncr, _ := m.FuncID("incr")
+	if got := read(0); got != uint32(m.ID) {
+		t.Errorf("[SP] = %#x, want moduleID %d", got, m.ID)
+	}
+	if got := read(4); got != uint32(fidIncr) {
+		t.Errorf("[SP+4] = %#x, want funcID %d", got, fidIncr)
+	}
+	retaddr := read(8)
+	if retaddr < kern.UserTextBase || retaddr > kern.UserTextBase+0x10000 {
+		t.Errorf("[SP+8] = %#x, not a client text return address", retaddr)
+	}
+	if got := read(12); got != 41 {
+		t.Errorf("[SP+12] = %d, want arg1 41", got)
+	}
+
+	// Run to completion: step 4's restore must leave the words intact
+	// and the client must exit with the result.
+	if err := k.Run(200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if client.ExitStatus != 42 {
+		t.Fatalf("exit = %d, want 42", client.ExitStatus)
+	}
+}
+
+// Two modules attached by one client through the generated multi-module
+// crt0.
+func TestMultiModuleClient(t *testing.T) {
+	k, sm := newSMod(t)
+	registerLibc(t, sm, nil)
+
+	mathSrc := `
+.text
+.global triple
+triple:
+	ENTER 0
+	LOADFP 8
+	PUSHI 3
+	MUL
+	SETRV
+	LEAVE
+	RET
+`
+	mo, err := asm.Assemble("math.s", mathSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mathLib := &obj.Archive{Name: "libmath.a"}
+	mathLib.Add(mo)
+	if _, err := sm.Register(&ModuleSpec{
+		Name: "math", Version: 1, Owner: "owner", Lib: mathLib,
+		PolicySrc: []string{allowPolicy},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	libc, err := LibCArchive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainObj, err := asm.Assemble("main.s", `
+.text
+.global main
+main:
+	ENTER 0
+	; triple(incr(10)) = 33
+	PUSHI 10
+	CALL incr
+	ADDSP 4
+	PUSHRV
+	CALL triple
+	ADDSP 4
+	LEAVE
+	RET
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := LinkClient([]*obj.Object{mainObj},
+		[]ClientModule{
+			{Name: "libc", Version: 1},
+			{Name: "math", Version: 1},
+		},
+		[]*obj.Archive{libc, mathLib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := k.Spawn("client", clientCred(), im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(400_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if client.ExitStatus != 33 {
+		t.Fatalf("exit = %d, want 33 (two modules, two handles)", client.ExitStatus)
+	}
+	if sm.SessionsOpened != 2 {
+		t.Fatalf("sessions = %d, want 2", sm.SessionsOpened)
+	}
+	if sm.Calls != 2 {
+		t.Fatalf("calls = %d, want 2", sm.Calls)
+	}
+}
+
+// A module function that itself calls another module function
+// (calloc -> malloc -> memset), all inside the handle.
+func TestIntraModuleCalls(t *testing.T) {
+	k, sm := newSMod(t)
+	registerLibc(t, sm, nil)
+	p := runClient(t, k, buildClient(t, `
+.text
+.global main
+main:
+	ENTER 4
+	PUSHI 8
+	PUSHI 3
+	CALL calloc
+	ADDSP 8
+	PUSHRV
+	JZ fail
+	PUSHRV
+	STOREFP -4
+	; calloc zeroes: sum the first word (must be 0) with 9
+	LOADFP -4
+	LOAD
+	PUSHI 9
+	ADD
+	SETRV
+	LEAVE
+	RET
+fail:
+	PUSHI 1
+	SETRV
+	LEAVE
+	RET
+`))
+	if p.ExitStatus != 9 {
+		t.Fatalf("exit = %d, want 9 (calloc zeroed)", p.ExitStatus)
+	}
+	// calloc is ONE dispatch; its internal malloc/memset calls stay
+	// inside the handle.
+	if sm.Calls != 1 {
+		t.Fatalf("dispatches = %d, want 1 (intra-module calls are direct)", sm.Calls)
+	}
+}
+
+// Stress: interleaved malloc/write/read cycles across the shared heap.
+func TestMallocStress(t *testing.T) {
+	k, sm := newSMod(t)
+	registerLibc(t, sm, nil)
+	// 16 allocations of 4KB (converted to obreak growth), each written
+	// at its first and last word, verified immediately.
+	p := runClient(t, k, buildClient(t, `
+.text
+.global main
+main:
+	ENTER 12
+	PUSHI 0
+	STOREFP -4     ; i
+	PUSHI 0
+	STOREFP -12    ; error count
+loop:
+	LOADFP -4
+	PUSHI 16
+	GEU
+	JNZ done
+	PUSHI 4096
+	CALL malloc
+	ADDSP 4
+	PUSHRV
+	JZ bad
+	PUSHRV
+	STOREFP -8
+	; p[0] = i
+	LOADFP -4
+	LOADFP -8
+	STORE
+	; p[4092/4*4] = i+1  (last word)
+	LOADFP -4
+	PUSHI 1
+	ADD
+	LOADFP -8
+	PUSHI 4092
+	ADD
+	STORE
+	; verify both
+	LOADFP -8
+	LOAD
+	LOADFP -4
+	NE
+	JZ ok1
+	JMP bad
+ok1:
+	LOADFP -8
+	PUSHI 4092
+	ADD
+	LOAD
+	LOADFP -4
+	PUSHI 1
+	ADD
+	NE
+	JZ next
+bad:
+	LOADFP -12
+	PUSHI 1
+	ADD
+	STOREFP -12
+next:
+	LOADFP -4
+	PUSHI 1
+	ADD
+	STOREFP -4
+	JMP loop
+done:
+	LOADFP -12
+	SETRV
+	LEAVE
+	RET
+`))
+	if p.ExitStatus != 0 {
+		t.Fatalf("%d heap verification errors", p.ExitStatus)
+	}
+	if sm.Calls != 16 {
+		t.Fatalf("dispatches = %d, want 16", sm.Calls)
+	}
+}
+
+// The shared heap grown by the handle's obreak is visible to the
+// client at the same physical pages.
+func TestSharedHeapPhysicalIdentity(t *testing.T) {
+	k, sm := newSMod(t)
+	m := registerLibc(t, sm, nil)
+	im := buildClient(t, `
+.text
+.global main
+main:
+	ENTER 4
+	PUSHI 64
+	CALL malloc
+	ADDSP 4
+	PUSHRV
+	STOREFP -4
+	PUSHI 7
+	LOADFP -4
+	STORE
+spin:
+	TRAP 298
+	JMP spin
+`)
+	client, err := k.Spawn("client", clientCred(), im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(func() bool { return sm.Calls >= 1 }, 200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	s := sm.SessionFor(client.PID, m.ID)
+	heapStart := client.Space.HeapStart
+	// Let the client write through, then compare frames.
+	if err := k.RunUntil(func() bool {
+		v, err := client.Space.Read32(heapStart)
+		return err == nil && v == 7
+	}, 200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !vm.SharesPageWith(client.Space, s.Handle.Space, heapStart) {
+		t.Fatal("heap page not physically shared between client and handle")
+	}
+	k.Kill(client, kern.SIGKILL)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/kern"
+)
+
+// NativeClient lets a native process (a Go test or benchmark driver)
+// attach to a SecModule and invoke protected functions through the
+// exact kernel path an SM32 client uses: the same smod_find /
+// smod_start_session / smod_handle_info handshake and the same
+// smod_call dispatch, with the argument words laid out on a simulated
+// client stack inside the share range so the handle's receive stub
+// reads arguments and restores clobbered words exactly as in Figure 3.
+type NativeClient struct {
+	sys *kern.Sys
+	mid int
+	// stackTop is the top of the simulated client stack, carved from
+	// the top of the native scratch segment (inside the share range).
+	stackTop uint32
+}
+
+// nativeStackSize is the simulated-stack reservation for native clients.
+const nativeStackSize = 16 * 1024
+
+// AttachNative performs the full Figure 1 client handshake from a
+// native process: find the module, start the session presenting the
+// credential text, and wait for the handle. It returns a client ready
+// to Call.
+func AttachNative(s *kern.Sys, module string, version int, credential string) (*NativeClient, error) {
+	nameAddr := s.StageString(module)
+	mid, errno := s.Call(SysFindNo, nameAddr, uint32(int32(version)))
+	if errno != 0 {
+		return nil, fmt.Errorf("core: smod_find(%s,%d): errno %d", module, version, errno)
+	}
+
+	// Build the session descriptor {m_id, cred_ptr, cred_len, 0}.
+	cred := []byte(credential)
+	credAddr := uint32(0)
+	if len(cred) > 0 {
+		credAddr = s.StageBytes(cred)
+	}
+	desc := make([]byte, descSize)
+	putLE32(desc[0:], mid)
+	putLE32(desc[4:], credAddr)
+	putLE32(desc[8:], uint32(len(cred)))
+	descAddr := s.StageBytes(desc)
+	if _, errno := s.Call(SysStartSessionNo, descAddr); errno != 0 {
+		return nil, fmt.Errorf("core: smod_start_session(%s): errno %d", module, errno)
+	}
+	if _, errno := s.Call(SysHandleInfoNo, mid); errno != 0 {
+		return nil, fmt.Errorf("core: smod_handle_info(%s): errno %d", module, errno)
+	}
+	return &NativeClient{
+		sys:      s,
+		mid:      int(mid),
+		stackTop: s.ReserveTop(nativeStackSize),
+	}, nil
+}
+
+// ModuleID returns the attached module's m_id.
+func (c *NativeClient) ModuleID() int { return c.mid }
+
+// Call invokes funcID with the given word arguments through smod_call.
+// The words are laid out exactly like an SM32 client stub would leave
+// them: arguments, then the return address, funcID and moduleID on top,
+// with the process SP pointing at the moduleID word (Figure 3 step 2).
+func (c *NativeClient) Call(funcID uint32, args ...uint32) (uint32, int) {
+	p := c.sys.Proc()
+	sp := c.stackTop
+	write := func(v uint32) {
+		sp -= 4
+		if err := p.Space.Write32(sp, v); err != nil {
+			panic("core: native client stack write: " + err.Error())
+		}
+	}
+	for i := len(args) - 1; i >= 0; i-- {
+		write(args[i])
+	}
+	write(0) // return address (unused by a native client)
+	write(funcID)
+	write(uint32(c.mid))
+	p.CPU.SP = sp
+	return c.sys.Call(SysCallNo, uint32(c.mid), funcID, 0)
+}
+
+// MustCall is Call that fails the driver on error, for benchmark loops.
+func (c *NativeClient) MustCall(funcID uint32, args ...uint32) uint32 {
+	v, errno := c.Call(funcID, args...)
+	if errno != 0 {
+		panic(fmt.Sprintf("core: smod_call(func %d): errno %d", funcID, errno))
+	}
+	return v
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/kern"
+)
+
+// Negative-path tests for the Figure 4 session syscalls.
+
+func runNative(t *testing.T, k *kern.Kernel, cred kern.Cred, fn func(*kern.Sys) int) *kern.Proc {
+	t.Helper()
+	p := k.SpawnNative("driver", cred, fn)
+	if err := k.RunUntil(func() bool {
+		return p.State == kern.StateZombie || p.State == kern.StateDead
+	}, 400_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestStartSessionUnknownModule(t *testing.T) {
+	k, _ := newSMod(t)
+	var errno int
+	runNative(t, k, clientCred(), func(s *kern.Sys) int {
+		desc := make([]byte, descSize)
+		putLE32(desc[0:], 99) // no such m_id
+		addr := s.StageBytes(desc)
+		_, errno = s.Call(SysStartSessionNo, addr)
+		return 0
+	})
+	if errno != kern.ENOENT {
+		t.Fatalf("errno = %d, want ENOENT", errno)
+	}
+}
+
+func TestStartSessionTwiceEBUSY(t *testing.T) {
+	k, sm := newSMod(t)
+	m := registerLibc(t, sm, nil)
+	var second int
+	runNative(t, k, clientCred(), func(s *kern.Sys) int {
+		if _, err := AttachNative(s, "libc", 1, ""); err != nil {
+			return 1
+		}
+		desc := make([]byte, descSize)
+		putLE32(desc[0:], uint32(m.ID))
+		addr := s.StageBytes(desc)
+		_, second = s.Call(SysStartSessionNo, addr)
+		return 0
+	})
+	if second != kern.EBUSY {
+		t.Fatalf("second start_session errno = %d, want EBUSY", second)
+	}
+}
+
+func TestSessionInfoFromNonHandleEPERM(t *testing.T) {
+	k, sm := newSMod(t)
+	registerLibc(t, sm, nil)
+	var errno int
+	runNative(t, k, clientCred(), func(s *kern.Sys) int {
+		_, errno = s.Call(SysSessionInfoNo, 0)
+		return 0
+	})
+	if errno != kern.EPERM {
+		t.Fatalf("errno = %d, want EPERM (not a handle)", errno)
+	}
+}
+
+func TestHandleInfoWithoutSessionEINVAL(t *testing.T) {
+	k, sm := newSMod(t)
+	m := registerLibc(t, sm, nil)
+	var errno int
+	runNative(t, k, clientCred(), func(s *kern.Sys) int {
+		_, errno = s.Call(SysHandleInfoNo, uint32(m.ID))
+		return 0
+	})
+	if errno != kern.EINVAL {
+		t.Fatalf("errno = %d, want EINVAL", errno)
+	}
+}
+
+func TestCallWithoutSessionEINVAL(t *testing.T) {
+	k, sm := newSMod(t)
+	m := registerLibc(t, sm, nil)
+	var errno int
+	runNative(t, k, clientCred(), func(s *kern.Sys) int {
+		_, errno = s.Call(SysCallNo, uint32(m.ID), 0, 0)
+		return 0
+	})
+	if errno != kern.EINVAL {
+		t.Fatalf("errno = %d, want EINVAL (ErrNotAttached)", errno)
+	}
+}
+
+func TestStartSessionBadDescriptorPointer(t *testing.T) {
+	k, sm := newSMod(t)
+	registerLibc(t, sm, nil)
+	var errno int
+	runNative(t, k, clientCred(), func(s *kern.Sys) int {
+		_, errno = s.Call(SysStartSessionNo, 0xE0000000)
+		return 0
+	})
+	if errno != kern.EFAULT {
+		t.Fatalf("errno = %d, want EFAULT", errno)
+	}
+}
+
+func TestAddRejectsGarbage(t *testing.T) {
+	k, _ := newSMod(t)
+	var e1, e2 int
+	runNative(t, k, clientCred(), func(s *kern.Sys) int {
+		addr := s.StageBytes([]byte("not json"))
+		_, e1 = s.Call(SysAddNo, addr, 8)
+		_, e2 = s.Call(SysAddNo, addr, 0) // zero length
+		return 0
+	})
+	if e1 != kern.EINVAL || e2 != kern.EINVAL {
+		t.Fatalf("errnos = %d,%d, want EINVAL", e1, e2)
+	}
+}
+
+func TestRemoveUnknownModule(t *testing.T) {
+	k, _ := newSMod(t)
+	var errno int
+	runNative(t, k, clientCred(), func(s *kern.Sys) int {
+		_, errno = s.Call(SysRemoveNo, 77, 0, 0)
+		return 0
+	})
+	if errno != kern.ENOENT {
+		t.Fatalf("errno = %d, want ENOENT", errno)
+	}
+}
+
+func TestRemoveOwnerlessModuleEPERM(t *testing.T) {
+	k, sm := newSMod(t)
+	registerLibc(t, sm, func(spec *ModuleSpec) { spec.Owner = "" })
+	var errno int
+	runNative(t, k, clientCred(), func(s *kern.Sys) int {
+		blob := s.StageBytes([]byte("x"))
+		_, errno = s.Call(SysRemoveNo, 1, blob, 1)
+		return 0
+	})
+	if errno != kern.EPERM {
+		t.Fatalf("errno = %d, want EPERM (no owner, no removal)", errno)
+	}
+}
+
+func TestRemoveTearsDownLiveSessions(t *testing.T) {
+	k, sm := newSMod(t)
+	sm.PolicyKeys.AddPrincipal("owner", []byte("s"))
+	m := registerLibc(t, sm, nil)
+	cred, err := sm.PolicyKeys.SignAssertion(`authorizer: "owner"
+licensees: "owner"
+conditions: operation == "remove" -> "allow";
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Client attaches and parks.
+	client := k.SpawnNative("victim", clientCred(), func(s *kern.Sys) int {
+		if _, err := AttachNative(s, "libc", 1, ""); err != nil {
+			return 1
+		}
+		for {
+			s.Yield()
+		}
+	})
+	if err := k.RunUntil(func() bool { return sm.SessionsOpened == 1 }, 400_000_000); err != nil {
+		t.Fatal(err)
+	}
+	handle := sm.SessionFor(client.PID, m.ID).Handle
+	// Owner removes the module; the session (and its handle) must die.
+	runNative(t, k, kern.Cred{Name: "owner"}, func(s *kern.Sys) int {
+		blob := s.StageBytes([]byte(cred))
+		_, e := s.Call(SysRemoveNo, uint32(m.ID), blob, uint32(len(cred)))
+		return e
+	})
+	if err := k.RunUntil(func() bool {
+		return handle.State == kern.StateZombie || handle.State == kern.StateDead
+	}, 400_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(sm.SessionsOf(client.PID)) != 0 {
+		t.Fatal("session survived module removal")
+	}
+}
+
+func TestClientOfPairIsUnptraceable(t *testing.T) {
+	k, sm := newSMod(t)
+	registerLibc(t, sm, nil)
+	client := k.SpawnNative("attached", clientCred(), func(s *kern.Sys) int {
+		if _, err := AttachNative(s, "libc", 1, ""); err != nil {
+			return 1
+		}
+		for {
+			s.Yield()
+		}
+	})
+	if err := k.RunUntil(func() bool { return sm.SessionsOpened == 1 }, 400_000_000); err != nil {
+		t.Fatal(err)
+	}
+	var errno int
+	runNative(t, k, kern.Cred{Name: "tracer"}, func(s *kern.Sys) int {
+		_, errno = s.Call(kern.SYSptrace, 0, uint32(client.PID), 0, 0)
+		return 0
+	})
+	if errno != kern.EPERM {
+		t.Fatalf("ptrace of SecModule client errno = %d, want EPERM", errno)
+	}
+	k.Kill(client, kern.SIGKILL)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The Figure 1 sequence, asserted formally: the eight steps fire in
+// order, once each (for a single-call client).
+func TestFigure1TraceOrder(t *testing.T) {
+	k, sm := newSMod(t)
+	var events []string
+	sm.Tracef = func(format string, args ...any) {
+		events = append(events, fmt.Sprintf(format, args...))
+	}
+	sm.TraceCalls = true
+	registerLibc(t, sm, nil)
+	p := runClient(t, k, buildClient(t, incrMain))
+	if p.ExitStatus != 42 {
+		t.Fatalf("exit = %d", p.ExitStatus)
+	}
+	wantPrefixes := []string{
+		"(1) smod_find",
+		"(2) smod_start_session",
+		"(3) smod_session_info",
+		"(4) smod_handle_info",
+		"(5-7) smod_call",
+		"(8) smod_call return",
+	}
+	if len(events) != len(wantPrefixes) {
+		t.Fatalf("%d events, want %d:\n%s", len(events), len(wantPrefixes),
+			strings.Join(events, "\n"))
+	}
+	for i, want := range wantPrefixes {
+		if !strings.HasPrefix(events[i], want) {
+			t.Errorf("event %d = %q, want prefix %q", i, events[i], want)
+		}
+	}
+	// Step 3 is reported by the handle, steps 1/2/4 by the client.
+	if !strings.Contains(events[2], "handle pid") {
+		t.Errorf("step 3 not attributed to the handle: %q", events[2])
+	}
+	// The call trace names the module and function.
+	if !strings.Contains(events[4], "libc.incr") {
+		t.Errorf("call trace lacks libc.incr: %q", events[4])
+	}
+}
+
+// Tracing off by default: no overhead hooks fire.
+func TestNoTraceByDefault(t *testing.T) {
+	k, sm := newSMod(t)
+	registerLibc(t, sm, nil)
+	if sm.Tracef != nil || sm.TraceCalls {
+		t.Fatal("tracing enabled by default")
+	}
+	p := runClient(t, k, buildClient(t, incrMain))
+	if p.ExitStatus != 42 {
+		t.Fatalf("exit = %d", p.ExitStatus)
+	}
+}

@@ -1,0 +1,318 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vm"
+)
+
+// mkMachine builds a machine with RWX memory at 0x1000 (code) and a
+// stack at 0x8000, returning the machine and a context whose SP is at
+// the stack top.
+func mkMachine(t *testing.T, code []byte) (*Machine, *Context) {
+	t.Helper()
+	s := vm.NewSpace(nil, nil)
+	if _, err := s.Map(0x1000, 0x1000, vm.ProtRWX, "code"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Map(0x8000, 0x1000, vm.ProtRW, "stack"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBytes(0x1000, code); err != nil {
+		t.Fatal(err)
+	}
+	return &Machine{Space: s}, &Context{PC: 0x1000, SP: 0x9000, FP: 0x9000}
+}
+
+// runUntilHalt executes code until HALT, returning the context.
+func runUntilHalt(t *testing.T, code []byte) *Context {
+	t.Helper()
+	m, ctx := mkMachine(t, code)
+	stop, err := m.Run(ctx, 10_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if stop.Kind != StopHalt {
+		t.Fatalf("stop kind = %v, want halt", stop.Kind)
+	}
+	return ctx
+}
+
+// program assembles opcode/imm pairs into byte code.
+type ins struct {
+	op  byte
+	imm uint32
+}
+
+func code(is ...ins) []byte {
+	var out []byte
+	for _, i := range is {
+		out = append(out, i.op)
+		if HasOperand(i.op) {
+			out = append(out, byte(i.imm), byte(i.imm>>8), byte(i.imm>>16), byte(i.imm>>24))
+		}
+	}
+	return out
+}
+
+// popAfter runs the program then pops the top of stack.
+func popAfter(t *testing.T, is ...ins) uint32 {
+	t.Helper()
+	m, ctx := mkMachine(t, code(is...))
+	if _, err := m.Run(ctx, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Pop(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestBinaryOpMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		op   byte
+		a, b uint32
+		want uint32
+	}{
+		{"add", ADD, 3, 4, 7},
+		{"add-wrap", ADD, 0xFFFFFFFF, 2, 1},
+		{"sub", SUB, 10, 3, 7},
+		{"sub-borrow", SUB, 0, 1, 0xFFFFFFFF},
+		{"mul", MUL, 6, 7, 42},
+		{"div-signed", DIV, uint32(0xFFFFFFF8), 2, uint32(0xFFFFFFFC)}, // -8/2 = -4
+		{"mod-signed", MOD, uint32(0xFFFFFFF9), 4, uint32(0xFFFFFFFD)}, // -7%4 = -3
+		{"and", AND, 0xF0F0, 0xFF00, 0xF000},
+		{"or", OR, 0xF0F0, 0x0F0F, 0xFFFF},
+		{"xor", XOR, 0xFFFF, 0x0F0F, 0xF0F0},
+		{"shl", SHL, 1, 4, 16},
+		{"shl-mask", SHL, 1, 33, 2}, // shift counts are mod 32
+		{"shr", SHR, 16, 4, 1},
+		{"eq-true", EQ, 5, 5, 1},
+		{"eq-false", EQ, 5, 6, 0},
+		{"ne", NE, 5, 6, 1},
+		{"lt-signed", LT, uint32(0xFFFFFFFF), 0, 1}, // -1 < 0
+		{"lt-unsigned-differs", LTU, uint32(0xFFFFFFFF), 0, 0},
+		{"le", LE, 5, 5, 1},
+		{"gt", GT, 6, 5, 1},
+		{"ge", GE, 5, 5, 1},
+		{"ltu", LTU, 1, 2, 1},
+		{"geu", GEU, 2, 1, 1},
+		{"geu-eq", GEU, 2, 2, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := popAfter(t, ins{PUSHI, c.a}, ins{PUSHI, c.b}, ins{c.op, 0}, ins{HALT, 0})
+			if got != c.want {
+				t.Fatalf("%s(%#x,%#x) = %#x, want %#x", c.name, c.a, c.b, got, c.want)
+			}
+		})
+	}
+}
+
+func TestUnaryOps(t *testing.T) {
+	if got := popAfter(t, ins{PUSHI, 0}, ins{NOT, 0}, ins{HALT, 0}); got != 1 {
+		t.Fatalf("NOT 0 = %d", got)
+	}
+	if got := popAfter(t, ins{PUSHI, 7}, ins{NOT, 0}, ins{HALT, 0}); got != 0 {
+		t.Fatalf("NOT 7 = %d", got)
+	}
+	if got := popAfter(t, ins{PUSHI, 5}, ins{NEG, 0}, ins{HALT, 0}); got != 0xFFFFFFFB {
+		t.Fatalf("NEG 5 = %#x", got)
+	}
+}
+
+func TestDupDropSwapOver(t *testing.T) {
+	// DUP: [5] -> [5,5]; ADD -> 10.
+	if got := popAfter(t, ins{PUSHI, 5}, ins{DUP, 0}, ins{ADD, 0}, ins{HALT, 0}); got != 10 {
+		t.Fatalf("dup+add = %d", got)
+	}
+	// SWAP: push 1, push 2 (2 on top); SWAP puts 1 on top; SUB pops
+	// b=1 then a=2, computing a-b = 1.
+	if got := popAfter(t, ins{PUSHI, 1}, ins{PUSHI, 2}, ins{SWAP, 0}, ins{SUB, 0}, ins{HALT, 0}); got != 1 {
+		t.Fatalf("swap+sub = %#x, want 1", got)
+	}
+	// OVER: [7,9] -> [7,9,7].
+	if got := popAfter(t, ins{PUSHI, 7}, ins{PUSHI, 9}, ins{OVER, 0}, ins{HALT, 0}); got != 7 {
+		t.Fatalf("over = %d", got)
+	}
+	// DROP removes the top.
+	if got := popAfter(t, ins{PUSHI, 7}, ins{PUSHI, 9}, ins{DROP, 0}, ins{HALT, 0}); got != 7 {
+		t.Fatalf("drop = %d", got)
+	}
+}
+
+func TestByteLoadStore(t *testing.T) {
+	// STOREB stores the low byte only; LOADB zero-extends.
+	ctx := runUntilHalt(t, code(
+		ins{PUSHI, 0x1234ABCD}, // value
+		ins{PUSHI, 0x8100},     // addr
+		ins{STOREB, 0},
+		ins{PUSHI, 0x8100},
+		ins{LOADB, 0},
+		ins{SETRV, 0},
+		ins{HALT, 0},
+	))
+	if ctx.RV != 0xCD {
+		t.Fatalf("byte round trip = %#x, want 0xCD", ctx.RV)
+	}
+}
+
+func TestFPRelativeNegativeOffset(t *testing.T) {
+	// ENTER 8; store 0x42 at FP-4; load it back.
+	ctx := runUntilHalt(t, code(
+		ins{ENTER, 8},
+		ins{PUSHI, 0x42},
+		ins{STOREFP, 0xFFFFFFFC},
+		ins{LOADFP, 0xFFFFFFFC},
+		ins{SETRV, 0},
+		ins{HALT, 0},
+	))
+	if ctx.RV != 0x42 {
+		t.Fatalf("FP[-4] = %#x", ctx.RV)
+	}
+}
+
+func TestEnterLeaveSymmetric(t *testing.T) {
+	m, ctx := mkMachine(t, code(
+		ins{ENTER, 16},
+		ins{LEAVE, 0},
+		ins{HALT, 0},
+	))
+	sp0, fp0 := ctx.SP, ctx.FP
+	if _, err := m.Run(ctx, 100); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.SP != sp0 || ctx.FP != fp0 {
+		t.Fatalf("SP/FP = %#x/%#x, want %#x/%#x", ctx.SP, ctx.FP, sp0, fp0)
+	}
+}
+
+func TestAddSPSignedImmediate(t *testing.T) {
+	m, ctx := mkMachine(t, code(
+		ins{ADDSP, 0xFFFFFFF8},
+		ins{ADDSP, 8},
+		ins{HALT, 0},
+	))
+	sp0 := ctx.SP
+	if _, err := m.Run(ctx, 100); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.SP != sp0 {
+		t.Fatalf("SP drifted: %#x != %#x", ctx.SP, sp0)
+	}
+}
+
+func TestRunBudgetExhaustion(t *testing.T) {
+	// JMP-to-self never stops.
+	m, ctx := mkMachine(t, code(ins{JMP, 0x1000}))
+	if _, err := m.Run(ctx, 10); err == nil {
+		t.Fatal("budget exhaustion not reported")
+	}
+}
+
+func TestWriteToROFaults(t *testing.T) {
+	s := vm.NewSpace(nil, nil)
+	if _, err := s.Map(0x1000, 0x1000, vm.ProtRX, "code"); err != nil {
+		t.Fatal(err)
+	}
+	// Writing text through STORE must fault.
+	prog := code(ins{PUSHI, 1}, ins{PUSHI, 0x1800}, ins{STORE, 0}, ins{HALT, 0})
+	e := s.FindEntry(0x1000)
+	e.Prot = vm.ProtRWX
+	if err := s.WriteBytes(0x1000, prog); err != nil {
+		t.Fatal(err)
+	}
+	e.Prot = vm.ProtRX
+	if _, err := s.Map(0x8000, 0x1000, vm.ProtRW, "stack"); err != nil {
+		t.Fatal(err)
+	}
+	m := &Machine{Space: s}
+	ctx := &Context{PC: 0x1000, SP: 0x9000}
+	_, err := m.Run(ctx, 100)
+	if err == nil {
+		t.Fatal("store into R-X text succeeded")
+	}
+	var f *Fault
+	if !asFault(err, &f) {
+		t.Fatalf("error %v is not a *Fault", err)
+	}
+}
+
+func asFault(err error, out **Fault) bool {
+	f, ok := err.(*Fault)
+	if ok {
+		*out = f
+	}
+	return ok
+}
+
+func TestFaultReportsPC(t *testing.T) {
+	m, ctx := mkMachine(t, code(ins{PUSHI, 0xE0000000}, ins{LOAD, 0}, ins{HALT, 0}))
+	_, err := m.Run(ctx, 100)
+	f, ok := err.(*Fault)
+	if !ok {
+		t.Fatalf("err = %v", err)
+	}
+	if f.PC != 0x1005 { // the LOAD, after the 5-byte PUSHI
+		t.Fatalf("fault PC = %#x, want 0x1005", f.PC)
+	}
+}
+
+func TestInstrLenMatchesEncoding(t *testing.T) {
+	for op := byte(0); op < byte(opCount); op++ {
+		want := uint32(1)
+		if HasOperand(op) {
+			want = 5
+		}
+		if got := InstrLen(op); got != want {
+			t.Errorf("InstrLen(%s) = %d, want %d", OpName(op), got, want)
+		}
+	}
+}
+
+func TestOperandIsAddressSubset(t *testing.T) {
+	// Every address-operand opcode must also carry an operand.
+	for op := byte(0); op < byte(opCount); op++ {
+		if OperandIsAddress(op) && !HasOperand(op) {
+			t.Errorf("%s claims address operand but has none", OpName(op))
+		}
+	}
+}
+
+// Property: for random values, PUSHI a; PUSHI b; SUB; NEG equals b-a.
+func TestPropertySubNeg(t *testing.T) {
+	f := func(a, b uint32) bool {
+		got := popAfter(t, ins{PUSHI, a}, ins{PUSHI, b}, ins{SUB, 0}, ins{NEG, 0}, ins{HALT, 0})
+		return got == b-a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EmitImm/Disassemble agree for every operand-carrying opcode.
+func TestPropertyEmitDisassemble(t *testing.T) {
+	f := func(opSeed byte, imm uint32) bool {
+		ops := []byte{PUSHI, JMP, JZ, JNZ, CALL, ENTER, TRAP, ADDSP, LOADFP, STOREFP}
+		op := ops[int(opSeed)%len(ops)]
+		var c []byte
+		c = EmitImm(c, op, imm)
+		s := Disassemble(c, 0)
+		return len(s) > 0 && containsStr(s, OpName(op))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

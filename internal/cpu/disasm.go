@@ -1,0 +1,49 @@
+package cpu
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders the instructions in code (starting at virtual
+// address base) one per line, in the style of objdump. Decoding stops
+// at the end of the buffer; a trailing partial instruction is rendered
+// as raw bytes.
+func Disassemble(code []byte, base uint32) string {
+	var b strings.Builder
+	off := uint32(0)
+	for int(off) < len(code) {
+		op := code[off]
+		if int(op) >= int(opCount) {
+			fmt.Fprintf(&b, "%08x:\t.byte %#02x\n", base+off, op)
+			off++
+			continue
+		}
+		if HasOperand(op) {
+			if int(off)+5 > len(code) {
+				fmt.Fprintf(&b, "%08x:\t.byte %#02x (truncated)\n", base+off, op)
+				break
+			}
+			imm := uint32(code[off+1]) | uint32(code[off+2])<<8 |
+				uint32(code[off+3])<<16 | uint32(code[off+4])<<24
+			if OperandIsAddress(op) {
+				fmt.Fprintf(&b, "%08x:\t%s %#x\n", base+off, OpName(op), imm)
+			} else {
+				fmt.Fprintf(&b, "%08x:\t%s %d\n", base+off, OpName(op), int32(imm))
+			}
+			off += 5
+			continue
+		}
+		fmt.Fprintf(&b, "%08x:\t%s\n", base+off, OpName(op))
+		off++
+	}
+	return b.String()
+}
+
+// Emit appends an operand-less instruction to code.
+func Emit(code []byte, op byte) []byte { return append(code, op) }
+
+// EmitImm appends an instruction with a 4-byte immediate to code.
+func EmitImm(code []byte, op byte, imm uint32) []byte {
+	return append(code, op, byte(imm), byte(imm>>8), byte(imm>>16), byte(imm>>24))
+}

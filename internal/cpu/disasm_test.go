@@ -1,0 +1,47 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassembleGolden(t *testing.T) {
+	var c []byte
+	c = EmitImm(c, PUSHI, 0x29)
+	c = EmitImm(c, CALL, 0x1080)
+	c = Emit(c, RET)
+	c = EmitImm(c, TRAP, 307)
+	out := Disassemble(c, 0x1000)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	want := []string{
+		"00001000:\tPUSHI 0x29",
+		"00001005:\tCALL 0x1080",
+		"0000100a:\tRET",
+		"0000100b:\tTRAP 307",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Errorf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+}
+
+func TestDisassembleTruncatedOperand(t *testing.T) {
+	// A PUSHI with only 2 of its 4 operand bytes: the disassembler must
+	// not panic and should note the truncation.
+	out := Disassemble([]byte{PUSHI, 1, 2}, 0)
+	if out == "" {
+		t.Fatal("empty output for truncated stream")
+	}
+}
+
+func TestDisassembleUnknownOpcode(t *testing.T) {
+	// Unknown opcodes render as raw data bytes.
+	out := Disassemble([]byte{0xEE}, 0)
+	if !strings.Contains(out, ".byte 0xee") {
+		t.Fatalf("unknown opcode not rendered as data: %q", out)
+	}
+}

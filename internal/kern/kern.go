@@ -1,0 +1,574 @@
+// Package kern implements the simulated operating system kernel the
+// SecModule reproduction runs on: processes, a round-robin scheduler
+// preempted by the 100 Hz clock, a BSD-flavoured syscall layer, SysV
+// message queues (the client/handle synchronization primitive from the
+// paper's section 4.1), loopback datagram sockets (for the RPC
+// baseline), and the two handle-protection rules from section 3.1:
+// handle processes never dump core and can never be ptraced.
+//
+// Two kinds of process coexist:
+//
+//   - SM32 processes execute interpreted machine code out of their
+//     address space. Everything where code-as-data matters (protected
+//     module bodies, call stubs, crt0) runs this way.
+//   - Native processes are Go functions driven cooperatively through a
+//     Sys handle. They make the same syscalls with the same cycle
+//     charges, and exactly one process (of either kind) runs at a time,
+//     so execution stays deterministic. They exist so that bulky but
+//     security-irrelevant userland (the RPC client/server, test
+//     drivers) does not have to be written in assembly.
+package kern
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/obj"
+	"repro/internal/vm"
+)
+
+// User address-space layout, mirroring the paper's Figure 2.
+const (
+	// UserTextBase is where client program text is linked and loaded.
+	UserTextBase = 0x00001000
+	// UserDataBase is the bottom of the data segment, and the bottom of
+	// the SecModule share range ("just below the traditional OpenBSD
+	// data segment").
+	UserDataBase = 0x00400000
+	// UserStackTop is the initial stack pointer; the stack grows down.
+	UserStackTop = 0x7FF00000
+	// UserStackMax is the maximum stack size; the region
+	// [UserStackTop-UserStackMax, UserStackTop) is mapped on demand.
+	UserStackMax = 0x00100000
+	// ShareStart/ShareEnd delimit the range force-shared between a
+	// SecModule client and its handle: everything from the data segment
+	// to the top of the stack.
+	ShareStart = UserDataBase
+	ShareEnd   = UserStackTop
+	// SecretBase is the handle-only secret heap/stack region (outside
+	// the share range; the client can never map or read it). Per the
+	// paper, the top half is the handle's private stack.
+	SecretBase = 0x90000000
+	SecretSize = 0x00020000
+	// HandleTextBase is where protected module text is mapped in the
+	// handle process (never in the client).
+	HandleTextBase = 0xA0000000
+)
+
+// Errno values (the subset the simulator uses), matching OpenBSD.
+const (
+	EPERM  = 1
+	ENOENT = 2
+	ESRCH  = 3
+	EINTR  = 4
+	EBADF  = 9
+	ECHILD = 10
+	ENOMEM = 12
+	EACCES = 13
+	EFAULT = 14
+	EBUSY  = 16
+	EEXIST = 17
+	EINVAL = 22
+	EAGAIN = 35
+	ENOSYS = 78
+)
+
+// Signals.
+const (
+	SIGILL  = 4
+	SIGKILL = 9
+	SIGSEGV = 11
+)
+
+// ProcState is the scheduling state of a process.
+type ProcState int
+
+// Process states.
+const (
+	StateRunnable ProcState = iota
+	StateRunning
+	StateSleeping
+	StateZombie
+	StateDead
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case StateRunnable:
+		return "runnable"
+	case StateRunning:
+		return "running"
+	case StateSleeping:
+		return "sleeping"
+	case StateZombie:
+		return "zombie"
+	default:
+		return "dead"
+	}
+}
+
+// Cred is the credential blob a process presents to the SecModule
+// layer; the kernel treats it opaquely.
+type Cred struct {
+	UID  int
+	Name string
+	// SMod carries the serialized SecModule credential (policy package
+	// assertion) linked into the client at build time (section 4.2:
+	// "the objects that hold ... the credentials that allow access").
+	SMod []byte
+}
+
+// Proc is one simulated process.
+type Proc struct {
+	PID    int
+	Name   string
+	Parent *Proc
+	Space  *vm.Space
+	CPU    cpu.Context
+	State  ProcState
+	Cred   Cred
+
+	// ExitStatus is valid once State >= StateZombie.
+	ExitStatus int
+	// KilledBy is the fatal signal, if any.
+	KilledBy int
+
+	// SecModule flags (paper section 3.1): a handle never dumps core
+	// and can never be traced; Pair links client and handle.
+	IsHandle   bool
+	NoCoreDump bool
+	NoTrace    bool
+	Pair       *Proc
+
+	// sleepOn is the wait channel token while StateSleeping.
+	sleepOn any
+	// pendingTrap is the syscall to retry on wakeup (SM32 procs).
+	pendingTrap *uint32
+	// Native process machinery (nil for SM32 procs).
+	native *nativeRunner
+	// pendingNative is the blocked native syscall to retry on wakeup.
+	pendingNative *natRequest
+
+	fds    map[int]*Socket
+	nextFD int
+
+	// Heap bookkeeping mirrors Space but survives exec.
+	started bool
+}
+
+// IsNative reports whether the process is a native-Go process.
+func (p *Proc) IsNative() bool { return p.native != nil }
+
+// Kernel is the simulated kernel instance.
+type Kernel struct {
+	Clk  *clock.Clock
+	Phys *mem.Phys
+
+	procs   map[int]*Proc
+	runq    []*Proc
+	cur     *Proc
+	lastRun *Proc
+	nextPID int
+	preempt bool
+
+	syscalls map[uint32]SyscallFn
+	sysNames map[uint32]string
+
+	msgqs     map[int]*MsgQueue
+	msgqKeys  map[int32]int
+	nextMsqID int
+
+	ports map[uint16]*Socket
+
+	// programs is the simulated filesystem of executable images,
+	// consulted by execve.
+	programs map[string]*obj.Image
+
+	// Console accumulates write(2) output to fd 1 and 2.
+	Console []byte
+
+	// Cores records PIDs that dumped core (must never include handles).
+	Cores map[int]bool
+
+	// exitHooks run when a process exits for any reason; the SecModule
+	// layer uses them to tear down sessions and kill handles.
+	exitHooks []func(*Kernel, *Proc)
+	// execHooks run before execve replaces a process image (section 4.3
+	// execve: detach the session, kill the handle, then exec).
+	execHooks []func(*Kernel, *Proc)
+	// forkHooks run after fork creates a child, before it is readied.
+	forkHooks []func(k *Kernel, parent, child *Proc)
+
+	// Stats.
+	ContextSwitches uint64
+	SyscallCount    uint64
+
+	// MaxStepsPerSlice bounds SM32 instructions executed per dispatch
+	// when no tick fires, keeping runaway loops schedulable.
+	MaxStepsPerSlice int
+}
+
+// New creates a kernel with a fresh clock and the default physical
+// memory size from the paper's Figure 7 (512 MB).
+func New() *Kernel {
+	k := &Kernel{
+		Clk:       clock.New(),
+		Phys:      mem.NewPhys(536_440_832),
+		procs:     map[int]*Proc{},
+		syscalls:  map[uint32]SyscallFn{},
+		sysNames:  map[uint32]string{},
+		msgqs:     map[int]*MsgQueue{},
+		msgqKeys:  map[int32]int{},
+		ports:     map[uint16]*Socket{},
+		programs:  map[string]*obj.Image{},
+		Cores:     map[int]bool{},
+		nextPID:   0,
+		nextMsqID: 1,
+
+		MaxStepsPerSlice: 1 << 20,
+	}
+	k.Clk.OnTick(func() {
+		k.Clk.Advance(clock.CostTickHandler)
+		k.preempt = true
+	})
+	registerBaseSyscalls(k)
+	return k
+}
+
+// RegisterSyscall installs handler as syscall number no. The SecModule
+// layer uses this to add the Figure 4 syscalls (301-320) without kern
+// importing core.
+func (k *Kernel) RegisterSyscall(no uint32, name string, fn SyscallFn) {
+	k.syscalls[no] = fn
+	k.sysNames[no] = name
+}
+
+// SyscallName returns the registered name of syscall no, or "".
+func (k *Kernel) SyscallName(no uint32) string { return k.sysNames[no] }
+
+// RegisterProgram adds an executable image under path in the simulated
+// filesystem (for execve and SpawnProgram).
+func (k *Kernel) RegisterProgram(path string, im *obj.Image) { k.programs[path] = im }
+
+// Program looks up a registered image.
+func (k *Kernel) Program(path string) *obj.Image { return k.programs[path] }
+
+// OnExit registers a hook invoked whenever a process terminates.
+func (k *Kernel) OnExit(fn func(*Kernel, *Proc)) { k.exitHooks = append(k.exitHooks, fn) }
+
+// OnFork registers a hook invoked after fork(2) creates a child,
+// before the child is readied.
+func (k *Kernel) OnFork(fn func(k *Kernel, parent, child *Proc)) {
+	k.forkHooks = append(k.forkHooks, fn)
+}
+
+// Proc returns the process with the given pid, or nil.
+func (k *Kernel) Proc(pid int) *Proc { return k.procs[pid] }
+
+// Current returns the currently dispatched process (valid inside
+// syscall handlers).
+func (k *Kernel) Current() *Proc { return k.cur }
+
+// Procs returns all live (non-dead) processes.
+func (k *Kernel) Procs() []*Proc {
+	var out []*Proc
+	for _, p := range k.procs {
+		if p.State != StateDead {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (k *Kernel) allocPID() int {
+	k.nextPID++
+	return k.nextPID
+}
+
+func (k *Kernel) newProc(name string, space *vm.Space) *Proc {
+	p := &Proc{
+		PID:    k.allocPID(),
+		Name:   name,
+		Space:  space,
+		State:  StateRunnable,
+		fds:    map[int]*Socket{},
+		nextFD: 3,
+	}
+	k.procs[p.PID] = p
+	return p
+}
+
+// ready puts p on the run queue.
+func (k *Kernel) ready(p *Proc) {
+	if p.State == StateZombie || p.State == StateDead {
+		return
+	}
+	p.State = StateRunnable
+	for _, q := range k.runq {
+		if q == p {
+			return
+		}
+	}
+	k.runq = append(k.runq, p)
+}
+
+// Wakeup makes every process sleeping on token runnable (BSD wakeup()).
+func (k *Kernel) Wakeup(token any) {
+	for _, p := range k.procs {
+		if p.State == StateSleeping && p.sleepOn == token {
+			p.sleepOn = nil
+			k.ready(p)
+		}
+	}
+}
+
+func (k *Kernel) pickNext() *Proc {
+	for len(k.runq) > 0 {
+		p := k.runq[0]
+		k.runq = k.runq[1:]
+		if p.State == StateRunnable {
+			return p
+		}
+	}
+	return nil
+}
+
+// liveCount counts processes that are not zombies/dead.
+func (k *Kernel) liveCount() int {
+	n := 0
+	for _, p := range k.procs {
+		if p.State != StateZombie && p.State != StateDead {
+			n++
+		}
+	}
+	return n
+}
+
+// DebugFaults, when set, prints a diagnostic line for every fatal
+// signal delivered to a process (PC/SP/FP and the faulting cause) —
+// the simulator's analogue of a kernel "pid N: signal 11" console
+// message. Intended for debugging SM32 programs and tests.
+var DebugFaults bool
+
+// ErrDeadlock is returned by Run when live processes remain but none is
+// runnable.
+var ErrDeadlock = errors.New("kern: deadlock: live processes but none runnable")
+
+// Run schedules processes until all have exited, a deadlock is
+// detected, or maxCycles elapses (0 = no limit). It is the simulator's
+// main loop.
+func (k *Kernel) Run(maxCycles uint64) error {
+	start := k.Clk.Cycles()
+	for {
+		if maxCycles != 0 && k.Clk.Cycles()-start >= maxCycles {
+			return fmt.Errorf("kern: cycle budget (%d) exhausted", maxCycles)
+		}
+		p := k.pickNext()
+		if p == nil {
+			if k.liveCount() == 0 {
+				return nil
+			}
+			return ErrDeadlock
+		}
+		if err := k.dispatch(p); err != nil {
+			return err
+		}
+	}
+}
+
+// RunUntil schedules until pred returns true (checked between
+// dispatches), for tests that want to stop at a condition.
+func (k *Kernel) RunUntil(pred func() bool, maxCycles uint64) error {
+	start := k.Clk.Cycles()
+	for !pred() {
+		if maxCycles != 0 && k.Clk.Cycles()-start >= maxCycles {
+			return fmt.Errorf("kern: cycle budget (%d) exhausted", maxCycles)
+		}
+		p := k.pickNext()
+		if p == nil {
+			if k.liveCount() == 0 {
+				return fmt.Errorf("kern: all processes exited before condition")
+			}
+			return ErrDeadlock
+		}
+		if err := k.dispatch(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dispatch runs p until it blocks, exits, or is preempted.
+func (k *Kernel) dispatch(p *Proc) error {
+	if k.lastRun != p {
+		k.Clk.Advance(clock.CostContextSwitch)
+		k.ContextSwitches++
+	} else {
+		k.Clk.Advance(clock.CostSchedPick)
+	}
+	k.lastRun = p
+	k.cur = p
+	k.preempt = false
+	p.State = StateRunning
+	defer func() {
+		k.cur = nil
+		if p.State == StateRunning {
+			// Fell off the slice: back to the queue.
+			k.ready(p)
+		}
+	}()
+
+	if p.IsNative() {
+		return k.dispatchNative(p)
+	}
+	return k.dispatchSM32(p)
+}
+
+func (k *Kernel) dispatchSM32(p *Proc) error {
+	m := &cpu.Machine{Space: p.Space, Cycles: k.Clk.Advance}
+
+	// Retry a syscall that blocked earlier: arguments are still on the
+	// user stack, PC already past the TRAP.
+	if p.pendingTrap != nil {
+		no := *p.pendingTrap
+		if done := k.serviceTrap(p, m, no); !done {
+			return nil // still blocked
+		}
+		p.pendingTrap = nil
+		if p.State != StateRunning {
+			return nil
+		}
+		m.Space = p.Space // execve may have replaced the address space
+	}
+
+	for steps := 0; steps < k.MaxStepsPerSlice; steps++ {
+		stop, err := m.Step(&p.CPU)
+		if err != nil {
+			// Memory fault or illegal instruction: fatal signal.
+			sig := SIGSEGV
+			if !errors.Is(err, vm.ErrNoMapping) && !errors.Is(err, vm.ErrProtection) {
+				sig = SIGILL
+			}
+			k.fatalSignal(p, sig, err)
+			return nil
+		}
+		if stop != nil {
+			switch stop.Kind {
+			case cpu.StopHalt:
+				k.doExit(p, int(p.CPU.RV))
+				return nil
+			case cpu.StopTrap:
+				if done := k.serviceTrap(p, m, stop.TrapNo); !done {
+					p.pendingTrap = &stop.TrapNo
+					return nil // blocked
+				}
+				if p.State != StateRunning {
+					return nil // exited or switched away
+				}
+				m.Space = p.Space // execve may have replaced the address space
+			}
+		}
+		if k.preempt {
+			return nil
+		}
+	}
+	return nil
+}
+
+// serviceTrap executes syscall no for p. It returns false if the
+// syscall blocked (the caller must retry on wakeup).
+func (k *Kernel) serviceTrap(p *Proc, m *cpu.Machine, no uint32) bool {
+	k.Clk.Advance(clock.CostTrap + clock.CostSyscallDemux)
+	k.SyscallCount++
+	fn := k.syscalls[no]
+	if fn == nil {
+		nosys := int32(ENOSYS)
+		p.CPU.RV = uint32(-nosys)
+		k.Clk.Advance(clock.CostTrap)
+		return true
+	}
+	// Read up to 6 argument words from the user stack.
+	var args [6]uint32
+	for i := range args {
+		v, err := m.Peek(&p.CPU, i)
+		if err != nil {
+			break
+		}
+		args[i] = v
+	}
+	res := fn(k, p, args[:])
+	if res.BlockOn != nil {
+		k.sleep(p, res.BlockOn)
+		return false
+	}
+	if res.Err != 0 {
+		p.CPU.RV = uint32(-res.Err)
+	} else {
+		p.CPU.RV = res.Val
+	}
+	k.Clk.Advance(clock.CostTrap) // kernel exit
+	return true
+}
+
+func (k *Kernel) sleep(p *Proc, token any) {
+	p.State = StateSleeping
+	p.sleepOn = token
+}
+
+// fatalSignal kills p with sig, dumping core unless forbidden. Paper
+// section 3.1 item 3: "Processes no longer generate a core image when
+// they crash. Certainly no Handle process should!" — in the simulator
+// ordinary processes still dump core so tests can verify that handles
+// specifically do not.
+func (k *Kernel) fatalSignal(p *Proc, sig int, cause error) {
+	if DebugFaults {
+		fmt.Printf("FAULT pid=%d name=%s sig=%d cause=%v pc=%#x sp=%#x fp=%#x\n", p.PID, p.Name, sig, cause, p.CPU.PC, p.CPU.SP, p.CPU.FP)
+	}
+	p.KilledBy = sig
+	if !p.NoCoreDump && !p.IsHandle {
+		k.Cores[p.PID] = true
+	}
+	k.doExit(p, 128+sig)
+}
+
+// doExit terminates p: zombie state, wake waiting parent, run exit
+// hooks (SecModule teardown), release memory.
+func (k *Kernel) doExit(p *Proc, status int) {
+	if p.State == StateZombie || p.State == StateDead {
+		return
+	}
+	p.ExitStatus = status
+	p.State = StateZombie
+	p.Space.UnmapAll()
+	for _, s := range p.fds {
+		k.closeSocket(s)
+	}
+	p.fds = map[int]*Socket{}
+	for _, h := range k.exitHooks {
+		h(k, p)
+	}
+	if p.native != nil {
+		p.native.kill()
+	}
+	if p.Parent != nil && p.Parent.State != StateZombie && p.Parent.State != StateDead {
+		k.Wakeup(waitToken{p.Parent.PID})
+	} else {
+		// No parent to reap: discard immediately.
+		p.State = StateDead
+	}
+}
+
+// Kill delivers a fatal signal to pid from the kernel side (used by the
+// SecModule layer to tear down handles).
+func (k *Kernel) Kill(p *Proc, sig int) {
+	if p == nil || p.State == StateZombie || p.State == StateDead {
+		return
+	}
+	p.KilledBy = sig
+	k.doExit(p, 128+sig)
+}
+
+type waitToken struct{ pid int }

@@ -1,0 +1,196 @@
+package kern
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+)
+
+// SysV message queues, the client/handle synchronization primitive from
+// the paper's section 4.1: "OpenBSD already comes with the proper
+// kernel resources in the form of SYSV MSG interface. The msgsnd() and
+// msgrcv() functions already contain efficient blocking and awakening
+// that we desire for synchronization."
+//
+// The user-space message layout is {mtype int32, payload...}; msgsz in
+// the syscall counts only payload bytes, as in SysV.
+
+// Msg is one queued message.
+type Msg struct {
+	Type int32
+	Data []byte
+}
+
+// MsgQueue is one SysV message queue.
+type MsgQueue struct {
+	ID  int
+	Key int32
+	// MaxBytes bounds total queued payload (msg_qbytes); senders block
+	// when full.
+	MaxBytes int
+
+	msgs  []Msg
+	bytes int
+}
+
+// Len reports the number of queued messages.
+func (q *MsgQueue) Len() int { return len(q.msgs) }
+
+// msgqDefaultBytes mirrors the OpenBSD MSGMNB default.
+const msgqDefaultBytes = 16384
+
+// msgRToken/msgWToken are the sleep tokens for blocked readers/writers.
+type msgRToken struct{ id int }
+type msgWToken struct{ id int }
+
+// MsgqByKey returns the queue for key, or nil (inspection helper).
+func (k *Kernel) MsgqByKey(key int32) *MsgQueue {
+	id, ok := k.msgqKeys[key]
+	if !ok {
+		return nil
+	}
+	return k.msgqs[id]
+}
+
+// AllocMsgq creates an anonymous kernel-side message queue (no key) and
+// returns its id. The SecModule layer allocates the client/handle call
+// and return queues this way at session start.
+func (k *Kernel) AllocMsgq() int {
+	id := k.nextMsqID
+	k.nextMsqID++
+	k.msgqs[id] = &MsgQueue{ID: id, MaxBytes: msgqDefaultBytes}
+	return id
+}
+
+// FreeMsgq destroys a queue, waking anyone blocked on it.
+func (k *Kernel) FreeMsgq(id int) {
+	if _, ok := k.msgqs[id]; !ok {
+		return
+	}
+	delete(k.msgqs, id)
+	k.Wakeup(msgRToken{id})
+	k.Wakeup(msgWToken{id})
+}
+
+// MsgSendKernel enqueues a message from kernel context (no user copy),
+// charging the queue-management cost and waking blocked readers. It is
+// how sys_smod_call relays the dispatch record to the handle.
+func (k *Kernel) MsgSendKernel(id int, mtype int32, payload []byte) error {
+	q := k.msgqs[id]
+	if q == nil {
+		return fmt.Errorf("kern: no msgq %d", id)
+	}
+	q.msgs = append(q.msgs, Msg{Type: mtype, Data: append([]byte(nil), payload...)})
+	q.bytes += len(payload)
+	k.Clk.Advance(clock.CostMsgQOp + uint64(len(payload))*clock.CostCopyPerByte)
+	k.Wakeup(msgRToken{id})
+	return nil
+}
+
+// MsgRecvKernel dequeues the first message of type mtype (0 = any) from
+// kernel context. ok is false when no message is queued.
+func (k *Kernel) MsgRecvKernel(id int, mtype int32) (Msg, bool) {
+	q := k.msgqs[id]
+	if q == nil {
+		return Msg{}, false
+	}
+	for i, m := range q.msgs {
+		if mtype == 0 || m.Type == mtype {
+			q.msgs = append(q.msgs[:i], q.msgs[i+1:]...)
+			q.bytes -= len(m.Data)
+			k.Clk.Advance(clock.CostMsgQOp + uint64(len(m.Data))*clock.CostCopyPerByte)
+			k.Wakeup(msgWToken{id})
+			return m, true
+		}
+	}
+	return Msg{}, false
+}
+
+// MsgRToken returns the sleep token a kernel-context consumer of queue
+// id should block on; sysMsgsnd and MsgSendKernel wake it.
+func (k *Kernel) MsgRToken(id int) any { return msgRToken{id} }
+
+// sysMsgget implements msgget(key, flags): find or create the queue for
+// key and return its identifier. IPC_PRIVATE (key 0) always creates.
+func sysMsgget(k *Kernel, p *Proc, args []uint32) Sysret {
+	key := int32(args[0])
+	if key != 0 {
+		if id, exists := k.msgqKeys[key]; exists {
+			return ok(uint32(id))
+		}
+	}
+	id := k.nextMsqID
+	k.nextMsqID++
+	q := &MsgQueue{ID: id, Key: key, MaxBytes: msgqDefaultBytes}
+	k.msgqs[id] = q
+	if key != 0 {
+		k.msgqKeys[key] = id
+	}
+	return ok(uint32(id))
+}
+
+// sysMsgsnd implements msgsnd(id, msgp, msgsz, flags). msgp points to
+// {mtype int32, payload[msgsz]} in the caller's space.
+func sysMsgsnd(k *Kernel, p *Proc, args []uint32) Sysret {
+	id, msgp, msgsz := int(args[0]), args[1], int(args[2])
+	q := k.msgqs[id]
+	if q == nil {
+		return fail(EINVAL)
+	}
+	if msgsz < 0 || msgsz > q.MaxBytes {
+		return fail(EINVAL)
+	}
+	if q.bytes+msgsz > q.MaxBytes {
+		return block(msgWToken{id})
+	}
+	buf, err := k.CopyIn(p, msgp, 4+msgsz)
+	if err != nil {
+		return fail(EFAULT)
+	}
+	mtype := int32(getLE32(buf))
+	if mtype <= 0 {
+		return fail(EINVAL)
+	}
+	q.msgs = append(q.msgs, Msg{Type: mtype, Data: buf[4:]})
+	q.bytes += msgsz
+	k.Clk.Advance(clock.CostMsgQOp)
+	k.Wakeup(msgRToken{id})
+	return ok(0)
+}
+
+// sysMsgrcv implements msgrcv(id, msgp, maxsz, mtype, flags). mtype 0
+// takes the first message; mtype > 0 takes the first message of exactly
+// that type. The payload length is returned.
+func sysMsgrcv(k *Kernel, p *Proc, args []uint32) Sysret {
+	id, msgp, maxsz, mtype := int(args[0]), args[1], int(args[2]), int32(args[3])
+	q := k.msgqs[id]
+	if q == nil {
+		return fail(EINVAL)
+	}
+	idx := -1
+	for i, m := range q.msgs {
+		if mtype == 0 || m.Type == mtype {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return block(msgRToken{id})
+	}
+	m := q.msgs[idx]
+	if len(m.Data) > maxsz {
+		// No MSG_NOERROR in the simulator: reject rather than truncate.
+		return fail(EINVAL)
+	}
+	out := make([]byte, 4+len(m.Data))
+	putLE32(out, uint32(m.Type))
+	copy(out[4:], m.Data)
+	if err := k.CopyOut(p, msgp, out); err != nil {
+		return fail(EFAULT)
+	}
+	q.msgs = append(q.msgs[:idx], q.msgs[idx+1:]...)
+	q.bytes -= len(m.Data)
+	k.Clk.Advance(clock.CostMsgQOp)
+	k.Wakeup(msgWToken{id})
+	return ok(uint32(len(m.Data)))
+}

@@ -1,0 +1,84 @@
+// Package measure is the trial harness that regenerates the paper's
+// Figure 8: N calls per trial, T trials, mean and standard deviation of
+// microseconds per call — all in simulated time from the cycle clock,
+// never host wall time, so results are reproducible.
+//
+// Trial boundaries are marked by a bench-only "mark" syscall the
+// workload programs invoke between trials; its cycle timestamps divide
+// the run into per-trial windows exactly like the paper's gettimeofday
+// bracketing, and the drifting phase of the 100 Hz timer tick plus
+// scheduler interleaving provide the trial-to-trial variance the
+// paper's stdev column reports.
+package measure
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/clock"
+)
+
+// SysMark is the bench-only syscall number workloads use to timestamp
+// trial boundaries. It lives far above the Figure 4 range.
+const SysMark = 390
+
+// Stats summarizes one Figure 8 row.
+type Stats struct {
+	// Name is the row label, e.g. "SMOD(test-incr)".
+	Name string
+	// CallsPerTrial and Trials mirror the paper's first table.
+	CallsPerTrial int
+	Trials        int
+	// MeanMicros and StdevMicros are microseconds per call.
+	MeanMicros  float64
+	StdevMicros float64
+	// TrialMicros holds the per-trial microseconds-per-call series.
+	TrialMicros []float64
+}
+
+// Compute derives Stats from mark timestamps: marks[i] brackets trial i
+// (len(marks) == trials+1).
+func Compute(name string, callsPerTrial int, marks []uint64) (Stats, error) {
+	if len(marks) < 2 {
+		return Stats{}, fmt.Errorf("measure: %s: %d marks, need at least 2", name, len(marks))
+	}
+	s := Stats{Name: name, CallsPerTrial: callsPerTrial, Trials: len(marks) - 1}
+	for i := 1; i < len(marks); i++ {
+		if marks[i] < marks[i-1] {
+			return Stats{}, fmt.Errorf("measure: %s: marks not monotone", name)
+		}
+		perCall := clock.Micros(marks[i]-marks[i-1]) / float64(callsPerTrial)
+		s.TrialMicros = append(s.TrialMicros, perCall)
+	}
+	var sum float64
+	for _, v := range s.TrialMicros {
+		sum += v
+	}
+	s.MeanMicros = sum / float64(len(s.TrialMicros))
+	var sq float64
+	for _, v := range s.TrialMicros {
+		d := v - s.MeanMicros
+		sq += d * d
+	}
+	if len(s.TrialMicros) > 1 {
+		s.StdevMicros = math.Sqrt(sq / float64(len(s.TrialMicros)-1))
+	}
+	return s, nil
+}
+
+// Figure8Table renders rows in the paper's Figure 8 layout: the
+// calls/trials table followed by the microseconds table.
+func Figure8Table(rows []Stats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %18s %22s\n", "", "Number of Calls/Trial", "Total Number of Trials")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %18d %22d\n", r.Name, r.CallsPerTrial, r.Trials)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-22s %16s %18s\n", "Test Function", "microsec/CALL", "stdev(microsec)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %16.6f %18.8f\n", r.Name, r.MeanMicros, r.StdevMicros)
+	}
+	return b.String()
+}

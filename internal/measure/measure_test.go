@@ -1,0 +1,107 @@
+package measure
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComputeStats(t *testing.T) {
+	// 3 trials of 100 calls: 59900, 59900, 119800 cycles -> 1, 1, 2 us/call.
+	marks := []uint64{0, 5_990_0, 5_990_0 * 2, 5_990_0*2 + 11_980_0}
+	s, err := Compute("x", 100, marks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Trials != 3 {
+		t.Fatalf("trials = %d", s.Trials)
+	}
+	wantMean := (1.0 + 1.0 + 2.0) / 3
+	if math.Abs(s.MeanMicros-wantMean) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", s.MeanMicros, wantMean)
+	}
+	if s.StdevMicros <= 0 {
+		t.Fatal("stdev should be positive for unequal trials")
+	}
+}
+
+func TestComputeRejectsTooFewMarks(t *testing.T) {
+	if _, err := Compute("x", 1, []uint64{5}); err == nil {
+		t.Fatal("single mark accepted")
+	}
+}
+
+func TestComputeRejectsNonMonotone(t *testing.T) {
+	if _, err := Compute("x", 1, []uint64{10, 5}); err == nil {
+		t.Fatal("non-monotone marks accepted")
+	}
+}
+
+func TestFigure8TableShape(t *testing.T) {
+	rows := []Stats{
+		{Name: "getpid()", CallsPerTrial: 10, Trials: 2, MeanMicros: 0.65, StdevMicros: 0.01},
+	}
+	out := Figure8Table(rows)
+	for _, want := range []string{"getpid()", "microsec/CALL", "stdev(microsec)", "Number of Calls/Trial"} {
+		if !contains(out, want) {
+			t.Errorf("table lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+// The small-scale smoke versions of the Figure 8 rows: the shape must
+// hold even at reduced trial sizes.
+func TestFigure8ShapeSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	getpid, err := RunGetpidNative(2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smodGetpid, err := RunSMODGetpid(300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smodIncr, err := RunSMODIncr(300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpcIncr, err := RunSimRPCIncr(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("\n%s", Figure8Table([]Stats{getpid, smodGetpid, smodIncr, rpcIncr}))
+
+	// Shape assertions from the paper's section 4.5:
+	// native getpid well under 2 us,
+	if getpid.MeanMicros <= 0 || getpid.MeanMicros > 2 {
+		t.Errorf("getpid = %.3f us, want (0, 2]", getpid.MeanMicros)
+	}
+	// SMOD dispatch roughly an order of magnitude above a syscall,
+	ratioSMOD := smodIncr.MeanMicros / getpid.MeanMicros
+	if ratioSMOD < 4 || ratioSMOD > 30 {
+		t.Errorf("SMOD/getpid ratio = %.1f, want order-of-magnitude (4..30)", ratioSMOD)
+	}
+	// the two SMOD rows nearly identical (dispatch dominates),
+	relDiff := math.Abs(smodGetpid.MeanMicros-smodIncr.MeanMicros) / smodIncr.MeanMicros
+	if relDiff > 0.25 {
+		t.Errorf("SMOD rows differ by %.0f%%, want < 25%%", relDiff*100)
+	}
+	// and RPC roughly 10x SMOD.
+	ratioRPC := rpcIncr.MeanMicros / smodIncr.MeanMicros
+	if ratioRPC < 4 || ratioRPC > 30 {
+		t.Errorf("RPC/SMOD ratio = %.1f, want order-of-magnitude (4..30)", ratioRPC)
+	}
+}

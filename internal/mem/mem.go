@@ -1,0 +1,75 @@
+// Package mem provides the simulated physical memory layer: fixed-size
+// page frames handed out by a simple allocator. The virtual memory
+// system (internal/vm) builds anons and mappings on top of these frames;
+// sharing a page between two address spaces means both map the same
+// *Page, exactly as UVM shares the underlying physical page.
+package mem
+
+import "fmt"
+
+// PageSize is the simulated page size in bytes. It matches the i386
+// page size used by the paper's OpenBSD 3.6 test system.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// Page is one physical page frame. Frames are reference counted by the
+// anon layer above; the allocator itself only tracks outstanding frames
+// for accounting and leak detection in tests.
+type Page struct {
+	Data [PageSize]byte
+	// Frame is the physical frame number, stable for the lifetime of
+	// the page. Useful in tests to assert two mappings share storage.
+	Frame uint64
+}
+
+// Phys is the physical memory allocator. The zero value is unusable;
+// create one with NewPhys.
+type Phys struct {
+	limit     uint64 // max frames; 0 = unlimited
+	allocated uint64
+	freed     uint64
+	next      uint64
+}
+
+// NewPhys returns an allocator that will hand out at most limitBytes of
+// physical memory (rounded down to whole frames). limitBytes of zero
+// means unlimited.
+func NewPhys(limitBytes uint64) *Phys {
+	return &Phys{limit: limitBytes / PageSize}
+}
+
+// Alloc returns a zeroed page frame, or an error if physical memory is
+// exhausted.
+func (p *Phys) Alloc() (*Page, error) {
+	if p.limit != 0 && p.InUse() >= p.limit {
+		return nil, fmt.Errorf("mem: out of physical memory (%d frames in use)", p.InUse())
+	}
+	p.allocated++
+	p.next++
+	return &Page{Frame: p.next}, nil
+}
+
+// Free returns a frame to the allocator. The page must not be used
+// afterwards.
+func (p *Phys) Free(pg *Page) {
+	if pg == nil {
+		return
+	}
+	p.freed++
+}
+
+// InUse reports the number of outstanding frames.
+func (p *Phys) InUse() uint64 { return p.allocated - p.freed }
+
+// Allocated reports the total number of frames ever allocated.
+func (p *Phys) Allocated() uint64 { return p.allocated }
+
+// PageAlign rounds addr down to a page boundary.
+func PageAlign(addr uint32) uint32 { return addr &^ (PageSize - 1) }
+
+// PageRoundUp rounds addr up to a page boundary.
+func PageRoundUp(addr uint32) uint32 {
+	return (addr + PageSize - 1) &^ (PageSize - 1)
+}

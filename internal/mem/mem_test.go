@@ -1,0 +1,100 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocZeroed(t *testing.T) {
+	p := NewPhys(0)
+	pg, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range pg.Data {
+		if b != 0 {
+			t.Fatalf("byte %d = %d, want 0", i, b)
+		}
+	}
+}
+
+func TestFramesDistinct(t *testing.T) {
+	p := NewPhys(0)
+	a, _ := p.Alloc()
+	b, _ := p.Alloc()
+	if a.Frame == b.Frame {
+		t.Fatalf("two allocations share frame %d", a.Frame)
+	}
+}
+
+func TestLimitEnforced(t *testing.T) {
+	p := NewPhys(3 * PageSize)
+	var pages []*Page
+	for i := 0; i < 3; i++ {
+		pg, err := p.Alloc()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		pages = append(pages, pg)
+	}
+	if _, err := p.Alloc(); err == nil {
+		t.Fatal("4th alloc succeeded past a 3-frame limit")
+	}
+	p.Free(pages[0])
+	if _, err := p.Alloc(); err != nil {
+		t.Fatalf("alloc after free: %v", err)
+	}
+}
+
+func TestInUseAccounting(t *testing.T) {
+	p := NewPhys(0)
+	a, _ := p.Alloc()
+	b, _ := p.Alloc()
+	if got := p.InUse(); got != 2 {
+		t.Fatalf("InUse = %d, want 2", got)
+	}
+	p.Free(a)
+	p.Free(b)
+	p.Free(nil) // must be a no-op
+	if got := p.InUse(); got != 0 {
+		t.Fatalf("InUse = %d, want 0", got)
+	}
+	if got := p.Allocated(); got != 2 {
+		t.Fatalf("Allocated = %d, want 2", got)
+	}
+}
+
+func TestPageAlign(t *testing.T) {
+	cases := []struct {
+		in, down, up uint32
+	}{
+		{0, 0, 0},
+		{1, 0, PageSize},
+		{PageSize - 1, 0, PageSize},
+		{PageSize, PageSize, PageSize},
+		{PageSize + 1, PageSize, 2 * PageSize},
+		{0xFFFFF000, 0xFFFFF000, 0xFFFFF000},
+	}
+	for _, c := range cases {
+		if got := PageAlign(c.in); got != c.down {
+			t.Errorf("PageAlign(%#x) = %#x, want %#x", c.in, got, c.down)
+		}
+		if got := PageRoundUp(c.in); got != c.up {
+			t.Errorf("PageRoundUp(%#x) = %#x, want %#x", c.in, got, c.up)
+		}
+	}
+}
+
+func TestPropertyAlignInvariants(t *testing.T) {
+	prop := func(addr uint32) bool {
+		// Avoid overflow of PageRoundUp near the top of the space.
+		if addr > 0xFFFFE000 {
+			addr = 0xFFFFE000
+		}
+		d, u := PageAlign(addr), PageRoundUp(addr)
+		return d%PageSize == 0 && u%PageSize == 0 && d <= addr && u >= addr && u-d < 2*PageSize
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

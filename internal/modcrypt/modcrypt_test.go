@@ -1,0 +1,286 @@
+package modcrypt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+	"repro/internal/obj"
+)
+
+// testLib builds a one-member library exporting incr (returns arg+1)
+// with a relocation (a CALL to a helper) so encryption must skip holes.
+const libSrc = `
+.text
+.global incr
+incr:
+	ENTER 0
+	LOADFP 8
+	PUSHI 1
+	ADD
+	SETRV
+	LEAVE
+	RET
+.global twice
+twice:
+	ENTER 0
+	LOADFP 8
+	PUSHI incr
+	CALLI
+	ADDSP 4
+	PUSHRV
+	PUSHI incr
+	CALLI
+	ADDSP 4
+	LEAVE
+	RET
+`
+
+func buildLib(t *testing.T) *obj.Archive {
+	t.Helper()
+	o, err := asm.Assemble("libincr.s", libSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := &obj.Archive{Name: "libincr.a"}
+	lib.Add(o)
+	return lib
+}
+
+func TestEncryptChangesNonHoleBytesOnly(t *testing.T) {
+	ks := NewKeystore()
+	lib := buildLib(t)
+	orig := lib.Members[0].Clone()
+	enc, err := EncryptArchive(ks, lib, "k", []byte("key material"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := enc.Members[0]
+	if !m.Encrypted {
+		t.Fatal("member not marked encrypted")
+	}
+	if bytes.Equal(m.Text, orig.Text) {
+		t.Fatal("ciphertext equals plaintext")
+	}
+	// Every text relocation window must be untouched.
+	for _, r := range m.Relocs {
+		if r.Section != "text" {
+			continue
+		}
+		for i := uint32(0); i < 4; i++ {
+			if m.Text[r.Offset+i] != orig.Text[r.Offset+i] {
+				t.Fatalf("relocation hole byte %#x was encrypted", r.Offset+i)
+			}
+		}
+	}
+	// The original archive must be untouched.
+	if !bytes.Equal(lib.Members[0].Text, orig.Text) {
+		t.Fatal("EncryptArchive modified the source archive")
+	}
+}
+
+func TestEncryptedArchiveStillLinks(t *testing.T) {
+	ks := NewKeystore()
+	lib := buildLib(t)
+	enc, err := EncryptArchive(ks, lib, "k", []byte("key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	main, err := asm.Assemble("main.s", `
+.text
+.global _start
+_start:
+	PUSHI 5
+	PUSHI twice
+	CALLI
+	ADDSP 4
+	PUSHRV
+	TRAP 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := obj.Link(obj.LinkOptions{}, []*obj.Object{main}, enc)
+	if err != nil {
+		t.Fatalf("link of encrypted archive failed: %v (section 4.1 requires linkability)", err)
+	}
+	if !EncryptedPlacements(im) {
+		t.Fatal("image lost the encrypted placement markers")
+	}
+}
+
+func TestDecryptRestoresExactPlaintext(t *testing.T) {
+	ks := NewKeystore()
+	lib := buildLib(t)
+	enc, err := EncryptArchive(ks, lib, "k", []byte("key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	main, err := asm.Assemble("main.s", `
+.text
+.global _start
+_start:
+	PUSHI 5
+	PUSHI twice
+	CALLI
+	ADDSP 4
+	PUSHRV
+	TRAP 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Link the same client against plaintext and ciphertext libraries;
+	// after decryption the images must be byte-identical.
+	plainIm, err := obj.Link(obj.LinkOptions{}, []*obj.Object{main.Clone()}, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encIm, err := obj.Link(obj.LinkOptions{}, []*obj.Object{main.Clone()}, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(plainIm.Text, encIm.Text) {
+		t.Fatal("encrypted image text should differ before decryption")
+	}
+	if err := DecryptImageText(ks, encIm); err != nil {
+		t.Fatal(err)
+	}
+	MarkDecrypted(encIm)
+	if !bytes.Equal(plainIm.Text, encIm.Text) {
+		t.Fatal("decrypted text differs from plaintext link")
+	}
+}
+
+func TestDecryptWithoutKeyFails(t *testing.T) {
+	ks := NewKeystore()
+	lib := buildLib(t)
+	enc, err := EncryptArchive(ks, lib, "k", []byte("key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	main, _ := asm.Assemble("main.s", `
+.text
+.global _start
+_start:
+	PUSHI 1
+	PUSHI incr
+	CALLI
+	ADDSP 4
+	TRAP 1
+`)
+	im, err := obj.Link(obj.LinkOptions{}, []*obj.Object{main}, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := NewKeystore()
+	if err := DecryptImageText(empty, im); err == nil {
+		t.Fatal("decryption succeeded without the key")
+	}
+}
+
+func TestDoubleEncryptRejected(t *testing.T) {
+	ks := NewKeystore()
+	lib := buildLib(t)
+	m := lib.Members[0].Clone()
+	if err := EncryptObject(ks, m, "k1", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncryptObject(ks, m, "k2", []byte("b")); err == nil {
+		t.Fatal("double encryption accepted")
+	}
+}
+
+func TestDistinctKeyIDsGetDistinctKeystreams(t *testing.T) {
+	ks := NewKeystore()
+	lib1 := buildLib(t)
+	lib2 := buildLib(t)
+	e1, err := EncryptArchive(ks, lib1, "id-one", []byte("same key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := EncryptArchive(ks, lib2, "id-two", []byte("same key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(e1.Members[0].Text, e2.Members[0].Text) {
+		t.Fatal("same keystream for different key IDs")
+	}
+}
+
+func TestDecryptedBlocksCount(t *testing.T) {
+	ks := NewKeystore()
+	lib := buildLib(t)
+	enc, _ := EncryptArchive(ks, lib, "k", []byte("key"))
+	main, _ := asm.Assemble("main.s", `
+.text
+.global _start
+_start:
+	PUSHI 1
+	PUSHI incr
+	CALLI
+	ADDSP 4
+	TRAP 1
+`)
+	im, err := obj.Link(obj.LinkOptions{}, []*obj.Object{main}, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := DecryptedBlocks(im)
+	if n <= 0 {
+		t.Fatalf("DecryptedBlocks = %d, want > 0", n)
+	}
+	var encSize uint32
+	for _, pl := range im.Placements {
+		if pl.Encrypted {
+			encSize += pl.Size
+		}
+	}
+	want := (int(encSize) + 15) / 16
+	if n != want {
+		t.Fatalf("DecryptedBlocks = %d, want %d", n, want)
+	}
+}
+
+// Property: encrypt then decrypt is the identity on arbitrary text with
+// arbitrary (in-range, non-overlapping enough) relocation holes.
+func TestEncryptDecryptRoundTripProperty(t *testing.T) {
+	ks := NewKeystore()
+	f := func(text []byte, holeSeeds []uint32, key []byte) bool {
+		if len(text) == 0 {
+			return true
+		}
+		o := &obj.Object{Name: "m", Text: append([]byte(nil), text...)}
+		for _, h := range holeSeeds {
+			if len(text) > 4 {
+				off := h % uint32(len(text)-4)
+				o.Relocs = append(o.Relocs, obj.Reloc{Section: "text", Offset: off, Symbol: "s"})
+			}
+		}
+		// Give the object a dummy global so linking is not needed; we
+		// exercise object-level encrypt + manual decrypt instead.
+		if err := EncryptObject(ks, o, "prop-key", append(key, 1)); err != nil {
+			return false
+		}
+		// Manual decrypt: same keystream, same holes.
+		k2, _ := ks.Key("prop-key")
+		stream, err := keystream(k2, "prop-key", len(o.Text))
+		if err != nil {
+			return false
+		}
+		var holes []uint32
+		for _, r := range o.Relocs {
+			holes = append(holes, r.Offset)
+		}
+		for i := range o.Text {
+			if !inHole(holes, uint32(i)) {
+				o.Text[i] ^= stream[i]
+			}
+		}
+		return bytes.Equal(o.Text, text)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

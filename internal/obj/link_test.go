@@ -1,0 +1,311 @@
+package obj_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/clock"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/obj"
+	"repro/internal/vm"
+)
+
+// loadAndRun maps a linked image into a fresh space and executes it
+// until HALT, returning the machine and final context.
+func loadAndRun(t *testing.T, im *obj.Image) (*cpu.Machine, *cpu.Context) {
+	t.Helper()
+	s := vm.NewSpace(mem.NewPhys(0), clock.New())
+	textSize := mem.PageRoundUp(uint32(len(im.Text)))
+	if _, err := s.Map(im.TextBase, textSize, vm.ProtRWX, "text"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBytes(im.TextBase, im.Text); err != nil {
+		t.Fatal(err)
+	}
+	dataSize := mem.PageRoundUp(uint32(len(im.Data)) + im.BSSSize)
+	if dataSize > 0 {
+		if _, err := s.Map(im.DataBase, dataSize, vm.ProtRW, "data"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.WriteBytes(im.DataBase, im.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Map(0x7FFE0000, 0x10000, vm.ProtRW, "stack"); err != nil {
+		t.Fatal(err)
+	}
+	m := &cpu.Machine{Space: s}
+	ctx := &cpu.Context{PC: im.Entry, SP: 0x7FFF0000, FP: 0x7FFF0000}
+	stop, err := m.Run(ctx, 1_000_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if stop.Kind != cpu.StopHalt {
+		t.Fatalf("stop = %+v, want halt", stop)
+	}
+	return m, ctx
+}
+
+func TestLinkTwoObjectsAndExecute(t *testing.T) {
+	mainObj, err := asm.Assemble("main.s", `
+.text
+.global _start
+_start:
+	PUSHI 41
+	CALL testincr
+	ADDSP 4
+	PUSHRV
+	SETRV
+	HALT
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incrObj, err := asm.Assemble("incr.s", `
+.text
+.global testincr
+testincr:
+	ENTER 0
+	LOADFP 8
+	PUSHI 1
+	ADD
+	SETRV
+	LEAVE
+	RET
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := obj.Link(obj.LinkOptions{}, []*obj.Object{mainObj, incrObj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ctx := loadAndRun(t, im)
+	if ctx.RV != 42 {
+		t.Fatalf("RV = %d, want 42", ctx.RV)
+	}
+}
+
+func TestLinkPullsArchiveMembersOnDemand(t *testing.T) {
+	mainObj := asm.MustAssemble("main.s", `
+.text
+.global _start
+_start:
+	PUSHI 7
+	CALL dbl
+	ADDSP 4
+	HALT
+`)
+	lib := &obj.Archive{Name: "libm.a"}
+	lib.Add(asm.MustAssemble("dbl.s", `
+.text
+.global dbl
+dbl:
+	ENTER 0
+	LOADFP 8
+	PUSHI 2
+	MUL
+	SETRV
+	LEAVE
+	RET
+`))
+	lib.Add(asm.MustAssemble("unused.s", `
+.text
+.global unused
+unused:
+	RET
+`))
+	im, err := obj.Link(obj.LinkOptions{}, []*obj.Object{mainObj}, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := im.Symbols["dbl"]; !ok {
+		t.Fatal("dbl not linked")
+	}
+	if _, ok := im.Symbols["unused"]; ok {
+		t.Fatal("unused member linked in")
+	}
+	_, ctx := loadAndRun(t, im)
+	if ctx.RV != 14 {
+		t.Fatalf("RV = %d, want 14", ctx.RV)
+	}
+}
+
+func TestLinkChainedArchiveDependencies(t *testing.T) {
+	// main -> a (in lib1) -> b (in lib2): closure must iterate.
+	mainObj := asm.MustAssemble("main.s", ".text\n.global _start\n_start:\n\tCALL a\n\tHALT\n")
+	lib1 := &obj.Archive{Name: "lib1.a"}
+	lib1.Add(asm.MustAssemble("a.s", ".text\n.global a\na:\n\tCALL b\n\tRET\n"))
+	lib2 := &obj.Archive{Name: "lib2.a"}
+	lib2.Add(asm.MustAssemble("b.s", ".text\n.global b\nb:\n\tPUSHI 5\n\tSETRV\n\tRET\n"))
+	im, err := obj.Link(obj.LinkOptions{}, []*obj.Object{mainObj}, lib1, lib2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ctx := loadAndRun(t, im)
+	if ctx.RV != 5 {
+		t.Fatalf("RV = %d, want 5", ctx.RV)
+	}
+}
+
+func TestLinkDataAndBSS(t *testing.T) {
+	o := asm.MustAssemble("d.s", `
+.text
+.global _start
+_start:
+	PUSHI greeting
+	LOADB
+	SETRV
+	PUSHI counter
+	LOAD
+	DROP
+	HALT
+.data
+.global greeting
+greeting:
+	.asciz "G"
+.bss
+.global counter
+counter:
+	.space 4
+`)
+	im, err := obj.Link(obj.LinkOptions{}, []*obj.Object{o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.BSSSize < 4 {
+		t.Fatalf("BSSSize = %d", im.BSSSize)
+	}
+	if im.Symbols["counter"] < im.BSSBase {
+		t.Fatalf("counter at %#x before bss base %#x", im.Symbols["counter"], im.BSSBase)
+	}
+	_, ctx := loadAndRun(t, im)
+	if ctx.RV != 'G' {
+		t.Fatalf("RV = %d, want 'G'", ctx.RV)
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	undef := asm.MustAssemble("u.s", ".text\n.global _start\n_start:\n\tCALL nowhere\n\tHALT\n")
+	if _, err := obj.Link(obj.LinkOptions{}, []*obj.Object{undef}); err == nil ||
+		!strings.Contains(err.Error(), "undefined symbol") {
+		t.Fatalf("undefined: %v", err)
+	}
+
+	a := asm.MustAssemble("a.s", ".text\n.global f\nf:\n\tRET\n.global _start\n_start:\n\tHALT\n")
+	b := asm.MustAssemble("b.s", ".text\n.global f\nf:\n\tRET\n")
+	if _, err := obj.Link(obj.LinkOptions{}, []*obj.Object{a, b}); err == nil ||
+		!strings.Contains(err.Error(), "duplicate symbol") {
+		t.Fatalf("duplicate: %v", err)
+	}
+
+	noEntry := asm.MustAssemble("n.s", ".text\n.global f\nf:\n\tRET\n")
+	if _, err := obj.Link(obj.LinkOptions{}, []*obj.Object{noEntry}); err == nil ||
+		!strings.Contains(err.Error(), "entry symbol") {
+		t.Fatalf("no entry: %v", err)
+	}
+
+	if _, err := obj.Link(obj.LinkOptions{}, nil); err == nil {
+		t.Fatal("empty link accepted")
+	}
+}
+
+func TestLinkLocalSymbolsShadowGlobals(t *testing.T) {
+	// Both objects define a *local* label "helper"; each must resolve
+	// its own, and neither clashes as a duplicate global.
+	a := asm.MustAssemble("a.s", `
+.text
+.global _start
+_start:
+	CALL helper
+	HALT
+helper:
+	PUSHI 1
+	SETRV
+	RET
+`)
+	b := asm.MustAssemble("b.s", `
+.text
+.global other
+other:
+	CALL helper
+	RET
+helper:
+	PUSHI 2
+	SETRV
+	RET
+`)
+	im, err := obj.Link(obj.LinkOptions{}, []*obj.Object{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ctx := loadAndRun(t, im)
+	if ctx.RV != 1 {
+		t.Fatalf("RV = %d, want 1 (a's own helper)", ctx.RV)
+	}
+}
+
+func TestPlacementsRecordRelocHoles(t *testing.T) {
+	o := asm.MustAssemble("m.s", `
+.text
+.global _start
+_start:
+	PUSHI msg
+	CALL f
+	HALT
+f:
+	RET
+.data
+msg:
+	.asciz "x"
+`)
+	im, err := obj.Link(obj.LinkOptions{}, []*obj.Object{o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var textPl *obj.Placement
+	for i := range im.Placements {
+		if im.Placements[i].Section == "text" {
+			textPl = &im.Placements[i]
+		}
+	}
+	if textPl == nil {
+		t.Fatal("no text placement")
+	}
+	// PUSHI operand at TextBase+1, CALL operand at TextBase+6.
+	if len(textPl.RelocHoles) != 2 {
+		t.Fatalf("holes = %v", textPl.RelocHoles)
+	}
+	if textPl.RelocHoles[0] != im.TextBase+1 || textPl.RelocHoles[1] != im.TextBase+6 {
+		t.Fatalf("holes = %#v, textbase %#x", textPl.RelocHoles, im.TextBase)
+	}
+}
+
+func TestDataRelocResolved(t *testing.T) {
+	o := asm.MustAssemble("dr.s", `
+.text
+.global _start
+_start:
+	PUSHI ptr
+	LOAD
+	LOAD
+	SETRV
+	HALT
+.data
+val:
+	.word 77
+.global ptr
+ptr:
+	.word val
+`)
+	im, err := obj.Link(obj.LinkOptions{}, []*obj.Object{o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ctx := loadAndRun(t, im)
+	if ctx.RV != 77 {
+		t.Fatalf("RV = %d, want 77 (pointer chase through data reloc)", ctx.RV)
+	}
+}

@@ -1,0 +1,198 @@
+// Package obj defines the SecModule Object Format (SOF): relocatable
+// object files, archives (libraries), and a static linker for SM32
+// code. It stands in for the a.out/ELF toolchain of the paper's OpenBSD
+// host: the SecModule pipeline lists the `F` (function) symbols of a
+// library exactly like the paper's `objdump -t libc.a | grep ' F '`,
+// generates stubs against them, and links clients with a custom crt0.
+//
+// Relocations are 4-byte absolute little-endian patches, matching SM32
+// instruction operands. The distinction between relocation bytes and
+// ordinary text bytes is load-bearing for the paper's section 4.1
+// encryption scheme: only non-relocation text is encrypted, so an
+// encrypted archive remains linkable with the stock linker.
+package obj
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Symbol kinds, mirroring objdump's type column.
+const (
+	KindFunc   = 'F'
+	KindObject = 'O'
+)
+
+// Symbol is one symbol-table entry.
+type Symbol struct {
+	Name    string
+	Section string // "text" or "data" or "bss"
+	Offset  uint32 // within the section
+	Global  bool
+	Kind    byte // KindFunc or KindObject
+}
+
+// Reloc records that the 4 bytes at Offset within Section must be
+// patched with the final address of Symbol plus Addend.
+type Reloc struct {
+	Section string
+	Offset  uint32
+	Symbol  string
+	Addend  int32
+}
+
+// Object is one relocatable object file.
+type Object struct {
+	Name    string
+	Text    []byte
+	Data    []byte
+	BSSSize uint32
+	Symbols []Symbol
+	Relocs  []Reloc
+	// Encrypted marks the text as ciphertext (section 4.1): the linker
+	// still patches relocation holes, and the resulting image segment
+	// carries provenance so the kernel can decrypt it into handle text.
+	Encrypted bool
+	// KeyID names the kernel keystore entry for encrypted text.
+	KeyID string
+}
+
+// Lookup returns the symbol with the given name, or nil.
+func (o *Object) Lookup(name string) *Symbol {
+	for i := range o.Symbols {
+		if o.Symbols[i].Name == name {
+			return &o.Symbols[i]
+		}
+	}
+	return nil
+}
+
+// Globals returns the names of all global symbols defined by the object.
+func (o *Object) Globals() []string {
+	var out []string
+	for _, s := range o.Symbols {
+		if s.Global {
+			out = append(out, s.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Undefined returns the set of symbols referenced by relocations but not
+// defined in the object.
+func (o *Object) Undefined() []string {
+	def := map[string]bool{}
+	for _, s := range o.Symbols {
+		def[s.Name] = true
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range o.Relocs {
+		if !def[r.Symbol] && !seen[r.Symbol] {
+			seen[r.Symbol] = true
+			out = append(out, r.Symbol)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy, used when an archive member is about to be
+// modified (e.g. encrypted) without disturbing the original.
+func (o *Object) Clone() *Object {
+	c := &Object{Name: o.Name, BSSSize: o.BSSSize, Encrypted: o.Encrypted, KeyID: o.KeyID}
+	c.Text = append([]byte(nil), o.Text...)
+	c.Data = append([]byte(nil), o.Data...)
+	c.Symbols = append([]Symbol(nil), o.Symbols...)
+	c.Relocs = append([]Reloc(nil), o.Relocs...)
+	return c
+}
+
+// Marshal serializes the object (JSON keeps the toolchain debuggable;
+// the format is internal to the simulator, not a wire protocol).
+func (o *Object) Marshal() ([]byte, error) { return json.Marshal(o) }
+
+// UnmarshalObject parses a serialized object.
+func UnmarshalObject(b []byte) (*Object, error) {
+	var o Object
+	if err := json.Unmarshal(b, &o); err != nil {
+		return nil, fmt.Errorf("obj: unmarshal: %w", err)
+	}
+	return &o, nil
+}
+
+// Archive is a library: an ordered collection of objects with a symbol
+// index, the SOF analogue of a `.a` file.
+type Archive struct {
+	Name    string
+	Members []*Object
+}
+
+// Add appends a member to the archive.
+func (a *Archive) Add(o *Object) { a.Members = append(a.Members, o) }
+
+// Index maps each global symbol to the member defining it.
+func (a *Archive) Index() map[string]*Object {
+	idx := make(map[string]*Object)
+	for _, m := range a.Members {
+		for _, s := range m.Symbols {
+			if s.Global {
+				if _, dup := idx[s.Name]; !dup {
+					idx[s.Name] = m
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// FuncSymbols returns the archive's global function symbols, the
+// equivalent of `objdump -t lib.a | grep ' F '` from the paper's
+// section 4.2 stub-generation workflow.
+func (a *Archive) FuncSymbols() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, m := range a.Members {
+		for _, s := range m.Symbols {
+			if s.Global && s.Kind == KindFunc && !seen[s.Name] {
+				seen[s.Name] = true
+				out = append(out, s.Name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SymbolDump renders the archive's symbol table in objdump -t style.
+func (a *Archive) SymbolDump() string {
+	var b strings.Builder
+	for _, m := range a.Members {
+		fmt.Fprintf(&b, "%s(%s):\n", a.Name, m.Name)
+		syms := append([]Symbol(nil), m.Symbols...)
+		sort.Slice(syms, func(i, j int) bool { return syms[i].Name < syms[j].Name })
+		for _, s := range syms {
+			vis := "l"
+			if s.Global {
+				vis = "g"
+			}
+			fmt.Fprintf(&b, "%08x %s     %c .%s\t%s\n", s.Offset, vis, s.Kind, s.Section, s.Name)
+		}
+	}
+	return b.String()
+}
+
+// Marshal serializes the archive.
+func (a *Archive) Marshal() ([]byte, error) { return json.Marshal(a) }
+
+// UnmarshalArchive parses a serialized archive.
+func UnmarshalArchive(b []byte) (*Archive, error) {
+	var a Archive
+	if err := json.Unmarshal(b, &a); err != nil {
+		return nil, fmt.Errorf("obj: unmarshal archive: %w", err)
+	}
+	return &a, nil
+}

@@ -1,0 +1,134 @@
+package obj
+
+import (
+	"strings"
+	"testing"
+)
+
+func sym(name, section string, off uint32, global bool, kind byte) Symbol {
+	return Symbol{Name: name, Section: section, Offset: off, Global: global, Kind: kind}
+}
+
+func TestLookupAndGlobals(t *testing.T) {
+	o := &Object{
+		Name: "a.o",
+		Symbols: []Symbol{
+			sym("f", "text", 0, true, KindFunc),
+			sym("local", "text", 4, false, KindFunc),
+			sym("v", "data", 0, true, KindObject),
+		},
+	}
+	if o.Lookup("f") == nil || o.Lookup("missing") != nil {
+		t.Fatal("Lookup wrong")
+	}
+	g := o.Globals()
+	if len(g) != 2 || g[0] != "f" || g[1] != "v" {
+		t.Fatalf("Globals = %v", g)
+	}
+}
+
+func TestUndefined(t *testing.T) {
+	o := &Object{
+		Name:    "a.o",
+		Symbols: []Symbol{sym("f", "text", 0, true, KindFunc)},
+		Relocs: []Reloc{
+			{Section: "text", Offset: 1, Symbol: "g"},
+			{Section: "text", Offset: 6, Symbol: "f"},
+			{Section: "text", Offset: 11, Symbol: "g"},
+		},
+	}
+	und := o.Undefined()
+	if len(und) != 1 || und[0] != "g" {
+		t.Fatalf("Undefined = %v", und)
+	}
+}
+
+func TestArchiveIndexAndFuncSymbols(t *testing.T) {
+	a := &Archive{Name: "libc.a"}
+	a.Add(&Object{Name: "malloc.o", Symbols: []Symbol{
+		sym("malloc", "text", 0, true, KindFunc),
+		sym("free", "text", 32, true, KindFunc),
+		sym("arena", "data", 0, false, KindObject),
+	}})
+	a.Add(&Object{Name: "str.o", Symbols: []Symbol{
+		sym("strlen", "text", 0, true, KindFunc),
+		sym("version", "data", 0, true, KindObject),
+	}})
+	idx := a.Index()
+	if idx["malloc"] == nil || idx["malloc"].Name != "malloc.o" {
+		t.Fatalf("index malloc = %+v", idx["malloc"])
+	}
+	if idx["arena"] != nil {
+		t.Fatal("local symbol indexed")
+	}
+	// FuncSymbols is the `objdump -t | grep ' F '` analogue: functions
+	// only, no data objects.
+	fs := a.FuncSymbols()
+	want := []string{"free", "malloc", "strlen"}
+	if len(fs) != len(want) {
+		t.Fatalf("FuncSymbols = %v", fs)
+	}
+	for i := range want {
+		if fs[i] != want[i] {
+			t.Fatalf("FuncSymbols = %v, want %v", fs, want)
+		}
+	}
+}
+
+func TestSymbolDumpFormat(t *testing.T) {
+	a := &Archive{Name: "libc.a"}
+	a.Add(&Object{Name: "m.o", Symbols: []Symbol{
+		sym("malloc", "text", 0, true, KindFunc),
+	}})
+	d := a.SymbolDump()
+	if !strings.Contains(d, "libc.a(m.o):") {
+		t.Fatalf("dump header missing:\n%s", d)
+	}
+	if !strings.Contains(d, "g     F .text\tmalloc") {
+		t.Fatalf("dump row missing:\n%s", d)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	o := &Object{
+		Name: "x.o", Text: []byte{1, 2, 3}, Data: []byte{4}, BSSSize: 8,
+		Symbols:   []Symbol{sym("f", "text", 0, true, KindFunc)},
+		Relocs:    []Reloc{{Section: "text", Offset: 1, Symbol: "g", Addend: -2}},
+		Encrypted: true, KeyID: "k1",
+	}
+	b, err := o.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := UnmarshalObject(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.Name != o.Name || string(o2.Text) != string(o.Text) ||
+		o2.BSSSize != 8 || !o2.Encrypted || o2.KeyID != "k1" ||
+		o2.Relocs[0].Addend != -2 {
+		t.Fatalf("round trip lost data: %+v", o2)
+	}
+	a := &Archive{Name: "l.a", Members: []*Object{o}}
+	ab, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := UnmarshalArchive(ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Name != "l.a" || len(a2.Members) != 1 || a2.Members[0].Name != "x.o" {
+		t.Fatalf("archive round trip: %+v", a2)
+	}
+}
+
+func TestClone(t *testing.T) {
+	o := &Object{Name: "x.o", Text: []byte{1, 2}, Symbols: []Symbol{sym("f", "text", 0, true, KindFunc)}}
+	c := o.Clone()
+	c.Text[0] = 99
+	c.Symbols[0].Name = "mut"
+	if o.Text[0] != 1 || o.Symbols[0].Name != "f" {
+		t.Fatal("Clone is shallow")
+	}
+}

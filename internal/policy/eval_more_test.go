@@ -1,0 +1,184 @@
+package policy
+
+import "testing"
+
+// Evaluator edge cases beyond the main policy_test.go suite.
+
+func TestLicenseeConjunctionSingleRequester(t *testing.T) {
+	// A && B cannot be satisfied by a single requester unless both
+	// conjuncts are that requester.
+	a := mustParse(t, `authorizer: "POLICY"
+licensees: "a" && "b"
+`)
+	res, err := Query([]*Assertion{a}, "a", Attributes{}, []string{MinTrust, "allow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != MinTrust {
+		t.Fatalf("single requester satisfied a conjunction: %q", res.Value)
+	}
+	// Degenerate conjunction of the same principal is satisfiable.
+	b := mustParse(t, `authorizer: "POLICY"
+licensees: "a" && "a"
+`)
+	res, _ = Query([]*Assertion{b}, "a", Attributes{}, []string{MinTrust, "allow"})
+	if res.Value != "allow" {
+		t.Fatalf("degenerate conjunction refused: %q", res.Value)
+	}
+}
+
+func TestNestedLicenseeExpression(t *testing.T) {
+	a := mustParse(t, `authorizer: "POLICY"
+licensees: ("x" && "x") || "y"
+`)
+	for _, p := range []string{"x", "y"} {
+		res, err := Query([]*Assertion{a}, p, Attributes{}, []string{MinTrust, "allow"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value != "allow" {
+			t.Errorf("principal %q refused", p)
+		}
+	}
+	res, _ := Query([]*Assertion{a}, "z", Attributes{}, []string{MinTrust, "allow"})
+	if res.Value != MinTrust {
+		t.Error("unlisted principal allowed")
+	}
+}
+
+func TestUnknownClauseValueIsMinTrust(t *testing.T) {
+	a := mustParse(t, `authorizer: "POLICY"
+licensees: "a"
+conditions: true -> "not-in-value-set";
+`)
+	res, err := Query([]*Assertion{a}, "a", Attributes{}, []string{MinTrust, "allow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != MinTrust {
+		t.Fatalf("unknown clause value granted %q", res.Value)
+	}
+}
+
+func TestValueSetMustContainMinTrust(t *testing.T) {
+	a := mustParse(t, simplePolicy)
+	if _, err := Query([]*Assertion{a}, "alice", Attributes{}, []string{"allow"}); err == nil {
+		t.Fatal("value set without _MIN_TRUST accepted")
+	}
+}
+
+func TestExplicitMaxTrustInValueSet(t *testing.T) {
+	a := mustParse(t, `authorizer: "POLICY"
+licensees: "a"
+`)
+	res, err := Query([]*Assertion{a}, "a", Attributes{},
+		[]string{MinTrust, "low", MaxTrust})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != MaxTrust {
+		t.Fatalf("value = %q, want %s", res.Value, MaxTrust)
+	}
+}
+
+func TestFirstMatchingClauseWins(t *testing.T) {
+	a := mustParse(t, `authorizer: "POLICY"
+licensees: "a"
+conditions: x == "1" -> "low"; true -> "high";
+`)
+	values := []string{MinTrust, "low", "high"}
+	res, _ := Query([]*Assertion{a}, "a", Attributes{"x": "1"}, values)
+	if res.Value != "low" {
+		t.Fatalf("value = %q, want low (first match, not best match)", res.Value)
+	}
+	res, _ = Query([]*Assertion{a}, "a", Attributes{"x": "2"}, values)
+	if res.Value != "high" {
+		t.Fatalf("value = %q, want high", res.Value)
+	}
+}
+
+func TestDiamondDelegation(t *testing.T) {
+	// POLICY -> {a, b} -> leaf: two independent chains; the best one
+	// wins.
+	root := mustParse(t, `authorizer: "POLICY"
+licensees: "a" || "b"
+`)
+	viaA := mustParse(t, `authorizer: "a"
+licensees: "leaf"
+conditions: true -> "low";
+`)
+	viaB := mustParse(t, `authorizer: "b"
+licensees: "leaf"
+conditions: true -> "high";
+`)
+	values := []string{MinTrust, "low", "high"}
+	res, err := Query([]*Assertion{root, viaA, viaB}, "leaf", Attributes{}, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "high" {
+		t.Fatalf("value = %q, want high (max over chains)", res.Value)
+	}
+}
+
+func TestLongDelegationChain(t *testing.T) {
+	// POLICY -> p0 -> p1 -> ... -> p9; the leaf still gets through, and
+	// condition counting accumulates across the chain.
+	asserts := []*Assertion{mustParse(t, `authorizer: "POLICY"
+licensees: "p0"
+conditions: true -> "allow";
+`)}
+	for i := 0; i < 9; i++ {
+		asserts = append(asserts, mustParse(t,
+			"authorizer: \"p"+string(rune('0'+i))+"\"\nlicensees: \"p"+string(rune('1'+i))+"\"\nconditions: true -> \"allow\";\n"))
+	}
+	res, err := Query(asserts, "p9", Attributes{}, []string{MinTrust, "allow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "allow" {
+		t.Fatalf("value = %q", res.Value)
+	}
+	if res.ConditionsEvaluated < 10 {
+		t.Fatalf("conditions evaluated = %d, want >= 10", res.ConditionsEvaluated)
+	}
+}
+
+func TestErrorInClauseMakesItFalse(t *testing.T) {
+	// RFC 2704: runtime errors make a clause false rather than aborting
+	// the query. Our expression language has no runtime errors except
+	// via malformed comparisons, so approximate with a clause that is
+	// false and a later clause that grants.
+	a := mustParse(t, `authorizer: "POLICY"
+licensees: "a"
+conditions: missing == "never"; true -> "allow";
+`)
+	res, err := Query([]*Assertion{a}, "a", Attributes{}, []string{MinTrust, "allow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "allow" {
+		t.Fatalf("value = %q", res.Value)
+	}
+}
+
+func TestLicenseeStringRendering(t *testing.T) {
+	a := mustParse(t, `authorizer: "POLICY"
+licensees: "a" || ("b" && "c")
+`)
+	s := a.Licensees.String()
+	for _, want := range []string{`"a"`, `"b"`, `"c"`, "||", "&&"} {
+		if !containsStr(s, want) {
+			t.Errorf("rendering %q lacks %q", s, want)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,224 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseAssertion parses one KeyNote assertion in RFC 2704 field syntax.
+// Fields are "name: value" lines; a value continues over following
+// lines that start with whitespace. Recognized fields: keynote-version,
+// authorizer, licensees, conditions, comment, signature. The signature
+// field, when present, must be the last field (the signed text is
+// everything before it).
+func ParseAssertion(src string) (*Assertion, error) {
+	a := &Assertion{Version: 2, Source: src}
+	fields, order, err := splitFields(src)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range order {
+		val := fields[name]
+		switch name {
+		case "keynote-version":
+			v, err := strconv.Atoi(strings.TrimSpace(val))
+			if err != nil || v != 2 {
+				return nil, fmt.Errorf("policy: unsupported keynote-version %q", val)
+			}
+			a.Version = v
+		case "authorizer":
+			a.Authorizer, err = parsePrincipalName(val)
+			if err != nil {
+				return nil, err
+			}
+		case "licensees":
+			a.Licensees, err = parseLicensees(val)
+			if err != nil {
+				return nil, err
+			}
+		case "conditions":
+			a.Conditions, err = parseConditions(val)
+			if err != nil {
+				return nil, err
+			}
+		case "comment":
+			// Ignored.
+		case "signature":
+			a.Signature = strings.TrimSpace(strings.Trim(strings.TrimSpace(val), `"`))
+		default:
+			return nil, fmt.Errorf("policy: unknown field %q", name)
+		}
+	}
+	if a.Authorizer == "" {
+		return nil, fmt.Errorf("policy: assertion lacks authorizer")
+	}
+	if a.Licensees == nil {
+		return nil, fmt.Errorf("policy: assertion lacks licensees")
+	}
+	return a, nil
+}
+
+// splitFields separates "name: value" fields with continuation lines.
+func splitFields(src string) (map[string]string, []string, error) {
+	fields := map[string]string{}
+	var order []string
+	var curName string
+	for ln, line := range strings.Split(src, "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if line[0] == ' ' || line[0] == '\t' {
+			if curName == "" {
+				return nil, nil, fmt.Errorf("policy: line %d: continuation before any field", ln+1)
+			}
+			fields[curName] += "\n" + line
+			continue
+		}
+		idx := strings.Index(line, ":")
+		if idx < 0 {
+			return nil, nil, fmt.Errorf("policy: line %d: expected 'field: value'", ln+1)
+		}
+		curName = strings.ToLower(strings.TrimSpace(line[:idx]))
+		if _, dup := fields[curName]; dup {
+			return nil, nil, fmt.Errorf("policy: duplicate field %q", curName)
+		}
+		fields[curName] = line[idx+1:]
+		order = append(order, curName)
+	}
+	return fields, order, nil
+}
+
+func parsePrincipalName(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		s = s[1 : len(s)-1]
+	}
+	if s == "" {
+		return "", fmt.Errorf("policy: empty principal name")
+	}
+	return s, nil
+}
+
+// parseLicensees parses a licensee expression:
+//
+//	lic := term ( ('&&'|'||') term )*    (no mixed precedence without parens)
+//	term := '"' name '"' | '(' lic ')'
+func parseLicensees(src string) (*LicenseeExpr, error) {
+	toks := lexExpr(src)
+	p := &licParser{toks: toks, src: src}
+	e, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(toks) {
+		return nil, fmt.Errorf("policy: trailing tokens in licensees %q", src)
+	}
+	return e, nil
+}
+
+type licParser struct {
+	toks []string
+	pos  int
+	src  string
+}
+
+func (p *licParser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *licParser) parse() (*LicenseeExpr, error) {
+	first, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	op := p.peek()
+	if op != "&&" && op != "||" {
+		return first, nil
+	}
+	kids := []*LicenseeExpr{first}
+	for p.peek() == op {
+		p.pos++
+		t, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, t)
+	}
+	if nxt := p.peek(); nxt == "&&" || nxt == "||" {
+		return nil, fmt.Errorf("policy: mixed &&/|| without parentheses in %q", p.src)
+	}
+	b := byte('|')
+	if op == "&&" {
+		b = '&'
+	}
+	return &LicenseeExpr{Op: b, Kids: kids}, nil
+}
+
+func (p *licParser) term() (*LicenseeExpr, error) {
+	if p.pos >= len(p.toks) {
+		return nil, fmt.Errorf("policy: unexpected end of licensees %q", p.src)
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	if t == "(" {
+		e, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		if p.pos >= len(p.toks) || p.toks[p.pos] != ")" {
+			return nil, fmt.Errorf("policy: missing ')' in licensees %q", p.src)
+		}
+		p.pos++
+		return e, nil
+	}
+	if len(t) >= 2 && t[0] == '"' {
+		return &LicenseeExpr{Principal: t[1 : len(t)-1]}, nil
+	}
+	// Bare identifiers are accepted as principal names for convenience.
+	if isIdentStart(rune(t[0])) {
+		return &LicenseeExpr{Principal: t}, nil
+	}
+	return nil, fmt.Errorf("policy: unexpected token %q in licensees", t)
+}
+
+// parseConditions parses the conditions field: clauses separated by
+// ';', each "expr" or "expr -> \"value\"".
+func parseConditions(src string) ([]Clause, error) {
+	var out []Clause
+	for _, part := range strings.Split(src, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		val := MaxTrust
+		if idx := strings.Index(part, "->"); idx >= 0 {
+			v := strings.TrimSpace(part[idx+2:])
+			v = strings.Trim(v, `"`)
+			if v == "" {
+				return nil, fmt.Errorf("policy: empty clause value in %q", part)
+			}
+			val = v
+			part = strings.TrimSpace(part[:idx])
+		}
+		e, err := ParseExpr(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Clause{Expr: e, Value: val})
+	}
+	return out, nil
+}
+
+// CountConditions reports the number of clauses across the assertion
+// set (used by benchmarks describing policy complexity).
+func CountConditions(as []*Assertion) int {
+	n := 0
+	for _, a := range as {
+		n += len(a.Conditions)
+	}
+	return n
+}

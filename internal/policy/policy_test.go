@@ -1,0 +1,437 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, src string) *Assertion {
+	t.Helper()
+	a, err := ParseAssertion(src)
+	if err != nil {
+		t.Fatalf("ParseAssertion: %v\nsource:\n%s", err, src)
+	}
+	return a
+}
+
+const simplePolicy = `keynote-version: 2
+authorizer: "POLICY"
+licensees: "alice"
+conditions: app_domain == "secmodule" -> "allow";
+`
+
+func TestParseSimpleAssertion(t *testing.T) {
+	a := mustParse(t, simplePolicy)
+	if a.Authorizer != "POLICY" {
+		t.Errorf("authorizer = %q", a.Authorizer)
+	}
+	if got := a.Licensees.principals(); len(got) != 1 || got[0] != "alice" {
+		t.Errorf("licensees = %v", got)
+	}
+	if len(a.Conditions) != 1 || a.Conditions[0].Value != "allow" {
+		t.Errorf("conditions = %+v", a.Conditions)
+	}
+}
+
+func TestParseMultiClauseConditions(t *testing.T) {
+	a := mustParse(t, `authorizer: "POLICY"
+licensees: "a"
+conditions: x == "1" -> "full";
+            x == "2" -> "partial";
+            true -> "_MIN_TRUST";
+`)
+	if len(a.Conditions) != 3 {
+		t.Fatalf("clauses = %d, want 3", len(a.Conditions))
+	}
+	if a.Conditions[1].Value != "partial" {
+		t.Errorf("clause 2 value = %q", a.Conditions[1].Value)
+	}
+}
+
+func TestParseLicenseeDisjunction(t *testing.T) {
+	a := mustParse(t, `authorizer: "POLICY"
+licensees: "a" || "b" || "c"
+`)
+	got := a.Licensees.principals()
+	if len(got) != 3 {
+		t.Fatalf("principals = %v", got)
+	}
+}
+
+func TestParseLicenseeMixedRejected(t *testing.T) {
+	_, err := ParseAssertion(`authorizer: "POLICY"
+licensees: "a" || "b" && "c"
+`)
+	if err == nil {
+		t.Fatal("mixed &&/|| without parens should be rejected")
+	}
+}
+
+func TestParseLicenseeParenthesized(t *testing.T) {
+	a := mustParse(t, `authorizer: "POLICY"
+licensees: "a" || ("b" && "c")
+`)
+	if len(a.Licensees.Kids) != 2 {
+		t.Fatalf("kids = %d", len(a.Licensees.Kids))
+	}
+}
+
+func TestParseRejectsUnknownField(t *testing.T) {
+	_, err := ParseAssertion("authorizer: \"POLICY\"\nlicensees: \"a\"\nbogus: x\n")
+	if err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQueryDirectGrant(t *testing.T) {
+	a := mustParse(t, simplePolicy)
+	values := []string{MinTrust, "allow"}
+	res, err := Query([]*Assertion{a}, "alice",
+		Attributes{"app_domain": "secmodule"}, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "allow" {
+		t.Fatalf("value = %q, want allow", res.Value)
+	}
+	if res.ConditionsEvaluated == 0 {
+		t.Fatal("no conditions evaluated")
+	}
+}
+
+func TestQueryConditionFalse(t *testing.T) {
+	a := mustParse(t, simplePolicy)
+	values := []string{MinTrust, "allow"}
+	res, err := Query([]*Assertion{a}, "alice",
+		Attributes{"app_domain": "other"}, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != MinTrust {
+		t.Fatalf("value = %q, want %s", res.Value, MinTrust)
+	}
+}
+
+func TestQueryUnknownRequester(t *testing.T) {
+	a := mustParse(t, simplePolicy)
+	res, err := Query([]*Assertion{a}, "mallory",
+		Attributes{"app_domain": "secmodule"}, []string{MinTrust, "allow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != MinTrust {
+		t.Fatalf("value = %q, want %s", res.Value, MinTrust)
+	}
+}
+
+func TestQueryDelegationChain(t *testing.T) {
+	// POLICY -> alice -> bob.
+	root := mustParse(t, `authorizer: "POLICY"
+licensees: "alice"
+`)
+	deleg := mustParse(t, `authorizer: "alice"
+licensees: "bob"
+conditions: module == "libc" -> "allow";
+`)
+	values := []string{MinTrust, "allow"}
+	res, err := Query([]*Assertion{root, deleg}, "bob",
+		Attributes{"module": "libc"}, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "allow" {
+		t.Fatalf("value = %q, want allow (delegated)", res.Value)
+	}
+	// Wrong module: chain grants nothing.
+	res, _ = Query([]*Assertion{root, deleg}, "bob",
+		Attributes{"module": "libm"}, values)
+	if res.Value != MinTrust {
+		t.Fatalf("value = %q, want %s", res.Value, MinTrust)
+	}
+}
+
+func TestQueryDelegationIsCappedByAuthorizer(t *testing.T) {
+	// POLICY grants alice only "partial"; alice grants bob "full".
+	// bob's effective value is min(partial, full) = partial.
+	root := mustParse(t, `authorizer: "POLICY"
+licensees: "alice"
+conditions: true -> "partial";
+`)
+	deleg := mustParse(t, `authorizer: "alice"
+licensees: "bob"
+conditions: true -> "full";
+`)
+	values := []string{MinTrust, "partial", "full"}
+	res, err := Query([]*Assertion{root, deleg}, "bob", Attributes{}, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "partial" {
+		t.Fatalf("value = %q, want partial (min over chain)", res.Value)
+	}
+}
+
+func TestQueryDelegationCycleTerminates(t *testing.T) {
+	a := mustParse(t, `authorizer: "x"
+licensees: "y"
+`)
+	b := mustParse(t, `authorizer: "y"
+licensees: "x"
+`)
+	res, err := Query([]*Assertion{a, b}, "x", Attributes{}, []string{MinTrust, "allow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != MinTrust {
+		t.Fatalf("cycle should grant nothing, got %q", res.Value)
+	}
+}
+
+func TestQueryTakesBestOfMultipleAssertions(t *testing.T) {
+	low := mustParse(t, `authorizer: "POLICY"
+licensees: "a"
+conditions: true -> "read";
+`)
+	high := mustParse(t, `authorizer: "POLICY"
+licensees: "a"
+conditions: level > 3 -> "write";
+`)
+	values := []string{MinTrust, "read", "write"}
+	res, _ := Query([]*Assertion{low, high}, "a", Attributes{"level": "5"}, values)
+	if res.Value != "write" {
+		t.Fatalf("value = %q, want write", res.Value)
+	}
+	res, _ = Query([]*Assertion{low, high}, "a", Attributes{"level": "1"}, values)
+	if res.Value != "read" {
+		t.Fatalf("value = %q, want read", res.Value)
+	}
+}
+
+func TestQueryNoConditionsMeansMaxTrust(t *testing.T) {
+	a := mustParse(t, `authorizer: "POLICY"
+licensees: "a"
+`)
+	res, _ := Query([]*Assertion{a}, "a", Attributes{}, []string{MinTrust, "allow"})
+	if res.Value != "allow" {
+		t.Fatalf("value = %q, want allow (top of value set)", res.Value)
+	}
+}
+
+func TestExprNumericAndStringComparison(t *testing.T) {
+	cases := []struct {
+		expr  string
+		attrs Attributes
+		want  bool
+	}{
+		{`x == "a"`, Attributes{"x": "a"}, true},
+		{`x != "a"`, Attributes{"x": "b"}, true},
+		{`n < 10`, Attributes{"n": "9"}, true},
+		{`n < 10`, Attributes{"n": "10"}, false},
+		{`n >= 10`, Attributes{"n": "10"}, true},
+		{`n <= 2.5`, Attributes{"n": "2.5"}, true},
+		// Numeric, not lexicographic: "9" < "10".
+		{`n < 10`, Attributes{"n": "9"}, true},
+		// String comparison when one side is non-numeric.
+		{`x < "b"`, Attributes{"x": "a"}, true},
+		{`x ~= "mod"`, Attributes{"x": "secmodule"}, true},
+		{`x ~= "mod"`, Attributes{"x": "plain"}, false},
+		{`a == "1" && b == "2"`, Attributes{"a": "1", "b": "2"}, true},
+		{`a == "1" && b == "2"`, Attributes{"a": "1", "b": "3"}, false},
+		{`a == "1" || b == "2"`, Attributes{"a": "0", "b": "2"}, true},
+		{`!(a == "1")`, Attributes{"a": "2"}, true},
+		{`(a == "1" || a == "2") && b == "x"`, Attributes{"a": "2", "b": "x"}, true},
+		{`true`, nil, true},
+		{`false`, nil, false},
+		// Missing attribute resolves to "".
+		{`missing == ""`, nil, true},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.expr)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", c.expr, err)
+			continue
+		}
+		v, err := e.Eval(c.attrs)
+		if err != nil {
+			t.Errorf("Eval(%q): %v", c.expr, err)
+			continue
+		}
+		if truthy(v) != c.want {
+			t.Errorf("%q with %v = %v, want %v", c.expr, c.attrs, truthy(v), c.want)
+		}
+	}
+}
+
+func TestExprParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "(", "x ==", "x == )", "x @ y", `a == "1" extra`,
+	} {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestSignAndVerify(t *testing.T) {
+	ks := NewKeystore()
+	ks.AddPrincipal("owner", []byte("owner-secret"))
+	src := `authorizer: "owner"
+licensees: "client"
+conditions: module == "libexp" -> "allow";
+`
+	signed, err := ks.SignAssertion(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ParseAssertion(signed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Signature == "" {
+		t.Fatal("no signature parsed")
+	}
+	if _, err := ks.Verify(a); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedCredential(t *testing.T) {
+	ks := NewKeystore()
+	ks.AddPrincipal("owner", []byte("owner-secret"))
+	signed, err := ks.SignAssertion(`authorizer: "owner"
+licensees: "client"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(signed, `"client"`, `"mallory"`, 1)
+	a, err := ParseAssertion(tampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ks.Verify(a); err == nil {
+		t.Fatal("tampered credential verified")
+	}
+}
+
+func TestVerifyRejectsUnsignedCredential(t *testing.T) {
+	ks := NewKeystore()
+	ks.AddPrincipal("owner", []byte("s"))
+	a := mustParse(t, `authorizer: "owner"
+licensees: "client"
+`)
+	if _, err := ks.Verify(a); err == nil {
+		t.Fatal("unsigned credential verified")
+	}
+}
+
+func TestVerifyPolicyAssertionNeedsNoSignature(t *testing.T) {
+	ks := NewKeystore()
+	a := mustParse(t, simplePolicy)
+	if _, err := ks.Verify(a); err != nil {
+		t.Fatalf("policy assertion rejected: %v", err)
+	}
+}
+
+func TestVerifyUnknownPrincipal(t *testing.T) {
+	ks := NewKeystore()
+	a := mustParse(t, `authorizer: "ghost"
+licensees: "x"
+signature: "hmac-sha256:00"
+`)
+	if _, err := ks.Verify(a); err == nil {
+		t.Fatal("credential from unknown principal verified")
+	}
+}
+
+// Property: signing then verifying always succeeds, and flipping any
+// licensee name breaks verification.
+func TestSignVerifyProperty(t *testing.T) {
+	ks := NewKeystore()
+	ks.AddPrincipal("p", []byte("secret"))
+	f := func(who string) bool {
+		name := sanitizeName(who)
+		if name == "" {
+			return true
+		}
+		src := "authorizer: \"p\"\nlicensees: \"" + name + "\"\n"
+		signed, err := ks.SignAssertion(src)
+		if err != nil {
+			return false
+		}
+		a, err := ParseAssertion(signed)
+		if err != nil {
+			return false
+		}
+		_, err = ks.Verify(a)
+		return err == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the compliance value never exceeds what POLICY grants at
+// the root, regardless of what intermediate credentials claim.
+func TestDelegationMonotoneProperty(t *testing.T) {
+	values := []string{MinTrust, "v1", "v2", "v3"}
+	f := func(rootGrant, childGrant uint8) bool {
+		rg := int(rootGrant)%3 + 1 // 1..3
+		cg := int(childGrant)%3 + 1
+		root := mustParseQuiet(`authorizer: "POLICY"
+licensees: "mid"
+conditions: true -> "` + values[rg] + `";
+`)
+		child := mustParseQuiet(`authorizer: "mid"
+licensees: "leaf"
+conditions: true -> "` + values[cg] + `";
+`)
+		if root == nil || child == nil {
+			return false
+		}
+		res, err := Query([]*Assertion{root, child}, "leaf", Attributes{}, values)
+		if err != nil {
+			return false
+		}
+		want := rg
+		if cg < rg {
+			want = cg
+		}
+		return res.Index == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustParseQuiet(src string) *Assertion {
+	a, err := ParseAssertion(src)
+	if err != nil {
+		return nil
+	}
+	return a
+}
+
+func sanitizeName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() > 32 {
+		return b.String()[:32]
+	}
+	return b.String()
+}
+
+func TestCountConditions(t *testing.T) {
+	a := mustParse(t, `authorizer: "POLICY"
+licensees: "a"
+conditions: x == "1" -> "allow"; y == "2" -> "allow";
+`)
+	if n := CountConditions([]*Assertion{a, a}); n != 4 {
+		t.Fatalf("CountConditions = %d, want 4", n)
+	}
+}

@@ -1,0 +1,160 @@
+package rpc
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xdr"
+)
+
+func TestAuthBodyLimitEnforced(t *testing.T) {
+	// RFC 1831 caps opaque_auth bodies at 400 bytes.
+	e := xdr.NewEncoder()
+	e.PutUint32(1) // xid
+	e.PutUint32(MsgCall)
+	e.PutUint32(Version)
+	e.PutUint32(1)
+	e.PutUint32(1)
+	e.PutUint32(1)
+	e.PutUint32(AuthSys)
+	e.PutOpaque(make([]byte, 401))
+	e.PutUint32(AuthNone)
+	e.PutOpaque(nil)
+	if _, err := DecodeCall(e.Bytes()); err == nil {
+		t.Fatal("401-byte auth body accepted")
+	}
+}
+
+func TestWriteRecordRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecord(&buf, make([]byte, maxRecord+1)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}
+
+func TestReadRecordRejectsOversizeFragment(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0x80, 0xFF, 0xFF, 0xFF}) // last fragment, huge length
+	if _, err := ReadRecord(&buf); err == nil {
+		t.Fatal("oversized fragment accepted")
+	}
+}
+
+func TestReadRecordTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0x80, 0, 0, 10})
+	buf.WriteString("abc") // 3 of 10 bytes
+	if _, err := ReadRecord(&buf); err != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want unexpected EOF", err)
+	}
+}
+
+func TestDecodeReplyBadStatus(t *testing.T) {
+	e := xdr.NewEncoder()
+	e.PutUint32(1)
+	e.PutUint32(MsgReply)
+	e.PutUint32(99)
+	if _, err := DecodeReply(e.Bytes()); err == nil {
+		t.Fatal("reply status 99 accepted")
+	}
+}
+
+func TestDecodeCallOnReplyFails(t *testing.T) {
+	r := EncodeReply(&ReplyMsg{XID: 1, Status: ReplyAccepted, AcceptStat: AcceptSuccess})
+	if _, err := DecodeCall(r); err == nil {
+		t.Fatal("reply decoded as call")
+	}
+}
+
+func TestDecodeReplyOnCallFails(t *testing.T) {
+	c := EncodeCall(&CallMsg{XID: 1, Prog: 1, Vers: 1, Proc: 1})
+	if _, err := DecodeReply(c); err == nil {
+		t.Fatal("call decoded as reply")
+	}
+}
+
+func TestClientSkipsStaleXIDs(t *testing.T) {
+	// A transport that first yields a stale reply, then the right one.
+	srv := newIncrServer()
+	var queued [][]byte
+	c := &Client{
+		send: func(m []byte) error {
+			call, err := DecodeCall(m)
+			if err != nil {
+				return err
+			}
+			// Queue a stale reply first.
+			stale := EncodeReply(&ReplyMsg{XID: call.XID + 1000, Status: ReplyAccepted,
+				AcceptStat: AcceptSuccess, Results: encodeUint32(0xBAD)})
+			real, err := srv.Dispatch(m)
+			if err != nil {
+				return err
+			}
+			queued = append(queued, stale, real)
+			return nil
+		},
+		recv: func() ([]byte, error) {
+			r := queued[0]
+			queued = queued[1:]
+			return r, nil
+		},
+		clos: func() error { return nil },
+	}
+	res, err := c.Call(TestIncrProg, TestIncrVers, ProcIncr, encodeUint32(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decodeUint32(t, res) != 5 {
+		t.Fatal("stale reply was not skipped")
+	}
+}
+
+func TestProgMismatchReportedToCaller(t *testing.T) {
+	c := NewPipeClient(newIncrServer())
+	_, err := c.Call(TestIncrProg, 9, ProcIncr, nil)
+	if err == nil || !containsSub(err.Error(), "version mismatch") {
+		t.Fatalf("err = %v, want version mismatch", err)
+	}
+}
+
+func containsSub(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// Property: reply codec round-trips accepted-success payloads.
+func TestReplyCodecProperty(t *testing.T) {
+	f := func(xid uint32, results []byte) bool {
+		in := &ReplyMsg{XID: xid, Status: ReplyAccepted, AcceptStat: AcceptSuccess, Results: results}
+		out, err := DecodeReply(EncodeReply(in))
+		if err != nil {
+			return false
+		}
+		return out.XID == xid && out.AcceptStat == AcceptSuccess && bytes.Equal(out.Results, results)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: record marking round-trips arbitrary payloads under the
+// size cap.
+func TestRecordMarkingProperty(t *testing.T) {
+	f := func(payload []byte) bool {
+		var buf bytes.Buffer
+		if err := WriteRecord(&buf, payload); err != nil {
+			return len(payload) > maxRecord
+		}
+		got, err := ReadRecord(&buf)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package rpc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Handler is one RPC procedure implementation: XDR-encoded arguments
+// in, XDR-encoded results out. A non-nil error becomes a SYSTEM_ERR
+// accepted reply.
+type Handler func(args []byte) ([]byte, error)
+
+// procKey identifies one registered procedure.
+type procKey struct {
+	prog, vers, proc uint32
+}
+
+// Server dispatches RPC calls to registered programs. It is transport
+// independent: transports deliver raw call bytes to Dispatch and send
+// back whatever it returns.
+type Server struct {
+	mu    sync.RWMutex
+	procs map[procKey]Handler
+	// versions tracks registered version ranges per program for
+	// PROG_MISMATCH replies.
+	versions map[uint32][]uint32
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{procs: map[procKey]Handler{}, versions: map[uint32][]uint32{}}
+}
+
+// Register installs a handler for (prog, vers, proc). Procedure 0 is
+// reserved for the RFC's null procedure, which the server answers
+// automatically; registering it explicitly overrides that.
+func (s *Server) Register(prog, vers, proc uint32, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.procs[procKey{prog, vers, proc}] = h
+	vs := s.versions[prog]
+	for _, v := range vs {
+		if v == vers {
+			return
+		}
+	}
+	s.versions[prog] = append(vs, vers)
+	sort.Slice(s.versions[prog], func(i, j int) bool { return s.versions[prog][i] < s.versions[prog][j] })
+}
+
+// Dispatch decodes one call message and produces the reply bytes. It
+// never returns an empty reply: malformed calls that still carry an
+// XID get GARBAGE_ARGS or the appropriate mismatch; calls too broken
+// to decode an XID from return an error and no reply (a datagram
+// transport drops them, matching real servers).
+func (s *Server) Dispatch(callBytes []byte) ([]byte, error) {
+	call, err := DecodeCall(callBytes)
+	if err == ErrRPCMismatch {
+		// We can still salvage the XID: it is the first word.
+		if len(callBytes) >= 4 {
+			xid := uint32(callBytes[0])<<24 | uint32(callBytes[1])<<16 |
+				uint32(callBytes[2])<<8 | uint32(callBytes[3])
+			return EncodeReply(&ReplyMsg{
+				XID: xid, Status: ReplyDenied, RejectStat: RejectRPCMismatch,
+				MismatchLow: Version, MismatchHigh: Version,
+			}), nil
+		}
+		return nil, err
+	}
+	if err != nil {
+		return nil, fmt.Errorf("rpc: undecodable call: %w", err)
+	}
+
+	s.mu.RLock()
+	h, ok := s.procs[procKey{call.Prog, call.Vers, call.Proc}]
+	versions := s.versions[call.Prog]
+	s.mu.RUnlock()
+
+	reply := &ReplyMsg{XID: call.XID, Status: ReplyAccepted}
+	switch {
+	case ok:
+		res, herr := h(call.Args)
+		if herr != nil {
+			reply.AcceptStat = AcceptSystemErr
+		} else {
+			reply.AcceptStat = AcceptSuccess
+			reply.Results = res
+		}
+	case call.Proc == 0 && len(versions) > 0 && hasVersion(versions, call.Vers):
+		// Null procedure: succeed with empty results.
+		reply.AcceptStat = AcceptSuccess
+	case len(versions) == 0:
+		reply.AcceptStat = AcceptProgUnavail
+	case !hasVersion(versions, call.Vers):
+		reply.AcceptStat = AcceptProgMismatch
+		reply.MismatchLow = versions[0]
+		reply.MismatchHigh = versions[len(versions)-1]
+	default:
+		reply.AcceptStat = AcceptProcUnavail
+	}
+	return EncodeReply(reply), nil
+}
+
+func hasVersion(vs []uint32, v uint32) bool {
+	for _, x := range vs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,136 @@
+package rpc
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/kern"
+	"repro/internal/xdr"
+)
+
+// Simulated local RPC, the Figure 8 baseline row. The client and
+// server run as native processes inside the machine simulator and talk
+// through the kernel's loopback datagram sockets, so every call pays
+// the full local-RPC toll the paper's 63 us is made of: XDR marshal,
+// sendto through the socket layer, a context switch to the server,
+// dispatch, the reply path, and a switch back. Marshal/unmarshal work
+// is charged explicitly (Sys.Burn) at CostRPCLayer + CostXDRPerByte
+// per message, since native Go compute is otherwise free.
+//
+// The service is the paper's test-incr: "The function tested for both
+// RPC and SecModule returns the argument value incremented by one."
+
+// TestIncr program identity.
+const (
+	TestIncrProg = 0x20050100
+	TestIncrVers = 1
+	ProcIncr     = 1
+)
+
+// SimServerPort is the loopback port the simulated server binds.
+const SimServerPort = 1111
+
+// chargeMsg charges the marshal (or unmarshal) cost of one message.
+func chargeMsg(s *kern.Sys, n int) {
+	s.Burn(clock.CostRPCLayer + uint64(n)*clock.CostXDRPerByte)
+}
+
+// StartSimServer spawns the simulated RPC server process. It serves
+// forever; callers kill it (or just stop running the kernel) when done.
+func StartSimServer(k *kern.Kernel, port uint16) *kern.Proc {
+	srv := NewServer()
+	srv.Register(TestIncrProg, TestIncrVers, ProcIncr, func(args []byte) ([]byte, error) {
+		d := xdr.NewDecoder(args)
+		v, err := d.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		e := xdr.NewEncoder()
+		e.PutUint32(v + 1)
+		return e.Bytes(), nil
+	})
+	return k.SpawnNative("rpc.testincrd", kern.Cred{Name: "rpc-server"}, func(s *kern.Sys) int {
+		fd, errno := s.Socket()
+		if errno != 0 {
+			return 1
+		}
+		if errno := s.Bind(fd, port); errno != 0 {
+			return 1
+		}
+		for {
+			call, src, errno := s.Recvfrom(fd, 64*1024)
+			if errno != 0 {
+				return 1
+			}
+			chargeMsg(s, len(call)) // unmarshal call
+			reply, err := srv.Dispatch(call)
+			if err != nil {
+				continue // undecodable datagram: drop
+			}
+			chargeMsg(s, len(reply)) // marshal reply
+			if errno := s.Sendto(fd, src, reply); errno != 0 {
+				return 1
+			}
+		}
+	})
+}
+
+// SimClient is a simulated-process RPC client endpoint.
+type SimClient struct {
+	sys  *kern.Sys
+	fd   int
+	port uint16 // server port
+	xid  uint32
+}
+
+// NewSimClient creates the client socket inside the calling simulated
+// process and aims it at the server port.
+func NewSimClient(s *kern.Sys, clientPort, serverPort uint16) (*SimClient, error) {
+	fd, errno := s.Socket()
+	if errno != 0 {
+		return nil, fmt.Errorf("rpc: sim socket: errno %d", errno)
+	}
+	if errno := s.Bind(fd, clientPort); errno != 0 {
+		return nil, fmt.Errorf("rpc: sim bind(%d): errno %d", clientPort, errno)
+	}
+	return &SimClient{sys: s, fd: fd, port: serverPort}, nil
+}
+
+// Call issues one RPC over the simulated loopback and returns the
+// XDR-encoded results.
+func (c *SimClient) Call(prog, vers, proc uint32, args []byte) ([]byte, error) {
+	c.xid++
+	msg := EncodeCall(&CallMsg{XID: c.xid, Prog: prog, Vers: vers, Proc: proc, Args: args})
+	chargeMsg(c.sys, len(msg)) // marshal call
+	if errno := c.sys.Sendto(c.fd, c.port, msg); errno != 0 {
+		return nil, fmt.Errorf("rpc: sim sendto: errno %d", errno)
+	}
+	for {
+		raw, _, errno := c.sys.Recvfrom(c.fd, 64*1024)
+		if errno != 0 {
+			return nil, fmt.Errorf("rpc: sim recvfrom: errno %d", errno)
+		}
+		chargeMsg(c.sys, len(raw)) // unmarshal reply
+		reply, err := DecodeReply(raw)
+		if err != nil {
+			return nil, err
+		}
+		if reply.XID != c.xid {
+			continue
+		}
+		return checkReply(reply)
+	}
+}
+
+// Incr calls the test-incr procedure: it returns x+1 as computed by
+// the server.
+func (c *SimClient) Incr(x uint32) (uint32, error) {
+	e := xdr.NewEncoder()
+	e.PutUint32(x)
+	res, err := c.Call(TestIncrProg, TestIncrVers, ProcIncr, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	d := xdr.NewDecoder(res)
+	return d.Uint32()
+}

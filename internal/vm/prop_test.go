@@ -1,0 +1,208 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+// Model-based property tests: drive a Space with random operation
+// sequences and check the structural invariants plus read-your-writes
+// against a flat map model.
+
+type vmOp struct {
+	kind byte   // 0 map, 1 unmap, 2 write, 3 read
+	page uint32 // page index within a 64-page arena
+	n    uint32 // pages for map/unmap (1..4)
+	val  byte
+}
+
+const arenaBase = 0x100000
+const arenaPages = 64
+
+func decodeOps(seed []byte) []vmOp {
+	var ops []vmOp
+	for i := 0; i+3 < len(seed); i += 4 {
+		ops = append(ops, vmOp{
+			kind: seed[i] % 4,
+			page: uint32(seed[i+1]) % arenaPages,
+			n:    uint32(seed[i+2])%4 + 1,
+			val:  seed[i+3],
+		})
+	}
+	return ops
+}
+
+func checkInvariants(t *testing.T, s *Space) bool {
+	entries := s.Entries()
+	for i, e := range entries {
+		if e.Start >= e.End {
+			t.Logf("entry %d empty: [%#x,%#x)", i, e.Start, e.End)
+			return false
+		}
+		if e.Start%mem.PageSize != 0 || e.End%mem.PageSize != 0 {
+			t.Logf("entry %d unaligned", i)
+			return false
+		}
+		if i > 0 && entries[i-1].End > e.Start {
+			t.Logf("entries %d/%d overlap or out of order", i-1, i)
+			return false
+		}
+	}
+	return true
+}
+
+func TestPropertyMapUnmapWriteRead(t *testing.T) {
+	f := func(seed []byte) bool {
+		s := NewSpace(nil, nil)
+		// model[pageIdx] = (mapped, firstByte)
+		type cell struct {
+			mapped bool
+			val    byte
+			init   bool
+		}
+		model := make([]cell, arenaPages)
+
+		for _, op := range decodeOps(seed) {
+			addr := uint32(arenaBase) + op.page*mem.PageSize
+			endPage := op.page + op.n
+			if endPage > arenaPages {
+				endPage = arenaPages
+			}
+			size := (endPage - op.page) * mem.PageSize
+			if size == 0 {
+				continue
+			}
+			switch op.kind {
+			case 0: // map (may fail on overlap; model only on success)
+				if _, err := s.Map(addr, size, ProtRW, "m"); err == nil {
+					for p := op.page; p < endPage; p++ {
+						model[p] = cell{mapped: true}
+					}
+				}
+			case 1: // unmap
+				s.Unmap(addr, addr+size)
+				for p := op.page; p < endPage; p++ {
+					model[p] = cell{}
+				}
+			case 2: // write first byte of the page
+				err := s.Write8(addr, op.val)
+				if model[op.page].mapped {
+					if err != nil {
+						t.Logf("write to mapped page failed: %v", err)
+						return false
+					}
+					model[op.page].val = op.val
+					model[op.page].init = true
+				} else if err == nil {
+					t.Log("write to unmapped page succeeded")
+					return false
+				}
+			case 3: // read first byte
+				v, err := s.Read8(addr)
+				if model[op.page].mapped {
+					if err != nil {
+						t.Logf("read of mapped page failed: %v", err)
+						return false
+					}
+					want := byte(0)
+					if model[op.page].init {
+						want = model[op.page].val
+					}
+					if v != want {
+						t.Logf("read %d, model says %d", v, want)
+						return false
+					}
+				} else if err == nil {
+					t.Log("read of unmapped page succeeded")
+					return false
+				}
+			}
+			if !checkInvariants(t, s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fork preserves the child's view of all parent bytes at fork
+// time, and subsequent parent writes never leak into the child.
+func TestPropertyForkIsolation(t *testing.T) {
+	f := func(vals []byte, overwrite byte) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > 64 {
+			vals = vals[:64]
+		}
+		parent := NewSpace(nil, nil)
+		if _, err := parent.Map(arenaBase, mem.PageSize, ProtRW, "d"); err != nil {
+			return false
+		}
+		for i, v := range vals {
+			if err := parent.Write8(uint32(arenaBase+i), v); err != nil {
+				return false
+			}
+		}
+		child := parent.Fork()
+		// Parent overwrites everything (COW breaks in the parent).
+		for i := range vals {
+			if err := parent.Write8(uint32(arenaBase+i), overwrite); err != nil {
+				return false
+			}
+		}
+		// The child still sees the original values.
+		for i, v := range vals {
+			got, err := child.Read8(uint32(arenaBase + i))
+			if err != nil || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ForceShare makes every byte written by one side visible to
+// the other, at identical physical frames.
+func TestPropertyForceShareBidirectional(t *testing.T) {
+	f := func(writes []byte) bool {
+		a := NewSpace(nil, nil)
+		b := NewSpace(nil, nil)
+		if _, err := a.Map(arenaBase, 2*mem.PageSize, ProtRW, "d"); err != nil {
+			return false
+		}
+		if err := ForceShareSpaces(b, a, arenaBase, arenaBase+2*mem.PageSize); err != nil {
+			return false
+		}
+		for i, v := range writes {
+			addr := uint32(arenaBase) + uint32(i)%(2*mem.PageSize)
+			// Alternate writers.
+			w, r := a, b
+			if i%2 == 1 {
+				w, r = b, a
+			}
+			if err := w.Write8(addr, v); err != nil {
+				return false
+			}
+			got, err := r.Read8(addr)
+			if err != nil || got != v {
+				return false
+			}
+			if !SharesPageWith(a, b, addr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+package xdr
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint32RoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.PutUint32(0)
+	e.PutUint32(1)
+	e.PutUint32(0xDEADBEEF)
+	d := NewDecoder(e.Bytes())
+	for _, want := range []uint32{0, 1, 0xDEADBEEF} {
+		got, err := d.Uint32()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("got %#x, want %#x", got, want)
+		}
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("remaining = %d", d.Remaining())
+	}
+}
+
+func TestBigEndianWireFormat(t *testing.T) {
+	e := NewEncoder()
+	e.PutUint32(0x01020304)
+	if !bytes.Equal(e.Bytes(), []byte{1, 2, 3, 4}) {
+		t.Fatalf("wire = %v, want big-endian", e.Bytes())
+	}
+}
+
+func TestInt32Negative(t *testing.T) {
+	e := NewEncoder()
+	e.PutInt32(-5)
+	d := NewDecoder(e.Bytes())
+	v, err := d.Int32()
+	if err != nil || v != -5 {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+}
+
+func TestHyperRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.PutUint64(0x0102030405060708)
+	e.PutInt64(-42)
+	d := NewDecoder(e.Bytes())
+	u, err := d.Uint64()
+	if err != nil || u != 0x0102030405060708 {
+		t.Fatalf("u=%#x err=%v", u, err)
+	}
+	i, err := d.Int64()
+	if err != nil || i != -42 {
+		t.Fatalf("i=%d err=%v", i, err)
+	}
+}
+
+func TestBoolStrict(t *testing.T) {
+	e := NewEncoder()
+	e.PutBool(true)
+	e.PutBool(false)
+	d := NewDecoder(e.Bytes())
+	if v, err := d.Bool(); err != nil || !v {
+		t.Fatalf("v=%v err=%v", v, err)
+	}
+	if v, err := d.Bool(); err != nil || v {
+		t.Fatalf("v=%v err=%v", v, err)
+	}
+	// 2 is not a valid XDR bool.
+	d2 := NewDecoder([]byte{0, 0, 0, 2})
+	if _, err := d2.Bool(); err == nil {
+		t.Fatal("bool 2 accepted")
+	}
+}
+
+func TestOpaquePadding(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		e := NewEncoder()
+		data := bytes.Repeat([]byte{0xAB}, n)
+		e.PutOpaque(data)
+		if e.Len()%4 != 0 {
+			t.Fatalf("len(opaque(%d)) = %d, not 4-aligned", n, e.Len())
+		}
+		d := NewDecoder(e.Bytes())
+		got, err := d.Opaque()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("opaque(%d) mismatch", n)
+		}
+		if d.Remaining() != 0 {
+			t.Fatalf("opaque(%d): %d bytes left over", n, d.Remaining())
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.PutString("hello, RFC 1832")
+	d := NewDecoder(e.Bytes())
+	s, err := d.String()
+	if err != nil || s != "hello, RFC 1832" {
+		t.Fatalf("s=%q err=%v", s, err)
+	}
+}
+
+func TestUint32sRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.PutUint32s([]uint32{1, 2, 3})
+	d := NewDecoder(e.Bytes())
+	vs, err := d.Uint32s()
+	if err != nil || len(vs) != 3 || vs[0] != 1 || vs[2] != 3 {
+		t.Fatalf("vs=%v err=%v", vs, err)
+	}
+}
+
+func TestShortBufferErrors(t *testing.T) {
+	d := NewDecoder([]byte{0, 0})
+	if _, err := d.Uint32(); err != ErrShort {
+		t.Fatalf("err = %v, want ErrShort", err)
+	}
+	// Opaque whose declared length exceeds the buffer.
+	d = NewDecoder([]byte{0, 0, 0, 200, 1, 2})
+	if _, err := d.Opaque(); err != ErrShort {
+		t.Fatalf("err = %v, want ErrShort", err)
+	}
+	// Array whose declared count exceeds the buffer.
+	d = NewDecoder([]byte{0, 0, 1, 0})
+	if _, err := d.Uint32s(); err != ErrShort {
+		t.Fatalf("err = %v, want ErrShort", err)
+	}
+}
+
+func TestFixedOpaque(t *testing.T) {
+	e := NewEncoder()
+	e.PutFixedOpaque([]byte{1, 2, 3})
+	if e.Len() != 4 {
+		t.Fatalf("len = %d, want 4 (padded)", e.Len())
+	}
+	d := NewDecoder(e.Bytes())
+	b, err := d.FixedOpaque(3)
+	if err != nil || !bytes.Equal(b, []byte{1, 2, 3}) {
+		t.Fatalf("b=%v err=%v", b, err)
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder()
+	e.PutUint32(1)
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+// Property: opaque round trip is the identity for arbitrary byte slices.
+func TestOpaqueRoundTripProperty(t *testing.T) {
+	f := func(b []byte) bool {
+		e := NewEncoder()
+		e.PutOpaque(b)
+		d := NewDecoder(e.Bytes())
+		got, err := d.Opaque()
+		return err == nil && bytes.Equal(got, b) && d.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any interleaving of scalar round trips preserves values.
+func TestScalarRoundTripProperty(t *testing.T) {
+	f := func(a uint32, b int32, c uint64, d int64, s string) bool {
+		e := NewEncoder()
+		e.PutUint32(a)
+		e.PutInt32(b)
+		e.PutUint64(c)
+		e.PutInt64(d)
+		e.PutString(s)
+		dec := NewDecoder(e.Bytes())
+		ga, e1 := dec.Uint32()
+		gb, e2 := dec.Int32()
+		gc, e3 := dec.Uint64()
+		gd, e4 := dec.Int64()
+		gs, e5 := dec.String()
+		return e1 == nil && e2 == nil && e3 == nil && e4 == nil && e5 == nil &&
+			ga == a && gb == b && gc == c && gd == d && gs == s && dec.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
