@@ -1,0 +1,43 @@
+# Build/verify targets for the SecModule reproduction. `make ci` is the
+# gate the GitHub workflow runs: vet, build, unit tests, then the full
+# race-detector pass over the concurrent fleet layer.
+
+GO ?= go
+
+.PHONY: all ci build vet test race fuzz-short bench fleet fig8
+
+all: ci
+
+ci: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Brief coverage-guided fuzzing of the policy parser and XDR codec;
+# long hunts: go test -fuzz=<target> -fuzztime=10m ./internal/policy
+fuzz-short:
+	$(GO) test -run=NONE -fuzz=FuzzParseAssertion -fuzztime=10s ./internal/policy
+	$(GO) test -run=NONE -fuzz=FuzzQuery -fuzztime=10s ./internal/policy
+	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=10s ./internal/xdr
+	$(GO) test -run=NONE -fuzz=FuzzRoundTrip -fuzztime=10s ./internal/xdr
+	$(GO) test -run=NONE -fuzz=FuzzUint32sRoundTrip -fuzztime=10s ./internal/xdr
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# The paper's Figure 8 table (scaled down; see cmd/smodbench -h).
+fig8:
+	$(GO) run ./cmd/smodbench
+
+# The fleet throughput scaling curve (see cmd/smodfleet -h).
+fleet:
+	$(GO) run ./cmd/smodfleet

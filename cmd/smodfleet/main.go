@@ -1,0 +1,94 @@
+// Command smodfleet measures aggregate smod_call throughput across a
+// fleet of independent simulated kernels, extending the paper's
+// single-kernel Figure 8 latencies with a scaling curve: the same
+// SecModule libc traffic, sharded by client key over 1..N shards.
+//
+// Two workloads run per shard count:
+//
+//   - closed-loop: a fixed set of warm sticky clients, each issuing its
+//     next call only after the previous returned (steady state);
+//   - open-loop: every call arrives under a fresh client key and pays
+//     full session setup, with warm-session capacity bounded per shard
+//     and reclaimed LRU (session churn).
+//
+// Usage:
+//
+//	smodfleet                              # default scaling sweep
+//	smodfleet -shards 1,2,4,8 -clients 16 -calls 100
+//	smodfleet -open=false                  # closed-loop only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/clock"
+	"repro/internal/measure"
+)
+
+func main() {
+	var (
+		shardList   = flag.String("shards", "1,2,4,8", "comma-separated shard counts to sweep")
+		clients     = flag.Int("clients", 16, "closed-loop sticky clients")
+		calls       = flag.Int("calls", 50, "closed-loop calls per client")
+		openCalls   = flag.Int("opencalls", 64, "open-loop total calls (fresh key each)")
+		maxSessions = flag.Int("maxsessions", 8, "open-loop warm-session cap per shard (LRU reclaim)")
+		openLoop    = flag.Bool("open", true, "also run the open-loop (session churn) sweep")
+	)
+	flag.Parse()
+
+	shards, err := parseShards(*shardList)
+	if err != nil {
+		fatal(err)
+	}
+
+	maxShards := shards[0]
+	for _, n := range shards {
+		if n > maxShards {
+			maxShards = n
+		}
+	}
+	fmt.Println(clock.MachineInfo())
+	fmt.Printf("\nFleet scaling: %d kernels max, sharded smod_call traffic (simulated time)\n\n", maxShards)
+
+	var rows []measure.ThroughputStats
+	for _, n := range shards {
+		row, err := measure.RunFleetClosedLoop(n, *clients, *calls)
+		if err != nil {
+			fatal(fmt.Errorf("closed-loop %d shards: %w", n, err))
+		}
+		rows = append(rows, row)
+	}
+	if *openLoop {
+		for _, n := range shards {
+			row, err := measure.RunFleetOpenLoop(n, *openCalls, *maxSessions)
+			if err != nil {
+				fatal(fmt.Errorf("open-loop %d shards: %w", n, err))
+			}
+			rows = append(rows, row)
+		}
+	}
+	fmt.Print(measure.FleetScalingTable(rows))
+	fmt.Println("\nspeedup is aggregate calls/sec relative to each workload's first row;")
+	fmt.Println("open-loop pays per-call session setup (find + policy + forced fork), closed-loop reuses warm sessions.")
+}
+
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad shard count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smodfleet:", err)
+	os.Exit(1)
+}

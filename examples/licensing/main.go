@@ -19,7 +19,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/asm"
 	"repro/internal/core"
@@ -65,6 +67,12 @@ ck_done:
 `
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	k := kern.New()
 	sm := core.Attach(k)
 
@@ -75,13 +83,13 @@ func main() {
 	// keystore and never reaches any client.
 	libObj, err := asm.Assemble("cksum.s", proprietaryLib)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	plain := &obj.Archive{Name: "libcksum.a"}
 	plain.Add(libObj)
 	lib, err := modcrypt.EncryptArchive(sm.ModKeys, plain, "cksum-key", []byte("product master key"))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	m, err := sm.Register(&core.ModuleSpec{
@@ -93,9 +101,9 @@ licensees: "vendor"
 `},
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("registered encrypted module %q v%d (encrypted at rest: %v)\n\n",
+	fmt.Fprintf(out, "registered encrypted module %q v%d (encrypted at rest: %v)\n\n",
 		m.Name, m.Version, m.Encrypted)
 
 	// The vendor issues licenses (signed KeyNote credentials).
@@ -104,14 +112,14 @@ licensees: "customer-a"
 conditions: app_domain == "secmodule" && module == "cksum" -> "allow";
 `)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	expiredLicense, err := sm.PolicyKeys.SignAssertion(`authorizer: "vendor"
 licensees: "customer-b"
 conditions: app_domain == "secmodule" && module == "cksum" && now < 0 -> "allow";
 `)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	forgedLicense := `authorizer: "vendor"
 licensees: "pirate"
@@ -120,7 +128,7 @@ signature: "hmac-sha256:00000000000000000000000000000000000000000000000000000000
 `
 
 	fid, _ := m.FuncID("checksum")
-	try := func(who, license string) {
+	try := func(who, license string) error {
 		var outcome string
 		client := k.SpawnNative(who, kern.Cred{UID: 10, Name: who}, func(s *kern.Sys) int {
 			c, err := core.AttachNative(s, "cksum", 2, license)
@@ -136,23 +144,30 @@ signature: "hmac-sha256:00000000000000000000000000000000000000000000000000000000
 		if err := k.RunUntil(func() bool {
 			return client.State == kern.StateZombie || client.State == kern.StateDead
 		}, 0); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%-12s %s\n", who+":", outcome)
+		fmt.Fprintf(out, "%-12s %s\n", who+":", outcome)
+		return nil
 	}
 
-	try("customer-a", goodLicense)
-	try("customer-b", expiredLicense)
-	try("pirate", forgedLicense)
+	if err := try("customer-a", goodLicense); err != nil {
+		return err
+	}
+	if err := try("customer-b", expiredLicense); err != nil {
+		return err
+	}
+	if err := try("pirate", forgedLicense); err != nil {
+		return err
+	}
 
 	// Revocation: the vendor removes the module; new sessions fail.
-	fmt.Println("\nvendor revokes the module via smod_remove...")
+	fmt.Fprintln(out, "\nvendor revokes the module via smod_remove...")
 	removeCred, err := sm.PolicyKeys.SignAssertion(`authorizer: "vendor"
 licensees: "vendor"
 conditions: operation == "remove" -> "allow";
 `)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	var removeErrno int
 	vendor := k.SpawnNative("vendor", kern.Cred{UID: 1, Name: "vendor"}, func(s *kern.Sys) int {
@@ -163,10 +178,9 @@ conditions: operation == "remove" -> "allow";
 	if err := k.RunUntil(func() bool {
 		return vendor.State == kern.StateZombie || vendor.State == kern.StateDead
 	}, 0); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("smod_remove errno = %d; module registered afterwards: %v\n",
+	fmt.Fprintf(out, "smod_remove errno = %d; module registered afterwards: %v\n",
 		removeErrno, sm.Find("cksum", 2) != 0)
-	try("customer-a", goodLicense)
-	_ = obj.KindFunc
+	return try("customer-a", goodLicense)
 }

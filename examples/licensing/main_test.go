@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`registered encrypted module "cksum" v2 (encrypted at rest: true)`,
+		`customer-a:  licensed: checksum("pay me") = 0xc4ad3410`,
+		"customer-b:  refused at session start",
+		"pirate:      refused at session start",
+		"smod_remove errno = 0; module registered afterwards: false",
+		"smod_find(cksum,2): errno 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+}

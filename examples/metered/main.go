@@ -17,7 +17,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/asm"
 	"repro/internal/clock"
@@ -53,12 +55,18 @@ cr_done:
 `
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	k := kern.New()
 	sm := core.Attach(k)
 
 	libObj, err := asm.Assemble("crunch.s", expensiveLib)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	lib := &obj.Archive{Name: "libcrunch.a"}
 	lib.Add(libObj)
@@ -76,7 +84,7 @@ conditions: operation == "session" -> "allow";
 `},
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	fid, _ := m.FuncID("crunch")
@@ -84,7 +92,8 @@ conditions: operation == "session" -> "allow";
 	client := k.SpawnNative("batch", kern.Cred{UID: 50, Name: "batchuser"}, func(s *kern.Sys) int {
 		c, err := core.AttachNative(s, "crunch", 1, "")
 		if err != nil {
-			log.Fatal(err)
+			results = append(results, fmt.Sprintf("attach failed: %v", err))
+			return 1
 		}
 		for i := 1; i <= 8; i++ {
 			before := k.Clk.Cycles()
@@ -104,13 +113,20 @@ conditions: operation == "session" -> "allow";
 	if err := k.RunUntil(func() bool {
 		return client.State == kern.StateZombie || client.State == kern.StateDead
 	}, 0); err != nil {
-		log.Fatal(err)
+		return err
+	}
+	if client.ExitStatus != 0 {
+		detail := "no output"
+		if len(results) > 0 {
+			detail = results[len(results)-1]
+		}
+		return fmt.Errorf("metered client exited %d: %s", client.ExitStatus, detail)
 	}
 
-	fmt.Println("metered module: quota of 5 calls per session, enforced per call in the kernel")
+	fmt.Fprintln(out, "metered module: quota of 5 calls per session, enforced per call in the kernel")
 	for _, r := range results {
-		fmt.Println(" ", r)
+		fmt.Fprintln(out, " ", r)
 	}
-	fmt.Printf("\ncompleted dispatches: %d; policy checks: %d\n", sm.Calls, sm.PolicyChecks)
-	_ = obj.KindFunc
+	fmt.Fprintf(out, "\ncompleted dispatches: %d; policy checks: %d\n", sm.Calls, sm.PolicyChecks)
+	return nil
 }

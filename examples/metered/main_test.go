@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"call 5: crunch(10000) = 10000",
+		"call 6: DENIED by quota policy (EACCES)",
+		"call 8: DENIED by quota policy (EACCES)",
+		"completed dispatches: 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "call 6: crunch") {
+		t.Errorf("quota did not stop the sixth call:\n%s", out)
+	}
+}

@@ -17,7 +17,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/asm"
 	"repro/internal/core"
@@ -91,46 +93,58 @@ main:
 	RET
 `
 
-func mkArchive(t string, src string) *obj.Archive {
+func mkArchive(t string, src string) (*obj.Archive, error) {
 	o, err := asm.Assemble(t, src)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	a := &obj.Archive{Name: t}
 	a.Add(o)
-	return a
+	return a, nil
 }
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	k := kern.New()
 	sm := core.Attach(k)
 
 	policy := `authorizer: "POLICY"
 licensees: "pipeline"
 `
-	sensor := mkArchive("libsensor.a", sensorLib)
+	sensor, err := mkArchive("libsensor.a", sensorLib)
+	if err != nil {
+		return err
+	}
 	if _, err := sm.Register(&core.ModuleSpec{
 		Name: "sensor", Version: 1, Owner: "ops", Lib: sensor,
 		PolicySrc: []string{policy},
 	}); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	cryptoPlain := mkArchive("libcrypto.a", cryptoLib)
+	cryptoPlain, err := mkArchive("libcrypto.a", cryptoLib)
+	if err != nil {
+		return err
+	}
 	crypto, err := modcrypt.EncryptArchive(sm.ModKeys, cryptoPlain, "crypto-key", []byte("hsm key"))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if _, err := sm.Register(&core.ModuleSpec{
 		Name: "crypto", Version: 1, Owner: "security", Lib: crypto,
 		PolicySrc: []string{policy},
 	}); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	mainObj, err := asm.Assemble("main.s", clientSrc)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	im, err := core.LinkClient([]*obj.Object{mainObj},
 		[]core.ClientModule{
@@ -139,32 +153,33 @@ licensees: "pipeline"
 		},
 		[]*obj.Archive{sensor, crypto})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	client, err := k.Spawn("pipeline", kern.Cred{UID: 10, Name: "pipeline"}, im)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Pause once both sessions are up to inspect the handle topology.
 	if err := k.RunUntil(func() bool { return sm.SessionsOpened == 2 && sm.Calls >= 1 }, 0); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("sessions after attach:")
+	fmt.Fprintln(out, "sessions after attach:")
 	for _, s := range sm.SessionsOf(client.PID) {
-		fmt.Printf("  module %-8q handle pid %d (encrypted: %v)\n",
+		fmt.Fprintf(out, "  module %-8q handle pid %d (encrypted: %v)\n",
 			s.Module.Name, s.Handle.PID, s.Module.Encrypted)
 	}
 
 	if err := k.Run(0); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	mixer := uint32(2654435761)
 	want := (42 * mixer) ^ 0x5EC0DE5
-	fmt.Printf("\nclient exit: %d; sign(next()) = %#x (want %#x) -> %v\n",
+	fmt.Fprintf(out, "\nclient exit: %d; sign(next()) = %#x (want %#x) -> %v\n",
 		client.ExitStatus, uint32(client.ExitStatus), want,
 		uint32(client.ExitStatus) == want)
-	fmt.Printf("%d protected calls across %d modules, %d handles total\n",
+	fmt.Fprintf(out, "%d protected calls across %d modules, %d handles total\n",
 		sm.Calls, 2, sm.SessionsOpened)
+	return nil
 }

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`module "sensor"`,
+		`module "crypto"`,
+		"(encrypted: true)",
+		"sign(next()) = 0xf0f5faef (want 0xf0f5faef) -> true",
+		"3 protected calls across 2 modules, 2 handles total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -11,7 +11,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/asm"
 	"repro/internal/core"
@@ -68,6 +70,12 @@ main:
 `
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	// A fresh simulated machine with the SecModule kernel layer.
 	k := kern.New()
 	sm := core.Attach(k)
@@ -76,7 +84,7 @@ func main() {
 	//    The policy admits the principal "alice" only.
 	libObj, err := asm.Assemble("mathlib.s", librarySource)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	lib := &obj.Archive{Name: "mathlib.a"}
 	lib.Add(libObj)
@@ -92,45 +100,46 @@ conditions: app_domain == "secmodule" && module == "mathlib" -> "allow";
 `},
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("registered module %q v%d as m_id %d, functions %v\n",
+	fmt.Fprintf(out, "registered module %q v%d as m_id %d, functions %v\n",
 		module.Name, module.Version, module.ID, module.Funcs)
 
 	// 2. Link the client: user code + generated crt0 + generated stubs.
 	//    The library archive is consulted only for its symbol list.
 	mainObj, err := asm.Assemble("main.s", clientSource)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	image, err := core.LinkClient([]*obj.Object{mainObj},
 		[]core.ClientModule{{Name: "mathlib", Version: 1}},
 		[]*obj.Archive{lib})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// 3. Run it as alice. crt0 performs the Figure 1 handshake before
 	//    main; every library call crosses into the handle.
 	client, err := k.Spawn("quickstart", kern.Cred{UID: 1000, Name: "alice"}, image)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := k.Run(0); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("client exited %d (want 91), after %d protected calls\n",
+	fmt.Fprintf(out, "client exited %d (want 91), after %d protected calls\n",
 		client.ExitStatus, sm.Calls)
 
 	// 4. The same binary run as mallory is refused at session start:
 	//    crt0 exits with EACCES before main ever runs.
 	mallory, err := k.Spawn("intruder", kern.Cred{UID: 666, Name: "mallory"}, image)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := k.Run(0); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("mallory's run exited %d (EACCES=%d): policy held\n",
+	fmt.Fprintf(out, "mallory's run exited %d (EACCES=%d): policy held\n",
 		mallory.ExitStatus, kern.EACCES)
+	return nil
 }

@@ -15,7 +15,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/asm"
 	"repro/internal/core"
@@ -85,18 +87,25 @@ main:
 `
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	k := kern.New()
 	sm := core.Attach(k)
-	step := 0
+	// Exited procs are reaped out of the process table, so the
+	// core-dump check below needs handle PIDs recorded at exit time.
+	handlePIDs := k.RecordHandleExits()
 	sm.Tracef = func(format string, args ...any) {
-		step++
-		fmt.Printf("  [trace] "+format+"\n", args...)
+		fmt.Fprintf(out, "  [trace] "+format+"\n", args...)
 	}
 	sm.TraceCalls = true
 
 	lib, err := core.LibCArchive()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if _, err := sm.Register(&core.ModuleSpec{
 		Name: "libc", Version: 1, Owner: "os-vendor", Lib: lib,
@@ -104,27 +113,27 @@ func main() {
 licensees: "user"
 `},
 	}); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	build := func(src string) *obj.Image {
+	build := func(src string) (*obj.Image, error) {
 		o, err := asm.Assemble("main.s", src)
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
-		im, err := core.LinkClient([]*obj.Object{o},
+		return core.LinkClient([]*obj.Object{o},
 			[]core.ClientModule{{Name: "libc", Version: 1}},
 			[]*obj.Archive{lib})
-		if err != nil {
-			log.Fatal(err)
-		}
-		return im
 	}
 
-	fmt.Println("=== 1. the Figure 1 sequence, live ===")
-	client, err := k.Spawn("app", kern.Cred{UID: 1000, Name: "user"}, build(wellBehaved))
+	fmt.Fprintln(out, "=== 1. the Figure 1 sequence, live ===")
+	im, err := build(wellBehaved)
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+	client, err := k.Spawn("app", kern.Cred{UID: 1000, Name: "user"}, im)
+	if err != nil {
+		return err
 	}
 
 	// Pause after the handshake for the Figure 2 dump.
@@ -132,38 +141,43 @@ licensees: "user"
 		ss := sm.SessionsOf(client.PID)
 		return len(ss) > 0 && ss[0].Handle.Space.Partner != nil
 	}, 0); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	s := sm.SessionsOf(client.PID)[0]
-	fmt.Println("\n=== 2. Figure 2 address spaces after the handshake ===")
-	fmt.Printf("client pid %d:\n%s\n", client.PID, indent(client.Space.Describe()))
-	fmt.Printf("handle pid %d:\n%s\n", s.Handle.PID, indent(s.Handle.Space.Describe()))
+	fmt.Fprintln(out, "\n=== 2. Figure 2 address spaces after the handshake ===")
+	fmt.Fprintf(out, "client pid %d:\n%s\n", client.PID, indent(client.Space.Describe()))
+	fmt.Fprintf(out, "handle pid %d:\n%s\n", s.Handle.PID, indent(s.Handle.Space.Describe()))
 	handle := s.Handle
 
 	if err := k.Run(0); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nclient wrote through the protected libc: %q\n", string(k.Console))
-	fmt.Printf("exit status %d (strlen result, calloc zero verified)\n", client.ExitStatus)
+	fmt.Fprintf(out, "\nclient wrote through the protected libc: %q\n", string(k.Console))
+	fmt.Fprintf(out, "exit status %d (strlen result, calloc zero verified)\n", client.ExitStatus)
 
-	fmt.Println("\n=== 3. the boundary holds ===")
+	fmt.Fprintln(out, "\n=== 3. the boundary holds ===")
 	sm.Tracef = nil
 	sm.TraceCalls = false
 
-	attacker, err := k.Spawn("attacker", kern.Cred{UID: 1000, Name: "user"}, build(hostile))
+	him, err := build(hostile)
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+	attacker, err := k.Spawn("attacker", kern.Cred{UID: 1000, Name: "user"}, him)
+	if err != nil {
+		return err
 	}
 	if err := k.Run(0); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("client reading module text: killed by signal %d (SIGSEGV=%d)\n",
+	fmt.Fprintf(out, "client reading module text: killed by signal %d (SIGSEGV=%d)\n",
 		attacker.KilledBy, kern.SIGSEGV)
 
-	fmt.Printf("handle core dumps recorded: %v (must stay empty of handles)\n",
-		coreDumpPIDs(k))
-	fmt.Printf("handle %d was flagged NoTrace=%v NoCoreDump=%v\n",
+	fmt.Fprintf(out, "handle core dumps recorded: %v (must stay empty of handles)\n",
+		k.HandleCoreDumps(handlePIDs))
+	fmt.Fprintf(out, "handle %d was flagged NoTrace=%v NoCoreDump=%v\n",
 		handle.PID, handle.NoTrace, handle.NoCoreDump)
+	return nil
 }
 
 func indent(s string) string {
@@ -189,16 +203,6 @@ func splitLines(s string) []string {
 	}
 	if cur != "" {
 		out = append(out, cur)
-	}
-	return out
-}
-
-func coreDumpPIDs(k *kern.Kernel) []int {
-	var out []int
-	for pid := range k.Cores {
-		if p := k.Proc(pid); p != nil && p.IsHandle {
-			out = append(out, pid)
-		}
 	}
 	return out
 }

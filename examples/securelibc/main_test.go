@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"(1) smod_find(\"libc\", 1)",
+		"(2) smod_start_session(libc)",
+		"(3) smod_session_info",
+		"(4) smod_handle_info",
+		"module-text",
+		"secret",
+		"client wrote through the protected libc",
+		"client reading module text: killed by signal 11 (SIGSEGV=11)",
+		"handle core dumps recorded: [] (must stay empty of handles)",
+		"NoTrace=true NoCoreDump=true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Fleet-level acceptance test: aggregate smod_call throughput must
+// scale when the same client population is sharded across more
+// simulated kernels. This is the repository's scaling counterpart to
+// the Figure 8 latency regeneration in integration_test.go.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/measure"
+)
+
+func TestFleetThroughputScaling(t *testing.T) {
+	const clients, calls = 8, 25
+	one, err := measure.RunFleetClosedLoop(1, clients, calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := measure.RunFleetClosedLoop(4, clients, calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("1 shard: %.0f calls/sec (makespan %.1fus); 4 shards: %.0f calls/sec (makespan %.1fus)",
+		one.CallsPerSec, one.MakespanMicros, four.CallsPerSec, four.MakespanMicros)
+
+	// 8 warm clients over 4 kernels: ideal speedup 4x; require at least
+	// 2x so the assertion is robust to scheduling overhead.
+	if four.CallsPerSec < 2*one.CallsPerSec {
+		t.Errorf("aggregate throughput did not scale: 1 shard %.0f calls/sec, 4 shards %.0f calls/sec",
+			one.CallsPerSec, four.CallsPerSec)
+	}
+
+	// Both configurations performed identical work.
+	if one.TotalCalls != clients*calls || four.TotalCalls != clients*calls {
+		t.Errorf("call counts differ: %d vs %d (want %d)",
+			one.TotalCalls, four.TotalCalls, clients*calls)
+	}
+
+	// The per-call dispatch cost stays in the Figure 8 regime (a few
+	// microseconds, not tens): sharding buys throughput, not latency.
+	if one.MicrosPerCall < 1 || one.MicrosPerCall > 60 {
+		t.Errorf("closed-loop us/call = %.3f, outside plausible SMOD dispatch range", one.MicrosPerCall)
+	}
+}

@@ -84,6 +84,21 @@ func Micros(cycles uint64) float64 {
 	return float64(cycles) / CyclesPerMicrosecond
 }
 
+// Seconds converts a cycle count to seconds on the simulated machine.
+func Seconds(cycles uint64) float64 {
+	return Micros(cycles) / 1e6
+}
+
+// PerSec converts an event count over a cycle span into a simulated
+// events-per-second rate (the fleet throughput unit). A zero span
+// yields 0 rather than Inf so empty measurements stay printable.
+func PerSec(events int, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(events) / Seconds(cycles)
+}
+
 // MachineInfo returns the Figure 7 style description of the simulated
 // test system, printed by cmd/smodbench before the measurement table.
 func MachineInfo() string {

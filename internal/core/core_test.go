@@ -397,6 +397,9 @@ func TestClientExitKillsHandle(t *testing.T) {
 func TestHandleNeverDumpsCoreOnBadCall(t *testing.T) {
 	k, sm := newSMod(t)
 	registerLibc(t, sm, nil)
+	// Exited procs are reaped out of the process table, so the
+	// core-dump check below needs handle PIDs recorded at exit time.
+	handlePIDs := k.RecordHandleExits()
 	// Call memset with a hostile pointer: the handle faults executing
 	// the module body. It must die without a core image, and the
 	// orphaned client must be killed.
@@ -413,11 +416,8 @@ main:
 	LEAVE
 	RET
 `))
-	for pid := range k.Cores {
-		proc := k.Proc(pid)
-		if proc != nil && proc.IsHandle {
-			t.Fatal("handle dumped core")
-		}
+	if dumps := k.HandleCoreDumps(handlePIDs); len(dumps) > 0 {
+		t.Fatalf("handle dumped core: %v", dumps)
 	}
 	if p.KilledBy != kern.SIGKILL {
 		t.Fatalf("orphaned client not killed (killedBy=%d)", p.KilledBy)

@@ -1,0 +1,379 @@
+// Package fleet shards SecModule call traffic across N independent
+// simulated kernels, the first scaling layer on the road from the
+// paper's single-machine Figure 8 measurements to a system serving
+// heavy concurrent traffic.
+//
+// Each shard owns one kern.Kernel (with its own cycle clock, physical
+// memory, and SecModule layer) and runs in its own goroutine — kernels
+// are deterministic and fully self-contained, so the fleet scales with
+// host cores while every shard stays bit-for-bit reproducible. Client
+// traffic is routed by client key through a sticky assignment pool
+// (Pool, IPAM-style: least-loaded allocation, sticky while held,
+// reclaimed on Release). Inside a shard every key gets one simulated
+// client process holding a warm core.Session to the protected module;
+// requests are coalesced into batches, handed to the parked client
+// processes, and executed in a single deterministic kernel stretch.
+//
+// Two submission modes exist:
+//
+//   - Call/Go: live traffic from any number of goroutines, coalesced
+//     opportunistically (open-loop friendly);
+//   - RunPlan: a fixed request sequence routed and executed
+//     deterministically — same plan, same config, same per-shard cycle
+//     counts, regardless of goroutine interleaving (the property the
+//     fleet tests pin down).
+//
+// Aggregate statistics merge every shard's clock: since the shards
+// simulate N independent machines running concurrently, the fleet's
+// simulated makespan is the maximum per-shard busy time, and aggregate
+// throughput is total calls over that makespan.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/kern"
+)
+
+// Config describes a fleet.
+type Config struct {
+	// Shards is the number of independent kernels (>= 1).
+	Shards int
+	// Module and Version name the protected module every client
+	// attaches to; Provision must register it on each shard's kernel.
+	Module  string
+	Version int
+	// Credential is the serialized credential text clients present at
+	// session start ("" when the module policy admits them directly).
+	Credential string
+	// ClientUID and ClientName form the kernel credential of the
+	// simulated client processes.
+	ClientUID  int
+	ClientName string
+	// Provision registers modules (and any keys) on one shard's fresh
+	// kernel. It runs once per shard and must be deterministic.
+	Provision func(*kern.Kernel, *core.SMod) error
+	// MaxSessionsPerShard caps warm sessions per shard; the least
+	// recently used idle session is reclaimed when the cap is hit
+	// (0 = unlimited). The cap is soft: sessions busy in the current
+	// batch are never evicted.
+	MaxSessionsPerShard int
+	// MaxBatch bounds how many inbox jobs a shard coalesces into one
+	// kernel stretch (default 256).
+	MaxBatch int
+}
+
+// Request is one protected call addressed by client key.
+type Request struct {
+	Key    string
+	FuncID uint32
+	Args   []uint32
+}
+
+// Response is the outcome of one request.
+type Response struct {
+	// Val is the function's return value when Errno == 0 and Err == nil.
+	Val uint32
+	// Errno is the simulated kernel errno from smod_call (0 = success).
+	Errno int
+	// Err reports fleet-level failures: session attach errors, a client
+	// killed mid-batch, shutdown.
+	Err error
+	// Shard is the shard that served (or failed) the request, or -1
+	// when the request was never routed (fleet already closed).
+	Shard int
+}
+
+// Stats aggregates the fleet. Per-shard entries are each in their own
+// simulated clock domain; MakespanCycles is the maximum shard clock,
+// the fleet-wide simulated elapsed time.
+type Stats struct {
+	Shards         int
+	PerShard       []ShardStats
+	TotalCalls     uint64
+	SessionsOpened uint64
+	Evictions      uint64
+	MakespanCycles uint64
+}
+
+// merge folds per-shard snapshots into fleet aggregates.
+func merge(per []ShardStats) Stats {
+	st := Stats{Shards: len(per), PerShard: per}
+	for _, s := range per {
+		st.TotalCalls += s.Calls
+		st.SessionsOpened += s.SessionsOpened
+		st.Evictions += s.Evictions
+		if s.Cycles > st.MakespanCycles {
+			st.MakespanCycles = s.Cycles
+		}
+	}
+	return st
+}
+
+// Fleet is a running shard fleet.
+type Fleet struct {
+	cfg    Config
+	shards []*shard
+	pool   *Pool
+
+	// mu guards closed and, as a reader lock, every inbox send: Close
+	// takes the write side before closing the inboxes so no sender can
+	// race a closed channel.
+	mu     sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+
+	finalOnce sync.Once
+	final     Stats
+	closeErr  error
+}
+
+// ErrClosed is returned by operations on a closed fleet.
+var ErrClosed = errors.New("fleet: closed")
+
+// New builds and starts a fleet.
+func New(cfg Config) (*Fleet, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("fleet: need at least 1 shard, got %d", cfg.Shards)
+	}
+	if cfg.Module == "" || cfg.Provision == nil {
+		return nil, errors.New("fleet: Config needs Module and Provision")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	if cfg.ClientName == "" {
+		cfg.ClientName = "fleet-client"
+	}
+	f := &Fleet{cfg: cfg, pool: NewPool(cfg.Shards)}
+	for i := 0; i < cfg.Shards; i++ {
+		sh, err := newShard(i, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sh.onEvict = func(key string) { f.pool.PutIf(key, sh.id) }
+		f.shards = append(f.shards, sh)
+	}
+	for _, sh := range f.shards {
+		f.wg.Add(1)
+		go func(sh *shard) {
+			defer f.wg.Done()
+			sh.loop()
+		}(sh)
+	}
+	return f, nil
+}
+
+// FuncID resolves an exported function name of the fleet's module.
+// Provisioning is identical across shards, so shard 0 is authoritative.
+func (f *Fleet) FuncID(name string) (uint32, bool) {
+	sm := f.shards[0].sm
+	m := sm.Module(sm.Find(f.cfg.Module, f.cfg.Version))
+	if m == nil {
+		return 0, false
+	}
+	id, ok := m.FuncID(name)
+	return uint32(id), ok
+}
+
+// send routes a job to shard sid, failing cleanly on a closed fleet.
+func (f *Fleet) send(sid int, j *job) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
+		return ErrClosed
+	}
+	f.shards[sid].inbox <- j
+	return nil
+}
+
+// route allocates key's sticky shard and enqueues j there. The closed
+// check happens before the pool allocation (both under the same reader
+// lock as the send), so calls against a closed fleet never leave
+// phantom assignments behind in the pool's load accounting.
+func (f *Fleet) route(key string, j *job) (int, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
+		return -1, ErrClosed
+	}
+	sid := f.pool.Get(key)
+	f.shards[sid].inbox <- j
+	return sid, nil
+}
+
+// Go submits one request asynchronously; the returned channel yields
+// exactly one Response. Safe for concurrent use.
+func (f *Fleet) Go(req Request) <-chan Response {
+	out := make(chan Response, 1)
+	j := &job{
+		kind:    jobCalls,
+		reqs:    []Request{req},
+		results: make([]Response, 1),
+		done:    make(chan struct{}),
+	}
+	sid, err := f.route(req.Key, j)
+	if err != nil {
+		out <- Response{Err: err, Shard: sid}
+		return out
+	}
+	go func() {
+		<-j.done
+		out <- j.results[0]
+	}()
+	return out
+}
+
+// Call submits one request and waits for its response. Safe for
+// concurrent use; concurrent callers hitting the same shard are
+// coalesced into shared kernel batches. Unlike Go it waits on the job
+// directly, with no forwarding goroutine per request.
+func (f *Fleet) Call(key string, funcID uint32, args ...uint32) (uint32, error) {
+	j := &job{
+		kind:    jobCalls,
+		reqs:    []Request{{Key: key, FuncID: funcID, Args: args}},
+		results: make([]Response, 1),
+		done:    make(chan struct{}),
+	}
+	if _, err := f.route(key, j); err != nil {
+		return 0, err
+	}
+	<-j.done
+	r := j.results[0]
+	switch {
+	case r.Err != nil:
+		return 0, r.Err
+	case r.Errno != 0:
+		return 0, fmt.Errorf("fleet: smod_call errno %d (shard %d)", r.Errno, r.Shard)
+	}
+	return r.Val, nil
+}
+
+// RunPlan routes and executes a fixed request sequence: requests are
+// assigned shards in plan order through the sticky pool and delivered
+// to every shard as a single batch, so per-client call order follows
+// plan order and, on a fresh fleet, the execution (including every
+// shard's cycle count) is fully deterministic. Responses align with
+// reqs by index.
+func (f *Fleet) RunPlan(reqs []Request) ([]Response, error) {
+	// Route and submit under one reader lock so a closed fleet rejects
+	// the whole plan before any pool allocation happens.
+	f.mu.RLock()
+	if f.closed {
+		f.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	perShard := make([][]int, len(f.shards))
+	for i := range reqs {
+		sid := f.pool.Get(reqs[i].Key)
+		perShard[sid] = append(perShard[sid], i)
+	}
+	var jobs []*job
+	var jobIdx [][]int
+	for sid, idxs := range perShard {
+		if len(idxs) == 0 {
+			continue
+		}
+		j := &job{
+			kind:    jobCalls,
+			reqs:    make([]Request, len(idxs)),
+			results: make([]Response, len(idxs)),
+			done:    make(chan struct{}),
+		}
+		for i, gi := range idxs {
+			j.reqs[i] = reqs[gi]
+		}
+		f.shards[sid].inbox <- j
+		jobs = append(jobs, j)
+		jobIdx = append(jobIdx, idxs)
+	}
+	f.mu.RUnlock()
+	out := make([]Response, len(reqs))
+	for ji, j := range jobs {
+		<-j.done
+		for i, gi := range jobIdx[ji] {
+			out[gi] = j.results[i]
+		}
+	}
+	return out, nil
+}
+
+// Release reclaims a client key: the pool slot is freed first (so a
+// later request may land anywhere) and the eviction is then broadcast
+// to every shard — eviction of an absent key is a no-op, and the
+// broadcast runs even for keys with no pool assignment so it also
+// sweeps up any session a previous racy Release left behind. Release
+// is not linearizable with concurrent calls on the same key: a call in
+// flight may recreate the session after the eviction passes its shard;
+// such a session is reclaimed by the next Release (or LRU cap).
+func (f *Fleet) Release(key string) error {
+	f.pool.Put(key)
+	var jobs []*job
+	for sid := range f.shards {
+		j := &job{kind: jobRelease, key: key, done: make(chan struct{})}
+		if err := f.send(sid, j); err != nil {
+			return err
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		<-j.done
+	}
+	return nil
+}
+
+// Stats takes a coherent per-shard snapshot. Each shard answers after
+// finishing the work submitted before the snapshot request, so counters
+// are consistent per shard. After Close it returns the final stats.
+func (f *Fleet) Stats() Stats {
+	var jobs []*job
+	for sid := range f.shards {
+		j := &job{kind: jobStats, done: make(chan struct{})}
+		if err := f.send(sid, j); err != nil {
+			// Closed (or closing): wait for shutdown to finish and
+			// return the final snapshot instead.
+			f.Close()
+			return f.final
+		}
+		jobs = append(jobs, j)
+	}
+	per := make([]ShardStats, len(jobs))
+	for i, j := range jobs {
+		<-j.done
+		per[i] = j.stats
+	}
+	return merge(per)
+}
+
+// PoolLoad exposes the session pool's per-shard assignment counts.
+func (f *Fleet) PoolLoad() []int { return f.pool.Load() }
+
+// Close shuts the fleet down: every shard drains its inbox, unparks
+// its clients with the shutdown flag, and runs its kernel until all
+// simulated processes exited. Close is idempotent; the first call
+// returns any shard shutdown error.
+func (f *Fleet) Close() error {
+	f.mu.Lock()
+	if !f.closed {
+		f.closed = true
+		for _, sh := range f.shards {
+			close(sh.inbox)
+		}
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+	f.finalOnce.Do(func() {
+		per := make([]ShardStats, len(f.shards))
+		for i, sh := range f.shards {
+			per[i] = sh.final
+			if sh.err != nil && f.closeErr == nil {
+				f.closeErr = sh.err
+			}
+		}
+		f.final = merge(per)
+	})
+	return f.closeErr
+}

@@ -1,0 +1,321 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kern"
+)
+
+// fleetPolicy admits the fleet client processes by principal name.
+const fleetPolicy = `authorizer: "POLICY"
+licensees: "fleet-client"
+conditions: app_domain == "secmodule" -> "allow";
+`
+
+// libcProvision registers the SecModule libc on a shard kernel.
+func libcProvision(k *kern.Kernel, sm *core.SMod) error {
+	lib, err := core.LibCArchive()
+	if err != nil {
+		return err
+	}
+	_, err = sm.Register(&core.ModuleSpec{
+		Name: "libc", Version: 1, Owner: "owner", Lib: lib,
+		PolicySrc: []string{fleetPolicy},
+	})
+	return err
+}
+
+func testConfig(shards int) Config {
+	return Config{
+		Shards:    shards,
+		Module:    "libc",
+		Version:   1,
+		ClientUID: 1,
+		Provision: libcProvision,
+	}
+}
+
+func newTestFleet(t *testing.T, cfg Config) *Fleet {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := f.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return f
+}
+
+func incrID(t *testing.T, f *Fleet) uint32 {
+	t.Helper()
+	id, ok := f.FuncID("incr")
+	if !ok {
+		t.Fatal("libc module has no incr")
+	}
+	return id
+}
+
+func TestFleetBasicCalls(t *testing.T) {
+	f := newTestFleet(t, testConfig(2))
+	incr := incrID(t, f)
+	for i := uint32(0); i < 20; i++ {
+		key := fmt.Sprintf("client-%d", i%4)
+		v, err := f.Call(key, incr, i)
+		if err != nil {
+			t.Fatalf("Call(%s, incr, %d): %v", key, i, err)
+		}
+		if v != i+1 {
+			t.Fatalf("incr(%d) = %d, want %d", i, v, i+1)
+		}
+	}
+	st := f.Stats()
+	if st.TotalCalls != 20 {
+		t.Errorf("TotalCalls = %d, want 20", st.TotalCalls)
+	}
+	if st.SessionsOpened != 4 {
+		t.Errorf("SessionsOpened = %d, want 4 (one warm session per key)", st.SessionsOpened)
+	}
+	if st.MakespanCycles == 0 {
+		t.Error("MakespanCycles = 0")
+	}
+}
+
+func TestStickyRouting(t *testing.T) {
+	f := newTestFleet(t, testConfig(4))
+	incr := incrID(t, f)
+	for _, key := range []string{"a", "b", "c"} {
+		first := <-f.Go(Request{Key: key, FuncID: incr, Args: []uint32{1}})
+		if first.Err != nil || first.Errno != 0 {
+			t.Fatalf("first call for %s failed: %+v", key, first)
+		}
+		for i := 0; i < 5; i++ {
+			r := <-f.Go(Request{Key: key, FuncID: incr, Args: []uint32{1}})
+			if r.Shard != first.Shard {
+				t.Fatalf("key %s moved shard %d -> %d without Release", key, first.Shard, r.Shard)
+			}
+		}
+	}
+	// Three keys over four shards, least-loaded: three distinct shards.
+	load := f.PoolLoad()
+	assigned := 0
+	for _, n := range load {
+		if n > 1 {
+			t.Errorf("pool load %v not spread least-loaded", load)
+		}
+		assigned += n
+	}
+	if assigned != 3 {
+		t.Errorf("assigned = %d, want 3", assigned)
+	}
+}
+
+func TestRunPlanOrderAndValues(t *testing.T) {
+	f := newTestFleet(t, testConfig(3))
+	incr := incrID(t, f)
+	var plan []Request
+	for c := 0; c < 7; c++ {
+		for i := 0; i < 9; i++ {
+			plan = append(plan, Request{
+				Key:    fmt.Sprintf("c%02d", c),
+				FuncID: incr,
+				Args:   []uint32{uint32(c*100 + i)},
+			})
+		}
+	}
+	resps, err := f.RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != len(plan) {
+		t.Fatalf("got %d responses for %d requests", len(resps), len(plan))
+	}
+	for i, r := range resps {
+		if r.Err != nil || r.Errno != 0 {
+			t.Fatalf("plan[%d] failed: %+v", i, r)
+		}
+		if want := plan[i].Args[0] + 1; r.Val != want {
+			t.Fatalf("plan[%d]: incr(%d) = %d, want %d", i, plan[i].Args[0], r.Val, want)
+		}
+	}
+	st := f.Stats()
+	if st.TotalCalls != uint64(len(plan)) {
+		t.Errorf("TotalCalls = %d, want %d", st.TotalCalls, len(plan))
+	}
+	var sum uint64
+	for _, s := range st.PerShard {
+		sum += s.Calls
+	}
+	if sum != st.TotalCalls {
+		t.Errorf("per-shard calls sum %d != total %d", sum, st.TotalCalls)
+	}
+}
+
+func TestReleaseReclaimsSessionAndPoolSlot(t *testing.T) {
+	f := newTestFleet(t, testConfig(2))
+	incr := incrID(t, f)
+	if _, err := f.Call("tenant", incr, 7); err != nil {
+		t.Fatal(err)
+	}
+	if f.pool.Assigned() != 1 {
+		t.Fatalf("assigned = %d, want 1", f.pool.Assigned())
+	}
+	st := f.Stats()
+	var live int
+	for _, s := range st.PerShard {
+		live += s.LiveSessions
+	}
+	if live != 1 {
+		t.Fatalf("live sessions = %d, want 1", live)
+	}
+
+	if err := f.Release("tenant"); err != nil {
+		t.Fatal(err)
+	}
+	if f.pool.Assigned() != 0 {
+		t.Errorf("assigned after Release = %d, want 0", f.pool.Assigned())
+	}
+	st = f.Stats()
+	live = 0
+	for _, s := range st.PerShard {
+		live += s.LiveSessions
+	}
+	if live != 0 {
+		t.Errorf("live sessions after Release = %d, want 0", live)
+	}
+
+	// The key works again after reclaim (fresh session, maybe new shard).
+	v, err := f.Call("tenant", incr, 9)
+	if err != nil || v != 10 {
+		t.Fatalf("call after Release = %d, %v; want 10, nil", v, err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.MaxSessionsPerShard = 2
+	f := newTestFleet(t, cfg)
+	incr := incrID(t, f)
+	for round := 0; round < 2; round++ {
+		for _, key := range []string{"a", "b", "c", "d"} {
+			v, err := f.Call(key, incr, 1)
+			if err != nil || v != 2 {
+				t.Fatalf("round %d key %s: %d, %v", round, key, v, err)
+			}
+		}
+	}
+	st := f.Stats()
+	s := st.PerShard[0]
+	if s.LiveSessions > 2 {
+		t.Errorf("live sessions = %d, want <= cap 2", s.LiveSessions)
+	}
+	if s.Evictions == 0 {
+		t.Error("no evictions despite 4 keys over cap 2")
+	}
+	// Evicted keys were rebuilt: more sessions than distinct keys.
+	if s.SessionsOpened <= 4 {
+		t.Errorf("SessionsOpened = %d, want > 4 (reclaim then rebuild)", s.SessionsOpened)
+	}
+	// Eviction reclaims the pool slot along with the session, so pool
+	// assignments track live sessions rather than every key ever seen.
+	if got := f.pool.Assigned(); got > 2 {
+		t.Errorf("pool assignments = %d, want <= cap 2 (eviction must reclaim slots)", got)
+	}
+}
+
+// TestConcurrentLiveTraffic hammers a fleet from many goroutines; under
+// -race this is the fleet layer's core concurrency test.
+func TestConcurrentLiveTraffic(t *testing.T) {
+	const (
+		shards    = 4
+		clients   = 16
+		callsEach = 15
+	)
+	f := newTestFleet(t, testConfig(shards))
+	incr := incrID(t, f)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			key := fmt.Sprintf("live-%02d", c)
+			for i := 0; i < callsEach; i++ {
+				arg := uint32(c*1000 + i)
+				v, err := f.Call(key, incr, arg)
+				if err != nil {
+					errs <- fmt.Errorf("%s call %d: %w", key, i, err)
+					return
+				}
+				if v != arg+1 {
+					errs <- fmt.Errorf("%s: incr(%d) = %d", key, arg, v)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := f.Stats()
+	if st.TotalCalls != clients*callsEach {
+		t.Errorf("TotalCalls = %d, want %d", st.TotalCalls, clients*callsEach)
+	}
+	if st.SessionsOpened != clients {
+		t.Errorf("SessionsOpened = %d, want %d", st.SessionsOpened, clients)
+	}
+}
+
+func TestCallAfterCloseFails(t *testing.T) {
+	f, err := New(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, _ := f.FuncID("incr")
+	if _, err := f.Call("k", incr, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal("second Close:", err)
+	}
+	if _, err := f.Call("k", incr, 1); err == nil {
+		t.Error("Call after Close succeeded, want error")
+	}
+	st := f.Stats()
+	if st.TotalCalls != 1 {
+		t.Errorf("final TotalCalls = %d, want 1", st.TotalCalls)
+	}
+}
+
+func TestPolicyDeniedSurfacesErrno(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.ClientName = "stranger" // policy admits only "fleet-client"
+	f := newTestFleet(t, cfg)
+	incr := incrID(t, f)
+	_, err := f.Call("k", incr, 1)
+	if err == nil {
+		t.Fatal("call by unauthorized principal succeeded")
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	if _, err := New(Config{Shards: 0, Module: "libc", Provision: libcProvision}); err == nil {
+		t.Error("Shards=0 accepted")
+	}
+	if _, err := New(Config{Shards: 1}); err == nil {
+		t.Error("missing Module/Provision accepted")
+	}
+	if _, err := New(Config{Shards: 1, Module: "nope", Provision: libcProvision}); err == nil {
+		t.Error("Provision not registering Module accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package fleet
+
+import "sync"
+
+// Pool is the sticky client-key -> shard assignment table, modeled on
+// the IPAM allocation pools of the related k8s-ipam repos: a key is
+// allocated a shard on first sight (least-loaded, lowest index on
+// ties, so allocation is deterministic given arrival order), keeps
+// that shard for as long as its session is held (sticky), and returns
+// its slot to the pool on Put (reclaim) — via an explicit Release or a
+// shard's LRU eviction — after which the key may be re-allocated
+// anywhere.
+type Pool struct {
+	mu     sync.Mutex
+	assign map[string]int
+	load   []int
+}
+
+// NewPool returns an empty pool over the given number of shards.
+func NewPool(shards int) *Pool {
+	return &Pool{
+		assign: map[string]int{},
+		load:   make([]int, shards),
+	}
+}
+
+// Get returns key's shard, allocating the least-loaded shard (lowest
+// index on ties) when the key is unassigned.
+func (p *Pool) Get(key string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if sid, ok := p.assign[key]; ok {
+		return sid
+	}
+	sid := 0
+	for i := 1; i < len(p.load); i++ {
+		if p.load[i] < p.load[sid] {
+			sid = i
+		}
+	}
+	p.assign[key] = sid
+	p.load[sid]++
+	return sid
+}
+
+// Lookup returns key's current shard without allocating.
+func (p *Pool) Lookup(key string) (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sid, ok := p.assign[key]
+	return sid, ok
+}
+
+// Put reclaims key's assignment. It is a no-op for unassigned keys.
+func (p *Pool) Put(key string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if sid, ok := p.assign[key]; ok {
+		delete(p.assign, key)
+		p.load[sid]--
+	}
+}
+
+// PutIf reclaims key's assignment only if it is currently mapped to
+// sid. This is the shard-side reclaim on LRU eviction: an in-flight
+// call may already have re-allocated the key elsewhere, and freeing
+// that newer assignment would corrupt the load accounting.
+func (p *Pool) PutIf(key string, sid int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if cur, ok := p.assign[key]; ok && cur == sid {
+		delete(p.assign, key)
+		p.load[sid]--
+	}
+}
+
+// Load returns a snapshot of per-shard assignment counts.
+func (p *Pool) Load() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, len(p.load))
+	copy(out, p.load)
+	return out
+}
+
+// Assigned returns the number of live assignments.
+func (p *Pool) Assigned() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.assign)
+}

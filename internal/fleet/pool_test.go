@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPoolStickyAndLeastLoaded(t *testing.T) {
+	p := NewPool(3)
+	// First three keys spread over the three shards.
+	sids := map[int]bool{}
+	for _, key := range []string{"a", "b", "c"} {
+		sids[p.Get(key)] = true
+	}
+	if len(sids) != 3 {
+		t.Fatalf("3 fresh keys landed on %d shards, want 3", len(sids))
+	}
+	// Sticky: repeated Gets do not move.
+	for _, key := range []string{"a", "b", "c"} {
+		first := p.Get(key)
+		for i := 0; i < 3; i++ {
+			if got := p.Get(key); got != first {
+				t.Fatalf("key %s moved %d -> %d", key, first, got)
+			}
+		}
+	}
+	if got := p.Assigned(); got != 3 {
+		t.Errorf("Assigned = %d, want 3", got)
+	}
+}
+
+func TestPoolReclaim(t *testing.T) {
+	p := NewPool(2)
+	p.Get("x") // shard 0 (lowest index tie-break)
+	p.Get("y") // shard 1
+	if load := p.Load(); load[0] != 1 || load[1] != 1 {
+		t.Fatalf("load = %v, want [1 1]", load)
+	}
+	p.Put("x")
+	if load := p.Load(); load[0] != 0 {
+		t.Fatalf("load after Put = %v, want shard 0 empty", load)
+	}
+	// Reclaimed slot is reused: the next fresh key goes to shard 0.
+	if sid := p.Get("z"); sid != 0 {
+		t.Errorf("fresh key after reclaim went to shard %d, want 0", sid)
+	}
+	p.Put("unknown") // no-op
+	if got := p.Assigned(); got != 2 {
+		t.Errorf("Assigned = %d, want 2", got)
+	}
+}
+
+func TestPoolBalance(t *testing.T) {
+	p := NewPool(4)
+	for i := 0; i < 64; i++ {
+		p.Get(fmt.Sprintf("k%02d", i))
+	}
+	for sid, n := range p.Load() {
+		if n != 16 {
+			t.Errorf("shard %d load = %d, want 16", sid, n)
+		}
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	p := NewPool(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("g%d-%d", g, i%10)
+				sid := p.Get(key)
+				if again := p.Get(key); again != sid {
+					t.Errorf("key %s moved %d -> %d", key, sid, again)
+				}
+				if i%3 == 0 {
+					p.Put(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range p.Load() {
+		if n < 0 {
+			t.Errorf("negative load: %v", p.Load())
+		}
+		total += n
+	}
+	if total != p.Assigned() {
+		t.Errorf("load sum %d != assigned %d", total, p.Assigned())
+	}
+}

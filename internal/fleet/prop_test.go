@@ -1,0 +1,185 @@
+package fleet
+
+// Property-based tests for fleet determinism: a fixed plan on a fresh
+// fleet must produce identical per-shard cycle counts (and all other
+// counters) on every run, no matter how the host schedules the shard
+// and client goroutines. This is the property that makes fleet
+// measurements reproducible "wall clock" numbers.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// planFor builds a deterministic pseudo-random plan from a seed:
+// clients, call counts, and argument values all derive from the seed.
+func planFor(t *testing.T, f *Fleet, seed int64, keys, calls int) []Request {
+	t.Helper()
+	incr := incrID(t, f)
+	rng := rand.New(rand.NewSource(seed))
+	var plan []Request
+	for i := 0; i < keys*calls; i++ {
+		plan = append(plan, Request{
+			Key:    fmt.Sprintf("k%02d", rng.Intn(keys)),
+			FuncID: incr,
+			Args:   []uint32{uint32(rng.Intn(1 << 16))},
+		})
+	}
+	return plan
+}
+
+// runOnce builds a fresh fleet, executes the seed's plan, and returns
+// the per-shard cycle and call counters plus the post-Close final
+// cycle counts (shutdown must be deterministic too).
+func runOnce(t *testing.T, shards int, seed int64, keys, calls int) ([]uint64, []uint64, []uint64) {
+	t.Helper()
+	f := newTestFleet(t, testConfig(shards))
+	plan := planFor(t, f, seed, keys, calls)
+	resps, err := f.RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range resps {
+		if r.Err != nil || r.Errno != 0 {
+			t.Fatalf("plan[%d] failed: %+v", i, r)
+		}
+		if r.Val != plan[i].Args[0]+1 {
+			t.Fatalf("plan[%d]: wrong value %d", i, r.Val)
+		}
+	}
+	st := f.Stats()
+	cycles := make([]uint64, len(st.PerShard))
+	ncalls := make([]uint64, len(st.PerShard))
+	for i, s := range st.PerShard {
+		cycles[i] = s.Cycles
+		ncalls[i] = s.Calls
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fin := f.Stats()
+	finals := make([]uint64, len(fin.PerShard))
+	for i, s := range fin.PerShard {
+		finals[i] = s.Cycles
+	}
+	return cycles, ncalls, finals
+}
+
+// TestDeterministicCyclesAcrossRuns: same seed + same routing =>
+// identical per-shard cycle counts, run after run.
+func TestDeterministicCyclesAcrossRuns(t *testing.T) {
+	for _, tc := range []struct {
+		shards, keys, calls int
+		seed                int64
+	}{
+		{1, 3, 4, 1},
+		{2, 5, 3, 2},
+		{4, 8, 3, 3},
+		{3, 7, 2, 99},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("s%d_k%d_c%d", tc.shards, tc.keys, tc.calls), func(t *testing.T) {
+			c1, n1, f1 := runOnce(t, tc.shards, tc.seed, tc.keys, tc.calls)
+			c2, n2, f2 := runOnce(t, tc.shards, tc.seed, tc.keys, tc.calls)
+			for i := range c1 {
+				if c1[i] != c2[i] {
+					t.Errorf("shard %d cycles differ across runs: %d vs %d", i, c1[i], c2[i])
+				}
+				if n1[i] != n2[i] {
+					t.Errorf("shard %d calls differ across runs: %d vs %d", i, n1[i], n2[i])
+				}
+				if f1[i] != f2[i] {
+					t.Errorf("shard %d post-Close cycles differ across runs: %d vs %d", i, f1[i], f2[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDeterministicUnderInterleaving runs several identical fleets
+// concurrently — the host scheduler interleaves their shard and client
+// goroutines arbitrarily — and requires every replica to report the
+// same per-shard cycle counts. Run with -race this also certifies the
+// fleet's cross-goroutine handoffs.
+func TestDeterministicUnderInterleaving(t *testing.T) {
+	const replicas = 4
+	results := make([][]uint64, replicas)
+	var wg sync.WaitGroup
+	for rep := 0; rep < replicas; rep++ {
+		wg.Add(1)
+		go func(rep int) {
+			defer wg.Done()
+			f, err := New(testConfig(3))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer f.Close()
+			plan := planFor(t, f, 42, 6, 5)
+			if _, err := f.RunPlan(plan); err != nil {
+				t.Error(err)
+				return
+			}
+			st := f.Stats()
+			cycles := make([]uint64, len(st.PerShard))
+			for i, s := range st.PerShard {
+				cycles[i] = s.Cycles
+			}
+			results[rep] = cycles
+		}(rep)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for rep := 1; rep < replicas; rep++ {
+		for i := range results[0] {
+			if results[rep][i] != results[0][i] {
+				t.Errorf("replica %d shard %d cycles = %d, replica 0 = %d",
+					rep, i, results[rep][i], results[0][i])
+			}
+		}
+	}
+}
+
+// TestDeterministicEvictionPath repeats the determinism check with a
+// session cap small enough to force LRU reclaim, covering the
+// eviction/respawn path.
+func TestDeterministicEvictionPath(t *testing.T) {
+	run := func() []uint64 {
+		cfg := testConfig(2)
+		cfg.MaxSessionsPerShard = 2
+		f := newTestFleet(t, cfg)
+		incr := incrID(t, f)
+		// Per-key batches submitted sequentially: each batch sees the
+		// previous keys' sessions idle, so the cap forces LRU reclaim.
+		for round := 0; round < 2; round++ {
+			for c := 0; c < 6; c++ {
+				plan := []Request{
+					{Key: fmt.Sprintf("e%d", c), FuncID: incr, Args: []uint32{uint32(c)}},
+					{Key: fmt.Sprintf("e%d", c), FuncID: incr, Args: []uint32{uint32(c + 1)}},
+				}
+				if _, err := f.RunPlan(plan); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		st := f.Stats()
+		if st.Evictions == 0 {
+			t.Fatal("expected evictions with cap 2 and 6 keys")
+		}
+		cycles := make([]uint64, len(st.PerShard))
+		for i, s := range st.PerShard {
+			cycles[i] = s.Cycles
+		}
+		return cycles
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("shard %d cycles differ with eviction: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,399 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/kern"
+)
+
+// SysParkNo is the fleet-only syscall a shard's client processes use to
+// wait for work. It lives above the measure package's bench mark
+// syscall (390) and well clear of the Figure 4 range.
+const SysParkNo = 392
+
+// parkToken is the sleep token of one parked client process.
+type parkToken struct{ pid int }
+
+// pendingCall is one routed request while it traverses a shard.
+type pendingCall struct {
+	funcID uint32
+	args   []uint32
+	job    *job
+	idx    int // index into job.results
+	resp   Response
+	done   bool
+}
+
+// clientProc is one simulated client process holding a warm session.
+// Exactly one exists per (shard, client key); it is spawned on the
+// key's first request and lives — session, handle process and all —
+// until evicted, released, or fleet shutdown.
+type clientProc struct {
+	key     string
+	proc    *kern.Proc
+	queue   []*pendingCall
+	closing bool
+	born    uint64 // spawn sequence, LRU tie-break
+	lastUse uint64 // batch sequence of last routed request
+}
+
+// jobKind discriminates the shard inbox messages.
+type jobKind int
+
+const (
+	jobCalls jobKind = iota
+	jobStats
+	jobRelease
+)
+
+// job is one unit of work sent to a shard: a batch of calls, a stats
+// snapshot request, or a session release.
+type job struct {
+	kind    jobKind
+	reqs    []Request
+	results []Response
+	key     string // jobRelease
+	stats   ShardStats
+	done    chan struct{}
+}
+
+// ShardStats is one shard's merged counters, all in that shard's own
+// simulated clock domain.
+type ShardStats struct {
+	Shard           int
+	Cycles          uint64
+	Ticks           uint64
+	Calls           uint64 // completed smod_call dispatches
+	SessionsOpened  uint64
+	PolicyChecks    uint64
+	ContextSwitches uint64
+	Syscalls        uint64
+	LiveSessions    int
+	Evictions       uint64
+}
+
+// shard is one independent simulated kernel plus its routing state.
+// All fields are owned by the shard goroutine; client goroutines touch
+// shared state only under the kernel's strict-alternation handoff
+// (exactly one of {shard loop, one native goroutine} runs at a time,
+// every transition crossing a channel), which is what makes the whole
+// structure race-free without locks.
+type shard struct {
+	id  int
+	cfg Config
+	k   *kern.Kernel
+	sm  *core.SMod
+
+	inbox chan *job
+
+	// onEvict reports a torn-down session's key back to the fleet so
+	// the pool assignment is reclaimed along with the session (set by
+	// fleet.New; Pool is mutex-guarded, so this is safe from the shard
+	// goroutine).
+	onEvict func(key string)
+
+	clients map[string]*clientProc
+	byPID   map[int]*clientProc
+	spawned uint64
+	seq     uint64 // batch sequence for LRU accounting
+
+	// submitted/completed track pendingCalls of the batch in flight.
+	submitted int
+	completed int
+
+	evictions uint64
+
+	final ShardStats
+	err   error
+}
+
+func newShard(id int, cfg Config) (*shard, error) {
+	sh := &shard{
+		id:      id,
+		cfg:     cfg,
+		k:       kern.New(),
+		clients: map[string]*clientProc{},
+		byPID:   map[int]*clientProc{},
+		inbox:   make(chan *job, cfg.MaxBatch),
+	}
+	sh.sm = core.Attach(sh.k)
+	if cfg.Provision != nil {
+		if err := cfg.Provision(sh.k, sh.sm); err != nil {
+			return nil, fmt.Errorf("fleet: shard %d provision: %w", id, err)
+		}
+	}
+	if sh.sm.Find(cfg.Module, cfg.Version) == 0 {
+		return nil, fmt.Errorf("fleet: shard %d: module %s v%d not registered by Provision",
+			id, cfg.Module, cfg.Version)
+	}
+	sh.k.RegisterSyscall(SysParkNo, "fleet_park", sh.sysPark)
+	return sh, nil
+}
+
+// sysPark blocks the calling client process until the shard routes it
+// work or shuts it down. The retried syscall completes once either
+// condition holds.
+func (sh *shard) sysPark(k *kern.Kernel, p *kern.Proc, args []uint32) kern.Sysret {
+	cp := sh.byPID[p.PID]
+	if cp == nil {
+		return kern.Sysret{Err: kern.EINVAL}
+	}
+	if cp.closing || len(cp.queue) > 0 {
+		return kern.Sysret{Val: 0}
+	}
+	return kern.Sysret{BlockOn: parkToken{p.PID}}
+}
+
+// clientMain is the native body of one client process: attach once
+// (opening the warm session), then serve batches until shutdown.
+func (sh *shard) clientMain(cp *clientProc) func(*kern.Sys) int {
+	return func(s *kern.Sys) int {
+		nc, err := core.AttachNative(s, sh.cfg.Module, sh.cfg.Version, sh.cfg.Credential)
+		if err != nil {
+			for _, pc := range cp.queue {
+				if pc.done {
+					// Stale entry answered by an errored batch's
+					// scatter; counting it again would overshoot the
+					// current batch's completion.
+					continue
+				}
+				pc.resp = Response{Err: err, Shard: sh.id}
+				pc.done = true
+				sh.completed++
+			}
+			cp.queue = nil
+			return 1
+		}
+		for {
+			s.Call(SysParkNo)
+			if cp.closing {
+				return 0
+			}
+			q := cp.queue
+			cp.queue = nil
+			for _, pc := range q {
+				if pc.done {
+					// Stale entry already answered by an errored
+					// batch's scatter; serving it would double-count
+					// against the current batch's completion.
+					continue
+				}
+				v, errno := nc.Call(pc.funcID, pc.args...)
+				pc.resp = Response{Val: v, Errno: errno, Shard: sh.id}
+				pc.done = true
+				sh.completed++
+			}
+		}
+	}
+}
+
+// loop is the shard goroutine: receive jobs, coalesce them into
+// batches, execute, respond. It exits when the inbox closes.
+func (sh *shard) loop() {
+	for {
+		j, ok := <-sh.inbox
+		if !ok {
+			sh.shutdown()
+			return
+		}
+		batch := []*job{j}
+		limit := sh.cfg.MaxBatch
+	drain:
+		for len(batch) < limit {
+			select {
+			case j2, ok := <-sh.inbox:
+				if !ok {
+					sh.exec(batch)
+					sh.shutdown()
+					return
+				}
+				batch = append(batch, j2)
+			default:
+				break drain
+			}
+		}
+		sh.exec(batch)
+	}
+}
+
+// exec runs one coalesced batch. Call jobs accumulate into the client
+// queues and run together in a single kernel stretch; control jobs
+// (stats, release) act as barriers so their answers reflect every job
+// submitted before them.
+func (sh *shard) exec(batch []*job) {
+	var calls []*job
+	flush := func() {
+		if len(calls) == 0 {
+			return
+		}
+		sh.runCalls(calls)
+		calls = calls[:0]
+	}
+	for _, j := range batch {
+		switch j.kind {
+		case jobCalls:
+			calls = append(calls, j)
+		case jobStats:
+			flush()
+			j.stats = sh.snapshot()
+			close(j.done)
+		case jobRelease:
+			flush()
+			sh.evict(j.key)
+			close(j.done)
+		}
+	}
+	flush()
+}
+
+// runCalls routes every request of the given jobs, wakes the involved
+// clients, and drives the kernel until the whole batch completed.
+func (sh *shard) runCalls(jobs []*job) {
+	sh.seq++
+	sh.submitted, sh.completed = 0, 0
+	var pcs []*pendingCall
+	woken := map[int]bool{}
+	for _, j := range jobs {
+		for i := range j.reqs {
+			r := &j.reqs[i]
+			cp := sh.ensureClient(r.Key)
+			pc := &pendingCall{funcID: r.FuncID, args: r.Args, job: j, idx: i}
+			cp.queue = append(cp.queue, pc)
+			pcs = append(pcs, pc)
+			sh.submitted++
+			if !woken[cp.proc.PID] {
+				woken[cp.proc.PID] = true
+				sh.k.Wakeup(parkToken{cp.proc.PID})
+			}
+		}
+	}
+	runErr := sh.k.RunUntil(func() bool { return sh.completed >= sh.submitted }, 0)
+
+	// Scatter results back. Slots a dead client never served (attach
+	// failure, kernel error) get an explicit error response and are
+	// marked done so a client that recovers in a later batch skips them
+	// instead of serving them against that batch's completion count.
+	for _, pc := range pcs {
+		if !pc.done {
+			err := runErr
+			if err == nil {
+				err = errors.New("request not served")
+			}
+			pc.resp = Response{Err: fmt.Errorf("fleet: shard %d: %w", sh.id, err), Shard: sh.id}
+			pc.done = true
+		}
+		pc.job.results[pc.idx] = pc.resp
+	}
+	for _, j := range jobs {
+		close(j.done)
+	}
+}
+
+// ensureClient returns the live client process for key, spawning (and
+// possibly evicting an idle LRU session first) when absent or dead.
+func (sh *shard) ensureClient(key string) *clientProc {
+	cp := sh.clients[key]
+	if cp != nil && cp.proc.State != kern.StateZombie && cp.proc.State != kern.StateDead {
+		cp.lastUse = sh.seq
+		return cp
+	}
+	if cp != nil {
+		// Respawning over a dead client: drop its PID index entry.
+		delete(sh.byPID, cp.proc.PID)
+	}
+	if cp == nil && sh.cfg.MaxSessionsPerShard > 0 &&
+		len(sh.clients) >= sh.cfg.MaxSessionsPerShard {
+		sh.evictLRU()
+	}
+	sh.spawned++
+	cp = &clientProc{key: key, born: sh.spawned, lastUse: sh.seq}
+	cp.proc = sh.k.SpawnNative("fleet-client:"+key,
+		kern.Cred{UID: sh.cfg.ClientUID, Name: sh.cfg.ClientName},
+		sh.clientMain(cp))
+	sh.clients[key] = cp
+	sh.byPID[cp.proc.PID] = cp
+	return cp
+}
+
+// evictLRU reclaims the least-recently-used idle session (deterministic
+// tie-break on spawn order). Clients with work queued in the current
+// batch are never evicted; if every session is busy the cap is soft.
+func (sh *shard) evictLRU() {
+	var victim *clientProc
+	for _, cp := range sh.clients {
+		if len(cp.queue) > 0 || cp.lastUse == sh.seq {
+			continue
+		}
+		if victim == nil || cp.lastUse < victim.lastUse ||
+			(cp.lastUse == victim.lastUse && cp.born < victim.born) {
+			victim = cp
+		}
+	}
+	if victim != nil {
+		sh.evict(victim.key)
+		sh.evictions++
+	}
+}
+
+// evict tears down key's session: killing the client process runs the
+// SecModule exit hooks, which close the session and kill the handle.
+// The key's pool assignment is reclaimed too, so the key's next
+// request may land anywhere and pool load tracks live sessions rather
+// than cumulative history.
+func (sh *shard) evict(key string) {
+	cp := sh.clients[key]
+	if cp == nil {
+		return
+	}
+	delete(sh.clients, key)
+	delete(sh.byPID, cp.proc.PID)
+	sh.k.Kill(cp.proc, kern.SIGKILL)
+	if sh.onEvict != nil {
+		sh.onEvict(key)
+	}
+}
+
+// snapshot merges the shard's counters.
+func (sh *shard) snapshot() ShardStats {
+	live := 0
+	for _, cp := range sh.clients {
+		if cp.proc.State != kern.StateZombie && cp.proc.State != kern.StateDead {
+			live++
+		}
+	}
+	return ShardStats{
+		Shard:           sh.id,
+		Cycles:          sh.k.Clk.Cycles(),
+		Ticks:           sh.k.Clk.Ticks(),
+		Calls:           sh.sm.Calls,
+		SessionsOpened:  sh.sm.SessionsOpened,
+		PolicyChecks:    sh.sm.PolicyChecks,
+		ContextSwitches: sh.k.ContextSwitches,
+		Syscalls:        sh.k.SyscallCount,
+		LiveSessions:    live,
+		Evictions:       sh.evictions,
+	}
+}
+
+// shutdown unparks every client with the closing flag set and drains
+// the kernel until all processes (clients and their handles) exited.
+// Clients are woken in spawn order, not map order, so the final cycle
+// counts stay deterministic.
+func (sh *shard) shutdown() {
+	cps := make([]*clientProc, 0, len(sh.clients))
+	for _, cp := range sh.clients {
+		cps = append(cps, cp)
+	}
+	sort.Slice(cps, func(i, j int) bool { return cps[i].born < cps[j].born })
+	for _, cp := range cps {
+		cp.closing = true
+		sh.k.Wakeup(parkToken{cp.proc.PID})
+	}
+	if err := sh.k.Run(0); err != nil && !errors.Is(err, kern.ErrDeadlock) {
+		sh.err = fmt.Errorf("fleet: shard %d shutdown: %w", sh.id, err)
+	}
+	sh.final = sh.snapshot()
+}

@@ -22,6 +22,7 @@ package kern
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/clock"
 	"repro/internal/cpu"
@@ -126,10 +127,13 @@ type Proc struct {
 	PID    int
 	Name   string
 	Parent *Proc
-	Space  *vm.Space
-	CPU    cpu.Context
-	State  ProcState
-	Cred   Cred
+	// children are the procs forked from this one, so exit-time orphan
+	// reaping is O(own children) rather than a process-table scan.
+	children []*Proc
+	Space    *vm.Space
+	CPU      cpu.Context
+	State    ProcState
+	Cred     Cred
 
 	// ExitStatus is valid once State >= StateZombie.
 	ExitStatus int
@@ -173,6 +177,12 @@ type Kernel struct {
 	lastRun *Proc
 	nextPID int
 	preempt bool
+
+	// sleepers indexes sleeping processes by wait token so Wakeup is
+	// O(waiters on that token) rather than O(all processes). With a
+	// fleet shard holding hundreds of parked client/handle pairs, the
+	// per-syscall wakeup scan dominates otherwise.
+	sleepers map[any][]*Proc
 
 	syscalls map[uint32]SyscallFn
 	sysNames map[uint32]string
@@ -218,6 +228,7 @@ func New() *Kernel {
 		Clk:       clock.New(),
 		Phys:      mem.NewPhys(536_440_832),
 		procs:     map[int]*Proc{},
+		sleepers:  map[any][]*Proc{},
 		syscalls:  map[uint32]SyscallFn{},
 		sysNames:  map[uint32]string{},
 		msgqs:     map[int]*MsgQueue{},
@@ -258,6 +269,36 @@ func (k *Kernel) Program(path string) *obj.Image { return k.programs[path] }
 
 // OnExit registers a hook invoked whenever a process terminates.
 func (k *Kernel) OnExit(fn func(*Kernel, *Proc)) { k.exitHooks = append(k.exitHooks, fn) }
+
+// RecordHandleExits registers an exit hook recording the PID of every
+// handle process as it exits, and returns the live map. Exited procs
+// are reaped out of the process table, so post-mortem checks over
+// k.Cores (the handle-never-dumps-core property from section 3.1)
+// need this exit-time record; a late Proc lookup misses reaped handles.
+func (k *Kernel) RecordHandleExits() map[int]bool {
+	pids := map[int]bool{}
+	k.OnExit(func(_ *Kernel, p *Proc) {
+		if p.IsHandle {
+			pids[p.PID] = true
+		}
+	})
+	return pids
+}
+
+// HandleCoreDumps filters k.Cores down to PIDs that belong to handle
+// processes: live ones answered from the process table, exited ones
+// from a RecordHandleExits record. Section 3.1 requires this to stay
+// empty — a handle must never dump core.
+func (k *Kernel) HandleCoreDumps(handleExits map[int]bool) []int {
+	var out []int
+	for pid := range k.Cores {
+		if p := k.procs[pid]; (p != nil && p.IsHandle) || handleExits[pid] {
+			out = append(out, pid)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
 
 // OnFork registers a hook invoked after fork(2) creates a child,
 // before the child is readied.
@@ -317,11 +358,39 @@ func (k *Kernel) ready(p *Proc) {
 
 // Wakeup makes every process sleeping on token runnable (BSD wakeup()).
 func (k *Kernel) Wakeup(token any) {
-	for _, p := range k.procs {
+	waiters := k.sleepers[token]
+	if len(waiters) == 0 {
+		return
+	}
+	delete(k.sleepers, token)
+	for _, p := range waiters {
+		// Entries can be stale (the proc was killed or readied through
+		// another path); only a proc still sleeping on this token wakes.
 		if p.State == StateSleeping && p.sleepOn == token {
 			p.sleepOn = nil
 			k.ready(p)
 		}
+	}
+}
+
+// unsleep removes p from the sleeper index (on exit while sleeping).
+func (k *Kernel) unsleep(p *Proc) {
+	token := p.sleepOn
+	if token == nil {
+		return
+	}
+	p.sleepOn = nil
+	waiters := k.sleepers[token]
+	for i, q := range waiters {
+		if q == p {
+			waiters = append(waiters[:i], waiters[i+1:]...)
+			break
+		}
+	}
+	if len(waiters) == 0 {
+		delete(k.sleepers, token)
+	} else {
+		k.sleepers[token] = waiters
 	}
 }
 
@@ -516,6 +585,7 @@ func (k *Kernel) serviceTrap(p *Proc, m *cpu.Machine, no uint32) bool {
 func (k *Kernel) sleep(p *Proc, token any) {
 	p.State = StateSleeping
 	p.sleepOn = token
+	k.sleepers[token] = append(k.sleepers[token], p)
 }
 
 // fatalSignal kills p with sig, dumping core unless forbidden. Paper
@@ -540,6 +610,7 @@ func (k *Kernel) doExit(p *Proc, status int) {
 	if p.State == StateZombie || p.State == StateDead {
 		return
 	}
+	k.unsleep(p)
 	p.ExitStatus = status
 	p.State = StateZombie
 	p.Space.UnmapAll()
@@ -557,7 +628,38 @@ func (k *Kernel) doExit(p *Proc, status int) {
 		k.Wakeup(waitToken{p.Parent.PID})
 	} else {
 		// No parent to reap: discard immediately.
-		p.State = StateDead
+		k.reap(p)
+	}
+	// p's zombie children are orphans no wait4 can reach any more;
+	// discard them too so a long-lived kernel's process table stays
+	// bounded under session churn. The list is detached first because
+	// reap unlinks each child from it.
+	kids := p.children
+	p.children = nil
+	for _, c := range kids {
+		if c.State == StateZombie {
+			k.reap(c)
+		}
+	}
+}
+
+// reap discards a terminated process for good: nothing can wait on it
+// any longer, so it leaves the process table entirely (PIDs are never
+// reused, so lookups of a reaped pid just return nil). The parent's
+// children list drops it too, so a long-lived fork+wait parent does
+// not retain every reaped child.
+func (k *Kernel) reap(p *Proc) {
+	p.State = StateDead
+	delete(k.procs, p.PID)
+	if p.Parent == nil {
+		return
+	}
+	kids := p.Parent.children
+	for i, c := range kids {
+		if c == p {
+			p.Parent.children = append(kids[:i], kids[i+1:]...)
+			break
+		}
 	}
 }
 

@@ -404,8 +404,9 @@ func TestKillRedirectSkipsDeadClient(t *testing.T) {
 	handle.IsHandle = true
 	handle.Pair = client
 	killer := k.SpawnNative("killer", Cred{}, func(s *Sys) int {
-		for s.Kernel().Proc(client.PID).State != StateDead &&
-			s.Kernel().Proc(client.PID).State != StateZombie {
+		// Hold the proc pointer: a parentless proc is reaped out of the
+		// process table on exit, so Proc(pid) goes nil once it dies.
+		for client.State != StateDead && client.State != StateZombie {
 			s.Yield()
 		}
 		return s.Kill(handle.PID, SIGKILL)

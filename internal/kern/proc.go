@@ -99,8 +99,18 @@ func (k *Kernel) SpawnProgram(path string, cred Cred) (*Proc, error) {
 // into a new process without p executing fork(2) itself. The child is
 // NOT made runnable; the caller finishes its setup first.
 func (k *Kernel) ForkInto(p *Proc, name string) *Proc {
+	return k.newChild(p, name)
+}
+
+// newChild creates a child of p with a forked copy of p's address
+// space, inheriting credential and CPU context. Linking the child into
+// p's children list here is load-bearing: exit-time reaping only scans
+// that list, so every fork-like path must go through newChild or the
+// process table regrows.
+func (k *Kernel) newChild(p *Proc, name string) *Proc {
 	child := k.newProc(name, p.Space.Fork())
 	child.Parent = p
+	p.children = append(p.children, child)
 	child.Cred = p.Cred
 	child.CPU = p.CPU
 	return child

@@ -169,10 +169,7 @@ func sysFork(k *Kernel, p *Proc, args []uint32) Sysret {
 		// duplicable); they use SpawnNative instead.
 		return fail(ENOSYS)
 	}
-	child := k.newProc(p.Name+"-child", p.Space.Fork())
-	child.Parent = p
-	child.Cred = p.Cred
-	child.CPU = p.CPU
+	child := k.newChild(p, p.Name+"-child")
 	child.CPU.RV = 0 // fork returns 0 in the child
 	// Fork hooks implement the paper's section 4.3 fork() behaviour:
 	// the SecModule layer gives the child its own handle ("Multiple
@@ -187,8 +184,12 @@ func sysFork(k *Kernel, p *Proc, args []uint32) Sysret {
 func sysWait4(k *Kernel, p *Proc, args []uint32) Sysret {
 	wantPID := int(int32(args[0]))
 	statusAddr := args[1]
-	for _, c := range k.procs {
-		if c.Parent != p || c.State != StateZombie {
+	// p.children holds exactly p's unreaped children (reap unlinks),
+	// so both the zombie search and the any-children check are O(own
+	// children) instead of process-table scans, and the slice's fork
+	// order makes multi-zombie reaping deterministic.
+	for _, c := range p.children {
+		if c.State != StateZombie {
 			continue
 		}
 		if wantPID > 0 && c.PID != wantPID {
@@ -199,18 +200,10 @@ func sysWait4(k *Kernel, p *Proc, args []uint32) Sysret {
 				return fail(EFAULT)
 			}
 		}
-		c.State = StateDead
+		k.reap(c)
 		return ok(uint32(c.PID))
 	}
-	// Any children at all?
-	has := false
-	for _, c := range k.procs {
-		if c.Parent == p && c.State != StateDead {
-			has = true
-			break
-		}
-	}
-	if !has {
+	if len(p.children) == 0 {
 		return fail(ECHILD)
 	}
 	return block(waitToken{p.PID})

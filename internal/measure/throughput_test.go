@@ -1,0 +1,76 @@
+package measure
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFleetClosedLoopScales(t *testing.T) {
+	const clients, calls = 8, 12
+	one, err := RunFleetClosedLoop(1, clients, calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := RunFleetClosedLoop(4, clients, calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.TotalCalls != clients*calls || four.TotalCalls != clients*calls {
+		t.Fatalf("call counts: %d, %d; want %d", one.TotalCalls, four.TotalCalls, clients*calls)
+	}
+	if one.Sessions != 0 || four.Sessions != 0 {
+		t.Errorf("measured phase opened sessions (%d, %d); warm cache broken",
+			one.Sessions, four.Sessions)
+	}
+	// 8 clients over 4 shards: each shard carries 1/4 of the work, so
+	// aggregate throughput should approach 4x; require at least 2x.
+	if four.CallsPerSec < 2*one.CallsPerSec {
+		t.Errorf("4-shard throughput %.0f < 2x 1-shard %.0f: no scaling",
+			four.CallsPerSec, one.CallsPerSec)
+	}
+	if four.MakespanMicros >= one.MakespanMicros {
+		t.Errorf("4-shard makespan %.1fus not below 1-shard %.1fus",
+			four.MakespanMicros, one.MakespanMicros)
+	}
+}
+
+func TestFleetOpenLoopChurn(t *testing.T) {
+	row, err := RunFleetOpenLoop(2, 24, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.TotalCalls != 24 {
+		t.Fatalf("TotalCalls = %d, want 24", row.TotalCalls)
+	}
+	// Every call churns a fresh session.
+	if row.Sessions != 24 {
+		t.Errorf("Sessions = %d, want 24 (one per fresh key)", row.Sessions)
+	}
+	// 24 fresh keys over 2 shards with a cap of 4 warm sessions per
+	// shard: every wave past the first must reclaim prior sessions.
+	if row.Evictions == 0 {
+		t.Error("Evictions = 0; LRU warm-session cap never engaged")
+	}
+	// Churn must be far slower per call than a warm closed loop.
+	warm, err := RunFleetClosedLoop(2, 4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.MicrosPerCall <= warm.MicrosPerCall {
+		t.Errorf("open-loop us/call %.3f <= closed-loop %.3f; session setup unaccounted",
+			row.MicrosPerCall, warm.MicrosPerCall)
+	}
+}
+
+func TestFleetScalingTable(t *testing.T) {
+	rows := []ThroughputStats{
+		{Name: "closed-loop", Shards: 1, Clients: 4, TotalCalls: 40, MakespanMicros: 100, CallsPerSec: 400000, MicrosPerCall: 2.5},
+		{Name: "closed-loop", Shards: 4, Clients: 4, TotalCalls: 40, MakespanMicros: 25, CallsPerSec: 1600000, MicrosPerCall: 2.5},
+	}
+	out := FleetScalingTable(rows)
+	for _, want := range []string{"closed-loop", "speedup", "4.00x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table lacks %q:\n%s", want, out)
+		}
+	}
+}

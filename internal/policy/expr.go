@@ -249,6 +249,11 @@ func (p *exprParser) parseTerm() (Expr, error) {
 		}
 		return e, nil
 	case t[0] == '"':
+		// The lexer emits unterminated strings as-is (no closing
+		// quote); reject them here rather than slicing out of range.
+		if len(t) < 2 || t[len(t)-1] != '"' {
+			return nil, fmt.Errorf("policy: unterminated string in %q", p.src)
+		}
 		return literal{v: value{str: t[1 : len(t)-1]}}, nil
 	case t == "true" || t == "false":
 		return literal{v: boolValue(t == "true")}, nil

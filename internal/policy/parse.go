@@ -175,7 +175,10 @@ func (p *licParser) term() (*LicenseeExpr, error) {
 		p.pos++
 		return e, nil
 	}
-	if len(t) >= 2 && t[0] == '"' {
+	if t[0] == '"' {
+		if len(t) < 2 || t[len(t)-1] != '"' {
+			return nil, fmt.Errorf("policy: unterminated principal string in licensees %q", p.src)
+		}
 		return &LicenseeExpr{Principal: t[1 : len(t)-1]}, nil
 	}
 	// Bare identifiers are accepted as principal names for convenience.

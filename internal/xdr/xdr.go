@@ -114,16 +114,14 @@ func (d *Decoder) Int32() (int32, error) {
 	return int32(v), err
 }
 
-// Uint64 decodes an unsigned hyper.
+// Uint64 decodes an unsigned hyper. The check is up front so a short
+// buffer fails atomically instead of consuming the high half.
 func (d *Decoder) Uint64() (uint64, error) {
-	hi, err := d.Uint32()
-	if err != nil {
-		return 0, err
+	if d.pos+8 > len(d.buf) {
+		return 0, ErrShort
 	}
-	lo, err := d.Uint32()
-	if err != nil {
-		return 0, err
-	}
+	hi, _ := d.Uint32()
+	lo, _ := d.Uint32()
 	return uint64(hi)<<32 | uint64(lo), nil
 }
 
