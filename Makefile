@@ -4,11 +4,16 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race fuzz-short bench fleet fig8
+.PHONY: all ci lint build vet test race fuzz-short bench bench-json loadcurve fleet fig8
 
 all: ci
 
-ci: vet build test race
+ci: lint build test race
+
+# gofmt must be clean; vet is part of the same lint gate.
+lint: vet
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -22,17 +27,34 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Brief coverage-guided fuzzing of the policy parser and XDR codec;
-# long hunts: go test -fuzz=<target> -fuzztime=10m ./internal/policy
+# Brief coverage-guided fuzzing of the policy parser, XDR codec, SM32
+# assembler, and SOF deserializers; long hunts run nightly in CI (see
+# .github/workflows/fuzz-nightly.yml) or by hand:
+# go test -fuzz=<target> -fuzztime=10m ./internal/<pkg>
 fuzz-short:
 	$(GO) test -run=NONE -fuzz=FuzzParseAssertion -fuzztime=10s ./internal/policy
 	$(GO) test -run=NONE -fuzz=FuzzQuery -fuzztime=10s ./internal/policy
 	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=10s ./internal/xdr
 	$(GO) test -run=NONE -fuzz=FuzzRoundTrip -fuzztime=10s ./internal/xdr
 	$(GO) test -run=NONE -fuzz=FuzzUint32sRoundTrip -fuzztime=10s ./internal/xdr
+	$(GO) test -run=NONE -fuzz=FuzzAssemble -fuzztime=10s ./internal/asm
+	$(GO) test -run=NONE -fuzz=FuzzUnmarshalObject -fuzztime=10s ./internal/obj
+	$(GO) test -run=NONE -fuzz=FuzzUnmarshalArchive -fuzztime=10s ./internal/obj
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# The open-loop latency-vs-offered-load curve (see README "Open-loop
+# load curves"): prints the p50/p95/p99 table and writes
+# BENCH_fleet.json next to it.
+loadcurve:
+	$(GO) run ./cmd/smodfleet -loadcurve
+
+# CI bench artifact: a fast load-curve sweep emitting BENCH_fleet.json,
+# recorded per commit by the bench job. All numbers are simulated-time,
+# so they are comparable across runners.
+bench-json:
+	$(GO) run ./cmd/smodfleet -loadcurve -lcshards 2 -clients 8 -lccalls 200 -json BENCH_fleet.json
 
 # The paper's Figure 8 table (scaled down; see cmd/smodbench -h).
 fig8:

@@ -3,7 +3,9 @@
 // single-kernel Figure 8 latencies with a scaling curve: the same
 // SecModule libc traffic, sharded by client key over 1..N shards.
 //
-// Two workloads run per shard count:
+// Two modes exist:
+//
+// The default scaling sweep runs two workloads per shard count:
 //
 //   - closed-loop: a fixed set of warm sticky clients, each issuing its
 //     next call only after the previous returned (steady state);
@@ -11,11 +13,20 @@
 //     full session setup, with warm-session capacity bounded per shard
 //     and reclaimed LRU (session churn).
 //
+// -loadcurve switches to the open-loop latency-vs-offered-load curve:
+// arrivals follow a Poisson (or fixed-interval) schedule in simulated
+// clock time, each call's latency is recorded on its shard's clock,
+// and the table reports p50/p95/p99 per offered rate with the
+// saturation knee marked. -json writes the machine-readable
+// BENCH_fleet.json the CI bench job archives per commit.
+//
 // Usage:
 //
 //	smodfleet                              # default scaling sweep
 //	smodfleet -shards 1,2,4,8 -clients 16 -calls 100
 //	smodfleet -open=false                  # closed-loop only
+//	smodfleet -loadcurve                   # load curve + BENCH_fleet.json
+//	smodfleet -loadcurve -lcshards 4 -rates 100000,400000,700000
 package main
 
 import (
@@ -32,19 +43,32 @@ import (
 func main() {
 	var (
 		shardList   = flag.String("shards", "1,2,4,8", "comma-separated shard counts to sweep")
-		clients     = flag.Int("clients", 16, "closed-loop sticky clients")
+		clients     = flag.Int("clients", 16, "closed-loop sticky clients (and load-curve warm keys)")
 		calls       = flag.Int("calls", 50, "closed-loop calls per client")
 		openCalls   = flag.Int("opencalls", 64, "open-loop total calls (fresh key each)")
 		maxSessions = flag.Int("maxsessions", 8, "open-loop warm-session cap per shard (LRU reclaim)")
 		openLoop    = flag.Bool("open", true, "also run the open-loop (session churn) sweep")
+
+		loadCurve = flag.Bool("loadcurve", false, "run the latency-vs-offered-load curve instead of the scaling sweep")
+		lcShards  = flag.Int("lcshards", 2, "load curve: fleet size")
+		lcCalls   = flag.Int("lccalls", 300, "load curve: arrivals measured per offered-load point")
+		process   = flag.String("process", "poisson", "load curve: arrival process (poisson|uniform)")
+		seed      = flag.Int64("seed", 1, "load curve: arrival schedule seed")
+		rateList  = flag.String("rates", "", "load curve: comma-separated offered calls/sec (default: -util fractions of measured capacity)")
+		utilList  = flag.String("util", "0.2,0.5,0.8,0.95,1.1,1.4", "load curve: utilization fractions for the auto rate sweep")
+		jsonPath  = flag.String("json", "", "write BENCH_fleet.json to this path (default BENCH_fleet.json in -loadcurve mode, off otherwise)")
 	)
 	flag.Parse()
 
-	shards, err := parseShards(*shardList)
+	if *loadCurve {
+		runLoadCurve(*lcShards, *clients, *lcCalls, *process, *seed, *rateList, *utilList, *jsonPath)
+		return
+	}
+
+	shards, err := parseList(*shardList, 1)
 	if err != nil {
 		fatal(err)
 	}
-
 	maxShards := shards[0]
 	for _, n := range shards {
 		if n > maxShards {
@@ -54,36 +78,148 @@ func main() {
 	fmt.Println(clock.MachineInfo())
 	fmt.Printf("\nFleet scaling: %d kernels max, sharded smod_call traffic (simulated time)\n\n", maxShards)
 
-	var rows []measure.ThroughputStats
-	for _, n := range shards {
-		row, err := measure.RunFleetClosedLoop(n, *clients, *calls)
-		if err != nil {
-			fatal(fmt.Errorf("closed-loop %d shards: %w", n, err))
-		}
-		rows = append(rows, row)
-	}
-	if *openLoop {
-		for _, n := range shards {
-			row, err := measure.RunFleetOpenLoop(n, *openCalls, *maxSessions)
-			if err != nil {
-				fatal(fmt.Errorf("open-loop %d shards: %w", n, err))
-			}
-			rows = append(rows, row)
-		}
+	rows, err := scalingRows(shards, *clients, *calls, *openCalls, *maxSessions, *openLoop)
+	if err != nil {
+		fatal(err)
 	}
 	fmt.Print(measure.FleetScalingTable(rows))
 	fmt.Println("\nspeedup is aggregate calls/sec relative to each workload's first row;")
 	fmt.Println("open-loop pays per-call session setup (find + policy + forced fork), closed-loop reuses warm sessions.")
+	if *jsonPath != "" {
+		doc := measure.NewBenchFleet(measure.LoadCurveConfig{}, nil, rows)
+		if err := writeJSON(*jsonPath, doc); err != nil {
+			fatal(err)
+		}
+	}
 }
 
-func parseShards(s string) ([]int, error) {
+// scalingRows runs the closed-loop (and optionally open-loop) sweep.
+func scalingRows(shards []int, clients, calls, openCalls, maxSessions int, openLoop bool) ([]measure.ThroughputStats, error) {
+	var rows []measure.ThroughputStats
+	for _, n := range shards {
+		row, err := measure.RunFleetClosedLoop(n, clients, calls)
+		if err != nil {
+			return nil, fmt.Errorf("closed-loop %d shards: %w", n, err)
+		}
+		rows = append(rows, row)
+	}
+	if openLoop {
+		for _, n := range shards {
+			row, err := measure.RunFleetOpenLoop(n, openCalls, maxSessions)
+			if err != nil {
+				return nil, fmt.Errorf("open-loop %d shards: %w", n, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// runLoadCurve drives the latency-vs-offered-load mode.
+func runLoadCurve(shards, clients, calls int, process string, seed int64, rateList, utilList, jsonPath string) {
+	var kind measure.ArrivalKind
+	switch process {
+	case "poisson":
+		kind = measure.Poisson
+	case "uniform":
+		kind = measure.Uniform
+	default:
+		fatal(fmt.Errorf("unknown arrival process %q (want poisson or uniform)", process))
+	}
+
+	fmt.Println(clock.MachineInfo())
+
+	var rates []float64
+	if rateList != "" {
+		var err error
+		if rates, err = parseFloats(rateList); err != nil {
+			fatal(err)
+		}
+	} else {
+		// Auto sweep: estimate fleet capacity from a short closed-loop
+		// run, then offer the -util fractions of it.
+		utils, err := parseFloats(utilList)
+		if err != nil {
+			fatal(err)
+		}
+		probe, err := measure.RunFleetClosedLoop(shards, clients, 30)
+		if err != nil {
+			fatal(fmt.Errorf("capacity probe: %w", err))
+		}
+		capacity := float64(shards) * 1e6 / probe.MicrosPerCall
+		fmt.Printf("\ncapacity probe: %.1f us/call serial => ~%.0f calls/sec across %d shards\n",
+			probe.MicrosPerCall, capacity, shards)
+		for _, u := range utils {
+			rates = append(rates, u*capacity)
+		}
+	}
+
+	cfg := measure.LoadCurveConfig{
+		Shards:  shards,
+		Clients: clients,
+		Calls:   calls,
+		Rates:   rates,
+		Kind:    kind,
+		Seed:    seed,
+	}
+	fmt.Printf("\nOpen-loop load curve: %d shards, %d warm clients, %d %s arrivals per point (simulated time)\n\n",
+		shards, clients, calls, kind)
+	points, err := measure.RunFleetLoadCurve(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(measure.LoadCurveTable(points))
+	if k := measure.KneeIndex(points); k >= 0 {
+		fmt.Printf("\n* saturation knee: achieved throughput fell below %.0f%% of offered load;\n",
+			100*measure.SatAchievedFraction)
+		fmt.Println("  past it the arrival queue outgrows service capacity and tail latency diverges.")
+		fmt.Printf("\nlatency distribution at the knee (%.0f calls/sec offered):\n%s",
+			points[k].OfferedPerSec, measure.HistogramString(points[k].Hist))
+	} else {
+		fmt.Println("\nno saturation knee within the sweep: every offered rate was served at speed.")
+	}
+
+	if jsonPath == "" {
+		jsonPath = "BENCH_fleet.json"
+	}
+	if err := writeJSON(jsonPath, measure.NewBenchFleet(cfg, points, nil)); err != nil {
+		fatal(err)
+	}
+}
+
+// writeJSON writes the BENCH document and reports where.
+func writeJSON(path string, doc *measure.BenchFleet) error {
+	raw, err := doc.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
+}
+
+func parseList(s string, min int) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad shard count %q", part)
+		if err != nil || n < min {
+			return nil, fmt.Errorf("bad count %q", part)
 		}
 		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad rate %q", part)
+		}
+		out = append(out, v)
 	}
 	return out, nil
 }

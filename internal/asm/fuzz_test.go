@@ -1,0 +1,96 @@
+package asm
+
+// Fuzz target for the SM32 assembler: arbitrary source must produce
+// either an object or a positioned *asm.Error — never a panic — and a
+// successful assembly must be deterministic and emit an object whose
+// accessors are safe to walk. Run briefly in CI via `make fuzz-short`;
+// hunt with `go test -fuzz=FuzzAssemble ./internal/asm`.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// assembleSeeds are real source shapes from the tree plus malformed
+// variants worth keeping in the corpus.
+var assembleSeeds = []string{
+	"; empty program\n",
+	".text\n.global main\nmain:\n\tPUSHI 0\n\tSETRV\n\tRET\n",
+	".text\n.global _start\n_start:\n\tCALL main\n\tPUSHRV\n\tTRAP 1\n",
+	".text\nf:\n\tENTER 8\n\tLOADFP -4\n\tPUSHI 0x10\n\tADD\n\tSTOREFP -8\n\tLEAVE\n\tRET\n",
+	".data\nmsg:\n.asciz \"hello\"\n.align 4\ntab:\n.word 1, 2, 3\n.byte 'a', 0xff\n",
+	".bss\nbuf:\n.space 64\n",
+	".text\nloop:\n\tJMP loop\n\tJNZ other+4\n\tJZ other-2\n",
+	".text\n.global f\nf:\n\tPUSHI 'x'\n\tTRAP 20\n# hash comment\n",
+	".text\n\tBOGUS 1\n",
+	".word 1\n",             // data directive in .text
+	".text\nmain:\nmain:\n", // duplicate label
+	".global\n",
+	".space -1\n",
+	".align 0\n",
+	".asciz \"unterminated\n",
+	"label only no colon\n",
+	"\tPUSHI\n",                      // missing operand
+	"\tPUSHI 1 2\n",                  // too many operands
+	"\tPUSHI 99999999999999999999\n", // overflow
+	":\n",
+	"\x00\xff\xfe",
+}
+
+func FuzzAssemble(f *testing.F) {
+	for _, s := range assembleSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, source string) {
+		o, err := Assemble("fuzz.s", source)
+		if err != nil {
+			// Diagnostics must be positioned assembler errors, and the
+			// object must be withheld.
+			var ae *Error
+			if !errors.As(err, &ae) {
+				t.Fatalf("non-assembler error type %T: %v", err, err)
+			}
+			if o != nil {
+				t.Fatal("object returned alongside error")
+			}
+			return
+		}
+		if o == nil {
+			t.Fatal("nil object without error")
+		}
+		// Successful assembly is deterministic.
+		o2, err2 := Assemble("fuzz.s", source)
+		if err2 != nil {
+			t.Fatalf("second assembly failed: %v", err2)
+		}
+		if !bytes.Equal(o.Text, o2.Text) || !bytes.Equal(o.Data, o2.Data) {
+			t.Fatal("assembly not deterministic")
+		}
+		// The emitted object is safe to walk and serialize.
+		for _, name := range o.Globals() {
+			if o.Lookup(name) == nil {
+				t.Fatalf("global %q missing from symbol table", name)
+			}
+		}
+		o.Undefined()
+		if _, err := o.Marshal(); err != nil {
+			t.Fatalf("emitted object does not marshal: %v", err)
+		}
+		// Relocations must point inside their section.
+		for _, r := range o.Relocs {
+			switch r.Section {
+			case "text":
+				if int(r.Offset)+4 > len(o.Text) {
+					t.Fatalf("text reloc at %d beyond text size %d", r.Offset, len(o.Text))
+				}
+			case "data":
+				if int(r.Offset)+4 > len(o.Data) {
+					t.Fatalf("data reloc at %d beyond data size %d", r.Offset, len(o.Data))
+				}
+			default:
+				t.Fatalf("reloc in unknown section %q", r.Section)
+			}
+		}
+	})
+}

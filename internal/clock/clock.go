@@ -29,6 +29,11 @@ const (
 
 	// CyclesPerTick is the interval between timer interrupts.
 	CyclesPerTick = 599_000_000 / HzTicksPerSecond
+
+	// CyclesPerSecond is the simulated CPU frequency (599 MHz), the
+	// conversion base for open-loop arrival rates expressed in events
+	// per simulated second.
+	CyclesPerSecond = 599_000_000
 )
 
 // Clock counts simulated CPU cycles. The zero value is a clock at cycle
@@ -97,6 +102,25 @@ func PerSec(events int, cycles uint64) float64 {
 		return 0
 	}
 	return float64(events) / Seconds(cycles)
+}
+
+// CyclesForSeconds converts a simulated-seconds duration to cycles
+// (rounding to nearest), for building arrival schedules on the
+// simulated clock.
+func CyclesForSeconds(s float64) uint64 {
+	if s <= 0 {
+		return 0
+	}
+	return uint64(s*CyclesPerSecond + 0.5)
+}
+
+// IntervalCycles returns the mean inter-arrival gap in cycles for an
+// offered load of ratePerSec events per simulated second.
+func IntervalCycles(ratePerSec float64) uint64 {
+	if ratePerSec <= 0 {
+		return 0
+	}
+	return CyclesForSeconds(1 / ratePerSec)
 }
 
 // MachineInfo returns the Figure 7 style description of the simulated

@@ -170,3 +170,26 @@ func TestPropertyTickCountMatchesCycles(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRateConversions(t *testing.T) {
+	if got := CyclesForSeconds(1); got != CyclesPerSecond {
+		t.Errorf("CyclesForSeconds(1) = %d, want %d", got, uint64(CyclesPerSecond))
+	}
+	if got := CyclesForSeconds(0); got != 0 {
+		t.Errorf("CyclesForSeconds(0) = %d, want 0", got)
+	}
+	if got := CyclesForSeconds(-1); got != 0 {
+		t.Errorf("CyclesForSeconds(-1) = %d, want 0", got)
+	}
+	// 100 events/sec -> 10ms gap -> 5,990,000 cycles.
+	if got := IntervalCycles(100); got != 5_990_000 {
+		t.Errorf("IntervalCycles(100) = %d, want 5990000", got)
+	}
+	if got := IntervalCycles(0); got != 0 {
+		t.Errorf("IntervalCycles(0) = %d, want 0", got)
+	}
+	// Round-trip consistency with Seconds.
+	if got := Seconds(CyclesForSeconds(2.5)); got != 2.5 {
+		t.Errorf("Seconds(CyclesForSeconds(2.5)) = %v, want 2.5", got)
+	}
+}

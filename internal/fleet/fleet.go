@@ -14,14 +14,24 @@
 // requests are coalesced into batches, handed to the parked client
 // processes, and executed in a single deterministic kernel stretch.
 //
-// Two submission modes exist:
+// Dispatch inside a shard is pipelined: a running kernel stretch admits
+// call jobs as they arrive (instead of strictly batch-park-resume), and
+// every job resolves the moment its own calls complete, so one client
+// goroutine can keep several calls in flight within a single stretch.
 //
-//   - Call/Go: live traffic from any number of goroutines, coalesced
-//     opportunistically (open-loop friendly);
+// Three submission modes exist:
+//
+//   - Call/Go/SubmitAsync: live traffic from any number of goroutines,
+//     coalesced and pipelined opportunistically (open-loop friendly);
 //   - RunPlan: a fixed request sequence routed and executed
 //     deterministically — same plan, same config, same per-shard cycle
 //     counts, regardless of goroutine interleaving (the property the
-//     fleet tests pin down).
+//     fleet tests pin down);
+//   - RunSchedule: a fixed timed arrival schedule in simulated clock
+//     time — requests enter their shard at scheduled cycle offsets,
+//     queue behind whatever is in flight, and report per-call latency;
+//     shards advance their clocks over idle gaps, making this a true
+//     open-loop arrival process (and, like RunPlan, deterministic).
 //
 // Aggregate statistics merge every shard's clock: since the shards
 // simulate N independent machines running concurrently, the fleet's
@@ -85,6 +95,18 @@ type Response struct {
 	// Shard is the shard that served (or failed) the request, or -1
 	// when the request was never routed (fleet already closed).
 	Shard int
+	// LatencyCycles is the simulated time between the request's arrival
+	// on its shard (its scheduled instant for RunSchedule, the moment it
+	// entered a kernel stretch otherwise) and its completion: queueing
+	// delay plus service time, on the shard's own clock.
+	LatencyCycles uint64
+}
+
+// TimedRequest schedules one request at a cycle offset from the start
+// of its schedule on its shard (see Fleet.RunSchedule).
+type TimedRequest struct {
+	At  uint64 // arrival offset in simulated cycles, non-decreasing
+	Req Request
 }
 
 // Stats aggregates the fleet. Per-shard entries are each in their own
@@ -205,24 +227,52 @@ func (f *Fleet) route(key string, j *job) (int, error) {
 	return sid, nil
 }
 
-// Go submits one request asynchronously; the returned channel yields
-// exactly one Response. Safe for concurrent use.
-func (f *Fleet) Go(req Request) <-chan Response {
-	out := make(chan Response, 1)
+// Future is the handle to one asynchronously submitted request. With
+// pipelined shard dispatch it resolves as soon as its own call
+// completes — mid-stretch — not when the whole batch drains, so a
+// single goroutine holding several futures has several calls genuinely
+// in flight inside one kernel stretch.
+type Future struct {
+	j   *job
+	idx int
+}
+
+// Done returns a channel closed when the response is ready.
+func (fu *Future) Done() <-chan struct{} { return fu.j.done }
+
+// Response blocks until the request completed and returns its outcome.
+func (fu *Future) Response() Response {
+	<-fu.j.done
+	return fu.j.results[fu.idx]
+}
+
+// SubmitAsync submits one request without waiting, returning a Future.
+// Unlike Go it allocates no forwarding goroutine. Safe for concurrent
+// use.
+func (f *Fleet) SubmitAsync(req Request) (*Future, error) {
 	j := &job{
 		kind:    jobCalls,
 		reqs:    []Request{req},
 		results: make([]Response, 1),
 		done:    make(chan struct{}),
 	}
-	sid, err := f.route(req.Key, j)
+	if _, err := f.route(req.Key, j); err != nil {
+		return nil, err
+	}
+	return &Future{j: j}, nil
+}
+
+// Go submits one request asynchronously; the returned channel yields
+// exactly one Response. Safe for concurrent use.
+func (f *Fleet) Go(req Request) <-chan Response {
+	out := make(chan Response, 1)
+	fu, err := f.SubmitAsync(req)
 	if err != nil {
-		out <- Response{Err: err, Shard: sid}
+		out <- Response{Err: err, Shard: -1}
 		return out
 	}
 	go func() {
-		<-j.done
-		out <- j.results[0]
+		out <- fu.Response()
 	}()
 	return out
 }
@@ -252,23 +302,22 @@ func (f *Fleet) Call(key string, funcID uint32, args ...uint32) (uint32, error) 
 	return r.Val, nil
 }
 
-// RunPlan routes and executes a fixed request sequence: requests are
-// assigned shards in plan order through the sticky pool and delivered
-// to every shard as a single batch, so per-client call order follows
-// plan order and, on a fresh fleet, the execution (including every
-// shard's cycle count) is fully deterministic. Responses align with
-// reqs by index.
-func (f *Fleet) RunPlan(reqs []Request) ([]Response, error) {
-	// Route and submit under one reader lock so a closed fleet rejects
-	// the whole plan before any pool allocation happens.
+// submitGrouped is the shared scaffolding of RunPlan and RunSchedule:
+// group n items per shard through the sticky pool, build one barrier
+// job per involved shard via makeJob (given that shard's item indexes),
+// submit, and gather results back into item order. Routing and
+// submission happen under one reader lock so a closed fleet rejects
+// the whole sequence before any pool allocation happens.
+func (f *Fleet) submitGrouped(n int, keyOf func(int) string,
+	makeJob func(idxs []int) *job) ([]Response, error) {
 	f.mu.RLock()
 	if f.closed {
 		f.mu.RUnlock()
 		return nil, ErrClosed
 	}
 	perShard := make([][]int, len(f.shards))
-	for i := range reqs {
-		sid := f.pool.Get(reqs[i].Key)
+	for i := 0; i < n; i++ {
+		sid := f.pool.Get(keyOf(i))
 		perShard[sid] = append(perShard[sid], i)
 	}
 	var jobs []*job
@@ -277,21 +326,13 @@ func (f *Fleet) RunPlan(reqs []Request) ([]Response, error) {
 		if len(idxs) == 0 {
 			continue
 		}
-		j := &job{
-			kind:    jobCalls,
-			reqs:    make([]Request, len(idxs)),
-			results: make([]Response, len(idxs)),
-			done:    make(chan struct{}),
-		}
-		for i, gi := range idxs {
-			j.reqs[i] = reqs[gi]
-		}
+		j := makeJob(idxs)
 		f.shards[sid].inbox <- j
 		jobs = append(jobs, j)
 		jobIdx = append(jobIdx, idxs)
 	}
 	f.mu.RUnlock()
-	out := make([]Response, len(reqs))
+	out := make([]Response, n)
 	for ji, j := range jobs {
 		<-j.done
 		for i, gi := range jobIdx[ji] {
@@ -299,6 +340,65 @@ func (f *Fleet) RunPlan(reqs []Request) ([]Response, error) {
 		}
 	}
 	return out, nil
+}
+
+// RunPlan routes and executes a fixed request sequence: requests are
+// assigned shards in plan order through the sticky pool and delivered
+// to every shard as a single batch, so per-client call order follows
+// plan order and, on a fresh fleet, the execution (including every
+// shard's cycle count) is fully deterministic. Responses align with
+// reqs by index.
+func (f *Fleet) RunPlan(reqs []Request) ([]Response, error) {
+	return f.submitGrouped(len(reqs),
+		func(i int) string { return reqs[i].Key },
+		func(idxs []int) *job {
+			j := &job{
+				kind:    jobCalls,
+				barrier: true, // own stretch: keeps plan cycle counts deterministic
+				reqs:    make([]Request, len(idxs)),
+				results: make([]Response, len(idxs)),
+				done:    make(chan struct{}),
+			}
+			for i, gi := range idxs {
+				j.reqs[i] = reqs[gi]
+			}
+			return j
+		})
+}
+
+// RunSchedule routes and executes a fixed timed arrival schedule:
+// requests are assigned shards in schedule order through the sticky
+// pool, and each enters its shard at its At cycle offset (measured from
+// the schedule's admission on that shard's clock). A request arriving
+// while earlier ones are still in flight queues behind them — its
+// Response.LatencyCycles then includes the queueing delay — and a shard
+// with no work advances its clock over the idle gap to the next
+// arrival. Offsets must be non-decreasing. On a fresh fleet the
+// execution is fully deterministic, like RunPlan. Responses align with
+// treqs by index.
+func (f *Fleet) RunSchedule(treqs []TimedRequest) ([]Response, error) {
+	for i := 1; i < len(treqs); i++ {
+		if treqs[i].At < treqs[i-1].At {
+			return nil, fmt.Errorf("fleet: RunSchedule: arrival offsets not sorted at %d", i)
+		}
+	}
+	return f.submitGrouped(len(treqs),
+		func(i int) string { return treqs[i].Req.Key },
+		func(idxs []int) *job {
+			j := &job{
+				kind:     jobTimed,
+				barrier:  true, // own stretch: arrival bases at stretch start
+				reqs:     make([]Request, len(idxs)),
+				arrivals: make([]uint64, len(idxs)),
+				results:  make([]Response, len(idxs)),
+				done:     make(chan struct{}),
+			}
+			for i, gi := range idxs {
+				j.reqs[i] = treqs[gi].Req
+				j.arrivals[i] = treqs[gi].At
+			}
+			return j
+		})
 }
 
 // Release reclaims a client key: the pool slot is freed first (so a

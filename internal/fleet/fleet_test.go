@@ -319,3 +319,135 @@ func TestBadConfig(t *testing.T) {
 		t.Error("Provision not registering Module accepted")
 	}
 }
+
+// TestSubmitAsyncFutures keeps several calls in flight from one
+// goroutine — the pipelined-dispatch API — and checks every future
+// resolves with the right value.
+func TestSubmitAsyncFutures(t *testing.T) {
+	f := newTestFleet(t, testConfig(2))
+	incr := incrID(t, f)
+	const inflight = 24
+	futs := make([]*Future, inflight)
+	for i := range futs {
+		fu, err := f.SubmitAsync(Request{
+			Key:    fmt.Sprintf("async-%d", i%3),
+			FuncID: incr,
+			Args:   []uint32{uint32(100 + i)},
+		})
+		if err != nil {
+			t.Fatalf("SubmitAsync %d: %v", i, err)
+		}
+		futs[i] = fu
+	}
+	for i, fu := range futs {
+		r := fu.Response()
+		if r.Err != nil || r.Errno != 0 {
+			t.Fatalf("future %d failed: %+v", i, r)
+		}
+		if want := uint32(100 + i + 1); r.Val != want {
+			t.Errorf("future %d: got %d, want %d", i, r.Val, want)
+		}
+		if r.LatencyCycles == 0 {
+			t.Errorf("future %d: zero latency", i)
+		}
+	}
+	st := f.Stats()
+	if st.TotalCalls != inflight {
+		t.Errorf("TotalCalls = %d, want %d", st.TotalCalls, inflight)
+	}
+}
+
+// TestSubmitAsyncAfterClose verifies clean failure on a closed fleet.
+func TestSubmitAsyncAfterClose(t *testing.T) {
+	f, err := New(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, _ := f.FuncID("incr")
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.SubmitAsync(Request{Key: "k", FuncID: incr, Args: []uint32{1}}); err == nil {
+		t.Error("SubmitAsync after Close succeeded, want error")
+	}
+}
+
+// TestRunScheduleBurstQueues submits a same-instant burst to one key:
+// calls are served serially by the key's client, so recorded latency
+// must grow strictly along the burst (each call queues behind the
+// previous ones).
+func TestRunScheduleBurstQueues(t *testing.T) {
+	f := newTestFleet(t, testConfig(1))
+	incr := incrID(t, f)
+	// Warm the session so the first call does not pay attach setup.
+	if _, err := f.Call("burst", incr, 0); err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	treqs := make([]TimedRequest, n)
+	for i := range treqs {
+		treqs[i] = TimedRequest{At: 0, Req: Request{Key: "burst", FuncID: incr, Args: []uint32{uint32(i)}}}
+	}
+	resps, err := f.RunSchedule(treqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if resps[i].Err != nil || resps[i].Errno != 0 {
+			t.Fatalf("burst[%d] failed: %+v", i, resps[i])
+		}
+		if resps[i].LatencyCycles <= resps[i-1].LatencyCycles {
+			t.Errorf("burst[%d] latency %d not above burst[%d] latency %d (no queueing?)",
+				i, resps[i].LatencyCycles, i-1, resps[i-1].LatencyCycles)
+		}
+	}
+}
+
+// TestRunScheduleIdleAdvance spaces arrivals far beyond the service
+// time: the shard must advance its clock over the idle gaps (open-loop
+// time base), so the final clock covers the whole schedule span and
+// per-call latencies stay flat instead of accumulating.
+func TestRunScheduleIdleAdvance(t *testing.T) {
+	f := newTestFleet(t, testConfig(1))
+	incr := incrID(t, f)
+	if _, err := f.Call("idle", incr, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := f.Stats().PerShard[0].Cycles
+	const gap = 50_000_000 // ~83ms simulated: far beyond one call's service time
+	treqs := make([]TimedRequest, 5)
+	for i := range treqs {
+		treqs[i] = TimedRequest{At: uint64(i) * gap,
+			Req: Request{Key: "idle", FuncID: incr, Args: []uint32{uint32(i)}}}
+	}
+	resps, err := f.RunSchedule(treqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := f.Stats().PerShard[0].Cycles - before
+	if want := uint64(len(treqs)-1) * gap; span < want {
+		t.Errorf("shard advanced %d cycles over schedule, want >= %d (idle gaps skipped?)", span, want)
+	}
+	// No queueing: every latency is pure service time, far below gap.
+	for i, r := range resps {
+		if r.Err != nil || r.Errno != 0 {
+			t.Fatalf("idle[%d] failed: %+v", i, r)
+		}
+		if r.LatencyCycles >= gap {
+			t.Errorf("idle[%d] latency %d >= gap %d: queued despite idle schedule", i, r.LatencyCycles, gap)
+		}
+	}
+}
+
+// TestRunScheduleRejectsUnsorted: arrival offsets must be sorted.
+func TestRunScheduleRejectsUnsorted(t *testing.T) {
+	f := newTestFleet(t, testConfig(1))
+	incr := incrID(t, f)
+	_, err := f.RunSchedule([]TimedRequest{
+		{At: 10, Req: Request{Key: "a", FuncID: incr, Args: []uint32{1}}},
+		{At: 5, Req: Request{Key: "a", FuncID: incr, Args: []uint32{2}}},
+	})
+	if err == nil {
+		t.Error("unsorted schedule accepted")
+	}
+}

@@ -183,3 +183,112 @@ func TestDeterministicEvictionPath(t *testing.T) {
 		}
 	}
 }
+
+// scheduleFor builds a deterministic pseudo-random timed schedule:
+// keys, arguments, and exponential-ish inter-arrival gaps all derive
+// from the seed.
+func scheduleFor(t *testing.T, f *Fleet, seed int64, keys, calls int) []TimedRequest {
+	t.Helper()
+	incr := incrID(t, f)
+	rng := rand.New(rand.NewSource(seed))
+	var at uint64
+	var treqs []TimedRequest
+	for i := 0; i < keys*calls; i++ {
+		at += uint64(rng.Intn(200_000)) // 0..~333us gaps: mixes queueing and idle
+		treqs = append(treqs, TimedRequest{
+			At: at,
+			Req: Request{
+				Key:    fmt.Sprintf("t%02d", rng.Intn(keys)),
+				FuncID: incr,
+				Args:   []uint32{uint32(rng.Intn(1 << 16))},
+			},
+		})
+	}
+	return treqs
+}
+
+// TestDeterministicSchedule: the same timed schedule on a fresh fleet
+// yields identical per-shard cycle counts AND identical per-call
+// latencies, run after run — the property that makes load-curve
+// measurements reproducible.
+func TestDeterministicSchedule(t *testing.T) {
+	for _, tc := range []struct {
+		shards, keys, calls int
+		seed                int64
+	}{
+		{1, 3, 5, 7},
+		{2, 5, 4, 11},
+		{4, 8, 3, 13},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("s%d_k%d_c%d", tc.shards, tc.keys, tc.calls), func(t *testing.T) {
+			run := func() ([]uint64, []uint64) {
+				f := newTestFleet(t, testConfig(tc.shards))
+				resps, err := f.RunSchedule(scheduleFor(t, f, tc.seed, tc.keys, tc.calls))
+				if err != nil {
+					t.Fatal(err)
+				}
+				lats := make([]uint64, len(resps))
+				for i, r := range resps {
+					if r.Err != nil || r.Errno != 0 {
+						t.Fatalf("schedule[%d] failed: %+v", i, r)
+					}
+					lats[i] = r.LatencyCycles
+				}
+				st := f.Stats()
+				cycles := make([]uint64, len(st.PerShard))
+				for i, s := range st.PerShard {
+					cycles[i] = s.Cycles
+				}
+				return cycles, lats
+			}
+			c1, l1 := run()
+			c2, l2 := run()
+			for i := range c1 {
+				if c1[i] != c2[i] {
+					t.Errorf("shard %d cycles differ across runs: %d vs %d", i, c1[i], c2[i])
+				}
+			}
+			for i := range l1 {
+				if l1[i] != l2[i] {
+					t.Errorf("call %d latency differs across runs: %d vs %d", i, l1[i], l2[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDeterministicPlanWithPipelinedDispatch interleaves RunPlan with
+// concurrent-free live idle periods and repeats the combined sequence:
+// plan jobs are barrier jobs, so pipelined dispatch must not leak host
+// timing into plan cycle counts even when plans follow each other
+// back-to-back.
+func TestDeterministicPlanWithPipelinedDispatch(t *testing.T) {
+	run := func() []uint64 {
+		f := newTestFleet(t, testConfig(2))
+		for round := 0; round < 4; round++ {
+			plan := planFor(t, f, int64(round+1), 4, 3)
+			resps, err := f.RunPlan(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range resps {
+				if r.Err != nil || r.Errno != 0 {
+					t.Fatalf("round %d plan[%d] failed: %+v", round, i, r)
+				}
+			}
+		}
+		st := f.Stats()
+		cycles := make([]uint64, len(st.PerShard))
+		for i, s := range st.PerShard {
+			cycles[i] = s.Cycles
+		}
+		return cycles
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("shard %d cycles differ across runs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

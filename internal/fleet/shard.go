@@ -22,9 +22,13 @@ type pendingCall struct {
 	funcID uint32
 	args   []uint32
 	job    *job
-	idx    int // index into job.results
-	resp   Response
-	done   bool
+	idx    int         // index into job.results
+	cp     *clientProc // owning client, for in-flight accounting
+	// at is the request's arrival cycle on the shard clock: its
+	// scheduled time for timed jobs, the injection instant otherwise.
+	// Completion minus at is the per-call latency (queueing + service).
+	at   uint64
+	done bool
 }
 
 // clientProc is one simulated client process holding a warm session.
@@ -37,7 +41,10 @@ type clientProc struct {
 	queue   []*pendingCall
 	closing bool
 	born    uint64 // spawn sequence, LRU tie-break
-	lastUse uint64 // batch sequence of last routed request
+	lastUse uint64 // admission sequence of last routed job
+	// inflight counts injected-but-unfinished calls (queued or being
+	// served); a client with calls in flight is never LRU-evicted.
+	inflight int
 }
 
 // jobKind discriminates the shard inbox messages.
@@ -45,19 +52,47 @@ type jobKind int
 
 const (
 	jobCalls jobKind = iota
+	jobTimed
 	jobStats
 	jobRelease
 )
 
-// job is one unit of work sent to a shard: a batch of calls, a stats
-// snapshot request, or a session release.
+// job is one unit of work sent to a shard: a batch of calls (immediate
+// or on a timed arrival schedule), a stats snapshot request, or a
+// session release.
 type job struct {
-	kind    jobKind
-	reqs    []Request
-	results []Response
+	kind jobKind
+	reqs []Request
+	// arrivals holds, for jobTimed, the non-decreasing cycle offsets
+	// (parallel to reqs) at which each request enters the shard,
+	// measured from the job's admission into a kernel stretch.
+	arrivals []uint64
+	results  []Response
+	// pending counts unfinished requests; done closes when it reaches
+	// zero, so single-call jobs (futures) resolve as soon as their call
+	// completes, mid-stretch, not at the batch barrier.
+	pending int
+	// barrier marks a job that must start its own kernel stretch rather
+	// than be admitted into a running one. RunPlan and RunSchedule set
+	// it: whether a job joins an already-running stretch depends on
+	// host timing, so without the flag back-to-back plans would leak
+	// host timing into their cycle counts. The guarantee is scoped to
+	// plan/schedule-only traffic (what the property tests pin down) —
+	// live jobs arriving DURING a barrier stretch are still pipelined
+	// into it, so mixing RunPlan with concurrent Call/SubmitAsync
+	// traffic is not deterministic (nor could it be: pool routing
+	// already races).
+	barrier bool
 	key     string // jobRelease
 	stats   ShardStats
 	done    chan struct{}
+}
+
+// timedCursor walks one admitted jobTimed's arrival schedule.
+type timedCursor struct {
+	j    *job
+	base uint64 // shard clock at admission; arrivals are offsets from it
+	pos  int
 }
 
 // ShardStats is one shard's merged counters, all in that shard's own
@@ -98,11 +133,18 @@ type shard struct {
 	clients map[string]*clientProc
 	byPID   map[int]*clientProc
 	spawned uint64
-	seq     uint64 // batch sequence for LRU accounting
+	seq     uint64 // job admission sequence for LRU accounting
 
-	// submitted/completed track pendingCalls of the batch in flight.
-	submitted int
-	completed int
+	// Stretch state: pipelined dispatch admits jobs into the running
+	// kernel stretch from the RunUntil predicate, so one stretch serves
+	// every call that arrives while it runs (up to MaxBatch jobs).
+	submitted     int            // pendingCalls injected this stretch
+	completed     int            // pendingCalls finished this stretch
+	pcs           []*pendingCall // all calls injected this stretch
+	cursors       []*timedCursor // live arrival schedules
+	jobsInStretch int
+	stash         *job // first control job seen mid-stretch (barrier)
+	inboxClosed   bool
 
 	evictions uint64
 
@@ -147,22 +189,44 @@ func (sh *shard) sysPark(k *kern.Kernel, p *kern.Proc, args []uint32) kern.Sysre
 	return kern.Sysret{BlockOn: parkToken{p.PID}}
 }
 
+// finish completes one injected call: record the response (with its
+// latency on the shard clock), count it against the stretch, and close
+// the owning job as soon as its last call lands. Idempotent, so stale
+// entries left in a dead client's queue are never double-counted.
+func (sh *shard) finish(pc *pendingCall, resp Response) {
+	if pc.done {
+		return
+	}
+	pc.done = true
+	pc.cp.inflight--
+	resp.Shard = sh.id
+	resp.LatencyCycles = sh.k.Clk.Cycles() - pc.at
+	sh.completed++
+	sh.finishSlot(pc.job, pc.idx, resp)
+}
+
+// finishSlot writes one result slot and closes the job when it was the
+// last. Used by finish and by the abort path for never-injected
+// arrivals (which have no pendingCall and count nothing against the
+// stretch).
+func (sh *shard) finishSlot(j *job, idx int, resp Response) {
+	j.results[idx] = resp
+	j.pending--
+	if j.pending == 0 {
+		close(j.done)
+	}
+}
+
 // clientMain is the native body of one client process: attach once
-// (opening the warm session), then serve batches until shutdown.
+// (opening the warm session), then serve its queue until shutdown.
+// Requests appended to the queue while a wake is being served (the
+// pipelined path) are served in the same wake.
 func (sh *shard) clientMain(cp *clientProc) func(*kern.Sys) int {
 	return func(s *kern.Sys) int {
 		nc, err := core.AttachNative(s, sh.cfg.Module, sh.cfg.Version, sh.cfg.Credential)
 		if err != nil {
 			for _, pc := range cp.queue {
-				if pc.done {
-					// Stale entry answered by an errored batch's
-					// scatter; counting it again would overshoot the
-					// current batch's completion.
-					continue
-				}
-				pc.resp = Response{Err: err, Shard: sh.id}
-				pc.done = true
-				sh.completed++
+				sh.finish(pc, Response{Err: err})
 			}
 			cp.queue = nil
 			return 1
@@ -172,124 +236,210 @@ func (sh *shard) clientMain(cp *clientProc) func(*kern.Sys) int {
 			if cp.closing {
 				return 0
 			}
-			q := cp.queue
-			cp.queue = nil
-			for _, pc := range q {
+			for len(cp.queue) > 0 {
+				pc := cp.queue[0]
+				cp.queue = cp.queue[1:]
 				if pc.done {
-					// Stale entry already answered by an errored
-					// batch's scatter; serving it would double-count
-					// against the current batch's completion.
+					// Stale entry answered by an errored stretch's abort
+					// fill; the finish guard would make serving it a
+					// no-op, skipping avoids the wasted call.
 					continue
 				}
 				v, errno := nc.Call(pc.funcID, pc.args...)
-				pc.resp = Response{Val: v, Errno: errno, Shard: sh.id}
-				pc.done = true
-				sh.completed++
+				sh.finish(pc, Response{Val: v, Errno: errno})
 			}
 		}
 	}
 }
 
-// loop is the shard goroutine: receive jobs, coalesce them into
-// batches, execute, respond. It exits when the inbox closes.
+// next yields the shard's next inbox job, honoring a stashed control
+// job left over from the previous stretch first.
+func (sh *shard) next() (*job, bool) {
+	if sh.stash != nil {
+		j := sh.stash
+		sh.stash = nil
+		return j, true
+	}
+	if sh.inboxClosed {
+		return nil, false
+	}
+	j, ok := <-sh.inbox
+	if !ok {
+		sh.inboxClosed = true
+	}
+	return j, ok
+}
+
+// loop is the shard goroutine: call jobs open a pipelined kernel
+// stretch (which admits further arriving call jobs while it runs);
+// control jobs (stats, release) execute between stretches, so their
+// answers reflect every job submitted before them. It exits when the
+// inbox closes.
 func (sh *shard) loop() {
 	for {
-		j, ok := <-sh.inbox
+		j, ok := sh.next()
 		if !ok {
 			sh.shutdown()
 			return
 		}
-		batch := []*job{j}
-		limit := sh.cfg.MaxBatch
-	drain:
-		for len(batch) < limit {
-			select {
-			case j2, ok := <-sh.inbox:
-				if !ok {
-					sh.exec(batch)
-					sh.shutdown()
-					return
-				}
-				batch = append(batch, j2)
-			default:
-				break drain
-			}
-		}
-		sh.exec(batch)
-	}
-}
-
-// exec runs one coalesced batch. Call jobs accumulate into the client
-// queues and run together in a single kernel stretch; control jobs
-// (stats, release) act as barriers so their answers reflect every job
-// submitted before them.
-func (sh *shard) exec(batch []*job) {
-	var calls []*job
-	flush := func() {
-		if len(calls) == 0 {
-			return
-		}
-		sh.runCalls(calls)
-		calls = calls[:0]
-	}
-	for _, j := range batch {
 		switch j.kind {
-		case jobCalls:
-			calls = append(calls, j)
+		case jobCalls, jobTimed:
+			sh.runStretch(j)
 		case jobStats:
-			flush()
 			j.stats = sh.snapshot()
 			close(j.done)
 		case jobRelease:
-			flush()
 			sh.evict(j.key)
 			close(j.done)
 		}
 	}
-	flush()
 }
 
-// runCalls routes every request of the given jobs, wakes the involved
-// clients, and drives the kernel until the whole batch completed.
-func (sh *shard) runCalls(jobs []*job) {
+// admit takes one call job into the current stretch: immediate requests
+// are injected now; timed requests register an arrival cursor based at
+// the current clock. Each admission is an LRU epoch — clients the job
+// touches are protected from eviction while it is being routed, but a
+// long-lived pipelined stretch does not freeze the LRU clock.
+func (sh *shard) admit(j *job) {
 	sh.seq++
-	sh.submitted, sh.completed = 0, 0
-	var pcs []*pendingCall
-	woken := map[int]bool{}
-	for _, j := range jobs {
-		for i := range j.reqs {
-			r := &j.reqs[i]
-			cp := sh.ensureClient(r.Key)
-			pc := &pendingCall{funcID: r.FuncID, args: r.Args, job: j, idx: i}
-			cp.queue = append(cp.queue, pc)
-			pcs = append(pcs, pc)
-			sh.submitted++
-			if !woken[cp.proc.PID] {
-				woken[cp.proc.PID] = true
-				sh.k.Wakeup(parkToken{cp.proc.PID})
-			}
-		}
+	sh.jobsInStretch++
+	j.pending = len(j.reqs)
+	if j.kind == jobTimed {
+		cur := &timedCursor{j: j, base: sh.k.Clk.Cycles()}
+		sh.cursors = append(sh.cursors, cur)
+		return
 	}
-	runErr := sh.k.RunUntil(func() bool { return sh.completed >= sh.submitted }, 0)
+	now := sh.k.Clk.Cycles()
+	for i := range j.reqs {
+		sh.inject(j, i, now)
+	}
+}
 
-	// Scatter results back. Slots a dead client never served (attach
-	// failure, kernel error) get an explicit error response and are
-	// marked done so a client that recovers in a later batch skips them
-	// instead of serving them against that batch's completion count.
-	for _, pc := range pcs {
-		if !pc.done {
-			err := runErr
-			if err == nil {
-				err = errors.New("request not served")
+// inject routes request i of job j into its client's queue, waking the
+// client if parked. at is the request's arrival cycle for latency
+// accounting.
+func (sh *shard) inject(j *job, i int, at uint64) {
+	r := &j.reqs[i]
+	cp := sh.ensureClient(r.Key)
+	pc := &pendingCall{funcID: r.FuncID, args: r.Args, job: j, idx: i, cp: cp, at: at}
+	cp.inflight++
+	cp.queue = append(cp.queue, pc)
+	sh.pcs = append(sh.pcs, pc)
+	sh.submitted++
+	sh.k.Wakeup(parkToken{cp.proc.PID})
+}
+
+// drainInbox admits further call jobs that arrived while the stretch
+// runs, up to MaxBatch jobs per stretch. The first control or barrier
+// job seen is stashed — it executes after the stretch — and stops
+// further admission so inbox order is preserved.
+func (sh *shard) drainInbox() {
+	for sh.stash == nil && !sh.inboxClosed && sh.jobsInStretch < sh.cfg.MaxBatch {
+		select {
+		case j, ok := <-sh.inbox:
+			if !ok {
+				sh.inboxClosed = true
+				return
 			}
-			pc.resp = Response{Err: fmt.Errorf("fleet: shard %d: %w", sh.id, err), Shard: sh.id}
-			pc.done = true
+			if (j.kind == jobCalls || j.kind == jobTimed) && !j.barrier {
+				sh.admit(j)
+			} else {
+				sh.stash = j
+			}
+		default:
+			return
 		}
-		pc.job.results[pc.idx] = pc.resp
 	}
-	for _, j := range jobs {
-		close(j.done)
+}
+
+// injectDue injects every scheduled arrival whose time has come.
+// Cursors are visited in admission order, so a run with a fixed
+// schedule injects in a fixed order.
+func (sh *shard) injectDue() {
+	now := sh.k.Clk.Cycles()
+	live := sh.cursors[:0]
+	for _, cur := range sh.cursors {
+		for cur.pos < len(cur.j.reqs) && cur.base+cur.j.arrivals[cur.pos] <= now {
+			sh.inject(cur.j, cur.pos, cur.base+cur.j.arrivals[cur.pos])
+			cur.pos++
+		}
+		if cur.pos < len(cur.j.reqs) {
+			live = append(live, cur)
+		}
 	}
+	sh.cursors = live
+}
+
+// nextArrival returns the earliest unreached scheduled arrival cycle.
+func (sh *shard) nextArrival() (uint64, bool) {
+	var min uint64
+	ok := false
+	for _, cur := range sh.cursors {
+		at := cur.base + cur.j.arrivals[cur.pos]
+		if !ok || at < min {
+			min = at
+			ok = true
+		}
+	}
+	return min, ok
+}
+
+// stretchDone is the RunUntil predicate driving one pipelined stretch.
+// Checked between kernel dispatches, it (1) admits call jobs arriving
+// on the inbox, (2) injects scheduled arrivals that have come due, and
+// (3) when the shard would otherwise go idle with arrivals still ahead,
+// advances the simulated clock over the idle gap to the next arrival —
+// which is what makes the schedule an open-loop arrival process in
+// simulated time. The stretch ends when every injected call completed
+// and no arrivals remain.
+func (sh *shard) stretchDone() bool {
+	sh.drainInbox()
+	sh.injectDue()
+	if sh.completed < sh.submitted {
+		return false
+	}
+	if at, ok := sh.nextArrival(); ok {
+		if sh.k.HasRunnable() {
+			// Let in-flight bookkeeping (parking clients, exiting
+			// procs) consume its cycles before any idle jump.
+			return false
+		}
+		if now := sh.k.Clk.Cycles(); at > now {
+			sh.k.Clk.Advance(at - now)
+		}
+		sh.injectDue()
+		return false
+	}
+	return true
+}
+
+// runStretch executes one pipelined kernel stretch seeded with first.
+// On a kernel error the unserved remainder (injected and not) is failed
+// explicitly so every admitted job still resolves.
+func (sh *shard) runStretch(first *job) {
+	sh.submitted, sh.completed = 0, 0
+	sh.jobsInStretch = 0
+	sh.pcs = sh.pcs[:0]
+	sh.admit(first)
+	runErr := sh.k.RunUntil(sh.stretchDone, 0)
+
+	if runErr != nil || sh.completed < sh.submitted || len(sh.cursors) > 0 {
+		err := runErr
+		if err == nil {
+			err = errors.New("request not served")
+		}
+		resp := Response{Err: fmt.Errorf("fleet: shard %d: %w", sh.id, err), Shard: sh.id}
+		for _, pc := range sh.pcs {
+			sh.finish(pc, resp)
+		}
+		for _, cur := range sh.cursors {
+			for ; cur.pos < len(cur.j.reqs); cur.pos++ {
+				sh.finishSlot(cur.j, cur.pos, resp)
+			}
+		}
+		sh.cursors = sh.cursors[:0]
+	}
+	sh.pcs = sh.pcs[:0]
 }
 
 // ensureClient returns the live client process for key, spawning (and
@@ -319,12 +469,13 @@ func (sh *shard) ensureClient(key string) *clientProc {
 }
 
 // evictLRU reclaims the least-recently-used idle session (deterministic
-// tie-break on spawn order). Clients with work queued in the current
-// batch are never evicted; if every session is busy the cap is soft.
+// tie-break on spawn order). Clients with calls in flight, or touched
+// by the job currently being admitted, are never evicted; if every
+// session is busy the cap is soft.
 func (sh *shard) evictLRU() {
 	var victim *clientProc
 	for _, cp := range sh.clients {
-		if len(cp.queue) > 0 || cp.lastUse == sh.seq {
+		if cp.inflight > 0 || cp.lastUse == sh.seq {
 			continue
 		}
 		if victim == nil || cp.lastUse < victim.lastUse ||

@@ -149,6 +149,11 @@ type Proc struct {
 
 	// sleepOn is the wait channel token while StateSleeping.
 	sleepOn any
+	// nextRun/onRunq link the process into the kernel's intrusive FIFO
+	// run queue; onRunq makes the duplicate check in ready O(1) where
+	// the old slice scan was O(queue length) per wakeup.
+	nextRun *Proc
+	onRunq  bool
 	// pendingTrap is the syscall to retry on wakeup (SM32 procs).
 	pendingTrap *uint32
 	// Native process machinery (nil for SM32 procs).
@@ -171,12 +176,18 @@ type Kernel struct {
 	Clk  *clock.Clock
 	Phys *mem.Phys
 
-	procs   map[int]*Proc
-	runq    []*Proc
-	cur     *Proc
-	lastRun *Proc
-	nextPID int
-	preempt bool
+	procs map[int]*Proc
+	// runqHead/runqTail form the intrusive FIFO run queue (linked
+	// through Proc.nextRun). Enqueue and dequeue are O(1); with a fleet
+	// shard parking and waking thousands of client/handle procs per
+	// stretch, the old slice-based duplicate scan in ready was O(n) per
+	// wakeup (see BenchmarkReadyAlreadyQueued).
+	runqHead *Proc
+	runqTail *Proc
+	cur      *Proc
+	lastRun  *Proc
+	nextPID  int
+	preempt  bool
 
 	// sleepers indexes sleeping processes by wait token so Wakeup is
 	// O(waiters on that token) rather than O(all processes). With a
@@ -342,18 +353,25 @@ func (k *Kernel) newProc(name string, space *vm.Space) *Proc {
 	return p
 }
 
-// ready puts p on the run queue.
+// ready puts p on the run queue (appending in FIFO order, exactly like
+// the slice it replaced, so scheduling order — and therefore every
+// deterministic cycle count — is unchanged).
 func (k *Kernel) ready(p *Proc) {
 	if p.State == StateZombie || p.State == StateDead {
 		return
 	}
 	p.State = StateRunnable
-	for _, q := range k.runq {
-		if q == p {
-			return
-		}
+	if p.onRunq {
+		return
 	}
-	k.runq = append(k.runq, p)
+	p.onRunq = true
+	p.nextRun = nil
+	if k.runqTail == nil {
+		k.runqHead = p
+	} else {
+		k.runqTail.nextRun = p
+	}
+	k.runqTail = p
 }
 
 // Wakeup makes every process sleeping on token runnable (BSD wakeup()).
@@ -395,14 +413,34 @@ func (k *Kernel) unsleep(p *Proc) {
 }
 
 func (k *Kernel) pickNext() *Proc {
-	for len(k.runq) > 0 {
-		p := k.runq[0]
-		k.runq = k.runq[1:]
+	for k.runqHead != nil {
+		p := k.runqHead
+		k.runqHead = p.nextRun
+		if k.runqHead == nil {
+			k.runqTail = nil
+		}
+		p.nextRun = nil
+		p.onRunq = false
+		// Entries can go zombie/dead while queued (killed by another
+		// proc's syscall); they are skipped here, as before.
 		if p.State == StateRunnable {
 			return p
 		}
 	}
 	return nil
+}
+
+// HasRunnable reports whether any genuinely runnable process is queued
+// (stale zombie entries are ignored). RunUntil predicates that inject
+// timed work use it to advance the clock over idle gaps only when no
+// real work is pending.
+func (k *Kernel) HasRunnable() bool {
+	for p := k.runqHead; p != nil; p = p.nextRun {
+		if p.State == StateRunnable {
+			return true
+		}
+	}
+	return false
 }
 
 // liveCount counts processes that are not zombies/dead.

@@ -1,0 +1,223 @@
+package measure
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+// TestQuantilesKnownDistribution checks nearest-rank quantiles against
+// a fully known population: 1..1000 cycles, one sample each. The
+// q-quantile of that population is exactly ceil(q*1000).
+func TestQuantilesKnownDistribution(t *testing.T) {
+	var r LatencyRecorder
+	// Insert in a shuffled order so sorting is actually exercised.
+	rng := rand.New(rand.NewSource(5))
+	for _, v := range rng.Perm(1000) {
+		r.Record(uint64(v + 1))
+	}
+	for _, tc := range []struct {
+		q    float64
+		want uint64
+	}{
+		{0.50, 500},
+		{0.95, 950},
+		{0.99, 990},
+		{0.999, 999},
+		{1.0, 1000},
+	} {
+		if got := r.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if got := r.Count(); got != 1000 {
+		t.Errorf("Count = %d, want 1000", got)
+	}
+	// Mean of 1..1000 cycles is 500.5 cycles.
+	if want := 500.5 / clock.CyclesPerMicrosecond; math.Abs(r.MeanMicros()-want) > 1e-9 {
+		t.Errorf("MeanMicros = %v, want %v", r.MeanMicros(), want)
+	}
+	if got := r.MaxMicros(); got != clock.Micros(1000) {
+		t.Errorf("MaxMicros = %v, want %v", got, clock.Micros(1000))
+	}
+}
+
+// TestQuantileSmallSamples pins the nearest-rank convention on tiny
+// sample sets, where off-by-one rank bugs show up.
+func TestQuantileSmallSamples(t *testing.T) {
+	var r LatencyRecorder
+	for _, v := range []uint64{40, 10, 30, 20} {
+		r.Record(v)
+	}
+	// n=4: rank(q) = ceil(4q): p50 -> rank 2 -> 20; p95/p99 -> rank 4 -> 40.
+	if got := r.Quantile(0.50); got != 20 {
+		t.Errorf("p50 of {10,20,30,40} = %d, want 20", got)
+	}
+	if got := r.Quantile(0.95); got != 40 {
+		t.Errorf("p95 of {10,20,30,40} = %d, want 40", got)
+	}
+	if got := r.Quantile(0.25); got != 10 {
+		t.Errorf("p25 of {10,20,30,40} = %d, want 10", got)
+	}
+
+	var empty LatencyRecorder
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("quantile of empty recorder = %d, want 0", got)
+	}
+	if got := empty.MeanMicros(); got != 0 {
+		t.Errorf("mean of empty recorder = %v, want 0", got)
+	}
+}
+
+// TestQuantileInterleavedWithRecord verifies recording after a
+// quantile query (which sorts) still yields correct answers.
+func TestQuantileInterleavedWithRecord(t *testing.T) {
+	var r LatencyRecorder
+	for i := 1; i <= 10; i++ {
+		r.Record(uint64(i))
+	}
+	if got := r.Quantile(1.0); got != 10 {
+		t.Fatalf("max = %d, want 10", got)
+	}
+	r.Record(100)
+	if got := r.Quantile(1.0); got != 100 {
+		t.Errorf("max after late record = %d, want 100", got)
+	}
+	if got := r.Quantile(0.5); got != 6 {
+		// n=11: rank ceil(5.5)=6 -> sample 6.
+		t.Errorf("p50 after late record = %d, want 6", got)
+	}
+}
+
+// TestHistogramBuckets checks power-of-two bucketing edges and that
+// counts sum to the number of samples.
+func TestHistogramBuckets(t *testing.T) {
+	var r LatencyRecorder
+	for _, v := range []uint64{0, 1, 2, 3, 4, 7, 8, 1023, 1024} {
+		r.Record(v)
+	}
+	var total uint64
+	for _, b := range r.Histogram() {
+		total += b.Count
+	}
+	if total != uint64(r.Count()) {
+		t.Errorf("histogram total %d != samples %d", total, r.Count())
+	}
+	// Buckets: [0,2):{0,1}=2  [2,4):{2,3}=2  [4,8):{4,7}=2  [8,16):{8}=1
+	// [512,1024):{1023}=1  [1024,2048):{1024}=1
+	want := []uint64{2, 2, 2, 1, 1, 1}
+	bks := r.Histogram()
+	if len(bks) != len(want) {
+		t.Fatalf("got %d non-empty buckets, want %d: %+v", len(bks), len(want), bks)
+	}
+	for i, b := range bks {
+		if b.Count != want[i] {
+			t.Errorf("bucket %d count = %d, want %d", i, b.Count, want[i])
+		}
+	}
+}
+
+// TestHistogramString checks the bar-chart rendering: one line per
+// non-empty bucket, counts shown, longest bar on the modal bucket.
+func TestHistogramString(t *testing.T) {
+	var r LatencyRecorder
+	for i := 0; i < 8; i++ {
+		r.Record(100) // [64,128)
+	}
+	r.Record(1000) // [512,1024)
+	s := HistogramString(r.Histogram())
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), s)
+	}
+	if !strings.Contains(lines[0], "8") || strings.Count(lines[0], "#") != 40 {
+		t.Errorf("modal bucket line wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "1") || strings.Count(lines[1], "#") != 5 {
+		t.Errorf("minor bucket line wrong: %q", lines[1])
+	}
+	if HistogramString(nil) != "" {
+		t.Error("empty histogram renders non-empty")
+	}
+}
+
+// TestPoissonArrivalsDeterministic: a fixed seed must reproduce the
+// exact arrival sequence, and distinct seeds must diverge.
+func TestPoissonArrivalsDeterministic(t *testing.T) {
+	a, err := Arrivals(Poisson, 42, 10_000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Arrivals(Poisson, 42, 10_000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs across runs with same seed: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c, err := Arrivals(Poisson, 43, 10_000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical arrival sequences")
+	}
+}
+
+// TestPoissonArrivalsRate: the empirical mean inter-arrival gap must
+// approach 1/rate (law of large numbers; 4 stdev tolerance).
+func TestPoissonArrivalsRate(t *testing.T) {
+	const (
+		rate = 1000.0 // 1000 calls/sec -> mean gap 1ms = 599_000 cycles
+		n    = 20_000
+	)
+	a, err := Arrivals(Poisson, 7, rate, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanGap := float64(a[n-1]) / float64(n)
+	wantGap := float64(clock.CyclesPerSecond) / rate
+	// Exponential stdev = mean; mean of n gaps has stdev mean/sqrt(n).
+	tol := 4 * wantGap / math.Sqrt(n)
+	if math.Abs(meanGap-wantGap) > tol {
+		t.Errorf("mean gap %f cycles, want %f +- %f", meanGap, wantGap, tol)
+	}
+	// Monotone non-decreasing.
+	for i := 1; i < n; i++ {
+		if a[i] < a[i-1] {
+			t.Fatalf("arrivals not sorted at %d", i)
+		}
+	}
+}
+
+// TestUniformArrivals: fixed-interval arrivals are exact multiples of
+// the mean gap.
+func TestUniformArrivals(t *testing.T) {
+	a, err := Arrivals(Uniform, 0, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := clock.IntervalCycles(100) // 10ms = 5_990_000 cycles
+	for i, at := range a {
+		if want := gap * uint64(i+1); at != want {
+			t.Errorf("arrival %d = %d, want %d", i, at, want)
+		}
+	}
+	if _, err := Arrivals(Poisson, 0, 0, 5); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Arrivals(Poisson, 0, 100, -1); err == nil {
+		t.Error("negative count accepted")
+	}
+}

@@ -1,0 +1,248 @@
+package measure
+
+// The latency-vs-offered-load curve: the fleet's open-loop saturation
+// characterization. For each offered rate a fresh fleet serves a timed
+// arrival schedule (Poisson or fixed-interval) in simulated clock
+// time; per-call latencies come back on each response, and the row
+// reports exact p50/p95/p99 quantiles plus achieved throughput over
+// the fleet makespan. Below capacity achieved tracks offered and
+// latency is flat service time; past the knee the queue grows without
+// bound for the duration of the schedule, achieved caps at capacity,
+// and the latency quantiles blow up — the standard open-loop picture
+// of a queueing system approaching saturation.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/clock"
+	"repro/internal/fleet"
+)
+
+// LoadCurveConfig describes one load-curve sweep.
+type LoadCurveConfig struct {
+	// Shards is the fleet size; Clients the number of warm sticky keys
+	// arrivals are spread over (round-robin by seeded rng).
+	Shards  int
+	Clients int
+	// Calls is the number of arrivals measured per offered-load point.
+	Calls int
+	// Rates is the offered-load sweep, in calls per simulated second
+	// across the whole fleet.
+	Rates []float64
+	// Kind selects the arrival process (Poisson or Uniform).
+	Kind ArrivalKind
+	// Seed drives arrival gaps and key assignment; a fixed seed makes
+	// the whole curve bit-for-bit reproducible.
+	Seed int64
+}
+
+// LoadPoint is one row of the latency-vs-offered-load table.
+type LoadPoint struct {
+	OfferedPerSec  float64      `json:"offered_cps"`
+	AchievedPerSec float64      `json:"achieved_cps"`
+	Calls          int          `json:"calls"`
+	P50Micros      float64      `json:"p50_us"`
+	P95Micros      float64      `json:"p95_us"`
+	P99Micros      float64      `json:"p99_us"`
+	MeanMicros     float64      `json:"mean_us"`
+	MaxMicros      float64      `json:"max_us"`
+	MakespanMicros float64      `json:"makespan_us"`
+	Saturated      bool         `json:"saturated"`
+	Hist           []HistBucket `json:"hist"`
+}
+
+// SatAchievedFraction marks a point saturated when achieved throughput
+// falls below this fraction of offered (the queue could not drain at
+// the offered rate). Slightly below 1 because a finite schedule's
+// makespan includes draining the final backlog, which biases achieved
+// below offered even at sub-capacity loads.
+const SatAchievedFraction = 0.9
+
+// RunFleetLoadCurve sweeps the offered-load rates and returns one
+// LoadPoint per rate. Every point runs on a fresh fleet with the same
+// seed, so points differ only in offered load.
+func RunFleetLoadCurve(cfg LoadCurveConfig) ([]LoadPoint, error) {
+	if cfg.Shards < 1 || cfg.Clients < 1 || cfg.Calls < 1 {
+		return nil, fmt.Errorf("measure: load curve needs shards, clients, calls >= 1")
+	}
+	if len(cfg.Rates) == 0 {
+		return nil, fmt.Errorf("measure: load curve needs at least one offered rate")
+	}
+	points := make([]LoadPoint, 0, len(cfg.Rates))
+	for _, rate := range cfg.Rates {
+		p, err := runLoadPoint(cfg, rate)
+		if err != nil {
+			return nil, fmt.Errorf("measure: load point %.0f/s: %w", rate, err)
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// runLoadPoint measures one offered rate on a fresh fleet.
+func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error) {
+	f, err := fleet.New(fleetBenchConfig(cfg.Shards, 0))
+	if err != nil {
+		return LoadPoint{}, err
+	}
+	// Shard shutdown errors surface only from Close; don't mask them.
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			point, err = LoadPoint{}, cerr
+		}
+	}()
+	incr, ok := f.FuncID("incr")
+	if !ok {
+		return LoadPoint{}, fmt.Errorf("libc lacks incr")
+	}
+	// Session setup is the open-loop churn story, measured separately
+	// by RunFleetOpenLoop; here sessions are pre-warmed so the curve
+	// holds only smod_call traffic.
+	if err := warmFleet(f, incr, cfg.Clients); err != nil {
+		return LoadPoint{}, err
+	}
+	before := f.Stats()
+
+	arrivals, err := Arrivals(cfg.Kind, cfg.Seed, rate, cfg.Calls)
+	if err != nil {
+		return LoadPoint{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	treqs := make([]fleet.TimedRequest, cfg.Calls)
+	for i := range treqs {
+		treqs[i] = fleet.TimedRequest{
+			At: arrivals[i],
+			Req: fleet.Request{
+				Key:    benchKey(rng.Intn(cfg.Clients)),
+				FuncID: incr,
+				Args:   []uint32{uint32(i)},
+			},
+		}
+	}
+	resps, err := f.RunSchedule(treqs)
+	if err != nil {
+		return LoadPoint{}, err
+	}
+	var rec LatencyRecorder
+	for i, r := range resps {
+		if r.Err != nil {
+			return LoadPoint{}, fmt.Errorf("call %d: %w", i, r.Err)
+		}
+		if r.Errno != 0 {
+			return LoadPoint{}, fmt.Errorf("call %d: errno %d", i, r.Errno)
+		}
+		rec.Record(r.LatencyCycles)
+	}
+	after := f.Stats()
+
+	makespan := makespanDelta(before, after)
+	achieved := clock.PerSec(cfg.Calls, makespan)
+	return LoadPoint{
+		OfferedPerSec:  rate,
+		AchievedPerSec: achieved,
+		Calls:          rec.Count(),
+		P50Micros:      rec.QuantileMicros(0.50),
+		P95Micros:      rec.QuantileMicros(0.95),
+		P99Micros:      rec.QuantileMicros(0.99),
+		MeanMicros:     rec.MeanMicros(),
+		MaxMicros:      rec.MaxMicros(),
+		MakespanMicros: clock.Micros(makespan),
+		Saturated:      achieved < SatAchievedFraction*rate,
+		Hist:           rec.Histogram(),
+	}, nil
+}
+
+// KneeIndex returns the index of the first saturated point — the
+// saturation knee of the curve — or -1 when the sweep never saturates.
+func KneeIndex(points []LoadPoint) int {
+	for i, p := range points {
+		if p.Saturated {
+			return i
+		}
+	}
+	return -1
+}
+
+// LoadCurveTable renders the latency-vs-offered-load table; the knee
+// row (first saturated point) is marked with '*'.
+func LoadCurveTable(points []LoadPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-1s %12s %12s %7s %10s %10s %10s %10s %12s\n",
+		"", "offered/s", "achieved/s", "calls", "p50(us)", "p95(us)", "p99(us)", "mean(us)", "makespan(us)")
+	knee := KneeIndex(points)
+	for i, p := range points {
+		mark := " "
+		if i == knee {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "%-1s %12.0f %12.0f %7d %10.1f %10.1f %10.1f %10.1f %12.1f\n",
+			mark, p.OfferedPerSec, p.AchievedPerSec, p.Calls,
+			p.P50Micros, p.P95Micros, p.P99Micros, p.MeanMicros, p.MakespanMicros)
+	}
+	return b.String()
+}
+
+// BenchMachine pins the simulated clock so numbers stay comparable.
+type BenchMachine struct {
+	CyclesPerMicrosecond int `json:"cycles_per_us"`
+	TicksPerSecond       int `json:"ticks_per_sec"`
+}
+
+// BenchLoadCurve is the load-curve section of the BENCH document.
+type BenchLoadCurve struct {
+	Shards         int         `json:"shards"`
+	Clients        int         `json:"clients"`
+	CallsPerPoint  int         `json:"calls_per_point"`
+	Process        string      `json:"process"`
+	Seed           int64       `json:"seed"`
+	Points         []LoadPoint `json:"points"`
+	KneeOfferedCPS float64     `json:"knee_offered_cps"` // 0 = never saturated
+}
+
+// BenchFleet is the machine-readable BENCH_fleet.json document the CI
+// bench job records per commit: the load curve and/or the closed/open
+// throughput scaling rows, all in simulated time. Sections that were
+// not run are omitted, so consumers can distinguish "not measured"
+// from a degenerate measurement.
+type BenchFleet struct {
+	Schema     string            `json:"schema"`
+	Machine    BenchMachine      `json:"machine"`
+	LoadCurve  *BenchLoadCurve   `json:"loadcurve,omitempty"`
+	Throughput []ThroughputStats `json:"throughput,omitempty"`
+}
+
+// NewBenchFleet assembles the BENCH document from a sweep; points may
+// be nil when only throughput rows were measured.
+func NewBenchFleet(cfg LoadCurveConfig, points []LoadPoint, rows []ThroughputStats) *BenchFleet {
+	doc := &BenchFleet{
+		Schema: "smod-bench-fleet/v1",
+		Machine: BenchMachine{
+			CyclesPerMicrosecond: clock.CyclesPerMicrosecond,
+			TicksPerSecond:       clock.HzTicksPerSecond,
+		},
+		Throughput: rows,
+	}
+	if len(points) > 0 {
+		lc := &BenchLoadCurve{
+			Shards:        cfg.Shards,
+			Clients:       cfg.Clients,
+			CallsPerPoint: cfg.Calls,
+			Process:       cfg.Kind.String(),
+			Seed:          cfg.Seed,
+			Points:        points,
+		}
+		if k := KneeIndex(points); k >= 0 {
+			lc.KneeOfferedCPS = points[k].OfferedPerSec
+		}
+		doc.LoadCurve = lc
+	}
+	return doc
+}
+
+// MarshalIndent renders the document as indented JSON.
+func (d *BenchFleet) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(d, "", "  ")
+}

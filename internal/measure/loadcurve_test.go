@@ -1,0 +1,151 @@
+package measure
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// testCurveConfig sweeps one shard from well under to well past its
+// capacity (~135k incr calls/sec at ~7.4us/call service time).
+func testCurveConfig(rates ...float64) LoadCurveConfig {
+	return LoadCurveConfig{
+		Shards:  1,
+		Clients: 4,
+		Calls:   80,
+		Rates:   rates,
+		Kind:    Poisson,
+		Seed:    1,
+	}
+}
+
+// TestLoadCurveFindsKnee drives the sweep across the saturation point:
+// the under-loaded point must track offered load with flat latency,
+// the overloaded point must saturate with blown-up latency.
+func TestLoadCurveFindsKnee(t *testing.T) {
+	points, err := RunFleetLoadCurve(testCurveConfig(20_000, 270_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	under, over := points[0], points[1]
+
+	if under.Saturated {
+		t.Errorf("20k/s on a ~135k/s shard reported saturated: %+v", under)
+	}
+	// Open loop below capacity: achieved tracks offered.
+	if ratio := under.AchievedPerSec / under.OfferedPerSec; ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("under-load achieved/offered = %.2f, want ~1", ratio)
+	}
+	if !over.Saturated {
+		t.Errorf("270k/s on a ~135k/s shard not saturated: %+v", over)
+	}
+	// Past the knee the queue grows for the whole schedule: tail
+	// latency must dwarf the under-loaded tail.
+	if over.P99Micros < 4*under.P99Micros {
+		t.Errorf("overload p99 %.1fus not >> under-load p99 %.1fus", over.P99Micros, under.P99Micros)
+	}
+	// Quantiles are ordered and histograms account for every call.
+	for i, p := range points {
+		if p.P50Micros > p.P95Micros || p.P95Micros > p.P99Micros || p.P99Micros > p.MaxMicros {
+			t.Errorf("point %d quantiles out of order: %+v", i, p)
+		}
+		var total uint64
+		for _, b := range p.Hist {
+			total += b.Count
+		}
+		if total != uint64(p.Calls) {
+			t.Errorf("point %d histogram total %d != calls %d", i, total, p.Calls)
+		}
+	}
+	if k := KneeIndex(points); k != 1 {
+		t.Errorf("KneeIndex = %d, want 1", k)
+	}
+}
+
+// TestLoadCurveDeterministic: the same config must reproduce the curve
+// exactly — quantiles, makespans, everything — across runs.
+func TestLoadCurveDeterministic(t *testing.T) {
+	cfg := testCurveConfig(50_000, 200_000)
+	a, err := RunFleetLoadCurve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFleetLoadCurve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Errorf("load curve differs across runs:\n%s\nvs\n%s", ja, jb)
+	}
+}
+
+// TestLoadCurveTableAndJSON sanity-checks the renderers: the table has
+// the quantile columns the acceptance criteria name, and the BENCH
+// document round-trips through JSON with the knee recorded.
+func TestLoadCurveTableAndJSON(t *testing.T) {
+	cfg := testCurveConfig(20_000, 270_000)
+	points, err := RunFleetLoadCurve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := LoadCurveTable(points)
+	for _, col := range []string{"offered/s", "achieved/s", "p50(us)", "p95(us)", "p99(us)"} {
+		if !strings.Contains(table, col) {
+			t.Errorf("table lacks %q column:\n%s", col, table)
+		}
+	}
+	if !strings.Contains(table, "*") {
+		t.Errorf("table does not mark the knee:\n%s", table)
+	}
+
+	doc := NewBenchFleet(cfg, points, nil)
+	raw, err := doc.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchFleet
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("BENCH json does not round-trip: %v", err)
+	}
+	if back.Schema != "smod-bench-fleet/v1" {
+		t.Errorf("schema = %q", back.Schema)
+	}
+	if back.LoadCurve == nil {
+		t.Fatal("loadcurve section missing")
+	}
+	if len(back.LoadCurve.Points) != 2 {
+		t.Errorf("points = %d, want 2", len(back.LoadCurve.Points))
+	}
+	if back.LoadCurve.KneeOfferedCPS != 270_000 {
+		t.Errorf("knee = %v, want 270000", back.LoadCurve.KneeOfferedCPS)
+	}
+	if back.LoadCurve.Process != "poisson" {
+		t.Errorf("process = %q", back.LoadCurve.Process)
+	}
+
+	// A throughput-only document omits the loadcurve section entirely,
+	// so consumers can tell "not measured" from a degenerate run.
+	rowsOnly := NewBenchFleet(LoadCurveConfig{}, nil, []ThroughputStats{{Name: "closed-loop"}})
+	if rowsOnly.LoadCurve != nil {
+		t.Error("throughput-only document fabricated a loadcurve section")
+	}
+	raw, err = rowsOnly.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "loadcurve") {
+		t.Errorf("throughput-only JSON still contains loadcurve key:\n%s", raw)
+	}
+}
+
+// TestLoadCurveBadConfig covers input validation.
+func TestLoadCurveBadConfig(t *testing.T) {
+	if _, err := RunFleetLoadCurve(LoadCurveConfig{Shards: 0, Clients: 1, Calls: 1, Rates: []float64{1}}); err == nil {
+		t.Error("shards=0 accepted")
+	}
+	if _, err := RunFleetLoadCurve(testCurveConfig()); err == nil {
+		t.Error("empty rate sweep accepted")
+	}
+}

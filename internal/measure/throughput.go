@@ -78,6 +78,34 @@ func snapshotCycles(st fleet.Stats) []uint64 {
 	return out
 }
 
+// benchKey names the c-th warm sticky client key.
+func benchKey(c int) string { return fmt.Sprintf("c%04d", c) }
+
+// warmFleet opens one session per client key (paying find + policy +
+// fork once) so a measured phase holds only smod_call traffic.
+func warmFleet(f *fleet.Fleet, incr uint32, clients int) error {
+	warm := make([]fleet.Request, clients)
+	for c := 0; c < clients; c++ {
+		warm[c] = fleet.Request{Key: benchKey(c), FuncID: incr, Args: []uint32{0}}
+	}
+	if err := checkResponses(f.RunPlan(warm)); err != nil {
+		return fmt.Errorf("measure: warm: %w", err)
+	}
+	return nil
+}
+
+// makespanDelta returns the fleet-wide simulated elapsed time of a
+// measured phase: the maximum per-shard cycle delta between snapshots.
+func makespanDelta(before, after fleet.Stats) uint64 {
+	var makespan uint64
+	for i := range after.PerShard {
+		if d := after.PerShard[i].Cycles - before.PerShard[i].Cycles; d > makespan {
+			makespan = d
+		}
+	}
+	return makespan
+}
+
 // throughputRow derives a ThroughputStats from before/after snapshots.
 func throughputRow(name string, shards, clients, calls int, before, after fleet.Stats) ThroughputStats {
 	b, a := snapshotCycles(before), snapshotCycles(after)
@@ -122,22 +150,15 @@ func RunFleetClosedLoop(shards, clients, callsPerClient int) (row ThroughputStat
 	if !ok {
 		return ThroughputStats{}, fmt.Errorf("measure: libc lacks incr")
 	}
-	key := func(c int) string { return fmt.Sprintf("c%04d", c) }
-
-	// Warm phase: open every session (and pay policy + fork once).
-	warm := make([]fleet.Request, clients)
-	for c := 0; c < clients; c++ {
-		warm[c] = fleet.Request{Key: key(c), FuncID: incr, Args: []uint32{0}}
-	}
-	if err := checkResponses(f.RunPlan(warm)); err != nil {
-		return ThroughputStats{}, fmt.Errorf("measure: warm: %w", err)
+	if err := warmFleet(f, incr, clients); err != nil {
+		return ThroughputStats{}, err
 	}
 	before := f.Stats()
 
 	plan := make([]fleet.Request, 0, clients*callsPerClient)
 	for c := 0; c < clients; c++ {
 		for i := 0; i < callsPerClient; i++ {
-			plan = append(plan, fleet.Request{Key: key(c), FuncID: incr, Args: []uint32{uint32(i)}})
+			plan = append(plan, fleet.Request{Key: benchKey(c), FuncID: incr, Args: []uint32{uint32(i)}})
 		}
 	}
 	if err := checkResponses(f.RunPlan(plan)); err != nil {

@@ -1,0 +1,106 @@
+package obj
+
+// Fuzz targets for SOF deserialization: objects and archives read back
+// from bytes must never panic — not at unmarshal time and not when the
+// resulting structures are walked, indexed, cloned, or re-linked.
+// Deserialized data is the simulator's module-distribution surface
+// (module vendors ship archives), so hostile inputs matter. Run
+// briefly in CI via `make fuzz-short`; hunt with
+// `go test -fuzz=FuzzUnmarshalObject ./internal/obj`.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// seedObject builds a small but fully featured object.
+func seedObject() *Object {
+	return &Object{
+		Name: "seed.o",
+		Text: []byte{1, 2, 3, 4, 0, 0, 0, 0},
+		Data: []byte{9, 9},
+		Symbols: []Symbol{
+			{Name: "main", Section: "text", Offset: 0, Global: true, Kind: KindFunc},
+			{Name: "tab", Section: "data", Offset: 0, Kind: KindObject},
+		},
+		Relocs:  []Reloc{{Section: "text", Offset: 4, Symbol: "tab", Addend: 2}},
+		BSSSize: 16,
+	}
+}
+
+func FuzzUnmarshalObject(f *testing.F) {
+	if raw, err := seedObject().Marshal(); err == nil {
+		f.Add(raw)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"Name":"x","Text":"AAAA","Relocs":[{"Section":"text","Offset":4294967295,"Symbol":"q"}]}`))
+	f.Add([]byte(`{"Symbols":[{"Name":"f","Section":"nowhere","Offset":999999}]}`))
+	f.Add([]byte(`[`))
+	f.Add([]byte(``))
+	f.Add([]byte{0xff, 0xfe})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		o, err := UnmarshalObject(data)
+		if err != nil {
+			return
+		}
+		// Whatever parsed must be safe to walk, clone, and re-marshal.
+		for _, name := range o.Globals() {
+			o.Lookup(name)
+		}
+		o.Undefined()
+		c := o.Clone()
+		if !bytes.Equal(c.Text, o.Text) {
+			t.Fatal("clone text differs")
+		}
+		raw, err := o.Marshal()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		back, err := UnmarshalObject(raw)
+		if err != nil {
+			t.Fatalf("round-trip unmarshal failed: %v", err)
+		}
+		if back.Name != o.Name || len(back.Symbols) != len(o.Symbols) || len(back.Relocs) != len(o.Relocs) {
+			t.Fatal("round trip lost fields")
+		}
+		// Linking hostile relocations/symbols must fail cleanly, not
+		// panic (out-of-section offsets, dangling symbols, ...).
+		start := &Object{
+			Name:    "start.o",
+			Text:    []byte{0, 0, 0, 0},
+			Symbols: []Symbol{{Name: "_start", Section: "text", Global: true, Kind: KindFunc}},
+		}
+		_, _ = Link(LinkOptions{TextBase: 0x1000, DataBase: 0x400000, Entry: "_start"},
+			[]*Object{start, o})
+	})
+}
+
+func FuzzUnmarshalArchive(f *testing.F) {
+	ar := &Archive{Name: "seed.a"}
+	ar.Add(seedObject())
+	if raw, err := ar.Marshal(); err == nil {
+		f.Add(raw)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"Name":"a","Members":[null]}`))
+	f.Add([]byte(`{"Members":[{"Name":"m","Symbols":[{"Name":"f","Kind":70,"Global":true}]}]}`))
+	f.Add([]byte(`x`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := UnmarshalArchive(data)
+		if err != nil {
+			return
+		}
+		// Index, symbol listing, and dump walk every member; nil or
+		// hostile members must not panic them.
+		a.Index()
+		a.FuncSymbols()
+		a.SymbolDump()
+		raw, err := a.Marshal()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if _, err := UnmarshalArchive(raw); err != nil {
+			t.Fatalf("round-trip unmarshal failed: %v", err)
+		}
+	})
+}

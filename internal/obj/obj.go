@@ -188,11 +188,18 @@ func (a *Archive) SymbolDump() string {
 // Marshal serializes the archive.
 func (a *Archive) Marshal() ([]byte, error) { return json.Marshal(a) }
 
-// UnmarshalArchive parses a serialized archive.
+// UnmarshalArchive parses a serialized archive. A JSON null member is
+// rejected here, at the trust boundary, so the index/dump walkers can
+// assume every member is present (fuzzer-found crash otherwise).
 func UnmarshalArchive(b []byte) (*Archive, error) {
 	var a Archive
 	if err := json.Unmarshal(b, &a); err != nil {
 		return nil, fmt.Errorf("obj: unmarshal archive: %w", err)
+	}
+	for i, m := range a.Members {
+		if m == nil {
+			return nil, fmt.Errorf("obj: unmarshal archive: member %d is null", i)
+		}
 	}
 	return &a, nil
 }
