@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all ci lint build vet test race fuzz-short bench bench-json loadcurve fleet fig8
+.PHONY: all ci lint build vet test race fuzz-short bench bench-json bench-check loadcurve fleet fig8
 
 all: ci
 
@@ -28,7 +28,8 @@ race:
 	$(GO) test -race ./...
 
 # Brief coverage-guided fuzzing of the policy parser, XDR codec, SM32
-# assembler, and SOF deserializers; long hunts run nightly in CI (see
+# assembler, SOF deserializers, the linker, and module registration;
+# long hunts run nightly in CI (see
 # .github/workflows/fuzz-nightly.yml) or by hand:
 # go test -fuzz=<target> -fuzztime=10m ./internal/<pkg>
 fuzz-short:
@@ -40,6 +41,8 @@ fuzz-short:
 	$(GO) test -run=NONE -fuzz=FuzzAssemble -fuzztime=10s ./internal/asm
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalObject -fuzztime=10s ./internal/obj
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalArchive -fuzztime=10s ./internal/obj
+	$(GO) test -run=NONE -fuzz=FuzzLink -fuzztime=10s ./internal/obj
+	$(GO) test -run=NONE -fuzz=FuzzRegisterModule -fuzztime=10s ./internal/core
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -52,9 +55,19 @@ loadcurve:
 
 # CI bench artifact: a fast load-curve sweep emitting BENCH_fleet.json,
 # recorded per commit by the bench job. All numbers are simulated-time,
-# so they are comparable across runners.
+# so they are comparable across runners. Refreshing the committed
+# baseline (after an intentional perf change) is just `make bench-json`
+# and committing the result.
 bench-json:
 	$(GO) run ./cmd/smodfleet -loadcurve -lcshards 2 -clients 8 -lccalls 200 -json BENCH_fleet.json
+
+# CI bench gate: rerun the baseline sweep into BENCH_new.json and fail
+# on a knee-index regression or a >15% pre-knee p95 shift against the
+# committed BENCH_fleet.json (see cmd/benchdiff). The sweep params MUST
+# match bench-json or the documents are incomparable by construction.
+bench-check:
+	$(GO) run ./cmd/smodfleet -loadcurve -lcshards 2 -clients 8 -lccalls 200 -json BENCH_new.json
+	$(GO) run ./cmd/benchdiff -old BENCH_fleet.json -new BENCH_new.json
 
 # The paper's Figure 8 table (scaled down; see cmd/smodbench -h).
 fig8:

@@ -1,0 +1,172 @@
+// Command benchdiff compares two BENCH_fleet.json documents and fails
+// on a load-curve performance regression, the gate the CI bench job
+// runs against the committed baseline. All BENCH numbers are
+// simulated-time and the whole pipeline is deterministic, so any
+// difference is a real behavioural change in the code, not runner
+// noise — which is what makes exact gating feasible at all.
+//
+// A regression is:
+//
+//   - a knee-index regression: the sweep saturates at an earlier
+//     offered-load index than the baseline (capacity shrank);
+//   - a p95 latency shift beyond -p95tol (default 15%) at any offered
+//     rate the baseline served below saturation. The gate is
+//     deliberately symmetric: a large p95 *improvement* fails too,
+//     because it means the committed baseline is stale — refresh it
+//     with `make bench-json` and commit the result.
+//
+// A knee that moves later (or disappears) passes with a note.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_fleet.json -new BENCH_new.json
+//	benchdiff -old BENCH_fleet.json -new BENCH_new.json -p95tol 0.10
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/measure"
+)
+
+func main() {
+	var (
+		oldPath = flag.String("old", "BENCH_fleet.json", "baseline BENCH document (committed)")
+		newPath = flag.String("new", "BENCH_new.json", "candidate BENCH document (fresh run)")
+		p95Tol  = flag.Float64("p95tol", 0.15, "allowed relative p95 shift at pre-knee points")
+	)
+	flag.Parse()
+
+	oldDoc, err := readBench(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newDoc, err := readBench(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+	failures := compare(oldDoc, newDoc, *p95Tol)
+	if len(failures) > 0 {
+		fmt.Println("\nBENCH REGRESSION:")
+		for _, f := range failures {
+			fmt.Printf("  - %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchdiff: no regression against baseline")
+}
+
+// readBench loads and validates one document.
+func readBench(path string) (*measure.BenchFleet, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc measure.BenchFleet
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema != "smod-bench-fleet/v1" {
+		return nil, fmt.Errorf("%s: unexpected schema %q", path, doc.Schema)
+	}
+	return &doc, nil
+}
+
+// compare returns the list of regressions (empty = pass).
+func compare(oldDoc, newDoc *measure.BenchFleet, p95Tol float64) []string {
+	var fails []string
+	oc, nc := oldDoc.LoadCurve, newDoc.LoadCurve
+	switch {
+	case oc == nil && nc == nil:
+		fails = append(fails, "neither document has a load curve; nothing to gate")
+		return fails
+	case oc == nil:
+		fmt.Println("baseline has no load curve; candidate accepted as the first")
+		return nil
+	case nc == nil:
+		fails = append(fails, "candidate lost the load-curve section")
+		return fails
+	}
+	if msg := configMismatch(oc, nc); msg != "" {
+		fails = append(fails, msg)
+		return fails
+	}
+	if len(nc.Points) != len(oc.Points) {
+		fails = append(fails, fmt.Sprintf("point count changed: %d -> %d (sweep incomparable)",
+			len(oc.Points), len(nc.Points)))
+		return fails
+	}
+
+	oldKnee := measure.KneeIndex(oc.Points)
+	newKnee := measure.KneeIndex(nc.Points)
+	kneeStr := func(k int) string {
+		if k < 0 {
+			return "none"
+		}
+		return fmt.Sprintf("index %d", k)
+	}
+	fmt.Printf("saturation knee: baseline %s, candidate %s\n", kneeStr(oldKnee), kneeStr(newKnee))
+	switch {
+	case oldKnee < 0 && newKnee >= 0:
+		fails = append(fails, fmt.Sprintf(
+			"knee regression: baseline never saturated, candidate saturates at index %d", newKnee))
+	case oldKnee >= 0 && newKnee >= 0 && newKnee < oldKnee:
+		fails = append(fails, fmt.Sprintf(
+			"knee regression: saturation moved earlier, index %d -> %d", oldKnee, newKnee))
+	case newKnee > oldKnee || (oldKnee >= 0 && newKnee < 0):
+		fmt.Println("note: knee improved; refresh the baseline to lock it in")
+	}
+
+	// p95 gate over the baseline's pre-knee region (stable-latency
+	// points; past the knee quantiles measure queue growth, not code).
+	preKnee := len(oc.Points)
+	if oldKnee >= 0 {
+		preKnee = oldKnee
+	}
+	fmt.Printf("%-5s %14s %14s %9s\n", "point", "base p95(us)", "cand p95(us)", "shift")
+	for i := 0; i < preKnee; i++ {
+		op, np := oc.Points[i], nc.Points[i]
+		shift := 0.0
+		if op.P95Micros > 0 {
+			shift = (np.P95Micros - op.P95Micros) / op.P95Micros
+		} else if np.P95Micros > 0 {
+			shift = math.Inf(1)
+		}
+		fmt.Printf("%-5d %14.1f %14.1f %8.1f%%\n", i, op.P95Micros, np.P95Micros, 100*shift)
+		if math.Abs(shift) > p95Tol {
+			fails = append(fails, fmt.Sprintf(
+				"p95 shift at point %d (offered %.0f/s): %.1fus -> %.1fus (%+.1f%%, tolerance %.0f%%)",
+				i, op.OfferedPerSec, op.P95Micros, np.P95Micros, 100*shift, 100*p95Tol))
+		}
+	}
+	return fails
+}
+
+// configMismatch rejects comparisons across different workload shapes.
+func configMismatch(oc, nc *measure.BenchLoadCurve) string {
+	type shape struct {
+		Shards, Clients, Calls    int
+		Process                   string
+		Seed                      int64
+		ZipfS                     float64
+		ArgsCard, Epochs, CacheSz int
+		Rebalance                 bool
+	}
+	o := shape{oc.Shards, oc.Clients, oc.CallsPerPoint, oc.Process, oc.Seed,
+		oc.ZipfS, oc.ArgsCard, oc.Epochs, oc.CacheSize, oc.Rebalance}
+	n := shape{nc.Shards, nc.Clients, nc.CallsPerPoint, nc.Process, nc.Seed,
+		nc.ZipfS, nc.ArgsCard, nc.Epochs, nc.CacheSize, nc.Rebalance}
+	if o != n {
+		return fmt.Sprintf("workload shape changed, documents incomparable: baseline %+v, candidate %+v", o, n)
+	}
+	return ""
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/measure"
+)
+
+// doc builds a BENCH document with the given per-point (p95, saturated)
+// pairs under one fixed workload shape.
+func doc(points ...measure.LoadPoint) *measure.BenchFleet {
+	return &measure.BenchFleet{
+		Schema: "smod-bench-fleet/v1",
+		LoadCurve: &measure.BenchLoadCurve{
+			Shards: 2, Clients: 8, CallsPerPoint: 200, Process: "poisson", Seed: 1,
+			Points: points,
+		},
+	}
+}
+
+func pt(offered, p95 float64, sat bool) measure.LoadPoint {
+	return measure.LoadPoint{OfferedPerSec: offered, P95Micros: p95, Saturated: sat}
+}
+
+func TestCompareCleanPass(t *testing.T) {
+	base := doc(pt(100, 10, false), pt(200, 12, false), pt(300, 90, true))
+	cand := doc(pt(100, 10.5, false), pt(200, 12.1, false), pt(300, 500, true))
+	if fails := compare(base, cand, 0.15); len(fails) != 0 {
+		t.Fatalf("clean comparison failed: %v", fails)
+	}
+	// Post-knee p95 blowups are not gated (they measure queue growth).
+}
+
+func TestCompareKneeRegression(t *testing.T) {
+	base := doc(pt(100, 10, false), pt(200, 12, false), pt(300, 90, true))
+	cand := doc(pt(100, 10, false), pt(200, 80, true), pt(300, 90, true))
+	fails := compare(base, cand, 0.15)
+	if len(fails) == 0 {
+		t.Fatal("earlier knee passed")
+	}
+	if !strings.Contains(strings.Join(fails, "\n"), "knee regression") {
+		t.Fatalf("missing knee-regression failure: %v", fails)
+	}
+}
+
+func TestCompareNeverSaturatedBaseline(t *testing.T) {
+	base := doc(pt(100, 10, false), pt(200, 12, false))
+	cand := doc(pt(100, 10, false), pt(200, 60, true))
+	if fails := compare(base, cand, 0.15); len(fails) == 0 {
+		t.Fatal("candidate saturating an unsaturated baseline sweep passed")
+	}
+	// The reverse — knee disappears — is an improvement.
+	if fails := compare(cand, base, 0.15); len(fails) != 0 {
+		t.Fatalf("knee improvement flagged: %v", fails)
+	}
+}
+
+func TestCompareP95Shift(t *testing.T) {
+	base := doc(pt(100, 10, false), pt(200, 12, false), pt(300, 90, true))
+	worse := doc(pt(100, 10, false), pt(200, 14.5, false), pt(300, 90, true)) // +20.8%
+	fails := compare(base, worse, 0.15)
+	if len(fails) == 0 {
+		t.Fatal(">15% pre-knee p95 shift passed")
+	}
+	if !strings.Contains(strings.Join(fails, "\n"), "p95 shift") {
+		t.Fatalf("missing p95 failure: %v", fails)
+	}
+	within := doc(pt(100, 10.9, false), pt(200, 13, false), pt(300, 1, true)) // <=15%
+	if fails := compare(base, within, 0.15); len(fails) != 0 {
+		t.Fatalf("within-tolerance shift flagged: %v", fails)
+	}
+	// Large improvements are also flagged: they mean the baseline is
+	// stale and should be refreshed, keeping the gate honest.
+	better := doc(pt(100, 5, false), pt(200, 6, false), pt(300, 90, true))
+	if fails := compare(base, better, 0.15); len(fails) == 0 {
+		t.Fatal("halved p95 silently passed; baseline staleness undetected")
+	}
+}
+
+func TestCompareShapeMismatch(t *testing.T) {
+	base := doc(pt(100, 10, false))
+	cand := doc(pt(100, 10, false))
+	cand.LoadCurve.Shards = 4
+	if fails := compare(base, cand, 0.15); len(fails) == 0 {
+		t.Fatal("shard-count mismatch passed")
+	}
+	cand2 := doc(pt(100, 10, false), pt(200, 11, false))
+	if fails := compare(base, cand2, 0.15); len(fails) == 0 {
+		t.Fatal("point-count mismatch passed")
+	}
+}
+
+func TestCompareMissingCurve(t *testing.T) {
+	base := doc(pt(100, 10, false))
+	empty := &measure.BenchFleet{Schema: "smod-bench-fleet/v1"}
+	if fails := compare(base, empty, 0.15); len(fails) == 0 {
+		t.Fatal("candidate without a load curve passed")
+	}
+	// First-ever baseline: accept the candidate.
+	if fails := compare(empty, base, 0.15); len(fails) != 0 {
+		t.Fatalf("first candidate rejected: %v", fails)
+	}
+}

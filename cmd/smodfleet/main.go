@@ -20,6 +20,14 @@
 // saturation knee marked. -json writes the machine-readable
 // BENCH_fleet.json the CI bench job archives per commit.
 //
+// The load curve also hosts the loadmgr story: -skew draws arrival
+// keys from a Zipf popularity distribution (hot clients pin to one
+// shard), -rebalance lets the load manager migrate hot keys between
+// the -epochs barriers of each point, and -cache N memoizes the
+// module's idempotent functions per shard (pair with -argscard to give
+// the memo table repeats to hit). Comparing knees of a skewed run with
+// and without -rebalance shows the capacity the migrator recovers.
+//
 // Usage:
 //
 //	smodfleet                              # default scaling sweep
@@ -27,6 +35,9 @@
 //	smodfleet -open=false                  # closed-loop only
 //	smodfleet -loadcurve                   # load curve + BENCH_fleet.json
 //	smodfleet -loadcurve -lcshards 4 -rates 100000,400000,700000
+//	smodfleet -loadcurve -lcshards 4 -skew 1.2 -epochs 8             # skewed, static
+//	smodfleet -loadcurve -lcshards 4 -skew 1.2 -epochs 8 -rebalance  # skewed, migrating
+//	smodfleet -loadcurve -cache 256 -argscard 64                     # result-cache hits
 package main
 
 import (
@@ -37,6 +48,7 @@ import (
 	"strings"
 
 	"repro/internal/clock"
+	"repro/internal/loadmgr"
 	"repro/internal/measure"
 )
 
@@ -57,11 +69,35 @@ func main() {
 		rateList  = flag.String("rates", "", "load curve: comma-separated offered calls/sec (default: -util fractions of measured capacity)")
 		utilList  = flag.String("util", "0.2,0.5,0.8,0.95,1.1,1.4", "load curve: utilization fractions for the auto rate sweep")
 		jsonPath  = flag.String("json", "", "write BENCH_fleet.json to this path (default BENCH_fleet.json in -loadcurve mode, off otherwise)")
+
+		skew      = flag.Float64("skew", 0, "load curve: Zipf exponent for key popularity (0 = uniform; try 1.2)")
+		epochs    = flag.Int("epochs", 1, "load curve: barrier-separated sub-schedules per point (rebalance acts between them)")
+		rebalance = flag.Bool("rebalance", false, "load curve: migrate hot keys across shards at epoch barriers")
+		cacheSize = flag.Int("cache", 0, "load curve: per-shard idempotent result-cache entries (0 = off)")
+		argsCard  = flag.Int("argscard", 0, "load curve: distinct argument values (0 = all unique; small values feed the result cache)")
 	)
 	flag.Parse()
 
 	if *loadCurve {
-		runLoadCurve(*lcShards, *clients, *lcCalls, *process, *seed, *rateList, *utilList, *jsonPath)
+		var lm *loadmgr.Options
+		if *rebalance || *cacheSize > 0 {
+			lm = &loadmgr.Options{
+				Migrate:   *rebalance,
+				CacheSize: *cacheSize,
+				Seed:      *seed,
+			}
+		}
+		lcCfg := measure.LoadCurveConfig{
+			Shards:          *lcShards,
+			Clients:         *clients,
+			Calls:           *lcCalls,
+			Seed:            *seed,
+			ZipfS:           *skew,
+			ArgsCardinality: *argsCard,
+			Epochs:          *epochs,
+			LoadManager:     lm,
+		}
+		runLoadCurve(lcCfg, *process, *rateList, *utilList, *jsonPath)
 		return
 	}
 
@@ -116,59 +152,69 @@ func scalingRows(shards []int, clients, calls, openCalls, maxSessions int, openL
 }
 
 // runLoadCurve drives the latency-vs-offered-load mode.
-func runLoadCurve(shards, clients, calls int, process string, seed int64, rateList, utilList, jsonPath string) {
-	var kind measure.ArrivalKind
+func runLoadCurve(cfg measure.LoadCurveConfig, process, rateList, utilList, jsonPath string) {
 	switch process {
 	case "poisson":
-		kind = measure.Poisson
+		cfg.Kind = measure.Poisson
 	case "uniform":
-		kind = measure.Uniform
+		cfg.Kind = measure.Uniform
 	default:
 		fatal(fmt.Errorf("unknown arrival process %q (want poisson or uniform)", process))
 	}
 
 	fmt.Println(clock.MachineInfo())
 
-	var rates []float64
 	if rateList != "" {
 		var err error
-		if rates, err = parseFloats(rateList); err != nil {
+		if cfg.Rates, err = parseFloats(rateList); err != nil {
 			fatal(err)
 		}
 	} else {
 		// Auto sweep: estimate fleet capacity from a short closed-loop
-		// run, then offer the -util fractions of it.
+		// run, then offer the -util fractions of it. The probe runs
+		// without skew or a load manager, so skewed/rebalanced curves
+		// sweep the same offered rates and their knees are comparable.
 		utils, err := parseFloats(utilList)
 		if err != nil {
 			fatal(err)
 		}
-		probe, err := measure.RunFleetClosedLoop(shards, clients, 30)
+		probe, err := measure.RunFleetClosedLoop(cfg.Shards, cfg.Clients, 30)
 		if err != nil {
 			fatal(fmt.Errorf("capacity probe: %w", err))
 		}
-		capacity := float64(shards) * 1e6 / probe.MicrosPerCall
+		capacity := float64(cfg.Shards) * 1e6 / probe.MicrosPerCall
 		fmt.Printf("\ncapacity probe: %.1f us/call serial => ~%.0f calls/sec across %d shards\n",
-			probe.MicrosPerCall, capacity, shards)
+			probe.MicrosPerCall, capacity, cfg.Shards)
 		for _, u := range utils {
-			rates = append(rates, u*capacity)
+			cfg.Rates = append(cfg.Rates, u*capacity)
 		}
 	}
 
-	cfg := measure.LoadCurveConfig{
-		Shards:  shards,
-		Clients: clients,
-		Calls:   calls,
-		Rates:   rates,
-		Kind:    kind,
-		Seed:    seed,
+	fmt.Printf("\nOpen-loop load curve: %d shards, %d warm clients, %d %s arrivals per point (simulated time)\n",
+		cfg.Shards, cfg.Clients, cfg.Calls, cfg.Kind)
+	if cfg.ZipfS > 0 {
+		fmt.Printf("key popularity: Zipf(s=%.2f) over %d keys, %d epoch(s) per point\n",
+			cfg.ZipfS, cfg.Clients, max(cfg.Epochs, 1))
 	}
-	fmt.Printf("\nOpen-loop load curve: %d shards, %d warm clients, %d %s arrivals per point (simulated time)\n\n",
-		shards, clients, calls, kind)
+	if lm := cfg.LoadManager; lm != nil {
+		fmt.Printf("loadmgr: rebalance=%v cache=%d entries/shard argscard=%d\n",
+			lm.Migrate, lm.CacheSize, cfg.ArgsCardinality)
+	}
+	fmt.Println()
 	points, err := measure.RunFleetLoadCurve(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Print(measure.LoadCurveTable(points))
+	var migr, hits, misses uint64
+	for _, p := range points {
+		migr += p.Migrations
+		hits += p.CacheHits
+		misses += p.CacheMisses
+	}
+	if migr > 0 || hits+misses > 0 {
+		fmt.Printf("\nloadmgr totals: %d migrations, %d cache hits / %d misses\n", migr, hits, misses)
+	}
 	if k := measure.KneeIndex(points); k >= 0 {
 		fmt.Printf("\n* saturation knee: achieved throughput fell below %.0f%% of offered load;\n",
 			100*measure.SatAchievedFraction)

@@ -97,6 +97,11 @@ const (
 	// credential signature verification.
 	CostHMACPerByte = 20
 
+	// CostCacheLookup is the fleet-layer result-cache probe charged
+	// when an idempotent function's memo table is consulted before
+	// dispatch: hash the argument words and probe one table slot.
+	CostCacheLookup = 90
+
 	// CostRPCLayer is the RPC-layer processing charged per message
 	// built or consumed (call build, server dispatch, reply build,
 	// client reply processing): XID bookkeeping, auth handling, buffer

@@ -1,0 +1,118 @@
+package core
+
+// Fuzz target for module registration, the sys_smod_add surface: a
+// serialized ModuleSpec is the simulator's module-distribution format
+// (vendors ship spec JSON; the kernel side parses, links, and installs
+// it). Whatever UnmarshalModuleSpec accepts, Register must either
+// install coherently or fail with an error — never panic — and
+// Remove must fully undo an install. Run briefly in CI via
+// `make fuzz-short`; hunt with
+// `go test -fuzz=FuzzRegisterModule ./internal/core`.
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/kern"
+	"repro/internal/obj"
+)
+
+// seedSpecs builds serialized specs worth mutating: a tiny valid
+// module, one with policy/value-set/threshold/idempotent marking, and
+// the full libc the fleet actually registers.
+func seedSpecs(f *testing.F) [][]byte {
+	var seeds [][]byte
+	fn, err := asm.Assemble("seven.s", `
+.text
+.global seven
+seven:
+	ENTER 0
+	PUSHI 7
+	SETRV
+	LEAVE
+	RET
+`)
+	if err != nil {
+		f.Fatal(err)
+	}
+	lib := &obj.Archive{Name: "tiny.a"}
+	lib.Add(fn)
+	tiny := &ModuleSpec{Name: "tiny", Version: 1, Owner: "o", Lib: lib}
+	if raw, err := tiny.Marshal(); err == nil {
+		seeds = append(seeds, raw)
+	}
+	rich := &ModuleSpec{
+		Name: "rich", Version: 2, Owner: "owner", Lib: lib,
+		PolicySrc: []string{`authorizer: "POLICY"
+licensees: "bench"
+conditions: app_domain == "secmodule" -> "allow";
+`},
+		ValueSet:        []string{"_MIN_TRUST", "maybe", "allow"},
+		Threshold:       "maybe",
+		CheckPerCall:    true,
+		IdempotentFuncs: []string{"seven"},
+	}
+	if raw, err := rich.Marshal(); err == nil {
+		seeds = append(seeds, raw)
+	}
+	if libc, err := LibCArchive(); err == nil {
+		spec := &ModuleSpec{Name: "libc", Version: 1, Owner: "owner", Lib: libc,
+			IdempotentFuncs: []string{"incr"}}
+		if raw, err := spec.Marshal(); err == nil {
+			seeds = append(seeds, raw)
+		}
+	}
+	return seeds
+}
+
+func FuzzRegisterModule(f *testing.F) {
+	for _, raw := range seedSpecs(f) {
+		f.Add(raw)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"Name":"x","Version":1,"Lib":{"Members":[null]}}`))
+	f.Add([]byte(`{"Name":"x","Version":1,"Lib":{"Members":[{"Name":"m"}]},"Threshold":"ghost"}`))
+	f.Add([]byte(`{"Name":"x","Version":-1,"IdempotentFuncs":["nope"]}`))
+	f.Add([]byte(`[`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := UnmarshalModuleSpec(data)
+		if err != nil {
+			return
+		}
+		k := kern.New()
+		sm := Attach(k)
+		m, err := sm.Register(spec)
+		if err != nil {
+			return
+		}
+		// Whatever registered must be coherently indexed and walkable.
+		if got := sm.Find(spec.Name, spec.Version); got != m.ID {
+			t.Fatalf("Find(%q, %d) = %d, want %d", spec.Name, spec.Version, got, m.ID)
+		}
+		if sm.Module(m.ID) != m {
+			t.Fatal("Module(id) disagrees with Register result")
+		}
+		if len(m.Funcs) != len(m.FuncAddrs) {
+			t.Fatalf("func table mismatch: %d names, %d addrs", len(m.Funcs), len(m.FuncAddrs))
+		}
+		for _, name := range m.Funcs {
+			id, ok := m.FuncID(name)
+			if !ok || id < 0 || id >= len(m.FuncAddrs) {
+				t.Fatalf("FuncID(%q) = (%d, %v) out of range", name, id, ok)
+			}
+			_ = m.IdempotentFunc(id)
+		}
+		// Same (name, version) again must be rejected as a duplicate.
+		if _, err := sm.Register(spec); err == nil {
+			t.Fatal("duplicate registration accepted")
+		}
+		// Remove must fully undo the install.
+		sm.Remove(m)
+		if got := sm.Find(spec.Name, spec.Version); got != 0 {
+			t.Fatalf("Find after Remove = %d, want 0", got)
+		}
+		if _, err := sm.Register(spec); err != nil {
+			t.Fatalf("re-register after Remove failed: %v", err)
+		}
+	})
+}

@@ -46,16 +46,32 @@ type ModuleSpec struct {
 	// corresponding slowdown in proportion to the complexity of the
 	// required access control check").
 	CheckPerCall bool
+	// IdempotentFuncs names exported functions whose result depends
+	// only on their argument words (no hidden state, no side effects).
+	// Callers above the kernel — the fleet's per-shard result cache —
+	// may memoize their responses. Names must exist in Lib.
+	IdempotentFuncs []string
 }
 
 // Marshal serializes the spec for the sys_smod_add path.
 func (s *ModuleSpec) Marshal() ([]byte, error) { return json.Marshal(s) }
 
-// UnmarshalModuleSpec parses a serialized spec.
+// UnmarshalModuleSpec parses a serialized spec. Like obj's
+// UnmarshalArchive, a JSON null library member is rejected here, at
+// the trust boundary, so registration's archive walks can assume every
+// member is present (fuzzer-found crash otherwise: the spec embeds its
+// archive directly, bypassing UnmarshalArchive's own null check).
 func UnmarshalModuleSpec(b []byte) (*ModuleSpec, error) {
 	var s ModuleSpec
 	if err := json.Unmarshal(b, &s); err != nil {
 		return nil, fmt.Errorf("core: bad module spec: %w", err)
+	}
+	if s.Lib != nil {
+		for i, m := range s.Lib.Members {
+			if m == nil {
+				return nil, fmt.Errorf("core: bad module spec: library member %d is null", i)
+			}
+		}
 	}
 	return &s, nil
 }
@@ -84,6 +100,9 @@ type Module struct {
 	valueSet      []string
 	thresholdIdx  int
 
+	// idempotent marks funcIDs the spec declared memoizable.
+	idempotent map[int]bool
+
 	// Encrypted reports whether any member is encrypted at rest.
 	Encrypted bool
 }
@@ -93,6 +112,10 @@ func (m *Module) FuncID(name string) (int, bool) {
 	id, ok := m.FuncIDs[name]
 	return id, ok
 }
+
+// IdempotentFunc reports whether the spec declared funcID's result a
+// pure function of its arguments (safe to memoize above the kernel).
+func (m *Module) IdempotentFunc(id int) bool { return m.idempotent[id] }
 
 // Register validates a spec, links the handle image, parses the policy,
 // and installs the module, returning its m_id. This is the kernel side
@@ -185,6 +208,16 @@ func (sm *SMod) Register(spec *ModuleSpec) (*Module, error) {
 			return nil, fmt.Errorf("core: module %s policy: %w", spec.Name, err)
 		}
 		m.policyAsserts = append(m.policyAsserts, a)
+	}
+	if len(spec.IdempotentFuncs) > 0 {
+		m.idempotent = map[int]bool{}
+		for _, name := range spec.IdempotentFuncs {
+			id, ok := m.FuncIDs[name]
+			if !ok {
+				return nil, fmt.Errorf("core: module %s marks unknown function %q idempotent", spec.Name, name)
+			}
+			m.idempotent[id] = true
+		}
 	}
 
 	sm.modules[m.ID] = m

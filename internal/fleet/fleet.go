@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kern"
+	"repro/internal/loadmgr"
 )
 
 // Config describes a fleet.
@@ -74,6 +75,13 @@ type Config struct {
 	// MaxBatch bounds how many inbox jobs a shard coalesces into one
 	// kernel stretch (default 256).
 	MaxBatch int
+	// LoadManager, when non-nil, attaches the loadmgr subsystem: heat
+	// tracking feeds from the routing path; RunPlan/RunSchedule barriers
+	// become migration points (Options.Migrate) and every shard gets a
+	// bounded result cache for the module's idempotent functions
+	// (Options.CacheSize). nil keeps the fleet byte-for-byte on its
+	// historical behaviour.
+	LoadManager *loadmgr.Options
 }
 
 // Request is one protected call addressed by client key.
@@ -119,6 +127,13 @@ type Stats struct {
 	SessionsOpened uint64
 	Evictions      uint64
 	MakespanCycles uint64
+	// Load-manager aggregates (all zero without one): result-cache
+	// counters summed over shards, and Migrations — completed
+	// cross-shard session moves (the sum of per-shard MigratedOut).
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheEvictions uint64
+	Migrations     uint64
 }
 
 // merge folds per-shard snapshots into fleet aggregates.
@@ -128,6 +143,10 @@ func merge(per []ShardStats) Stats {
 		st.TotalCalls += s.Calls
 		st.SessionsOpened += s.SessionsOpened
 		st.Evictions += s.Evictions
+		st.CacheHits += s.CacheHits
+		st.CacheMisses += s.CacheMisses
+		st.CacheEvictions += s.CacheEvictions
+		st.Migrations += s.MigratedOut
 		if s.Cycles > st.MakespanCycles {
 			st.MakespanCycles = s.Cycles
 		}
@@ -140,6 +159,12 @@ type Fleet struct {
 	cfg    Config
 	shards []*shard
 	pool   *Pool
+	// mgr is the loadmgr subsystem (nil when Config.LoadManager is).
+	mgr *loadmgr.Manager
+	// trackHeat gates the routing-path heat feed: only a migrating
+	// manager ever reads the tracker, so cache-only configurations
+	// skip the per-call accounting entirely.
+	trackHeat bool
 
 	// mu guards closed and, as a reader lock, every inbox send: Close
 	// takes the write side before closing the inboxes so no sender can
@@ -171,8 +196,12 @@ func New(cfg Config) (*Fleet, error) {
 		cfg.ClientName = "fleet-client"
 	}
 	f := &Fleet{cfg: cfg, pool: NewPool(cfg.Shards)}
+	if cfg.LoadManager != nil {
+		f.mgr = loadmgr.New(*cfg.LoadManager, cfg.Shards)
+		f.trackHeat = cfg.LoadManager.Migrate
+	}
 	for i := 0; i < cfg.Shards; i++ {
-		sh, err := newShard(i, cfg)
+		sh, err := newShard(i, cfg, f.mgr)
 		if err != nil {
 			return nil, err
 		}
@@ -223,6 +252,9 @@ func (f *Fleet) route(key string, j *job) (int, error) {
 		return -1, ErrClosed
 	}
 	sid := f.pool.Get(key)
+	if f.trackHeat {
+		f.mgr.Heat().Record(key, sid, 1)
+	}
 	f.shards[sid].inbox <- j
 	return sid, nil
 }
@@ -310,6 +342,12 @@ func (f *Fleet) Call(key string, funcID uint32, args ...uint32) (uint32, error) 
 // the whole sequence before any pool allocation happens.
 func (f *Fleet) submitGrouped(n int, keyOf func(int) string,
 	makeJob func(idxs []int) *job) ([]Response, error) {
+	// Every grouped submission is a barrier point: the load manager may
+	// migrate hot keys here, before this sequence is routed, so the new
+	// routing below already sees the rebalanced pool.
+	if _, err := f.Rebalance(); err != nil {
+		return nil, err
+	}
 	f.mu.RLock()
 	if f.closed {
 		f.mu.RUnlock()
@@ -317,7 +355,11 @@ func (f *Fleet) submitGrouped(n int, keyOf func(int) string,
 	}
 	perShard := make([][]int, len(f.shards))
 	for i := 0; i < n; i++ {
-		sid := f.pool.Get(keyOf(i))
+		key := keyOf(i)
+		sid := f.pool.Get(key)
+		if f.trackHeat {
+			f.mgr.Heat().Record(key, sid, 1)
+		}
 		perShard[sid] = append(perShard[sid], i)
 	}
 	var jobs []*job
@@ -423,6 +465,70 @@ func (f *Fleet) Release(key string) error {
 		<-j.done
 	}
 	return nil
+}
+
+// Rebalance runs one load-manager migration round at a barrier point
+// and returns how many sessions moved. RunPlan and RunSchedule call it
+// implicitly before routing; live (Call/SubmitAsync) traffic never
+// triggers migration on its own, so a caller mixing live traffic with
+// periodic Rebalance calls chooses its own rebalancing cadence.
+//
+// For every planned move the key's pool slot is atomically rebound
+// old->new shard first; then the old shard receives a teardown job and
+// the new shard a session-warm job. Both are control jobs executed
+// between kernel stretches, so calls already queued on the old shard
+// drain there, while every call routed after the rebind lands on the
+// new shard's warm session. A move whose pool assignment changed
+// underneath the plan (concurrent Release) is skipped. With no load
+// manager, or migration disabled, Rebalance is a no-op.
+//
+// Rebind and teardown enqueue happen under the fleet's write lock:
+// every concurrent route() holds the read side across its own pool
+// lookup and inbox send, so a live call either enqueues before the
+// teardown job (and drains on the old shard) or observes the rebound
+// pool (and lands on the new shard) — it can never read the old
+// assignment yet enqueue behind the eviction, which would silently
+// respawn a cold session the pool no longer accounts for.
+func (f *Fleet) Rebalance() (int, error) {
+	if f.mgr == nil {
+		return 0, nil
+	}
+	moves := f.mgr.PlanRebalance()
+	if len(moves) == 0 {
+		return 0, nil
+	}
+	type movePair struct{ out, in *job }
+	var pairs []movePair
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return 0, ErrClosed
+	}
+	for _, mv := range moves {
+		if !f.pool.Rebind(mv.Key, mv.From, mv.To) {
+			continue // released or re-homed since the plan: skip
+		}
+		out := &job{kind: jobMigrateOut, key: mv.Key, done: make(chan struct{})}
+		in := &job{kind: jobWarmIn, key: mv.Key, done: make(chan struct{})}
+		f.shards[mv.From].inbox <- out
+		f.shards[mv.To].inbox <- in
+		pairs = append(pairs, movePair{out, in})
+	}
+	f.mu.Unlock()
+	for _, p := range pairs {
+		<-p.out.done
+		<-p.in.done
+	}
+	return len(pairs), nil
+}
+
+// Imbalance returns the load manager's current max/mean shard-heat
+// score (1 = balanced), or 0 when the fleet has no manager or no heat.
+func (f *Fleet) Imbalance() float64 {
+	if f.mgr == nil {
+		return 0
+	}
+	return f.mgr.Heat().ImbalanceScore()
 }
 
 // Stats takes a coherent per-shard snapshot. Each shard answers after

@@ -74,6 +74,24 @@ func (p *Pool) PutIf(key string, sid int) {
 	}
 }
 
+// Rebind atomically moves key's assignment from shard `from` to shard
+// `to` — the migration primitive static IPAM allocation lacks. It
+// succeeds only when the key is still assigned to `from` (a concurrent
+// Release or re-allocation loses the race and the migration is
+// skipped), so load accounting can never drift.
+func (p *Pool) Rebind(key string, from, to int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cur, ok := p.assign[key]
+	if !ok || cur != from || to < 0 || to >= len(p.load) {
+		return false
+	}
+	p.assign[key] = to
+	p.load[from]--
+	p.load[to]++
+	return true
+}
+
 // Load returns a snapshot of per-shard assignment counts.
 func (p *Pool) Load() []int {
 	p.mu.Lock()

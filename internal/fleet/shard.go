@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/kern"
+	"repro/internal/loadmgr"
 )
 
 // SysParkNo is the fleet-only syscall a shard's client processes use to
@@ -55,6 +57,14 @@ const (
 	jobTimed
 	jobStats
 	jobRelease
+	// jobMigrateOut tears down a migrating key's session on its old
+	// shard; jobWarmIn pre-attaches it on the new one. Both are control
+	// jobs: they run between kernel stretches, so every call already in
+	// the shard's inbox ahead of them drains on the old assignment
+	// first — the "in-flight futures drain before new calls route"
+	// half of a live migration.
+	jobMigrateOut
+	jobWarmIn
 )
 
 // job is one unit of work sent to a shard: a batch of calls (immediate
@@ -108,6 +118,15 @@ type ShardStats struct {
 	Syscalls        uint64
 	LiveSessions    int
 	Evictions       uint64
+	// Result-cache counters (zero unless the fleet runs a loadmgr
+	// manager with caching enabled).
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheEvictions uint64
+	// Migration counters: sessions handed off this shard / warmed onto
+	// it by the load manager.
+	MigratedOut uint64
+	MigratedIn  uint64
 }
 
 // shard is one independent simulated kernel plus its routing state.
@@ -148,11 +167,20 @@ type shard struct {
 
 	evictions uint64
 
+	// Load-management state (nil/zero when the fleet has no manager):
+	// cache memoizes idempotent responses, idemp marks which funcIDs
+	// qualify (from the module spec), mid keys cache entries by module.
+	cache       *loadmgr.ResultCache
+	idemp       map[uint32]bool
+	mid         int
+	migratedOut uint64
+	migratedIn  uint64
+
 	final ShardStats
 	err   error
 }
 
-func newShard(id int, cfg Config) (*shard, error) {
+func newShard(id int, cfg Config, mgr *loadmgr.Manager) (*shard, error) {
 	sh := &shard{
 		id:      id,
 		cfg:     cfg,
@@ -167,9 +195,22 @@ func newShard(id int, cfg Config) (*shard, error) {
 			return nil, fmt.Errorf("fleet: shard %d provision: %w", id, err)
 		}
 	}
-	if sh.sm.Find(cfg.Module, cfg.Version) == 0 {
+	mid := sh.sm.Find(cfg.Module, cfg.Version)
+	if mid == 0 {
 		return nil, fmt.Errorf("fleet: shard %d: module %s v%d not registered by Provision",
 			id, cfg.Module, cfg.Version)
+	}
+	if mgr != nil {
+		if sh.cache = mgr.NewCache(); sh.cache != nil {
+			m := sh.sm.Module(mid)
+			sh.mid = m.ID
+			sh.idemp = map[uint32]bool{}
+			for fid := range m.Funcs {
+				if m.IdempotentFunc(fid) {
+					sh.idemp[uint32(fid)] = true
+				}
+			}
+		}
 	}
 	sh.k.RegisterSyscall(SysParkNo, "fleet_park", sh.sysPark)
 	return sh, nil
@@ -202,6 +243,9 @@ func (sh *shard) finish(pc *pendingCall, resp Response) {
 	resp.Shard = sh.id
 	resp.LatencyCycles = sh.k.Clk.Cycles() - pc.at
 	sh.completed++
+	if sh.cache != nil && resp.Err == nil && resp.Errno == 0 && sh.idemp[pc.funcID] {
+		sh.cache.Put(sh.mid, pc.funcID, pc.args, resp.Val)
+	}
 	sh.finishSlot(pc.job, pc.idx, resp)
 }
 
@@ -291,6 +335,14 @@ func (sh *shard) loop() {
 		case jobRelease:
 			sh.evict(j.key)
 			close(j.done)
+		case jobMigrateOut:
+			sh.evict(j.key)
+			sh.migratedOut++
+			close(j.done)
+		case jobWarmIn:
+			sh.warm(j.key)
+			sh.migratedIn++
+			close(j.done)
 		}
 	}
 }
@@ -317,9 +369,22 @@ func (sh *shard) admit(j *job) {
 
 // inject routes request i of job j into its client's queue, waking the
 // client if parked. at is the request's arrival cycle for latency
-// accounting.
+// accounting. Idempotent functions consult the shard's result cache
+// first: a hit answers immediately — no client wake, no handle
+// dispatch — for the cost of one memo-table probe.
 func (sh *shard) inject(j *job, i int, at uint64) {
 	r := &j.reqs[i]
+	if sh.cache != nil && sh.idemp[r.FuncID] {
+		sh.k.Clk.Advance(clock.CostCacheLookup)
+		if val, ok := sh.cache.Get(sh.mid, r.FuncID, r.Args); ok {
+			sh.finishSlot(j, i, Response{
+				Val:           val,
+				Shard:         sh.id,
+				LatencyCycles: sh.k.Clk.Cycles() - at,
+			})
+			return
+		}
+	}
 	cp := sh.ensureClient(r.Key)
 	pc := &pendingCall{funcID: r.FuncID, args: r.Args, job: j, idx: i, cp: cp, at: at}
 	cp.inflight++
@@ -395,10 +460,14 @@ func (sh *shard) nextArrival() (uint64, bool) {
 func (sh *shard) stretchDone() bool {
 	sh.drainInbox()
 	sh.injectDue()
-	if sh.completed < sh.submitted {
-		return false
-	}
-	if at, ok := sh.nextArrival(); ok {
+	for {
+		if sh.completed < sh.submitted {
+			return false
+		}
+		at, ok := sh.nextArrival()
+		if !ok {
+			return true
+		}
 		if sh.k.HasRunnable() {
 			// Let in-flight bookkeeping (parking clients, exiting
 			// procs) consume its cycles before any idle jump.
@@ -408,9 +477,10 @@ func (sh *shard) stretchDone() bool {
 			sh.k.Clk.Advance(at - now)
 		}
 		sh.injectDue()
-		return false
+		// An arrival served straight from the result cache wakes no
+		// process; loop to jump the next idle gap too, rather than
+		// hand the scheduler an empty run queue (spurious deadlock).
 	}
-	return true
 }
 
 // runStretch executes one pipelined kernel stretch seeded with first.
@@ -507,6 +577,20 @@ func (sh *shard) evict(key string) {
 	}
 }
 
+// warm pre-attaches key's session so a migrated-in key serves its
+// first call from a warm session instead of paying find + policy +
+// fork on the new shard. The client is spawned (possibly LRU-evicting
+// an idle session, exactly like an admission) and the kernel runs
+// until the attach handshake completed and everyone parked again. A
+// key that already has a live session here is a no-op.
+func (sh *shard) warm(key string) {
+	sh.seq++ // LRU epoch: the warming key must not evict itself
+	sh.ensureClient(key)
+	if err := sh.k.RunUntil(func() bool { return !sh.k.HasRunnable() }, 0); err != nil && sh.err == nil {
+		sh.err = fmt.Errorf("fleet: shard %d warm %q: %w", sh.id, key, err)
+	}
+}
+
 // snapshot merges the shard's counters.
 func (sh *shard) snapshot() ShardStats {
 	live := 0
@@ -515,7 +599,7 @@ func (sh *shard) snapshot() ShardStats {
 			live++
 		}
 	}
-	return ShardStats{
+	st := ShardStats{
 		Shard:           sh.id,
 		Cycles:          sh.k.Clk.Cycles(),
 		Ticks:           sh.k.Clk.Ticks(),
@@ -526,7 +610,13 @@ func (sh *shard) snapshot() ShardStats {
 		Syscalls:        sh.k.SyscallCount,
 		LiveSessions:    live,
 		Evictions:       sh.evictions,
+		MigratedOut:     sh.migratedOut,
+		MigratedIn:      sh.migratedIn,
 	}
+	if sh.cache != nil {
+		st.CacheHits, st.CacheMisses, st.CacheEvictions = sh.cache.Stats()
+	}
+	return st
 }
 
 // shutdown unparks every client with the closing flag set and drains

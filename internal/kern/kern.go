@@ -195,6 +195,14 @@ type Kernel struct {
 	// per-syscall wakeup scan dominates otherwise.
 	sleepers map[any][]*Proc
 
+	// nlive counts processes that are neither zombie nor dead,
+	// maintained at the two transitions that matter (newProc, doExit).
+	// Run/RunUntil consult it on every empty run-queue pick for
+	// deadlock detection; the process-table scan it replaces was the
+	// last O(procs) cost on that path at fleet-shard scale (see
+	// BenchmarkLiveCount).
+	nlive int
+
 	syscalls map[uint32]SyscallFn
 	sysNames map[uint32]string
 
@@ -350,6 +358,7 @@ func (k *Kernel) newProc(name string, space *vm.Space) *Proc {
 		nextFD: 3,
 	}
 	k.procs[p.PID] = p
+	k.nlive++
 	return p
 }
 
@@ -443,16 +452,10 @@ func (k *Kernel) HasRunnable() bool {
 	return false
 }
 
-// liveCount counts processes that are not zombies/dead.
-func (k *Kernel) liveCount() int {
-	n := 0
-	for _, p := range k.procs {
-		if p.State != StateZombie && p.State != StateDead {
-			n++
-		}
-	}
-	return n
-}
+// liveCount returns the number of processes that are not zombies/dead.
+// O(1): the counter moves in newProc and doExit, the only transitions
+// in or out of the live states.
+func (k *Kernel) liveCount() int { return k.nlive }
 
 // DebugFaults, when set, prints a diagnostic line for every fatal
 // signal delivered to a process (PC/SP/FP and the faulting cause) —
@@ -651,6 +654,7 @@ func (k *Kernel) doExit(p *Proc, status int) {
 	k.unsleep(p)
 	p.ExitStatus = status
 	p.State = StateZombie
+	k.nlive--
 	p.Space.UnmapAll()
 	for _, s := range p.fds {
 		k.closeSocket(s)

@@ -5,9 +5,13 @@ package kern
 // wakes a subset on every injected call; with the old slice-based run
 // queue every ready() of an already-queued process scanned the whole
 // queue (O(n) per wakeup, O(n²) per stretch). The intrusive FIFO list
-// makes both enqueue and the duplicate check O(1).
+// makes both enqueue and the duplicate check O(1). The live-process
+// count consulted by Run/RunUntil deadlock detection is likewise a
+// maintained counter now (BenchmarkLiveCount pins it flat across
+// process-table sizes); it used to scan the whole table every time the
+// run queue drained.
 //
-// Run with: go test -bench=BenchmarkRunq -benchmem ./internal/kern
+// Run with: go test -bench='BenchmarkRunq|BenchmarkLiveCount' -benchmem ./internal/kern
 
 import (
 	"fmt"
@@ -43,6 +47,76 @@ func BenchmarkRunqReadyAlreadyQueued(b *testing.B) {
 				k.ready(victim) // already queued: duplicate check only
 			}
 		})
+	}
+}
+
+// BenchmarkLiveCount pins the deadlock-detection counter: liveCount()
+// must not scale with the number of live processes. RunUntil calls it
+// on every empty run-queue pick — with a timed schedule advancing over
+// idle gaps that happens between every pair of arrivals, so the old
+// process-table scan charged O(sessions) host work per arrival.
+func BenchmarkLiveCount(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) {
+			k := New()
+			fakeProcs(k, n)
+			b.ResetTimer()
+			sum := 0
+			for i := 0; i < b.N; i++ {
+				sum += k.liveCount()
+			}
+			if sum != n*b.N {
+				b.Fatalf("liveCount drifted: sum %d over %d iters of %d procs", sum, b.N, n)
+			}
+		})
+	}
+}
+
+// TestLiveCountTracksTransitions cross-checks the maintained counter
+// against a fresh process-table scan through spawn, exit, kill, and
+// reap — the reference implementation liveCount used to be.
+func TestLiveCountTracksTransitions(t *testing.T) {
+	k := New()
+	scan := func() int {
+		n := 0
+		for _, p := range k.procs {
+			if p.State != StateZombie && p.State != StateDead {
+				n++
+			}
+		}
+		return n
+	}
+	check := func(when string) {
+		t.Helper()
+		if got, want := k.liveCount(), scan(); got != want {
+			t.Fatalf("%s: liveCount() = %d, table scan = %d", when, got, want)
+		}
+	}
+	check("fresh kernel")
+
+	var procs []*Proc
+	for i := 0; i < 5; i++ {
+		p := k.SpawnNative(fmt.Sprintf("lc-%d", i), Cred{UID: 1}, func(s *Sys) int {
+			s.Call(20) // getpid, then exit 0
+			return 0
+		})
+		procs = append(procs, p)
+		check("after spawn")
+	}
+	if k.liveCount() != 5 {
+		t.Fatalf("liveCount = %d after 5 spawns", k.liveCount())
+	}
+	k.Kill(procs[0], SIGKILL)
+	check("after kill")
+	// Double-kill must not double-decrement.
+	k.Kill(procs[0], SIGKILL)
+	check("after double kill")
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	check("after Run drained everyone")
+	if k.liveCount() != 0 {
+		t.Fatalf("liveCount = %d after all exited", k.liveCount())
 	}
 }
 

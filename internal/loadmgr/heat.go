@@ -1,0 +1,187 @@
+package loadmgr
+
+import "sync"
+
+// minHeat is the EWMA floor below which a key's entry is dropped, so a
+// long-lived tracker does not retain every key ever seen.
+const minHeat = 1e-3
+
+// HeatTracker maintains EWMA call-rate estimates per client key and
+// per shard. Calls are counted into the current round's window
+// (Record); Advance folds the window into the moving averages and
+// opens the next round. Rounds align with the fleet's rebalance
+// barriers, so heat — like everything else under RunPlan — is a pure
+// function of the request sequence.
+type HeatTracker struct {
+	mu    sync.Mutex
+	alpha float64
+
+	keyHeat  map[string]float64 // EWMA calls/round per key
+	keyWin   map[string]float64 // current round's counts per key
+	keyShard map[string]int     // tracker's view of key placement
+
+	shardHeat []float64 // EWMA calls/round per shard
+	shardWin  []float64 // current round's counts per shard
+
+	rounds uint64
+}
+
+// NewHeatTracker builds a tracker over the given shard count. alpha in
+// (0, 1] is the EWMA weight of the newest round.
+func NewHeatTracker(shards int, alpha float64) *HeatTracker {
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultAlpha
+	}
+	return &HeatTracker{
+		alpha:     alpha,
+		keyHeat:   map[string]float64{},
+		keyWin:    map[string]float64{},
+		keyShard:  map[string]int{},
+		shardHeat: make([]float64, shards),
+		shardWin:  make([]float64, shards),
+	}
+}
+
+// Record counts n calls for key routed to shard in the current round.
+func (h *HeatTracker) Record(key string, shard int, n float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if shard < 0 || shard >= len(h.shardWin) {
+		return
+	}
+	h.keyWin[key] += n
+	h.shardWin[shard] += n
+	h.keyShard[key] = shard
+}
+
+// Advance closes the current round: every key's and shard's window
+// count folds into its EWMA, windows reset, and keys whose heat
+// decayed below the retention floor are forgotten.
+func (h *HeatTracker) Advance() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for key, heat := range h.keyHeat {
+		next := h.alpha*h.keyWin[key] + (1-h.alpha)*heat
+		if next < minHeat {
+			delete(h.keyHeat, key)
+			delete(h.keyShard, key)
+			continue
+		}
+		h.keyHeat[key] = next
+	}
+	for key, win := range h.keyWin {
+		if _, known := h.keyHeat[key]; known || win <= 0 {
+			continue
+		}
+		if next := h.alpha * win; next >= minHeat {
+			h.keyHeat[key] = next
+		} else {
+			// Too faint to track: drop the placement entry Record left.
+			delete(h.keyShard, key)
+		}
+	}
+	h.keyWin = map[string]float64{}
+	for i, heat := range h.shardHeat {
+		h.shardHeat[i] = h.alpha*h.shardWin[i] + (1-h.alpha)*heat
+		h.shardWin[i] = 0
+	}
+	h.rounds++
+}
+
+// Rounds returns how many rounds have been closed.
+func (h *HeatTracker) Rounds() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rounds
+}
+
+// ShardHeat returns a snapshot of per-shard EWMA heat.
+func (h *HeatTracker) ShardHeat() []float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]float64, len(h.shardHeat))
+	copy(out, h.shardHeat)
+	return out
+}
+
+// KeyHeat returns key's EWMA heat and the shard the tracker believes
+// it lives on (-1 when unknown).
+func (h *HeatTracker) KeyHeat(key string) (heat float64, shard int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if sid, ok := h.keyShard[key]; ok {
+		return h.keyHeat[key], sid
+	}
+	return h.keyHeat[key], -1
+}
+
+// ImbalanceScore is max shard heat over mean shard heat: 1 is perfect
+// balance, N (the shard count) is everything on one shard. Returns 0
+// when the fleet has seen no heat at all.
+func (h *HeatTracker) ImbalanceScore() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return imbalance(h.shardHeat)
+}
+
+// imbalance computes max/mean over a heat vector.
+func imbalance(heat []float64) float64 {
+	var max, sum float64
+	for _, v := range heat {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum <= 0 || len(heat) == 0 {
+		return 0
+	}
+	return max / (sum / float64(len(heat)))
+}
+
+// Rebind moves key's heat (and the tracker's placement view) to shard
+// `to`, mirroring a migration: the key's EWMA leaves its old shard's
+// aggregate and joins the new one, so the very next imbalance reading
+// reflects the move instead of waiting a full decay cycle.
+func (h *HeatTracker) Rebind(key string, to int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if to < 0 || to >= len(h.shardHeat) {
+		return
+	}
+	from, ok := h.keyShard[key]
+	if !ok || from == to {
+		h.keyShard[key] = to
+		return
+	}
+	heat := h.keyHeat[key]
+	h.shardHeat[from] -= heat
+	if h.shardHeat[from] < 0 {
+		h.shardHeat[from] = 0
+	}
+	h.shardHeat[to] += heat
+	// Any un-folded window counts move too: they were routed to the old
+	// shard, but the key will answer from the new one from now on.
+	if win := h.keyWin[key]; win > 0 {
+		h.shardWin[from] -= win
+		if h.shardWin[from] < 0 {
+			h.shardWin[from] = 0
+		}
+		h.shardWin[to] += win
+	}
+	h.keyShard[key] = to
+}
+
+// keysOn returns the keys currently placed on shard, for the migrator.
+// Caller must hold no lock; the snapshot is taken under the tracker's.
+func (h *HeatTracker) keysOn(shard int) map[string]float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := map[string]float64{}
+	for key, sid := range h.keyShard {
+		if sid == shard {
+			out[key] = h.keyHeat[key]
+		}
+	}
+	return out
+}

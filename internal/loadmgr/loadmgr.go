@@ -1,0 +1,126 @@
+// Package loadmgr is the fleet's load-management brain: it watches
+// per-key and per-shard call rates, decides when a hot client key
+// should move to a colder shard, and memoizes responses of functions
+// the module policy declares idempotent.
+//
+// The package deliberately contains no fleet mechanics — it is pure
+// bookkeeping and decision logic, so the fleet layer stays the only
+// owner of sessions, inboxes, and kernel stretches:
+//
+//   - HeatTracker maintains exponentially-weighted moving averages of
+//     the call rate of every client key and every shard, fed from the
+//     fleet's routing path. Heat advances in discrete rounds (one per
+//     rebalance barrier), so identical request sequences produce
+//     identical heat states — the property that keeps migration
+//     decisions deterministic under fleet.RunPlan.
+//   - Migrator turns a heat snapshot into a bounded list of key
+//     migrations (hottest shard -> coldest shard), greedy by key heat,
+//     with a per-key cooldown against flapping and a seeded tie-break
+//     among equally hot candidates.
+//   - ResultCache is a bounded per-shard LRU memoizing (module,
+//     function, args-hash) -> response for idempotent functions,
+//     verifying full argument equality on every hit so a hash
+//     collision can never change response bytes.
+//
+// Everything is deterministic given the sequence of Record/Advance
+// calls and the configured seed; nothing here reads wall-clock time or
+// global randomness.
+package loadmgr
+
+// Options configures the load manager a fleet attaches.
+type Options struct {
+	// Alpha is the EWMA smoothing factor in (0, 1]: the weight of the
+	// newest round's counts. 0 selects DefaultAlpha.
+	Alpha float64
+	// ImbalanceThreshold is the max-shard-heat / mean-shard-heat ratio
+	// above which the migrator starts moving keys. 0 selects
+	// DefaultImbalanceThreshold.
+	ImbalanceThreshold float64
+	// MaxMovesPerRound bounds migrations per rebalance barrier.
+	// 0 selects DefaultMaxMovesPerRound.
+	MaxMovesPerRound int
+	// CooldownRounds freezes a migrated key for this many rebalance
+	// rounds so the planner cannot flap it between shards. 0 selects
+	// DefaultCooldownRounds.
+	CooldownRounds int
+	// Migrate enables cross-shard session migration at barrier points.
+	Migrate bool
+	// CacheSize is the per-shard idempotent result cache capacity in
+	// entries; 0 disables caching.
+	CacheSize int
+	// Seed drives the migrator's tie-break among equally hot candidate
+	// keys; fixed seed, fixed decisions.
+	Seed int64
+}
+
+// Defaults for zero Options fields.
+const (
+	DefaultAlpha              = 0.5
+	DefaultImbalanceThreshold = 1.2
+	DefaultMaxMovesPerRound   = 4
+	DefaultCooldownRounds     = 2
+)
+
+// withDefaults resolves zero fields.
+func (o Options) withDefaults() Options {
+	if o.Alpha <= 0 || o.Alpha > 1 {
+		o.Alpha = DefaultAlpha
+	}
+	if o.ImbalanceThreshold <= 0 {
+		o.ImbalanceThreshold = DefaultImbalanceThreshold
+	}
+	if o.MaxMovesPerRound <= 0 {
+		o.MaxMovesPerRound = DefaultMaxMovesPerRound
+	}
+	if o.CooldownRounds <= 0 {
+		o.CooldownRounds = DefaultCooldownRounds
+	}
+	return o
+}
+
+// Manager bundles the three components for one fleet.
+type Manager struct {
+	opts Options
+	heat *HeatTracker
+	mig  *Migrator
+}
+
+// New builds a manager for a fleet of the given shard count.
+func New(opts Options, shards int) *Manager {
+	opts = opts.withDefaults()
+	return &Manager{
+		opts: opts,
+		heat: NewHeatTracker(shards, opts.Alpha),
+		mig:  NewMigrator(opts),
+	}
+}
+
+// Options returns the resolved (defaulted) options.
+func (m *Manager) Options() Options { return m.opts }
+
+// Heat exposes the tracker for the fleet's routing-path feed.
+func (m *Manager) Heat() *HeatTracker { return m.heat }
+
+// NewCache builds one shard's result cache, or nil when caching is
+// disabled. Each shard owns its cache exclusively (no locking).
+func (m *Manager) NewCache() *ResultCache {
+	if m.opts.CacheSize <= 0 {
+		return nil
+	}
+	return NewResultCache(m.opts.CacheSize)
+}
+
+// PlanRebalance closes the current heat round and plans this barrier's
+// migrations. The returned moves are already applied to the tracker's
+// key->shard view (optimistically), so back-to-back plans do not
+// re-propose the same move; the fleet must skip a move whose pool
+// assignment changed underneath it (which is why executed-move
+// counters live fleet-side, per shard, not here). Returns nil when
+// migration is disabled or the fleet is balanced.
+func (m *Manager) PlanRebalance() []Migration {
+	if !m.opts.Migrate {
+		return nil
+	}
+	m.heat.Advance()
+	return m.mig.Plan(m.heat)
+}

@@ -1,0 +1,127 @@
+package loadmgr
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Migration is one planned key move.
+type Migration struct {
+	Key      string
+	From, To int
+}
+
+// Migrator turns heat snapshots into bounded migration plans. It is
+// greedy: while the hottest shard exceeds the imbalance threshold, move
+// its hottest eligible key to the coldest shard, provided the move
+// shrinks the hot/cold gap. Migrated keys cool down for a few rounds so
+// the planner cannot flap a key back and forth; ties between equally
+// hot candidates break through a seeded rng, so a fixed seed gives a
+// fixed plan.
+type Migrator struct {
+	opts     Options
+	rng      *rand.Rand
+	round    uint64
+	cooldown map[string]uint64 // key -> round at which it thaws
+}
+
+// NewMigrator builds a migrator from (defaulted) options.
+func NewMigrator(opts Options) *Migrator {
+	opts = opts.withDefaults()
+	return &Migrator{
+		opts:     opts,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		cooldown: map[string]uint64{},
+	}
+}
+
+// candidate is one movable key on the hot shard.
+type candidate struct {
+	key  string
+	heat float64
+}
+
+// Plan computes this round's migrations from the tracker's current
+// heat and applies them to the tracker's placement view (Rebind), so
+// consecutive calls converge instead of re-proposing the same move.
+// The fleet applies the actual session moves afterwards.
+func (m *Migrator) Plan(h *HeatTracker) []Migration {
+	m.round++
+	var moves []Migration
+	for len(moves) < m.opts.MaxMovesPerRound {
+		mv, ok := m.planOne(h)
+		if !ok {
+			break
+		}
+		h.Rebind(mv.Key, mv.To)
+		m.cooldown[mv.Key] = m.round + uint64(m.opts.CooldownRounds)
+		moves = append(moves, mv)
+	}
+	// Drop thawed entries so the map stays bounded by recent movers.
+	for key, until := range m.cooldown {
+		if until <= m.round {
+			delete(m.cooldown, key)
+		}
+	}
+	return moves
+}
+
+// planOne picks the single best move, or reports balance.
+func (m *Migrator) planOne(h *HeatTracker) (Migration, bool) {
+	heat := h.ShardHeat()
+	if len(heat) < 2 {
+		return Migration{}, false
+	}
+	hot, cold := 0, 0
+	var sum float64
+	for i, v := range heat {
+		sum += v
+		if v > heat[hot] {
+			hot = i
+		}
+		if v < heat[cold] {
+			cold = i
+		}
+	}
+	mean := sum / float64(len(heat))
+	if mean <= 0 || hot == cold || heat[hot] < m.opts.ImbalanceThreshold*mean {
+		return Migration{}, false
+	}
+	gap := heat[hot] - heat[cold]
+
+	cands := make([]candidate, 0, 8)
+	for key, kh := range h.keysOn(hot) {
+		if kh <= 0 {
+			continue
+		}
+		if until, cooling := m.cooldown[key]; cooling && until > m.round {
+			continue
+		}
+		cands = append(cands, candidate{key, kh})
+	}
+	// Hottest first; key order breaks exact heat ties deterministically
+	// before the seeded pick below chooses among them.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].heat != cands[j].heat {
+			return cands[i].heat > cands[j].heat
+		}
+		return cands[i].key < cands[j].key
+	})
+	for i, c := range cands {
+		// Moving a key hotter than the gap would just swap which shard
+		// is overloaded; skip down to the first one that helps.
+		if c.heat >= gap {
+			continue
+		}
+		// Among candidates of identical heat, pick one by seeded rng:
+		// the "keyed by seed" knob that decorrelates repeated sweeps
+		// while staying reproducible run-to-run.
+		j := i
+		for j+1 < len(cands) && cands[j+1].heat == c.heat {
+			j++
+		}
+		pick := cands[i+m.rng.Intn(j-i+1)]
+		return Migration{Key: pick.key, From: hot, To: cold}, true
+	}
+	return Migration{}, false
+}

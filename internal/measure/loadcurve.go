@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/fleet"
+	"repro/internal/loadmgr"
 )
 
 // LoadCurveConfig describes one load-curve sweep.
@@ -37,6 +38,26 @@ type LoadCurveConfig struct {
 	// Seed drives arrival gaps and key assignment; a fixed seed makes
 	// the whole curve bit-for-bit reproducible.
 	Seed int64
+
+	// ZipfS, when >= 1.01, draws each arrival's key from a Zipf(s)
+	// popularity distribution over the Clients keys instead of
+	// uniformly: rank-1 keys dominate, the skewed-traffic regime where
+	// a sticky pool pins hot clients to one shard. 0 keeps the
+	// historical uniform draw.
+	ZipfS float64
+	// ArgsCardinality bounds the distinct argument values drawn (0 =
+	// every call unique). Small values make the workload idempotent in
+	// practice — repeated (func, args) sites — so the loadmgr result
+	// cache has something to hit.
+	ArgsCardinality int
+	// Epochs splits each point's schedule into this many back-to-back
+	// RunSchedule barriers (min 1). Each barrier is a loadmgr rebalance
+	// opportunity, so migration needs Epochs >= 2 to act within a point.
+	Epochs int
+	// LoadManager, when non-nil, attaches the loadmgr subsystem to the
+	// measured fleet (hot-key migration at epoch barriers and/or the
+	// idempotent result cache).
+	LoadManager *loadmgr.Options
 }
 
 // LoadPoint is one row of the latency-vs-offered-load table.
@@ -52,6 +73,10 @@ type LoadPoint struct {
 	MakespanMicros float64      `json:"makespan_us"`
 	Saturated      bool         `json:"saturated"`
 	Hist           []HistBucket `json:"hist"`
+	// Load-manager activity during the point (zero without one).
+	Migrations  uint64 `json:"migrations,omitempty"`
+	CacheHits   uint64 `json:"cache_hits,omitempty"`
+	CacheMisses uint64 `json:"cache_misses,omitempty"`
 }
 
 // SatAchievedFraction marks a point saturated when achieved throughput
@@ -82,9 +107,54 @@ func RunFleetLoadCurve(cfg LoadCurveConfig) ([]LoadPoint, error) {
 	return points, nil
 }
 
-// runLoadPoint measures one offered rate on a fresh fleet.
+// loadPointSchedule builds one point's timed requests: arrival instants
+// from the configured process, keys drawn uniformly or Zipf-skewed, and
+// argument values optionally folded into a small cardinality. Pure
+// function of the config and rate, so every run of a point is identical.
+func loadPointSchedule(cfg LoadCurveConfig, rate float64, incr uint32) ([]fleet.TimedRequest, error) {
+	arrivals, err := Arrivals(cfg.Kind, cfg.Seed, rate, cfg.Calls)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	var zipf *rand.Zipf
+	if cfg.ZipfS > 0 {
+		if cfg.ZipfS < 1.01 {
+			return nil, fmt.Errorf("zipf exponent %.3f too flat (need >= 1.01)", cfg.ZipfS)
+		}
+		zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Clients-1))
+	}
+	treqs := make([]fleet.TimedRequest, cfg.Calls)
+	for i := range treqs {
+		var c int
+		if zipf != nil {
+			c = int(zipf.Uint64())
+		} else {
+			c = rng.Intn(cfg.Clients)
+		}
+		arg := uint32(i)
+		if cfg.ArgsCardinality > 0 {
+			arg = uint32(rng.Intn(cfg.ArgsCardinality))
+		}
+		treqs[i] = fleet.TimedRequest{
+			At: arrivals[i],
+			Req: fleet.Request{
+				Key:    benchKey(c),
+				FuncID: incr,
+				Args:   []uint32{arg},
+			},
+		}
+	}
+	return treqs, nil
+}
+
+// runLoadPoint measures one offered rate on a fresh fleet. With Epochs
+// > 1 the schedule runs as that many back-to-back RunSchedule barriers
+// (each re-based to its first arrival): between epochs the load
+// manager may migrate hot keys, which is the only way migration can
+// act within a single measured point.
 func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error) {
-	f, err := fleet.New(fleetBenchConfig(cfg.Shards, 0))
+	f, err := fleet.New(fleetBenchConfig(cfg.Shards, 0, cfg.LoadManager))
 	if err != nil {
 		return LoadPoint{}, err
 	}
@@ -104,37 +174,45 @@ func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error
 	if err := warmFleet(f, incr, cfg.Clients); err != nil {
 		return LoadPoint{}, err
 	}
+	treqs, err := loadPointSchedule(cfg, rate, incr)
+	if err != nil {
+		return LoadPoint{}, err
+	}
 	before := f.Stats()
 
-	arrivals, err := Arrivals(cfg.Kind, cfg.Seed, rate, cfg.Calls)
-	if err != nil {
-		return LoadPoint{}, err
+	epochs := cfg.Epochs
+	if epochs < 1 {
+		epochs = 1
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 1))
-	treqs := make([]fleet.TimedRequest, cfg.Calls)
-	for i := range treqs {
-		treqs[i] = fleet.TimedRequest{
-			At: arrivals[i],
-			Req: fleet.Request{
-				Key:    benchKey(rng.Intn(cfg.Clients)),
-				FuncID: incr,
-				Args:   []uint32{uint32(i)},
-			},
-		}
-	}
-	resps, err := f.RunSchedule(treqs)
-	if err != nil {
-		return LoadPoint{}, err
+	if epochs > len(treqs) {
+		epochs = len(treqs)
 	}
 	var rec LatencyRecorder
-	for i, r := range resps {
-		if r.Err != nil {
-			return LoadPoint{}, fmt.Errorf("call %d: %w", i, r.Err)
+	per := (len(treqs) + epochs - 1) / epochs
+	for start := 0; start < len(treqs); start += per {
+		end := start + per
+		if end > len(treqs) {
+			end = len(treqs)
 		}
-		if r.Errno != 0 {
-			return LoadPoint{}, fmt.Errorf("call %d: errno %d", i, r.Errno)
+		chunk := make([]fleet.TimedRequest, end-start)
+		base := treqs[start].At
+		for i, tr := range treqs[start:end] {
+			tr.At -= base
+			chunk[i] = tr
 		}
-		rec.Record(r.LatencyCycles)
+		resps, err := f.RunSchedule(chunk)
+		if err != nil {
+			return LoadPoint{}, err
+		}
+		for i, r := range resps {
+			if r.Err != nil {
+				return LoadPoint{}, fmt.Errorf("call %d: %w", start+i, r.Err)
+			}
+			if r.Errno != 0 {
+				return LoadPoint{}, fmt.Errorf("call %d: errno %d", start+i, r.Errno)
+			}
+			rec.Record(r.LatencyCycles)
+		}
 	}
 	after := f.Stats()
 
@@ -152,6 +230,9 @@ func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error
 		MakespanMicros: clock.Micros(makespan),
 		Saturated:      achieved < SatAchievedFraction*rate,
 		Hist:           rec.Histogram(),
+		Migrations:     after.Migrations - before.Migrations,
+		CacheHits:      after.CacheHits - before.CacheHits,
+		CacheMisses:    after.CacheMisses - before.CacheMisses,
 	}, nil
 }
 
@@ -193,13 +274,21 @@ type BenchMachine struct {
 
 // BenchLoadCurve is the load-curve section of the BENCH document.
 type BenchLoadCurve struct {
-	Shards         int         `json:"shards"`
-	Clients        int         `json:"clients"`
-	CallsPerPoint  int         `json:"calls_per_point"`
-	Process        string      `json:"process"`
-	Seed           int64       `json:"seed"`
+	Shards        int     `json:"shards"`
+	Clients       int     `json:"clients"`
+	CallsPerPoint int     `json:"calls_per_point"`
+	Process       string  `json:"process"`
+	Seed          int64   `json:"seed"`
+	ZipfS         float64 `json:"zipf_s,omitempty"`
+	ArgsCard      int     `json:"args_cardinality,omitempty"`
+	Epochs        int     `json:"epochs,omitempty"`
+	// Rebalance/CacheSize record the loadmgr configuration the curve
+	// ran under, so baselines only compare like with like.
+	Rebalance      bool        `json:"rebalance,omitempty"`
+	CacheSize      int         `json:"cache_size,omitempty"`
 	Points         []LoadPoint `json:"points"`
 	KneeOfferedCPS float64     `json:"knee_offered_cps"` // 0 = never saturated
+	KneeIndex      int         `json:"knee_index"`       // -1 = never saturated
 }
 
 // BenchFleet is the machine-readable BENCH_fleet.json document the CI
@@ -232,10 +321,18 @@ func NewBenchFleet(cfg LoadCurveConfig, points []LoadPoint, rows []ThroughputSta
 			CallsPerPoint: cfg.Calls,
 			Process:       cfg.Kind.String(),
 			Seed:          cfg.Seed,
+			ZipfS:         cfg.ZipfS,
+			ArgsCard:      cfg.ArgsCardinality,
+			Epochs:        cfg.Epochs,
 			Points:        points,
+			KneeIndex:     KneeIndex(points),
 		}
-		if k := KneeIndex(points); k >= 0 {
-			lc.KneeOfferedCPS = points[k].OfferedPerSec
+		if lm := cfg.LoadManager; lm != nil {
+			lc.Rebalance = lm.Migrate
+			lc.CacheSize = lm.CacheSize
+		}
+		if lc.KneeIndex >= 0 {
+			lc.KneeOfferedCPS = points[lc.KneeIndex].OfferedPerSec
 		}
 		doc.LoadCurve = lc
 	}

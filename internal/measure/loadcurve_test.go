@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"repro/internal/loadmgr"
 )
 
 // testCurveConfig sweeps one shard from well under to well past its
@@ -147,5 +149,106 @@ func TestLoadCurveBadConfig(t *testing.T) {
 	}
 	if _, err := RunFleetLoadCurve(testCurveConfig()); err == nil {
 		t.Error("empty rate sweep accepted")
+	}
+	flat := testCurveConfig(10_000)
+	flat.ZipfS = 0.5 // rand.NewZipf needs s > 1; we require >= 1.01
+	if _, err := RunFleetLoadCurve(flat); err == nil {
+		t.Error("too-flat zipf exponent accepted")
+	}
+}
+
+// skewConfig is a 2-shard skewed-workload point at the given rate.
+func skewConfig(rate float64, lm *loadmgr.Options) LoadCurveConfig {
+	return LoadCurveConfig{
+		Shards:      2,
+		Clients:     12,
+		Calls:       240,
+		Rates:       []float64{rate},
+		Kind:        Poisson,
+		Seed:        3,
+		ZipfS:       1.3,
+		Epochs:      6,
+		LoadManager: lm,
+	}
+}
+
+// TestSkewedCurveRebalanceRaisesCapacity is the measure-level version
+// of the acceptance criterion: at an offered rate that saturates the
+// static skewed fleet, enabling migration must serve the same schedule
+// in less simulated time (and actually migrate something).
+func TestSkewedCurveRebalanceRaisesCapacity(t *testing.T) {
+	// ~135k/s per shard capacity; Zipf(1.3) over 12 keys puts roughly
+	// half the traffic on the rank-0 key's shard, so 200k/s offered
+	// overloads the static assignment but not a balanced one.
+	const rate = 200_000
+	static, err := RunFleetLoadCurve(skewConfig(rate, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	moving, err := RunFleetLoadCurve(skewConfig(rate, &loadmgr.Options{
+		Migrate:            true,
+		ImbalanceThreshold: 1.05,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, m := static[0], moving[0]
+	if m.Migrations == 0 {
+		t.Fatalf("skewed point with rebalancing migrated nothing: %+v", m)
+	}
+	if s.Migrations != 0 {
+		t.Fatalf("static point reports migrations: %+v", s)
+	}
+	if m.MakespanMicros >= s.MakespanMicros {
+		t.Errorf("rebalancing did not shrink the makespan: static %.1fus, rebalanced %.1fus",
+			s.MakespanMicros, m.MakespanMicros)
+	}
+	if m.AchievedPerSec <= s.AchievedPerSec {
+		t.Errorf("rebalancing did not raise achieved throughput: static %.0f/s, rebalanced %.0f/s",
+			s.AchievedPerSec, m.AchievedPerSec)
+	}
+}
+
+// TestSkewedCurveDeterministic: skew + epochs + migration stays
+// bit-for-bit reproducible, points and counters included.
+func TestSkewedCurveDeterministic(t *testing.T) {
+	cfg := skewConfig(150_000, &loadmgr.Options{Migrate: true, ImbalanceThreshold: 1.05, Seed: 9})
+	a, err := RunFleetLoadCurve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFleetLoadCurve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Errorf("skewed curve differs across runs:\n%s\nvs\n%s", ja, jb)
+	}
+}
+
+// TestCurveCacheHitsOnIdempotentWorkload: a small argument space plus
+// the result cache produces hits and shrinks real dispatch work.
+func TestCurveCacheHitsOnIdempotentWorkload(t *testing.T) {
+	cfg := testCurveConfig(50_000)
+	cfg.ArgsCardinality = 6
+	cfg.LoadManager = &loadmgr.Options{CacheSize: 64}
+	points, err := RunFleetLoadCurve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := points[0]
+	if p.CacheHits == 0 {
+		t.Fatalf("no cache hits on 6-value argument space: %+v", p)
+	}
+	if p.CacheHits+p.CacheMisses < uint64(cfg.Calls) {
+		t.Errorf("cache counters %d+%d do not cover the %d idempotent calls",
+			p.CacheHits, p.CacheMisses, cfg.Calls)
+	}
+	// The BENCH document records the loadmgr configuration.
+	doc := NewBenchFleet(cfg, points, nil)
+	if doc.LoadCurve.CacheSize != 64 || doc.LoadCurve.ArgsCard != 6 {
+		t.Errorf("BENCH loadcurve config not recorded: %+v", doc.LoadCurve)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/kern"
+	"repro/internal/loadmgr"
 )
 
 // ThroughputStats is one row of the fleet scaling curve.
@@ -46,8 +47,9 @@ type ThroughputStats struct {
 }
 
 // fleetBenchConfig provisions the SecModule libc under the bench
-// policy on every shard.
-func fleetBenchConfig(shards, maxSessions int) fleet.Config {
+// policy on every shard. incr is declared idempotent (it is x+1), so a
+// load manager with caching enabled may memoize it; lm may be nil.
+func fleetBenchConfig(shards, maxSessions int, lm *loadmgr.Options) fleet.Config {
 	return fleet.Config{
 		Shards:              shards,
 		Module:              "libc",
@@ -55,6 +57,7 @@ func fleetBenchConfig(shards, maxSessions int) fleet.Config {
 		ClientUID:           1,
 		ClientName:          "bench",
 		MaxSessionsPerShard: maxSessions,
+		LoadManager:         lm,
 		Provision: func(k *kern.Kernel, sm *core.SMod) error {
 			lib, err := core.LibCArchive()
 			if err != nil {
@@ -62,7 +65,8 @@ func fleetBenchConfig(shards, maxSessions int) fleet.Config {
 			}
 			_, err = sm.Register(&core.ModuleSpec{
 				Name: "libc", Version: 1, Owner: "owner", Lib: lib,
-				PolicySrc: []string{benchPolicy},
+				PolicySrc:       []string{benchPolicy},
+				IdempotentFuncs: []string{"incr"},
 			})
 			return err
 		},
@@ -136,7 +140,7 @@ func throughputRow(name string, shards, clients, calls int, before, after fleet.
 // loop (next call only after the previous returned). Sessions are
 // pre-warmed so the measured phase contains only smod_call traffic.
 func RunFleetClosedLoop(shards, clients, callsPerClient int) (row ThroughputStats, err error) {
-	f, err := fleet.New(fleetBenchConfig(shards, 0))
+	f, err := fleet.New(fleetBenchConfig(shards, 0, nil))
 	if err != nil {
 		return ThroughputStats{}, err
 	}
@@ -179,7 +183,7 @@ func RunFleetClosedLoop(shards, clients, callsPerClient int) (row ThroughputStat
 // open-loop bound; the gap to the closed-loop row is the value of
 // session reuse.
 func RunFleetOpenLoop(shards, totalCalls, maxSessions int) (row ThroughputStats, err error) {
-	f, err := fleet.New(fleetBenchConfig(shards, maxSessions))
+	f, err := fleet.New(fleetBenchConfig(shards, maxSessions, nil))
 	if err != nil {
 		return ThroughputStats{}, err
 	}

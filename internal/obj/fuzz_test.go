@@ -104,3 +104,67 @@ func FuzzUnmarshalArchive(f *testing.F) {
 		}
 	})
 }
+
+// linkSeedArchive builds a two-member archive with a cross-member
+// relocation, the shape module registration links.
+func linkSeedArchive() *Archive {
+	a := &Archive{Name: "link-seed.a"}
+	a.Add(seedObject())
+	a.Add(&Object{
+		Name: "caller.o",
+		Text: []byte{5, 0, 0, 0, 0, 6},
+		Symbols: []Symbol{
+			{Name: "caller", Section: "text", Offset: 0, Global: true, Kind: KindFunc},
+		},
+		Relocs: []Reloc{{Section: "text", Offset: 1, Symbol: "main"}},
+	})
+	return a
+}
+
+// FuzzLink hammers the linker proper — the multi-member path module
+// registration takes: every member of a deserialized archive becomes a
+// root, linked at both the client and the handle address layouts.
+// Hostile symbol tables, relocations, and member mixes must link or
+// fail with an error, never panic, and a successful image must resolve
+// its entry and place every global inside the image.
+func FuzzLink(f *testing.F) {
+	if raw, err := linkSeedArchive().Marshal(); err == nil {
+		f.Add(raw)
+	}
+	f.Add([]byte(`{"Members":[{"Name":"a","Symbols":[{"Name":"f","Section":"text","Offset":4,"Global":true,"Kind":1}]}]}`))
+	f.Add([]byte(`{"Members":[{"Name":"a","Text":"AAAA","Relocs":[{"Section":"data","Offset":0,"Symbol":"f","Addend":-1}]},{"Name":"a","Text":"AAAA"}]}`))
+	f.Add([]byte(`{"Members":[{"Name":"bss","BSSSize":4294967295,"Symbols":[{"Name":"b","Section":"bss","Global":true,"Kind":2}]}]}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := UnmarshalArchive(data)
+		if err != nil {
+			return
+		}
+		roots := make([]*Object, 0, len(a.Members))
+		for _, m := range a.Members {
+			roots = append(roots, m)
+		}
+		entry := ""
+		if funcs := a.FuncSymbols(); len(funcs) > 0 {
+			entry = funcs[0]
+		}
+		for _, opts := range []LinkOptions{
+			{TextBase: 0x1000, DataBase: 0x400000, Entry: entry},       // client layout
+			{TextBase: 0xA0000000, DataBase: 0xA8000000, Entry: entry}, // handle layout
+		} {
+			im, err := Link(opts, roots)
+			if err != nil {
+				continue
+			}
+			if entry != "" {
+				if _, ok := im.Symbols[entry]; !ok {
+					t.Fatalf("linked image lost its entry symbol %q", entry)
+				}
+			}
+			if uint64(im.TextBase)+uint64(len(im.Text)) > 1<<32 {
+				t.Fatalf("text segment overflows the address space: base %#x len %d",
+					im.TextBase, len(im.Text))
+			}
+		}
+	})
+}
