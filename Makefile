@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all ci lint build vet test race fuzz-short bench bench-json bench-check loadcurve fleet fig8
+.PHONY: all ci lint build vet test race fuzz-short bench bench-json bench-check loadcurve fleet fig8 mix
 
 all: ci
 
@@ -43,6 +43,7 @@ fuzz-short:
 	$(GO) test -run=NONE -fuzz=FuzzUnmarshalArchive -fuzztime=10s ./internal/obj
 	$(GO) test -run=NONE -fuzz=FuzzLink -fuzztime=10s ./internal/obj
 	$(GO) test -run=NONE -fuzz=FuzzRegisterModule -fuzztime=10s ./internal/core
+	$(GO) test -run=NONE -fuzz=FuzzSessionDispatch -fuzztime=10s ./internal/core
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -53,21 +54,30 @@ bench:
 loadcurve:
 	$(GO) run ./cmd/smodfleet -loadcurve
 
-# CI bench artifact: a fast load-curve sweep emitting BENCH_fleet.json,
-# recorded per commit by the bench job. All numbers are simulated-time,
-# so they are comparable across runners. Refreshing the committed
-# baseline (after an intentional perf change) is just `make bench-json`
-# and committing the result.
+# CI bench artifact: the gate suite — four named curves (uniform,
+# skew-rebalance, and the fast=2,slow=2 mixed-fleet cost-aware /
+# heat-only pair) in one BENCH_fleet.json, recorded per commit by the
+# bench job. All numbers are simulated-time, so they are comparable
+# across runners. Refreshing the committed baseline (after an
+# intentional perf change) is just `make bench-json` and committing
+# the result.
 bench-json:
-	$(GO) run ./cmd/smodfleet -loadcurve -lcshards 2 -clients 8 -lccalls 200 -json BENCH_fleet.json
+	$(GO) run ./cmd/smodfleet -suite -lcshards 2 -clients 8 -lccalls 200 -json BENCH_fleet.json
 
-# CI bench gate: rerun the baseline sweep into BENCH_new.json and fail
-# on a knee-index regression or a >15% pre-knee p95 shift against the
-# committed BENCH_fleet.json (see cmd/benchdiff). The sweep params MUST
-# match bench-json or the documents are incomparable by construction.
+# CI bench gate: rerun the baseline suite into BENCH_new.json and fail
+# on a knee-index regression or a >15% pre-knee p95 shift in ANY of the
+# named curves against the committed BENCH_fleet.json (see
+# cmd/benchdiff). The sweep params MUST match bench-json or the
+# documents are incomparable by construction.
 bench-check:
-	$(GO) run ./cmd/smodfleet -loadcurve -lcshards 2 -clients 8 -lccalls 200 -json BENCH_new.json
+	$(GO) run ./cmd/smodfleet -suite -lcshards 2 -clients 8 -lccalls 200 -json BENCH_new.json
 	$(GO) run ./cmd/benchdiff -old BENCH_fleet.json -new BENCH_new.json
+
+# A standalone heterogeneous-fleet sweep: Zipf-skewed keys on a
+# fast=2,slow=2,crypto=1 mix with cost-aware rebalancing (see README
+# "Backend profiles").
+mix:
+	$(GO) run ./cmd/smodfleet -loadcurve -mix fast=2,slow=2,crypto=1 -skew 1.2 -epochs 8 -rebalance -json BENCH_mix.json
 
 # The paper's Figure 8 table (scaled down; see cmd/smodbench -h).
 fig8:

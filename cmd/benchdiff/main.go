@@ -5,7 +5,12 @@
 // difference is a real behavioural change in the code, not runner
 // noise — which is what makes exact gating feasible at all.
 //
-// A regression is:
+// Documents may carry several named curves (the bench suite records
+// uniform, skew-rebalance, and the mixed-fleet cost-aware/heat-only
+// pair); every curve present in the baseline is gated against the
+// same-named candidate curve, so the skewed and mixed sweeps are held
+// to the same standard as the uniform one. For each matched curve, a
+// regression is:
 //
 //   - a knee-index regression: the sweep saturates at an earlier
 //     offered-load index than the baseline (capacity shrank);
@@ -15,7 +20,9 @@
 //     because it means the committed baseline is stale — refresh it
 //     with `make bench-json` and commit the result.
 //
-// A knee that moves later (or disappears) passes with a note.
+// A knee that moves later (or disappears) passes with a note; a curve
+// the candidate dropped fails; a curve the candidate added is noted
+// and accepted as its first baseline.
 //
 // Usage:
 //
@@ -76,28 +83,52 @@ func readBench(path string) (*measure.BenchFleet, error) {
 	return &doc, nil
 }
 
-// compare returns the list of regressions (empty = pass).
+// compare gates every baseline curve against its same-named candidate
+// and returns the list of regressions (empty = pass).
 func compare(oldDoc, newDoc *measure.BenchFleet, p95Tol float64) []string {
 	var fails []string
-	oc, nc := oldDoc.LoadCurve, newDoc.LoadCurve
+	oldCurves, newCurves := oldDoc.AllCurves(), newDoc.AllCurves()
 	switch {
-	case oc == nil && nc == nil:
+	case len(oldCurves) == 0 && len(newCurves) == 0:
 		fails = append(fails, "neither document has a load curve; nothing to gate")
 		return fails
-	case oc == nil:
+	case len(oldCurves) == 0:
 		fmt.Println("baseline has no load curve; candidate accepted as the first")
 		return nil
-	case nc == nil:
-		fails = append(fails, "candidate lost the load-curve section")
-		return fails
 	}
+	newByName := map[string]*measure.BenchLoadCurve{}
+	for _, c := range newCurves {
+		newByName[c.Name] = c
+	}
+	matched := map[string]bool{}
+	for _, oc := range oldCurves {
+		nc, ok := newByName[oc.Name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("candidate lost curve %q", oc.Name))
+			continue
+		}
+		matched[oc.Name] = true
+		fmt.Printf("\n== curve %q ==\n", oc.Name)
+		fails = append(fails, compareCurve(oc, nc, p95Tol)...)
+	}
+	for _, nc := range newCurves {
+		if !matched[nc.Name] {
+			fmt.Printf("note: new curve %q has no baseline; accepted as the first\n", nc.Name)
+		}
+	}
+	return fails
+}
+
+// compareCurve gates one matched pair of curves.
+func compareCurve(oc, nc *measure.BenchLoadCurve, p95Tol float64) []string {
+	var fails []string
 	if msg := configMismatch(oc, nc); msg != "" {
 		fails = append(fails, msg)
 		return fails
 	}
 	if len(nc.Points) != len(oc.Points) {
-		fails = append(fails, fmt.Sprintf("point count changed: %d -> %d (sweep incomparable)",
-			len(oc.Points), len(nc.Points)))
+		fails = append(fails, fmt.Sprintf("%s: point count changed: %d -> %d (sweep incomparable)",
+			oc.Name, len(oc.Points), len(nc.Points)))
 		return fails
 	}
 
@@ -113,10 +144,10 @@ func compare(oldDoc, newDoc *measure.BenchFleet, p95Tol float64) []string {
 	switch {
 	case oldKnee < 0 && newKnee >= 0:
 		fails = append(fails, fmt.Sprintf(
-			"knee regression: baseline never saturated, candidate saturates at index %d", newKnee))
+			"%s: knee regression: baseline never saturated, candidate saturates at index %d", oc.Name, newKnee))
 	case oldKnee >= 0 && newKnee >= 0 && newKnee < oldKnee:
 		fails = append(fails, fmt.Sprintf(
-			"knee regression: saturation moved earlier, index %d -> %d", oldKnee, newKnee))
+			"%s: knee regression: saturation moved earlier, index %d -> %d", oc.Name, oldKnee, newKnee))
 	case newKnee > oldKnee || (oldKnee >= 0 && newKnee < 0):
 		fmt.Println("note: knee improved; refresh the baseline to lock it in")
 	}
@@ -139,8 +170,8 @@ func compare(oldDoc, newDoc *measure.BenchFleet, p95Tol float64) []string {
 		fmt.Printf("%-5d %14.1f %14.1f %8.1f%%\n", i, op.P95Micros, np.P95Micros, 100*shift)
 		if math.Abs(shift) > p95Tol {
 			fails = append(fails, fmt.Sprintf(
-				"p95 shift at point %d (offered %.0f/s): %.1fus -> %.1fus (%+.1f%%, tolerance %.0f%%)",
-				i, op.OfferedPerSec, op.P95Micros, np.P95Micros, 100*shift, 100*p95Tol))
+				"%s: p95 shift at point %d (offered %.0f/s): %.1fus -> %.1fus (%+.1f%%, tolerance %.0f%%)",
+				oc.Name, i, op.OfferedPerSec, op.P95Micros, np.P95Micros, 100*shift, 100*p95Tol))
 		}
 	}
 	return fails
@@ -149,6 +180,8 @@ func compare(oldDoc, newDoc *measure.BenchFleet, p95Tol float64) []string {
 // configMismatch rejects comparisons across different workload shapes.
 func configMismatch(oc, nc *measure.BenchLoadCurve) string {
 	type shape struct {
+		Mix                       string
+		HeatOnly                  bool
 		Shards, Clients, Calls    int
 		Process                   string
 		Seed                      int64
@@ -156,12 +189,13 @@ func configMismatch(oc, nc *measure.BenchLoadCurve) string {
 		ArgsCard, Epochs, CacheSz int
 		Rebalance                 bool
 	}
-	o := shape{oc.Shards, oc.Clients, oc.CallsPerPoint, oc.Process, oc.Seed,
+	o := shape{oc.Mix, oc.HeatOnly, oc.Shards, oc.Clients, oc.CallsPerPoint, oc.Process, oc.Seed,
 		oc.ZipfS, oc.ArgsCard, oc.Epochs, oc.CacheSize, oc.Rebalance}
-	n := shape{nc.Shards, nc.Clients, nc.CallsPerPoint, nc.Process, nc.Seed,
+	n := shape{nc.Mix, nc.HeatOnly, nc.Shards, nc.Clients, nc.CallsPerPoint, nc.Process, nc.Seed,
 		nc.ZipfS, nc.ArgsCard, nc.Epochs, nc.CacheSize, nc.Rebalance}
 	if o != n {
-		return fmt.Sprintf("workload shape changed, documents incomparable: baseline %+v, candidate %+v", o, n)
+		return fmt.Sprintf("%s: workload shape changed, documents incomparable: baseline %+v, candidate %+v",
+			oc.Name, o, n)
 	}
 	return ""
 }

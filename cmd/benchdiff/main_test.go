@@ -91,6 +91,85 @@ func TestCompareShapeMismatch(t *testing.T) {
 	}
 }
 
+// multiDoc builds a suite-style document with named curves.
+func multiDoc(curves map[string][]measure.LoadPoint) *measure.BenchFleet {
+	d := &measure.BenchFleet{Schema: "smod-bench-fleet/v1"}
+	for _, name := range []string{"uniform", "skew-rebalance", "mix-costaware", "mix-heatonly"} {
+		pts, ok := curves[name]
+		if !ok {
+			continue
+		}
+		lc := &measure.BenchLoadCurve{
+			Name: name, Shards: 4, Clients: 16, CallsPerPoint: 200,
+			Process: "poisson", Seed: 1, Points: pts,
+		}
+		if name != "uniform" {
+			lc.ZipfS, lc.Epochs, lc.Rebalance = 1.2, 8, true
+		}
+		if strings.HasPrefix(name, "mix-") {
+			lc.Mix = "fast=2,slow=2"
+			lc.HeatOnly = name == "mix-heatonly"
+		}
+		d.Curves = append(d.Curves, lc)
+	}
+	return d
+}
+
+// TestCompareMultiCurve: every named curve is gated — a regression in
+// the skewed curve alone must fail even when the uniform curve passes.
+func TestCompareMultiCurve(t *testing.T) {
+	base := multiDoc(map[string][]measure.LoadPoint{
+		"uniform":        {pt(100, 10, false), pt(300, 90, true)},
+		"skew-rebalance": {pt(100, 20, false), pt(300, 120, true)},
+		"mix-costaware":  {pt(100, 15, false), pt(300, 100, true)},
+		"mix-heatonly":   {pt(100, 40, true), pt(300, 200, true)},
+	})
+	clean := multiDoc(map[string][]measure.LoadPoint{
+		"uniform":        {pt(100, 10.2, false), pt(300, 95, true)},
+		"skew-rebalance": {pt(100, 20.4, false), pt(300, 130, true)},
+		"mix-costaware":  {pt(100, 15.1, false), pt(300, 99, true)},
+		"mix-heatonly":   {pt(100, 41, true), pt(300, 210, true)},
+	})
+	if fails := compare(base, clean, 0.15); len(fails) != 0 {
+		t.Fatalf("clean multi-curve comparison failed: %v", fails)
+	}
+	// Skewed curve saturates a point earlier: must fail even though the
+	// uniform curve is untouched.
+	skewReg := multiDoc(map[string][]measure.LoadPoint{
+		"uniform":        {pt(100, 10, false), pt(300, 90, true)},
+		"skew-rebalance": {pt(100, 60, true), pt(300, 120, true)},
+		"mix-costaware":  {pt(100, 15, false), pt(300, 100, true)},
+		"mix-heatonly":   {pt(100, 40, true), pt(300, 200, true)},
+	})
+	fails := compare(base, skewReg, 0.15)
+	if len(fails) == 0 {
+		t.Fatal("skew-rebalance knee regression passed")
+	}
+	if !strings.Contains(strings.Join(fails, "\n"), "skew-rebalance") {
+		t.Fatalf("failure not attributed to the skewed curve: %v", fails)
+	}
+	// Dropping the mixed curve from the candidate must fail.
+	lost := multiDoc(map[string][]measure.LoadPoint{
+		"uniform":        {pt(100, 10, false), pt(300, 90, true)},
+		"skew-rebalance": {pt(100, 20, false), pt(300, 120, true)},
+	})
+	if fails := compare(base, lost, 0.15); len(fails) < 2 {
+		t.Fatalf("lost mixed curves not flagged: %v", fails)
+	}
+	// A legacy single-curve baseline gates against the suite's
+	// same-shape "uniform" curve by default name.
+	legacy := &measure.BenchFleet{
+		Schema: "smod-bench-fleet/v1",
+		LoadCurve: &measure.BenchLoadCurve{
+			Shards: 4, Clients: 16, CallsPerPoint: 200, Process: "poisson", Seed: 1,
+			Points: []measure.LoadPoint{pt(100, 10, false), pt(300, 90, true)},
+		},
+	}
+	if fails := compare(legacy, clean, 0.15); len(fails) != 0 {
+		t.Fatalf("legacy baseline vs suite candidate failed: %v", fails)
+	}
+}
+
 func TestCompareMissingCurve(t *testing.T) {
 	base := doc(pt(100, 10, false))
 	empty := &measure.BenchFleet{Schema: "smod-bench-fleet/v1"}

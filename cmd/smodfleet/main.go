@@ -3,7 +3,7 @@
 // single-kernel Figure 8 latencies with a scaling curve: the same
 // SecModule libc traffic, sharded by client key over 1..N shards.
 //
-// Two modes exist:
+// Three modes exist:
 //
 // The default scaling sweep runs two workloads per shard count:
 //
@@ -25,19 +25,31 @@
 // shard), -rebalance lets the load manager migrate hot keys between
 // the -epochs barriers of each point, and -cache N memoizes the
 // module's idempotent functions per shard (pair with -argscard to give
-// the memo table repeats to hit). Comparing knees of a skewed run with
-// and without -rebalance shows the capacity the migrator recovers.
+// the memo table repeats to hit).
+//
+// -mix makes the measured fleet heterogeneous: a mix string like
+// "fast=2,slow=2,crypto=1" assigns a backend machine-class profile to
+// every shard (scaled cost model, optional per-call overhead, and for
+// "crypto" a modcrypt-encrypted module archive). Placement and
+// migration then weigh shard speed — hot keys land on fast shards —
+// unless -heatonly forces the raw-heat balancer, the A/B baseline.
+// The auto rate sweep derives mixed-fleet capacity from per-profile
+// calibration stretches, and each point records per-profile
+// utilization.
+//
+// -suite runs the CI gate suite — uniform, skewed+rebalancing, and the
+// mixed-fleet cost-aware/heat-only pair — and writes them as named
+// curves into one BENCH_fleet.json for cmd/benchdiff to gate.
 //
 // Usage:
 //
 //	smodfleet                              # default scaling sweep
 //	smodfleet -shards 1,2,4,8 -clients 16 -calls 100
-//	smodfleet -open=false                  # closed-loop only
 //	smodfleet -loadcurve                   # load curve + BENCH_fleet.json
-//	smodfleet -loadcurve -lcshards 4 -rates 100000,400000,700000
-//	smodfleet -loadcurve -lcshards 4 -skew 1.2 -epochs 8             # skewed, static
 //	smodfleet -loadcurve -lcshards 4 -skew 1.2 -epochs 8 -rebalance  # skewed, migrating
-//	smodfleet -loadcurve -cache 256 -argscard 64                     # result-cache hits
+//	smodfleet -loadcurve -mix fast=2,slow=2 -skew 1.2 -epochs 8 -rebalance
+//	smodfleet -loadcurve -mix fast=2,slow=2 -skew 1.2 -epochs 8 -rebalance -heatonly
+//	smodfleet -suite -json BENCH_fleet.json
 package main
 
 import (
@@ -47,6 +59,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/clock"
 	"repro/internal/loadmgr"
 	"repro/internal/measure"
@@ -68,21 +81,44 @@ func main() {
 		seed      = flag.Int64("seed", 1, "load curve: arrival schedule seed")
 		rateList  = flag.String("rates", "", "load curve: comma-separated offered calls/sec (default: -util fractions of measured capacity)")
 		utilList  = flag.String("util", "0.2,0.5,0.8,0.95,1.1,1.4", "load curve: utilization fractions for the auto rate sweep")
-		jsonPath  = flag.String("json", "", "write BENCH_fleet.json to this path (default BENCH_fleet.json in -loadcurve mode, off otherwise)")
+		jsonPath  = flag.String("json", "", "write BENCH_fleet.json to this path (default BENCH_fleet.json in -loadcurve/-suite modes, off otherwise)")
 
 		skew      = flag.Float64("skew", 0, "load curve: Zipf exponent for key popularity (0 = uniform; try 1.2)")
 		epochs    = flag.Int("epochs", 1, "load curve: barrier-separated sub-schedules per point (rebalance acts between them)")
 		rebalance = flag.Bool("rebalance", false, "load curve: migrate hot keys across shards at epoch barriers")
 		cacheSize = flag.Int("cache", 0, "load curve: per-shard idempotent result-cache entries (0 = off)")
 		argsCard  = flag.Int("argscard", 0, "load curve: distinct argument values (0 = all unique; small values feed the result cache)")
+
+		mix      = flag.String("mix", "", "load curve: heterogeneous backend mix, e.g. fast=2,slow=2,crypto=1 (overrides -lcshards)")
+		heatOnly = flag.Bool("heatonly", false, "load curve: migration balances raw heat, ignoring backend cost weights (A/B baseline for -mix)")
+		suite    = flag.Bool("suite", false, "run the CI gate suite (uniform + skewed + mixed cost-aware/heat-only) into one BENCH document")
 	)
 	flag.Parse()
+
+	kind, err := parseProcess(*process)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *suite {
+		runSuite(suiteParams{
+			uniformShards: *lcShards,
+			clients:       *clients,
+			calls:         *lcCalls,
+			seed:          *seed,
+			kind:          kind,
+			utilList:      *utilList,
+			jsonPath:      *jsonPath,
+		})
+		return
+	}
 
 	if *loadCurve {
 		var lm *loadmgr.Options
 		if *rebalance || *cacheSize > 0 {
 			lm = &loadmgr.Options{
 				Migrate:   *rebalance,
+				HeatOnly:  *heatOnly,
 				CacheSize: *cacheSize,
 				Seed:      *seed,
 			}
@@ -91,13 +127,22 @@ func main() {
 			Shards:          *lcShards,
 			Clients:         *clients,
 			Calls:           *lcCalls,
+			Kind:            kind,
 			Seed:            *seed,
 			ZipfS:           *skew,
 			ArgsCardinality: *argsCard,
 			Epochs:          *epochs,
 			LoadManager:     lm,
 		}
-		runLoadCurve(lcCfg, *process, *rateList, *utilList, *jsonPath)
+		if *mix != "" {
+			as, err := backend.DefaultCatalog().ParseMix(*mix)
+			if err != nil {
+				fatal(err)
+			}
+			lcCfg.Backends = as
+			lcCfg.Shards = len(as)
+		}
+		runLoadCurve(lcCfg, *rateList, *utilList, *jsonPath)
 		return
 	}
 
@@ -129,6 +174,16 @@ func main() {
 	}
 }
 
+func parseProcess(process string) (measure.ArrivalKind, error) {
+	switch process {
+	case "poisson":
+		return measure.Poisson, nil
+	case "uniform":
+		return measure.Uniform, nil
+	}
+	return 0, fmt.Errorf("unknown arrival process %q (want poisson or uniform)", process)
+}
+
 // scalingRows runs the closed-loop (and optionally open-loop) sweep.
 func scalingRows(shards []int, clients, calls, openCalls, maxSessions int, openLoop bool) ([]measure.ThroughputStats, error) {
 	var rows []measure.ThroughputStats
@@ -151,60 +206,69 @@ func scalingRows(shards []int, clients, calls, openCalls, maxSessions int, openL
 	return rows, nil
 }
 
-// runLoadCurve drives the latency-vs-offered-load mode.
-func runLoadCurve(cfg measure.LoadCurveConfig, process, rateList, utilList, jsonPath string) {
-	switch process {
-	case "poisson":
-		cfg.Kind = measure.Poisson
-	case "uniform":
-		cfg.Kind = measure.Uniform
-	default:
-		fatal(fmt.Errorf("unknown arrival process %q (want poisson or uniform)", process))
+// autoRates estimates the fleet's capacity and returns the -util
+// fractions of it as the offered-rate sweep. Homogeneous fleets probe
+// with a short closed-loop run (without skew or a load manager, so
+// skewed/rebalanced curves sweep the same rates and their knees are
+// comparable); heterogeneous fleets sum per-profile capacities from
+// backend calibration stretches.
+func autoRates(cfg measure.LoadCurveConfig, utilList string) ([]float64, error) {
+	utils, err := parseFloats(utilList)
+	if err != nil {
+		return nil, err
 	}
-
-	fmt.Println(clock.MachineInfo())
-
-	if rateList != "" {
-		var err error
-		if cfg.Rates, err = parseFloats(rateList); err != nil {
-			fatal(err)
-		}
-	} else {
-		// Auto sweep: estimate fleet capacity from a short closed-loop
-		// run, then offer the -util fractions of it. The probe runs
-		// without skew or a load manager, so skewed/rebalanced curves
-		// sweep the same offered rates and their knees are comparable.
-		utils, err := parseFloats(utilList)
+	var capacity float64
+	if len(cfg.Backends) > 0 {
+		total, ests, err := backend.FleetCapacity(cfg.Backends, 40)
 		if err != nil {
-			fatal(err)
+			return nil, fmt.Errorf("mixed-fleet calibration: %w", err)
 		}
+		fmt.Printf("\nbackend calibration (%s):\n", cfg.Mix())
+		for _, a := range cfg.Backends {
+			est := ests[a.Profile.Name]
+			fmt.Printf("  shard %d %-8s %6.1f us/call  ~%8.0f calls/sec\n",
+				a.Shard, a.Profile.Name,
+				float64(est.CyclesPerCall)/clock.CyclesPerMicrosecond, est.CallsPerSec)
+		}
+		fmt.Printf("  fleet capacity ~%.0f calls/sec\n", total)
+		capacity = total
+	} else {
 		probe, err := measure.RunFleetClosedLoop(cfg.Shards, cfg.Clients, 30)
 		if err != nil {
-			fatal(fmt.Errorf("capacity probe: %w", err))
+			return nil, fmt.Errorf("capacity probe: %w", err)
 		}
-		capacity := float64(cfg.Shards) * 1e6 / probe.MicrosPerCall
+		capacity = float64(cfg.Shards) * 1e6 / probe.MicrosPerCall
 		fmt.Printf("\ncapacity probe: %.1f us/call serial => ~%.0f calls/sec across %d shards\n",
 			probe.MicrosPerCall, capacity, cfg.Shards)
-		for _, u := range utils {
-			cfg.Rates = append(cfg.Rates, u*capacity)
-		}
 	}
+	rates := make([]float64, len(utils))
+	for i, u := range utils {
+		rates[i] = u * capacity
+	}
+	return rates, nil
+}
 
+// describeCurve prints one curve's workload header.
+func describeCurve(cfg measure.LoadCurveConfig) {
 	fmt.Printf("\nOpen-loop load curve: %d shards, %d warm clients, %d %s arrivals per point (simulated time)\n",
 		cfg.Shards, cfg.Clients, cfg.Calls, cfg.Kind)
+	if m := cfg.Mix(); m != "" {
+		fmt.Printf("backend mix: %s\n", m)
+	}
 	if cfg.ZipfS > 0 {
 		fmt.Printf("key popularity: Zipf(s=%.2f) over %d keys, %d epoch(s) per point\n",
 			cfg.ZipfS, cfg.Clients, max(cfg.Epochs, 1))
 	}
 	if lm := cfg.LoadManager; lm != nil {
-		fmt.Printf("loadmgr: rebalance=%v cache=%d entries/shard argscard=%d\n",
-			lm.Migrate, lm.CacheSize, cfg.ArgsCardinality)
+		fmt.Printf("loadmgr: rebalance=%v heatonly=%v cache=%d entries/shard argscard=%d\n",
+			lm.Migrate, lm.HeatOnly, lm.CacheSize, cfg.ArgsCardinality)
 	}
 	fmt.Println()
-	points, err := measure.RunFleetLoadCurve(cfg)
-	if err != nil {
-		fatal(err)
-	}
+}
+
+// reportCurve prints one measured curve: the table, loadmgr totals,
+// per-profile utilization at the knee, and the knee histogram.
+func reportCurve(cfg measure.LoadCurveConfig, points []measure.LoadPoint) {
 	fmt.Print(measure.LoadCurveTable(points))
 	var migr, hits, misses uint64
 	for _, p := range points {
@@ -215,7 +279,19 @@ func runLoadCurve(cfg measure.LoadCurveConfig, process, rateList, utilList, json
 	if migr > 0 || hits+misses > 0 {
 		fmt.Printf("\nloadmgr totals: %d migrations, %d cache hits / %d misses\n", migr, hits, misses)
 	}
-	if k := measure.KneeIndex(points); k >= 0 {
+	k := measure.KneeIndex(points)
+	if len(cfg.Backends) > 0 {
+		at := k
+		if at < 0 {
+			at = len(points) - 1
+		}
+		fmt.Printf("\nper-profile utilization at %.0f calls/sec offered:\n", points[at].OfferedPerSec)
+		for _, pl := range points[at].Profiles {
+			fmt.Printf("  %-8s %d shard(s)  %6d calls  %5.1f%% busy\n",
+				pl.Name, pl.Shards, pl.Calls, 100*pl.Utilization)
+		}
+	}
+	if k >= 0 {
 		fmt.Printf("\n* saturation knee: achieved throughput fell below %.0f%% of offered load;\n",
 			100*measure.SatAchievedFraction)
 		fmt.Println("  past it the arrival queue outgrows service capacity and tail latency diverges.")
@@ -224,11 +300,153 @@ func runLoadCurve(cfg measure.LoadCurveConfig, process, rateList, utilList, json
 	} else {
 		fmt.Println("\nno saturation knee within the sweep: every offered rate was served at speed.")
 	}
+}
+
+// runLoadCurve drives the single latency-vs-offered-load mode.
+func runLoadCurve(cfg measure.LoadCurveConfig, rateList, utilList, jsonPath string) {
+	fmt.Println(clock.MachineInfo())
+
+	if rateList != "" {
+		var err error
+		if cfg.Rates, err = parseFloats(rateList); err != nil {
+			fatal(err)
+		}
+	} else {
+		rates, err := autoRates(cfg, utilList)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Rates = rates
+	}
+
+	describeCurve(cfg)
+	points, err := measure.RunFleetLoadCurve(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	reportCurve(cfg, points)
 
 	if jsonPath == "" {
 		jsonPath = "BENCH_fleet.json"
 	}
 	if err := writeJSON(jsonPath, measure.NewBenchFleet(cfg, points, nil)); err != nil {
+		fatal(err)
+	}
+}
+
+// suiteParams parameterize the CI gate suite.
+type suiteParams struct {
+	uniformShards int
+	clients       int
+	calls         int
+	seed          int64
+	kind          measure.ArrivalKind
+	utilList      string
+	jsonPath      string
+}
+
+// suiteMix is the heterogeneous composition the gate suite sweeps: the
+// 4-shard fast/slow split whose cost-aware-vs-heat-only knee gap is
+// the acceptance signal of the backend layer.
+const suiteMix = "fast=2,slow=2"
+
+// runSuite measures the gate suite — four named curves in one BENCH
+// document:
+//
+//	uniform:        homogeneous fleet, uniform keys (the historical gate);
+//	skew-rebalance: homogeneous fleet, Zipf keys, migration on;
+//	mix-costaware:  fast=2,slow=2, Zipf keys, cost-aware migration;
+//	mix-heatonly:   same fleet and rates, migration ignoring shard speed.
+//
+// The two mixed curves sweep identical offered rates, so their knee
+// indices are directly comparable: the cost-aware knee sitting at a
+// higher offered load than the heat-only knee is the capacity the
+// cost-aware migrator recovers from a mixed fleet.
+func runSuite(p suiteParams) {
+	fmt.Println(clock.MachineInfo())
+	fmt.Printf("\n=== bench suite: uniform + skew-rebalance + %s cost-aware/heat-only ===\n", suiteMix)
+
+	as, err := backend.DefaultCatalog().ParseMix(suiteMix)
+	if err != nil {
+		fatal(err)
+	}
+	lm := func(heatOnly bool) *loadmgr.Options {
+		return &loadmgr.Options{Migrate: true, HeatOnly: heatOnly, Seed: p.seed}
+	}
+	base := measure.LoadCurveConfig{
+		Clients: p.clients,
+		Calls:   p.calls,
+		Kind:    p.kind,
+		Seed:    p.seed,
+	}
+	uniform := base
+	uniform.Shards = p.uniformShards
+
+	skewed := base
+	skewed.Shards = 4
+	skewed.ZipfS = 1.2
+	skewed.Epochs = 8
+	skewed.LoadManager = lm(false)
+
+	mixCost := base
+	mixCost.Backends = as
+	mixCost.Shards = len(as)
+	mixCost.ZipfS = 1.2
+	mixCost.Epochs = 8
+	mixCost.LoadManager = lm(false)
+
+	mixHeat := mixCost
+	mixHeat.LoadManager = lm(true)
+
+	curves := []measure.NamedCurve{
+		{Name: "uniform", Config: uniform},
+		{Name: "skew-rebalance", Config: skewed},
+		{Name: "mix-costaware", Config: mixCost},
+		{Name: "mix-heatonly", Config: mixHeat},
+	}
+	// The mixed pair shares one rate sweep (computed for mix-costaware)
+	// so the knees are comparable; the others get their own.
+	var mixRates []float64
+	for i := range curves {
+		cfg := &curves[i].Config
+		if curves[i].Name == "mix-heatonly" && mixRates != nil {
+			cfg.Rates = mixRates
+		} else {
+			rates, err := autoRates(*cfg, p.utilList)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", curves[i].Name, err))
+			}
+			cfg.Rates = rates
+			if curves[i].Name == "mix-costaware" {
+				mixRates = rates
+			}
+		}
+		fmt.Printf("\n--- curve %q ---\n", curves[i].Name)
+		describeCurve(*cfg)
+		points, err := measure.RunFleetLoadCurve(*cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", curves[i].Name, err))
+		}
+		curves[i].Points = points
+		reportCurve(*cfg, points)
+	}
+
+	kneeOf := func(name string) int {
+		for _, c := range curves {
+			if c.Name == name {
+				return measure.KneeIndex(c.Points)
+			}
+		}
+		return -1
+	}
+	fmt.Printf("\nmixed-fleet knees (%s, identical rate sweeps): cost-aware index %d, heat-only index %d\n",
+		suiteMix, kneeOf("mix-costaware"), kneeOf("mix-heatonly"))
+
+	jsonPath := p.jsonPath
+	if jsonPath == "" {
+		jsonPath = "BENCH_fleet.json"
+	}
+	if err := writeJSON(jsonPath, measure.NewBenchFleetCurves(curves, nil)); err != nil {
 		fatal(err)
 	}
 }

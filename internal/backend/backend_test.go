@@ -1,0 +1,168 @@
+package backend
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/clock"
+)
+
+func TestProfileCosts(t *testing.T) {
+	fast := Default()
+	if got := fast.Costs(); got != clock.Base() {
+		t.Errorf("baseline profile costs differ from clock.Base()")
+	}
+	slow := Profile{Name: "slow", Scale: 2.5}
+	sc := slow.Costs()
+	if sc.Trap != clock.Base().Scaled(2.5).Trap {
+		t.Errorf("slow Trap = %d", sc.Trap)
+	}
+	crypto := Profile{Name: "crypto", Scale: 1.0, CallOverhead: 800, Flavor: FlavorModcrypt}
+	if got := crypto.Costs().SMODCallOverhead; got != 800 {
+		t.Errorf("crypto SMODCallOverhead = %d, want 800", got)
+	}
+}
+
+func TestCostFactor(t *testing.T) {
+	if f := Default().CostFactor(); f != 1.0 {
+		t.Errorf("baseline CostFactor = %v, want 1", f)
+	}
+	if f := (Profile{Scale: 2.5}).CostFactor(); f != 2.5 {
+		t.Errorf("slow CostFactor = %v, want 2.5", f)
+	}
+	f := Profile{Scale: 1.0, CallOverhead: 800}.CostFactor()
+	want := 1.0 + 800.0/baselineCallCycles
+	if math.Abs(f-want) > 1e-12 {
+		t.Errorf("overhead CostFactor = %v, want %v", f, want)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	cat := DefaultCatalog()
+	as, err := cat.ParseMix("fast=2,slow=2,crypto=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 5 {
+		t.Fatalf("len = %d, want 5", len(as))
+	}
+	wantNames := []string{"fast", "fast", "slow", "slow", "crypto"}
+	for i, a := range as {
+		if a.Shard != i {
+			t.Errorf("assignment %d shard = %d", i, a.Shard)
+		}
+		if a.Profile.Name != wantNames[i] {
+			t.Errorf("assignment %d profile = %s, want %s", i, a.Profile.Name, wantNames[i])
+		}
+	}
+	if err := Validate(as); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if got := MixLabel(as); got != "fast=2,slow=2,crypto=1" {
+		t.Errorf("MixLabel = %q", got)
+	}
+	// Bare names count as 1.
+	if as, err = cat.ParseMix("fast,slow"); err != nil || len(as) != 2 {
+		t.Errorf("ParseMix(fast,slow) = %v, %v", as, err)
+	}
+	for _, bad := range []string{"", "ghost=2", "fast=0", "fast=x", "fast=-1"} {
+		if _, err := cat.ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := Default()
+	if err := Validate([]Assignment{{Shard: 0, Profile: p}, {Shard: 0, Profile: p}}); err == nil {
+		t.Error("duplicate shard accepted")
+	}
+	if err := Validate([]Assignment{{Shard: 1, Profile: p}}); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+	if err := Validate(Uniform(3, p)); err != nil {
+		t.Errorf("Uniform invalid: %v", err)
+	}
+}
+
+func TestCostFactors(t *testing.T) {
+	cat := DefaultCatalog()
+	as, err := cat.ParseMix("fast=1,slow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := CostFactors(as)
+	if len(w) != 2 || w[0] != 1.0 || w[1] != 2.5 {
+		t.Errorf("CostFactors = %v", w)
+	}
+}
+
+// TestCalibrate pins the calibration stretch's key properties: it is
+// deterministic, a slow profile measures proportionally slower than
+// the baseline, and a modcrypt profile pays its AES at session setup
+// plus its surcharge per call.
+func TestCalibrate(t *testing.T) {
+	cat := DefaultCatalog()
+	fast, _ := cat.Lookup("fast")
+	slow, _ := cat.Lookup("slow")
+	crypto, _ := cat.Lookup("crypto")
+
+	ef, err := Calibrate(fast, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef2, err := Calibrate(fast, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ef != ef2 {
+		t.Errorf("calibration not deterministic: %+v vs %+v", ef, ef2)
+	}
+	if ef.CyclesPerCall == 0 || ef.CallsPerSec == 0 {
+		t.Fatalf("degenerate baseline estimate %+v", ef)
+	}
+	// Paper anchor: a warm SMOD call is ~6.5 us on the baseline machine.
+	us := float64(ef.CyclesPerCall) / clock.CyclesPerMicrosecond
+	if us < 3 || us > 15 {
+		t.Errorf("baseline calibration %0.1f us/call, expected a few us", us)
+	}
+
+	es, err := Calibrate(slow, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(es.CyclesPerCall) / float64(ef.CyclesPerCall)
+	if ratio < 2.2 || ratio > 2.8 {
+		t.Errorf("slow/fast cycles-per-call ratio = %.2f, want ~2.5", ratio)
+	}
+
+	ec, err := Calibrate(crypto, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec.SetupCycles <= ef.SetupCycles {
+		t.Errorf("modcrypt setup %d not above plaintext %d (AES decrypt missing)",
+			ec.SetupCycles, ef.SetupCycles)
+	}
+	extra := int64(ec.CyclesPerCall) - int64(ef.CyclesPerCall)
+	if extra < int64(crypto.CallOverhead)-50 || extra > int64(crypto.CallOverhead)+50 {
+		t.Errorf("crypto per-call extra = %d cycles, want ~%d", extra, crypto.CallOverhead)
+	}
+
+	if _, _, err := FleetCapacity(nil, 10); err != nil {
+		t.Errorf("FleetCapacity(nil): %v", err)
+	}
+	total, ests, err := FleetCapacity([]Assignment{
+		{Shard: 0, Profile: fast}, {Shard: 1, Profile: slow}, {Shard: 2, Profile: fast},
+	}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 2 {
+		t.Errorf("FleetCapacity calibrated %d profiles, want 2", len(ests))
+	}
+	want := 2*ef.CallsPerSec + es.CallsPerSec
+	if math.Abs(total-want) > 1e-6 {
+		t.Errorf("FleetCapacity total = %f, want %f", total, want)
+	}
+}

@@ -1,0 +1,126 @@
+package backend
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/kern"
+)
+
+// Estimate is one profile's measured capacity, derived from a real
+// calibration stretch: a scaled kernel serving warm smod_call traffic.
+type Estimate struct {
+	Profile Profile
+	// SetupCycles is the session-establishment cost on this machine
+	// class (find + policy + forced fork + handshake; includes the AES
+	// decrypt for modcrypt flavors).
+	SetupCycles uint64
+	// CyclesPerCall is the mean warm smod_call service time.
+	CyclesPerCall uint64
+	// CallsPerSec is the implied single-shard capacity in simulated
+	// calls per second (CyclesPerSecond / CyclesPerCall).
+	CallsPerSec float64
+}
+
+// calibPolicy admits the calibration client.
+const calibPolicy = `authorizer: "POLICY"
+licensees: "backend-calib"
+conditions: app_domain == "secmodule" -> "allow";
+`
+
+// Calibrate measures a profile's capacity by running a calibration
+// stretch on a kernel built with the profile's cost table: register
+// the SecModule libc (encrypted when the flavor says so), open one
+// session, then serve `calls` warm incr dispatches and divide the
+// cycle delta. Everything runs in simulated time, so the estimate is
+// deterministic for a fixed profile and call count.
+func Calibrate(p Profile, calls int) (Estimate, error) {
+	if calls < 1 {
+		calls = 1
+	}
+	k := kern.New()
+	k.SetCosts(p.Costs())
+	sm := core.Attach(k)
+	lib, err := core.LibCArchive()
+	if err != nil {
+		return Estimate{}, err
+	}
+	lib, err = ProvisionArchive(sm.ModKeys, lib, p, "backend-calib-key",
+		[]byte("backend calibration key"))
+	if err != nil {
+		return Estimate{}, err
+	}
+	m, err := sm.Register(&core.ModuleSpec{
+		Name: "libc", Version: 1, Owner: "owner", Lib: lib,
+		PolicySrc: []string{calibPolicy},
+	})
+	if err != nil {
+		return Estimate{}, err
+	}
+	incr, ok := m.FuncID("incr")
+	if !ok {
+		return Estimate{}, fmt.Errorf("backend: calibration libc lacks incr")
+	}
+
+	est := Estimate{Profile: p}
+	var clientErr error
+	cl := k.SpawnNative("backend-calib", kern.Cred{UID: 1, Name: "backend-calib"},
+		func(s *kern.Sys) int {
+			start := k.Clk.Cycles()
+			nc, err := core.AttachNative(s, "libc", 1, "")
+			if err != nil {
+				clientErr = err
+				return 1
+			}
+			// One warm-up call so the stretch below holds only
+			// steady-state dispatches (no first-touch page faults).
+			if _, errno := nc.Call(uint32(incr), 0); errno != 0 {
+				clientErr = fmt.Errorf("backend: warm-up call errno %d", errno)
+				return 1
+			}
+			est.SetupCycles = k.Clk.Cycles() - start
+			mark := k.Clk.Cycles()
+			for i := 0; i < calls; i++ {
+				v, errno := nc.Call(uint32(incr), uint32(i))
+				if errno != 0 || v != uint32(i)+1 {
+					clientErr = fmt.Errorf("backend: calibration incr(%d) = %d errno %d", i, v, errno)
+					return 1
+				}
+			}
+			est.CyclesPerCall = (k.Clk.Cycles() - mark) / uint64(calls)
+			return 0
+		})
+	if err := k.RunUntil(func() bool {
+		return cl.State == kern.StateZombie || cl.State == kern.StateDead
+	}, 0); err != nil {
+		return Estimate{}, fmt.Errorf("backend: calibration stretch: %w", err)
+	}
+	if clientErr != nil {
+		return Estimate{}, clientErr
+	}
+	if est.CyclesPerCall > 0 {
+		est.CallsPerSec = float64(clock.CyclesPerSecond) / float64(est.CyclesPerCall)
+	}
+	return est, nil
+}
+
+// FleetCapacity sums the calibrated per-shard capacities of an
+// assignment list (calls/sec the whole mixed fleet can serve at
+// saturation), calibrating each distinct profile once.
+func FleetCapacity(as []Assignment, calls int) (float64, map[string]Estimate, error) {
+	ests := map[string]Estimate{}
+	var total float64
+	for _, a := range as {
+		est, ok := ests[a.Profile.Name]
+		if !ok {
+			var err error
+			if est, err = Calibrate(a.Profile, calls); err != nil {
+				return 0, nil, err
+			}
+			ests[a.Profile.Name] = est
+		}
+		total += est.CallsPerSec
+	}
+	return total, ests, nil
+}

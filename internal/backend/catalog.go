@@ -1,0 +1,128 @@
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/clock"
+)
+
+// Catalog is a set of named machine-class presets a mix string expands
+// from. The zero value is unusable; NewCatalog or DefaultCatalog build
+// one.
+type Catalog struct {
+	byName map[string]Profile
+	order  []string
+}
+
+// NewCatalog builds a catalog from profiles (each must be named).
+func NewCatalog(profiles ...Profile) (*Catalog, error) {
+	c := &Catalog{byName: map[string]Profile{}}
+	for _, p := range profiles {
+		if p.Name == "" {
+			return nil, fmt.Errorf("backend: catalog profile needs a name")
+		}
+		if _, dup := c.byName[p.Name]; dup {
+			return nil, fmt.Errorf("backend: duplicate catalog profile %q", p.Name)
+		}
+		c.byName[p.Name] = p
+		c.order = append(c.order, p.Name)
+	}
+	return c, nil
+}
+
+// Default is the baseline machine class: the paper's PIII, plaintext
+// module, no surcharge. It is what every shard runs when no backend
+// assignment is configured.
+func Default() Profile { return Profile{Name: "fast", Scale: 1.0} }
+
+// DefaultCatalog returns the built-in presets:
+//
+//   - fast:   the baseline machine (scale 1.0, plaintext module);
+//   - slow:   a machine class taking 2.5x the cycles for the same work
+//     (older silicon, throttled or oversubscribed hosts);
+//   - crypto: baseline speed, but the shard serves a modcrypt-encrypted
+//     module archive — session setup pays the AES decrypt into handle
+//     text, and every smod_call pays a fixed dispatch-record
+//     authentication surcharge (2 AES blocks over the 20-byte record);
+//   - turbo:  a machine class at 0.6x baseline cycles (newer silicon),
+//     for sweeps that include a faster-than-paper tier.
+func DefaultCatalog() *Catalog {
+	c, err := NewCatalog(
+		Default(),
+		Profile{Name: "slow", Scale: 2.5},
+		Profile{Name: "crypto", Scale: 1.0, CallOverhead: 2 * clock.CostAESPerBlock, Flavor: FlavorModcrypt},
+		Profile{Name: "turbo", Scale: 0.6},
+	)
+	if err != nil {
+		panic(err) // static preset list; cannot fail
+	}
+	return c
+}
+
+// Lookup returns the named preset.
+func (c *Catalog) Lookup(name string) (Profile, bool) {
+	p, ok := c.byName[name]
+	return p, ok
+}
+
+// Names returns the preset names in registration order.
+func (c *Catalog) Names() []string { return append([]string(nil), c.order...) }
+
+// ParseMix expands a mix string like "fast=2,slow=2,crypto=1" into a
+// full shard assignment: two fast shards (0,1), two slow (2,3), one
+// crypto (4). A bare name counts as 1 ("fast,slow" = one of each).
+// Shard ids follow the mix string left to right, so a fixed mix string
+// is a fixed assignment — the determinism anchor for mixed-fleet runs.
+func (c *Catalog) ParseMix(mix string) ([]Assignment, error) {
+	var out []Assignment
+	for _, part := range strings.Split(mix, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, count := part, 1
+		if eq := strings.IndexByte(part, '='); eq >= 0 {
+			name = strings.TrimSpace(part[:eq])
+			n, err := strconv.Atoi(strings.TrimSpace(part[eq+1:]))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("backend: bad count in mix term %q", part)
+			}
+			count = n
+		}
+		p, ok := c.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("backend: unknown profile %q in mix (have %s)",
+				name, strings.Join(c.Names(), ", "))
+		}
+		for i := 0; i < count; i++ {
+			out = append(out, Assignment{Shard: len(out), Profile: p})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("backend: empty mix %q", mix)
+	}
+	return out, nil
+}
+
+// MixLabel renders an assignment list back to canonical mix form:
+// profile names with counts, in first-appearance order ("fast=2,slow=2").
+func MixLabel(as []Assignment) string {
+	sorted := append([]Assignment(nil), as...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Shard < sorted[j].Shard })
+	counts := map[string]int{}
+	var order []string
+	for _, a := range sorted {
+		if counts[a.Profile.Name] == 0 {
+			order = append(order, a.Profile.Name)
+		}
+		counts[a.Profile.Name]++
+	}
+	terms := make([]string, len(order))
+	for i, name := range order {
+		terms[i] = fmt.Sprintf("%s=%d", name, counts[name])
+	}
+	return strings.Join(terms, ",")
+}

@@ -113,3 +113,117 @@ const (
 	// encoded or decoded (bounds checks, byte swapping, copies).
 	CostXDRPerByte = 8
 )
+
+// Costs is the scalable cost model: one table of the per-operation
+// cycle charges above, held per simulated machine instead of read from
+// the package constants. The baseline table (Base) is exactly the
+// constants — the paper's ~600 MHz PIII — and a heterogeneous fleet
+// derives each machine class's table once, at shard construction, via
+// Scaled, so the hot path still charges plain integer fields with no
+// per-call multiplication.
+//
+// Every kernel owns a Costs (kern.Kernel.Costs); it must be set before
+// the first process is dispatched and never mutated afterwards, which
+// is what keeps cycle counts bit-for-bit deterministic per fixed
+// backend assignment.
+type Costs struct {
+	Trap          uint64
+	SyscallDemux  uint64
+	SyscallSimple uint64
+	ContextSwitch uint64
+	SchedPick     uint64
+	TickHandler   uint64
+	PageFault     uint64
+	PageZeroFill  uint64
+	PageCopy      uint64
+	CopyPerByte   uint64
+	MsgQOp        uint64
+	SMODValidate  uint64
+	SocketOp      uint64
+	SocketWakeup  uint64
+	AESPerBlock   uint64
+	PolicyBase    uint64
+	PolicyPerCond uint64
+	HMACPerByte   uint64
+	CacheLookup   uint64
+	RPCLayer      uint64
+	XDRPerByte    uint64
+
+	// SMODCallOverhead is a fixed per-smod_call surcharge on top of
+	// SMODValidate. Zero on the baseline machine; backend profiles use
+	// it for per-call costs the scale factor cannot express (per-call
+	// crypto/attestation work on a shard serving an encrypted module,
+	// virtualization exit overhead, ...).
+	SMODCallOverhead uint64
+}
+
+// Base returns the baseline cost table: exactly the provenance
+// constants above.
+func Base() Costs {
+	return Costs{
+		Trap:          CostTrap,
+		SyscallDemux:  CostSyscallDemux,
+		SyscallSimple: CostSyscallSimple,
+		ContextSwitch: CostContextSwitch,
+		SchedPick:     CostSchedPick,
+		TickHandler:   CostTickHandler,
+		PageFault:     CostPageFault,
+		PageZeroFill:  CostPageZeroFill,
+		PageCopy:      CostPageCopy,
+		CopyPerByte:   CostCopyPerByte,
+		MsgQOp:        CostMsgQOp,
+		SMODValidate:  CostSMODValidate,
+		SocketOp:      CostSocketOp,
+		SocketWakeup:  CostSocketWakeup,
+		AESPerBlock:   CostAESPerBlock,
+		PolicyBase:    CostPolicyBase,
+		PolicyPerCond: CostPolicyPerCond,
+		HMACPerByte:   CostHMACPerByte,
+		CacheLookup:   CostCacheLookup,
+		RPCLayer:      CostRPCLayer,
+		XDRPerByte:    CostXDRPerByte,
+	}
+}
+
+// Scaled returns the table with every charge multiplied by factor
+// (rounded to nearest, minimum 1 cycle for nonzero baseline charges, so
+// a fast machine cannot scale a real cost to free). factor <= 0 is
+// treated as 1. SMODCallOverhead is NOT scaled: it is an absolute
+// surcharge the profile sets explicitly.
+func (c Costs) Scaled(factor float64) Costs {
+	if factor <= 0 || factor == 1 {
+		return c
+	}
+	s := func(v uint64) uint64 {
+		if v == 0 {
+			return 0
+		}
+		out := uint64(float64(v)*factor + 0.5)
+		if out == 0 {
+			out = 1
+		}
+		return out
+	}
+	c.Trap = s(c.Trap)
+	c.SyscallDemux = s(c.SyscallDemux)
+	c.SyscallSimple = s(c.SyscallSimple)
+	c.ContextSwitch = s(c.ContextSwitch)
+	c.SchedPick = s(c.SchedPick)
+	c.TickHandler = s(c.TickHandler)
+	c.PageFault = s(c.PageFault)
+	c.PageZeroFill = s(c.PageZeroFill)
+	c.PageCopy = s(c.PageCopy)
+	c.CopyPerByte = s(c.CopyPerByte)
+	c.MsgQOp = s(c.MsgQOp)
+	c.SMODValidate = s(c.SMODValidate)
+	c.SocketOp = s(c.SocketOp)
+	c.SocketWakeup = s(c.SocketWakeup)
+	c.AESPerBlock = s(c.AESPerBlock)
+	c.PolicyBase = s(c.PolicyBase)
+	c.PolicyPerCond = s(c.PolicyPerCond)
+	c.HMACPerByte = s(c.HMACPerByte)
+	c.CacheLookup = s(c.CacheLookup)
+	c.RPCLayer = s(c.RPCLayer)
+	c.XDRPerByte = s(c.XDRPerByte)
+	return c
+}

@@ -1,0 +1,102 @@
+package clock
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBaseMatchesConstants pins the scalable table to the provenance
+// constants: the refactor from global constants to per-machine tables
+// must not move a single baseline charge.
+func TestBaseMatchesConstants(t *testing.T) {
+	b := Base()
+	for _, tc := range []struct {
+		name string
+		got  uint64
+		want uint64
+	}{
+		{"Trap", b.Trap, CostTrap},
+		{"SyscallDemux", b.SyscallDemux, CostSyscallDemux},
+		{"SyscallSimple", b.SyscallSimple, CostSyscallSimple},
+		{"ContextSwitch", b.ContextSwitch, CostContextSwitch},
+		{"SchedPick", b.SchedPick, CostSchedPick},
+		{"TickHandler", b.TickHandler, CostTickHandler},
+		{"PageFault", b.PageFault, CostPageFault},
+		{"PageZeroFill", b.PageZeroFill, CostPageZeroFill},
+		{"PageCopy", b.PageCopy, CostPageCopy},
+		{"CopyPerByte", b.CopyPerByte, CostCopyPerByte},
+		{"MsgQOp", b.MsgQOp, CostMsgQOp},
+		{"SMODValidate", b.SMODValidate, CostSMODValidate},
+		{"SocketOp", b.SocketOp, CostSocketOp},
+		{"SocketWakeup", b.SocketWakeup, CostSocketWakeup},
+		{"AESPerBlock", b.AESPerBlock, CostAESPerBlock},
+		{"PolicyBase", b.PolicyBase, CostPolicyBase},
+		{"PolicyPerCond", b.PolicyPerCond, CostPolicyPerCond},
+		{"HMACPerByte", b.HMACPerByte, CostHMACPerByte},
+		{"CacheLookup", b.CacheLookup, CostCacheLookup},
+		{"RPCLayer", b.RPCLayer, CostRPCLayer},
+		{"XDRPerByte", b.XDRPerByte, CostXDRPerByte},
+	} {
+		if tc.got != tc.want {
+			t.Errorf("Base().%s = %d, want %d", tc.name, tc.got, tc.want)
+		}
+	}
+	if b.SMODCallOverhead != 0 {
+		t.Errorf("baseline SMODCallOverhead = %d, want 0", b.SMODCallOverhead)
+	}
+}
+
+// TestScaledCoversEveryField walks the Costs struct by reflection:
+// every charge except the absolute SMODCallOverhead surcharge must
+// actually change under Scaled. Base and Scaled both hand-enumerate
+// the fields, so a field added to the struct but missed in either
+// enumeration fails here instead of silently charging baseline cycles
+// on scaled shards.
+func TestScaledCoversEveryField(t *testing.T) {
+	b, s := Base(), Base().Scaled(3)
+	bv, sv := reflect.ValueOf(b), reflect.ValueOf(s)
+	typ := bv.Type()
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		base, scaled := bv.Field(i).Uint(), sv.Field(i).Uint()
+		if name == "SMODCallOverhead" {
+			if scaled != base {
+				t.Errorf("Scaled changed absolute field %s: %d -> %d", name, base, scaled)
+			}
+			continue
+		}
+		if base == 0 {
+			t.Errorf("Base().%s = 0: baseline charge missing from Base()", name)
+			continue
+		}
+		if want := uint64(float64(base)*3 + 0.5); scaled != want {
+			t.Errorf("Scaled(3).%s = %d, want %d (missed in Scaled's field list?)", name, scaled, want)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	b := Base()
+	s := b.Scaled(2.5)
+	wantTrap := uint64(float64(b.Trap)*2.5 + 0.5)
+	if s.Trap != wantTrap {
+		t.Errorf("Scaled(2.5).Trap = %d, want %d", s.Trap, wantTrap)
+	}
+	if s.CopyPerByte != 3 { // 1 * 2.5 rounds to 3
+		t.Errorf("Scaled(2.5).CopyPerByte = %d, want 3", s.CopyPerByte)
+	}
+	// A fast machine cannot scale a nonzero cost to zero.
+	f := b.Scaled(0.001)
+	if f.CopyPerByte == 0 {
+		t.Error("Scaled(0.001) zeroed CopyPerByte")
+	}
+	// Identity and degenerate factors return the table unchanged.
+	if b.Scaled(1) != b || b.Scaled(0) != b || b.Scaled(-3) != b {
+		t.Error("Scaled(1/0/-3) should be the identity")
+	}
+	// SMODCallOverhead is absolute, never scaled.
+	b.SMODCallOverhead = 100
+	if got := b.Scaled(2.5).SMODCallOverhead; got != 100 {
+		t.Errorf("Scaled must not scale SMODCallOverhead: got %d", got)
+	}
+}

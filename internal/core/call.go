@@ -3,7 +3,6 @@ package core
 import (
 	"strconv"
 
-	"repro/internal/clock"
 	"repro/internal/kern"
 	"repro/internal/policy"
 )
@@ -52,7 +51,7 @@ func (sm *SMod) sysCall(k *kern.Kernel, p *kern.Proc, args []uint32) kern.Sysret
 		return kern.Sysret{BlockOn: hiToken{s.ID}}
 	}
 
-	k.Clk.Advance(clock.CostSMODValidate)
+	k.Clk.Advance(k.Costs.SMODValidate + k.Costs.SMODCallOverhead)
 	m := s.Module
 	if int(funcID) >= len(m.FuncAddrs) {
 		return kern.Sysret{Err: errnoFromErr(ErrBadFuncID)}

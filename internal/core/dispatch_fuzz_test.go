@@ -1,0 +1,167 @@
+package core
+
+// Fuzz target for the session-handshake and smod_call dispatch
+// surface: a scripted native client interprets the fuzz input as a
+// little op program and fires arbitrary (including malformed)
+// sequences of smod_find / smod_start_session / smod_handle_info /
+// smod_call at the kernel — sessions started twice, calls before the
+// handshake finished, out-of-range module ids and func ids, garbage
+// descriptor pointers, mid-session re-finds. Whatever the script does,
+// the kernel must not panic, must keep every error inside an errno,
+// must never let a handle dump core, and — when the script lands a
+// well-formed incr call on an attached session — must return arg+1.
+// Run briefly in CI via `make fuzz-short`; hunt with
+// `go test -fuzz=FuzzSessionDispatch ./internal/core`.
+
+import (
+	"testing"
+
+	"repro/internal/kern"
+)
+
+// dispatchPolicy admits the fuzz client by principal name.
+const dispatchPolicy = `authorizer: "POLICY"
+licensees: "fuzz-client"
+conditions: app_domain == "secmodule" -> "allow";
+`
+
+// dispatchOps is the op alphabet of the scripted client; each op
+// consumes one opcode byte plus its operand bytes from the input.
+const (
+	opFind = iota
+	opStartSession
+	opHandleInfo
+	opCallIncr // well-formed call: result is checked
+	opCallRaw  // arbitrary (mid, funcID) straight into sys_smod_call
+	opBadDesc  // start_session with a bogus descriptor pointer
+	opNumOps
+)
+
+func FuzzSessionDispatch(f *testing.F) {
+	// Seeds: the clean handshake + call, a call with no session, a
+	// double session start, raw garbage calls, and a bad descriptor.
+	f.Add([]byte{opFind, opStartSession, opHandleInfo, opCallIncr, 1})
+	f.Add([]byte{opCallRaw, 0xFF, 0xFF, opFind, opCallIncr, 7})
+	f.Add([]byte{opFind, opStartSession, opStartSession, opCallIncr, 2, opCallRaw, 1, 200})
+	f.Add([]byte{opBadDesc, opHandleInfo, opFind, opStartSession, opCallIncr, 3, opCallIncr, 4})
+	f.Add([]byte{opStartSession, opHandleInfo, opCallRaw, 1, 0})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 64 {
+			script = script[:64] // bound simulated work per input
+		}
+		k := kern.New()
+		sm := Attach(k)
+		lib, err := LibCArchive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sm.Register(&ModuleSpec{
+			Name: "libc", Version: 1, Owner: "owner", Lib: lib,
+			PolicySrc: []string{dispatchPolicy},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		incr, ok := m.FuncID("incr")
+		if !ok {
+			t.Fatal("libc lacks incr")
+		}
+		handleExits := k.RecordHandleExits()
+
+		var scriptErr string
+		client := k.SpawnNative("fuzz-client", kern.Cred{UID: 1, Name: "fuzz-client"},
+			func(s *kern.Sys) int {
+				var mid uint32
+				found := false
+				attached := false
+				stack := uint32(0)
+				pos := 0
+				next := func() (byte, bool) {
+					if pos >= len(script) {
+						return 0, false
+					}
+					b := script[pos]
+					pos++
+					return b, true
+				}
+				for {
+					op, ok := next()
+					if !ok {
+						return 0
+					}
+					switch op % opNumOps {
+					case opFind:
+						nameAddr := s.StageString("libc")
+						if v, errno := s.Call(SysFindNo, nameAddr, 1); errno == 0 {
+							mid, found = v, true
+						}
+					case opStartSession:
+						desc := make([]byte, descSize)
+						putLE32(desc[0:], mid)
+						s.Call(SysStartSessionNo, s.StageBytes(desc))
+					case opHandleInfo:
+						if _, errno := s.Call(SysHandleInfoNo, mid); errno == 0 && found {
+							attached = true
+							if stack == 0 {
+								stack = s.ReserveTop(4096)
+							}
+						}
+					case opCallIncr:
+						arg8, _ := next()
+						if !attached || stack == 0 {
+							// No session: the bare call must fail cleanly.
+							s.Call(SysCallNo, mid, uint32(incr), 0)
+							continue
+						}
+						arg := uint32(arg8)
+						sp := stack
+						p := s.Proc()
+						for _, w := range []uint32{arg, 0, uint32(incr), mid} {
+							sp -= 4
+							if err := p.Space.Write32(sp, w); err != nil {
+								scriptErr = "client stack write: " + err.Error()
+								return 1
+							}
+						}
+						p.CPU.SP = sp
+						v, errno := s.Call(SysCallNo, mid, uint32(incr), 0)
+						if errno != 0 {
+							scriptErr = "well-formed incr call failed"
+							return 1
+						}
+						if v != arg+1 {
+							scriptErr = "incr returned wrong value"
+							return 1
+						}
+					case opCallRaw:
+						rawMid, _ := next()
+						rawFid, _ := next()
+						// Arbitrary ids; the kernel must answer with an
+						// errno, never fault the simulator. The client SP
+						// is wherever the last op left it.
+						s.Call(SysCallNo, uint32(rawMid), uint32(rawFid), 0)
+					case opBadDesc:
+						s.Call(SysStartSessionNo, 0xFFFF_FFF0)
+					}
+				}
+			})
+
+		// Generous budget: scripts are <= 64 ops, each a handful of
+		// syscalls; a script that cannot finish in this many cycles
+		// means the dispatch path hung (a real finding).
+		err = k.RunUntil(func() bool {
+			return client.State == kern.StateZombie || client.State == kern.StateDead
+		}, 2_000_000_000)
+		if err != nil {
+			t.Fatalf("dispatch script wedged the kernel: %v", err)
+		}
+		if scriptErr != "" {
+			t.Fatalf("scripted client: %s (script %v)", scriptErr, script)
+		}
+		// Section 3.1: no handle may ever dump core, no matter what the
+		// client script did.
+		if dumps := k.HandleCoreDumps(handleExits); len(dumps) != 0 {
+			t.Fatalf("handle core dumps: %v (script %v)", dumps, script)
+		}
+	})
+}

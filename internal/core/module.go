@@ -6,7 +6,6 @@ import (
 	"sort"
 
 	"repro/internal/asm"
-	"repro/internal/clock"
 	"repro/internal/kern"
 	"repro/internal/modcrypt"
 	"repro/internal/obj"
@@ -356,7 +355,7 @@ func (sm *SMod) decryptForHandle(m *Module) ([]byte, error) {
 	if err := modcrypt.DecryptImageText(sm.ModKeys, clone); err != nil {
 		return nil, err
 	}
-	sm.kern.Clk.Advance(uint64(modcrypt.DecryptedBlocks(m.Image)) * clock.CostAESPerBlock)
+	sm.kern.Clk.Advance(uint64(modcrypt.DecryptedBlocks(m.Image)) * sm.kern.Costs.AESPerBlock)
 	modcrypt.MarkDecrypted(clone)
 	return clone.Text, nil
 }

@@ -63,7 +63,7 @@ func (sm *SMod) sysFind(k *kern.Kernel, p *kern.Proc, args []uint32) kern.Sysret
 	if id == 0 {
 		return kern.Sysret{Err: kern.ENOENT}
 	}
-	k.Clk.Advance(clock.CostSyscallSimple)
+	k.Clk.Advance(k.Costs.SyscallSimple)
 	sm.tracef("(1) smod_find(%q, %d) by pid %d -> m_id %d", name, int32(args[1]), p.PID, id)
 	return kern.Sysret{Val: uint32(id)}
 }
@@ -200,7 +200,7 @@ func (sm *SMod) verifyCredentials(blob string) ([]*policy.Assertion, error) {
 		out = append(out, a)
 	}
 	n, err := sm.PolicyKeys.VerifyAll(out)
-	sm.kern.Clk.Advance(uint64(n) * clock.CostHMACPerByte)
+	sm.kern.Clk.Advance(uint64(n) * sm.kern.Costs.HMACPerByte)
 	if err != nil {
 		return nil, err
 	}
@@ -242,8 +242,8 @@ func (sm *SMod) checkPolicy(m *Module, p *kern.Proc, creds []*policy.Assertion, 
 }
 
 func (sm *SMod) chargePolicy(res policy.Result) {
-	sm.kern.Clk.Advance(clock.CostPolicyBase +
-		uint64(res.ConditionsEvaluated)*clock.CostPolicyPerCond)
+	sm.kern.Clk.Advance(sm.kern.Costs.PolicyBase +
+		uint64(res.ConditionsEvaluated)*sm.kern.Costs.PolicyPerCond)
 }
 
 // openSession builds the handle process for (client, m): forcible fork,

@@ -1,0 +1,221 @@
+package fleet
+
+// Tests for the heterogeneous-backend layer: per-shard cost tables,
+// flavor-aware provisioning (modcrypt shards), capacity-aware pool
+// allocation, cost-aware migration on a mixed fleet, and — the
+// property the ISSUE pins — bit-for-bit deterministic RunPlan cycle
+// counts on a mixed fleet with migration enabled.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/loadmgr"
+)
+
+// mixConfig builds a test config over an explicit backend mix.
+func mixConfig(t *testing.T, mix string) Config {
+	t.Helper()
+	as, err := backend.DefaultCatalog().ParseMix(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(len(as))
+	cfg.Backends = as
+	return cfg
+}
+
+func TestMixedFleetServesAndReportsProfiles(t *testing.T) {
+	f := newTestFleet(t, mixConfig(t, "fast=1,slow=1,crypto=1"))
+	incr := incrID(t, f)
+	var plan []Request
+	for i := 0; i < 12; i++ {
+		plan = append(plan, Request{Key: fmt.Sprintf("m%02d", i), FuncID: incr, Args: []uint32{uint32(i)}})
+	}
+	resps, err := f.RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range resps {
+		if r.Err != nil || r.Errno != 0 || r.Val != uint32(i)+1 {
+			t.Fatalf("plan[%d] = %+v, want Val %d", i, r, i+1)
+		}
+	}
+	st := f.Stats()
+	want := []string{"fast", "slow", "crypto"}
+	for i, s := range st.PerShard {
+		if s.Profile != want[i] {
+			t.Errorf("shard %d profile = %q, want %q", i, s.Profile, want[i])
+		}
+	}
+}
+
+// TestSlowShardChargesScaledCycles: the same single-key workload costs
+// ~2.5x the cycles on a slow shard as on a baseline shard.
+func TestSlowShardChargesScaledCycles(t *testing.T) {
+	cycles := func(mix string) uint64 {
+		f := newTestFleet(t, mixConfig(t, mix))
+		incr := incrID(t, f)
+		var plan []Request
+		for i := 0; i < 10; i++ {
+			plan = append(plan, Request{Key: "solo", FuncID: incr, Args: []uint32{uint32(i)}})
+		}
+		if err := respErr(f.RunPlan(plan)); err != nil {
+			t.Fatal(err)
+		}
+		return f.Stats().PerShard[0].Cycles
+	}
+	fast, slow := cycles("fast=1"), cycles("slow=1")
+	ratio := float64(slow) / float64(fast)
+	if ratio < 2.2 || ratio > 2.8 {
+		t.Errorf("slow/fast shard cycle ratio = %.2f (fast %d, slow %d), want ~2.5",
+			ratio, fast, slow)
+	}
+}
+
+// TestModcryptShardSameResponseBytes is the provisioning-equivalence
+// test: a shard provisioned with an encrypted module archive serves
+// byte-identical responses to a plaintext shard — the flavor may only
+// change cycle cost (AES decrypt at session setup plus the profile's
+// per-call surcharge), never results.
+func TestModcryptShardSameResponseBytes(t *testing.T) {
+	run := func(mix string) ([]uint32, uint64) {
+		f := newTestFleet(t, mixConfig(t, mix))
+		incr := incrID(t, f)
+		var plan []Request
+		for i := 0; i < 8; i++ {
+			plan = append(plan, Request{Key: fmt.Sprintf("c%d", i%3), FuncID: incr, Args: []uint32{uint32(7 * i)}})
+		}
+		resps, err := f.RunPlan(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := make([]uint32, len(resps))
+		for i, r := range resps {
+			if r.Err != nil || r.Errno != 0 {
+				t.Fatalf("%s plan[%d] failed: %+v", mix, i, r)
+			}
+			vals[i] = r.Val
+		}
+		return vals, f.Stats().PerShard[0].Cycles
+	}
+	plainVals, plainCycles := run("fast=1")
+	cryptoVals, cryptoCycles := run("crypto=1")
+	for i := range plainVals {
+		if plainVals[i] != cryptoVals[i] {
+			t.Errorf("response %d: plaintext %d != modcrypt %d", i, plainVals[i], cryptoVals[i])
+		}
+	}
+	if cryptoCycles <= plainCycles {
+		t.Errorf("modcrypt shard cycles %d not above plaintext %d (AES + per-call surcharge missing)",
+			cryptoCycles, plainCycles)
+	}
+}
+
+// TestWeightedPoolAllocation: on a fast=1,slow=1 fleet, first-sight
+// allocation must hand the fast shard ~2.5x the keys of the slow one.
+func TestWeightedPoolAllocation(t *testing.T) {
+	f := newTestFleet(t, mixConfig(t, "fast=1,slow=1"))
+	incr := incrID(t, f)
+	var plan []Request
+	for i := 0; i < 35; i++ {
+		plan = append(plan, Request{Key: fmt.Sprintf("w%02d", i), FuncID: incr, Args: []uint32{1}})
+	}
+	if err := respErr(f.RunPlan(plan)); err != nil {
+		t.Fatal(err)
+	}
+	load := f.PoolLoad()
+	if len(load) != 2 {
+		t.Fatalf("PoolLoad = %v", load)
+	}
+	// 35 keys at weights (1, 2.5): steady state alternates 5 fast : 2
+	// slow, so 25/10.
+	if load[0] != 25 || load[1] != 10 {
+		t.Errorf("weighted allocation = %v, want [25 10]", load)
+	}
+}
+
+// runMixedMigrating runs a fixed skewed multi-round plan on a fresh
+// mixed fleet with migration enabled and returns the per-shard cycle
+// counts plus total migrations.
+func runMixedMigrating(t *testing.T, heatOnly bool) ([]uint64, uint64) {
+	t.Helper()
+	cfg := mixConfig(t, "fast=2,slow=2")
+	cfg.Provision = libcProvisionIdem
+	cfg.LoadManager = &loadmgr.Options{
+		Migrate:            true,
+		HeatOnly:           heatOnly,
+		ImbalanceThreshold: 1.05,
+		Seed:               7,
+	}
+	f := newTestFleet(t, cfg)
+	incr := incrID(t, f)
+	for round := 0; round < 5; round++ {
+		if err := respErr(f.RunPlan(skewedPlan(incr, 8, 24))); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	st := f.Stats()
+	cycles := make([]uint64, len(st.PerShard))
+	for i, s := range st.PerShard {
+		cycles[i] = s.Cycles
+	}
+	return cycles, st.Migrations
+}
+
+// TestMixedFleetDeterministicWithMigration is the ISSUE's property
+// test: a fixed plan on a fixed mixed assignment, with cost-aware
+// migration enabled, produces bit-for-bit identical per-shard cycle
+// counts run after run.
+func TestMixedFleetDeterministicWithMigration(t *testing.T) {
+	c1, m1 := runMixedMigrating(t, false)
+	c2, m2 := runMixedMigrating(t, false)
+	if m1 == 0 {
+		t.Fatal("mixed skewed workload triggered no migrations")
+	}
+	if m1 != m2 {
+		t.Fatalf("migration counts differ across runs: %d vs %d", m1, m2)
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Errorf("shard %d cycles differ across runs: %d vs %d", i, c1[i], c2[i])
+		}
+	}
+	// The heat-only variant must be deterministic too (it is the A/B
+	// baseline the bench suite sweeps).
+	h1, _ := runMixedMigrating(t, true)
+	h2, _ := runMixedMigrating(t, true)
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Errorf("heat-only shard %d cycles differ across runs: %d vs %d", i, h1[i], h2[i])
+		}
+	}
+}
+
+func TestBackendConfigValidation(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.Backends = []backend.Assignment{{Shard: 0, Profile: backend.Default()}}
+	if _, err := New(cfg); err == nil {
+		t.Error("assignment count != shards accepted")
+	}
+	cfg = testConfig(2)
+	cfg.Backends = []backend.Assignment{
+		{Shard: 1, Profile: backend.Default()},
+		{Shard: 1, Profile: backend.Default()},
+	}
+	if _, err := New(cfg); err == nil {
+		t.Error("duplicate shard assignment accepted")
+	}
+	// Shards may be left 0 with explicit backends.
+	cfg = testConfig(0)
+	cfg.Backends = backend.Uniform(2, backend.Default())
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatalf("Shards=0 with backends: %v", err)
+	}
+	if got := len(f.Stats().PerShard); got != 2 {
+		t.Errorf("derived shard count = %d, want 2", got)
+	}
+	f.Close()
+}

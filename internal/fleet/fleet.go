@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/kern"
 	"repro/internal/loadmgr"
@@ -65,8 +66,21 @@ type Config struct {
 	ClientUID  int
 	ClientName string
 	// Provision registers modules (and any keys) on one shard's fresh
-	// kernel. It runs once per shard and must be deterministic.
-	Provision func(*kern.Kernel, *core.SMod) error
+	// kernel. It runs once per shard and must be deterministic. The
+	// shard's backend profile is passed so provisioning can honor its
+	// module flavor (register a modcrypt-encrypted archive on
+	// FlavorModcrypt shards, plaintext otherwise); the registered
+	// module must expose the same function set either way.
+	Provision func(*kern.Kernel, *core.SMod, backend.Profile) error
+	// Backends assigns a machine-class profile to every shard (see
+	// internal/backend): each shard's kernel runs the profile's scaled
+	// cost table, its module flavor selects what Provision installs,
+	// and the session pool + load manager weigh placement by the
+	// profile cost factors. nil means a homogeneous fleet of baseline
+	// machines (the historical behaviour, bit for bit). When set it
+	// must cover shards 0..Shards-1 exactly once; Shards may be left 0
+	// to take the assignment's length.
+	Backends []backend.Assignment
 	// MaxSessionsPerShard caps warm sessions per shard; the least
 	// recently used idle session is reclaimed when the cap is hit
 	// (0 = unlimited). The cap is soft: sessions busy in the current
@@ -183,6 +197,9 @@ var ErrClosed = errors.New("fleet: closed")
 
 // New builds and starts a fleet.
 func New(cfg Config) (*Fleet, error) {
+	if cfg.Shards < 1 && len(cfg.Backends) > 0 {
+		cfg.Shards = len(cfg.Backends)
+	}
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("fleet: need at least 1 shard, got %d", cfg.Shards)
 	}
@@ -195,13 +212,25 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.ClientName == "" {
 		cfg.ClientName = "fleet-client"
 	}
-	f := &Fleet{cfg: cfg, pool: NewPool(cfg.Shards)}
+	if len(cfg.Backends) == 0 {
+		cfg.Backends = backend.Uniform(cfg.Shards, backend.Default())
+	}
+	if len(cfg.Backends) != cfg.Shards {
+		return nil, fmt.Errorf("fleet: %d backend assignments for %d shards",
+			len(cfg.Backends), cfg.Shards)
+	}
+	if err := backend.Validate(cfg.Backends); err != nil {
+		return nil, err
+	}
+	weights := backend.CostFactors(cfg.Backends)
+	f := &Fleet{cfg: cfg, pool: NewWeightedPool(weights)}
 	if cfg.LoadManager != nil {
 		f.mgr = loadmgr.New(*cfg.LoadManager, cfg.Shards)
+		f.mgr.SetCostWeights(weights)
 		f.trackHeat = cfg.LoadManager.Migrate
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		sh, err := newShard(i, cfg, f.mgr)
+		sh, err := newShard(i, cfg, backend.ProfileOf(cfg.Backends, i), f.mgr)
 		if err != nil {
 			return nil, err
 		}

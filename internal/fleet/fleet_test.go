@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/kern"
 )
@@ -15,9 +16,16 @@ licensees: "fleet-client"
 conditions: app_domain == "secmodule" -> "allow";
 `
 
-// libcProvision registers the SecModule libc on a shard kernel.
-func libcProvision(k *kern.Kernel, sm *core.SMod) error {
+// libcProvision registers the SecModule libc on a shard kernel,
+// honoring the backend profile's module flavor (modcrypt shards get an
+// encrypted archive).
+func libcProvision(k *kern.Kernel, sm *core.SMod, p backend.Profile) error {
 	lib, err := core.LibCArchive()
+	if err != nil {
+		return err
+	}
+	lib, err = backend.ProvisionArchive(sm.ModKeys, lib, p, "fleet-test-key",
+		[]byte("fleet test key"))
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/kern"
 	"repro/internal/loadmgr"
@@ -18,7 +19,7 @@ import (
 
 // libcProvisionIdem registers the libc module with incr declared
 // idempotent, so the result cache may memoize it.
-func libcProvisionIdem(k *kern.Kernel, sm *core.SMod) error {
+func libcProvisionIdem(k *kern.Kernel, sm *core.SMod, _ backend.Profile) error {
 	lib, err := core.LibCArchive()
 	if err != nil {
 		return err

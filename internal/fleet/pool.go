@@ -10,10 +10,18 @@ import "sync"
 // its slot to the pool on Put (reclaim) — via an explicit Release or a
 // shard's LRU eviction — after which the key may be re-allocated
 // anywhere.
+//
+// On a heterogeneous fleet the pool is capacity-aware: allocation
+// minimizes the *cost-weighted* load (assignments x the shard's
+// machine-class cost factor), so a shard 2.5x slower than baseline
+// receives roughly 1/2.5 the keys. With uniform weights this reduces
+// exactly to the historical least-loaded rule.
 type Pool struct {
 	mu     sync.Mutex
 	assign map[string]int
 	load   []int
+	// weight is the per-shard cost factor (nil = homogeneous).
+	weight []float64
 }
 
 // NewPool returns an empty pool over the given number of shards.
@@ -24,8 +32,17 @@ func NewPool(shards int) *Pool {
 	}
 }
 
-// Get returns key's shard, allocating the least-loaded shard (lowest
-// index on ties) when the key is unassigned.
+// NewWeightedPool returns an empty pool whose allocation weighs each
+// shard's load by its cost factor.
+func NewWeightedPool(weights []float64) *Pool {
+	p := NewPool(len(weights))
+	p.weight = append([]float64(nil), weights...)
+	return p
+}
+
+// Get returns key's shard, allocating the shard with the lowest
+// cost-weighted load — (assignments+1) x cost factor, lowest index on
+// ties — when the key is unassigned.
 func (p *Pool) Get(key string) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -33,14 +50,25 @@ func (p *Pool) Get(key string) int {
 		return sid
 	}
 	sid := 0
+	best := p.slotCost(0)
 	for i := 1; i < len(p.load); i++ {
-		if p.load[i] < p.load[sid] {
-			sid = i
+		if c := p.slotCost(i); c < best {
+			sid, best = i, c
 		}
 	}
 	p.assign[key] = sid
 	p.load[sid]++
 	return sid
+}
+
+// slotCost is the weighted load shard i would carry after taking one
+// more assignment.
+func (p *Pool) slotCost(i int) float64 {
+	w := 1.0
+	if i < len(p.weight) && p.weight[i] > 0 {
+		w = p.weight[i]
+	}
+	return float64(p.load[i]+1) * w
 }
 
 // Lookup returns key's current shard without allocating.

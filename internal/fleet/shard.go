@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/clock"
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/kern"
 	"repro/internal/loadmgr"
@@ -108,7 +108,10 @@ type timedCursor struct {
 // ShardStats is one shard's merged counters, all in that shard's own
 // simulated clock domain.
 type ShardStats struct {
-	Shard           int
+	Shard int
+	// Profile names the shard's backend machine class ("fast", "slow",
+	// "crypto", ...), for per-profile aggregation in the bench layer.
+	Profile         string
 	Cycles          uint64
 	Ticks           uint64
 	Calls           uint64 // completed smod_call dispatches
@@ -127,6 +130,10 @@ type ShardStats struct {
 	// it by the load manager.
 	MigratedOut uint64
 	MigratedIn  uint64
+	// IdleCycles counts clock advances over idle arrival gaps (timed
+	// schedules only). Cycles - IdleCycles is the shard's busy time,
+	// the numerator of per-shard utilization in mixed-fleet sweeps.
+	IdleCycles uint64
 }
 
 // shard is one independent simulated kernel plus its routing state.
@@ -136,10 +143,14 @@ type ShardStats struct {
 // every transition crossing a channel), which is what makes the whole
 // structure race-free without locks.
 type shard struct {
-	id  int
-	cfg Config
-	k   *kern.Kernel
-	sm  *core.SMod
+	id int
+	// profile is the shard's backend machine class; its scaled cost
+	// table is installed on the kernel at construction, before any
+	// process exists, and never changes (determinism per assignment).
+	profile backend.Profile
+	cfg     Config
+	k       *kern.Kernel
+	sm      *core.SMod
 
 	inbox chan *job
 
@@ -166,6 +177,9 @@ type shard struct {
 	inboxClosed   bool
 
 	evictions uint64
+	// idleCycles accumulates the clock jumps stretchDone makes over
+	// idle gaps to the next scheduled arrival.
+	idleCycles uint64
 
 	// Load-management state (nil/zero when the fleet has no manager):
 	// cache memoizes idempotent responses, idemp marks which funcIDs
@@ -180,18 +194,20 @@ type shard struct {
 	err   error
 }
 
-func newShard(id int, cfg Config, mgr *loadmgr.Manager) (*shard, error) {
+func newShard(id int, cfg Config, profile backend.Profile, mgr *loadmgr.Manager) (*shard, error) {
 	sh := &shard{
 		id:      id,
+		profile: profile,
 		cfg:     cfg,
 		k:       kern.New(),
 		clients: map[string]*clientProc{},
 		byPID:   map[int]*clientProc{},
 		inbox:   make(chan *job, cfg.MaxBatch),
 	}
+	sh.k.SetCosts(profile.Costs())
 	sh.sm = core.Attach(sh.k)
 	if cfg.Provision != nil {
-		if err := cfg.Provision(sh.k, sh.sm); err != nil {
+		if err := cfg.Provision(sh.k, sh.sm, profile); err != nil {
 			return nil, fmt.Errorf("fleet: shard %d provision: %w", id, err)
 		}
 	}
@@ -375,7 +391,7 @@ func (sh *shard) admit(j *job) {
 func (sh *shard) inject(j *job, i int, at uint64) {
 	r := &j.reqs[i]
 	if sh.cache != nil && sh.idemp[r.FuncID] {
-		sh.k.Clk.Advance(clock.CostCacheLookup)
+		sh.k.Clk.Advance(sh.k.Costs.CacheLookup)
 		if val, ok := sh.cache.Get(sh.mid, r.FuncID, r.Args); ok {
 			sh.finishSlot(j, i, Response{
 				Val:           val,
@@ -474,6 +490,7 @@ func (sh *shard) stretchDone() bool {
 			return false
 		}
 		if now := sh.k.Clk.Cycles(); at > now {
+			sh.idleCycles += at - now
 			sh.k.Clk.Advance(at - now)
 		}
 		sh.injectDue()
@@ -601,6 +618,7 @@ func (sh *shard) snapshot() ShardStats {
 	}
 	st := ShardStats{
 		Shard:           sh.id,
+		Profile:         sh.profile.Name,
 		Cycles:          sh.k.Clk.Cycles(),
 		Ticks:           sh.k.Clk.Ticks(),
 		Calls:           sh.sm.Calls,
@@ -612,6 +630,7 @@ func (sh *shard) snapshot() ShardStats {
 		Evictions:       sh.evictions,
 		MigratedOut:     sh.migratedOut,
 		MigratedIn:      sh.migratedIn,
+		IdleCycles:      sh.idleCycles,
 	}
 	if sh.cache != nil {
 		st.CacheHits, st.CacheMisses, st.CacheEvictions = sh.cache.Stats()

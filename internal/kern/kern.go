@@ -176,6 +176,14 @@ type Kernel struct {
 	Clk  *clock.Clock
 	Phys *mem.Phys
 
+	// Costs is this machine's cost table. New installs the baseline
+	// (clock.Base()); a heterogeneous fleet overwrites it — via
+	// SetCosts, before the first process is spawned — with the shard's
+	// backend-profile table. Every hot-path charge in the kernel, the
+	// VM layer, and the SecModule layer reads this table, never the
+	// clock package constants directly.
+	Costs clock.Costs
+
 	procs map[int]*Proc
 	// runqHead/runqTail form the intrusive FIFO run queue (linked
 	// through Proc.nextRun). Enqueue and dequeue are O(1); with a fleet
@@ -246,6 +254,7 @@ func New() *Kernel {
 	k := &Kernel{
 		Clk:       clock.New(),
 		Phys:      mem.NewPhys(536_440_832),
+		Costs:     clock.Base(),
 		procs:     map[int]*Proc{},
 		sleepers:  map[any][]*Proc{},
 		syscalls:  map[uint32]SyscallFn{},
@@ -261,11 +270,24 @@ func New() *Kernel {
 		MaxStepsPerSlice: 1 << 20,
 	}
 	k.Clk.OnTick(func() {
-		k.Clk.Advance(clock.CostTickHandler)
+		k.Clk.Advance(k.Costs.TickHandler)
 		k.preempt = true
 	})
 	registerBaseSyscalls(k)
 	return k
+}
+
+// SetCosts installs a cost table. It must be called before the first
+// process is spawned: address spaces capture the table by reference,
+// and mutating charges mid-run would break cycle-count determinism.
+func (k *Kernel) SetCosts(c clock.Costs) { k.Costs = c }
+
+// newSpace builds an address space charging faults against this
+// machine's clock and cost table.
+func (k *Kernel) newSpace() *vm.Space {
+	s := vm.NewSpace(k.Phys, k.Clk)
+	s.SetCosts(&k.Costs)
+	return s
 }
 
 // RegisterSyscall installs handler as syscall number no. The SecModule
@@ -514,10 +536,10 @@ func (k *Kernel) RunUntil(pred func() bool, maxCycles uint64) error {
 // dispatch runs p until it blocks, exits, or is preempted.
 func (k *Kernel) dispatch(p *Proc) error {
 	if k.lastRun != p {
-		k.Clk.Advance(clock.CostContextSwitch)
+		k.Clk.Advance(k.Costs.ContextSwitch)
 		k.ContextSwitches++
 	} else {
-		k.Clk.Advance(clock.CostSchedPick)
+		k.Clk.Advance(k.Costs.SchedPick)
 	}
 	k.lastRun = p
 	k.cur = p
@@ -591,13 +613,13 @@ func (k *Kernel) dispatchSM32(p *Proc) error {
 // serviceTrap executes syscall no for p. It returns false if the
 // syscall blocked (the caller must retry on wakeup).
 func (k *Kernel) serviceTrap(p *Proc, m *cpu.Machine, no uint32) bool {
-	k.Clk.Advance(clock.CostTrap + clock.CostSyscallDemux)
+	k.Clk.Advance(k.Costs.Trap + k.Costs.SyscallDemux)
 	k.SyscallCount++
 	fn := k.syscalls[no]
 	if fn == nil {
 		nosys := int32(ENOSYS)
 		p.CPU.RV = uint32(-nosys)
-		k.Clk.Advance(clock.CostTrap)
+		k.Clk.Advance(k.Costs.Trap)
 		return true
 	}
 	// Read up to 6 argument words from the user stack.
@@ -619,7 +641,7 @@ func (k *Kernel) serviceTrap(p *Proc, m *cpu.Machine, no uint32) bool {
 	} else {
 		p.CPU.RV = res.Val
 	}
-	k.Clk.Advance(clock.CostTrap) // kernel exit
+	k.Clk.Advance(k.Costs.Trap) // kernel exit
 	return true
 }
 

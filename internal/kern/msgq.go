@@ -2,8 +2,6 @@ package kern
 
 import (
 	"fmt"
-
-	"repro/internal/clock"
 )
 
 // SysV message queues, the client/handle synchronization primitive from
@@ -82,7 +80,7 @@ func (k *Kernel) MsgSendKernel(id int, mtype int32, payload []byte) error {
 	}
 	q.msgs = append(q.msgs, Msg{Type: mtype, Data: append([]byte(nil), payload...)})
 	q.bytes += len(payload)
-	k.Clk.Advance(clock.CostMsgQOp + uint64(len(payload))*clock.CostCopyPerByte)
+	k.Clk.Advance(k.Costs.MsgQOp + uint64(len(payload))*k.Costs.CopyPerByte)
 	k.Wakeup(msgRToken{id})
 	return nil
 }
@@ -98,7 +96,7 @@ func (k *Kernel) MsgRecvKernel(id int, mtype int32) (Msg, bool) {
 		if mtype == 0 || m.Type == mtype {
 			q.msgs = append(q.msgs[:i], q.msgs[i+1:]...)
 			q.bytes -= len(m.Data)
-			k.Clk.Advance(clock.CostMsgQOp + uint64(len(m.Data))*clock.CostCopyPerByte)
+			k.Clk.Advance(k.Costs.MsgQOp + uint64(len(m.Data))*k.Costs.CopyPerByte)
 			k.Wakeup(msgWToken{id})
 			return m, true
 		}
@@ -153,7 +151,7 @@ func sysMsgsnd(k *Kernel, p *Proc, args []uint32) Sysret {
 	}
 	q.msgs = append(q.msgs, Msg{Type: mtype, Data: buf[4:]})
 	q.bytes += msgsz
-	k.Clk.Advance(clock.CostMsgQOp)
+	k.Clk.Advance(k.Costs.MsgQOp)
 	k.Wakeup(msgRToken{id})
 	return ok(0)
 }
@@ -190,7 +188,7 @@ func sysMsgrcv(k *Kernel, p *Proc, args []uint32) Sysret {
 	}
 	q.msgs = append(q.msgs[:idx], q.msgs[idx+1:]...)
 	q.bytes -= len(m.Data)
-	k.Clk.Advance(clock.CostMsgQOp)
+	k.Clk.Advance(k.Costs.MsgQOp)
 	k.Wakeup(msgWToken{id})
 	return ok(uint32(len(m.Data)))
 }

@@ -3,7 +3,6 @@ package kern
 import (
 	"runtime"
 
-	"repro/internal/clock"
 	"repro/internal/vm"
 )
 
@@ -291,7 +290,7 @@ const nativeScratchSize = 256 * 1024
 // becomes the exit status. The process is runnable immediately; it
 // starts executing on the next Run dispatch.
 func (k *Kernel) SpawnNative(name string, cred Cred, fn func(*Sys) int) *Proc {
-	space := vm.NewSpace(k.Phys, k.Clk)
+	space := k.newSpace()
 	if _, err := space.Map(UserDataBase, nativeScratchSize, vm.ProtRW, "data"); err != nil {
 		panic("kern: SpawnNative map: " + err.Error())
 	}
@@ -387,11 +386,11 @@ func (k *Kernel) dispatchNative(p *Proc) error {
 // serviceNative runs the syscall handler for a native request. It
 // returns done=false when the syscall blocked (sleep state set).
 func (k *Kernel) serviceNative(p *Proc, req natRequest) (bool, natReply) {
-	k.Clk.Advance(clock.CostTrap + clock.CostSyscallDemux)
+	k.Clk.Advance(k.Costs.Trap + k.Costs.SyscallDemux)
 	k.SyscallCount++
 	fn := k.syscalls[req.no]
 	if fn == nil {
-		k.Clk.Advance(clock.CostTrap)
+		k.Clk.Advance(k.Costs.Trap)
 		return true, natReply{errno: ENOSYS}
 	}
 	res := fn(k, p, req.args[:])
@@ -399,7 +398,7 @@ func (k *Kernel) serviceNative(p *Proc, req natRequest) (bool, natReply) {
 		k.sleep(p, res.BlockOn)
 		return false, natReply{}
 	}
-	k.Clk.Advance(clock.CostTrap)
+	k.Clk.Advance(k.Costs.Trap)
 	return true, natReply{val: res.Val, errno: res.Err}
 }
 

@@ -20,7 +20,7 @@ import (
 // and resets the CPU context to the image entry point.
 func (k *Kernel) loadImage(p *Proc, im *obj.Image) error {
 	old := p.Space
-	s := vm.NewSpace(k.Phys, k.Clk)
+	s := k.newSpace()
 
 	if len(im.Text) > 0 {
 		base := mem.PageAlign(im.TextBase)
@@ -69,7 +69,7 @@ func (k *Kernel) loadImage(p *Proc, im *obj.Image) error {
 
 // Spawn creates a runnable SM32 process from a linked image.
 func (k *Kernel) Spawn(name string, cred Cred, im *obj.Image) (*Proc, error) {
-	p := k.newProc(name, vm.NewSpace(k.Phys, k.Clk))
+	p := k.newProc(name, k.newSpace())
 	p.Cred = cred
 	if err := k.loadImage(p, im); err != nil {
 		delete(k.procs, p.PID)

@@ -1,7 +1,5 @@
 package kern
 
-import "repro/internal/clock"
-
 // Simulated loopback datagram sockets, used by the Figure 8 RPC
 // baseline. They model a UDP socket bound to a port on 127.0.0.1: a
 // sendto copies the payload through the socket layer (paying the mbuf
@@ -60,7 +58,7 @@ func sysSocket(k *Kernel, p *Proc, args []uint32) Sysret {
 	s := &Socket{owner: p, fd: p.nextFD, open: true}
 	p.fds[p.nextFD] = s
 	p.nextFD++
-	k.Clk.Advance(clock.CostSyscallSimple)
+	k.Clk.Advance(k.Costs.SyscallSimple)
 	return ok(uint32(s.fd))
 }
 
@@ -82,7 +80,7 @@ func sysBind(k *Kernel, p *Proc, args []uint32) Sysret {
 	}
 	s.port = port
 	k.ports[port] = s
-	k.Clk.Advance(clock.CostSyscallSimple)
+	k.Clk.Advance(k.Costs.SyscallSimple)
 	return ok(0)
 }
 
@@ -103,13 +101,13 @@ func sysSendto(k *Kernel, p *Proc, args []uint32) Sysret {
 	if err != nil {
 		return fail(EFAULT)
 	}
-	k.Clk.Advance(clock.CostSocketOp)
+	k.Clk.Advance(k.Costs.SocketOp)
 	if dstSock, found := k.ports[dst]; found && dstSock.open {
 		// Loopback delivery: a second copy into the receive buffer, as
 		// the loopback driver re-enqueues the mbuf chain.
-		k.Clk.Advance(uint64(n) * clock.CostCopyPerByte)
+		k.Clk.Advance(uint64(n) * k.Costs.CopyPerByte)
 		dstSock.queue = append(dstSock.queue, dgram{from: s.port, data: b})
-		k.Clk.Advance(clock.CostSocketWakeup)
+		k.Clk.Advance(k.Costs.SocketWakeup)
 		k.Wakeup(sockToken{dstSock})
 	}
 	return ok(uint32(n))
@@ -132,7 +130,7 @@ func sysRecvfrom(k *Kernel, p *Proc, args []uint32) Sysret {
 		return fail(EINVAL)
 	}
 	s.queue = s.queue[1:]
-	k.Clk.Advance(clock.CostSocketOp)
+	k.Clk.Advance(k.Costs.SocketOp)
 	if err := k.CopyOut(p, buf, d.data); err != nil {
 		return fail(EFAULT)
 	}

@@ -3,7 +3,6 @@ package kern
 import (
 	"fmt"
 
-	"repro/internal/clock"
 	"repro/internal/mem"
 	"repro/internal/vm"
 )
@@ -56,7 +55,7 @@ func (k *Kernel) CopyIn(p *Proc, addr uint32, n int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	k.Clk.Advance(uint64(n) * clock.CostCopyPerByte)
+	k.Clk.Advance(uint64(n) * k.Costs.CopyPerByte)
 	return b, nil
 }
 
@@ -66,7 +65,7 @@ func (k *Kernel) CopyOut(p *Proc, addr uint32, buf []byte) error {
 	if err := p.Space.WriteBytes(addr, buf); err != nil {
 		return err
 	}
-	k.Clk.Advance(uint64(len(buf)) * clock.CostCopyPerByte)
+	k.Clk.Advance(uint64(len(buf)) * k.Costs.CopyPerByte)
 	return nil
 }
 
@@ -79,7 +78,7 @@ func (k *Kernel) CopyInStr(p *Proc, addr uint32) (string, error) {
 			return "", err
 		}
 		if b == 0 {
-			k.Clk.Advance(uint64(len(out)) * clock.CostCopyPerByte)
+			k.Clk.Advance(uint64(len(out)) * k.Costs.CopyPerByte)
 			return string(out), nil
 		}
 		out = append(out, b)
@@ -123,7 +122,7 @@ func sysYield(k *Kernel, p *Proc, args []uint32) Sysret {
 // client's pid, so library code executed by the handle on the client's
 // behalf observes client-correct process identity.
 func sysGetpid(k *Kernel, p *Proc, args []uint32) Sysret {
-	k.Clk.Advance(clock.CostSyscallSimple)
+	k.Clk.Advance(k.Costs.SyscallSimple)
 	if p.IsHandle && p.Pair != nil {
 		return ok(uint32(p.Pair.PID))
 	}

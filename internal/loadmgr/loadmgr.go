@@ -45,6 +45,12 @@ type Options struct {
 	CooldownRounds int
 	// Migrate enables cross-shard session migration at barrier points.
 	Migrate bool
+	// HeatOnly makes the migrator ignore any per-shard cost weights the
+	// fleet installed (SetCostWeights) and balance raw heat, as if the
+	// fleet were homogeneous. It exists for A/B measurement: a mixed
+	// fleet swept with and without it is the cost-aware-vs-heat-only
+	// comparison the bench suite records.
+	HeatOnly bool
 	// CacheSize is the per-shard idempotent result cache capacity in
 	// entries; 0 disables caching.
 	CacheSize int
@@ -83,6 +89,10 @@ type Manager struct {
 	opts Options
 	heat *HeatTracker
 	mig  *Migrator
+	// costw holds the per-shard cost factors (heat -> estimated
+	// completion cost) the fleet derives from its backend assignment;
+	// nil means homogeneous.
+	costw []float64
 }
 
 // New builds a manager for a fleet of the given shard count.
@@ -100,6 +110,14 @@ func (m *Manager) Options() Options { return m.opts }
 
 // Heat exposes the tracker for the fleet's routing-path feed.
 func (m *Manager) Heat() *HeatTracker { return m.heat }
+
+// SetCostWeights installs the per-shard cost factors (from the fleet's
+// backend assignment) the migrator weighs heat by. Called once at
+// fleet construction, before any planning; ignored under
+// Options.HeatOnly.
+func (m *Manager) SetCostWeights(w []float64) {
+	m.costw = append([]float64(nil), w...)
+}
 
 // NewCache builds one shard's result cache, or nil when caching is
 // disabled. Each shard owns its cache exclusively (no locking).
@@ -122,5 +140,9 @@ func (m *Manager) PlanRebalance() []Migration {
 		return nil
 	}
 	m.heat.Advance()
-	return m.mig.Plan(m.heat)
+	costw := m.costw
+	if m.opts.HeatOnly {
+		costw = nil
+	}
+	return m.mig.Plan(m.heat, costw)
 }

@@ -12,12 +12,19 @@ type Migration struct {
 }
 
 // Migrator turns heat snapshots into bounded migration plans. It is
-// greedy: while the hottest shard exceeds the imbalance threshold, move
-// its hottest eligible key to the coldest shard, provided the move
-// shrinks the hot/cold gap. Migrated keys cool down for a few rounds so
-// the planner cannot flap a key back and forth; ties between equally
-// hot candidates break through a seeded rng, so a fixed seed gives a
-// fixed plan.
+// greedy over *estimated completion cost* — each shard's heat weighted
+// by its machine-class cost factor: while the costliest shard exceeds
+// the imbalance threshold, move its hottest eligible key to the
+// cheapest shard, provided the move shrinks the cost gap. On a
+// homogeneous fleet (all weights 1) this degenerates to the historical
+// heat-only plan bit for bit; on a mixed fleet it is what routes hot
+// keys onto fast shards and leaves the cold tail on slow ones, since a
+// slow shard saturates at a fraction of the raw heat a fast one
+// absorbs. Migrated keys cool down for a few rounds so the planner
+// cannot flap a key back and forth; ties between equally hot
+// candidates break through a seeded rng over a fully sorted candidate
+// list, so a fixed seed gives a fixed plan regardless of map iteration
+// order.
 type Migrator struct {
 	opts     Options
 	rng      *rand.Rand
@@ -35,21 +42,31 @@ func NewMigrator(opts Options) *Migrator {
 	}
 }
 
-// candidate is one movable key on the hot shard.
+// candidate is one movable key on the costliest shard.
 type candidate struct {
 	key  string
 	heat float64
 }
 
+// weightOf resolves shard i's cost factor from a weight vector that
+// may be nil (homogeneous fleet) or short.
+func weightOf(costw []float64, i int) float64 {
+	if i < len(costw) && costw[i] > 0 {
+		return costw[i]
+	}
+	return 1
+}
+
 // Plan computes this round's migrations from the tracker's current
-// heat and applies them to the tracker's placement view (Rebind), so
+// heat, weighted by the per-shard cost factors (nil = homogeneous),
+// and applies them to the tracker's placement view (Rebind), so
 // consecutive calls converge instead of re-proposing the same move.
 // The fleet applies the actual session moves afterwards.
-func (m *Migrator) Plan(h *HeatTracker) []Migration {
+func (m *Migrator) Plan(h *HeatTracker, costw []float64) []Migration {
 	m.round++
 	var moves []Migration
 	for len(moves) < m.opts.MaxMovesPerRound {
-		mv, ok := m.planOne(h)
+		mv, ok := m.planOne(h, costw)
 		if !ok {
 			break
 		}
@@ -66,28 +83,32 @@ func (m *Migrator) Plan(h *HeatTracker) []Migration {
 	return moves
 }
 
-// planOne picks the single best move, or reports balance.
-func (m *Migrator) planOne(h *HeatTracker) (Migration, bool) {
+// planOne picks the single best move, or reports balance. All
+// comparisons run over estimated completion cost (heat x cost factor).
+func (m *Migrator) planOne(h *HeatTracker, costw []float64) (Migration, bool) {
 	heat := h.ShardHeat()
 	if len(heat) < 2 {
 		return Migration{}, false
 	}
+	cost := make([]float64, len(heat))
 	hot, cold := 0, 0
 	var sum float64
 	for i, v := range heat {
-		sum += v
-		if v > heat[hot] {
+		cost[i] = v * weightOf(costw, i)
+		sum += cost[i]
+		if cost[i] > cost[hot] {
 			hot = i
 		}
-		if v < heat[cold] {
+		if cost[i] < cost[cold] {
 			cold = i
 		}
 	}
-	mean := sum / float64(len(heat))
-	if mean <= 0 || hot == cold || heat[hot] < m.opts.ImbalanceThreshold*mean {
+	mean := sum / float64(len(cost))
+	if mean <= 0 || hot == cold || cost[hot] < m.opts.ImbalanceThreshold*mean {
 		return Migration{}, false
 	}
-	gap := heat[hot] - heat[cold]
+	gap := cost[hot] - cost[cold]
+	wCold := weightOf(costw, cold)
 
 	cands := make([]candidate, 0, 8)
 	for key, kh := range h.keysOn(hot) {
@@ -100,7 +121,9 @@ func (m *Migrator) planOne(h *HeatTracker) (Migration, bool) {
 		cands = append(cands, candidate{key, kh})
 	}
 	// Hottest first; key order breaks exact heat ties deterministically
-	// before the seeded pick below chooses among them.
+	// before the seeded pick below chooses among them. The sort gives a
+	// total order, which is what keeps the plan independent of the map
+	// iteration order cands were collected in.
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].heat != cands[j].heat {
 			return cands[i].heat > cands[j].heat
@@ -108,9 +131,11 @@ func (m *Migrator) planOne(h *HeatTracker) (Migration, bool) {
 		return cands[i].key < cands[j].key
 	})
 	for i, c := range cands {
-		// Moving a key hotter than the gap would just swap which shard
-		// is overloaded; skip down to the first one that helps.
-		if c.heat >= gap {
+		// A key whose cost on the destination would meet or exceed the
+		// gap would just swap which shard is overloaded (on a mixed
+		// fleet: a key a slow shard cannot absorb); skip down to the
+		// first one that helps.
+		if c.heat*wCold >= gap {
 			continue
 		}
 		// Among candidates of identical heat, pick one by seeded rng:

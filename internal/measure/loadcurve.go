@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/clock"
 	"repro/internal/fleet"
 	"repro/internal/loadmgr"
@@ -58,6 +59,22 @@ type LoadCurveConfig struct {
 	// measured fleet (hot-key migration at epoch barriers and/or the
 	// idempotent result cache).
 	LoadManager *loadmgr.Options
+
+	// Backends assigns a machine-class profile to every shard (see
+	// internal/backend), making the measured fleet heterogeneous:
+	// scaled cost tables, flavor-aware provisioning, capacity-weighted
+	// placement. nil keeps the homogeneous baseline fleet. When set,
+	// Shards must match its length (or be 0 to derive it).
+	Backends []backend.Assignment
+}
+
+// Mix returns the canonical backend mix label ("fast=2,slow=2"), or ""
+// for a homogeneous fleet.
+func (cfg LoadCurveConfig) Mix() string {
+	if len(cfg.Backends) == 0 {
+		return ""
+	}
+	return backend.MixLabel(cfg.Backends)
 }
 
 // LoadPoint is one row of the latency-vs-offered-load table.
@@ -77,6 +94,56 @@ type LoadPoint struct {
 	Migrations  uint64 `json:"migrations,omitempty"`
 	CacheHits   uint64 `json:"cache_hits,omitempty"`
 	CacheMisses uint64 `json:"cache_misses,omitempty"`
+	// Profiles breaks the point down by backend machine class
+	// (mixed-fleet sweeps only): calls served and busy-time utilization
+	// per profile, the view that shows hot traffic landing on fast
+	// shards while slow shards hold the cold tail.
+	Profiles []ProfileLoad `json:"profiles,omitempty"`
+}
+
+// ProfileLoad is one machine class's share of a load point.
+type ProfileLoad struct {
+	Name   string `json:"name"`
+	Shards int    `json:"shards"`
+	Calls  uint64 `json:"calls"`
+	// Utilization is the mean busy fraction of the profile's shards
+	// over the point's makespan: busy = cycle delta minus idle arrival
+	// gaps the shard clock jumped over.
+	Utilization float64 `json:"utilization"`
+}
+
+// profileBreakdown folds per-shard deltas into per-profile rows, in
+// shard order of first appearance.
+func profileBreakdown(before, after fleet.Stats, makespan uint64) []ProfileLoad {
+	if makespan == 0 || len(after.PerShard) != len(before.PerShard) {
+		return nil
+	}
+	idx := map[string]int{}
+	var out []ProfileLoad
+	busy := map[string]uint64{}
+	for i := range after.PerShard {
+		b, a := before.PerShard[i], after.PerShard[i]
+		name := a.Profile
+		j, ok := idx[name]
+		if !ok {
+			j = len(out)
+			idx[name] = j
+			out = append(out, ProfileLoad{Name: name})
+		}
+		out[j].Shards++
+		out[j].Calls += a.Calls - b.Calls
+		cyc := a.Cycles - b.Cycles
+		idle := a.IdleCycles - b.IdleCycles
+		if idle > cyc {
+			idle = cyc
+		}
+		busy[name] += cyc - idle
+	}
+	for j := range out {
+		out[j].Utilization = float64(busy[out[j].Name]) /
+			(float64(out[j].Shards) * float64(makespan))
+	}
+	return out
 }
 
 // SatAchievedFraction marks a point saturated when achieved throughput
@@ -90,6 +157,13 @@ const SatAchievedFraction = 0.9
 // LoadPoint per rate. Every point runs on a fresh fleet with the same
 // seed, so points differ only in offered load.
 func RunFleetLoadCurve(cfg LoadCurveConfig) ([]LoadPoint, error) {
+	if cfg.Shards < 1 && len(cfg.Backends) > 0 {
+		cfg.Shards = len(cfg.Backends)
+	}
+	if len(cfg.Backends) > 0 && cfg.Shards != len(cfg.Backends) {
+		return nil, fmt.Errorf("measure: %d shards vs %d backend assignments",
+			cfg.Shards, len(cfg.Backends))
+	}
 	if cfg.Shards < 1 || cfg.Clients < 1 || cfg.Calls < 1 {
 		return nil, fmt.Errorf("measure: load curve needs shards, clients, calls >= 1")
 	}
@@ -154,7 +228,7 @@ func loadPointSchedule(cfg LoadCurveConfig, rate float64, incr uint32) ([]fleet.
 // manager may migrate hot keys, which is the only way migration can
 // act within a single measured point.
 func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error) {
-	f, err := fleet.New(fleetBenchConfig(cfg.Shards, 0, cfg.LoadManager))
+	f, err := fleet.New(fleetBenchConfig(cfg.Shards, 0, cfg.LoadManager, cfg.Backends))
 	if err != nil {
 		return LoadPoint{}, err
 	}
@@ -218,6 +292,10 @@ func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error
 
 	makespan := makespanDelta(before, after)
 	achieved := clock.PerSec(cfg.Calls, makespan)
+	var profiles []ProfileLoad
+	if len(cfg.Backends) > 0 {
+		profiles = profileBreakdown(before, after, makespan)
+	}
 	return LoadPoint{
 		OfferedPerSec:  rate,
 		AchievedPerSec: achieved,
@@ -233,6 +311,7 @@ func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error
 		Migrations:     after.Migrations - before.Migrations,
 		CacheHits:      after.CacheHits - before.CacheHits,
 		CacheMisses:    after.CacheMisses - before.CacheMisses,
+		Profiles:       profiles,
 	}, nil
 }
 
@@ -272,8 +351,18 @@ type BenchMachine struct {
 	TicksPerSecond       int `json:"ticks_per_sec"`
 }
 
-// BenchLoadCurve is the load-curve section of the BENCH document.
+// BenchLoadCurve is one load-curve section of the BENCH document.
 type BenchLoadCurve struct {
+	// Name labels the curve inside a multi-curve document ("uniform",
+	// "skew-rebalance", "mix-costaware", "mix-heatonly", ...); the gate
+	// in cmd/benchdiff matches curves across documents by it.
+	Name string `json:"name,omitempty"`
+	// Mix is the backend mix the fleet ran ("fast=2,slow=2"); "" means
+	// the homogeneous baseline fleet.
+	Mix string `json:"mix,omitempty"`
+	// HeatOnly records that migration ignored backend cost weights
+	// (the A/B baseline of the cost-aware story).
+	HeatOnly      bool    `json:"heat_only,omitempty"`
 	Shards        int     `json:"shards"`
 	Clients       int     `json:"clients"`
 	CallsPerPoint int     `json:"calls_per_point"`
@@ -297,16 +386,43 @@ type BenchLoadCurve struct {
 // not run are omitted, so consumers can distinguish "not measured"
 // from a degenerate measurement.
 type BenchFleet struct {
-	Schema     string            `json:"schema"`
-	Machine    BenchMachine      `json:"machine"`
+	Schema  string       `json:"schema"`
+	Machine BenchMachine `json:"machine"`
+	// LoadCurve holds a single-curve run (the historical layout);
+	// multi-curve suites use Curves instead. Consumers should read
+	// Curves when present and fall back to LoadCurve.
 	LoadCurve  *BenchLoadCurve   `json:"loadcurve,omitempty"`
+	Curves     []*BenchLoadCurve `json:"curves,omitempty"`
 	Throughput []ThroughputStats `json:"throughput,omitempty"`
 }
 
-// NewBenchFleet assembles the BENCH document from a sweep; points may
-// be nil when only throughput rows were measured.
-func NewBenchFleet(cfg LoadCurveConfig, points []LoadPoint, rows []ThroughputStats) *BenchFleet {
-	doc := &BenchFleet{
+// AllCurves returns the document's curves uniformly: Curves when
+// present, else the legacy single LoadCurve (default-named "uniform").
+func (d *BenchFleet) AllCurves() []*BenchLoadCurve {
+	if len(d.Curves) > 0 {
+		return d.Curves
+	}
+	if d.LoadCurve != nil {
+		lc := *d.LoadCurve
+		if lc.Name == "" {
+			lc.Name = "uniform"
+		}
+		return []*BenchLoadCurve{&lc}
+	}
+	return nil
+}
+
+// NamedCurve pairs one measured curve with its configuration, for
+// multi-curve BENCH documents.
+type NamedCurve struct {
+	Name   string
+	Config LoadCurveConfig
+	Points []LoadPoint
+}
+
+// newBenchDoc builds the document shell.
+func newBenchDoc(rows []ThroughputStats) *BenchFleet {
+	return &BenchFleet{
 		Schema: "smod-bench-fleet/v1",
 		Machine: BenchMachine{
 			CyclesPerMicrosecond: clock.CyclesPerMicrosecond,
@@ -314,27 +430,59 @@ func NewBenchFleet(cfg LoadCurveConfig, points []LoadPoint, rows []ThroughputSta
 		},
 		Throughput: rows,
 	}
+}
+
+// buildCurve assembles one named curve section.
+func buildCurve(name string, cfg LoadCurveConfig, points []LoadPoint) *BenchLoadCurve {
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = len(cfg.Backends)
+	}
+	lc := &BenchLoadCurve{
+		Name:          name,
+		Mix:           cfg.Mix(),
+		Shards:        shards,
+		Clients:       cfg.Clients,
+		CallsPerPoint: cfg.Calls,
+		Process:       cfg.Kind.String(),
+		Seed:          cfg.Seed,
+		ZipfS:         cfg.ZipfS,
+		ArgsCard:      cfg.ArgsCardinality,
+		Epochs:        cfg.Epochs,
+		Points:        points,
+		KneeIndex:     KneeIndex(points),
+	}
+	if lm := cfg.LoadManager; lm != nil {
+		lc.Rebalance = lm.Migrate
+		lc.CacheSize = lm.CacheSize
+		lc.HeatOnly = lm.HeatOnly
+	}
+	if lc.KneeIndex >= 0 {
+		lc.KneeOfferedCPS = points[lc.KneeIndex].OfferedPerSec
+	}
+	return lc
+}
+
+// NewBenchFleet assembles a single-curve BENCH document; points may be
+// nil when only throughput rows were measured.
+func NewBenchFleet(cfg LoadCurveConfig, points []LoadPoint, rows []ThroughputStats) *BenchFleet {
+	doc := newBenchDoc(rows)
 	if len(points) > 0 {
-		lc := &BenchLoadCurve{
-			Shards:        cfg.Shards,
-			Clients:       cfg.Clients,
-			CallsPerPoint: cfg.Calls,
-			Process:       cfg.Kind.String(),
-			Seed:          cfg.Seed,
-			ZipfS:         cfg.ZipfS,
-			ArgsCard:      cfg.ArgsCardinality,
-			Epochs:        cfg.Epochs,
-			Points:        points,
-			KneeIndex:     KneeIndex(points),
+		doc.LoadCurve = buildCurve("", cfg, points)
+		doc.LoadCurve.Name = "" // legacy layout: unnamed single curve
+	}
+	return doc
+}
+
+// NewBenchFleetCurves assembles a multi-curve BENCH document (the CI
+// gate suite: uniform + skewed + mixed-fleet curves, each named).
+func NewBenchFleetCurves(curves []NamedCurve, rows []ThroughputStats) *BenchFleet {
+	doc := newBenchDoc(rows)
+	for _, c := range curves {
+		if len(c.Points) == 0 {
+			continue
 		}
-		if lm := cfg.LoadManager; lm != nil {
-			lc.Rebalance = lm.Migrate
-			lc.CacheSize = lm.CacheSize
-		}
-		if lc.KneeIndex >= 0 {
-			lc.KneeOfferedCPS = points[lc.KneeIndex].OfferedPerSec
-		}
-		doc.LoadCurve = lc
+		doc.Curves = append(doc.Curves, buildCurve(c.Name, c.Config, c.Points))
 	}
 	return doc
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/fleet"
@@ -47,19 +48,27 @@ type ThroughputStats struct {
 }
 
 // fleetBenchConfig provisions the SecModule libc under the bench
-// policy on every shard. incr is declared idempotent (it is x+1), so a
-// load manager with caching enabled may memoize it; lm may be nil.
-func fleetBenchConfig(shards, maxSessions int, lm *loadmgr.Options) fleet.Config {
+// policy on every shard, honoring each shard's backend-profile flavor
+// (modcrypt shards register an encrypted archive). incr is declared
+// idempotent (it is x+1), so a load manager with caching enabled may
+// memoize it; lm and backends may be nil.
+func fleetBenchConfig(shards, maxSessions int, lm *loadmgr.Options, backends []backend.Assignment) fleet.Config {
 	return fleet.Config{
 		Shards:              shards,
+		Backends:            backends,
 		Module:              "libc",
 		Version:             1,
 		ClientUID:           1,
 		ClientName:          "bench",
 		MaxSessionsPerShard: maxSessions,
 		LoadManager:         lm,
-		Provision: func(k *kern.Kernel, sm *core.SMod) error {
+		Provision: func(k *kern.Kernel, sm *core.SMod, p backend.Profile) error {
 			lib, err := core.LibCArchive()
+			if err != nil {
+				return err
+			}
+			lib, err = backend.ProvisionArchive(sm.ModKeys, lib, p, "bench-fleet-key",
+				[]byte("bench fleet key"))
 			if err != nil {
 				return err
 			}
@@ -140,7 +149,14 @@ func throughputRow(name string, shards, clients, calls int, before, after fleet.
 // loop (next call only after the previous returned). Sessions are
 // pre-warmed so the measured phase contains only smod_call traffic.
 func RunFleetClosedLoop(shards, clients, callsPerClient int) (row ThroughputStats, err error) {
-	f, err := fleet.New(fleetBenchConfig(shards, 0, nil))
+	return RunFleetClosedLoopMix(shards, nil, clients, callsPerClient)
+}
+
+// RunFleetClosedLoopMix is RunFleetClosedLoop over an explicit backend
+// assignment (nil = homogeneous baseline fleet): the closed-loop
+// capacity probe for mixed-fleet load curves.
+func RunFleetClosedLoopMix(shards int, backends []backend.Assignment, clients, callsPerClient int) (row ThroughputStats, err error) {
+	f, err := fleet.New(fleetBenchConfig(shards, 0, nil, backends))
 	if err != nil {
 		return ThroughputStats{}, err
 	}
@@ -183,7 +199,7 @@ func RunFleetClosedLoop(shards, clients, callsPerClient int) (row ThroughputStat
 // open-loop bound; the gap to the closed-loop row is the value of
 // session reuse.
 func RunFleetOpenLoop(shards, totalCalls, maxSessions int) (row ThroughputStats, err error) {
-	f, err := fleet.New(fleetBenchConfig(shards, maxSessions, nil))
+	f, err := fleet.New(fleetBenchConfig(shards, maxSessions, nil, nil))
 	if err != nil {
 		return ThroughputStats{}, err
 	}

@@ -3,7 +3,6 @@ package rpc
 import (
 	"fmt"
 
-	"repro/internal/clock"
 	"repro/internal/kern"
 	"repro/internal/xdr"
 )
@@ -32,7 +31,8 @@ const SimServerPort = 1111
 
 // chargeMsg charges the marshal (or unmarshal) cost of one message.
 func chargeMsg(s *kern.Sys, n int) {
-	s.Burn(clock.CostRPCLayer + uint64(n)*clock.CostXDRPerByte)
+	c := s.Kernel().Costs
+	s.Burn(c.RPCLayer + uint64(n)*c.XDRPerByte)
 }
 
 // StartSimServer spawns the simulated RPC server process. It serves

@@ -127,6 +127,10 @@ func (e *Entry) pageIndex(addr uint32) uint32 {
 type Space struct {
 	phys *mem.Phys
 	clk  *clock.Clock
+	// costs is the machine's cost table for fault-service charges
+	// (SetCosts); nil falls back to the baseline table, so unit tests
+	// building bare spaces keep the historical charges.
+	costs *clock.Costs
 
 	entries []*Entry // sorted by Start, non-overlapping
 
@@ -152,6 +156,23 @@ type Space struct {
 // (nil phys panics on first allocation; nil clk skips charging).
 func NewSpace(phys *mem.Phys, clk *clock.Clock) *Space {
 	return &Space{phys: phys, clk: clk}
+}
+
+// baseCosts is the fallback charge table for spaces whose owner never
+// called SetCosts (bare unit-test spaces).
+var baseCosts = clock.Base()
+
+// SetCosts points fault-service charges at the owning machine's cost
+// table (shared by reference: the kernel scales it once per backend
+// profile at construction).
+func (s *Space) SetCosts(c *clock.Costs) { s.costs = c }
+
+// Costs returns the active charge table.
+func (s *Space) Costs() *clock.Costs {
+	if s.costs != nil {
+		return s.costs
+	}
+	return &baseCosts
 }
 
 func (s *Space) charge(c uint64) {
@@ -329,7 +350,7 @@ func (s *Space) Fault(addr uint32, access Access) (*mem.Page, error) {
 				}
 				s.ShareFaults++
 				s.Faults++
-				s.charge(clock.CostPageFault)
+				s.charge(s.Costs().PageFault)
 				e = alias
 			}
 		}
@@ -353,7 +374,7 @@ func (s *Space) Fault(addr uint32, access Access) (*mem.Page, error) {
 		e.Amap[idx] = an
 		s.Faults++
 		s.ZeroFills++
-		s.charge(clock.CostPageFault + clock.CostPageZeroFill)
+		s.charge(s.Costs().PageFault + s.Costs().PageZeroFill)
 		return pg, nil
 	}
 	if access == AccessWrite && e.COW && an.Refs > 1 {
@@ -368,7 +389,7 @@ func (s *Space) Fault(addr uint32, access Access) (*mem.Page, error) {
 		e.Amap[idx] = an
 		s.Faults++
 		s.COWCopies++
-		s.charge(clock.CostPageFault + clock.CostPageCopy)
+		s.charge(s.Costs().PageFault + s.Costs().PageCopy)
 		return pg, nil
 	}
 	return an.Page, nil
@@ -519,6 +540,7 @@ func (s *Space) FetchExec(addr uint32) (byte, error) {
 // presupposes exactly this copy.
 func (s *Space) Fork() *Space {
 	child := NewSpace(s.phys, s.clk)
+	child.costs = s.costs
 	child.HeapStart, child.HeapEnd = s.HeapStart, s.HeapEnd
 	for _, e := range s.entries {
 		if e.Shared {
@@ -532,7 +554,7 @@ func (s *Space) Fork() *Space {
 					}
 					pg.Data = an.Page.Data
 					ce.Amap[idx] = &Anon{Page: pg, Refs: 1}
-					s.charge(clock.CostPageCopy)
+					s.charge(s.Costs().PageCopy)
 				}
 				child.entries = append(child.entries, ce)
 				continue
