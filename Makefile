@@ -28,9 +28,10 @@ race:
 	$(GO) test -race ./...
 
 # Brief coverage-guided fuzzing of the policy parser, XDR codec, SM32
-# assembler, SOF deserializers, the linker, and module registration;
-# long hunts run nightly in CI (see
-# .github/workflows/fuzz-nightly.yml) or by hand:
+# assembler, SOF deserializers, the linker, module registration, and
+# the fleet routing layer (scripted plans against a mixed replicating
+# fleet, asserting the RunPlan determinism property); long hunts run
+# nightly in CI (see .github/workflows/fuzz-nightly.yml) or by hand:
 # go test -fuzz=<target> -fuzztime=10m ./internal/<pkg>
 fuzz-short:
 	$(GO) test -run=NONE -fuzz=FuzzParseAssertion -fuzztime=10s ./internal/policy
@@ -44,6 +45,7 @@ fuzz-short:
 	$(GO) test -run=NONE -fuzz=FuzzLink -fuzztime=10s ./internal/obj
 	$(GO) test -run=NONE -fuzz=FuzzRegisterModule -fuzztime=10s ./internal/core
 	$(GO) test -run=NONE -fuzz=FuzzSessionDispatch -fuzztime=10s ./internal/core
+	$(GO) test -run=NONE -fuzz=FuzzFleetRoute -fuzztime=10s ./internal/fleet
 
 bench:
 	$(GO) test -bench=. -benchmem .

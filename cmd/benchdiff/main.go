@@ -24,6 +24,16 @@
 // the candidate dropped fails; a curve the candidate added is noted
 // and accepted as its first baseline.
 //
+// On top of the per-curve gates, one cross-curve invariant is
+// enforced inside the candidate document: when it carries the
+// dominant-key replication pair ("skew-replicated" and its
+// migration-only twin "skew-dominant", swept over identical rates),
+// the replicated knee must sit strictly later — hot-key replication
+// must beat migration alone on the single-dominant-key sweep, or the
+// strategy has regressed no matter what the baseline says. When the
+// "skew-rebalance" curve is present too, the replicated knee's offered
+// rate must also be at or above that curve's knee rate.
+//
 // Usage:
 //
 //	benchdiff -old BENCH_fleet.json -new BENCH_new.json
@@ -116,7 +126,69 @@ func compare(oldDoc, newDoc *measure.BenchFleet, p95Tol float64) []string {
 			fmt.Printf("note: new curve %q has no baseline; accepted as the first\n", nc.Name)
 		}
 	}
+	fails = append(fails, replicationInvariant(newCurves)...)
 	return fails
+}
+
+// replicationInvariant gates the candidate's dominant-key pair:
+// replication must strictly beat migration-only on the identical-rate
+// sweep, and must not fall below the skew-rebalance knee's offered
+// rate. Documents without the replicated curve pass untouched.
+func replicationInvariant(curves []*measure.BenchLoadCurve) []string {
+	byName := map[string]*measure.BenchLoadCurve{}
+	for _, c := range curves {
+		byName[c.Name] = c
+	}
+	rep := byName["skew-replicated"]
+	if rep == nil {
+		return nil
+	}
+	// A knee index of -1 means the sweep never saturated: treat it as
+	// past the end of the grid.
+	kneeIdx := func(c *measure.BenchLoadCurve) int {
+		if k := measure.KneeIndex(c.Points); k >= 0 {
+			return k
+		}
+		return len(c.Points)
+	}
+	var fails []string
+	if dom := byName["skew-dominant"]; dom != nil {
+		// The index comparison is only meaningful over one shared rate
+		// grid; refuse a pair whose sweeps diverged rather than gate on
+		// incomparable indices.
+		if !sameRates(rep.Points, dom.Points) {
+			return []string{
+				"replication invariant: skew-replicated and skew-dominant were swept over different rate grids; pair incomparable"}
+		}
+		rk, dk := kneeIdx(rep), kneeIdx(dom)
+		fmt.Printf("\n== replication invariant ==\nknee index: skew-replicated %d, skew-dominant %d (identical rates)\n", rk, dk)
+		if rk <= dk && rk < len(rep.Points) {
+			fails = append(fails, fmt.Sprintf(
+				"replication invariant: skew-replicated knee (index %d) does not beat migration-only skew-dominant (index %d)", rk, dk))
+		}
+	}
+	if reb := byName["skew-rebalance"]; reb != nil {
+		// Recomputed from the points, like the pair above — a stale or
+		// zeroed knee_offered_cps field must not skip the gate.
+		repCPS, repSat := kneeOffered(rep)
+		rebCPS, rebSat := kneeOffered(reb)
+		if repSat && rebSat && repCPS < rebCPS {
+			fails = append(fails, fmt.Sprintf(
+				"replication invariant: skew-replicated knee %.0f cps below skew-rebalance knee %.0f cps",
+				repCPS, rebCPS))
+		}
+	}
+	return fails
+}
+
+// kneeOffered returns the offered rate at a curve's saturation knee,
+// recomputed from its points (false = the sweep never saturated).
+func kneeOffered(c *measure.BenchLoadCurve) (float64, bool) {
+	k := measure.KneeIndex(c.Points)
+	if k < 0 {
+		return 0, false
+	}
+	return c.Points[k].OfferedPerSec, true
 }
 
 // compareCurve gates one matched pair of curves.
@@ -177,6 +249,20 @@ func compareCurve(oc, nc *measure.BenchLoadCurve, p95Tol float64) []string {
 	return fails
 }
 
+// sameRates reports whether two point lists sweep one offered-rate
+// grid.
+func sameRates(a, b []measure.LoadPoint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].OfferedPerSec != b[i].OfferedPerSec {
+			return false
+		}
+	}
+	return true
+}
+
 // configMismatch rejects comparisons across different workload shapes.
 func configMismatch(oc, nc *measure.BenchLoadCurve) string {
 	type shape struct {
@@ -188,11 +274,12 @@ func configMismatch(oc, nc *measure.BenchLoadCurve) string {
 		ZipfS                     float64
 		ArgsCard, Epochs, CacheSz int
 		Rebalance                 bool
+		Replicas                  int
 	}
 	o := shape{oc.Mix, oc.HeatOnly, oc.Shards, oc.Clients, oc.CallsPerPoint, oc.Process, oc.Seed,
-		oc.ZipfS, oc.ArgsCard, oc.Epochs, oc.CacheSize, oc.Rebalance}
+		oc.ZipfS, oc.ArgsCard, oc.Epochs, oc.CacheSize, oc.Rebalance, oc.Replicas}
 	n := shape{nc.Mix, nc.HeatOnly, nc.Shards, nc.Clients, nc.CallsPerPoint, nc.Process, nc.Seed,
-		nc.ZipfS, nc.ArgsCard, nc.Epochs, nc.CacheSize, nc.Rebalance}
+		nc.ZipfS, nc.ArgsCard, nc.Epochs, nc.CacheSize, nc.Rebalance, nc.Replicas}
 	if o != n {
 		return fmt.Sprintf("%s: workload shape changed, documents incomparable: baseline %+v, candidate %+v",
 			oc.Name, o, n)

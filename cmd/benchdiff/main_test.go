@@ -181,3 +181,108 @@ func TestCompareMissingCurve(t *testing.T) {
 		t.Fatalf("first candidate rejected: %v", fails)
 	}
 }
+
+// repDoc builds a candidate document carrying the dominant-key
+// replication pair (identical rate grids) plus optionally the
+// skew-rebalance curve.
+func repDoc(repPts, domPts, rebPts []measure.LoadPoint) *measure.BenchFleet {
+	d := &measure.BenchFleet{Schema: "smod-bench-fleet/v1"}
+	add := func(name string, pts []measure.LoadPoint, replicas int) {
+		if pts == nil {
+			return
+		}
+		lc := &measure.BenchLoadCurve{
+			Name: name, Shards: 4, Clients: 8, CallsPerPoint: 200,
+			Process: "poisson", Seed: 1, ZipfS: 1.5, Epochs: 8, Rebalance: true,
+			Replicas: replicas, Points: pts,
+			KneeIndex: measure.KneeIndex(pts),
+		}
+		if lc.KneeIndex >= 0 {
+			lc.KneeOfferedCPS = pts[lc.KneeIndex].OfferedPerSec
+		}
+		if name == "skew-rebalance" {
+			lc.ZipfS = 1.2
+		}
+		d.Curves = append(d.Curves, lc)
+	}
+	add("skew-replicated", repPts, 4)
+	add("skew-dominant", domPts, 0)
+	add("skew-rebalance", rebPts, 0)
+	return d
+}
+
+// TestReplicationInvariant: inside one candidate document the
+// replicated curve must strictly beat the migration-only dominant-key
+// curve, and must not knee below the skew-rebalance curve.
+func TestReplicationInvariant(t *testing.T) {
+	// Clean: replicated knees one grid step later than dominant and at
+	// a higher offered rate than skew-rebalance.
+	clean := repDoc(
+		[]measure.LoadPoint{pt(100, 10, false), pt(200, 12, false), pt(300, 90, true)},
+		[]measure.LoadPoint{pt(100, 11, false), pt(200, 80, true), pt(300, 120, true)},
+		[]measure.LoadPoint{pt(100, 9, false), pt(200, 70, true), pt(300, 100, true)},
+	)
+	if fails := replicationInvariant(clean.AllCurves()); len(fails) != 0 {
+		t.Fatalf("clean replication pair flagged: %v", fails)
+	}
+	// Tie: replicated saturating at the same index as migration-only
+	// means replication bought nothing — fail.
+	tie := repDoc(
+		[]measure.LoadPoint{pt(100, 10, false), pt(200, 85, true), pt(300, 90, true)},
+		[]measure.LoadPoint{pt(100, 11, false), pt(200, 80, true), pt(300, 120, true)},
+		nil,
+	)
+	if fails := replicationInvariant(tie.AllCurves()); len(fails) == 0 {
+		t.Fatal("replicated == migration-only knee passed")
+	}
+	// Replicated never saturating always passes.
+	open := repDoc(
+		[]measure.LoadPoint{pt(100, 10, false), pt(200, 12, false), pt(300, 13, false)},
+		[]measure.LoadPoint{pt(100, 11, false), pt(200, 80, true), pt(300, 120, true)},
+		nil,
+	)
+	if fails := replicationInvariant(open.AllCurves()); len(fails) != 0 {
+		t.Fatalf("unsaturated replicated curve flagged: %v", fails)
+	}
+	// Below the skew-rebalance knee's offered rate: fail (the dominant
+	// pair itself is clean — replicated knees a grid step later).
+	below := repDoc(
+		[]measure.LoadPoint{pt(100, 10, false), pt(200, 12, false), pt(300, 90, true)},
+		[]measure.LoadPoint{pt(100, 11, false), pt(200, 80, true), pt(300, 120, true)},
+		[]measure.LoadPoint{pt(200, 9, false), pt(400, 95, true), pt(600, 200, true)},
+	)
+	fails := replicationInvariant(below.AllCurves())
+	if len(fails) == 0 {
+		t.Fatal("replicated knee below skew-rebalance knee passed")
+	}
+	if !strings.Contains(strings.Join(fails, "\n"), "skew-rebalance") {
+		t.Fatalf("failure not attributed to the rebalance comparison: %v", fails)
+	}
+	// The dominant pair must share one rate grid; diverged sweeps are
+	// incomparable, not silently index-compared.
+	grids := repDoc(
+		[]measure.LoadPoint{pt(100, 10, false), pt(200, 12, false), pt(300, 90, true)},
+		[]measure.LoadPoint{pt(100, 11, false), pt(150, 80, true), pt(300, 120, true)},
+		nil,
+	)
+	fails = replicationInvariant(grids.AllCurves())
+	if len(fails) != 1 || !strings.Contains(fails[0], "incomparable") {
+		t.Fatalf("diverged rate grids not rejected as incomparable: %v", fails)
+	}
+	// Documents without the replicated curve are untouched.
+	if fails := replicationInvariant(repDoc(nil, nil, nil).AllCurves()); len(fails) != 0 {
+		t.Fatalf("document without replication pair flagged: %v", fails)
+	}
+}
+
+// TestCompareReplicasShape: a replica-count change makes curves
+// incomparable, like any other workload-shape change.
+func TestCompareReplicasShape(t *testing.T) {
+	base := doc(pt(100, 10, false))
+	cand := doc(pt(100, 10, false))
+	base.LoadCurve.Replicas = 4
+	cand.LoadCurve.Replicas = 2
+	if fails := compare(base, cand, 0.15); len(fails) == 0 {
+		t.Fatal("replica-count shape change passed")
+	}
+}

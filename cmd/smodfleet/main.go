@@ -91,7 +91,8 @@ func main() {
 
 		mix      = flag.String("mix", "", "load curve: heterogeneous backend mix, e.g. fast=2,slow=2,crypto=1 (overrides -lcshards)")
 		heatOnly = flag.Bool("heatonly", false, "load curve: migration balances raw heat, ignoring backend cost weights (A/B baseline for -mix)")
-		suite    = flag.Bool("suite", false, "run the CI gate suite (uniform + skewed + mixed cost-aware/heat-only) into one BENCH document")
+		replicas = flag.Int("replicas", 0, "load curve: serve idempotent hot keys from up to N shards at once (placement.Replicated; implies rebalancing at epoch barriers)")
+		suite    = flag.Bool("suite", false, "run the CI gate suite (uniform + skewed + mixed cost-aware/heat-only + dominant-key replicated pair) into one BENCH document")
 	)
 	flag.Parse()
 
@@ -115,7 +116,7 @@ func main() {
 
 	if *loadCurve {
 		var lm *loadmgr.Options
-		if *rebalance || *cacheSize > 0 {
+		if *rebalance || *cacheSize > 0 || *replicas > 0 {
 			lm = &loadmgr.Options{
 				Migrate:   *rebalance,
 				HeatOnly:  *heatOnly,
@@ -133,6 +134,7 @@ func main() {
 			ArgsCardinality: *argsCard,
 			Epochs:          *epochs,
 			LoadManager:     lm,
+			Replicas:        *replicas,
 		}
 		if *mix != "" {
 			as, err := backend.DefaultCatalog().ParseMix(*mix)
@@ -260,8 +262,12 @@ func describeCurve(cfg measure.LoadCurveConfig) {
 			cfg.ZipfS, cfg.Clients, max(cfg.Epochs, 1))
 	}
 	if lm := cfg.LoadManager; lm != nil {
-		fmt.Printf("loadmgr: rebalance=%v heatonly=%v cache=%d entries/shard argscard=%d\n",
+		fmt.Printf("placement: rebalance=%v heatonly=%v cache=%d entries/shard argscard=%d\n",
 			lm.Migrate, lm.HeatOnly, lm.CacheSize, cfg.ArgsCardinality)
+	}
+	if cfg.Replicas > 0 {
+		fmt.Printf("replication: idempotent hot keys served from up to %d shards (heat-sized at epoch barriers)\n",
+			cfg.Replicas)
 	}
 	fmt.Println()
 }
@@ -270,14 +276,19 @@ func describeCurve(cfg measure.LoadCurveConfig) {
 // per-profile utilization at the knee, and the knee histogram.
 func reportCurve(cfg measure.LoadCurveConfig, points []measure.LoadPoint) {
 	fmt.Print(measure.LoadCurveTable(points))
-	var migr, hits, misses uint64
+	var migr, hits, misses, radd, rdrop uint64
 	for _, p := range points {
 		migr += p.Migrations
 		hits += p.CacheHits
 		misses += p.CacheMisses
+		radd += p.ReplicasAdded
+		rdrop += p.ReplicasDropped
 	}
 	if migr > 0 || hits+misses > 0 {
-		fmt.Printf("\nloadmgr totals: %d migrations, %d cache hits / %d misses\n", migr, hits, misses)
+		fmt.Printf("\nplacement totals: %d migrations, %d cache hits / %d misses\n", migr, hits, misses)
+	}
+	if radd > 0 || rdrop > 0 {
+		fmt.Printf("replication totals: %d replicas warmed in, %d drained\n", radd, rdrop)
 	}
 	k := measure.KneeIndex(points)
 	if len(cfg.Backends) > 0 {
@@ -289,6 +300,19 @@ func reportCurve(cfg measure.LoadCurveConfig, points []measure.LoadPoint) {
 		for _, pl := range points[at].Profiles {
 			fmt.Printf("  %-8s %d shard(s)  %6d calls  %5.1f%% busy\n",
 				pl.Name, pl.Shards, pl.Calls, 100*pl.Utilization)
+		}
+	}
+	if cfg.Replicas > 0 {
+		at := k
+		if at < 0 {
+			at = len(points) - 1
+		}
+		if p := points[at]; p.ReplicaKey != "" {
+			fmt.Printf("\nper-replica hits for hottest key %q at %.0f calls/sec offered:\n",
+				p.ReplicaKey, p.OfferedPerSec)
+			for _, h := range p.ReplicaHits {
+				fmt.Printf("  shard %d  %6d calls\n", h.Shard, h.Calls)
+			}
 		}
 	}
 	if k >= 0 {
@@ -350,21 +374,31 @@ type suiteParams struct {
 // the acceptance signal of the backend layer.
 const suiteMix = "fast=2,slow=2"
 
-// runSuite measures the gate suite — four named curves in one BENCH
+// suiteDominantZipf is the single-dominant-key skew of the replication
+// pair: at Zipf(1.5) the rank-0 key draws about half of all arrivals,
+// the regime where one shard caps the whole fleet unless the key is
+// served from several shards at once.
+const suiteDominantZipf = 1.5
+
+// runSuite measures the gate suite — six named curves in one BENCH
 // document:
 //
-//	uniform:        homogeneous fleet, uniform keys (the historical gate);
-//	skew-rebalance: homogeneous fleet, Zipf keys, migration on;
-//	mix-costaware:  fast=2,slow=2, Zipf keys, cost-aware migration;
-//	mix-heatonly:   same fleet and rates, migration ignoring shard speed.
+//	uniform:         homogeneous fleet, uniform keys (the historical gate);
+//	skew-rebalance:  homogeneous fleet, Zipf(1.2) keys, migration on;
+//	mix-costaware:   fast=2,slow=2, Zipf keys, cost-aware migration;
+//	mix-heatonly:    same fleet and rates, migration ignoring shard speed;
+//	skew-dominant:   homogeneous 4-shard fleet, Zipf(1.5) single-dominant
+//	                 key, cost-aware migration only;
+//	skew-replicated: same fleet and rates, hot-key replication on.
 //
-// The two mixed curves sweep identical offered rates, so their knee
-// indices are directly comparable: the cost-aware knee sitting at a
-// higher offered load than the heat-only knee is the capacity the
-// cost-aware migrator recovers from a mixed fleet.
+// Each paired set sweeps identical offered rates, so knee indices are
+// directly comparable: cost-aware above heat-only is the capacity the
+// cost-aware migrator recovers from a mixed fleet, and replicated
+// above dominant is the single-shard ceiling hot-key replication
+// lifts — migration alone cannot help once one key IS the load.
 func runSuite(p suiteParams) {
 	fmt.Println(clock.MachineInfo())
-	fmt.Printf("\n=== bench suite: uniform + skew-rebalance + %s cost-aware/heat-only ===\n", suiteMix)
+	fmt.Printf("\n=== bench suite: uniform + skew-rebalance + %s cost-aware/heat-only + dominant-key replication pair ===\n", suiteMix)
 
 	as, err := backend.DefaultCatalog().ParseMix(suiteMix)
 	if err != nil {
@@ -398,28 +432,41 @@ func runSuite(p suiteParams) {
 	mixHeat := mixCost
 	mixHeat.LoadManager = lm(true)
 
+	// The dominant-key pair: one key draws ~half the arrivals, so the
+	// sticky+migrating fleet saturates at its primary shard's capacity;
+	// the replicated variant serves that key from up to 4 shards.
+	dominant := base
+	dominant.Shards = 4
+	dominant.ZipfS = suiteDominantZipf
+	dominant.Epochs = 8
+	dominant.LoadManager = lm(false)
+
+	replicated := dominant
+	replicated.Replicas = 4
+
 	curves := []measure.NamedCurve{
 		{Name: "uniform", Config: uniform},
 		{Name: "skew-rebalance", Config: skewed},
 		{Name: "mix-costaware", Config: mixCost},
 		{Name: "mix-heatonly", Config: mixHeat},
+		{Name: "skew-dominant", Config: dominant},
+		{Name: "skew-replicated", Config: replicated},
 	}
-	// The mixed pair shares one rate sweep (computed for mix-costaware)
-	// so the knees are comparable; the others get their own.
-	var mixRates []float64
+	// Each A/B pair shares one rate sweep (computed for its first
+	// curve) so the knees are comparable; the others get their own.
+	shared := map[string]string{"mix-heatonly": "mix-costaware", "skew-replicated": "skew-dominant"}
+	rates := map[string][]float64{}
 	for i := range curves {
 		cfg := &curves[i].Config
-		if curves[i].Name == "mix-heatonly" && mixRates != nil {
-			cfg.Rates = mixRates
+		if src, ok := shared[curves[i].Name]; ok && rates[src] != nil {
+			cfg.Rates = rates[src]
 		} else {
-			rates, err := autoRates(*cfg, p.utilList)
+			rs, err := autoRates(*cfg, p.utilList)
 			if err != nil {
 				fatal(fmt.Errorf("%s: %w", curves[i].Name, err))
 			}
-			cfg.Rates = rates
-			if curves[i].Name == "mix-costaware" {
-				mixRates = rates
-			}
+			cfg.Rates = rs
+			rates[curves[i].Name] = rs
 		}
 		fmt.Printf("\n--- curve %q ---\n", curves[i].Name)
 		describeCurve(*cfg)
@@ -441,6 +488,8 @@ func runSuite(p suiteParams) {
 	}
 	fmt.Printf("\nmixed-fleet knees (%s, identical rate sweeps): cost-aware index %d, heat-only index %d\n",
 		suiteMix, kneeOf("mix-costaware"), kneeOf("mix-heatonly"))
+	fmt.Printf("dominant-key knees (Zipf %.1f, identical rate sweeps): replicated index %d, migration-only index %d\n",
+		suiteDominantZipf, kneeOf("skew-replicated"), kneeOf("skew-dominant"))
 
 	jsonPath := p.jsonPath
 	if jsonPath == "" {

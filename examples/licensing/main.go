@@ -24,11 +24,40 @@ import (
 	"os"
 
 	"repro/internal/asm"
+	"repro/internal/backend"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/kern"
 	"repro/internal/modcrypt"
 	"repro/internal/obj"
 )
+
+// provisionCksum prepares one kernel to serve the licensed module:
+// the vendor's signing key enters the policy keystore (so signed
+// licenses verify), the library is AES-encrypted into the module
+// keystore, and the module registers trusting only the vendor. The
+// walkthrough kernel and every fleet shard go through here.
+func provisionCksum(sm *core.SMod) (*core.Module, error) {
+	sm.PolicyKeys.AddPrincipal("vendor", []byte("vendor signing secret"))
+	libObj, err := asm.Assemble("cksum.s", proprietaryLib)
+	if err != nil {
+		return nil, err
+	}
+	plain := &obj.Archive{Name: "libcksum.a"}
+	plain.Add(libObj)
+	lib, err := modcrypt.EncryptArchive(sm.ModKeys, plain, "cksum-key", []byte("product master key"))
+	if err != nil {
+		return nil, err
+	}
+	return sm.Register(&core.ModuleSpec{
+		Name: "cksum", Version: 2, Owner: "vendor", Lib: lib,
+		// Only the vendor is trusted by local policy; customers must
+		// present a credential chain rooted at the vendor.
+		PolicySrc: []string{`authorizer: "POLICY"
+licensees: "vendor"
+`},
+	})
+}
 
 const proprietaryLib = `
 .text
@@ -76,30 +105,9 @@ func run(out io.Writer) error {
 	k := kern.New()
 	sm := core.Attach(k)
 
-	// The vendor's signing key lives in the kernel policy keystore.
-	sm.PolicyKeys.AddPrincipal("vendor", []byte("vendor signing secret"))
-
-	// Build and encrypt the library; the AES key enters the kernel
-	// keystore and never reaches any client.
-	libObj, err := asm.Assemble("cksum.s", proprietaryLib)
-	if err != nil {
-		return err
-	}
-	plain := &obj.Archive{Name: "libcksum.a"}
-	plain.Add(libObj)
-	lib, err := modcrypt.EncryptArchive(sm.ModKeys, plain, "cksum-key", []byte("product master key"))
-	if err != nil {
-		return err
-	}
-
-	m, err := sm.Register(&core.ModuleSpec{
-		Name: "cksum", Version: 2, Owner: "vendor", Lib: lib,
-		// Only the vendor is trusted by local policy; customers must
-		// present a credential chain rooted at the vendor.
-		PolicySrc: []string{`authorizer: "POLICY"
-licensees: "vendor"
-`},
-	})
+	// The vendor key, the encrypted library, and the module itself are
+	// provisioned in one step (shared with the fleet epilogue below).
+	m, err := provisionCksum(sm)
 	if err != nil {
 		return err
 	}
@@ -182,5 +190,44 @@ conditions: operation == "remove" -> "allow";
 	}
 	fmt.Fprintf(out, "smod_remove errno = %d; module registered afterwards: %v\n",
 		removeErrno, sm.Find("cksum", 2) != 0)
-	return try("customer-a", goodLicense)
+	if err := try("customer-a", goodLicense); err != nil {
+		return err
+	}
+
+	// One license, a whole fleet: the option-based fleet API provisions
+	// the encrypted module on two fresh kernels; customer-a's signed
+	// credential admits a session on whichever shard each job key
+	// lands, while the pirate's forged license is refused everywhere.
+	fmt.Fprintln(out, "\nthe same licenses against a 2-shard fleet...")
+	fleetFor := func(who, license string) error {
+		fl, err := fleet.Open(
+			fleet.WithShards(2),
+			fleet.WithModule("cksum", 2),
+			fleet.WithClient(10, who),
+			fleet.WithCredential(license),
+			fleet.WithProvision(func(_ *kern.Kernel, sm *core.SMod, _ backend.Profile) error {
+				_, err := provisionCksum(sm)
+				return err
+			}),
+		)
+		if err != nil {
+			return err
+		}
+		defer fl.Close()
+		ck, _ := fl.FuncID("checksum")
+		for _, key := range []string{who + "-job-1", who + "-job-2"} {
+			// checksum over zero bytes: pointer args cannot cross the
+			// fleet API, but the empty digest still proves dispatch.
+			if _, err := fl.Call(key, ck, 0, 0); err != nil {
+				fmt.Fprintf(out, "fleet %-12s refused (%v)\n", who+":", err)
+				return nil
+			}
+		}
+		fmt.Fprintf(out, "fleet %-12s licensed on both shards, sessions: %v\n", who+":", fl.PoolLoad())
+		return nil
+	}
+	if err := fleetFor("customer-a", goodLicense); err != nil {
+		return err
+	}
+	return fleetFor("pirate", forgedLicense)
 }

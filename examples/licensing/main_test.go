@@ -19,6 +19,8 @@ func TestRun(t *testing.T) {
 		"pirate:      refused at session start",
 		"smod_remove errno = 0; module registered afterwards: false",
 		"smod_find(cksum,2): errno 2",
+		"fleet customer-a:  licensed on both shards, sessions: [1 1]",
+		"fleet pirate:      refused (core: smod_start_session(cksum): errno 13)",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output lacks %q:\n%s", want, out)

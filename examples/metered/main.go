@@ -22,11 +22,34 @@ import (
 	"os"
 
 	"repro/internal/asm"
+	"repro/internal/backend"
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/kern"
 	"repro/internal/obj"
 )
+
+// registerCrunch assembles and registers the metered module with its
+// per-call quota policy; the walkthrough kernel and every fleet shard
+// provision with it.
+func registerCrunch(sm *core.SMod) (*core.Module, error) {
+	libObj, err := asm.Assemble("crunch.s", expensiveLib)
+	if err != nil {
+		return nil, err
+	}
+	lib := &obj.Archive{Name: "libcrunch.a"}
+	lib.Add(libObj)
+	return sm.Register(&core.ModuleSpec{
+		Name: "crunch", Version: 1, Owner: "admin", Lib: lib,
+		CheckPerCall: true,
+		PolicySrc: []string{`authorizer: "POLICY"
+licensees: "batchuser"
+conditions: operation == "session" -> "allow";
+            operation == "call" && calls < 5 -> "allow";
+`},
+	})
+}
 
 // crunch burns cycles proportional to its argument: the "expensive"
 // resource being metered.
@@ -64,25 +87,10 @@ func run(out io.Writer) error {
 	k := kern.New()
 	sm := core.Attach(k)
 
-	libObj, err := asm.Assemble("crunch.s", expensiveLib)
-	if err != nil {
-		return err
-	}
-	lib := &obj.Archive{Name: "libcrunch.a"}
-	lib.Add(libObj)
-
 	// The quota policy: per-call evaluation, at most 5 calls per
 	// session. "calls" is supplied by the kernel from the session's
 	// dispatch counter.
-	m, err := sm.Register(&core.ModuleSpec{
-		Name: "crunch", Version: 1, Owner: "admin", Lib: lib,
-		CheckPerCall: true,
-		PolicySrc: []string{`authorizer: "POLICY"
-licensees: "batchuser"
-conditions: operation == "session" -> "allow";
-            operation == "call" && calls < 5 -> "allow";
-`},
-	})
+	m, err := registerCrunch(sm)
 	if err != nil {
 		return err
 	}
@@ -128,5 +136,36 @@ conditions: operation == "session" -> "allow";
 		fmt.Fprintln(out, " ", r)
 	}
 	fmt.Fprintf(out, "\ncompleted dispatches: %d; policy checks: %d\n", sm.Calls, sm.PolicyChecks)
+
+	// The quota survives scale-out: a fleet (option-based API) shards
+	// batch jobs over two kernels, every job key holds its own warm
+	// session, and each session's kernel-side counter cuts it off at 5
+	// calls — however the fleet routes.
+	fl, err := fleet.Open(
+		fleet.WithShards(2),
+		fleet.WithModule("crunch", 1),
+		fleet.WithClient(50, "batchuser"),
+		fleet.WithProvision(func(_ *kern.Kernel, sm *core.SMod, _ backend.Profile) error {
+			_, err := registerCrunch(sm)
+			return err
+		}),
+	)
+	if err != nil {
+		return err
+	}
+	defer fl.Close()
+	crunch, _ := fl.FuncID("crunch")
+	served, denied := 0, 0
+	for _, key := range []string{"job-a", "job-b"} {
+		for i := 0; i < 7; i++ {
+			if _, err := fl.Call(key, crunch, 100); err != nil {
+				denied++
+			} else {
+				served++
+			}
+		}
+	}
+	fmt.Fprintf(out, "fleet: 2 batch jobs x 7 calls over 2 shards: %d served, %d cut off by quota\n",
+		served, denied)
 	return nil
 }

@@ -17,6 +17,7 @@ func TestRun(t *testing.T) {
 		"call 6: DENIED by quota policy (EACCES)",
 		"call 8: DENIED by quota policy (EACCES)",
 		"completed dispatches: 5",
+		"fleet: 2 batch jobs x 7 calls over 2 shards: 10 served, 4 cut off by quota",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output lacks %q:\n%s", want, out)

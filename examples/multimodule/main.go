@@ -22,7 +22,9 @@ import (
 	"os"
 
 	"repro/internal/asm"
+	"repro/internal/backend"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/kern"
 	"repro/internal/modcrypt"
 	"repro/internal/obj"
@@ -181,5 +183,45 @@ licensees: "pipeline"
 		uint32(client.ExitStatus) == want)
 	fmt.Fprintf(out, "%d protected calls across %d modules, %d handles total\n",
 		sm.Calls, 2, sm.SessionsOpened)
+
+	// Scale-out epilogue: the encrypted signing module alone, served by
+	// a two-shard fleet through the option-based fleet API. Every shard
+	// provisions its own kernel — AES key in the shard keystore, module
+	// decrypted only inside handles — and two pipeline keys verify the
+	// same signature from different warm sessions.
+	fl, err := fleet.Open(
+		fleet.WithShards(2),
+		fleet.WithModule("crypto", 1),
+		fleet.WithClient(10, "pipeline"),
+		fleet.WithProvision(func(_ *kern.Kernel, sm *core.SMod, _ backend.Profile) error {
+			plain, err := mkArchive("libcrypto.a", cryptoLib)
+			if err != nil {
+				return err
+			}
+			enc, err := modcrypt.EncryptArchive(sm.ModKeys, plain, "crypto-key", []byte("hsm key"))
+			if err != nil {
+				return err
+			}
+			_, err = sm.Register(&core.ModuleSpec{
+				Name: "crypto", Version: 1, Owner: "security", Lib: enc,
+				PolicySrc: []string{policy},
+			})
+			return err
+		}),
+	)
+	if err != nil {
+		return err
+	}
+	defer fl.Close()
+	sign, _ := fl.FuncID("sign")
+	va, err := fl.Call("pipeline-a", sign, 42)
+	if err != nil {
+		return err
+	}
+	vb, err := fl.Call("pipeline-b", sign, 42)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "fleet: sign(42) = %#x from both shards (agree: %v)\n", va, va == vb)
 	return nil
 }

@@ -18,6 +18,7 @@ func TestRun(t *testing.T) {
 		"(encrypted: true)",
 		"sign(next()) = 0xf0f5faef (want 0xf0f5faef) -> true",
 		"3 protected calls across 2 modules, 2 handles total",
+		"fleet: sign(42) = 0xf0f5faef from both shards (agree: true)",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output lacks %q:\n%s", want, out)

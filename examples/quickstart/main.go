@@ -16,10 +16,37 @@ import (
 	"os"
 
 	"repro/internal/asm"
+	"repro/internal/backend"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/kern"
 	"repro/internal/obj"
 )
+
+// mathPolicy admits the principal "alice" only.
+const mathPolicy = `authorizer: "POLICY"
+licensees: "alice"
+conditions: app_domain == "secmodule" && module == "mathlib" -> "allow";
+`
+
+// registerMathlib assembles and registers the library on a kernel; the
+// single-machine walkthrough and every fleet shard provision with it.
+func registerMathlib(sm *core.SMod) (*core.Module, *obj.Archive, error) {
+	libObj, err := asm.Assemble("mathlib.s", librarySource)
+	if err != nil {
+		return nil, nil, err
+	}
+	lib := &obj.Archive{Name: "mathlib.a"}
+	lib.Add(libObj)
+	m, err := sm.Register(&core.ModuleSpec{
+		Name:      "mathlib",
+		Version:   1,
+		Owner:     "owner",
+		Lib:       lib,
+		PolicySrc: []string{mathPolicy},
+	})
+	return m, lib, err
+}
 
 // The protected library: two functions worth guarding.
 const librarySource = `
@@ -82,23 +109,7 @@ func run(out io.Writer) error {
 
 	// 1. Assemble the library and register it as module "mathlib" v1.
 	//    The policy admits the principal "alice" only.
-	libObj, err := asm.Assemble("mathlib.s", librarySource)
-	if err != nil {
-		return err
-	}
-	lib := &obj.Archive{Name: "mathlib.a"}
-	lib.Add(libObj)
-
-	module, err := sm.Register(&core.ModuleSpec{
-		Name:    "mathlib",
-		Version: 1,
-		Owner:   "owner",
-		Lib:     lib,
-		PolicySrc: []string{`authorizer: "POLICY"
-licensees: "alice"
-conditions: app_domain == "secmodule" && module == "mathlib" -> "allow";
-`},
-	})
+	module, lib, err := registerMathlib(sm)
 	if err != nil {
 		return err
 	}
@@ -141,5 +152,35 @@ conditions: app_domain == "secmodule" && module == "mathlib" -> "allow";
 	}
 	fmt.Fprintf(out, "mallory's run exited %d (EACCES=%d): policy held\n",
 		mallory.ExitStatus, kern.EACCES)
+
+	// 5. Scale out: the same module served by a two-shard fleet through
+	//    the option-based fleet API. Every shard provisions its own
+	//    fresh kernel with mathlib, and each client key sticks to a
+	//    warm session on its allocated shard.
+	fl, err := fleet.Open(
+		fleet.WithShards(2),
+		fleet.WithModule("mathlib", 1),
+		fleet.WithClient(1000, "alice"),
+		fleet.WithProvision(func(_ *kern.Kernel, sm *core.SMod, _ backend.Profile) error {
+			_, _, err := registerMathlib(sm)
+			return err
+		}),
+	)
+	if err != nil {
+		return err
+	}
+	defer fl.Close()
+	square, _ := fl.FuncID("square")
+	for _, key := range []string{"alice-a", "alice-b", "alice-c"} {
+		v, err := fl.Call(key, square, 7)
+		if err != nil {
+			return err
+		}
+		if v != 49 {
+			return fmt.Errorf("fleet square(7) = %d, want 49", v)
+		}
+	}
+	fmt.Fprintf(out, "fleet: square(7) = 49 for 3 clients, warm sessions per shard: %v\n",
+		fl.PoolLoad())
 	return nil
 }

@@ -16,6 +16,7 @@ func TestRun(t *testing.T) {
 		`registered module "mathlib" v1`,
 		"client exited 91 (want 91), after 2 protected calls",
 		"mallory's run exited 13 (EACCES=13): policy held",
+		"fleet: square(7) = 49 for 3 clients, warm sessions per shard: [2 1]",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output lacks %q:\n%s", want, out)

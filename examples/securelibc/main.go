@@ -20,7 +20,9 @@ import (
 	"os"
 
 	"repro/internal/asm"
+	"repro/internal/backend"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/kern"
 	"repro/internal/obj"
 )
@@ -177,6 +179,46 @@ licensees: "user"
 		k.HandleCoreDumps(handlePIDs))
 	fmt.Fprintf(out, "handle %d was flagged NoTrace=%v NoCoreDump=%v\n",
 		handle.PID, handle.NoTrace, handle.NoCoreDump)
+
+	fmt.Fprintln(out, "\n=== 4. the same libc, served by a fleet ===")
+	// The option-based fleet API shards the protected libc over two
+	// fresh kernels; client keys stick to warm sessions and the policy
+	// above gates every shard the same way.
+	fl, err := fleet.Open(
+		fleet.WithShards(2),
+		fleet.WithModule("libc", 1),
+		fleet.WithClient(1000, "user"),
+		fleet.WithProvision(func(_ *kern.Kernel, sm *core.SMod, _ backend.Profile) error {
+			lib, err := core.LibCArchive()
+			if err != nil {
+				return err
+			}
+			_, err = sm.Register(&core.ModuleSpec{
+				Name: "libc", Version: 1, Owner: "os-vendor", Lib: lib,
+				PolicySrc: []string{`authorizer: "POLICY"
+licensees: "user"
+`},
+			})
+			return err
+		}),
+	)
+	if err != nil {
+		return err
+	}
+	defer fl.Close()
+	incr, _ := fl.FuncID("incr")
+	for i := uint32(0); i < 4; i++ {
+		v, err := fl.Call(fmt.Sprintf("app-%d", i%2), incr, i)
+		if err != nil {
+			return err
+		}
+		if v != i+1 {
+			return fmt.Errorf("fleet incr(%d) = %d, want %d", i, v, i+1)
+		}
+	}
+	st := fl.Stats()
+	fmt.Fprintf(out, "fleet: 4 incr calls from 2 clients over %d shards, %d warm sessions\n",
+		st.Shards, st.SessionsOpened)
 	return nil
 }
 

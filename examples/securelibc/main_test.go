@@ -23,6 +23,7 @@ func TestRun(t *testing.T) {
 		"client reading module text: killed by signal 11 (SIGSEGV=11)",
 		"handle core dumps recorded: [] (must stay empty of handles)",
 		"NoTrace=true NoCoreDump=true",
+		"fleet: 4 incr calls from 2 clients over 2 shards, 2 warm sessions",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output lacks %q:\n%s", want, out)

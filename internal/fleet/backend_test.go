@@ -12,22 +12,21 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/loadmgr"
+	"repro/internal/placement"
 )
 
-// mixConfig builds a test config over an explicit backend mix.
-func mixConfig(t *testing.T, mix string) Config {
+// mixOpts builds the test option set over an explicit backend mix.
+func mixOpts(t *testing.T, mix string) []Option {
 	t.Helper()
 	as, err := backend.DefaultCatalog().ParseMix(mix)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := testConfig(len(as))
-	cfg.Backends = as
-	return cfg
+	return append(testOpts(len(as)), WithBackends(as))
 }
 
 func TestMixedFleetServesAndReportsProfiles(t *testing.T) {
-	f := newTestFleet(t, mixConfig(t, "fast=1,slow=1,crypto=1"))
+	f := newTestFleet(t, mixOpts(t, "fast=1,slow=1,crypto=1")...)
 	incr := incrID(t, f)
 	var plan []Request
 	for i := 0; i < 12; i++ {
@@ -55,7 +54,7 @@ func TestMixedFleetServesAndReportsProfiles(t *testing.T) {
 // ~2.5x the cycles on a slow shard as on a baseline shard.
 func TestSlowShardChargesScaledCycles(t *testing.T) {
 	cycles := func(mix string) uint64 {
-		f := newTestFleet(t, mixConfig(t, mix))
+		f := newTestFleet(t, mixOpts(t, mix)...)
 		incr := incrID(t, f)
 		var plan []Request
 		for i := 0; i < 10; i++ {
@@ -81,7 +80,7 @@ func TestSlowShardChargesScaledCycles(t *testing.T) {
 // per-call surcharge), never results.
 func TestModcryptShardSameResponseBytes(t *testing.T) {
 	run := func(mix string) ([]uint32, uint64) {
-		f := newTestFleet(t, mixConfig(t, mix))
+		f := newTestFleet(t, mixOpts(t, mix)...)
 		incr := incrID(t, f)
 		var plan []Request
 		for i := 0; i < 8; i++ {
@@ -116,7 +115,7 @@ func TestModcryptShardSameResponseBytes(t *testing.T) {
 // TestWeightedPoolAllocation: on a fast=1,slow=1 fleet, first-sight
 // allocation must hand the fast shard ~2.5x the keys of the slow one.
 func TestWeightedPoolAllocation(t *testing.T) {
-	f := newTestFleet(t, mixConfig(t, "fast=1,slow=1"))
+	f := newTestFleet(t, mixOpts(t, "fast=1,slow=1")...)
 	incr := incrID(t, f)
 	var plan []Request
 	for i := 0; i < 35; i++ {
@@ -141,15 +140,14 @@ func TestWeightedPoolAllocation(t *testing.T) {
 // counts plus total migrations.
 func runMixedMigrating(t *testing.T, heatOnly bool) ([]uint64, uint64) {
 	t.Helper()
-	cfg := mixConfig(t, "fast=2,slow=2")
-	cfg.Provision = libcProvisionIdem
-	cfg.LoadManager = &loadmgr.Options{
-		Migrate:            true,
-		HeatOnly:           heatOnly,
-		ImbalanceThreshold: 1.05,
-		Seed:               7,
+	opts := append(mixOpts(t, "fast=2,slow=2"), WithProvision(libcProvisionIdem))
+	tuning := loadmgr.Options{ImbalanceThreshold: 1.05, Seed: 7}
+	if heatOnly {
+		opts = append(opts, WithPlacement(placement.NewHeatMigrate(tuning)))
+	} else {
+		opts = append(opts, WithPlacement(placement.NewCostAware(tuning)))
 	}
-	f := newTestFleet(t, cfg)
+	f := newTestFleet(t, opts...)
 	incr := incrID(t, f)
 	for round := 0; round < 5; round++ {
 		if err := respErr(f.RunPlan(skewedPlan(incr, 8, 24))); err != nil {
@@ -193,26 +191,22 @@ func TestMixedFleetDeterministicWithMigration(t *testing.T) {
 	}
 }
 
-func TestBackendConfigValidation(t *testing.T) {
-	cfg := testConfig(2)
-	cfg.Backends = []backend.Assignment{{Shard: 0, Profile: backend.Default()}}
-	if _, err := New(cfg); err == nil {
+func TestBackendOptionValidation(t *testing.T) {
+	one := []backend.Assignment{{Shard: 0, Profile: backend.Default()}}
+	if _, err := Open(append(testOpts(2), WithBackends(one))...); err == nil {
 		t.Error("assignment count != shards accepted")
 	}
-	cfg = testConfig(2)
-	cfg.Backends = []backend.Assignment{
+	dup := []backend.Assignment{
 		{Shard: 1, Profile: backend.Default()},
 		{Shard: 1, Profile: backend.Default()},
 	}
-	if _, err := New(cfg); err == nil {
+	if _, err := Open(append(testOpts(2), WithBackends(dup))...); err == nil {
 		t.Error("duplicate shard assignment accepted")
 	}
-	// Shards may be left 0 with explicit backends.
-	cfg = testConfig(0)
-	cfg.Backends = backend.Uniform(2, backend.Default())
-	f, err := New(cfg)
+	// WithShards may be omitted with explicit backends.
+	f, err := Open(append(testOpts(0), WithBackends(backend.Uniform(2, backend.Default())))...)
 	if err != nil {
-		t.Fatalf("Shards=0 with backends: %v", err)
+		t.Fatalf("no WithShards with backends: %v", err)
 	}
 	if got := len(f.Stats().PerShard); got != 2 {
 		t.Errorf("derived shard count = %d, want 2", got)

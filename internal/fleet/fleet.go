@@ -7,12 +7,26 @@
 // memory, and SecModule layer) and runs in its own goroutine — kernels
 // are deterministic and fully self-contained, so the fleet scales with
 // host cores while every shard stays bit-for-bit reproducible. Client
-// traffic is routed by client key through a sticky assignment pool
-// (Pool, IPAM-style: least-loaded allocation, sticky while held,
-// reclaimed on Release). Inside a shard every key gets one simulated
-// client process holding a warm core.Session to the protected module;
-// requests are coalesced into batches, handed to the parked client
-// processes, and executed in a single deterministic kernel stretch.
+// traffic is routed by client key through a pluggable placement
+// strategy (see internal/placement): the default is the sticky
+// IPAM-style pool (least-loaded allocation, sticky while held,
+// reclaimed on Release); migrating strategies move hot keys between
+// shards at barrier points, and the replicating strategy serves
+// idempotent hot keys from several shards at once. Inside a shard
+// every key gets one simulated client process holding a warm
+// core.Session to the protected module; requests are coalesced into
+// batches, handed to the parked client processes, and executed in a
+// single deterministic kernel stretch.
+//
+// A fleet is built with Open and functional options:
+//
+//	f, err := fleet.Open(
+//		fleet.WithShards(4),
+//		fleet.WithModule("libc", 1),
+//		fleet.WithProvision(provision),
+//		fleet.WithPlacement(placement.NewCostAware(loadmgr.Options{Seed: 1})),
+//		fleet.WithResultCache(1024),
+//	)
 //
 // Dispatch inside a shard is pipelined: a running kernel stretch admits
 // call jobs as they arrive (instead of strictly batch-park-resume), and
@@ -45,58 +59,9 @@ import (
 	"sync"
 
 	"repro/internal/backend"
-	"repro/internal/core"
-	"repro/internal/kern"
 	"repro/internal/loadmgr"
+	"repro/internal/placement"
 )
-
-// Config describes a fleet.
-type Config struct {
-	// Shards is the number of independent kernels (>= 1).
-	Shards int
-	// Module and Version name the protected module every client
-	// attaches to; Provision must register it on each shard's kernel.
-	Module  string
-	Version int
-	// Credential is the serialized credential text clients present at
-	// session start ("" when the module policy admits them directly).
-	Credential string
-	// ClientUID and ClientName form the kernel credential of the
-	// simulated client processes.
-	ClientUID  int
-	ClientName string
-	// Provision registers modules (and any keys) on one shard's fresh
-	// kernel. It runs once per shard and must be deterministic. The
-	// shard's backend profile is passed so provisioning can honor its
-	// module flavor (register a modcrypt-encrypted archive on
-	// FlavorModcrypt shards, plaintext otherwise); the registered
-	// module must expose the same function set either way.
-	Provision func(*kern.Kernel, *core.SMod, backend.Profile) error
-	// Backends assigns a machine-class profile to every shard (see
-	// internal/backend): each shard's kernel runs the profile's scaled
-	// cost table, its module flavor selects what Provision installs,
-	// and the session pool + load manager weigh placement by the
-	// profile cost factors. nil means a homogeneous fleet of baseline
-	// machines (the historical behaviour, bit for bit). When set it
-	// must cover shards 0..Shards-1 exactly once; Shards may be left 0
-	// to take the assignment's length.
-	Backends []backend.Assignment
-	// MaxSessionsPerShard caps warm sessions per shard; the least
-	// recently used idle session is reclaimed when the cap is hit
-	// (0 = unlimited). The cap is soft: sessions busy in the current
-	// batch are never evicted.
-	MaxSessionsPerShard int
-	// MaxBatch bounds how many inbox jobs a shard coalesces into one
-	// kernel stretch (default 256).
-	MaxBatch int
-	// LoadManager, when non-nil, attaches the loadmgr subsystem: heat
-	// tracking feeds from the routing path; RunPlan/RunSchedule barriers
-	// become migration points (Options.Migrate) and every shard gets a
-	// bounded result cache for the module's idempotent functions
-	// (Options.CacheSize). nil keeps the fleet byte-for-byte on its
-	// historical behaviour.
-	LoadManager *loadmgr.Options
-}
 
 // Request is one protected call addressed by client key.
 type Request struct {
@@ -141,13 +106,19 @@ type Stats struct {
 	SessionsOpened uint64
 	Evictions      uint64
 	MakespanCycles uint64
-	// Load-manager aggregates (all zero without one): result-cache
-	// counters summed over shards, and Migrations — completed
-	// cross-shard session moves (the sum of per-shard MigratedOut).
-	CacheHits      uint64
-	CacheMisses    uint64
-	CacheEvictions uint64
-	Migrations     uint64
+	// Placement and cache aggregates: the result-cache counters summed
+	// over shards (nonzero whenever WithResultCache is set, under any
+	// strategy), Migrations — completed cross-shard session moves (the
+	// sum of per-shard MigratedOut) — and ReplicasAdded/ReplicasDropped
+	// — replica sessions warmed in / drained by the replicating
+	// strategy. The move counters are zero under the default sticky
+	// strategy.
+	CacheHits       uint64
+	CacheMisses     uint64
+	CacheEvictions  uint64
+	Migrations      uint64
+	ReplicasAdded   uint64
+	ReplicasDropped uint64
 }
 
 // merge folds per-shard snapshots into fleet aggregates.
@@ -161,6 +132,8 @@ func merge(per []ShardStats) Stats {
 		st.CacheMisses += s.CacheMisses
 		st.CacheEvictions += s.CacheEvictions
 		st.Migrations += s.MigratedOut
+		st.ReplicasAdded += s.ReplicasIn
+		st.ReplicasDropped += s.ReplicasOut
 		if s.Cycles > st.MakespanCycles {
 			st.MakespanCycles = s.Cycles
 		}
@@ -170,15 +143,15 @@ func merge(per []ShardStats) Stats {
 
 // Fleet is a running shard fleet.
 type Fleet struct {
-	cfg    Config
+	cfg    config
 	shards []*shard
-	pool   *Pool
-	// mgr is the loadmgr subsystem (nil when Config.LoadManager is).
-	mgr *loadmgr.Manager
-	// trackHeat gates the routing-path heat feed: only a migrating
-	// manager ever reads the tracker, so cache-only configurations
-	// skip the per-call accounting entirely.
-	trackHeat bool
+	// place owns routing, rebalancing, and replica fan-out.
+	place placement.Placement
+	// idemp marks the module's spec-declared idempotent funcIDs (from
+	// shard 0; provisioning is identical across shards). Routing passes
+	// the flag to the placement strategy — only idempotent calls may be
+	// served by a replica.
+	idemp map[uint32]bool
 
 	// mu guards closed and, as a reader lock, every inbox send: Close
 	// takes the write side before closing the inboxes so no sender can
@@ -195,47 +168,44 @@ type Fleet struct {
 // ErrClosed is returned by operations on a closed fleet.
 var ErrClosed = errors.New("fleet: closed")
 
-// New builds and starts a fleet.
-func New(cfg Config) (*Fleet, error) {
-	if cfg.Shards < 1 && len(cfg.Backends) > 0 {
-		cfg.Shards = len(cfg.Backends)
+// Open builds and starts a fleet from functional options. WithModule,
+// WithProvision, and a fleet size (WithShards or WithBackends) are
+// required; everything else defaults: homogeneous baseline backends,
+// sticky placement, no result cache, unlimited warm sessions.
+func Open(opts ...Option) (*Fleet, error) {
+	var cfg config
+	for _, opt := range opts {
+		opt(&cfg)
 	}
-	if cfg.Shards < 1 {
-		return nil, fmt.Errorf("fleet: need at least 1 shard, got %d", cfg.Shards)
-	}
-	if cfg.Module == "" || cfg.Provision == nil {
-		return nil, errors.New("fleet: Config needs Module and Provision")
-	}
-	if cfg.MaxBatch <= 0 {
-		cfg.MaxBatch = 256
-	}
-	if cfg.ClientName == "" {
-		cfg.ClientName = "fleet-client"
-	}
-	if len(cfg.Backends) == 0 {
-		cfg.Backends = backend.Uniform(cfg.Shards, backend.Default())
-	}
-	if len(cfg.Backends) != cfg.Shards {
-		return nil, fmt.Errorf("fleet: %d backend assignments for %d shards",
-			len(cfg.Backends), cfg.Shards)
-	}
-	if err := backend.Validate(cfg.Backends); err != nil {
+	if err := cfg.resolve(); err != nil {
 		return nil, err
 	}
-	weights := backend.CostFactors(cfg.Backends)
-	f := &Fleet{cfg: cfg, pool: NewWeightedPool(weights)}
-	if cfg.LoadManager != nil {
-		f.mgr = loadmgr.New(*cfg.LoadManager, cfg.Shards)
-		f.mgr.SetCostWeights(weights)
-		f.trackHeat = cfg.LoadManager.Migrate
-	}
-	for i := 0; i < cfg.Shards; i++ {
-		sh, err := newShard(i, cfg, backend.ProfileOf(cfg.Backends, i), f.mgr)
+	f := &Fleet{cfg: cfg, place: cfg.place}
+	for i := 0; i < cfg.shards; i++ {
+		var cache *loadmgr.ResultCache
+		if cfg.cacheSize > 0 {
+			cache = loadmgr.NewResultCache(cfg.cacheSize)
+		}
+		sh, err := newShard(i, &f.cfg, backend.ProfileOf(cfg.backends, i), cache)
 		if err != nil {
 			return nil, err
 		}
-		sh.onEvict = func(key string) { f.pool.PutIf(key, sh.id) }
+		sh.onEvict = func(key string) { f.place.Evicted(key, sh.id) }
 		f.shards = append(f.shards, sh)
+	}
+	// Bind the strategy only once every shard provisioned cleanly, so a
+	// failed Open does not burn the caller's single-use instance.
+	if err := cfg.place.Bind(cfg.shards, backend.CostFactors(cfg.backends)); err != nil {
+		return nil, err
+	}
+	// One derivation of the module's idempotent funcIDs, shared by the
+	// routing layer and every shard's result cache (the map is
+	// read-only once the shard goroutines start below).
+	f.idemp = idempotentFuncs(f.shards[0].sm, cfg.module, cfg.version)
+	for _, sh := range f.shards {
+		if sh.cache != nil {
+			sh.idemp = f.idemp
+		}
 	}
 	for _, sh := range f.shards {
 		f.wg.Add(1)
@@ -251,7 +221,7 @@ func New(cfg Config) (*Fleet, error) {
 // Provisioning is identical across shards, so shard 0 is authoritative.
 func (f *Fleet) FuncID(name string) (uint32, bool) {
 	sm := f.shards[0].sm
-	m := sm.Module(sm.Find(f.cfg.Module, f.cfg.Version))
+	m := sm.Module(sm.Find(f.cfg.module, f.cfg.version))
 	if m == nil {
 		return 0, false
 	}
@@ -270,20 +240,18 @@ func (f *Fleet) send(sid int, j *job) error {
 	return nil
 }
 
-// route allocates key's sticky shard and enqueues j there. The closed
-// check happens before the pool allocation (both under the same reader
-// lock as the send), so calls against a closed fleet never leave
-// phantom assignments behind in the pool's load accounting.
-func (f *Fleet) route(key string, j *job) (int, error) {
+// route asks the placement strategy for req's serving shard and
+// enqueues j there. The closed check happens before the placement
+// allocation (both under the same reader lock as the send), so calls
+// against a closed fleet never leave phantom assignments behind in the
+// strategy's load accounting.
+func (f *Fleet) route(req *Request, j *job) (int, error) {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	if f.closed {
 		return -1, ErrClosed
 	}
-	sid := f.pool.Get(key)
-	if f.trackHeat {
-		f.mgr.Heat().Record(key, sid, 1)
-	}
+	sid := f.place.Route(placement.Call{Key: req.Key, Idempotent: f.idemp[req.FuncID]})
 	f.shards[sid].inbox <- j
 	return sid, nil
 }
@@ -317,7 +285,7 @@ func (f *Fleet) SubmitAsync(req Request) (*Future, error) {
 		results: make([]Response, 1),
 		done:    make(chan struct{}),
 	}
-	if _, err := f.route(req.Key, j); err != nil {
+	if _, err := f.route(&req, j); err != nil {
 		return nil, err
 	}
 	return &Future{j: j}, nil
@@ -343,13 +311,14 @@ func (f *Fleet) Go(req Request) <-chan Response {
 // coalesced into shared kernel batches. Unlike Go it waits on the job
 // directly, with no forwarding goroutine per request.
 func (f *Fleet) Call(key string, funcID uint32, args ...uint32) (uint32, error) {
+	req := Request{Key: key, FuncID: funcID, Args: args}
 	j := &job{
 		kind:    jobCalls,
-		reqs:    []Request{{Key: key, FuncID: funcID, Args: args}},
+		reqs:    []Request{req},
 		results: make([]Response, 1),
 		done:    make(chan struct{}),
 	}
-	if _, err := f.route(key, j); err != nil {
+	if _, err := f.route(&req, j); err != nil {
 		return 0, err
 	}
 	<-j.done
@@ -364,16 +333,17 @@ func (f *Fleet) Call(key string, funcID uint32, args ...uint32) (uint32, error) 
 }
 
 // submitGrouped is the shared scaffolding of RunPlan and RunSchedule:
-// group n items per shard through the sticky pool, build one barrier
-// job per involved shard via makeJob (given that shard's item indexes),
-// submit, and gather results back into item order. Routing and
-// submission happen under one reader lock so a closed fleet rejects
-// the whole sequence before any pool allocation happens.
-func (f *Fleet) submitGrouped(n int, keyOf func(int) string,
+// group n items per shard through the placement strategy, build one
+// barrier job per involved shard via makeJob (given that shard's item
+// indexes), submit, and gather results back into item order. Routing
+// and submission happen under one reader lock so a closed fleet
+// rejects the whole sequence before any placement allocation happens.
+func (f *Fleet) submitGrouped(n int, reqOf func(int) *Request,
 	makeJob func(idxs []int) *job) ([]Response, error) {
-	// Every grouped submission is a barrier point: the load manager may
-	// migrate hot keys here, before this sequence is routed, so the new
-	// routing below already sees the rebalanced pool.
+	// Every grouped submission is a barrier point: the placement
+	// strategy may migrate or re-replicate hot keys here, before this
+	// sequence is routed, so the new routing below already sees the
+	// rebalanced assignment.
 	if _, err := f.Rebalance(); err != nil {
 		return nil, err
 	}
@@ -384,11 +354,8 @@ func (f *Fleet) submitGrouped(n int, keyOf func(int) string,
 	}
 	perShard := make([][]int, len(f.shards))
 	for i := 0; i < n; i++ {
-		key := keyOf(i)
-		sid := f.pool.Get(key)
-		if f.trackHeat {
-			f.mgr.Heat().Record(key, sid, 1)
-		}
+		req := reqOf(i)
+		sid := f.place.Route(placement.Call{Key: req.Key, Idempotent: f.idemp[req.FuncID]})
 		perShard[sid] = append(perShard[sid], i)
 	}
 	var jobs []*job
@@ -414,14 +381,14 @@ func (f *Fleet) submitGrouped(n int, keyOf func(int) string,
 }
 
 // RunPlan routes and executes a fixed request sequence: requests are
-// assigned shards in plan order through the sticky pool and delivered
-// to every shard as a single batch, so per-client call order follows
-// plan order and, on a fresh fleet, the execution (including every
-// shard's cycle count) is fully deterministic. Responses align with
-// reqs by index.
+// assigned shards in plan order through the placement strategy and
+// delivered to every shard as a single batch, so per-client call order
+// follows plan order and, on a fresh fleet, the execution (including
+// every shard's cycle count) is fully deterministic. Responses align
+// with reqs by index.
 func (f *Fleet) RunPlan(reqs []Request) ([]Response, error) {
 	return f.submitGrouped(len(reqs),
-		func(i int) string { return reqs[i].Key },
+		func(i int) *Request { return &reqs[i] },
 		func(idxs []int) *job {
 			j := &job{
 				kind:    jobCalls,
@@ -438,12 +405,12 @@ func (f *Fleet) RunPlan(reqs []Request) ([]Response, error) {
 }
 
 // RunSchedule routes and executes a fixed timed arrival schedule:
-// requests are assigned shards in schedule order through the sticky
-// pool, and each enters its shard at its At cycle offset (measured from
-// the schedule's admission on that shard's clock). A request arriving
-// while earlier ones are still in flight queues behind them — its
-// Response.LatencyCycles then includes the queueing delay — and a shard
-// with no work advances its clock over the idle gap to the next
+// requests are assigned shards in schedule order through the placement
+// strategy, and each enters its shard at its At cycle offset (measured
+// from the schedule's admission on that shard's clock). A request
+// arriving while earlier ones are still in flight queues behind them —
+// its Response.LatencyCycles then includes the queueing delay — and a
+// shard with no work advances its clock over the idle gap to the next
 // arrival. Offsets must be non-decreasing. On a fresh fleet the
 // execution is fully deterministic, like RunPlan. Responses align with
 // treqs by index.
@@ -454,7 +421,7 @@ func (f *Fleet) RunSchedule(treqs []TimedRequest) ([]Response, error) {
 		}
 	}
 	return f.submitGrouped(len(treqs),
-		func(i int) string { return treqs[i].Req.Key },
+		func(i int) *Request { return &treqs[i].Req },
 		func(idxs []int) *job {
 			j := &job{
 				kind:     jobTimed,
@@ -472,16 +439,18 @@ func (f *Fleet) RunSchedule(treqs []TimedRequest) ([]Response, error) {
 		})
 }
 
-// Release reclaims a client key: the pool slot is freed first (so a
-// later request may land anywhere) and the eviction is then broadcast
-// to every shard — eviction of an absent key is a no-op, and the
-// broadcast runs even for keys with no pool assignment so it also
-// sweeps up any session a previous racy Release left behind. Release
-// is not linearizable with concurrent calls on the same key: a call in
-// flight may recreate the session after the eviction passes its shard;
-// such a session is reclaimed by the next Release (or LRU cap).
+// Release reclaims a client key: every placement binding — the primary
+// slot and the whole replica set — is freed first (so a later request
+// may land anywhere) and the eviction is then broadcast to every shard,
+// draining the key's warm sessions wherever they live. Eviction of an
+// absent key is a no-op, and the broadcast runs even for keys with no
+// binding so it also sweeps up any session a previous racy Release left
+// behind. Release is not linearizable with concurrent calls on the same
+// key: a call in flight may recreate the session after the eviction
+// passes its shard; such a session is reclaimed by the next Release (or
+// LRU cap).
 func (f *Fleet) Release(key string) error {
-	f.pool.Put(key)
+	f.place.Release(key)
 	var jobs []*job
 	for sid := range f.shards {
 		j := &job{kind: jobRelease, key: key, done: make(chan struct{})}
@@ -496,68 +465,68 @@ func (f *Fleet) Release(key string) error {
 	return nil
 }
 
-// Rebalance runs one load-manager migration round at a barrier point
-// and returns how many sessions moved. RunPlan and RunSchedule call it
-// implicitly before routing; live (Call/SubmitAsync) traffic never
-// triggers migration on its own, so a caller mixing live traffic with
-// periodic Rebalance calls chooses its own rebalancing cadence.
+// Rebalance runs one placement rebalance round at a barrier point and
+// returns how many session moves were applied. RunPlan and RunSchedule
+// call it implicitly before routing; live (Call/SubmitAsync) traffic
+// never triggers rebalancing on its own, so a caller mixing live
+// traffic with periodic Rebalance calls chooses its own cadence.
 //
-// For every planned move the key's pool slot is atomically rebound
-// old->new shard first; then the old shard receives a teardown job and
-// the new shard a session-warm job. Both are control jobs executed
-// between kernel stretches, so calls already queued on the old shard
-// drain there, while every call routed after the rebind lands on the
-// new shard's warm session. A move whose pool assignment changed
-// underneath the plan (concurrent Release) is skipped. With no load
-// manager, or migration disabled, Rebalance is a no-op.
+// For every planned move the routing change is committed first
+// (atomically, via the strategy), then the affected shards receive
+// control jobs: a migration drains the old shard and warms the new
+// one, a replica add warms its shard, a replica drain tears its copy
+// down. Control jobs execute between kernel stretches, so calls
+// already queued on an old shard drain there, while every call routed
+// after the commit sees the new assignment. A move whose binding
+// changed underneath the plan (concurrent Release) is skipped. Under
+// the default sticky strategy Rebalance is a no-op.
 //
-// Rebind and teardown enqueue happen under the fleet's write lock:
-// every concurrent route() holds the read side across its own pool
+// Commit and enqueue happen under the fleet's write lock: every
+// concurrent route() holds the read side across its own placement
 // lookup and inbox send, so a live call either enqueues before the
-// teardown job (and drains on the old shard) or observes the rebound
-// pool (and lands on the new shard) — it can never read the old
+// teardown job (and drains on the old shard) or observes the committed
+// move (and lands on the new shard) — it can never read the old
 // assignment yet enqueue behind the eviction, which would silently
-// respawn a cold session the pool no longer accounts for.
+// respawn a cold session the strategy no longer accounts for.
 func (f *Fleet) Rebalance() (int, error) {
-	if f.mgr == nil {
-		return 0, nil
-	}
-	moves := f.mgr.PlanRebalance()
+	moves := f.place.Rebalance()
 	if len(moves) == 0 {
 		return 0, nil
 	}
-	type movePair struct{ out, in *job }
-	var pairs []movePair
+	var jobs []*job
+	applied := 0
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
 		return 0, ErrClosed
 	}
 	for _, mv := range moves {
-		if !f.pool.Rebind(mv.Key, mv.From, mv.To) {
+		if !f.place.Commit(mv) {
 			continue // released or re-homed since the plan: skip
 		}
-		out := &job{kind: jobMigrateOut, key: mv.Key, done: make(chan struct{})}
-		in := &job{kind: jobWarmIn, key: mv.Key, done: make(chan struct{})}
-		f.shards[mv.From].inbox <- out
-		f.shards[mv.To].inbox <- in
-		pairs = append(pairs, movePair{out, in})
+		applied++
+		switch mv.Kind {
+		case placement.MoveMigrate:
+			out := &job{kind: jobMigrateOut, key: mv.Key, done: make(chan struct{})}
+			in := &job{kind: jobWarmIn, key: mv.Key, done: make(chan struct{})}
+			f.shards[mv.From].inbox <- out
+			f.shards[mv.To].inbox <- in
+			jobs = append(jobs, out, in)
+		case placement.MoveReplicate:
+			in := &job{kind: jobReplicaIn, key: mv.Key, done: make(chan struct{})}
+			f.shards[mv.To].inbox <- in
+			jobs = append(jobs, in)
+		case placement.MoveDrain:
+			out := &job{kind: jobReplicaOut, key: mv.Key, done: make(chan struct{})}
+			f.shards[mv.From].inbox <- out
+			jobs = append(jobs, out)
+		}
 	}
 	f.mu.Unlock()
-	for _, p := range pairs {
-		<-p.out.done
-		<-p.in.done
+	for _, j := range jobs {
+		<-j.done
 	}
-	return len(pairs), nil
-}
-
-// Imbalance returns the load manager's current max/mean shard-heat
-// score (1 = balanced), or 0 when the fleet has no manager or no heat.
-func (f *Fleet) Imbalance() float64 {
-	if f.mgr == nil {
-		return 0
-	}
-	return f.mgr.Heat().ImbalanceScore()
+	return applied, nil
 }
 
 // Stats takes a coherent per-shard snapshot. Each shard answers after
@@ -583,8 +552,9 @@ func (f *Fleet) Stats() Stats {
 	return merge(per)
 }
 
-// PoolLoad exposes the session pool's per-shard assignment counts.
-func (f *Fleet) PoolLoad() []int { return f.pool.Load() }
+// PoolLoad exposes the placement strategy's per-shard binding counts
+// (replica bindings each count once).
+func (f *Fleet) PoolLoad() []int { return f.place.Load() }
 
 // Close shuts the fleet down: every shard drains its inbox, unparks
 // its clients with the shutdown flag, and runs its kernel until all

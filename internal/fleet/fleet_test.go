@@ -8,6 +8,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/kern"
+	"repro/internal/placement"
 )
 
 // fleetPolicy admits the fleet client processes by principal name.
@@ -36,19 +37,19 @@ func libcProvision(k *kern.Kernel, sm *core.SMod, p backend.Profile) error {
 	return err
 }
 
-func testConfig(shards int) Config {
-	return Config{
-		Shards:    shards,
-		Module:    "libc",
-		Version:   1,
-		ClientUID: 1,
-		Provision: libcProvision,
+// testOpts is the baseline option set every fleet test opens with.
+func testOpts(shards int) []Option {
+	return []Option{
+		WithShards(shards),
+		WithModule("libc", 1),
+		WithClient(1, ""),
+		WithProvision(libcProvision),
 	}
 }
 
-func newTestFleet(t *testing.T, cfg Config) *Fleet {
+func newTestFleet(t *testing.T, opts ...Option) *Fleet {
 	t.Helper()
-	f, err := New(cfg)
+	f, err := Open(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func incrID(t *testing.T, f *Fleet) uint32 {
 }
 
 func TestFleetBasicCalls(t *testing.T) {
-	f := newTestFleet(t, testConfig(2))
+	f := newTestFleet(t, testOpts(2)...)
 	incr := incrID(t, f)
 	for i := uint32(0); i < 20; i++ {
 		key := fmt.Sprintf("client-%d", i%4)
@@ -95,7 +96,7 @@ func TestFleetBasicCalls(t *testing.T) {
 }
 
 func TestStickyRouting(t *testing.T) {
-	f := newTestFleet(t, testConfig(4))
+	f := newTestFleet(t, testOpts(4)...)
 	incr := incrID(t, f)
 	for _, key := range []string{"a", "b", "c"} {
 		first := <-f.Go(Request{Key: key, FuncID: incr, Args: []uint32{1}})
@@ -124,7 +125,7 @@ func TestStickyRouting(t *testing.T) {
 }
 
 func TestRunPlanOrderAndValues(t *testing.T) {
-	f := newTestFleet(t, testConfig(3))
+	f := newTestFleet(t, testOpts(3)...)
 	incr := incrID(t, f)
 	var plan []Request
 	for c := 0; c < 7; c++ {
@@ -165,13 +166,13 @@ func TestRunPlanOrderAndValues(t *testing.T) {
 }
 
 func TestReleaseReclaimsSessionAndPoolSlot(t *testing.T) {
-	f := newTestFleet(t, testConfig(2))
+	f := newTestFleet(t, testOpts(2)...)
 	incr := incrID(t, f)
 	if _, err := f.Call("tenant", incr, 7); err != nil {
 		t.Fatal(err)
 	}
-	if f.pool.Assigned() != 1 {
-		t.Fatalf("assigned = %d, want 1", f.pool.Assigned())
+	if f.place.Assigned() != 1 {
+		t.Fatalf("assigned = %d, want 1", f.place.Assigned())
 	}
 	st := f.Stats()
 	var live int
@@ -185,8 +186,8 @@ func TestReleaseReclaimsSessionAndPoolSlot(t *testing.T) {
 	if err := f.Release("tenant"); err != nil {
 		t.Fatal(err)
 	}
-	if f.pool.Assigned() != 0 {
-		t.Errorf("assigned after Release = %d, want 0", f.pool.Assigned())
+	if f.place.Assigned() != 0 {
+		t.Errorf("assigned after Release = %d, want 0", f.place.Assigned())
 	}
 	st = f.Stats()
 	live = 0
@@ -205,9 +206,7 @@ func TestReleaseReclaimsSessionAndPoolSlot(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	cfg := testConfig(1)
-	cfg.MaxSessionsPerShard = 2
-	f := newTestFleet(t, cfg)
+	f := newTestFleet(t, append(testOpts(1), WithSessionCap(2))...)
 	incr := incrID(t, f)
 	for round := 0; round < 2; round++ {
 		for _, key := range []string{"a", "b", "c", "d"} {
@@ -231,7 +230,7 @@ func TestLRUEviction(t *testing.T) {
 	}
 	// Eviction reclaims the pool slot along with the session, so pool
 	// assignments track live sessions rather than every key ever seen.
-	if got := f.pool.Assigned(); got > 2 {
+	if got := f.place.Assigned(); got > 2 {
 		t.Errorf("pool assignments = %d, want <= cap 2 (eviction must reclaim slots)", got)
 	}
 }
@@ -244,7 +243,7 @@ func TestConcurrentLiveTraffic(t *testing.T) {
 		clients   = 16
 		callsEach = 15
 	)
-	f := newTestFleet(t, testConfig(shards))
+	f := newTestFleet(t, testOpts(shards)...)
 	incr := incrID(t, f)
 	var wg sync.WaitGroup
 	errs := make(chan error, clients)
@@ -282,7 +281,7 @@ func TestConcurrentLiveTraffic(t *testing.T) {
 }
 
 func TestCallAfterCloseFails(t *testing.T) {
-	f, err := New(testConfig(1))
+	f, err := Open(testOpts(1)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,9 +305,8 @@ func TestCallAfterCloseFails(t *testing.T) {
 }
 
 func TestPolicyDeniedSurfacesErrno(t *testing.T) {
-	cfg := testConfig(1)
-	cfg.ClientName = "stranger" // policy admits only "fleet-client"
-	f := newTestFleet(t, cfg)
+	// policy admits only "fleet-client"
+	f := newTestFleet(t, append(testOpts(1), WithClient(1, "stranger"))...)
 	incr := incrID(t, f)
 	_, err := f.Call("k", incr, 1)
 	if err == nil {
@@ -316,15 +314,26 @@ func TestPolicyDeniedSurfacesErrno(t *testing.T) {
 	}
 }
 
-func TestBadConfig(t *testing.T) {
-	if _, err := New(Config{Shards: 0, Module: "libc", Provision: libcProvision}); err == nil {
-		t.Error("Shards=0 accepted")
+func TestBadOptions(t *testing.T) {
+	if _, err := Open(WithModule("libc", 1), WithProvision(libcProvision)); err == nil {
+		t.Error("no fleet size accepted")
 	}
-	if _, err := New(Config{Shards: 1}); err == nil {
-		t.Error("missing Module/Provision accepted")
+	if _, err := Open(WithShards(1)); err == nil {
+		t.Error("missing WithModule/WithProvision accepted")
 	}
-	if _, err := New(Config{Shards: 1, Module: "nope", Provision: libcProvision}); err == nil {
-		t.Error("Provision not registering Module accepted")
+	if _, err := Open(WithShards(1), WithModule("nope", 1), WithProvision(libcProvision)); err == nil {
+		t.Error("provision not registering the module accepted")
+	}
+	// A placement strategy is single-use: reusing a bound instance must
+	// fail at Open, not corrupt two fleets' routing state.
+	p := placement.NewSticky()
+	f, err := Open(append(testOpts(1), WithPlacement(p))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := Open(append(testOpts(1), WithPlacement(p))...); err == nil {
+		t.Error("rebinding a used placement strategy accepted")
 	}
 }
 
@@ -332,7 +341,7 @@ func TestBadConfig(t *testing.T) {
 // goroutine — the pipelined-dispatch API — and checks every future
 // resolves with the right value.
 func TestSubmitAsyncFutures(t *testing.T) {
-	f := newTestFleet(t, testConfig(2))
+	f := newTestFleet(t, testOpts(2)...)
 	incr := incrID(t, f)
 	const inflight = 24
 	futs := make([]*Future, inflight)
@@ -367,7 +376,7 @@ func TestSubmitAsyncFutures(t *testing.T) {
 
 // TestSubmitAsyncAfterClose verifies clean failure on a closed fleet.
 func TestSubmitAsyncAfterClose(t *testing.T) {
-	f, err := New(testConfig(1))
+	f, err := Open(testOpts(1)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,7 +394,7 @@ func TestSubmitAsyncAfterClose(t *testing.T) {
 // must grow strictly along the burst (each call queues behind the
 // previous ones).
 func TestRunScheduleBurstQueues(t *testing.T) {
-	f := newTestFleet(t, testConfig(1))
+	f := newTestFleet(t, testOpts(1)...)
 	incr := incrID(t, f)
 	// Warm the session so the first call does not pay attach setup.
 	if _, err := f.Call("burst", incr, 0); err != nil {
@@ -416,7 +425,7 @@ func TestRunScheduleBurstQueues(t *testing.T) {
 // time base), so the final clock covers the whole schedule span and
 // per-call latencies stay flat instead of accumulating.
 func TestRunScheduleIdleAdvance(t *testing.T) {
-	f := newTestFleet(t, testConfig(1))
+	f := newTestFleet(t, testOpts(1)...)
 	incr := incrID(t, f)
 	if _, err := f.Call("idle", incr, 0); err != nil {
 		t.Fatal(err)
@@ -449,7 +458,7 @@ func TestRunScheduleIdleAdvance(t *testing.T) {
 
 // TestRunScheduleRejectsUnsorted: arrival offsets must be sorted.
 func TestRunScheduleRejectsUnsorted(t *testing.T) {
-	f := newTestFleet(t, testConfig(1))
+	f := newTestFleet(t, testOpts(1)...)
 	incr := incrID(t, f)
 	_, err := f.RunSchedule([]TimedRequest{
 		{At: 10, Req: Request{Key: "a", FuncID: incr, Args: []uint32{1}}},

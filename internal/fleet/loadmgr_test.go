@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kern"
 	"repro/internal/loadmgr"
+	"repro/internal/placement"
 )
 
 // libcProvisionIdem registers the libc module with incr declared
@@ -32,13 +33,19 @@ func libcProvisionIdem(k *kern.Kernel, sm *core.SMod, _ backend.Profile) error {
 	return err
 }
 
-// lmConfig is testConfig plus a load manager (and the idempotent-aware
-// provision, so cache options actually bite).
-func lmConfig(shards int, opts loadmgr.Options) Config {
-	cfg := testConfig(shards)
-	cfg.Provision = libcProvisionIdem
-	cfg.LoadManager = &opts
-	return cfg
+// lmOpts is testOpts plus the option-API mapping of the historical
+// load-manager knobs (and the idempotent-aware provision, so cache
+// options actually bite): CacheSize becomes WithResultCache, Migrate
+// becomes a migrating placement strategy.
+func lmOpts(shards int, lm loadmgr.Options) []Option {
+	opts := append(testOpts(shards), WithProvision(libcProvisionIdem))
+	if lm.CacheSize > 0 {
+		opts = append(opts, WithResultCache(lm.CacheSize))
+	}
+	if p := placement.Legacy(lm); p != nil {
+		opts = append(opts, WithPlacement(p))
+	}
+	return opts
 }
 
 // skewedPlan builds one round of a skewed workload: hotKey gets `hot`
@@ -55,10 +62,10 @@ func skewedPlan(incr uint32, keys, hot int) []Request {
 }
 
 func TestMigrationRebalancesSkewedLoad(t *testing.T) {
-	f := newTestFleet(t, lmConfig(2, loadmgr.Options{
+	f := newTestFleet(t, lmOpts(2, loadmgr.Options{
 		Migrate:            true,
 		ImbalanceThreshold: 1.05,
-	}))
+	})...)
 	incr := incrID(t, f)
 
 	// k00..k05 alternate shards on first sight; k00, k02, k04 land on
@@ -75,7 +82,7 @@ func TestMigrationRebalancesSkewedLoad(t *testing.T) {
 		}
 		if round == 0 {
 			for _, k := range keys {
-				sid, ok := f.pool.Lookup(k)
+				sid, ok := f.place.Lookup(k)
 				if !ok {
 					t.Fatalf("%s unassigned after first plan", k)
 				}
@@ -98,7 +105,7 @@ func TestMigrationRebalancesSkewedLoad(t *testing.T) {
 	hotShard := before["k00"]
 	stillThere := 0
 	for _, k := range keys {
-		if sid, ok := f.pool.Lookup(k); ok && before[k] == hotShard && sid == hotShard {
+		if sid, ok := f.place.Lookup(k); ok && before[k] == hotShard && sid == hotShard {
 			stillThere++
 		}
 	}
@@ -116,7 +123,7 @@ func TestMigrationRebalancesSkewedLoad(t *testing.T) {
 
 func TestNoMigrationWhenDisabled(t *testing.T) {
 	// Manager present (cache only): barriers must not move sessions.
-	f := newTestFleet(t, lmConfig(2, loadmgr.Options{CacheSize: 16}))
+	f := newTestFleet(t, lmOpts(2, loadmgr.Options{CacheSize: 16})...)
 	incr := incrID(t, f)
 	for round := 0; round < 3; round++ {
 		if err := respErr(f.RunPlan(skewedPlan(incr, 6, 20))); err != nil {
@@ -165,11 +172,11 @@ func migPlanFor(incr uint32, seed int64, round, keys, calls int) []Request {
 // migration enabled across runs of the same seed — migrations included.
 func TestDeterministicCyclesWithMigration(t *testing.T) {
 	run := func() ([]uint64, uint64) {
-		f := newTestFleet(t, lmConfig(3, loadmgr.Options{
+		f := newTestFleet(t, lmOpts(3, loadmgr.Options{
 			Migrate:            true,
 			ImbalanceThreshold: 1.05,
 			Seed:               7,
-		}))
+		})...)
 		incr := incrID(t, f)
 		for round := 0; round < 5; round++ {
 			if err := respErr(f.RunPlan(migPlanFor(incr, 42, round, 8, 40))); err != nil {
@@ -232,8 +239,8 @@ func TestCacheNeverChangesResponses(t *testing.T) {
 		return append(first, second...)
 	}
 
-	plain := runHalves(newTestFleet(t, testConfig(2)))
-	f := newTestFleet(t, lmConfig(2, loadmgr.Options{CacheSize: 32}))
+	plain := runHalves(newTestFleet(t, testOpts(2)...))
+	f := newTestFleet(t, lmOpts(2, loadmgr.Options{CacheSize: 32})...)
 	cached := runHalves(f)
 	for i := range plain {
 		if plain[i].Val != cached[i].Val || plain[i].Errno != cached[i].Errno ||
@@ -260,7 +267,7 @@ func TestCacheNeverChangesResponses(t *testing.T) {
 // are cheaper) but must keep them deterministic run-to-run.
 func TestCacheDeterministicCycles(t *testing.T) {
 	run := func() []uint64 {
-		f := newTestFleet(t, lmConfig(2, loadmgr.Options{CacheSize: 8}))
+		f := newTestFleet(t, lmOpts(2, loadmgr.Options{CacheSize: 8})...)
 		incr := incrID(t, f)
 		rng := rand.New(rand.NewSource(5))
 		for round := 0; round < 3; round++ {
@@ -301,7 +308,7 @@ func TestCacheDeterministicCycles(t *testing.T) {
 // run queue.
 func TestScheduleCacheHitsOverIdleGaps(t *testing.T) {
 	run := func() ([]uint64, uint64) {
-		f := newTestFleet(t, lmConfig(2, loadmgr.Options{CacheSize: 16}))
+		f := newTestFleet(t, lmOpts(2, loadmgr.Options{CacheSize: 16})...)
 		incr := incrID(t, f)
 		// Warm the memo table, then a schedule of pure repeats with
 		// wide idle gaps: every arrival after the first hits.
@@ -351,11 +358,11 @@ func TestScheduleCacheHitsOverIdleGaps(t *testing.T) {
 // session during the warm job, so the key's first post-migration call
 // pays no session setup there.
 func TestWarmSessionAfterMigration(t *testing.T) {
-	f := newTestFleet(t, lmConfig(2, loadmgr.Options{
+	f := newTestFleet(t, lmOpts(2, loadmgr.Options{
 		Migrate:            true,
 		ImbalanceThreshold: 1.05,
 		MaxMovesPerRound:   1,
-	}))
+	})...)
 	incr := incrID(t, f)
 	keys := []string{"k00", "k01", "k02", "k03"}
 	before := map[string]int{}
@@ -365,7 +372,7 @@ func TestWarmSessionAfterMigration(t *testing.T) {
 		}
 		if round == 0 {
 			for _, k := range keys {
-				before[k], _ = f.pool.Lookup(k)
+				before[k], _ = f.place.Lookup(k)
 			}
 		}
 	}
@@ -376,7 +383,7 @@ func TestWarmSessionAfterMigration(t *testing.T) {
 	// Find a key that actually moved and its new home.
 	moved, sid := "", -1
 	for _, k := range keys {
-		if cur, ok := f.pool.Lookup(k); ok && cur != before[k] {
+		if cur, ok := f.place.Lookup(k); ok && cur != before[k] {
 			moved, sid = k, cur
 			break
 		}
@@ -402,10 +409,10 @@ func TestWarmSessionAfterMigration(t *testing.T) {
 // TestReleaseAfterMigration: a released migrated key can come back
 // anywhere and still work.
 func TestReleaseAfterMigration(t *testing.T) {
-	f := newTestFleet(t, lmConfig(2, loadmgr.Options{
+	f := newTestFleet(t, lmOpts(2, loadmgr.Options{
 		Migrate:            true,
 		ImbalanceThreshold: 1.05,
-	}))
+	})...)
 	incr := incrID(t, f)
 	for round := 0; round < 3; round++ {
 		if err := respErr(f.RunPlan(skewedPlan(incr, 4, 16))); err != nil {
@@ -415,7 +422,7 @@ func TestReleaseAfterMigration(t *testing.T) {
 	if err := f.Release("k00"); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := f.pool.Lookup("k00"); ok {
+	if _, ok := f.place.Lookup("k00"); ok {
 		t.Fatal("k00 still assigned after Release")
 	}
 	v, err := f.Call("k00", incr, 9)

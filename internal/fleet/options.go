@@ -1,0 +1,192 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/kern"
+	"repro/internal/loadmgr"
+	"repro/internal/placement"
+)
+
+// ProvisionFunc registers modules (and any keys) on one shard's fresh
+// kernel. It runs once per shard and must be deterministic. The
+// shard's backend profile is passed so provisioning can honor its
+// module flavor (register a modcrypt-encrypted archive on
+// FlavorModcrypt shards, plaintext otherwise); the registered module
+// must expose the same function set either way.
+type ProvisionFunc func(*kern.Kernel, *core.SMod, backend.Profile) error
+
+// config is the resolved option set Open builds a fleet from. It is
+// deliberately unexported: the stable public surface is Open plus the
+// With* options, not a field bag strategies get threaded through.
+type config struct {
+	shards      int
+	module      string
+	version     int
+	credential  string
+	clientUID   int
+	clientName  string
+	provision   ProvisionFunc
+	backends    []backend.Assignment
+	maxSessions int
+	maxBatch    int
+	place       placement.Placement
+	cacheSize   int
+}
+
+// Option configures Open.
+type Option func(*config)
+
+// WithShards sets the number of independent kernels (>= 1). It may be
+// omitted when WithBackends pins the fleet size.
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
+
+// WithModule names the protected module (and version) every client
+// attaches to; the provision function must register it on each shard.
+func WithModule(name string, version int) Option {
+	return func(c *config) { c.module, c.version = name, version }
+}
+
+// WithProvision sets the per-shard provisioning function.
+func WithProvision(fn ProvisionFunc) Option { return func(c *config) { c.provision = fn } }
+
+// WithClient sets the kernel credential of the simulated client
+// processes (name "" keeps the "fleet-client" default).
+func WithClient(uid int, name string) Option {
+	return func(c *config) { c.clientUID = uid; c.clientName = name }
+}
+
+// WithCredential sets the serialized credential text clients present
+// at session start ("" when the module policy admits them directly).
+func WithCredential(cred string) Option { return func(c *config) { c.credential = cred } }
+
+// WithBackends assigns a machine-class profile to every shard (see
+// internal/backend): each shard's kernel runs the profile's scaled
+// cost table, its module flavor selects what the provision function
+// installs, and placement weighs shard capacity by the profile cost
+// factors. Omitted means a homogeneous fleet of baseline machines.
+// When set it must cover shards 0..Shards-1 exactly once; WithShards
+// may be omitted to take the assignment's length.
+func WithBackends(as []backend.Assignment) Option {
+	return func(c *config) { c.backends = as }
+}
+
+// WithPlacement installs the routing strategy (see internal/placement).
+// Omitted means placement.Sticky — the historical sticky pool with no
+// rebalancing. The strategy instance must be fresh (single-use).
+func WithPlacement(p placement.Placement) Option {
+	return func(c *config) { c.place = p }
+}
+
+// WithResultCache gives every shard a bounded LRU result cache of the
+// given capacity (entries) memoizing the module's spec-declared
+// idempotent functions. 0 disables caching.
+func WithResultCache(entries int) Option { return func(c *config) { c.cacheSize = entries } }
+
+// WithSessionCap caps warm sessions per shard; the least recently used
+// idle session is reclaimed when the cap is hit (0 = unlimited). The
+// cap is soft: sessions busy in the current batch are never evicted.
+func WithSessionCap(n int) Option { return func(c *config) { c.maxSessions = n } }
+
+// WithMaxBatch bounds how many inbox jobs a shard coalesces into one
+// kernel stretch (default 256).
+func WithMaxBatch(n int) Option { return func(c *config) { c.maxBatch = n } }
+
+// resolve validates the option set and fills defaults.
+func (c *config) resolve() error {
+	if c.shards < 1 && len(c.backends) > 0 {
+		c.shards = len(c.backends)
+	}
+	if c.shards < 1 {
+		return fmt.Errorf("fleet: need at least 1 shard, got %d", c.shards)
+	}
+	if c.module == "" || c.provision == nil {
+		return errors.New("fleet: Open needs WithModule and WithProvision")
+	}
+	if c.maxBatch <= 0 {
+		c.maxBatch = 256
+	}
+	if c.clientName == "" {
+		c.clientName = "fleet-client"
+	}
+	if len(c.backends) == 0 {
+		c.backends = backend.Uniform(c.shards, backend.Default())
+	}
+	if len(c.backends) != c.shards {
+		return fmt.Errorf("fleet: %d backend assignments for %d shards",
+			len(c.backends), c.shards)
+	}
+	if err := backend.Validate(c.backends); err != nil {
+		return err
+	}
+	if c.place == nil {
+		c.place = placement.NewSticky()
+	}
+	return nil
+}
+
+// Config describes a fleet.
+//
+// Deprecated: Config and New are the pre-placement field-bag API, kept
+// only so existing callers compile during the migration. Use Open with
+// functional options: strategy-specific knobs that used to be Config
+// fields are now WithBackends, WithResultCache, and — in place of
+// LoadManager's migration switches — a placement strategy passed to
+// WithPlacement.
+type Config struct {
+	// Shards is the number of independent kernels (>= 1).
+	Shards int
+	// Module and Version name the protected module; see WithModule.
+	Module  string
+	Version int
+	// Credential is the client credential text; see WithCredential.
+	Credential string
+	// ClientUID and ClientName form the client kernel credential; see
+	// WithClient.
+	ClientUID  int
+	ClientName string
+	// Provision registers modules on one shard's fresh kernel; see
+	// WithProvision.
+	Provision ProvisionFunc
+	// Backends assigns machine-class profiles; see WithBackends.
+	Backends []backend.Assignment
+	// MaxSessionsPerShard caps warm sessions; see WithSessionCap.
+	MaxSessionsPerShard int
+	// MaxBatch bounds jobs per kernel stretch; see WithMaxBatch.
+	MaxBatch int
+	// LoadManager, when non-nil, selects the historical loadmgr wiring:
+	// CacheSize maps to WithResultCache, and Migrate/HeatOnly map to
+	// the placement.HeatMigrate / placement.CostAware strategies.
+	LoadManager *loadmgr.Options
+}
+
+// New builds and starts a fleet from a legacy Config.
+//
+// Deprecated: use Open. New translates the Config fields onto the
+// option API (bit-for-bit: the mapped strategies reproduce the old
+// hard-wired pool/loadmgr behaviour exactly) and will be removed once
+// nothing constructs a Config.
+func New(cfg Config) (*Fleet, error) {
+	opts := []Option{
+		WithShards(cfg.Shards),
+		WithModule(cfg.Module, cfg.Version),
+		WithProvision(cfg.Provision),
+		WithClient(cfg.ClientUID, cfg.ClientName),
+		WithCredential(cfg.Credential),
+		WithBackends(cfg.Backends),
+		WithSessionCap(cfg.MaxSessionsPerShard),
+		WithMaxBatch(cfg.MaxBatch),
+	}
+	if lm := cfg.LoadManager; lm != nil {
+		if lm.CacheSize > 0 {
+			opts = append(opts, WithResultCache(lm.CacheSize))
+		}
+		if p := placement.Legacy(*lm); p != nil {
+			opts = append(opts, WithPlacement(p))
+		}
+	}
+	return Open(opts...)
+}

@@ -1,0 +1,106 @@
+package fleet
+
+// Tests for the deprecated Config/New shim: the field-bag API must map
+// onto the option API bit for bit — same routing, same migrations,
+// same cycle counts — until the last caller is ported and the shim is
+// deleted. This file is the only place outside the shim itself that
+// may reference Config.LoadManager / Config.Backends.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/loadmgr"
+	"repro/internal/placement"
+)
+
+// runShimmed executes a fixed skewed multi-round plan on a fleet built
+// by `build` and returns per-shard cycles plus placement counters.
+func runShimmed(t *testing.T, build func() (*Fleet, error)) ([]uint64, Stats) {
+	t.Helper()
+	f, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := f.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	incr := incrID(t, f)
+	for round := 0; round < 4; round++ {
+		if err := respErr(f.RunPlan(skewedPlan(incr, 6, 18))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.Stats()
+	cycles := make([]uint64, len(st.PerShard))
+	for i, s := range st.PerShard {
+		cycles[i] = s.Cycles
+	}
+	return cycles, st
+}
+
+func TestDeprecatedConfigShimEquivalence(t *testing.T) {
+	mix, err := backend.DefaultCatalog().ParseMix("fast=1,slow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		lm   *loadmgr.Options
+	}{
+		{"sticky", nil},
+		{"cache-only", &loadmgr.Options{CacheSize: 16}},
+		{"costaware", &loadmgr.Options{Migrate: true, ImbalanceThreshold: 1.05, Seed: 7}},
+		{"heatonly", &loadmgr.Options{Migrate: true, HeatOnly: true, ImbalanceThreshold: 1.05, Seed: 7}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			viaConfig := func() (*Fleet, error) {
+				return New(Config{
+					Shards:      2,
+					Backends:    mix,
+					Module:      "libc",
+					Version:     1,
+					ClientUID:   1,
+					Provision:   libcProvisionIdem,
+					LoadManager: tc.lm,
+				})
+			}
+			viaOptions := func() (*Fleet, error) {
+				opts := append(testOpts(2),
+					WithBackends(mix),
+					WithProvision(libcProvisionIdem))
+				if lm := tc.lm; lm != nil {
+					if lm.CacheSize > 0 {
+						opts = append(opts, WithResultCache(lm.CacheSize))
+					}
+					if lm.Migrate {
+						if lm.HeatOnly {
+							opts = append(opts, WithPlacement(placement.NewHeatMigrate(*lm)))
+						} else {
+							opts = append(opts, WithPlacement(placement.NewCostAware(*lm)))
+						}
+					}
+				}
+				return Open(opts...)
+			}
+			c1, s1 := runShimmed(t, viaConfig)
+			c2, s2 := runShimmed(t, viaOptions)
+			for i := range c1 {
+				if c1[i] != c2[i] {
+					t.Errorf("shard %d cycles: Config %d vs options %d", i, c1[i], c2[i])
+				}
+			}
+			if s1.Migrations != s2.Migrations || s1.CacheHits != s2.CacheHits {
+				t.Errorf("counters differ: Config {mig %d, hits %d} vs options {mig %d, hits %d}",
+					s1.Migrations, s1.CacheHits, s2.Migrations, s2.CacheHits)
+			}
+			if fmt.Sprint(s1.PerShard) != fmt.Sprint(s2.PerShard) {
+				t.Errorf("per-shard stats differ:\n  Config:  %+v\n  options: %+v", s1.PerShard, s2.PerShard)
+			}
+		})
+	}
+}

@@ -35,7 +35,7 @@ func planFor(t *testing.T, f *Fleet, seed int64, keys, calls int) []Request {
 // cycle counts (shutdown must be deterministic too).
 func runOnce(t *testing.T, shards int, seed int64, keys, calls int) ([]uint64, []uint64, []uint64) {
 	t.Helper()
-	f := newTestFleet(t, testConfig(shards))
+	f := newTestFleet(t, testOpts(shards)...)
 	plan := planFor(t, f, seed, keys, calls)
 	resps, err := f.RunPlan(plan)
 	if err != nil {
@@ -111,7 +111,7 @@ func TestDeterministicUnderInterleaving(t *testing.T) {
 		wg.Add(1)
 		go func(rep int) {
 			defer wg.Done()
-			f, err := New(testConfig(3))
+			f, err := Open(testOpts(3)...)
 			if err != nil {
 				t.Error(err)
 				return
@@ -149,9 +149,7 @@ func TestDeterministicUnderInterleaving(t *testing.T) {
 // eviction/respawn path.
 func TestDeterministicEvictionPath(t *testing.T) {
 	run := func() []uint64 {
-		cfg := testConfig(2)
-		cfg.MaxSessionsPerShard = 2
-		f := newTestFleet(t, cfg)
+		f := newTestFleet(t, append(testOpts(2), WithSessionCap(2))...)
 		incr := incrID(t, f)
 		// Per-key batches submitted sequentially: each batch sees the
 		// previous keys' sessions idle, so the cap forces LRU reclaim.
@@ -223,7 +221,7 @@ func TestDeterministicSchedule(t *testing.T) {
 		tc := tc
 		t.Run(fmt.Sprintf("s%d_k%d_c%d", tc.shards, tc.keys, tc.calls), func(t *testing.T) {
 			run := func() ([]uint64, []uint64) {
-				f := newTestFleet(t, testConfig(tc.shards))
+				f := newTestFleet(t, testOpts(tc.shards)...)
 				resps, err := f.RunSchedule(scheduleFor(t, f, tc.seed, tc.keys, tc.calls))
 				if err != nil {
 					t.Fatal(err)
@@ -265,7 +263,7 @@ func TestDeterministicSchedule(t *testing.T) {
 // back-to-back.
 func TestDeterministicPlanWithPipelinedDispatch(t *testing.T) {
 	run := func() []uint64 {
-		f := newTestFleet(t, testConfig(2))
+		f := newTestFleet(t, testOpts(2)...)
 		for round := 0; round < 4; round++ {
 			plan := planFor(t, f, int64(round+1), 4, 3)
 			resps, err := f.RunPlan(plan)

@@ -65,6 +65,13 @@ const (
 	// half of a live migration.
 	jobMigrateOut
 	jobWarmIn
+	// jobReplicaIn warms a replica of an idempotent hot key onto this
+	// shard; jobReplicaOut drains one replica again. Mechanically they
+	// are warm/evict like a migration's two halves, but each acts
+	// alone (a replica add drains nothing, a replica drop warms
+	// nothing) and they count separately.
+	jobReplicaIn
+	jobReplicaOut
 )
 
 // job is one unit of work sent to a shard: a batch of calls (immediate
@@ -127,9 +134,13 @@ type ShardStats struct {
 	CacheMisses    uint64
 	CacheEvictions uint64
 	// Migration counters: sessions handed off this shard / warmed onto
-	// it by the load manager.
+	// it by the placement strategy.
 	MigratedOut uint64
 	MigratedIn  uint64
+	// Replica counters: hot-key replicas warmed onto this shard /
+	// drained from it by the replicating strategy.
+	ReplicasIn  uint64
+	ReplicasOut uint64
 	// IdleCycles counts clock advances over idle arrival gaps (timed
 	// schedules only). Cycles - IdleCycles is the shard's busy time,
 	// the numerator of per-shard utilization in mixed-fleet sweeps.
@@ -148,7 +159,7 @@ type shard struct {
 	// table is installed on the kernel at construction, before any
 	// process exists, and never changes (determinism per assignment).
 	profile backend.Profile
-	cfg     Config
+	cfg     *config
 	k       *kern.Kernel
 	sm      *core.SMod
 
@@ -189,12 +200,14 @@ type shard struct {
 	mid         int
 	migratedOut uint64
 	migratedIn  uint64
+	replicasIn  uint64
+	replicasOut uint64
 
 	final ShardStats
 	err   error
 }
 
-func newShard(id int, cfg Config, profile backend.Profile, mgr *loadmgr.Manager) (*shard, error) {
+func newShard(id int, cfg *config, profile backend.Profile, cache *loadmgr.ResultCache) (*shard, error) {
 	sh := &shard{
 		id:      id,
 		profile: profile,
@@ -202,34 +215,42 @@ func newShard(id int, cfg Config, profile backend.Profile, mgr *loadmgr.Manager)
 		k:       kern.New(),
 		clients: map[string]*clientProc{},
 		byPID:   map[int]*clientProc{},
-		inbox:   make(chan *job, cfg.MaxBatch),
+		inbox:   make(chan *job, cfg.maxBatch),
 	}
 	sh.k.SetCosts(profile.Costs())
 	sh.sm = core.Attach(sh.k)
-	if cfg.Provision != nil {
-		if err := cfg.Provision(sh.k, sh.sm, profile); err != nil {
+	if cfg.provision != nil {
+		if err := cfg.provision(sh.k, sh.sm, profile); err != nil {
 			return nil, fmt.Errorf("fleet: shard %d provision: %w", id, err)
 		}
 	}
-	mid := sh.sm.Find(cfg.Module, cfg.Version)
+	mid := sh.sm.Find(cfg.module, cfg.version)
 	if mid == 0 {
 		return nil, fmt.Errorf("fleet: shard %d: module %s v%d not registered by Provision",
-			id, cfg.Module, cfg.Version)
+			id, cfg.module, cfg.version)
 	}
-	if mgr != nil {
-		if sh.cache = mgr.NewCache(); sh.cache != nil {
-			m := sh.sm.Module(mid)
-			sh.mid = m.ID
-			sh.idemp = map[uint32]bool{}
-			for fid := range m.Funcs {
-				if m.IdempotentFunc(fid) {
-					sh.idemp[uint32(fid)] = true
-				}
-			}
-		}
+	if sh.cache = cache; sh.cache != nil {
+		// sh.idemp is filled in by Open, once, fleet-wide: provisioning
+		// is identical across shards, so the derivation is shared.
+		sh.mid = sh.sm.Module(mid).ID
 	}
 	sh.k.RegisterSyscall(SysParkNo, "fleet_park", sh.sysPark)
 	return sh, nil
+}
+
+// idempotentFuncs collects the module's spec-declared idempotent
+// funcIDs — the single derivation the routing layer (replica fan-out)
+// and every shard's result cache share.
+func idempotentFuncs(sm *core.SMod, module string, version int) map[uint32]bool {
+	out := map[uint32]bool{}
+	if m := sm.Module(sm.Find(module, version)); m != nil {
+		for fid := range m.Funcs {
+			if m.IdempotentFunc(fid) {
+				out[uint32(fid)] = true
+			}
+		}
+	}
+	return out
 }
 
 // sysPark blocks the calling client process until the shard routes it
@@ -283,7 +304,7 @@ func (sh *shard) finishSlot(j *job, idx int, resp Response) {
 // pipelined path) are served in the same wake.
 func (sh *shard) clientMain(cp *clientProc) func(*kern.Sys) int {
 	return func(s *kern.Sys) int {
-		nc, err := core.AttachNative(s, sh.cfg.Module, sh.cfg.Version, sh.cfg.Credential)
+		nc, err := core.AttachNative(s, sh.cfg.module, sh.cfg.version, sh.cfg.credential)
 		if err != nil {
 			for _, pc := range cp.queue {
 				sh.finish(pc, Response{Err: err})
@@ -359,6 +380,14 @@ func (sh *shard) loop() {
 			sh.warm(j.key)
 			sh.migratedIn++
 			close(j.done)
+		case jobReplicaIn:
+			sh.warm(j.key)
+			sh.replicasIn++
+			close(j.done)
+		case jobReplicaOut:
+			sh.evict(j.key)
+			sh.replicasOut++
+			close(j.done)
 		}
 	}
 }
@@ -415,7 +444,7 @@ func (sh *shard) inject(j *job, i int, at uint64) {
 // job seen is stashed — it executes after the stretch — and stops
 // further admission so inbox order is preserved.
 func (sh *shard) drainInbox() {
-	for sh.stash == nil && !sh.inboxClosed && sh.jobsInStretch < sh.cfg.MaxBatch {
+	for sh.stash == nil && !sh.inboxClosed && sh.jobsInStretch < sh.cfg.maxBatch {
 		select {
 		case j, ok := <-sh.inbox:
 			if !ok {
@@ -541,14 +570,14 @@ func (sh *shard) ensureClient(key string) *clientProc {
 		// Respawning over a dead client: drop its PID index entry.
 		delete(sh.byPID, cp.proc.PID)
 	}
-	if cp == nil && sh.cfg.MaxSessionsPerShard > 0 &&
-		len(sh.clients) >= sh.cfg.MaxSessionsPerShard {
+	if cp == nil && sh.cfg.maxSessions > 0 &&
+		len(sh.clients) >= sh.cfg.maxSessions {
 		sh.evictLRU()
 	}
 	sh.spawned++
 	cp = &clientProc{key: key, born: sh.spawned, lastUse: sh.seq}
 	cp.proc = sh.k.SpawnNative("fleet-client:"+key,
-		kern.Cred{UID: sh.cfg.ClientUID, Name: sh.cfg.ClientName},
+		kern.Cred{UID: sh.cfg.clientUID, Name: sh.cfg.clientName},
 		sh.clientMain(cp))
 	sh.clients[key] = cp
 	sh.byPID[cp.proc.PID] = cp
@@ -630,6 +659,8 @@ func (sh *shard) snapshot() ShardStats {
 		Evictions:       sh.evictions,
 		MigratedOut:     sh.migratedOut,
 		MigratedIn:      sh.migratedIn,
+		ReplicasIn:      sh.replicasIn,
+		ReplicasOut:     sh.replicasOut,
 		IdleCycles:      sh.idleCycles,
 	}
 	if sh.cache != nil {

@@ -144,5 +144,5 @@ func (m *Manager) PlanRebalance() []Migration {
 	if m.opts.HeatOnly {
 		costw = nil
 	}
-	return m.mig.Plan(m.heat, costw)
+	return m.mig.Plan(m.heat, costw, nil)
 }

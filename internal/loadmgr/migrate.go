@@ -61,12 +61,15 @@ func weightOf(costw []float64, i int) float64 {
 // heat, weighted by the per-shard cost factors (nil = homogeneous),
 // and applies them to the tracker's placement view (Rebind), so
 // consecutive calls converge instead of re-proposing the same move.
-// The fleet applies the actual session moves afterwards.
-func (m *Migrator) Plan(h *HeatTracker, costw []float64) []Migration {
+// Keys in `skip` (nil = none) are fenced off — the placement layer
+// uses this to keep replicated keys, whose home is a whole replica
+// set, out of single-home migration plans. The fleet applies the
+// actual session moves afterwards.
+func (m *Migrator) Plan(h *HeatTracker, costw []float64, skip map[string]bool) []Migration {
 	m.round++
 	var moves []Migration
 	for len(moves) < m.opts.MaxMovesPerRound {
-		mv, ok := m.planOne(h, costw)
+		mv, ok := m.planOne(h, costw, skip)
 		if !ok {
 			break
 		}
@@ -85,7 +88,7 @@ func (m *Migrator) Plan(h *HeatTracker, costw []float64) []Migration {
 
 // planOne picks the single best move, or reports balance. All
 // comparisons run over estimated completion cost (heat x cost factor).
-func (m *Migrator) planOne(h *HeatTracker, costw []float64) (Migration, bool) {
+func (m *Migrator) planOne(h *HeatTracker, costw []float64, skip map[string]bool) (Migration, bool) {
 	heat := h.ShardHeat()
 	if len(heat) < 2 {
 		return Migration{}, false
@@ -112,7 +115,7 @@ func (m *Migrator) planOne(h *HeatTracker, costw []float64) (Migration, bool) {
 
 	cands := make([]candidate, 0, 8)
 	for key, kh := range h.keysOn(hot) {
-		if kh <= 0 {
+		if kh <= 0 || skip[key] {
 			continue
 		}
 		if until, cooling := m.cooldown[key]; cooling && until > m.round {

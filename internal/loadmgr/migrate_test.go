@@ -19,7 +19,7 @@ func skewedTracker() *HeatTracker {
 func TestPlanMovesHotKeyToColdShard(t *testing.T) {
 	h := skewedTracker()
 	m := NewMigrator(Options{Migrate: true, MaxMovesPerRound: 1})
-	moves := m.Plan(h, nil)
+	moves := m.Plan(h, nil, nil)
 	if len(moves) != 1 {
 		t.Fatalf("plan = %v, want exactly 1 move", moves)
 	}
@@ -44,7 +44,7 @@ func TestPlanSkipsKeyHotterThanGap(t *testing.T) {
 	// gap = 13-9 = 4: moving "huge" (10) would invert the imbalance;
 	// the planner must fall through to "med" (3).
 	m := NewMigrator(Options{Migrate: true, MaxMovesPerRound: 1, ImbalanceThreshold: 1.01})
-	moves := m.Plan(h, nil)
+	moves := m.Plan(h, nil, nil)
 	if len(moves) != 1 || moves[0].Key != "med" {
 		t.Fatalf("plan = %v, want [med 0->1]", moves)
 	}
@@ -56,7 +56,7 @@ func TestPlanRespectsThresholdAndBalance(t *testing.T) {
 	h.Record("b", 1, 5)
 	h.Advance()
 	m := NewMigrator(Options{Migrate: true})
-	if moves := m.Plan(h, nil); len(moves) != 0 {
+	if moves := m.Plan(h, nil, nil); len(moves) != 0 {
 		t.Fatalf("balanced fleet planned moves: %v", moves)
 	}
 }
@@ -64,7 +64,7 @@ func TestPlanRespectsThresholdAndBalance(t *testing.T) {
 func TestPlanCooldownPreventsFlapping(t *testing.T) {
 	h := skewedTracker()
 	m := NewMigrator(Options{Migrate: true, MaxMovesPerRound: 1, CooldownRounds: 10})
-	first := m.Plan(h, nil)
+	first := m.Plan(h, nil, nil)
 	if len(first) != 1 {
 		t.Fatalf("first plan = %v, want 1 move", first)
 	}
@@ -74,7 +74,7 @@ func TestPlanCooldownPreventsFlapping(t *testing.T) {
 	for round := 0; round < 3; round++ {
 		h.Record(moved, first[0].To, 20)
 		h.Advance()
-		for _, mv := range m.Plan(h, nil) {
+		for _, mv := range m.Plan(h, nil, nil) {
 			if mv.Key == moved {
 				t.Fatalf("round %d re-migrated cooling key %q", round, moved)
 			}
@@ -90,7 +90,7 @@ func TestPlanBoundedByMaxMoves(t *testing.T) {
 	}
 	h.Advance()
 	m := NewMigrator(Options{Migrate: true, MaxMovesPerRound: 2})
-	if moves := m.Plan(h, nil); len(moves) > 2 {
+	if moves := m.Plan(h, nil, nil); len(moves) > 2 {
 		t.Fatalf("plan exceeded MaxMovesPerRound: %v", moves)
 	}
 }
@@ -108,7 +108,7 @@ func TestPlanDeterministicAcrossSeededRuns(t *testing.T) {
 				h.Record("z", 0, 1)
 			}
 			h.Advance()
-			plans = append(plans, m.Plan(h, nil))
+			plans = append(plans, m.Plan(h, nil, nil))
 		}
 		return plans
 	}
@@ -138,7 +138,7 @@ func TestPlanSeededTieBreakStableAcrossMapOrder(t *testing.T) {
 			ImbalanceThreshold: 1.05, CooldownRounds: 1})
 		var plans [][]Migration
 		for round := 0; round < 4; round++ {
-			plans = append(plans, m.Plan(h, nil))
+			plans = append(plans, m.Plan(h, nil, nil))
 			for _, k := range insertOrder {
 				h.Record(k, 0, 2)
 			}
@@ -178,7 +178,7 @@ func TestPlanCostAware(t *testing.T) {
 	// Heat-only view: shard 0 (heat 5.5) looks hotter than shard 1 (4);
 	// a heat-only plan moves fast -> slow.
 	mHeat := NewMigrator(Options{Migrate: true, MaxMovesPerRound: 1, ImbalanceThreshold: 1.05})
-	heatMoves := mHeat.Plan(h, nil)
+	heatMoves := mHeat.Plan(h, nil, nil)
 	if len(heatMoves) != 1 || heatMoves[0].From != 0 || heatMoves[0].To != 1 {
 		t.Fatalf("heat-only plan = %v, want a 0->1 move", heatMoves)
 	}
@@ -191,7 +191,7 @@ func TestPlanCostAware(t *testing.T) {
 	h2.Record("slowhot", 1, 4)
 	h2.Advance()
 	mCost := NewMigrator(Options{Migrate: true, MaxMovesPerRound: 1, ImbalanceThreshold: 1.05})
-	costMoves := mCost.Plan(h2, costw)
+	costMoves := mCost.Plan(h2, costw, nil)
 	if len(costMoves) != 1 || costMoves[0].From != 1 || costMoves[0].To != 0 {
 		t.Fatalf("cost-aware plan = %v, want a 1->0 move", costMoves)
 	}
@@ -209,7 +209,7 @@ func TestPlanCostAwareSkipsOvershoot(t *testing.T) {
 	// "huge" at destination cost 10 >= 4 must be skipped; "tiny" at 2.5
 	// fits.
 	m := NewMigrator(Options{Migrate: true, MaxMovesPerRound: 1, ImbalanceThreshold: 1.05})
-	moves := m.Plan(h, []float64{1.0, 2.5})
+	moves := m.Plan(h, []float64{1.0, 2.5}, nil)
 	if len(moves) != 1 || moves[0].Key != "tiny" {
 		t.Fatalf("plan = %v, want [tiny 0->1]", moves)
 	}
@@ -229,8 +229,8 @@ func TestPlanUniformWeightsMatchHeatOnly(t *testing.T) {
 		h.Advance()
 		return h
 	}
-	a := NewMigrator(Options{Migrate: true, Seed: 5, ImbalanceThreshold: 1.05}).Plan(build(), nil)
-	b := NewMigrator(Options{Migrate: true, Seed: 5, ImbalanceThreshold: 1.05}).Plan(build(), []float64{1, 1, 1})
+	a := NewMigrator(Options{Migrate: true, Seed: 5, ImbalanceThreshold: 1.05}).Plan(build(), nil, nil)
+	b := NewMigrator(Options{Migrate: true, Seed: 5, ImbalanceThreshold: 1.05}).Plan(build(), []float64{1, 1, 1}, nil)
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("nil weights %v != unit weights %v", a, b)
 	}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/fleet"
 	"repro/internal/loadmgr"
+	"repro/internal/placement"
 )
 
 // LoadCurveConfig describes one load-curve sweep.
@@ -52,13 +53,22 @@ type LoadCurveConfig struct {
 	// cache has something to hit.
 	ArgsCardinality int
 	// Epochs splits each point's schedule into this many back-to-back
-	// RunSchedule barriers (min 1). Each barrier is a loadmgr rebalance
-	// opportunity, so migration needs Epochs >= 2 to act within a point.
+	// RunSchedule barriers (min 1). Each barrier is a rebalance
+	// opportunity, so migration (and replica resizing) needs Epochs >= 2
+	// to act within a point.
 	Epochs int
-	// LoadManager, when non-nil, attaches the loadmgr subsystem to the
-	// measured fleet (hot-key migration at epoch barriers and/or the
-	// idempotent result cache).
+	// LoadManager, when non-nil, tunes the measured fleet's placement
+	// and caching: CacheSize maps to fleet.WithResultCache, and
+	// Migrate/HeatOnly select the placement.CostAware or
+	// placement.HeatMigrate strategy (with the remaining fields as
+	// tuning), mirroring the historical loadmgr wiring.
 	LoadManager *loadmgr.Options
+	// Replicas, when > 0, swaps the placement strategy for
+	// placement.Replicated with this replica-set cap: idempotent hot
+	// keys are served from up to Replicas shards at once, resized at
+	// epoch barriers. LoadManager (if set) still tunes heat/migration
+	// and the result cache.
+	Replicas int
 
 	// Backends assigns a machine-class profile to every shard (see
 	// internal/backend), making the measured fleet heterogeneous:
@@ -90,15 +100,31 @@ type LoadPoint struct {
 	MakespanMicros float64      `json:"makespan_us"`
 	Saturated      bool         `json:"saturated"`
 	Hist           []HistBucket `json:"hist"`
-	// Load-manager activity during the point (zero without one).
+	// Placement activity during the point (zero under sticky).
 	Migrations  uint64 `json:"migrations,omitempty"`
 	CacheHits   uint64 `json:"cache_hits,omitempty"`
 	CacheMisses uint64 `json:"cache_misses,omitempty"`
+	// Replication activity (replicating placement only): replica
+	// sessions warmed in / drained during the point, plus the
+	// per-replica hit distribution of the hottest replicated key —
+	// the view that shows one dominant key actually being served from
+	// several shards at once.
+	ReplicasAdded   uint64       `json:"replicas_added,omitempty"`
+	ReplicasDropped uint64       `json:"replicas_dropped,omitempty"`
+	ReplicaKey      string       `json:"replica_key,omitempty"`
+	ReplicaHits     []ReplicaHit `json:"replica_hits,omitempty"`
 	// Profiles breaks the point down by backend machine class
 	// (mixed-fleet sweeps only): calls served and busy-time utilization
 	// per profile, the view that shows hot traffic landing on fast
 	// shards while slow shards hold the cold tail.
 	Profiles []ProfileLoad `json:"profiles,omitempty"`
+}
+
+// ReplicaHit is one shard's share of the hottest replicated key's
+// idempotent traffic.
+type ReplicaHit struct {
+	Shard int    `json:"shard"`
+	Calls uint64 `json:"calls"`
 }
 
 // ProfileLoad is one machine class's share of a load point.
@@ -222,13 +248,42 @@ func loadPointSchedule(cfg LoadCurveConfig, rate float64, incr uint32) ([]fleet.
 	return treqs, nil
 }
 
+// curvePlacement maps the curve config onto the fleet options it
+// measures under: result cache, and the placement strategy (sticky,
+// migrating, or replicated). The *placement.Replicated pointer is
+// returned so the point can read the per-replica hit distribution
+// after the run; nil otherwise.
+func curvePlacement(cfg LoadCurveConfig) ([]fleet.Option, *placement.Replicated) {
+	var opts []fleet.Option
+	var tuning loadmgr.Options
+	if lm := cfg.LoadManager; lm != nil {
+		tuning = *lm
+		if lm.CacheSize > 0 {
+			opts = append(opts, fleet.WithResultCache(lm.CacheSize))
+		}
+	}
+	if cfg.Replicas > 0 {
+		rep := placement.NewReplicated(placement.ReplicatedConfig{
+			Options:     tuning,
+			MaxReplicas: cfg.Replicas,
+			HeatOnly:    tuning.HeatOnly,
+		})
+		return append(opts, fleet.WithPlacement(rep)), rep
+	}
+	if p := placement.Legacy(tuning); p != nil {
+		opts = append(opts, fleet.WithPlacement(p))
+	}
+	return opts, nil
+}
+
 // runLoadPoint measures one offered rate on a fresh fleet. With Epochs
 // > 1 the schedule runs as that many back-to-back RunSchedule barriers
-// (each re-based to its first arrival): between epochs the load
-// manager may migrate hot keys, which is the only way migration can
-// act within a single measured point.
+// (each re-based to its first arrival): between epochs the placement
+// strategy may migrate hot keys or resize replica sets, which is the
+// only way rebalancing can act within a single measured point.
 func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error) {
-	f, err := fleet.New(fleetBenchConfig(cfg.Shards, 0, cfg.LoadManager, cfg.Backends))
+	placeOpts, rep := curvePlacement(cfg)
+	f, err := fleet.Open(append(benchFleetOpts(cfg.Shards, 0, cfg.Backends), placeOpts...)...)
 	if err != nil {
 		return LoadPoint{}, err
 	}
@@ -296,23 +351,54 @@ func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error
 	if len(cfg.Backends) > 0 {
 		profiles = profileBreakdown(before, after, makespan)
 	}
-	return LoadPoint{
-		OfferedPerSec:  rate,
-		AchievedPerSec: achieved,
-		Calls:          rec.Count(),
-		P50Micros:      rec.QuantileMicros(0.50),
-		P95Micros:      rec.QuantileMicros(0.95),
-		P99Micros:      rec.QuantileMicros(0.99),
-		MeanMicros:     rec.MeanMicros(),
-		MaxMicros:      rec.MaxMicros(),
-		MakespanMicros: clock.Micros(makespan),
-		Saturated:      achieved < SatAchievedFraction*rate,
-		Hist:           rec.Histogram(),
-		Migrations:     after.Migrations - before.Migrations,
-		CacheHits:      after.CacheHits - before.CacheHits,
-		CacheMisses:    after.CacheMisses - before.CacheMisses,
-		Profiles:       profiles,
-	}, nil
+	point = LoadPoint{
+		OfferedPerSec:   rate,
+		AchievedPerSec:  achieved,
+		Calls:           rec.Count(),
+		P50Micros:       rec.QuantileMicros(0.50),
+		P95Micros:       rec.QuantileMicros(0.95),
+		P99Micros:       rec.QuantileMicros(0.99),
+		MeanMicros:      rec.MeanMicros(),
+		MaxMicros:       rec.MaxMicros(),
+		MakespanMicros:  clock.Micros(makespan),
+		Saturated:       achieved < SatAchievedFraction*rate,
+		Hist:            rec.Histogram(),
+		Migrations:      after.Migrations - before.Migrations,
+		CacheHits:       after.CacheHits - before.CacheHits,
+		CacheMisses:     after.CacheMisses - before.CacheMisses,
+		ReplicasAdded:   after.ReplicasAdded - before.ReplicasAdded,
+		ReplicasDropped: after.ReplicasDropped - before.ReplicasDropped,
+		Profiles:        profiles,
+	}
+	if rep != nil {
+		point.ReplicaKey, point.ReplicaHits = hottestReplica(rep)
+	}
+	return point, nil
+}
+
+// hottestReplica picks the replicated key that served the most
+// idempotent calls and returns its per-shard hit distribution.
+func hottestReplica(rep *placement.Replicated) (string, []ReplicaHit) {
+	var bestKey string
+	var bestTotal uint64
+	var bestRow []placement.ReplicaHit
+	for key, row := range rep.HitDistribution() {
+		var total uint64
+		for _, h := range row {
+			total += h.Calls
+		}
+		if total > bestTotal || (total == bestTotal && (bestKey == "" || key < bestKey)) {
+			bestKey, bestTotal, bestRow = key, total, row
+		}
+	}
+	if bestKey == "" {
+		return "", nil
+	}
+	hits := make([]ReplicaHit, len(bestRow))
+	for i, h := range bestRow {
+		hits[i] = ReplicaHit{Shard: h.Shard, Calls: h.Calls}
+	}
+	return bestKey, hits
 }
 
 // KneeIndex returns the index of the first saturated point — the
@@ -371,10 +457,11 @@ type BenchLoadCurve struct {
 	ZipfS         float64 `json:"zipf_s,omitempty"`
 	ArgsCard      int     `json:"args_cardinality,omitempty"`
 	Epochs        int     `json:"epochs,omitempty"`
-	// Rebalance/CacheSize record the loadmgr configuration the curve
-	// ran under, so baselines only compare like with like.
+	// Rebalance/CacheSize/Replicas record the placement configuration
+	// the curve ran under, so baselines only compare like with like.
 	Rebalance      bool        `json:"rebalance,omitempty"`
 	CacheSize      int         `json:"cache_size,omitempty"`
+	Replicas       int         `json:"replicas,omitempty"`
 	Points         []LoadPoint `json:"points"`
 	KneeOfferedCPS float64     `json:"knee_offered_cps"` // 0 = never saturated
 	KneeIndex      int         `json:"knee_index"`       // -1 = never saturated
@@ -449,6 +536,7 @@ func buildCurve(name string, cfg LoadCurveConfig, points []LoadPoint) *BenchLoad
 		ZipfS:         cfg.ZipfS,
 		ArgsCard:      cfg.ArgsCardinality,
 		Epochs:        cfg.Epochs,
+		Replicas:      cfg.Replicas,
 		Points:        points,
 		KneeIndex:     KneeIndex(points),
 	}

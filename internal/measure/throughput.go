@@ -18,7 +18,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/kern"
-	"repro/internal/loadmgr"
 )
 
 // ThroughputStats is one row of the fleet scaling curve.
@@ -47,38 +46,39 @@ type ThroughputStats struct {
 	PerShardCycles []uint64
 }
 
-// fleetBenchConfig provisions the SecModule libc under the bench
-// policy on every shard, honoring each shard's backend-profile flavor
-// (modcrypt shards register an encrypted archive). incr is declared
-// idempotent (it is x+1), so a load manager with caching enabled may
-// memoize it; lm and backends may be nil.
-func fleetBenchConfig(shards, maxSessions int, lm *loadmgr.Options, backends []backend.Assignment) fleet.Config {
-	return fleet.Config{
-		Shards:              shards,
-		Backends:            backends,
-		Module:              "libc",
-		Version:             1,
-		ClientUID:           1,
-		ClientName:          "bench",
-		MaxSessionsPerShard: maxSessions,
-		LoadManager:         lm,
-		Provision: func(k *kern.Kernel, sm *core.SMod, p backend.Profile) error {
-			lib, err := core.LibCArchive()
-			if err != nil {
-				return err
-			}
-			lib, err = backend.ProvisionArchive(sm.ModKeys, lib, p, "bench-fleet-key",
-				[]byte("bench fleet key"))
-			if err != nil {
-				return err
-			}
-			_, err = sm.Register(&core.ModuleSpec{
-				Name: "libc", Version: 1, Owner: "owner", Lib: lib,
-				PolicySrc:       []string{benchPolicy},
-				IdempotentFuncs: []string{"incr"},
-			})
-			return err
-		},
+// benchProvision registers the SecModule libc under the bench policy
+// on one shard, honoring the shard's backend-profile flavor (modcrypt
+// shards register an encrypted archive). incr is declared idempotent
+// (it is x+1), so result caches may memoize it and the replicating
+// placement may fan it out.
+func benchProvision(k *kern.Kernel, sm *core.SMod, p backend.Profile) error {
+	lib, err := core.LibCArchive()
+	if err != nil {
+		return err
+	}
+	lib, err = backend.ProvisionArchive(sm.ModKeys, lib, p, "bench-fleet-key",
+		[]byte("bench fleet key"))
+	if err != nil {
+		return err
+	}
+	_, err = sm.Register(&core.ModuleSpec{
+		Name: "libc", Version: 1, Owner: "owner", Lib: lib,
+		PolicySrc:       []string{benchPolicy},
+		IdempotentFuncs: []string{"incr"},
+	})
+	return err
+}
+
+// benchFleetOpts is the option set every bench fleet opens with;
+// backends may be nil (homogeneous baseline).
+func benchFleetOpts(shards, maxSessions int, backends []backend.Assignment) []fleet.Option {
+	return []fleet.Option{
+		fleet.WithShards(shards),
+		fleet.WithBackends(backends),
+		fleet.WithModule("libc", 1),
+		fleet.WithClient(1, "bench"),
+		fleet.WithSessionCap(maxSessions),
+		fleet.WithProvision(benchProvision),
 	}
 }
 
@@ -156,7 +156,7 @@ func RunFleetClosedLoop(shards, clients, callsPerClient int) (row ThroughputStat
 // assignment (nil = homogeneous baseline fleet): the closed-loop
 // capacity probe for mixed-fleet load curves.
 func RunFleetClosedLoopMix(shards int, backends []backend.Assignment, clients, callsPerClient int) (row ThroughputStats, err error) {
-	f, err := fleet.New(fleetBenchConfig(shards, 0, nil, backends))
+	f, err := fleet.Open(benchFleetOpts(shards, 0, backends)...)
 	if err != nil {
 		return ThroughputStats{}, err
 	}
@@ -199,7 +199,7 @@ func RunFleetClosedLoopMix(shards int, backends []backend.Assignment, clients, c
 // open-loop bound; the gap to the closed-loop row is the value of
 // session reuse.
 func RunFleetOpenLoop(shards, totalCalls, maxSessions int) (row ThroughputStats, err error) {
-	f, err := fleet.New(fleetBenchConfig(shards, maxSessions, nil, nil))
+	f, err := fleet.Open(benchFleetOpts(shards, maxSessions, nil)...)
 	if err != nil {
 		return ThroughputStats{}, err
 	}

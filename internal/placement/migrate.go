@@ -1,0 +1,158 @@
+package placement
+
+import (
+	"errors"
+
+	"repro/internal/loadmgr"
+)
+
+// errRebound rejects a second Bind of a single-use strategy instance.
+var errRebound = errors.New("placement: strategy already bound to a fleet")
+
+// balancer is the shared core of every heat-driven strategy: the
+// sticky pool, the EWMA heat tracker fed from the routing path, and
+// the bounded greedy migrator that turns heat snapshots into moves at
+// rebalance barriers. HeatMigrate and CostAware differ only in whether
+// the migrator sees the fleet's cost factors; Replicated layers
+// replica fan-out on top.
+type balancer struct {
+	opts loadmgr.Options
+	pool *Pool
+	heat *loadmgr.HeatTracker
+	mig  *loadmgr.Migrator
+	// costw is the per-shard cost-factor vector handed to the migrator;
+	// nil balances raw heat (the heat-only A/B baseline). The pool is
+	// always cost-weighted regardless — machine capacity is a fact of
+	// allocation, cost-blind *migration* is the only knob under test.
+	costw   []float64
+	useCost bool
+}
+
+func newBalancer(opts loadmgr.Options, useCost bool) balancer {
+	return balancer{opts: opts, useCost: useCost}
+}
+
+// bind builds the pool/tracker/migrator for a fleet of `shards`.
+func (b *balancer) bind(shards int, costFactors []float64) error {
+	if b.pool != nil {
+		return errRebound
+	}
+	w, err := bindFactors(shards, costFactors)
+	if err != nil {
+		return err
+	}
+	b.pool = NewWeightedPool(w)
+	b.heat = loadmgr.NewHeatTracker(shards, b.opts.Alpha)
+	b.mig = loadmgr.NewMigrator(b.opts)
+	if b.useCost {
+		b.costw = w
+	}
+	return nil
+}
+
+// route is the shared hot path: sticky allocation plus the heat feed.
+func (b *balancer) route(c Call) int {
+	sid := b.pool.Get(c.Key)
+	b.heat.Record(c.Key, sid, 1)
+	return sid
+}
+
+// planMigrations plans this barrier's migrations over the
+// already-advanced heat round, excluding `skip` keys (nil = none).
+// The caller owns the heat.Advance — exactly one per barrier, however
+// many planning passes a strategy layers on top.
+func (b *balancer) planMigrations(skip map[string]bool) []Move {
+	var moves []Move
+	for _, mv := range b.mig.Plan(b.heat, b.costw, skip) {
+		moves = append(moves, Move{Kind: MoveMigrate, Key: mv.Key, From: mv.From, To: mv.To})
+	}
+	return moves
+}
+
+// commit applies one move's routing change.
+func (b *balancer) commit(mv Move) bool {
+	switch mv.Kind {
+	case MoveMigrate:
+		return b.pool.Rebind(mv.Key, mv.From, mv.To)
+	case MoveReplicate:
+		return b.pool.AddReplica(mv.Key, mv.From, mv.To)
+	case MoveDrain:
+		return b.pool.DropReplica(mv.Key, mv.From)
+	}
+	return false
+}
+
+func (b *balancer) Release(key string)            { b.pool.Put(key) }
+func (b *balancer) Evicted(key string, shard int) { b.pool.PutIf(key, shard) }
+func (b *balancer) Lookup(key string) (int, bool) { return b.pool.Lookup(key) }
+func (b *balancer) Replicas(key string) []int     { return b.pool.Replicas(key) }
+func (b *balancer) Load() []int                   { return b.pool.Load() }
+func (b *balancer) Assigned() int                 { return b.pool.Assigned() }
+func (b *balancer) Commit(mv Move) bool           { return b.commit(mv) }
+func (b *balancer) Route(c Call) int              { return b.route(c) }
+
+func (b *balancer) Rebalance() []Move {
+	b.heat.Advance()
+	return b.planMigrations(nil)
+}
+
+// Imbalance exposes the tracker's max/mean shard-heat score (1 =
+// balanced), for observability via the concrete strategy types.
+func (b *balancer) Imbalance() float64 { return b.heat.ImbalanceScore() }
+
+// Legacy maps the historical loadmgr.Options migration switches onto
+// a strategy — the one place the old field-bag semantics are spelled
+// out, shared by the fleet's deprecated Config shim and the bench
+// harness. Migrate selects CostAware (HeatMigrate under HeatOnly);
+// without Migrate there is no strategy to attach (nil — the caller
+// keeps the default sticky placement). CacheSize is not placement:
+// callers map it to fleet.WithResultCache themselves.
+func Legacy(lm loadmgr.Options) Placement {
+	switch {
+	case !lm.Migrate:
+		return nil
+	case lm.HeatOnly:
+		return NewHeatMigrate(lm)
+	default:
+		return NewCostAware(lm)
+	}
+}
+
+// HeatMigrate migrates hot keys off overloaded shards at rebalance
+// barriers, balancing raw EWMA heat as if every shard were the same
+// machine class (the heat-only A/B baseline on mixed fleets; on a
+// homogeneous fleet it is THE migration strategy).
+type HeatMigrate struct{ balancer }
+
+// NewHeatMigrate builds a heat-only migrating strategy. Zero Options
+// fields take the loadmgr defaults; Seed pins the tie-break.
+// Constructing the strategy is itself the migration opt-in, so
+// Options.Migrate is ignored here (unlike Replicated, where it gates
+// the migration half), and Options.CacheSize is ignored everywhere in
+// this package — result caching is the fleet's WithResultCache.
+func NewHeatMigrate(opts loadmgr.Options) *HeatMigrate {
+	return &HeatMigrate{newBalancer(opts, false)}
+}
+
+// Bind implements Placement.
+func (s *HeatMigrate) Bind(shards int, costFactors []float64) error {
+	return s.bind(shards, costFactors)
+}
+
+// CostAware migrates by estimated completion cost — heat weighted by
+// each shard's backend cost factor — so hot keys land on fast shards
+// and slow shards keep the cold tail. On a homogeneous fleet (all
+// factors 1.0) it degenerates to HeatMigrate bit for bit.
+type CostAware struct{ balancer }
+
+// NewCostAware builds a cost-aware migrating strategy. Like
+// NewHeatMigrate, constructing it is the migration opt-in:
+// Options.Migrate and Options.CacheSize are ignored (see there).
+func NewCostAware(opts loadmgr.Options) *CostAware {
+	return &CostAware{newBalancer(opts, true)}
+}
+
+// Bind implements Placement.
+func (s *CostAware) Bind(shards int, costFactors []float64) error {
+	return s.bind(shards, costFactors)
+}

@@ -1,0 +1,150 @@
+// Package placement is the fleet's pluggable routing brain: a
+// Placement strategy owns the client-key -> shard assignment state
+// (which shard serves a key, when a key moves, and how many replicas
+// a hot key is served from), while the fleet layer above stays the
+// only owner of sessions, inboxes, and kernel stretches — the same
+// strategy-object split the k8s-ipam allocators use to swap
+// address-placement policies behind one interface.
+//
+// Four strategies ship:
+//
+//   - Sticky: the historical IPAM-style pool — a key is allocated the
+//     cost-weighted least-loaded shard on first sight and keeps it
+//     until released or evicted. No rebalancing.
+//   - HeatMigrate: Sticky plus EWMA heat tracking and hot-key
+//     migration at rebalance barriers, balancing raw heat as if every
+//     shard were the same machine class.
+//   - CostAware: HeatMigrate weighing every decision by the shard's
+//     backend cost factor, so hot keys land on fast shards and slow
+//     shards keep the cold tail.
+//   - Replicated: CostAware plus hot-key replication — a
+//     spec-idempotent hot key is served from N shards at once, with
+//     the replica count raised and lowered from its heat at every
+//     barrier. Idempotence is the consistency story: replicas hold
+//     independent sessions whose calls are declared side-effect-free,
+//     so any replica's answer is THE answer; non-idempotent calls pin
+//     to the primary.
+//
+// Every strategy is deterministic given the sequence of Route /
+// Rebalance / Commit / Release / Evicted calls and its configured
+// seed — the property that keeps fleet.RunPlan cycle counts
+// bit-for-bit reproducible under any strategy (pinned by the
+// conformance suite in this package and the fleet property tests).
+package placement
+
+import "fmt"
+
+// Call is the routing context of one request: the client key and
+// whether the called function is declared idempotent by the module
+// spec (only idempotent calls may be served by a replica; everything
+// else pins to the key's primary shard).
+type Call struct {
+	Key        string
+	Idempotent bool
+}
+
+// MoveKind discriminates the session moves a rebalance plans.
+type MoveKind int
+
+const (
+	// MoveMigrate rehomes a key: drain the session on From, warm it on
+	// To, and route everything after the barrier to To.
+	MoveMigrate MoveKind = iota
+	// MoveReplicate adds a replica of an idempotent hot key on To
+	// (From is the key's primary, for reporting); nothing drains.
+	MoveReplicate
+	// MoveDrain removes the replica on From (the key stays live on its
+	// remaining shards).
+	MoveDrain
+)
+
+func (k MoveKind) String() string {
+	switch k {
+	case MoveMigrate:
+		return "migrate"
+	case MoveReplicate:
+		return "replicate"
+	case MoveDrain:
+		return "drain"
+	}
+	return fmt.Sprintf("movekind(%d)", int(k))
+}
+
+// Move is one planned session move. The fleet executes the kernel
+// side (drain / warm jobs); Commit applies the routing side.
+type Move struct {
+	Kind     MoveKind
+	Key      string
+	From, To int
+}
+
+// Placement owns a fleet's routing, rebalancing, and replica fan-out.
+// Implementations must be safe for concurrent Route / Release /
+// Evicted / Lookup calls; Rebalance and Commit are only ever called
+// from the fleet's barrier path (Commit under the fleet's write lock,
+// so it is ordered against every concurrent Route).
+//
+// A Placement instance is single-use: Bind attaches it to one fleet.
+type Placement interface {
+	// Bind attaches the strategy to a fleet of shards 0..shards-1 with
+	// the given per-shard cost factors (1.0 = baseline machine; nil =
+	// homogeneous). Called exactly once, before any other method.
+	Bind(shards int, costFactors []float64) error
+
+	// Route returns the shard that serves this call, allocating
+	// routing state on the key's first sight. For replicated keys an
+	// idempotent call may route to any replica; non-idempotent calls
+	// always route to the primary.
+	Route(c Call) int
+
+	// Rebalance runs at a barrier and plans this round's session
+	// moves. The plan is optimistic: the fleet calls Commit for each
+	// move (under its routing write lock) and skips moves whose
+	// binding changed underneath the plan.
+	Rebalance() []Move
+
+	// Commit applies one planned move's routing change, returning
+	// false when the key's binding changed since the plan (the fleet
+	// then skips the kernel-side work too).
+	Commit(mv Move) bool
+
+	// Release drops every binding of key — primary and all replicas —
+	// so the key's next request may land anywhere.
+	Release(key string)
+
+	// Evicted reports that shard tore down key's session (LRU reclaim
+	// or a drain): the binding on that one shard is dropped, promoting
+	// a surviving replica to primary when the primary was evicted.
+	Evicted(key string, shard int)
+
+	// Lookup returns key's primary shard without allocating.
+	Lookup(key string) (int, bool)
+
+	// Replicas returns every shard currently serving key, primary
+	// first (nil when unassigned).
+	Replicas(key string) []int
+
+	// Load returns per-shard binding counts (replicas each count once).
+	Load() []int
+
+	// Assigned returns the number of keys with at least one binding.
+	Assigned() int
+}
+
+// bindFactors validates a Bind call's arguments for the strategies.
+func bindFactors(shards int, costFactors []float64) ([]float64, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("placement: need at least 1 shard, got %d", shards)
+	}
+	if costFactors != nil && len(costFactors) != shards {
+		return nil, fmt.Errorf("placement: %d cost factors for %d shards", len(costFactors), shards)
+	}
+	w := make([]float64, shards)
+	for i := range w {
+		w[i] = 1
+		if i < len(costFactors) && costFactors[i] > 0 {
+			w[i] = costFactors[i]
+		}
+	}
+	return w, nil
+}

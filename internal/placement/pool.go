@@ -1,0 +1,263 @@
+package placement
+
+import (
+	"sort"
+	"sync"
+)
+
+// Pool is the sticky client-key -> shard binding table every strategy
+// routes through, modeled on the IPAM allocation pools of the related
+// k8s-ipam repos: a key is allocated a shard on first sight
+// (least-loaded, lowest index on ties, so allocation is deterministic
+// given arrival order), keeps that shard for as long as its session is
+// held (sticky), and returns its slot on release or eviction, after
+// which the key may be re-allocated anywhere.
+//
+// On a heterogeneous fleet the pool is capacity-aware: allocation
+// minimizes the *cost-weighted* load (bindings x the shard's
+// machine-class cost factor), so a shard 2.5x slower than baseline
+// receives roughly 1/2.5 the keys. With uniform weights this reduces
+// exactly to the historical least-loaded rule.
+//
+// Unlike a plain IPAM pool, a key may hold bindings on several shards
+// at once — the replica set the Replicated strategy fans hot keys out
+// over. The first binding is the primary; replicas are added and
+// dropped one shard at a time, and evicting the primary promotes the
+// next replica.
+type Pool struct {
+	mu     sync.Mutex
+	assign map[string][]int // bindings, primary first
+	load   []int            // bindings per shard
+	// weight is the per-shard cost factor (nil = homogeneous).
+	weight []float64
+}
+
+// NewPool returns an empty pool over the given number of shards.
+func NewPool(shards int) *Pool {
+	return &Pool{
+		assign: map[string][]int{},
+		load:   make([]int, shards),
+	}
+}
+
+// NewWeightedPool returns an empty pool whose allocation weighs each
+// shard's load by its cost factor.
+func NewWeightedPool(weights []float64) *Pool {
+	p := NewPool(len(weights))
+	p.weight = append([]float64(nil), weights...)
+	return p
+}
+
+// Get returns key's primary shard, allocating the shard with the
+// lowest cost-weighted load — (bindings+1) x cost factor, lowest index
+// on ties — when the key is unbound.
+func (p *Pool) Get(key string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.getLocked(key)
+}
+
+func (p *Pool) getLocked(key string) int {
+	if set, ok := p.assign[key]; ok {
+		return set[0]
+	}
+	sid := 0
+	best := p.slotCost(0)
+	for i := 1; i < len(p.load); i++ {
+		if c := p.slotCost(i); c < best {
+			sid, best = i, c
+		}
+	}
+	p.assign[key] = []int{sid}
+	p.load[sid]++
+	return sid
+}
+
+// slotCost is the weighted load shard i would carry after taking one
+// more binding.
+func (p *Pool) slotCost(i int) float64 {
+	w := 1.0
+	if i < len(p.weight) && p.weight[i] > 0 {
+		w = p.weight[i]
+	}
+	return float64(p.load[i]+1) * w
+}
+
+// Lookup returns key's current primary shard without allocating.
+func (p *Pool) Lookup(key string) (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if set, ok := p.assign[key]; ok {
+		return set[0], true
+	}
+	return 0, false
+}
+
+// Replicas returns every shard bound to key, primary first.
+func (p *Pool) Replicas(key string) []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]int(nil), p.assign[key]...)
+}
+
+// GetReplicas is Get plus the replica set under one lock — the
+// replicating strategy's hot path. reps is nil unless the key holds
+// more than one binding, so the common singly-bound case allocates
+// nothing.
+func (p *Pool) GetReplicas(key string) (primary int, reps []int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	primary = p.getLocked(key)
+	if set := p.assign[key]; len(set) > 1 {
+		reps = append([]int(nil), set...)
+	}
+	return primary, reps
+}
+
+// Put reclaims every binding of key — primary and replicas. It is a
+// no-op for unbound keys.
+func (p *Pool) Put(key string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, sid := range p.assign[key] {
+		p.load[sid]--
+	}
+	delete(p.assign, key)
+}
+
+// PutIf reclaims key's binding on sid only — the shard-side reclaim on
+// LRU eviction or a replica drain. Dropping the primary promotes the
+// next replica; an in-flight call may already have re-allocated the
+// key elsewhere, in which case nothing happens (freeing a newer
+// binding would corrupt the load accounting).
+func (p *Pool) PutIf(key string, sid int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dropLocked(key, sid)
+}
+
+// dropLocked removes key's binding on sid, if present.
+func (p *Pool) dropLocked(key string, sid int) bool {
+	set, ok := p.assign[key]
+	if !ok {
+		return false
+	}
+	for i, cur := range set {
+		if cur != sid {
+			continue
+		}
+		set = append(set[:i], set[i+1:]...)
+		p.load[sid]--
+		if len(set) == 0 {
+			delete(p.assign, key)
+		} else {
+			p.assign[key] = set
+		}
+		return true
+	}
+	return false
+}
+
+// Rebind atomically moves key's binding from shard `from` to shard
+// `to` — the migration primitive static IPAM allocation lacks. It
+// succeeds only when the key is still singly bound to `from` (a
+// concurrent release, re-allocation, or replication loses the race and
+// the migration is skipped), so load accounting can never drift.
+func (p *Pool) Rebind(key string, from, to int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	set, ok := p.assign[key]
+	if !ok || len(set) != 1 || set[0] != from || to < 0 || to >= len(p.load) {
+		return false
+	}
+	p.assign[key] = []int{to}
+	p.load[from]--
+	p.load[to]++
+	return true
+}
+
+// AddReplica binds key to shard `to` as an additional replica. Like
+// Rebind it validates the plan against the current binding: it fails
+// when the key's primary is no longer `from` (released and
+// re-allocated since the plan), the key is already bound to `to`, or
+// `to` is out of range — so a stale replication plan can never attach
+// a replica to a key that was re-homed underneath it.
+func (p *Pool) AddReplica(key string, from, to int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	set, ok := p.assign[key]
+	if !ok || set[0] != from || to < 0 || to >= len(p.load) {
+		return false
+	}
+	for _, cur := range set {
+		if cur == to {
+			return false
+		}
+	}
+	p.assign[key] = append(set, to)
+	p.load[to]++
+	return true
+}
+
+// DropReplica removes key's replica binding on `from`. The primary is
+// never dropped this way (use Rebind/Put/PutIf), so a replicated key
+// always keeps a shard that serves its non-idempotent calls.
+func (p *Pool) DropReplica(key string, from int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	set, ok := p.assign[key]
+	if !ok || len(set) < 2 || set[0] == from {
+		return false
+	}
+	return p.dropLocked(key, from)
+}
+
+// LeastLoadedExcluding returns the shard with the lowest cost-weighted
+// load among those not in `excl` (lowest index on ties), or false when
+// every shard is excluded.
+func (p *Pool) LeastLoadedExcluding(excl map[int]bool) (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sid, best, found := 0, 0.0, false
+	for i := 0; i < len(p.load); i++ {
+		if excl[i] {
+			continue
+		}
+		if c := p.slotCost(i); !found || c < best {
+			sid, best, found = i, c, true
+		}
+	}
+	return sid, found
+}
+
+// ReplicatedKeys returns every key currently holding more than one
+// binding, sorted — the deterministic sweep list for replica-set
+// maintenance.
+func (p *Pool) ReplicatedKeys() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for key, set := range p.assign {
+		if len(set) > 1 {
+			out = append(out, key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Load returns a snapshot of per-shard binding counts.
+func (p *Pool) Load() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, len(p.load))
+	copy(out, p.load)
+	return out
+}
+
+// Assigned returns the number of keys holding at least one binding.
+func (p *Pool) Assigned() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.assign)
+}

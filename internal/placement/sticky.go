@@ -1,0 +1,53 @@
+package placement
+
+// Sticky is the historical fleet placement: sticky cost-weighted
+// least-loaded allocation, no heat tracking, no rebalancing. It is the
+// default strategy of fleet.Open and the zero-overhead baseline every
+// other strategy's routing path reduces to.
+type Sticky struct {
+	pool *Pool
+}
+
+// NewSticky returns an unbound Sticky strategy.
+func NewSticky() *Sticky { return &Sticky{} }
+
+// Bind implements Placement.
+func (s *Sticky) Bind(shards int, costFactors []float64) error {
+	if s.pool != nil {
+		return errRebound
+	}
+	w, err := bindFactors(shards, costFactors)
+	if err != nil {
+		return err
+	}
+	s.pool = NewWeightedPool(w)
+	return nil
+}
+
+// Route implements Placement: the sticky pool allocation, nothing else.
+func (s *Sticky) Route(c Call) int { return s.pool.Get(c.Key) }
+
+// Rebalance implements Placement: Sticky never moves a session.
+func (s *Sticky) Rebalance() []Move { return nil }
+
+// Commit implements Placement; Sticky plans no moves, so there is
+// nothing valid to commit.
+func (s *Sticky) Commit(Move) bool { return false }
+
+// Release implements Placement.
+func (s *Sticky) Release(key string) { s.pool.Put(key) }
+
+// Evicted implements Placement.
+func (s *Sticky) Evicted(key string, shard int) { s.pool.PutIf(key, shard) }
+
+// Lookup implements Placement.
+func (s *Sticky) Lookup(key string) (int, bool) { return s.pool.Lookup(key) }
+
+// Replicas implements Placement; a sticky key has exactly its primary.
+func (s *Sticky) Replicas(key string) []int { return s.pool.Replicas(key) }
+
+// Load implements Placement.
+func (s *Sticky) Load() []int { return s.pool.Load() }
+
+// Assigned implements Placement.
+func (s *Sticky) Assigned() int { return s.pool.Assigned() }
