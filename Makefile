@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all ci lint build vet test race fuzz-short bench bench-json bench-check loadcurve fleet fig8 mix
+.PHONY: all ci lint build vet test race fuzz-short bench bench-json bench-check loadcurve fleet fig8 mix chaos
 
 all: ci
 
@@ -28,10 +28,14 @@ race:
 	$(GO) test -race ./...
 
 # Brief coverage-guided fuzzing of the policy parser, XDR codec, SM32
-# assembler, SOF deserializers, the linker, module registration, and
-# the fleet routing layer (scripted plans against a mixed replicating
-# fleet, asserting the RunPlan determinism property); long hunts run
-# nightly in CI (see .github/workflows/fuzz-nightly.yml) or by hand:
+# assembler, SOF deserializers, the linker, module registration, the
+# fleet routing layer (scripted plans against a mixed replicating
+# fleet, asserting the RunPlan determinism property), chaos drills
+# (random fault schedules against the same fleet, asserting zero lost
+# calls and replay determinism), and the kernel-free placement
+# conformance fuzzer (random op interleavings against all four
+# strategies); long hunts run nightly in CI (see
+# .github/workflows/fuzz-nightly.yml) or by hand:
 # go test -fuzz=<target> -fuzztime=10m ./internal/<pkg>
 fuzz-short:
 	$(GO) test -run=NONE -fuzz=FuzzParseAssertion -fuzztime=10s ./internal/policy
@@ -46,6 +50,8 @@ fuzz-short:
 	$(GO) test -run=NONE -fuzz=FuzzRegisterModule -fuzztime=10s ./internal/core
 	$(GO) test -run=NONE -fuzz=FuzzSessionDispatch -fuzztime=10s ./internal/core
 	$(GO) test -run=NONE -fuzz=FuzzFleetRoute -fuzztime=10s ./internal/fleet
+	$(GO) test -run=NONE -fuzz=FuzzChaosRoute -fuzztime=10s ./internal/fleet
+	$(GO) test -run=NONE -fuzz=FuzzPlacementOps -fuzztime=10s ./internal/placement
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -56,21 +62,24 @@ bench:
 loadcurve:
 	$(GO) run ./cmd/smodfleet -loadcurve
 
-# CI bench artifact: the gate suite — four named curves (uniform,
-# skew-rebalance, and the fast=2,slow=2 mixed-fleet cost-aware /
-# heat-only pair) in one BENCH_fleet.json, recorded per commit by the
-# bench job. All numbers are simulated-time, so they are comparable
-# across runners. Refreshing the committed baseline (after an
-# intentional perf change) is just `make bench-json` and committing
+# CI bench artifact: the gate suite — seven named curves (uniform,
+# skew-rebalance, the fast=2,slow=2 mixed-fleet cost-aware/heat-only
+# pair, the dominant-key replication pair, and the chaos-kill
+# availability drill) in one BENCH_fleet.json, recorded per commit by
+# the bench job. All numbers are simulated-time, so they are
+# comparable across runners. Refreshing the committed baseline (after
+# an intentional perf change) is just `make bench-json` and committing
 # the result.
 bench-json:
 	$(GO) run ./cmd/smodfleet -suite -lcshards 2 -clients 8 -lccalls 200 -json BENCH_fleet.json
 
 # CI bench gate: rerun the baseline suite into BENCH_new.json and fail
-# on a knee-index regression or a >15% pre-knee p95 shift in ANY of the
-# named curves against the committed BENCH_fleet.json (see
-# cmd/benchdiff). The sweep params MUST match bench-json or the
-# documents are incomparable by construction.
+# on a knee-index regression, a >15% pre-knee p95 shift in ANY of the
+# named curves against the committed BENCH_fleet.json, a chaos re-warm
+# past the declared budget, or a chaos-kill knee below the availability
+# floor of the healthy replicated knee (see cmd/benchdiff). The sweep
+# params MUST match bench-json or the documents are incomparable by
+# construction.
 bench-check:
 	$(GO) run ./cmd/smodfleet -suite -lcshards 2 -clients 8 -lccalls 200 -json BENCH_new.json
 	$(GO) run ./cmd/benchdiff -old BENCH_fleet.json -new BENCH_new.json
@@ -80,6 +89,16 @@ bench-check:
 # "Backend profiles").
 mix:
 	$(GO) run ./cmd/smodfleet -loadcurve -mix fast=2,slow=2,crypto=1 -skew 1.2 -epochs 8 -rebalance -json BENCH_mix.json
+
+# The chaos recovery drills under the race detector: schedule parsing,
+# pool reclaim/failover, placement shard-down conformance (and its
+# fuzzer seeds), the fleet kill/stall/drop/corrupt property tests, and
+# the Release-vs-migration orphan regression. The CI chaos job runs
+# exactly this plus a kill-drill load-curve smoke.
+chaos:
+	$(GO) test -race ./internal/chaos
+	$(GO) test -race -run 'Chaos|Reclaim|ShardDown|PoolDown|ReleaseDuringMigration' \
+		./internal/fleet ./internal/placement ./internal/measure
 
 # The paper's Figure 8 table (scaled down; see cmd/smodbench -h).
 fig8:

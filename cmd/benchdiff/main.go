@@ -24,20 +24,31 @@
 // the candidate dropped fails; a curve the candidate added is noted
 // and accepted as its first baseline.
 //
-// On top of the per-curve gates, one cross-curve invariant is
-// enforced inside the candidate document: when it carries the
-// dominant-key replication pair ("skew-replicated" and its
-// migration-only twin "skew-dominant", swept over identical rates),
-// the replicated knee must sit strictly later — hot-key replication
-// must beat migration alone on the single-dominant-key sweep, or the
-// strategy has regressed no matter what the baseline says. When the
+// On top of the per-curve gates, cross-curve invariants are enforced
+// inside the candidate document. When it carries the dominant-key
+// replication pair ("skew-replicated" and its migration-only twin
+// "skew-dominant", swept over identical rates), the replicated knee
+// must sit strictly later — hot-key replication must beat migration
+// alone on the single-dominant-key sweep, or the strategy has
+// regressed no matter what the baseline says. When the
 // "skew-rebalance" curve is present too, the replicated knee's offered
 // rate must also be at or above that curve's knee rate.
+//
+// When the candidate carries chaos-drill curves (a non-empty "chaos"
+// field), two more gates apply: no point may report a re-warm slower
+// than the curve's declared rewarm_budget_cycles, and a kill drill
+// must actually have fired (shards_down > 0 at every point). For the
+// suite's "chaos-kill" curve specifically — the skew-replicated fleet
+// losing one shard mid-point — the availability floor holds: its knee
+// offered rate must stay at or above -availfloor (default 0.5) of the
+// healthy "skew-replicated" knee on the shared rate grid. A fleet of 4
+// that loses a shard and falls below half its healthy capacity has
+// broken failover, whatever the baseline says.
 //
 // Usage:
 //
 //	benchdiff -old BENCH_fleet.json -new BENCH_new.json
-//	benchdiff -old BENCH_fleet.json -new BENCH_new.json -p95tol 0.10
+//	benchdiff -old BENCH_fleet.json -new BENCH_new.json -p95tol 0.10 -availfloor 0.6
 package main
 
 import (
@@ -46,15 +57,18 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 
+	"repro/internal/chaos"
 	"repro/internal/measure"
 )
 
 func main() {
 	var (
-		oldPath = flag.String("old", "BENCH_fleet.json", "baseline BENCH document (committed)")
-		newPath = flag.String("new", "BENCH_new.json", "candidate BENCH document (fresh run)")
-		p95Tol  = flag.Float64("p95tol", 0.15, "allowed relative p95 shift at pre-knee points")
+		oldPath    = flag.String("old", "BENCH_fleet.json", "baseline BENCH document (committed)")
+		newPath    = flag.String("new", "BENCH_new.json", "candidate BENCH document (fresh run)")
+		p95Tol     = flag.Float64("p95tol", 0.15, "allowed relative p95 shift at pre-knee points")
+		availFloor = flag.Float64("availfloor", 0.5, "minimum chaos-kill knee rate as a fraction of the healthy skew-replicated knee")
 	)
 	flag.Parse()
 
@@ -66,7 +80,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	failures := compare(oldDoc, newDoc, *p95Tol)
+	failures := compare(oldDoc, newDoc, *p95Tol, *availFloor)
 	if len(failures) > 0 {
 		fmt.Println("\nBENCH REGRESSION:")
 		for _, f := range failures {
@@ -95,7 +109,7 @@ func readBench(path string) (*measure.BenchFleet, error) {
 
 // compare gates every baseline curve against its same-named candidate
 // and returns the list of regressions (empty = pass).
-func compare(oldDoc, newDoc *measure.BenchFleet, p95Tol float64) []string {
+func compare(oldDoc, newDoc *measure.BenchFleet, p95Tol, availFloor float64) []string {
 	var fails []string
 	oldCurves, newCurves := oldDoc.AllCurves(), newDoc.AllCurves()
 	switch {
@@ -127,6 +141,67 @@ func compare(oldDoc, newDoc *measure.BenchFleet, p95Tol float64) []string {
 		}
 	}
 	fails = append(fails, replicationInvariant(newCurves)...)
+	fails = append(fails, availabilityInvariant(newCurves, availFloor)...)
+	return fails
+}
+
+// availabilityInvariant gates the candidate's chaos drills. Every
+// chaos curve is held to its declared re-warm budget (no point may
+// record a re-warm slower than rewarm_budget_cycles) and a kill drill
+// must actually have fired (shards_down > 0 at every point — a kill
+// whose barrier was never reached silently measures a healthy fleet).
+// The suite's "chaos-kill" curve additionally holds the availability
+// floor against the healthy "skew-replicated" curve on the shared rate
+// grid: losing one shard must not cost more than (1 - floor) of the
+// healthy knee rate. Documents without chaos curves pass untouched.
+func availabilityInvariant(curves []*measure.BenchLoadCurve, floor float64) []string {
+	var fails []string
+	byName := map[string]*measure.BenchLoadCurve{}
+	for _, c := range curves {
+		byName[c.Name] = c
+		if c.Chaos == "" {
+			continue
+		}
+		budget := c.RewarmBudgetCycles
+		if budget == 0 {
+			budget = chaos.DefaultRewarmBudgetCycles
+		}
+		for i, p := range c.Points {
+			if p.RewarmMaxCycles > budget {
+				fails = append(fails, fmt.Sprintf(
+					"chaos invariant: %s point %d (offered %.0f/s): slowest re-warm %d cycles exceeds declared budget %d",
+					c.Name, i, p.OfferedPerSec, p.RewarmMaxCycles, budget))
+			}
+			if strings.Contains(c.Chaos, "kill:") && p.ShardsDown == 0 {
+				fails = append(fails, fmt.Sprintf(
+					"chaos invariant: %s point %d (offered %.0f/s): kill drill %q never fired (shards_down 0)",
+					c.Name, i, p.OfferedPerSec, c.Chaos))
+			}
+		}
+	}
+	kill, healthy := byName["chaos-kill"], byName["skew-replicated"]
+	if kill == nil || healthy == nil {
+		return fails
+	}
+	if !sameRates(kill.Points, healthy.Points) {
+		return append(fails,
+			"chaos invariant: chaos-kill and skew-replicated were swept over different rate grids; pair incomparable")
+	}
+	killCPS, killSat := kneeOffered(kill)
+	healthyCPS, healthySat := kneeOffered(healthy)
+	if !healthySat || !killSat {
+		// No knee on one side: either the healthy sweep gives no basis,
+		// or the drill curve never saturated (availability can't be
+		// better than that).
+		return fails
+	}
+	fmt.Printf("\n== availability invariant ==\nknee offered: chaos-kill %.0f cps, healthy skew-replicated %.0f cps (floor %.0f%%)\n",
+		killCPS, healthyCPS, 100*floor)
+	if killCPS < floor*healthyCPS {
+		fails = append(fails, fmt.Sprintf(
+			"chaos invariant: chaos-kill knee %.0f cps below %.0f%% of healthy skew-replicated knee %.0f cps",
+			killCPS, 100*floor, healthyCPS))
+	}
 	return fails
 }
 
@@ -275,11 +350,15 @@ func configMismatch(oc, nc *measure.BenchLoadCurve) string {
 		ArgsCard, Epochs, CacheSz int
 		Rebalance                 bool
 		Replicas                  int
+		Chaos                     string
+		RewarmBudget              uint64
 	}
 	o := shape{oc.Mix, oc.HeatOnly, oc.Shards, oc.Clients, oc.CallsPerPoint, oc.Process, oc.Seed,
-		oc.ZipfS, oc.ArgsCard, oc.Epochs, oc.CacheSize, oc.Rebalance, oc.Replicas}
+		oc.ZipfS, oc.ArgsCard, oc.Epochs, oc.CacheSize, oc.Rebalance, oc.Replicas,
+		oc.Chaos, oc.RewarmBudgetCycles}
 	n := shape{nc.Mix, nc.HeatOnly, nc.Shards, nc.Clients, nc.CallsPerPoint, nc.Process, nc.Seed,
-		nc.ZipfS, nc.ArgsCard, nc.Epochs, nc.CacheSize, nc.Rebalance, nc.Replicas}
+		nc.ZipfS, nc.ArgsCard, nc.Epochs, nc.CacheSize, nc.Rebalance, nc.Replicas,
+		nc.Chaos, nc.RewarmBudgetCycles}
 	if o != n {
 		return fmt.Sprintf("%s: workload shape changed, documents incomparable: baseline %+v, candidate %+v",
 			oc.Name, o, n)

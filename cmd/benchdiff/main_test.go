@@ -26,7 +26,7 @@ func pt(offered, p95 float64, sat bool) measure.LoadPoint {
 func TestCompareCleanPass(t *testing.T) {
 	base := doc(pt(100, 10, false), pt(200, 12, false), pt(300, 90, true))
 	cand := doc(pt(100, 10.5, false), pt(200, 12.1, false), pt(300, 500, true))
-	if fails := compare(base, cand, 0.15); len(fails) != 0 {
+	if fails := compare(base, cand, 0.15, 0.5); len(fails) != 0 {
 		t.Fatalf("clean comparison failed: %v", fails)
 	}
 	// Post-knee p95 blowups are not gated (they measure queue growth).
@@ -35,7 +35,7 @@ func TestCompareCleanPass(t *testing.T) {
 func TestCompareKneeRegression(t *testing.T) {
 	base := doc(pt(100, 10, false), pt(200, 12, false), pt(300, 90, true))
 	cand := doc(pt(100, 10, false), pt(200, 80, true), pt(300, 90, true))
-	fails := compare(base, cand, 0.15)
+	fails := compare(base, cand, 0.15, 0.5)
 	if len(fails) == 0 {
 		t.Fatal("earlier knee passed")
 	}
@@ -47,11 +47,11 @@ func TestCompareKneeRegression(t *testing.T) {
 func TestCompareNeverSaturatedBaseline(t *testing.T) {
 	base := doc(pt(100, 10, false), pt(200, 12, false))
 	cand := doc(pt(100, 10, false), pt(200, 60, true))
-	if fails := compare(base, cand, 0.15); len(fails) == 0 {
+	if fails := compare(base, cand, 0.15, 0.5); len(fails) == 0 {
 		t.Fatal("candidate saturating an unsaturated baseline sweep passed")
 	}
 	// The reverse — knee disappears — is an improvement.
-	if fails := compare(cand, base, 0.15); len(fails) != 0 {
+	if fails := compare(cand, base, 0.15, 0.5); len(fails) != 0 {
 		t.Fatalf("knee improvement flagged: %v", fails)
 	}
 }
@@ -59,7 +59,7 @@ func TestCompareNeverSaturatedBaseline(t *testing.T) {
 func TestCompareP95Shift(t *testing.T) {
 	base := doc(pt(100, 10, false), pt(200, 12, false), pt(300, 90, true))
 	worse := doc(pt(100, 10, false), pt(200, 14.5, false), pt(300, 90, true)) // +20.8%
-	fails := compare(base, worse, 0.15)
+	fails := compare(base, worse, 0.15, 0.5)
 	if len(fails) == 0 {
 		t.Fatal(">15% pre-knee p95 shift passed")
 	}
@@ -67,13 +67,13 @@ func TestCompareP95Shift(t *testing.T) {
 		t.Fatalf("missing p95 failure: %v", fails)
 	}
 	within := doc(pt(100, 10.9, false), pt(200, 13, false), pt(300, 1, true)) // <=15%
-	if fails := compare(base, within, 0.15); len(fails) != 0 {
+	if fails := compare(base, within, 0.15, 0.5); len(fails) != 0 {
 		t.Fatalf("within-tolerance shift flagged: %v", fails)
 	}
 	// Large improvements are also flagged: they mean the baseline is
 	// stale and should be refreshed, keeping the gate honest.
 	better := doc(pt(100, 5, false), pt(200, 6, false), pt(300, 90, true))
-	if fails := compare(base, better, 0.15); len(fails) == 0 {
+	if fails := compare(base, better, 0.15, 0.5); len(fails) == 0 {
 		t.Fatal("halved p95 silently passed; baseline staleness undetected")
 	}
 }
@@ -82,11 +82,11 @@ func TestCompareShapeMismatch(t *testing.T) {
 	base := doc(pt(100, 10, false))
 	cand := doc(pt(100, 10, false))
 	cand.LoadCurve.Shards = 4
-	if fails := compare(base, cand, 0.15); len(fails) == 0 {
+	if fails := compare(base, cand, 0.15, 0.5); len(fails) == 0 {
 		t.Fatal("shard-count mismatch passed")
 	}
 	cand2 := doc(pt(100, 10, false), pt(200, 11, false))
-	if fails := compare(base, cand2, 0.15); len(fails) == 0 {
+	if fails := compare(base, cand2, 0.15, 0.5); len(fails) == 0 {
 		t.Fatal("point-count mismatch passed")
 	}
 }
@@ -130,7 +130,7 @@ func TestCompareMultiCurve(t *testing.T) {
 		"mix-costaware":  {pt(100, 15.1, false), pt(300, 99, true)},
 		"mix-heatonly":   {pt(100, 41, true), pt(300, 210, true)},
 	})
-	if fails := compare(base, clean, 0.15); len(fails) != 0 {
+	if fails := compare(base, clean, 0.15, 0.5); len(fails) != 0 {
 		t.Fatalf("clean multi-curve comparison failed: %v", fails)
 	}
 	// Skewed curve saturates a point earlier: must fail even though the
@@ -141,7 +141,7 @@ func TestCompareMultiCurve(t *testing.T) {
 		"mix-costaware":  {pt(100, 15, false), pt(300, 100, true)},
 		"mix-heatonly":   {pt(100, 40, true), pt(300, 200, true)},
 	})
-	fails := compare(base, skewReg, 0.15)
+	fails := compare(base, skewReg, 0.15, 0.5)
 	if len(fails) == 0 {
 		t.Fatal("skew-rebalance knee regression passed")
 	}
@@ -153,7 +153,7 @@ func TestCompareMultiCurve(t *testing.T) {
 		"uniform":        {pt(100, 10, false), pt(300, 90, true)},
 		"skew-rebalance": {pt(100, 20, false), pt(300, 120, true)},
 	})
-	if fails := compare(base, lost, 0.15); len(fails) < 2 {
+	if fails := compare(base, lost, 0.15, 0.5); len(fails) < 2 {
 		t.Fatalf("lost mixed curves not flagged: %v", fails)
 	}
 	// A legacy single-curve baseline gates against the suite's
@@ -165,7 +165,7 @@ func TestCompareMultiCurve(t *testing.T) {
 			Points: []measure.LoadPoint{pt(100, 10, false), pt(300, 90, true)},
 		},
 	}
-	if fails := compare(legacy, clean, 0.15); len(fails) != 0 {
+	if fails := compare(legacy, clean, 0.15, 0.5); len(fails) != 0 {
 		t.Fatalf("legacy baseline vs suite candidate failed: %v", fails)
 	}
 }
@@ -173,11 +173,11 @@ func TestCompareMultiCurve(t *testing.T) {
 func TestCompareMissingCurve(t *testing.T) {
 	base := doc(pt(100, 10, false))
 	empty := &measure.BenchFleet{Schema: "smod-bench-fleet/v1"}
-	if fails := compare(base, empty, 0.15); len(fails) == 0 {
+	if fails := compare(base, empty, 0.15, 0.5); len(fails) == 0 {
 		t.Fatal("candidate without a load curve passed")
 	}
 	// First-ever baseline: accept the candidate.
-	if fails := compare(empty, base, 0.15); len(fails) != 0 {
+	if fails := compare(empty, base, 0.15, 0.5); len(fails) != 0 {
 		t.Fatalf("first candidate rejected: %v", fails)
 	}
 }
@@ -282,7 +282,139 @@ func TestCompareReplicasShape(t *testing.T) {
 	cand := doc(pt(100, 10, false))
 	base.LoadCurve.Replicas = 4
 	cand.LoadCurve.Replicas = 2
-	if fails := compare(base, cand, 0.15); len(fails) == 0 {
+	if fails := compare(base, cand, 0.15, 0.5); len(fails) == 0 {
 		t.Fatal("replica-count shape change passed")
+	}
+}
+
+// chaosDoc builds a candidate document with the chaos-kill drill curve
+// next to its healthy skew-replicated twin on one shared rate grid.
+func chaosDoc(killPts, healthyPts []measure.LoadPoint, budget uint64) *measure.BenchFleet {
+	d := &measure.BenchFleet{Schema: "smod-bench-fleet/v1"}
+	add := func(name, drill string, pts []measure.LoadPoint) {
+		if pts == nil {
+			return
+		}
+		lc := &measure.BenchLoadCurve{
+			Name: name, Shards: 4, Clients: 8, CallsPerPoint: 200,
+			Process: "poisson", Seed: 1, ZipfS: 1.5, Epochs: 8, Rebalance: true,
+			Replicas: 4, Chaos: drill, Points: pts,
+			KneeIndex: measure.KneeIndex(pts),
+		}
+		if drill != "" {
+			lc.RewarmBudgetCycles = budget
+		}
+		d.Curves = append(d.Curves, lc)
+	}
+	add("skew-replicated", "", healthyPts)
+	add("chaos-kill", "kill:0@5", killPts)
+	return d
+}
+
+// killPt is a chaos-kill drill point: one shard down, re-warms within
+// (or past) the declared budget.
+func killPt(offered float64, sat bool, rewarmMax uint64) measure.LoadPoint {
+	p := pt(offered, 20, sat)
+	p.ShardsDown = 1
+	p.Rewarms = 4
+	p.RewarmMaxCycles = rewarmMax
+	return p
+}
+
+// TestAvailabilityInvariant: the kill-drill curve must keep its knee
+// at or above the floor fraction of the healthy replicated knee, every
+// re-warm must fit the declared budget, and the drill must actually
+// have fired at every point.
+func TestAvailabilityInvariant(t *testing.T) {
+	healthy := []measure.LoadPoint{pt(100, 10, false), pt(200, 12, false), pt(300, 90, true)}
+
+	// Clean: kill knee one step earlier than healthy (200 >= 0.5*300).
+	clean := chaosDoc(
+		[]measure.LoadPoint{killPt(100, false, 30000), killPt(200, true, 30000), killPt(300, true, 30000)},
+		healthy, 250000)
+	if fails := availabilityInvariant(clean.AllCurves(), 0.5); len(fails) != 0 {
+		t.Fatalf("clean kill drill flagged: %v", fails)
+	}
+
+	// Knee below the floor: 100 < 0.5*300.
+	low := chaosDoc(
+		[]measure.LoadPoint{killPt(100, true, 30000), killPt(200, true, 30000), killPt(300, true, 30000)},
+		healthy, 250000)
+	fails := availabilityInvariant(low.AllCurves(), 0.5)
+	if len(fails) == 0 {
+		t.Fatal("kill knee below the availability floor passed")
+	}
+	if !strings.Contains(strings.Join(fails, "\n"), "below") {
+		t.Fatalf("failure not attributed to the floor: %v", fails)
+	}
+	// A lower floor admits the same document.
+	if fails := availabilityInvariant(low.AllCurves(), 0.3); len(fails) != 0 {
+		t.Fatalf("floor flag not honored: %v", fails)
+	}
+
+	// Re-warm past the declared budget fails, wherever the knee sits.
+	slow := chaosDoc(
+		[]measure.LoadPoint{killPt(100, false, 30000), killPt(200, false, 400000), killPt(300, true, 30000)},
+		healthy, 250000)
+	fails = availabilityInvariant(slow.AllCurves(), 0.5)
+	if len(fails) == 0 {
+		t.Fatal("re-warm past the declared budget passed")
+	}
+	if !strings.Contains(strings.Join(fails, "\n"), "budget") {
+		t.Fatalf("failure not attributed to the budget: %v", fails)
+	}
+
+	// A kill drill that never fired (shards_down 0 on some point) is a
+	// silent no-op measurement, not availability — fail.
+	dud := chaosDoc(
+		[]measure.LoadPoint{killPt(100, false, 30000), pt(200, 12, false), killPt(300, true, 30000)},
+		healthy, 250000)
+	fails = availabilityInvariant(dud.AllCurves(), 0.5)
+	if len(fails) == 0 {
+		t.Fatal("kill drill that never fired passed")
+	}
+	if !strings.Contains(strings.Join(fails, "\n"), "never fired") {
+		t.Fatalf("failure not attributed to the dud drill: %v", fails)
+	}
+
+	// The drill never saturating is the best case — passes.
+	open := chaosDoc(
+		[]measure.LoadPoint{killPt(100, false, 30000), killPt(200, false, 30000), killPt(300, false, 30000)},
+		healthy, 250000)
+	if fails := availabilityInvariant(open.AllCurves(), 0.5); len(fails) != 0 {
+		t.Fatalf("unsaturated kill drill flagged: %v", fails)
+	}
+
+	// Diverged rate grids are incomparable, not index-compared.
+	grids := chaosDoc(
+		[]measure.LoadPoint{killPt(100, false, 30000), killPt(150, true, 30000), killPt(300, true, 30000)},
+		healthy, 250000)
+	fails = availabilityInvariant(grids.AllCurves(), 0.5)
+	if len(fails) != 1 || !strings.Contains(fails[0], "incomparable") {
+		t.Fatalf("diverged rate grids not rejected: %v", fails)
+	}
+
+	// Documents without chaos curves are untouched.
+	if fails := availabilityInvariant(repDoc(nil, nil, nil).AllCurves(), 0.5); len(fails) != 0 {
+		t.Fatalf("chaos-free document flagged: %v", fails)
+	}
+}
+
+// TestCompareChaosShape: a drill or budget change makes curves
+// incomparable, like any other workload-shape change.
+func TestCompareChaosShape(t *testing.T) {
+	base := doc(pt(100, 10, false))
+	cand := doc(pt(100, 10, false))
+	base.LoadCurve.Chaos = "kill:0@5"
+	base.LoadCurve.RewarmBudgetCycles = 250000
+	cand.LoadCurve.Chaos = "kill:1@5"
+	cand.LoadCurve.RewarmBudgetCycles = 250000
+	if fails := compare(base, cand, 0.15, 0.5); len(fails) == 0 {
+		t.Fatal("chaos drill change passed")
+	}
+	cand.LoadCurve.Chaos = "kill:0@5"
+	cand.LoadCurve.RewarmBudgetCycles = 100000
+	if fails := compare(base, cand, 0.15, 0.5); len(fails) == 0 {
+		t.Fatal("re-warm budget change passed")
 	}
 }

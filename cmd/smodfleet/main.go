@@ -37,9 +37,18 @@
 // calibration stretches, and each point records per-profile
 // utilization.
 //
-// -suite runs the CI gate suite — uniform, skewed+rebalancing, and the
-// mixed-fleet cost-aware/heat-only pair — and writes them as named
-// curves into one BENCH_fleet.json for cmd/benchdiff to gate.
+// -chaos turns a load curve into a deterministic fault drill: the
+// schedule ("kill:0@5", "stall:1@6+50000", ...; see internal/chaos) is
+// replayed identically at every point's rebalance barriers — warm-up is
+// barrier 1, each -epochs sub-schedule adds one — so the curve shows
+// what offered load the fleet still serves while shards die, stall, or
+// lose sessions mid-point. -rewarmbudget records the declared per-
+// re-warm cycle budget next to the curve for cmd/benchdiff to gate.
+//
+// -suite runs the CI gate suite — uniform, skewed+rebalancing, the
+// mixed-fleet cost-aware/heat-only pair, the dominant-key replication
+// pair, and the kill-drill availability curve — and writes them as
+// named curves into one BENCH_fleet.json for cmd/benchdiff to gate.
 //
 // Usage:
 //
@@ -49,6 +58,7 @@
 //	smodfleet -loadcurve -lcshards 4 -skew 1.2 -epochs 8 -rebalance  # skewed, migrating
 //	smodfleet -loadcurve -mix fast=2,slow=2 -skew 1.2 -epochs 8 -rebalance
 //	smodfleet -loadcurve -mix fast=2,slow=2 -skew 1.2 -epochs 8 -rebalance -heatonly
+//	smodfleet -loadcurve -lcshards 4 -skew 1.5 -epochs 8 -replicas 4 -chaos kill:0@5
 //	smodfleet -suite -json BENCH_fleet.json
 package main
 
@@ -60,6 +70,7 @@ import (
 	"strings"
 
 	"repro/internal/backend"
+	"repro/internal/chaos"
 	"repro/internal/clock"
 	"repro/internal/loadmgr"
 	"repro/internal/measure"
@@ -89,10 +100,12 @@ func main() {
 		cacheSize = flag.Int("cache", 0, "load curve: per-shard idempotent result-cache entries (0 = off)")
 		argsCard  = flag.Int("argscard", 0, "load curve: distinct argument values (0 = all unique; small values feed the result cache)")
 
-		mix      = flag.String("mix", "", "load curve: heterogeneous backend mix, e.g. fast=2,slow=2,crypto=1 (overrides -lcshards)")
-		heatOnly = flag.Bool("heatonly", false, "load curve: migration balances raw heat, ignoring backend cost weights (A/B baseline for -mix)")
-		replicas = flag.Int("replicas", 0, "load curve: serve idempotent hot keys from up to N shards at once (placement.Replicated; implies rebalancing at epoch barriers)")
-		suite    = flag.Bool("suite", false, "run the CI gate suite (uniform + skewed + mixed cost-aware/heat-only + dominant-key replicated pair) into one BENCH document")
+		mix          = flag.String("mix", "", "load curve: heterogeneous backend mix, e.g. fast=2,slow=2,crypto=1 (overrides -lcshards)")
+		heatOnly     = flag.Bool("heatonly", false, "load curve: migration balances raw heat, ignoring backend cost weights (A/B baseline for -mix)")
+		replicas     = flag.Int("replicas", 0, "load curve: serve idempotent hot keys from up to N shards at once (placement.Replicated; implies rebalancing at epoch barriers)")
+		chaosSpec    = flag.String("chaos", "", "load curve: deterministic fault drill replayed at every point, e.g. kill:0@5 or kill:0@4;stall:1@6+50000 (chaos.Parse syntax; barriers count warm-up as 1)")
+		rewarmBudget = flag.Uint64("rewarmbudget", chaos.DefaultRewarmBudgetCycles, "load curve: declared per-re-warm cycle budget recorded with -chaos curves (benchdiff gates on it)")
+		suite        = flag.Bool("suite", false, "run the CI gate suite (uniform + skewed + mixed cost-aware/heat-only + dominant-key replicated pair + kill-drill) into one BENCH document")
 	)
 	flag.Parse()
 
@@ -135,6 +148,10 @@ func main() {
 			Epochs:          *epochs,
 			LoadManager:     lm,
 			Replicas:        *replicas,
+			Chaos:           *chaosSpec,
+		}
+		if *chaosSpec != "" {
+			lcCfg.RewarmBudgetCycles = *rewarmBudget
 		}
 		if *mix != "" {
 			as, err := backend.DefaultCatalog().ParseMix(*mix)
@@ -269,6 +286,13 @@ func describeCurve(cfg measure.LoadCurveConfig) {
 		fmt.Printf("replication: idempotent hot keys served from up to %d shards (heat-sized at epoch barriers)\n",
 			cfg.Replicas)
 	}
+	if cfg.Chaos != "" {
+		budget := cfg.RewarmBudgetCycles
+		if budget == 0 {
+			budget = chaos.DefaultRewarmBudgetCycles
+		}
+		fmt.Printf("chaos drill: %s replayed at every point (re-warm budget %d cycles)\n", cfg.Chaos, budget)
+	}
 	fmt.Println()
 }
 
@@ -289,6 +313,21 @@ func reportCurve(cfg measure.LoadCurveConfig, points []measure.LoadPoint) {
 	}
 	if radd > 0 || rdrop > 0 {
 		fmt.Printf("replication totals: %d replicas warmed in, %d drained\n", radd, rdrop)
+	}
+	if cfg.Chaos != "" {
+		var rewarms, rewarmMax uint64
+		down := 0
+		for _, p := range points {
+			rewarms += p.Rewarms
+			if p.RewarmMaxCycles > rewarmMax {
+				rewarmMax = p.RewarmMaxCycles
+			}
+			if p.ShardsDown > down {
+				down = p.ShardsDown
+			}
+		}
+		fmt.Printf("chaos totals: %d shard(s) down per point, %d orphan re-warms, slowest re-warm %d cycles\n",
+			down, rewarms, rewarmMax)
 	}
 	k := measure.KneeIndex(points)
 	if len(cfg.Backends) > 0 {
@@ -380,6 +419,11 @@ const suiteMix = "fast=2,slow=2"
 // served from several shards at once.
 const suiteDominantZipf = 1.5
 
+// suiteChaosDrill is the gate suite's kill drill: shard 0 dies at
+// barrier 5 of every measured point (warm-up is barrier 1, epochs 2-9),
+// so each point spends roughly half its schedule on 3 of 4 shards.
+const suiteChaosDrill = "kill:0@5"
+
 // runSuite measures the gate suite — six named curves in one BENCH
 // document:
 //
@@ -389,13 +433,19 @@ const suiteDominantZipf = 1.5
 //	mix-heatonly:    same fleet and rates, migration ignoring shard speed;
 //	skew-dominant:   homogeneous 4-shard fleet, Zipf(1.5) single-dominant
 //	                 key, cost-aware migration only;
-//	skew-replicated: same fleet and rates, hot-key replication on.
+//	skew-replicated: same fleet and rates, hot-key replication on;
+//	chaos-kill:      the skew-replicated fleet and rates, with shard 0
+//	                 killed mid-point at barrier 5 of every point — the
+//	                 availability curve under the kill-one-shard drill.
 //
 // Each paired set sweeps identical offered rates, so knee indices are
 // directly comparable: cost-aware above heat-only is the capacity the
-// cost-aware migrator recovers from a mixed fleet, and replicated
-// above dominant is the single-shard ceiling hot-key replication
-// lifts — migration alone cannot help once one key IS the load.
+// cost-aware migrator recovers from a mixed fleet, replicated above
+// dominant is the single-shard ceiling hot-key replication lifts —
+// migration alone cannot help once one key IS the load — and the gap
+// between chaos-kill and skew-replicated is the capacity one dead
+// shard costs a replicated fleet that fails over and re-warms at the
+// barrier.
 func runSuite(p suiteParams) {
 	fmt.Println(clock.MachineInfo())
 	fmt.Printf("\n=== bench suite: uniform + skew-rebalance + %s cost-aware/heat-only + dominant-key replication pair ===\n", suiteMix)
@@ -444,6 +494,13 @@ func runSuite(p suiteParams) {
 	replicated := dominant
 	replicated.Replicas = 4
 
+	// The kill drill: the replicated fleet loses shard 0 at barrier 5
+	// of every point (warm-up is barrier 1, so mid-schedule). Survivors
+	// fail hot replicated keys over and re-warm the orphans.
+	chaosKill := replicated
+	chaosKill.Chaos = suiteChaosDrill
+	chaosKill.RewarmBudgetCycles = chaos.DefaultRewarmBudgetCycles
+
 	curves := []measure.NamedCurve{
 		{Name: "uniform", Config: uniform},
 		{Name: "skew-rebalance", Config: skewed},
@@ -451,10 +508,15 @@ func runSuite(p suiteParams) {
 		{Name: "mix-heatonly", Config: mixHeat},
 		{Name: "skew-dominant", Config: dominant},
 		{Name: "skew-replicated", Config: replicated},
+		{Name: "chaos-kill", Config: chaosKill},
 	}
 	// Each A/B pair shares one rate sweep (computed for its first
 	// curve) so the knees are comparable; the others get their own.
-	shared := map[string]string{"mix-heatonly": "mix-costaware", "skew-replicated": "skew-dominant"}
+	shared := map[string]string{
+		"mix-heatonly":    "mix-costaware",
+		"skew-replicated": "skew-dominant",
+		"chaos-kill":      "skew-dominant",
+	}
 	rates := map[string][]float64{}
 	for i := range curves {
 		cfg := &curves[i].Config
@@ -490,6 +552,8 @@ func runSuite(p suiteParams) {
 		suiteMix, kneeOf("mix-costaware"), kneeOf("mix-heatonly"))
 	fmt.Printf("dominant-key knees (Zipf %.1f, identical rate sweeps): replicated index %d, migration-only index %d\n",
 		suiteDominantZipf, kneeOf("skew-replicated"), kneeOf("skew-dominant"))
+	fmt.Printf("availability knees (%s drill, identical rate sweeps): chaos-kill index %d vs healthy replicated index %d\n",
+		suiteChaosDrill, kneeOf("chaos-kill"), kneeOf("skew-replicated"))
 
 	jsonPath := p.jsonPath
 	if jsonPath == "" {

@@ -1,0 +1,89 @@
+package backend
+
+// Table-driven ParseMix coverage: every error path (bad counts,
+// unknown profiles, empty specs) with its message shape pinned, plus
+// the accepted edge forms (bare names, whitespace, redundant
+// separators, repeated terms).
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseMixTable(t *testing.T) {
+	cat := DefaultCatalog()
+	cases := []struct {
+		name    string
+		mix     string
+		want    []string // expanded profile names, in shard order; nil = error
+		errPart string   // required substring of the error message
+	}{
+		// Valid forms.
+		{name: "single-bare", mix: "fast", want: []string{"fast"}},
+		{name: "counts", mix: "fast=2,slow=1", want: []string{"fast", "fast", "slow"}},
+		{name: "bare-counts-as-one", mix: "fast,slow,crypto", want: []string{"fast", "slow", "crypto"}},
+		{name: "mixed-bare-and-counted", mix: "slow=2,turbo", want: []string{"slow", "slow", "turbo"}},
+		{name: "whitespace", mix: " fast = 2 ,  slow ", want: []string{"fast", "fast", "slow"}},
+		{name: "redundant-separators", mix: "fast,,slow,", want: []string{"fast", "slow"}},
+		{name: "repeated-term", mix: "fast=1,slow=1,fast=1", want: []string{"fast", "slow", "fast"}},
+
+		// Count errors.
+		{name: "count-zero", mix: "fast=0", errPart: "bad count"},
+		{name: "count-negative", mix: "fast=-1", errPart: "bad count"},
+		{name: "count-not-a-number", mix: "fast=x", errPart: "bad count"},
+		{name: "count-float", mix: "fast=1.5", errPart: "bad count"},
+		{name: "count-missing", mix: "fast=", errPart: "bad count"},
+		{name: "count-overflowing", mix: "fast=99999999999999999999", errPart: "bad count"},
+		{name: "bad-count-before-unknown-name", mix: "ghost=x", errPart: "bad count"},
+
+		// Unknown-profile errors; the message must list the known names.
+		{name: "unknown-profile", mix: "warp=1", errPart: "unknown profile \"warp\""},
+		{name: "unknown-after-valid", mix: "fast=2,warp", errPart: "unknown profile"},
+		{name: "double-equals", mix: "fast==2", errPart: "bad count"},
+		{name: "empty-name", mix: "=2", errPart: "unknown profile"},
+
+		// Empty-mix errors: nothing expands, whatever the separators.
+		{name: "empty", mix: "", errPart: "empty mix"},
+		{name: "only-commas", mix: ",,", errPart: "empty mix"},
+		{name: "only-whitespace", mix: "   ", errPart: "empty mix"},
+		{name: "whitespace-and-commas", mix: " , , ", errPart: "empty mix"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			as, err := cat.ParseMix(tc.mix)
+			if tc.want == nil {
+				if err == nil {
+					t.Fatalf("ParseMix(%q) accepted: %v", tc.mix, as)
+				}
+				if !strings.Contains(err.Error(), tc.errPart) {
+					t.Fatalf("ParseMix(%q) error %q, want substring %q", tc.mix, err, tc.errPart)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseMix(%q): %v", tc.mix, err)
+			}
+			if len(as) != len(tc.want) {
+				t.Fatalf("ParseMix(%q) expanded %d shards, want %d", tc.mix, len(as), len(tc.want))
+			}
+			for i, a := range as {
+				if a.Shard != i {
+					t.Errorf("assignment %d has shard id %d", i, a.Shard)
+				}
+				if a.Profile.Name != tc.want[i] {
+					t.Errorf("shard %d profile %q, want %q", i, a.Profile.Name, tc.want[i])
+				}
+			}
+			if err := Validate(as); err != nil {
+				t.Errorf("expansion fails Validate: %v", err)
+			}
+		})
+	}
+
+	// The unknown-profile message names the available presets, so a typo
+	// in a -backends flag is self-diagnosing.
+	_, err := cat.ParseMix("warp")
+	if err == nil || !strings.Contains(err.Error(), "fast") || !strings.Contains(err.Error(), "turbo") {
+		t.Errorf("unknown-profile error does not list presets: %v", err)
+	}
+}

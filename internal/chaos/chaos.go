@@ -1,0 +1,307 @@
+// Package chaos is the fleet's deterministic fault-injection engine:
+// a Schedule maps rebalance-barrier numbers to faults (kill a shard,
+// stall a shard's clock, drop a live session, corrupt a warm-in), and
+// an Engine steps through it as the fleet hits its barriers. Faults
+// fire by *simulated* position — barrier N of a RunPlan/RunSchedule
+// sequence — never by wall clock, so a drill is as reproducible as the
+// healthy runs the fleet's property tests already pin down: the same
+// schedule against the same traffic is byte-identical, run after run.
+//
+// The schedule syntax is a ';'- or ','-separated list of terms:
+//
+//	kill:S@B        kill shard S at barrier B (never the last live shard)
+//	stall:S@B+K     advance shard S's clock K cycles at barrier B
+//	drop:KEY@B      drop client KEY's live session at barrier B
+//	corrupt:KEY@B   corrupt KEY's next warm-in payload from barrier B on
+//
+// Barriers are 1-based and count every fleet rebalance point — each
+// RunPlan/RunSchedule call is one barrier, as is every explicit
+// Rebalance call.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// DefaultRewarmBudgetCycles is the declared recovery SLO for
+// kill-shard drills: the simulated-cycle budget within which one
+// orphaned (non-replicated) key must be re-warmed on its failover
+// shard. The cold attach handshake (find + policy check + handle
+// fork) costs ~25k cycles on a baseline shard and scales with the
+// backend cost factor, so the default leaves a slow (2.5x) shard
+// several times over its worst case.
+const DefaultRewarmBudgetCycles = 250_000
+
+// Kind discriminates the fault types.
+type Kind int
+
+const (
+	// KillShard permanently removes a shard at a barrier: its bindings
+	// are reclaimed, replicated keys fail over to a surviving replica,
+	// and singly-bound keys are re-homed and re-warmed.
+	KillShard Kind = iota
+	// StallShard advances one shard's simulated clock by Cycles at a
+	// barrier — a straggler whose queued work finishes late.
+	StallShard
+	// DropSession tears down one client key's live session at a
+	// barrier; the key recovers by re-attaching on its next call.
+	DropSession
+	// CorruptWarm poisons key's next warm-in (migration, replica add,
+	// or failover re-warm) from the barrier on: the warmed session is
+	// discarded on arrival, as if the handoff payload failed
+	// verification, and the key recovers by re-allocating cold.
+	CorruptWarm
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KillShard:
+		return "kill"
+	case StallShard:
+		return "stall"
+	case DropSession:
+		return "drop"
+	case CorruptWarm:
+		return "corrupt"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Fault is one scheduled fault.
+type Fault struct {
+	Kind Kind
+	// Barrier is the 1-based rebalance barrier the fault fires at.
+	Barrier int
+	// Shard targets KillShard/StallShard.
+	Shard int
+	// Cycles is the StallShard duration.
+	Cycles uint64
+	// Key targets DropSession/CorruptWarm.
+	Key string
+}
+
+// String renders the fault in Parse syntax.
+func (f Fault) String() string {
+	switch f.Kind {
+	case KillShard:
+		return fmt.Sprintf("kill:%d@%d", f.Shard, f.Barrier)
+	case StallShard:
+		return fmt.Sprintf("stall:%d@%d+%d", f.Shard, f.Barrier, f.Cycles)
+	case DropSession:
+		return fmt.Sprintf("drop:%s@%d", f.Key, f.Barrier)
+	case CorruptWarm:
+		return fmt.Sprintf("corrupt:%s@%d", f.Key, f.Barrier)
+	}
+	return fmt.Sprintf("fault(%d)", int(f.Kind))
+}
+
+// Schedule is an ordered fault plan: faults sorted by barrier, spec
+// order preserved within a barrier.
+type Schedule struct {
+	Faults []Fault
+}
+
+// Parse builds a Schedule from the term syntax in the package comment.
+// An empty spec yields an empty (valid, never-firing) schedule.
+func Parse(spec string) (*Schedule, error) {
+	s := &Schedule{}
+	for _, term := range strings.FieldsFunc(spec, func(r rune) bool {
+		return r == ';' || r == ','
+	}) {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		f, err := parseTerm(term)
+		if err != nil {
+			return nil, err
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	sort.SliceStable(s.Faults, func(i, j int) bool {
+		return s.Faults[i].Barrier < s.Faults[j].Barrier
+	})
+	return s, nil
+}
+
+func parseTerm(term string) (Fault, error) {
+	name, rest, ok := strings.Cut(term, ":")
+	if !ok {
+		return Fault{}, fmt.Errorf("chaos: term %q: want kind:target@barrier", term)
+	}
+	target, at, ok := strings.Cut(rest, "@")
+	if !ok || target == "" {
+		return Fault{}, fmt.Errorf("chaos: term %q: want kind:target@barrier", term)
+	}
+	f := Fault{}
+	switch name {
+	case "kill":
+		f.Kind = KillShard
+	case "stall":
+		f.Kind = StallShard
+	case "drop":
+		f.Kind = DropSession
+	case "corrupt":
+		f.Kind = CorruptWarm
+	default:
+		return Fault{}, fmt.Errorf("chaos: term %q: unknown fault kind %q", term, name)
+	}
+	switch f.Kind {
+	case KillShard, StallShard:
+		sid, err := strconv.Atoi(target)
+		if err != nil || sid < 0 {
+			return Fault{}, fmt.Errorf("chaos: term %q: bad shard %q", term, target)
+		}
+		f.Shard = sid
+	default:
+		f.Key = target
+	}
+	if f.Kind == StallShard {
+		var cyc string
+		at, cyc, ok = strings.Cut(at, "+")
+		if !ok {
+			return Fault{}, fmt.Errorf("chaos: term %q: stall wants @barrier+cycles", term)
+		}
+		n, err := strconv.ParseUint(cyc, 10, 64)
+		if err != nil || n == 0 {
+			return Fault{}, fmt.Errorf("chaos: term %q: bad stall cycles %q", term, cyc)
+		}
+		f.Cycles = n
+	}
+	b, err := strconv.Atoi(at)
+	if err != nil || b < 1 {
+		return Fault{}, fmt.Errorf("chaos: term %q: bad barrier %q (1-based)", term, at)
+	}
+	f.Barrier = b
+	return f, nil
+}
+
+// String renders the schedule back into Parse syntax.
+func (s *Schedule) String() string {
+	terms := make([]string, len(s.Faults))
+	for i, f := range s.Faults {
+		terms[i] = f.String()
+	}
+	return strings.Join(terms, ";")
+}
+
+// Validate checks the schedule against a fleet of `shards` shards:
+// every shard target must be in range, and the kill set must leave at
+// least one shard alive (the engine would skip the excess kill anyway;
+// scheduling one is always a spec mistake).
+func (s *Schedule) Validate(shards int) error {
+	kills := 0
+	for _, f := range s.Faults {
+		switch f.Kind {
+		case KillShard, StallShard:
+			if f.Shard >= shards {
+				return fmt.Errorf("chaos: fault %s targets shard %d of a %d-shard fleet",
+					f, f.Shard, shards)
+			}
+			if f.Kind == KillShard {
+				kills++
+			}
+		}
+	}
+	if kills >= shards {
+		return fmt.Errorf("chaos: schedule kills %d of %d shards; at least one must survive",
+			kills, shards)
+	}
+	return nil
+}
+
+// Random draws a seeded random schedule over `barriers` barriers, a
+// fleet of `shards` shards, and the given key universe: n faults with
+// kinds, targets, and barriers all drawn from the seed. At most
+// shards-1 kills are drawn, so the schedule always validates. The same
+// arguments give the same schedule — the generator behind randomized
+// drill property tests.
+func Random(seed int64, barriers, shards int, keys []string, n int) *Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Schedule{}
+	kills := 0
+	for i := 0; i < n; i++ {
+		f := Fault{Barrier: 1 + rng.Intn(barriers)}
+		switch rng.Intn(4) {
+		case 0:
+			if kills+1 >= shards {
+				f.Kind = StallShard
+				f.Shard = rng.Intn(shards)
+				f.Cycles = uint64(1+rng.Intn(100)) * 1000
+				break
+			}
+			f.Kind = KillShard
+			f.Shard = rng.Intn(shards)
+			kills++
+		case 1:
+			f.Kind = StallShard
+			f.Shard = rng.Intn(shards)
+			f.Cycles = uint64(1+rng.Intn(100)) * 1000
+		case 2:
+			f.Kind = DropSession
+			f.Key = keys[rng.Intn(len(keys))]
+		default:
+			f.Kind = CorruptWarm
+			f.Key = keys[rng.Intn(len(keys))]
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	sort.SliceStable(s.Faults, func(i, j int) bool {
+		return s.Faults[i].Barrier < s.Faults[j].Barrier
+	})
+	return s
+}
+
+// Engine steps a Schedule as the fleet hits its rebalance barriers.
+// Engines are single-use (one drill per engine) and safe for
+// concurrent use, though the fleet only calls Step from its barrier
+// path.
+type Engine struct {
+	mu      sync.Mutex
+	faults  []Fault // sorted by barrier; next points at the first unfired
+	next    int
+	barrier int
+	fired   []Fault
+}
+
+// NewEngine builds an engine over a schedule. The schedule is copied;
+// mutating it afterwards does not affect the engine.
+func NewEngine(s *Schedule) *Engine {
+	return &Engine{faults: append([]Fault(nil), s.Faults...)}
+}
+
+// Step advances to the next barrier and returns the faults due at it,
+// in schedule order. A fault whose barrier already passed (schedules
+// are sorted, so only via a barrier count that skipped ahead) fires on
+// the next Step rather than being lost.
+func (e *Engine) Step() []Fault {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.barrier++
+	var due []Fault
+	for e.next < len(e.faults) && e.faults[e.next].Barrier <= e.barrier {
+		due = append(due, e.faults[e.next])
+		e.next++
+	}
+	e.fired = append(e.fired, due...)
+	return due
+}
+
+// Barrier returns how many barriers the engine has stepped through.
+func (e *Engine) Barrier() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.barrier
+}
+
+// Fired returns every fault released so far, in firing order.
+func (e *Engine) Fired() []Fault {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Fault(nil), e.fired...)
+}

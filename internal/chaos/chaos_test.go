@@ -1,0 +1,130 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "kill:0@5;stall:1@3+20000;drop:c07@2;corrupt:c03@4"
+	s, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := []Fault{
+		{Kind: DropSession, Barrier: 2, Key: "c07"},
+		{Kind: StallShard, Barrier: 3, Shard: 1, Cycles: 20000},
+		{Kind: CorruptWarm, Barrier: 4, Key: "c03"},
+		{Kind: KillShard, Barrier: 5, Shard: 0},
+	}
+	if !reflect.DeepEqual(s.Faults, want) {
+		t.Fatalf("Parse = %+v, want %+v", s.Faults, want)
+	}
+	// String renders in sorted order; parsing that again is a fixpoint.
+	s2, err := Parse(s.String())
+	if err != nil {
+		t.Fatalf("Parse(String): %v", err)
+	}
+	if !reflect.DeepEqual(s2.Faults, s.Faults) {
+		t.Fatalf("round trip: %q != %q", s2.String(), s.String())
+	}
+}
+
+func TestParseSeparatorsAndEmpty(t *testing.T) {
+	s, err := Parse("  kill:1@2 , drop:k@1 ;; ")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(s.Faults) != 2 {
+		t.Fatalf("got %d faults, want 2", len(s.Faults))
+	}
+	empty, err := Parse("")
+	if err != nil || len(empty.Faults) != 0 {
+		t.Fatalf("empty spec: faults=%v err=%v", empty.Faults, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"boom:0@1",      // unknown kind
+		"kill:0",        // no barrier
+		"kill@1",        // no target
+		"kill:x@1",      // bad shard
+		"kill:-1@1",     // negative shard
+		"kill:0@0",      // barriers are 1-based
+		"kill:0@x",      // bad barrier
+		"stall:0@1",     // stall needs +cycles
+		"stall:0@1+0",   // zero stall
+		"stall:0@1+abc", // bad cycles
+		"drop:@1",       // empty key
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", spec)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s, err := Parse("kill:0@1;kill:1@2;stall:2@3+1000")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := s.Validate(4); err != nil {
+		t.Fatalf("Validate(4): %v", err)
+	}
+	// Killing 2 of 3 shards still leaves a survivor: valid.
+	if err := s.Validate(3); err != nil {
+		t.Fatalf("Validate(3): %v", err)
+	}
+	if err := s.Validate(2); err == nil {
+		t.Fatal("Validate(2): want error (out-of-range stall target)")
+	}
+	twoKills, _ := Parse("kill:0@1;kill:1@2")
+	if err := twoKills.Validate(2); err == nil || !strings.Contains(err.Error(), "at least one must survive") {
+		t.Fatalf("Validate(2) = %v, want kill-count error", err)
+	}
+	oob, _ := Parse("kill:7@1")
+	if err := oob.Validate(4); err == nil {
+		t.Fatal("Validate: want out-of-range shard error")
+	}
+}
+
+func TestEngineStepOrderAndCatchUp(t *testing.T) {
+	s, err := Parse("drop:a@1;kill:0@1;stall:1@3+500")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	e := NewEngine(s)
+	due := e.Step()
+	if len(due) != 2 || due[0].Kind != DropSession || due[1].Kind != KillShard {
+		t.Fatalf("barrier 1: %+v", due)
+	}
+	if due = e.Step(); len(due) != 0 {
+		t.Fatalf("barrier 2: %+v, want none", due)
+	}
+	if due = e.Step(); len(due) != 1 || due[0].Kind != StallShard {
+		t.Fatalf("barrier 3: %+v", due)
+	}
+	if e.Barrier() != 3 {
+		t.Fatalf("Barrier() = %d", e.Barrier())
+	}
+	if got := e.Fired(); len(got) != 3 {
+		t.Fatalf("Fired() = %+v", got)
+	}
+}
+
+func TestRandomDeterministicAndValid(t *testing.T) {
+	keys := []string{"k0", "k1", "k2"}
+	a := Random(42, 6, 3, keys, 12)
+	b := Random(42, 6, 3, keys, 12)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed, different schedules")
+	}
+	if err := a.Validate(3); err != nil {
+		t.Fatalf("Random schedule invalid: %v", err)
+	}
+	if c := Random(43, 6, 3, keys, 12); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds, identical schedules")
+	}
+}

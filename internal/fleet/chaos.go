@@ -1,0 +1,153 @@
+package fleet
+
+import "repro/internal/chaos"
+
+// This file is the fleet half of the chaos engine (see internal/chaos):
+// fault execution at rebalance barriers. Faults run in schedule order
+// before the barrier's placement rebalance, so the rebalance — and all
+// routing after it — already sees the post-fault fleet. Everything here
+// is driven from the barrier path of a deterministic run, so a drill
+// replays bit for bit: kills reclaim bindings in sorted key order,
+// re-warms execute in that same order, and each shard's recovery work
+// lands on its own simulated clock.
+
+// applyChaos steps the fault schedule by one barrier and executes the
+// due faults. No-op without WithChaos.
+func (f *Fleet) applyChaos() error {
+	if f.chaosEng == nil {
+		return nil
+	}
+	for _, ft := range f.chaosEng.Step() {
+		switch ft.Kind {
+		case chaos.KillShard:
+			if err := f.killShard(ft.Shard); err != nil {
+				return err
+			}
+		case chaos.StallShard:
+			f.stallShard(ft.Shard, ft.Cycles)
+		case chaos.DropSession:
+			f.dropSession(ft.Key)
+		case chaos.CorruptWarm:
+			f.mu.Lock()
+			f.corrupt[ft.Key] = true
+			f.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// corruptWarm consumes a pending CorruptWarm fault for key, reporting
+// whether the warm job being built should be poisoned. Caller holds
+// f.mu (write).
+func (f *Fleet) corruptWarm(key string) bool {
+	if !f.corrupt[key] {
+		return false
+	}
+	delete(f.corrupt, key)
+	return true
+}
+
+// killShard permanently removes shard sid: reclaim its bindings (the
+// placement layer fails replicated keys over to surviving replicas and
+// re-homes orphans), stop its goroutine, and re-warm every orphaned
+// key's session on its failover shard. The last live shard is never
+// killed — the fault is skipped, keeping a drilled fleet serving.
+//
+// Ordering matters: the shard is marked down first (new explicit sends
+// fail fast), then the placement reclaim runs — from here on no route
+// returns sid, while requests already enqueued still drain because the
+// inbox closes only afterwards, under the write lock that excludes
+// every in-flight route. Only then does the kill wait for the shard
+// goroutine to wind down and re-warm the orphans.
+func (f *Fleet) killShard(sid int) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	if sid < 0 || sid >= len(f.shards) || f.down[sid] || f.liveShards() <= 1 {
+		f.mu.Unlock()
+		return nil // skipped: bad target, already dead, or last survivor
+	}
+	f.down[sid] = true
+	f.mu.Unlock()
+
+	rehomes := f.place.OnShardDown(sid)
+
+	f.mu.Lock()
+	close(f.shards[sid].inbox)
+	f.mu.Unlock()
+	<-f.shards[sid].stopped
+
+	// Re-warm the orphans on their new homes (sorted key order, from the
+	// reclaim): non-replicated keys pay a bounded-cycle session re-attach
+	// on the failover shard; replicated keys never appear here — their
+	// surviving replicas are already warm.
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	var jobs []*job
+	for _, rh := range rehomes {
+		if rh.To < 0 || rh.To >= len(f.shards) || f.down[rh.To] {
+			continue
+		}
+		j := &job{kind: jobRewarm, key: rh.Key, corrupt: f.corruptWarm(rh.Key), done: make(chan struct{})}
+		f.shards[rh.To].inbox <- j
+		jobs = append(jobs, j)
+	}
+	f.mu.Unlock()
+	for _, j := range jobs {
+		<-j.done
+	}
+	return nil
+}
+
+// liveShards counts shards not marked down. Caller holds f.mu.
+func (f *Fleet) liveShards() int {
+	n := 0
+	for _, d := range f.down {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// stallShard advances shard sid's simulated clock by cycles — a
+// straggler whose queued work finishes late. The stall is a control
+// job, so it lands between kernel stretches like every other barrier
+// action.
+func (f *Fleet) stallShard(sid int, cycles uint64) {
+	if sid < 0 || sid >= len(f.shards) {
+		return
+	}
+	j := &job{kind: jobStall, cycles: cycles, done: make(chan struct{})}
+	if err := f.send(sid, j); err != nil {
+		return // down or closed: a dead shard cannot stall
+	}
+	<-j.done
+}
+
+// dropSession tears down key's live session on its primary shard; the
+// binding is reclaimed through the eviction hook and the key recovers
+// by re-attaching (cold) on its next call.
+func (f *Fleet) dropSession(key string) {
+	sid, ok := f.place.Lookup(key)
+	if !ok {
+		return
+	}
+	j := &job{kind: jobDrop, key: key, done: make(chan struct{})}
+	if err := f.send(sid, j); err != nil {
+		return
+	}
+	<-j.done
+}
+
+// DownShards returns how many shards chaos faults have killed.
+func (f *Fleet) DownShards() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.down) - f.liveShards()
+}

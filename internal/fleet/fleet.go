@@ -59,6 +59,7 @@ import (
 	"sync"
 
 	"repro/internal/backend"
+	"repro/internal/chaos"
 	"repro/internal/loadmgr"
 	"repro/internal/placement"
 )
@@ -119,6 +120,17 @@ type Stats struct {
 	Migrations      uint64
 	ReplicasAdded   uint64
 	ReplicasDropped uint64
+	// Chaos drill aggregates (zero without WithChaos): shards killed so
+	// far, orphaned keys re-warmed after shard deaths (with the single
+	// costliest recovery in cycles — the number a drill's re-warm budget
+	// gates), stall cycles injected, sessions dropped by drop faults,
+	// and warm-ins discarded as corrupt.
+	ShardsDown      int
+	Rewarms         uint64
+	RewarmMaxCycles uint64
+	StallCycles     uint64
+	SessionsDropped uint64
+	CorruptWarms    uint64
 }
 
 // merge folds per-shard snapshots into fleet aggregates.
@@ -134,6 +146,13 @@ func merge(per []ShardStats) Stats {
 		st.Migrations += s.MigratedOut
 		st.ReplicasAdded += s.ReplicasIn
 		st.ReplicasDropped += s.ReplicasOut
+		st.Rewarms += s.Rewarms
+		st.StallCycles += s.StallCycles
+		st.SessionsDropped += s.SessionsDropped
+		st.CorruptWarms += s.CorruptWarms
+		if s.RewarmMaxCycles > st.RewarmMaxCycles {
+			st.RewarmMaxCycles = s.RewarmMaxCycles
+		}
 		if s.Cycles > st.MakespanCycles {
 			st.MakespanCycles = s.Cycles
 		}
@@ -153,12 +172,21 @@ type Fleet struct {
 	// served by a replica.
 	idemp map[uint32]bool
 
-	// mu guards closed and, as a reader lock, every inbox send: Close
-	// takes the write side before closing the inboxes so no sender can
-	// race a closed channel.
+	// chaosEng, when non-nil, schedules deterministic faults executed at
+	// the top of every Rebalance barrier (see WithChaos).
+	chaosEng *chaos.Engine
+
+	// mu guards closed, down, and corrupt and, as a reader lock, every
+	// inbox send: Close (and a chaos kill) takes the write side before
+	// closing an inbox so no sender can race a closed channel.
 	mu     sync.RWMutex
 	closed bool
-	wg     sync.WaitGroup
+	// down marks shards killed by chaos faults: their inboxes are closed
+	// and they are skipped by sends, Release broadcasts, and Close.
+	down []bool
+	// corrupt marks keys whose next warm-in is poisoned (CorruptWarm).
+	corrupt map[string]bool
+	wg      sync.WaitGroup
 
 	finalOnce sync.Once
 	final     Stats
@@ -167,6 +195,12 @@ type Fleet struct {
 
 // ErrClosed is returned by operations on a closed fleet.
 var ErrClosed = errors.New("fleet: closed")
+
+// ErrShardDown is returned by sends targeting a chaos-killed shard.
+// Routing never produces one (the placement layer reclaims a dead
+// shard's bindings before its inbox closes), so the error marks a
+// caller holding a stale shard id across a kill.
+var ErrShardDown = errors.New("fleet: shard down")
 
 // Open builds and starts a fleet from functional options. WithModule,
 // WithProvision, and a fleet size (WithShards or WithBackends) are
@@ -180,7 +214,13 @@ func Open(opts ...Option) (*Fleet, error) {
 	if err := cfg.resolve(); err != nil {
 		return nil, err
 	}
-	f := &Fleet{cfg: cfg, place: cfg.place}
+	f := &Fleet{
+		cfg:      cfg,
+		place:    cfg.place,
+		chaosEng: cfg.chaosEng,
+		down:     make([]bool, cfg.shards),
+		corrupt:  map[string]bool{},
+	}
 	for i := 0; i < cfg.shards; i++ {
 		var cache *loadmgr.ResultCache
 		if cfg.cacheSize > 0 {
@@ -211,6 +251,7 @@ func Open(opts ...Option) (*Fleet, error) {
 		f.wg.Add(1)
 		go func(sh *shard) {
 			defer f.wg.Done()
+			defer close(sh.stopped)
 			sh.loop()
 		}(sh)
 	}
@@ -229,12 +270,16 @@ func (f *Fleet) FuncID(name string) (uint32, bool) {
 	return uint32(id), ok
 }
 
-// send routes a job to shard sid, failing cleanly on a closed fleet.
+// send routes a job to shard sid, failing cleanly on a closed fleet or
+// a chaos-killed shard.
 func (f *Fleet) send(sid int, j *job) error {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	if f.closed {
 		return ErrClosed
+	}
+	if f.down[sid] {
+		return ErrShardDown
 	}
 	f.shards[sid].inbox <- j
 	return nil
@@ -454,10 +499,14 @@ func (f *Fleet) Release(key string) error {
 	var jobs []*job
 	for sid := range f.shards {
 		j := &job{kind: jobRelease, key: key, done: make(chan struct{})}
-		if err := f.send(sid, j); err != nil {
+		switch err := f.send(sid, j); err {
+		case nil:
+			jobs = append(jobs, j)
+		case ErrShardDown:
+			// A dead shard's sessions died with it; nothing to sweep.
+		default:
 			return err
 		}
-		jobs = append(jobs, j)
 	}
 	for _, j := range jobs {
 		<-j.done
@@ -489,6 +538,12 @@ func (f *Fleet) Release(key string) error {
 // assignment yet enqueue behind the eviction, which would silently
 // respawn a cold session the strategy no longer accounts for.
 func (f *Fleet) Rebalance() (int, error) {
+	// Chaos faults fire first: every barrier steps the fault schedule,
+	// so the rebalance below already plans over the post-fault fleet
+	// (dead shards reclaimed, dropped sessions evicted).
+	if err := f.applyChaos(); err != nil {
+		return 0, err
+	}
 	moves := f.place.Rebalance()
 	if len(moves) == 0 {
 		return 0, nil
@@ -501,6 +556,12 @@ func (f *Fleet) Rebalance() (int, error) {
 		return 0, ErrClosed
 	}
 	for _, mv := range moves {
+		// A move touching a dead shard is stale (planned from heat that
+		// predates the kill); the pool would refuse the commit anyway,
+		// but skipping here also keeps the dead inbox untouched.
+		if f.down[mv.From] || f.down[mv.To] {
+			continue
+		}
 		if !f.place.Commit(mv) {
 			continue // released or re-homed since the plan: skip
 		}
@@ -508,12 +569,12 @@ func (f *Fleet) Rebalance() (int, error) {
 		switch mv.Kind {
 		case placement.MoveMigrate:
 			out := &job{kind: jobMigrateOut, key: mv.Key, done: make(chan struct{})}
-			in := &job{kind: jobWarmIn, key: mv.Key, done: make(chan struct{})}
+			in := &job{kind: jobWarmIn, key: mv.Key, corrupt: f.corruptWarm(mv.Key), done: make(chan struct{})}
 			f.shards[mv.From].inbox <- out
 			f.shards[mv.To].inbox <- in
 			jobs = append(jobs, out, in)
 		case placement.MoveReplicate:
-			in := &job{kind: jobReplicaIn, key: mv.Key, done: make(chan struct{})}
+			in := &job{kind: jobReplicaIn, key: mv.Key, corrupt: f.corruptWarm(mv.Key), done: make(chan struct{})}
 			f.shards[mv.To].inbox <- in
 			jobs = append(jobs, in)
 		case placement.MoveDrain:
@@ -531,25 +592,37 @@ func (f *Fleet) Rebalance() (int, error) {
 
 // Stats takes a coherent per-shard snapshot. Each shard answers after
 // finishing the work submitted before the snapshot request, so counters
-// are consistent per shard. After Close it returns the final stats.
+// are consistent per shard. A chaos-killed shard contributes its final
+// (time-of-death) snapshot. After Close it returns the final stats.
 func (f *Fleet) Stats() Stats {
 	var jobs []*job
+	var jobSid []int
+	per := make([]ShardStats, len(f.shards))
+	downCount := 0
 	for sid := range f.shards {
 		j := &job{kind: jobStats, done: make(chan struct{})}
-		if err := f.send(sid, j); err != nil {
+		switch err := f.send(sid, j); err {
+		case nil:
+			jobs = append(jobs, j)
+			jobSid = append(jobSid, sid)
+		case ErrShardDown:
+			<-f.shards[sid].stopped
+			per[sid] = f.shards[sid].final
+			downCount++
+		default:
 			// Closed (or closing): wait for shutdown to finish and
 			// return the final snapshot instead.
 			f.Close()
 			return f.final
 		}
-		jobs = append(jobs, j)
 	}
-	per := make([]ShardStats, len(jobs))
 	for i, j := range jobs {
 		<-j.done
-		per[i] = j.stats
+		per[jobSid[i]] = j.stats
 	}
-	return merge(per)
+	st := merge(per)
+	st.ShardsDown = downCount
+	return st
 }
 
 // PoolLoad exposes the placement strategy's per-shard binding counts
@@ -564,21 +637,28 @@ func (f *Fleet) Close() error {
 	f.mu.Lock()
 	if !f.closed {
 		f.closed = true
-		for _, sh := range f.shards {
-			close(sh.inbox)
+		for sid, sh := range f.shards {
+			if !f.down[sid] {
+				close(sh.inbox)
+			}
 		}
 	}
 	f.mu.Unlock()
 	f.wg.Wait()
 	f.finalOnce.Do(func() {
 		per := make([]ShardStats, len(f.shards))
+		downCount := 0
 		for i, sh := range f.shards {
 			per[i] = sh.final
+			if f.down[i] {
+				downCount++
+			}
 			if sh.err != nil && f.closeErr == nil {
 				f.closeErr = sh.err
 			}
 		}
 		f.final = merge(per)
+		f.final.ShardsDown = downCount
 	})
 	return f.closeErr
 }

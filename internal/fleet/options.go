@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/backend"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/kern"
 	"repro/internal/loadmgr"
@@ -35,6 +36,7 @@ type config struct {
 	maxBatch    int
 	place       placement.Placement
 	cacheSize   int
+	chaosEng    *chaos.Engine
 }
 
 // Option configures Open.
@@ -80,6 +82,14 @@ func WithBackends(as []backend.Assignment) Option {
 func WithPlacement(p placement.Placement) Option {
 	return func(c *config) { c.place = p }
 }
+
+// WithChaos installs a deterministic fault-injection engine (see
+// internal/chaos): each Rebalance barrier — one per RunPlan /
+// RunSchedule call, plus explicit Rebalance calls — steps the engine's
+// schedule and executes the due faults before the barrier's placement
+// rebalance. Like a placement strategy, an engine is single-use: one
+// drill, one engine. Omitted means no faults.
+func WithChaos(e *chaos.Engine) Option { return func(c *config) { c.chaosEng = e } }
 
 // WithResultCache gives every shard a bounded LRU result cache of the
 // given capacity (entries) memoizing the module's spec-declared

@@ -55,6 +55,10 @@ func TestDeprecatedConfigShimEquivalence(t *testing.T) {
 		{"cache-only", &loadmgr.Options{CacheSize: 16}},
 		{"costaware", &loadmgr.Options{Migrate: true, ImbalanceThreshold: 1.05, Seed: 7}},
 		{"heatonly", &loadmgr.Options{Migrate: true, HeatOnly: true, ImbalanceThreshold: 1.05, Seed: 7}},
+		// Combined Backends + ResultCache + migration: the shim must map
+		// CacheSize and the placement strategy together, not either alone.
+		{"cache-and-costaware", &loadmgr.Options{CacheSize: 16, Migrate: true, ImbalanceThreshold: 1.05, Seed: 7}},
+		{"cache-and-heatonly", &loadmgr.Options{CacheSize: 8, Migrate: true, HeatOnly: true, ImbalanceThreshold: 1.05, Seed: 7}},
 	} {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
@@ -94,9 +98,12 @@ func TestDeprecatedConfigShimEquivalence(t *testing.T) {
 					t.Errorf("shard %d cycles: Config %d vs options %d", i, c1[i], c2[i])
 				}
 			}
-			if s1.Migrations != s2.Migrations || s1.CacheHits != s2.CacheHits {
-				t.Errorf("counters differ: Config {mig %d, hits %d} vs options {mig %d, hits %d}",
-					s1.Migrations, s1.CacheHits, s2.Migrations, s2.CacheHits)
+			if s1.Migrations != s2.Migrations || s1.CacheHits != s2.CacheHits || s1.CacheMisses != s2.CacheMisses {
+				t.Errorf("counters differ: Config {mig %d, hits %d, misses %d} vs options {mig %d, hits %d, misses %d}",
+					s1.Migrations, s1.CacheHits, s1.CacheMisses, s2.Migrations, s2.CacheHits, s2.CacheMisses)
+			}
+			if tc.lm != nil && tc.lm.CacheSize > 0 && tc.lm.Migrate && s1.CacheHits+s1.CacheMisses == 0 {
+				t.Error("combined cache+migrate case never exercised the result cache")
 			}
 			if fmt.Sprint(s1.PerShard) != fmt.Sprint(s2.PerShard) {
 				t.Errorf("per-shard stats differ:\n  Config:  %+v\n  options: %+v", s1.PerShard, s2.PerShard)

@@ -72,6 +72,14 @@ const (
 	// nothing) and they count separately.
 	jobReplicaIn
 	jobReplicaOut
+	// Chaos control jobs (see internal/chaos and fleet chaos.go):
+	// jobRewarm re-warms a key orphaned by a shard death onto its
+	// failover shard, recording the recovery's cycle cost; jobStall
+	// advances the shard clock (a straggler drill); jobDrop tears down
+	// one live session (the key recovers by re-attaching).
+	jobRewarm
+	jobStall
+	jobDrop
 )
 
 // job is one unit of work sent to a shard: a batch of calls (immediate
@@ -100,7 +108,13 @@ type job struct {
 	// traffic is not deterministic (nor could it be: pool routing
 	// already races).
 	barrier bool
-	key     string // jobRelease
+	key     string // jobRelease / migration / chaos target
+	// cycles is the jobStall clock advance.
+	cycles uint64
+	// corrupt poisons a warm job (jobWarmIn/jobReplicaIn/jobRewarm): the
+	// freshly warmed session is discarded on arrival, as if the handoff
+	// payload failed verification, and the key re-allocates cold.
+	corrupt bool
 	stats   ShardStats
 	done    chan struct{}
 }
@@ -145,6 +159,15 @@ type ShardStats struct {
 	// schedules only). Cycles - IdleCycles is the shard's busy time,
 	// the numerator of per-shard utilization in mixed-fleet sweeps.
 	IdleCycles uint64
+	// Chaos drill counters: orphaned keys re-warmed onto this shard
+	// after another shard's death (with the costliest single recovery),
+	// clock cycles injected by stall faults, sessions dropped by drop
+	// faults, and warm-ins discarded as corrupt.
+	Rewarms         uint64
+	RewarmMaxCycles uint64
+	StallCycles     uint64
+	SessionsDropped uint64
+	CorruptWarms    uint64
 }
 
 // shard is one independent simulated kernel plus its routing state.
@@ -203,6 +226,17 @@ type shard struct {
 	replicasIn  uint64
 	replicasOut uint64
 
+	// Chaos drill counters (see ShardStats).
+	rewarms      uint64
+	rewarmMax    uint64
+	stallCycles  uint64
+	drops        uint64
+	corruptWarms uint64
+
+	// stopped closes when the shard goroutine has fully wound down
+	// (final stats ready) — the handshake a chaos kill waits on.
+	stopped chan struct{}
+
 	final ShardStats
 	err   error
 }
@@ -216,6 +250,7 @@ func newShard(id int, cfg *config, profile backend.Profile, cache *loadmgr.Resul
 		clients: map[string]*clientProc{},
 		byPID:   map[int]*clientProc{},
 		inbox:   make(chan *job, cfg.maxBatch),
+		stopped: make(chan struct{}),
 	}
 	sh.k.SetCosts(profile.Costs())
 	sh.sm = core.Attach(sh.k)
@@ -377,16 +412,37 @@ func (sh *shard) loop() {
 			sh.migratedOut++
 			close(j.done)
 		case jobWarmIn:
-			sh.warm(j.key)
-			sh.migratedIn++
+			if sh.warmChecked(j) {
+				sh.migratedIn++
+			}
 			close(j.done)
 		case jobReplicaIn:
-			sh.warm(j.key)
-			sh.replicasIn++
+			if sh.warmChecked(j) {
+				sh.replicasIn++
+			}
 			close(j.done)
 		case jobReplicaOut:
 			sh.evict(j.key)
 			sh.replicasOut++
+			close(j.done)
+		case jobRewarm:
+			before := sh.k.Clk.Cycles()
+			if sh.warmChecked(j) {
+				sh.rewarms++
+				if d := sh.k.Clk.Cycles() - before; d > sh.rewarmMax {
+					sh.rewarmMax = d
+				}
+			}
+			close(j.done)
+		case jobStall:
+			sh.k.Clk.Advance(j.cycles)
+			sh.stallCycles += j.cycles
+			close(j.done)
+		case jobDrop:
+			if sh.clients[j.key] != nil {
+				sh.evict(j.key)
+				sh.drops++
+			}
 			close(j.done)
 		}
 	}
@@ -637,6 +693,20 @@ func (sh *shard) warm(key string) {
 	}
 }
 
+// warmChecked warms a key's session, honoring a chaos-corrupted
+// handoff: the warmed session is torn down again immediately (firing
+// the eviction hook, so the binding is reclaimed and the key
+// re-allocates cold on its next call). Returns whether the warm stuck.
+func (sh *shard) warmChecked(j *job) bool {
+	sh.warm(j.key)
+	if !j.corrupt {
+		return true
+	}
+	sh.evict(j.key)
+	sh.corruptWarms++
+	return false
+}
+
 // snapshot merges the shard's counters.
 func (sh *shard) snapshot() ShardStats {
 	live := 0
@@ -662,6 +732,11 @@ func (sh *shard) snapshot() ShardStats {
 		ReplicasIn:      sh.replicasIn,
 		ReplicasOut:     sh.replicasOut,
 		IdleCycles:      sh.idleCycles,
+		Rewarms:         sh.rewarms,
+		RewarmMaxCycles: sh.rewarmMax,
+		StallCycles:     sh.stallCycles,
+		SessionsDropped: sh.drops,
+		CorruptWarms:    sh.corruptWarms,
 	}
 	if sh.cache != nil {
 		st.CacheHits, st.CacheMisses, st.CacheEvictions = sh.cache.Stats()

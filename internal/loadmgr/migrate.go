@@ -66,10 +66,19 @@ func weightOf(costw []float64, i int) float64 {
 // set, out of single-home migration plans. The fleet applies the
 // actual session moves afterwards.
 func (m *Migrator) Plan(h *HeatTracker, costw []float64, skip map[string]bool) []Migration {
+	return m.PlanLive(h, costw, skip, nil)
+}
+
+// PlanLive is Plan restricted to live shards: shards marked true in
+// `down` (nil = all live) are never picked as a move's source or —
+// the dangerous half, since a dead shard's heat decays toward the
+// coldest in the fleet — its destination. With no shard down it is
+// Plan bit for bit.
+func (m *Migrator) PlanLive(h *HeatTracker, costw []float64, skip map[string]bool, down []bool) []Migration {
 	m.round++
 	var moves []Migration
 	for len(moves) < m.opts.MaxMovesPerRound {
-		mv, ok := m.planOne(h, costw, skip)
+		mv, ok := m.planOne(h, costw, skip, down)
 		if !ok {
 			break
 		}
@@ -87,26 +96,35 @@ func (m *Migrator) Plan(h *HeatTracker, costw []float64, skip map[string]bool) [
 }
 
 // planOne picks the single best move, or reports balance. All
-// comparisons run over estimated completion cost (heat x cost factor).
-func (m *Migrator) planOne(h *HeatTracker, costw []float64, skip map[string]bool) (Migration, bool) {
+// comparisons run over estimated completion cost (heat x cost factor),
+// over live shards only.
+func (m *Migrator) planOne(h *HeatTracker, costw []float64, skip map[string]bool, down []bool) (Migration, bool) {
 	heat := h.ShardHeat()
 	if len(heat) < 2 {
 		return Migration{}, false
 	}
 	cost := make([]float64, len(heat))
-	hot, cold := 0, 0
+	hot, cold := -1, -1
+	live := 0
 	var sum float64
 	for i, v := range heat {
+		if i < len(down) && down[i] {
+			continue
+		}
+		live++
 		cost[i] = v * weightOf(costw, i)
 		sum += cost[i]
-		if cost[i] > cost[hot] {
+		if hot < 0 || cost[i] > cost[hot] {
 			hot = i
 		}
-		if cost[i] < cost[cold] {
+		if cold < 0 || cost[i] < cost[cold] {
 			cold = i
 		}
 	}
-	mean := sum / float64(len(cost))
+	if live < 2 {
+		return Migration{}, false
+	}
+	mean := sum / float64(live)
 	if mean <= 0 || hot == cold || cost[hot] < m.opts.ImbalanceThreshold*mean {
 		return Migration{}, false
 	}

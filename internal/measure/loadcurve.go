@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/backend"
+	"repro/internal/chaos"
 	"repro/internal/clock"
 	"repro/internal/fleet"
 	"repro/internal/loadmgr"
@@ -76,6 +77,20 @@ type LoadCurveConfig struct {
 	// placement. nil keeps the homogeneous baseline fleet. When set,
 	// Shards must match its length (or be 0 to derive it).
 	Backends []backend.Assignment
+
+	// Chaos, when non-empty, runs every point of the sweep as a fault
+	// drill: the schedule (chaos.Parse syntax, e.g. "kill:0@5") is
+	// compiled into a fresh engine per point, so each offered rate
+	// replays the identical fault sequence at the identical barriers
+	// (warm-up is barrier 1; each epoch adds one). The availability
+	// story: the curve's knee under a kill-one-shard drill, next to the
+	// healthy curve's knee.
+	Chaos string
+	// RewarmBudgetCycles declares the re-warm budget the drill is gated
+	// on: no orphan re-warm may exceed it (0 means
+	// chaos.DefaultRewarmBudgetCycles). Recorded in the BENCH document
+	// so cmd/benchdiff can enforce it.
+	RewarmBudgetCycles uint64
 }
 
 // Mix returns the canonical backend mix label ("fast=2,slow=2"), or ""
@@ -118,6 +133,13 @@ type LoadPoint struct {
 	// per profile, the view that shows hot traffic landing on fast
 	// shards while slow shards hold the cold tail.
 	Profiles []ProfileLoad `json:"profiles,omitempty"`
+	// Chaos-drill outcome (chaos sweeps only): shards dead at the end of
+	// the point, orphaned sessions re-warmed after shard kills, and the
+	// most cycles any single re-warm took — the number the re-warm
+	// budget gate checks.
+	ShardsDown      int    `json:"shards_down,omitempty"`
+	Rewarms         uint64 `json:"rewarms,omitempty"`
+	RewarmMaxCycles uint64 `json:"rewarm_max_cycles,omitempty"`
 }
 
 // ReplicaHit is one shard's share of the hottest replicated key's
@@ -195,6 +217,15 @@ func RunFleetLoadCurve(cfg LoadCurveConfig) ([]LoadPoint, error) {
 	}
 	if len(cfg.Rates) == 0 {
 		return nil, fmt.Errorf("measure: load curve needs at least one offered rate")
+	}
+	if cfg.Chaos != "" {
+		sched, err := chaos.Parse(cfg.Chaos)
+		if err != nil {
+			return nil, fmt.Errorf("measure: %w", err)
+		}
+		if err := sched.Validate(cfg.Shards); err != nil {
+			return nil, fmt.Errorf("measure: %w", err)
+		}
 	}
 	points := make([]LoadPoint, 0, len(cfg.Rates))
 	for _, rate := range cfg.Rates {
@@ -283,6 +314,15 @@ func curvePlacement(cfg LoadCurveConfig) ([]fleet.Option, *placement.Replicated)
 // only way rebalancing can act within a single measured point.
 func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error) {
 	placeOpts, rep := curvePlacement(cfg)
+	if cfg.Chaos != "" {
+		// A fresh engine per point: each offered rate replays the full
+		// fault schedule from barrier 1 (engines are single-use).
+		sched, perr := chaos.Parse(cfg.Chaos)
+		if perr != nil {
+			return LoadPoint{}, perr
+		}
+		placeOpts = append(placeOpts, fleet.WithChaos(chaos.NewEngine(sched)))
+	}
 	f, err := fleet.Open(append(benchFleetOpts(cfg.Shards, 0, cfg.Backends), placeOpts...)...)
 	if err != nil {
 		return LoadPoint{}, err
@@ -369,6 +409,9 @@ func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error
 		ReplicasAdded:   after.ReplicasAdded - before.ReplicasAdded,
 		ReplicasDropped: after.ReplicasDropped - before.ReplicasDropped,
 		Profiles:        profiles,
+		ShardsDown:      after.ShardsDown,
+		Rewarms:         after.Rewarms - before.Rewarms,
+		RewarmMaxCycles: after.RewarmMaxCycles,
 	}
 	if rep != nil {
 		point.ReplicaKey, point.ReplicaHits = hottestReplica(rep)
@@ -459,12 +502,17 @@ type BenchLoadCurve struct {
 	Epochs        int     `json:"epochs,omitempty"`
 	// Rebalance/CacheSize/Replicas record the placement configuration
 	// the curve ran under, so baselines only compare like with like.
-	Rebalance      bool        `json:"rebalance,omitempty"`
-	CacheSize      int         `json:"cache_size,omitempty"`
-	Replicas       int         `json:"replicas,omitempty"`
-	Points         []LoadPoint `json:"points"`
-	KneeOfferedCPS float64     `json:"knee_offered_cps"` // 0 = never saturated
-	KneeIndex      int         `json:"knee_index"`       // -1 = never saturated
+	Rebalance bool `json:"rebalance,omitempty"`
+	CacheSize int  `json:"cache_size,omitempty"`
+	Replicas  int  `json:"replicas,omitempty"`
+	// Chaos records the fault drill every point of the curve replayed
+	// (chaos.Parse syntax; "" = healthy run), and RewarmBudgetCycles the
+	// declared per-re-warm cycle budget cmd/benchdiff gates on.
+	Chaos              string      `json:"chaos,omitempty"`
+	RewarmBudgetCycles uint64      `json:"rewarm_budget_cycles,omitempty"`
+	Points             []LoadPoint `json:"points"`
+	KneeOfferedCPS     float64     `json:"knee_offered_cps"` // 0 = never saturated
+	KneeIndex          int         `json:"knee_index"`       // -1 = never saturated
 }
 
 // BenchFleet is the machine-readable BENCH_fleet.json document the CI
@@ -537,8 +585,15 @@ func buildCurve(name string, cfg LoadCurveConfig, points []LoadPoint) *BenchLoad
 		ArgsCard:      cfg.ArgsCardinality,
 		Epochs:        cfg.Epochs,
 		Replicas:      cfg.Replicas,
+		Chaos:         cfg.Chaos,
 		Points:        points,
 		KneeIndex:     KneeIndex(points),
+	}
+	if cfg.Chaos != "" {
+		lc.RewarmBudgetCycles = cfg.RewarmBudgetCycles
+		if lc.RewarmBudgetCycles == 0 {
+			lc.RewarmBudgetCycles = chaos.DefaultRewarmBudgetCycles
+		}
 	}
 	if lm := cfg.LoadManager; lm != nil {
 		lc.Rebalance = lm.Migrate

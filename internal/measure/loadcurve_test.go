@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/chaos"
 	"repro/internal/loadmgr"
 )
 
@@ -250,5 +251,71 @@ func TestCurveCacheHitsOnIdempotentWorkload(t *testing.T) {
 	doc := NewBenchFleet(cfg, points, nil)
 	if doc.LoadCurve.CacheSize != 64 || doc.LoadCurve.ArgsCard != 6 {
 		t.Errorf("BENCH loadcurve config not recorded: %+v", doc.LoadCurve)
+	}
+}
+
+// TestChaosCurveKillDrill: a load curve run under a kill drill records
+// the drill outcome per point (shard down, orphan re-warms within the
+// default budget), replays bit-for-bit across runs, and the BENCH
+// curve carries the drill spec and budget for the benchdiff gate.
+func TestChaosCurveKillDrill(t *testing.T) {
+	cfg := LoadCurveConfig{
+		Shards:      2,
+		Clients:     6,
+		Calls:       60,
+		Rates:       []float64{40_000},
+		Kind:        Poisson,
+		Seed:        5,
+		ZipfS:       1.5,
+		Epochs:      4,
+		Replicas:    2,
+		LoadManager: &loadmgr.Options{Migrate: true, Seed: 5},
+		Chaos:       "kill:0@3",
+	}
+	a, err := RunFleetLoadCurve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := a[0]
+	if p.ShardsDown != 1 {
+		t.Errorf("ShardsDown = %d, want 1 (drill never fired?)", p.ShardsDown)
+	}
+	if p.RewarmMaxCycles > chaos.DefaultRewarmBudgetCycles {
+		t.Errorf("slowest re-warm %d cycles exceeds default budget %d",
+			p.RewarmMaxCycles, chaos.DefaultRewarmBudgetCycles)
+	}
+	// Every arrival was served despite the kill (RunFleetLoadCurve fails
+	// on any Err/Errno), and the whole drill replays identically.
+	if p.Calls != cfg.Calls {
+		t.Errorf("served %d of %d calls", p.Calls, cfg.Calls)
+	}
+	b, err := RunFleetLoadCurve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Errorf("chaos drill curve differs across runs:\n%s\nvs\n%s", ja, jb)
+	}
+
+	lc := NewBenchFleet(cfg, a, nil).LoadCurve
+	if lc.Chaos != cfg.Chaos {
+		t.Errorf("BENCH curve chaos = %q, want %q", lc.Chaos, cfg.Chaos)
+	}
+	if lc.RewarmBudgetCycles != chaos.DefaultRewarmBudgetCycles {
+		t.Errorf("BENCH curve budget = %d, want default %d",
+			lc.RewarmBudgetCycles, chaos.DefaultRewarmBudgetCycles)
+	}
+
+	// Invalid drills are rejected up front, not per point.
+	bad := cfg
+	bad.Chaos = "kill:7@1"
+	if _, err := RunFleetLoadCurve(bad); err == nil {
+		t.Error("out-of-range kill target accepted")
+	}
+	bad.Chaos = "explode:0@1"
+	if _, err := RunFleetLoadCurve(bad); err == nil {
+		t.Error("unknown fault kind accepted")
 	}
 }

@@ -211,6 +211,93 @@ func TestConformanceDeterministicPlans(t *testing.T) {
 	}
 }
 
+// TestConformanceShardDownFailover: after OnShardDown, every strategy
+// must leave the dead shard binding-free and unroutable, re-home every
+// orphan onto a live shard, keep load accounting exact, and — fed the
+// same sequence — produce identical rehomes across two instances.
+func TestConformanceShardDownFailover(t *testing.T) {
+	const shards, dead = 4, 1
+	for _, s := range strategies() {
+		t.Run(s.name, func(t *testing.T) {
+			a, b := s.mk(), s.mk()
+			for _, p := range []Placement{a, b} {
+				if err := p.Bind(shards, []float64{1, 1, 2.5, 1}); err != nil {
+					t.Fatal(err)
+				}
+				for round := 0; round < 4; round++ {
+					skewedSequence(p, 10, 24)
+					for _, mv := range p.Rebalance() {
+						p.Commit(mv)
+					}
+				}
+			}
+			// Bound keys before the kill, for the coverage check below.
+			bound := map[string]bool{}
+			for c := 0; c < 10; c++ {
+				key := fmt.Sprintf("h%d", c)
+				if _, ok := a.Lookup(key); ok {
+					bound[key] = true
+				}
+			}
+			ra, rb := a.OnShardDown(dead), b.OnShardDown(dead)
+			if !reflect.DeepEqual(ra, rb) {
+				t.Fatalf("rehomes diverge across identical instances:\n  a: %+v\n  b: %+v", ra, rb)
+			}
+			for _, rh := range ra {
+				if rh.To == dead || rh.To < 0 || rh.To >= shards {
+					t.Fatalf("orphan %q re-homed to invalid shard %d", rh.Key, rh.To)
+				}
+			}
+			if load := a.Load(); load[dead] != 0 {
+				t.Fatalf("dead shard still carries load: %v", load)
+			}
+			// Every key bound before the kill must still be bound, off the
+			// dead shard, and future routing must avoid it.
+			total := 0
+			for key := range bound {
+				reps := a.Replicas(key)
+				if len(reps) == 0 {
+					t.Fatalf("key %q lost its binding in the failover", key)
+				}
+				for _, sid := range reps {
+					if sid == dead {
+						t.Fatalf("key %q still bound to dead shard: %v", key, reps)
+					}
+				}
+				total += len(reps)
+			}
+			sum := 0
+			for _, n := range a.Load() {
+				if n < 0 {
+					t.Fatalf("negative load after failover: %v", a.Load())
+				}
+				sum += n
+			}
+			if sum != total {
+				t.Fatalf("load sum %d != bindings %d after failover (load %v)", sum, total, a.Load())
+			}
+			for round := 0; round < 3; round++ {
+				skewedSequence(a, 12, 24)
+				for _, mv := range a.Rebalance() {
+					if mv.From == dead || mv.To == dead {
+						t.Fatalf("post-kill plan references dead shard: %+v", mv)
+					}
+					a.Commit(mv)
+				}
+			}
+			for c := 0; c < 12; c++ {
+				key := fmt.Sprintf("h%d", c)
+				if sid := a.Route(Call{Key: key, Idempotent: true}); sid == dead {
+					t.Fatalf("post-kill route of %q hit the dead shard", key)
+				}
+			}
+			if load := a.Load(); load[dead] != 0 {
+				t.Fatalf("dead shard re-acquired load: %v", load)
+			}
+		})
+	}
+}
+
 // TestConformanceLoadAccounting: across a busy mixed sequence of
 // routes, rebalances, releases, and evictions, per-shard load always
 // sums to the total binding count and never goes negative.

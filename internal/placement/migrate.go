@@ -26,6 +26,10 @@ type balancer struct {
 	// allocation, cost-blind *migration* is the only knob under test.
 	costw   []float64
 	useCost bool
+	// down mirrors the pool's dead-shard mask for the migrator, which
+	// plans from heat snapshots and would otherwise pick a dead shard
+	// (whose heat decays toward zero) as the coldest move target.
+	down []bool
 }
 
 func newBalancer(opts loadmgr.Options, useCost bool) balancer {
@@ -44,6 +48,7 @@ func (b *balancer) bind(shards int, costFactors []float64) error {
 	b.pool = NewWeightedPool(w)
 	b.heat = loadmgr.NewHeatTracker(shards, b.opts.Alpha)
 	b.mig = loadmgr.NewMigrator(b.opts)
+	b.down = make([]bool, shards)
 	if b.useCost {
 		b.costw = w
 	}
@@ -63,10 +68,34 @@ func (b *balancer) route(c Call) int {
 // many planning passes a strategy layers on top.
 func (b *balancer) planMigrations(skip map[string]bool) []Move {
 	var moves []Move
-	for _, mv := range b.mig.Plan(b.heat, b.costw, skip) {
+	for _, mv := range b.mig.PlanLive(b.heat, b.costw, skip, b.down) {
 		moves = append(moves, Move{Kind: MoveMigrate, Key: mv.Key, From: mv.From, To: mv.To})
 	}
 	return moves
+}
+
+// OnShardDown implements Placement for every balancer-based strategy:
+// reclaim the dead shard's bindings (failing replicated keys over to a
+// survivor), re-allocate each orphan, and carry every affected key's
+// EWMA heat to its new home so the migrator keeps seeing the key's
+// real temperature through the failover.
+func (b *balancer) OnShardDown(shard int) []Rehome {
+	orphans, failovers := b.pool.ReclaimShard(shard)
+	if shard >= 0 && shard < len(b.down) {
+		b.down[shard] = true
+	}
+	out := make([]Rehome, 0, len(orphans))
+	for _, key := range orphans {
+		to := b.pool.Get(key)
+		b.heat.Rebind(key, to)
+		out = append(out, Rehome{Key: key, To: to})
+	}
+	for _, key := range failovers {
+		if to, ok := b.pool.Lookup(key); ok {
+			b.heat.Rebind(key, to)
+		}
+	}
+	return out
 }
 
 // commit applies one move's routing change.

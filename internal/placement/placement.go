@@ -78,6 +78,16 @@ type Move struct {
 	From, To int
 }
 
+// Rehome records one orphaned key's new primary after a shard death:
+// the key's only binding died with the shard, the strategy re-allocated
+// it to To, and the fleet must re-warm its session there. Keys that
+// failed over to a surviving replica are not reported — their sessions
+// on the survivors are already warm.
+type Rehome struct {
+	Key string
+	To  int
+}
+
 // Placement owns a fleet's routing, rebalancing, and replica fan-out.
 // Implementations must be safe for concurrent Route / Release /
 // Evicted / Lookup calls; Rebalance and Commit are only ever called
@@ -116,6 +126,16 @@ type Placement interface {
 	// or a drain): the binding on that one shard is dropped, promoting
 	// a surviving replica to primary when the primary was evicted.
 	Evicted(key string, shard int)
+
+	// OnShardDown reports that a shard died. The strategy reclaims
+	// every binding the shard held (the ipam dead-owner reclaim): keys
+	// with surviving replicas fail over to one — the promoted replica
+	// becomes the primary — and keys whose only binding died are
+	// re-allocated across the survivors and returned (in deterministic
+	// order) so the fleet can re-warm their sessions. The dead shard is
+	// never routed to again. Called from the fleet's barrier path, like
+	// Rebalance.
+	OnShardDown(shard int) []Rehome
 
 	// Lookup returns key's primary shard without allocating.
 	Lookup(key string) (int, bool)

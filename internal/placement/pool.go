@@ -24,12 +24,18 @@ import (
 // over. The first binding is the primary; replicas are added and
 // dropped one shard at a time, and evicting the primary promotes the
 // next replica.
+//
+// A shard can also die (ReclaimShard — the ipam dead-owner reclaim):
+// its bindings are reclaimed in one sweep and the shard is excluded
+// from every later allocation, rebind, and replica placement.
 type Pool struct {
 	mu     sync.Mutex
 	assign map[string][]int // bindings, primary first
 	load   []int            // bindings per shard
 	// weight is the per-shard cost factor (nil = homogeneous).
 	weight []float64
+	// down marks dead shards: never allocated, never a move target.
+	down []bool
 }
 
 // NewPool returns an empty pool over the given number of shards.
@@ -37,6 +43,7 @@ func NewPool(shards int) *Pool {
 	return &Pool{
 		assign: map[string][]int{},
 		load:   make([]int, shards),
+		down:   make([]bool, shards),
 	}
 }
 
@@ -61,12 +68,19 @@ func (p *Pool) getLocked(key string) int {
 	if set, ok := p.assign[key]; ok {
 		return set[0]
 	}
-	sid := 0
-	best := p.slotCost(0)
-	for i := 1; i < len(p.load); i++ {
-		if c := p.slotCost(i); c < best {
+	sid, best := -1, 0.0
+	for i := 0; i < len(p.load); i++ {
+		if p.down[i] {
+			continue
+		}
+		if c := p.slotCost(i); sid < 0 || c < best {
 			sid, best = i, c
 		}
+	}
+	if sid < 0 {
+		// Every shard down — the fleet never lets this happen (the last
+		// live shard cannot be killed); fall back to 0 rather than panic.
+		sid = 0
 	}
 	p.assign[key] = []int{sid}
 	p.load[sid]++
@@ -167,7 +181,7 @@ func (p *Pool) Rebind(key string, from, to int) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	set, ok := p.assign[key]
-	if !ok || len(set) != 1 || set[0] != from || to < 0 || to >= len(p.load) {
+	if !ok || len(set) != 1 || set[0] != from || to < 0 || to >= len(p.load) || p.down[to] {
 		return false
 	}
 	p.assign[key] = []int{to}
@@ -186,7 +200,7 @@ func (p *Pool) AddReplica(key string, from, to int) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	set, ok := p.assign[key]
-	if !ok || set[0] != from || to < 0 || to >= len(p.load) {
+	if !ok || set[0] != from || to < 0 || to >= len(p.load) || p.down[to] {
 		return false
 	}
 	for _, cur := range set {
@@ -214,13 +228,13 @@ func (p *Pool) DropReplica(key string, from int) bool {
 
 // LeastLoadedExcluding returns the shard with the lowest cost-weighted
 // load among those not in `excl` (lowest index on ties), or false when
-// every shard is excluded.
+// every shard is excluded. Down shards are always excluded.
 func (p *Pool) LeastLoadedExcluding(excl map[int]bool) (int, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	sid, best, found := 0, 0.0, false
 	for i := 0; i < len(p.load); i++ {
-		if excl[i] {
+		if excl[i] || p.down[i] {
 			continue
 		}
 		if c := p.slotCost(i); !found || c < best {
@@ -244,6 +258,74 @@ func (p *Pool) ReplicatedKeys() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// ReclaimShard marks shard sid dead and reclaims every binding it
+// holds in one sweep — the ipam dead-owner reclaim. Keys are visited
+// in sorted order, so the sweep is deterministic. Each affected key
+// falls into one of two classes, reported separately:
+//
+//   - failovers: keys that kept at least one surviving binding — a
+//     replica was promoted (or the set just shrank); their sessions on
+//     the survivors are already warm, so nothing more is needed.
+//   - orphans: keys whose only binding died; they are left unbound and
+//     must be re-allocated (Get) and re-warmed by the caller.
+//
+// A down shard is never allocated again; reclaiming an already-down
+// shard is a no-op.
+func (p *Pool) ReclaimShard(sid int) (orphans, failovers []string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if sid < 0 || sid >= len(p.load) || p.down[sid] {
+		return nil, nil
+	}
+	p.down[sid] = true
+	var keys []string
+	for key, set := range p.assign {
+		for _, s := range set {
+			if s == sid {
+				keys = append(keys, key)
+				break
+			}
+		}
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		p.dropLocked(key, sid)
+		if _, survives := p.assign[key]; survives {
+			failovers = append(failovers, key)
+		} else {
+			orphans = append(orphans, key)
+		}
+	}
+	return orphans, failovers
+}
+
+// Down reports whether shard sid has been reclaimed.
+func (p *Pool) Down(sid int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return sid >= 0 && sid < len(p.down) && p.down[sid]
+}
+
+// DownShards returns a copy of the per-shard down mask.
+func (p *Pool) DownShards() []bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]bool(nil), p.down...)
+}
+
+// LiveShards returns how many shards are still allocatable.
+func (p *Pool) LiveShards() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, d := range p.down {
+		if !d {
+			n++
+		}
+	}
+	return n
 }
 
 // Load returns a snapshot of per-shard binding counts.

@@ -1,0 +1,166 @@
+package placement
+
+// Pool-level tests for the dead-shard reclaim (ReclaimShard, the ipam
+// dead-owner sweep) and the Release-vs-in-flight-migration race the
+// optimistic commit protocol must win: a Release between a rebalance
+// plan and its Commit must make the Commit refuse, leaving no orphaned
+// binding and no load drift.
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPoolReclaimShardOrphansAndFailovers(t *testing.T) {
+	p := NewPool(3)
+	// a, b, c round-robin over 0, 1, 2; then b replicates onto 0.
+	for _, key := range []string{"a", "b", "c"} {
+		p.Get(key)
+	}
+	if !p.AddReplica("b", 1, 0) {
+		t.Fatal("AddReplica(b, 1, 0) refused")
+	}
+	orphans, failovers := p.ReclaimShard(0)
+	if !reflect.DeepEqual(orphans, []string{"a"}) {
+		t.Fatalf("orphans = %v, want [a]", orphans)
+	}
+	if len(failovers) != 1 || failovers[0] != "b" {
+		t.Fatalf("failovers = %v, want [b]", failovers)
+	}
+	if _, ok := p.Lookup("a"); ok {
+		t.Fatal("orphan still bound after reclaim")
+	}
+	if sid, ok := p.Lookup("b"); !ok || sid != 1 {
+		t.Fatalf("failover key b on shard %d (ok=%v), want 1", sid, ok)
+	}
+	if !p.Down(0) || p.Down(1) {
+		t.Fatal("down mask wrong after reclaim")
+	}
+	if p.LiveShards() != 2 {
+		t.Fatalf("LiveShards = %d, want 2", p.LiveShards())
+	}
+	if load := p.Load(); load[0] != 0 {
+		t.Fatalf("dead shard load = %v, want 0", load)
+	}
+	// Re-allocation must avoid the dead shard forever after.
+	for i := 0; i < 6; i++ {
+		key := orphans[0] + string(rune('0'+i))
+		if sid := p.Get(key); sid == 0 {
+			t.Fatalf("Get(%q) allocated the dead shard", key)
+		}
+	}
+	// Reclaiming again is a no-op.
+	if o, fo := p.ReclaimShard(0); o != nil || fo != nil {
+		t.Fatalf("second reclaim returned (%v, %v), want nils", o, fo)
+	}
+}
+
+func TestPoolReclaimShardPromotesPrimary(t *testing.T) {
+	p := NewPool(2)
+	if sid := p.Get("hot"); sid != 0 {
+		t.Fatalf("hot allocated shard %d, want 0", sid)
+	}
+	if !p.AddReplica("hot", 0, 1) {
+		t.Fatal("AddReplica refused")
+	}
+	orphans, failovers := p.ReclaimShard(0)
+	if len(orphans) != 0 || !reflect.DeepEqual(failovers, []string{"hot"}) {
+		t.Fatalf("reclaim = (%v, %v), want ([], [hot])", orphans, failovers)
+	}
+	// The surviving replica is the new primary.
+	if reps := p.Replicas("hot"); !reflect.DeepEqual(reps, []int{1}) {
+		t.Fatalf("Replicas(hot) = %v, want [1]", reps)
+	}
+}
+
+func TestPoolDownShardRejectsMoves(t *testing.T) {
+	p := NewPool(3)
+	p.Get("a") // shard 0
+	p.Get("b") // shard 1
+	p.ReclaimShard(2)
+	if p.Rebind("a", 0, 2) {
+		t.Fatal("Rebind onto a dead shard accepted")
+	}
+	if p.AddReplica("a", 0, 2) {
+		t.Fatal("AddReplica onto a dead shard accepted")
+	}
+	if sid, ok := p.LeastLoadedExcluding(map[int]bool{0: true, 1: true}); ok {
+		t.Fatalf("LeastLoadedExcluding returned dead shard %d", sid)
+	}
+	if sid, ok := p.LeastLoadedExcluding(nil); !ok || sid == 2 {
+		t.Fatalf("LeastLoadedExcluding = (%d, %v), want a live shard", sid, ok)
+	}
+}
+
+// TestPoolReleaseDuringMigrationNoOrphanBinding is the ISSUE's
+// regression pin: a Release that lands between a migration plan and
+// its Commit (the fleet calls Commit under its write lock, but the
+// plan is optimistic) must make every stale commit refuse — Rebind,
+// AddReplica, and DropReplica all validate against the current
+// binding — and leave zero bindings and zero load behind.
+func TestPoolReleaseDuringMigrationNoOrphanBinding(t *testing.T) {
+	check := func(t *testing.T, p *Pool) {
+		t.Helper()
+		if n := p.Assigned(); n != 0 {
+			t.Fatalf("%d keys still assigned after release", n)
+		}
+		for sid, n := range p.Load() {
+			if n != 0 {
+				t.Fatalf("shard %d load %d after release (orphaned binding)", sid, n)
+			}
+		}
+	}
+
+	t.Run("rebind", func(t *testing.T) {
+		p := NewPool(2)
+		from := p.Get("k") // plan: migrate k from -> other
+		p.Put("k")         // release races in before the commit
+		if p.Rebind("k", from, 1-from) {
+			t.Fatal("stale Rebind accepted after release")
+		}
+		check(t, p)
+	})
+	t.Run("rebind-after-realloc", func(t *testing.T) {
+		p := NewPool(2)
+		from := p.Get("k")
+		p.Put("k")
+		// The key is re-allocated (possibly to the same shard) before the
+		// stale commit arrives: still refused, because a concurrent
+		// re-allocation means the plan's premise is gone.
+		reborn := p.Get("k")
+		if reborn == from && p.Rebind("k", from, 1-from) {
+			// Same-shard rebirth is indistinguishable from the planned
+			// state by shard id alone; the move is then applied to a
+			// live singly-bound key, which is safe — verify accounting.
+			if sid, _ := p.Lookup("k"); sid != 1-from {
+				t.Fatalf("rebind moved k to %d, want %d", sid, 1-from)
+			}
+		}
+		total := 0
+		for _, n := range p.Load() {
+			total += n
+		}
+		if total != len(p.Replicas("k")) {
+			t.Fatalf("load sum %d != bindings %d", total, len(p.Replicas("k")))
+		}
+	})
+	t.Run("add-replica", func(t *testing.T) {
+		p := NewPool(2)
+		from := p.Get("k")
+		p.Put("k")
+		if p.AddReplica("k", from, 1-from) {
+			t.Fatal("stale AddReplica accepted after release")
+		}
+		check(t, p)
+	})
+	t.Run("drop-replica", func(t *testing.T) {
+		p := NewPool(2)
+		from := p.Get("k")
+		p.AddReplica("k", from, 1-from)
+		p.Put("k")
+		if p.DropReplica("k", 1-from) {
+			t.Fatal("stale DropReplica accepted after release")
+		}
+		check(t, p)
+	})
+}

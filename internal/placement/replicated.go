@@ -218,12 +218,23 @@ func (r *Replicated) planReplicas() ([]Move, map[string]bool) {
 		return cands[i].key < cands[j].key
 	})
 
+	// Mean shard heat over *live* shards: a dead shard neither carries
+	// heat nor counts as capacity, so replica sizing after a kill spreads
+	// keys across what actually survives.
 	shardHeat := r.heat.ShardHeat()
 	var total float64
-	for _, v := range shardHeat {
+	live := 0
+	for i, v := range shardHeat {
+		if i < len(r.down) && r.down[i] {
+			continue
+		}
 		total += v
+		live++
 	}
-	mean := total / float64(len(shardHeat))
+	mean := 0.0
+	if live > 0 {
+		mean = total / float64(live)
+	}
 
 	var moves []Move
 	budget := r.budget

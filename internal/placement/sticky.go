@@ -40,6 +40,17 @@ func (s *Sticky) Release(key string) { s.pool.Put(key) }
 // Evicted implements Placement.
 func (s *Sticky) Evicted(key string, shard int) { s.pool.PutIf(key, shard) }
 
+// OnShardDown implements Placement: reclaim the dead shard's bindings
+// and re-allocate each orphan to the least-loaded survivor.
+func (s *Sticky) OnShardDown(shard int) []Rehome {
+	orphans, _ := s.pool.ReclaimShard(shard)
+	out := make([]Rehome, 0, len(orphans))
+	for _, key := range orphans {
+		out = append(out, Rehome{Key: key, To: s.pool.Get(key)})
+	}
+	return out
+}
+
 // Lookup implements Placement.
 func (s *Sticky) Lookup(key string) (int, bool) { return s.pool.Lookup(key) }
 
