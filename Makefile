@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all ci lint build vet test race fuzz-short bench bench-json bench-check loadcurve fleet fig8 mix chaos
+.PHONY: all ci lint build vet test race fuzz-short bench bench-json bench-check loadcurve fleet fig8 mix chaos elastic
 
 all: ci
 
@@ -62,24 +62,26 @@ bench:
 loadcurve:
 	$(GO) run ./cmd/smodfleet -loadcurve
 
-# CI bench artifact: the gate suite — seven named curves (uniform,
+# CI bench artifact: the gate suite — nine named curves (uniform,
 # skew-rebalance, the fast=2,slow=2 mixed-fleet cost-aware/heat-only
-# pair, the dominant-key replication pair, and the chaos-kill
-# availability drill) in one BENCH_fleet.json, recorded per commit by
-# the bench job. All numbers are simulated-time, so they are
-# comparable across runners. Refreshing the committed baseline (after
-# an intentional perf change) is just `make bench-json` and committing
-# the result.
+# pair, the dominant-key replication pair, the chaos-kill availability
+# drill, and the elastic fixed-vs-autoscaled pair) in one
+# BENCH_fleet.json, recorded per commit by the bench job. All numbers
+# are simulated-time, so they are comparable across runners. Refreshing
+# the committed baseline (after an intentional perf change) is just
+# `make bench-json` and committing the result.
 bench-json:
 	$(GO) run ./cmd/smodfleet -suite -lcshards 2 -clients 8 -lccalls 200 -json BENCH_fleet.json
 
 # CI bench gate: rerun the baseline suite into BENCH_new.json and fail
 # on a knee-index regression, a >15% pre-knee p95 shift in ANY of the
 # named curves against the committed BENCH_fleet.json, a chaos re-warm
-# past the declared budget, or a chaos-kill knee below the availability
-# floor of the healthy replicated knee (see cmd/benchdiff). The sweep
-# params MUST match bench-json or the documents are incomparable by
-# construction.
+# past the declared budget, a chaos-kill knee below the availability
+# floor of the healthy replicated knee, or an elastic-invariant breach
+# (resize warm-in over budget, or the autoscaled fleet failing to hold
+# the p99 SLO past the fixed fleet at no more average shards; see
+# cmd/benchdiff). The sweep params MUST match bench-json or the
+# documents are incomparable by construction.
 bench-check:
 	$(GO) run ./cmd/smodfleet -suite -lcshards 2 -clients 8 -lccalls 200 -json BENCH_new.json
 	$(GO) run ./cmd/benchdiff -old BENCH_fleet.json -new BENCH_new.json
@@ -99,6 +101,19 @@ chaos:
 	$(GO) test -race ./internal/chaos
 	$(GO) test -race -run 'Chaos|Reclaim|ShardDown|PoolDown|ReleaseDuringMigration' \
 		./internal/fleet ./internal/placement ./internal/measure
+
+# The elastic-fleet drills under the race detector: the autoscale
+# controller, shard add/drain lifecycle (including the add-then-drain
+# replay determinism property), the placement grow/drain conformance
+# suite, plus a standalone SLO-autoscaled load curve (see README
+# "Elastic fleet & autoscaler").
+elastic:
+	$(GO) test -race ./internal/autoscale
+	$(GO) test -race -run 'Elastic|Autoscaler|AddShard|DrainShard|ShardUp|PlanDrain|GrowThenDrain' \
+		./internal/fleet ./internal/placement
+	$(GO) run ./cmd/smodfleet -loadcurve -lcshards 4 -clients 24 -lccalls 200 \
+		-epochs 10 -warmup 5 -rebalance -util 0.3,0.6,0.9,1.2 \
+		-autoscale -slo 60 -asmin 2 -asmax 6 -json BENCH_elastic.json
 
 # The paper's Figure 8 table (scaled down; see cmd/smodbench -h).
 fig8:

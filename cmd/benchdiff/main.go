@@ -45,6 +45,15 @@
 // that loses a shard and falls below half its healthy capacity has
 // broken failover, whatever the baseline says.
 //
+// When the candidate carries SLO-autoscaled curves (a positive
+// "slo_us" field), the elastic gates apply: no point may record a
+// resize warm-in slower than the curve's declared rewarm_budget_cycles,
+// and every point's mean live shard count must stay inside
+// [auto_min, auto_max]. For the suite's "elastic-slo"/"elastic-fixed"
+// pair (shared rate grid), the autoscaled fleet must hold the p99 SLO
+// at a strictly higher offered rate than the fixed fleet does, while
+// averaging no more shards across the sweep than the fixed fleet runs.
+//
 // Usage:
 //
 //	benchdiff -old BENCH_fleet.json -new BENCH_new.json
@@ -142,6 +151,82 @@ func compare(oldDoc, newDoc *measure.BenchFleet, p95Tol, availFloor float64) []s
 	}
 	fails = append(fails, replicationInvariant(newCurves)...)
 	fails = append(fails, availabilityInvariant(newCurves, availFloor)...)
+	fails = append(fails, elasticInvariant(newCurves)...)
+	return fails
+}
+
+// elasticInvariant gates the candidate's SLO-autoscaled curves. Every
+// elastic curve (slo_us > 0) is held to its declared warm budget — no
+// point may record a resize warm-in slower than rewarm_budget_cycles —
+// and its mean live shard count must stay inside [auto_min, auto_max].
+// The suite's "elastic-slo"/"elastic-fixed" pair (shared rate grid)
+// additionally carries the elasticity story: the autoscaled fleet must
+// hold the p99 SLO at a strictly higher offered rate than the fixed
+// fleet does, while averaging no more shards across the sweep than the
+// fixed fleet runs — elasticity must buy SLO headroom, not just burn
+// capacity. Documents without elastic curves pass untouched.
+func elasticInvariant(curves []*measure.BenchLoadCurve) []string {
+	var fails []string
+	byName := map[string]*measure.BenchLoadCurve{}
+	for _, c := range curves {
+		byName[c.Name] = c
+		if c.SLOMicros <= 0 {
+			continue
+		}
+		budget := c.RewarmBudgetCycles
+		if budget == 0 {
+			budget = chaos.DefaultRewarmBudgetCycles
+		}
+		for i, p := range c.Points {
+			if p.WarmMaxCycles > budget {
+				fails = append(fails, fmt.Sprintf(
+					"elastic invariant: %s point %d (offered %.0f/s): slowest resize warm-in %d cycles exceeds declared budget %d",
+					c.Name, i, p.OfferedPerSec, p.WarmMaxCycles, budget))
+			}
+			if p.AvgShards < float64(c.AutoMin) || p.AvgShards > float64(c.AutoMax) {
+				fails = append(fails, fmt.Sprintf(
+					"elastic invariant: %s point %d (offered %.0f/s): mean %.2f shards outside autoscaler bounds %d..%d",
+					c.Name, i, p.OfferedPerSec, p.AvgShards, c.AutoMin, c.AutoMax))
+			}
+		}
+	}
+	slo, fixed := byName["elastic-slo"], byName["elastic-fixed"]
+	if slo == nil || fixed == nil {
+		return fails
+	}
+	if !sameRates(slo.Points, fixed.Points) {
+		return append(fails,
+			"elastic invariant: elastic-slo and elastic-fixed were swept over different rate grids; pair incomparable")
+	}
+	// The highest offered rate each fleet serves within the SLO; -1 when
+	// even the lowest rate misses it.
+	heldTo := func(c *measure.BenchLoadCurve) int {
+		held := -1
+		for i, p := range c.Points {
+			if p.P99Micros <= slo.SLOMicros {
+				held = i
+			}
+		}
+		return held
+	}
+	sloHeld, fixedHeld := heldTo(slo), heldTo(fixed)
+	var meanShards float64
+	for _, p := range slo.Points {
+		meanShards += p.AvgShards
+	}
+	meanShards /= float64(len(slo.Points))
+	fmt.Printf("\n== elastic invariant ==\np99 SLO %.0f us held to rate index: elastic-slo %d, fixed %d-shard %d (identical rates); elastic mean %.2f shards\n",
+		slo.SLOMicros, sloHeld, fixed.Shards, fixedHeld, meanShards)
+	if sloHeld <= fixedHeld {
+		fails = append(fails, fmt.Sprintf(
+			"elastic invariant: autoscaled fleet holds the %.0f us p99 SLO only to rate index %d, not past the fixed %d-shard fleet's index %d",
+			slo.SLOMicros, sloHeld, fixed.Shards, fixedHeld))
+	}
+	if meanShards > float64(fixed.Shards) {
+		fails = append(fails, fmt.Sprintf(
+			"elastic invariant: autoscaled fleet averaged %.2f shards across the sweep, more than the fixed fleet's %d",
+			meanShards, fixed.Shards))
+	}
 	return fails
 }
 
@@ -352,13 +437,15 @@ func configMismatch(oc, nc *measure.BenchLoadCurve) string {
 		Replicas                  int
 		Chaos                     string
 		RewarmBudget              uint64
+		SLOMicros                 float64
+		AutoMin, AutoMax, Warmup  int
 	}
 	o := shape{oc.Mix, oc.HeatOnly, oc.Shards, oc.Clients, oc.CallsPerPoint, oc.Process, oc.Seed,
 		oc.ZipfS, oc.ArgsCard, oc.Epochs, oc.CacheSize, oc.Rebalance, oc.Replicas,
-		oc.Chaos, oc.RewarmBudgetCycles}
+		oc.Chaos, oc.RewarmBudgetCycles, oc.SLOMicros, oc.AutoMin, oc.AutoMax, oc.WarmupEpochs}
 	n := shape{nc.Mix, nc.HeatOnly, nc.Shards, nc.Clients, nc.CallsPerPoint, nc.Process, nc.Seed,
 		nc.ZipfS, nc.ArgsCard, nc.Epochs, nc.CacheSize, nc.Rebalance, nc.Replicas,
-		nc.Chaos, nc.RewarmBudgetCycles}
+		nc.Chaos, nc.RewarmBudgetCycles, nc.SLOMicros, nc.AutoMin, nc.AutoMax, nc.WarmupEpochs}
 	if o != n {
 		return fmt.Sprintf("%s: workload shape changed, documents incomparable: baseline %+v, candidate %+v",
 			oc.Name, o, n)

@@ -45,10 +45,21 @@
 // lose sessions mid-point. -rewarmbudget records the declared per-
 // re-warm cycle budget next to the curve for cmd/benchdiff to gate.
 //
+// -autoscale runs every load-curve point on an elastic fleet: the
+// fleet opens at -asmin shards and the SLO autoscaler
+// (internal/autoscale) resizes it between -asmin and -asmax at the
+// epoch barriers to hold the -slo p99 target at minimum backend cost —
+// growing one shard on a breach, draining the priciest shard after
+// sustained comfort. -warmup excludes each point's leading adaptation
+// epochs from the latency quantiles (the calls still run). Each point
+// records the mean live shard count, mean fleet cost, and the slowest
+// resize warm-in for cmd/benchdiff's warm-budget gate.
+//
 // -suite runs the CI gate suite — uniform, skewed+rebalancing, the
 // mixed-fleet cost-aware/heat-only pair, the dominant-key replication
-// pair, and the kill-drill availability curve — and writes them as
-// named curves into one BENCH_fleet.json for cmd/benchdiff to gate.
+// pair, the kill-drill availability curve, and the elastic
+// fixed-vs-autoscaled pair — and writes them as named curves into one
+// BENCH_fleet.json for cmd/benchdiff to gate.
 //
 // Usage:
 //
@@ -59,6 +70,7 @@
 //	smodfleet -loadcurve -mix fast=2,slow=2 -skew 1.2 -epochs 8 -rebalance
 //	smodfleet -loadcurve -mix fast=2,slow=2 -skew 1.2 -epochs 8 -rebalance -heatonly
 //	smodfleet -loadcurve -lcshards 4 -skew 1.5 -epochs 8 -replicas 4 -chaos kill:0@5
+//	smodfleet -loadcurve -lcshards 4 -epochs 10 -warmup 5 -rebalance -autoscale -slo 60 -asmin 2 -asmax 6
 //	smodfleet -suite -json BENCH_fleet.json
 package main
 
@@ -105,7 +117,13 @@ func main() {
 		replicas     = flag.Int("replicas", 0, "load curve: serve idempotent hot keys from up to N shards at once (placement.Replicated; implies rebalancing at epoch barriers)")
 		chaosSpec    = flag.String("chaos", "", "load curve: deterministic fault drill replayed at every point, e.g. kill:0@5 or kill:0@4;stall:1@6+50000 (chaos.Parse syntax; barriers count warm-up as 1)")
 		rewarmBudget = flag.Uint64("rewarmbudget", chaos.DefaultRewarmBudgetCycles, "load curve: declared per-re-warm cycle budget recorded with -chaos curves (benchdiff gates on it)")
-		suite        = flag.Bool("suite", false, "run the CI gate suite (uniform + skewed + mixed cost-aware/heat-only + dominant-key replicated pair + kill-drill) into one BENCH document")
+		suite        = flag.Bool("suite", false, "run the CI gate suite (uniform + skewed + mixed cost-aware/heat-only + dominant-key replicated pair + kill-drill + elastic fixed/autoscaled pair) into one BENCH document")
+
+		autoscale = flag.Bool("autoscale", false, "load curve: run every point on an SLO-autoscaled elastic fleet (see -slo/-asmin/-asmax)")
+		slo       = flag.Float64("slo", 60, "load curve: autoscaler p99 target in simulated microseconds (-autoscale)")
+		asMin     = flag.Int("asmin", 2, "load curve: elastic fleet floor (-autoscale)")
+		asMax     = flag.Int("asmax", 6, "load curve: elastic fleet ceiling (-autoscale)")
+		warmup    = flag.Int("warmup", 0, "load curve: leading epochs per point excluded from the latency quantiles (adaptation window)")
 	)
 	flag.Parse()
 
@@ -149,9 +167,15 @@ func main() {
 			LoadManager:     lm,
 			Replicas:        *replicas,
 			Chaos:           *chaosSpec,
+			WarmupEpochs:    *warmup,
 		}
 		if *chaosSpec != "" {
 			lcCfg.RewarmBudgetCycles = *rewarmBudget
+		}
+		if *autoscale {
+			lcCfg.SLOMicros = *slo
+			lcCfg.AutoMin = *asMin
+			lcCfg.AutoMax = *asMax
 		}
 		if *mix != "" {
 			as, err := backend.DefaultCatalog().ParseMix(*mix)
@@ -293,6 +317,13 @@ func describeCurve(cfg measure.LoadCurveConfig) {
 		}
 		fmt.Printf("chaos drill: %s replayed at every point (re-warm budget %d cycles)\n", cfg.Chaos, budget)
 	}
+	if cfg.SLOMicros > 0 {
+		fmt.Printf("elastic: autoscaled %d..%d shards to hold p99 <= %.0f us at epoch barriers\n",
+			cfg.AutoMin, cfg.AutoMax, cfg.SLOMicros)
+	}
+	if cfg.WarmupEpochs > 0 {
+		fmt.Printf("warm-up: first %d epoch(s) per point excluded from latency quantiles\n", cfg.WarmupEpochs)
+	}
 	fmt.Println()
 }
 
@@ -328,6 +359,18 @@ func reportCurve(cfg measure.LoadCurveConfig, points []measure.LoadPoint) {
 		}
 		fmt.Printf("chaos totals: %d shard(s) down per point, %d orphan re-warms, slowest re-warm %d cycles\n",
 			down, rewarms, rewarmMax)
+	}
+	if cfg.SLOMicros > 0 {
+		fmt.Printf("\nelastic sizing per offered rate (SLO %.0f us):\n", cfg.SLOMicros)
+		for _, p := range points {
+			held := "held"
+			if p.P99Micros > cfg.SLOMicros {
+				held = "MISSED"
+			}
+			fmt.Printf("  %8.0f/s  avg %.2f shards (cost %.2f)  +%d/-%d resizes  p99 %8.1f us  SLO %s\n",
+				p.OfferedPerSec, p.AvgShards, p.CostUnits,
+				p.ShardsAdded, p.ShardsDrained, p.P99Micros, held)
+		}
 	}
 	k := measure.KneeIndex(points)
 	if len(cfg.Backends) > 0 {
@@ -424,6 +467,24 @@ const suiteDominantZipf = 1.5
 // so each point spends roughly half its schedule on 3 of 4 shards.
 const suiteChaosDrill = "kill:0@5"
 
+// Elastic-pair parameters: both curves sweep the same rate grid
+// (fractions of the fixed 4-shard fleet's capacity, topping out past
+// its knee), with enough warm keys that migration can spread load over
+// a grown fleet, and the first half of each point's epochs excluded
+// from the quantiles as the autoscaler's adaptation window. The SLO is
+// the p99 target the autoscaled 2..6-shard fleet must hold at every
+// swept rate — including the top rate the fixed fleet saturates at.
+const (
+	suiteElasticSLO     = 60.0 // p99 target, simulated microseconds
+	suiteElasticMin     = 2
+	suiteElasticMax     = 6
+	suiteElasticFixed   = 4 // the fixed-fleet baseline size
+	suiteElasticClients = 24
+	suiteElasticUtils   = "0.3,0.6,0.9,1.2"
+	suiteElasticEpochs  = 10
+	suiteElasticWarmup  = 5
+)
+
 // runSuite measures the gate suite — six named curves in one BENCH
 // document:
 //
@@ -436,7 +497,13 @@ const suiteChaosDrill = "kill:0@5"
 //	skew-replicated: same fleet and rates, hot-key replication on;
 //	chaos-kill:      the skew-replicated fleet and rates, with shard 0
 //	                 killed mid-point at barrier 5 of every point — the
-//	                 availability curve under the kill-one-shard drill.
+//	                 availability curve under the kill-one-shard drill;
+//	elastic-fixed:   a fixed 4-shard migrating fleet swept past its knee
+//	                 (uniform keys, warm-up epochs excluded);
+//	elastic-slo:     same workload and rates on the SLO-autoscaled
+//	                 2..6-shard fleet — the elasticity curve: it must
+//	                 hold the p99 SLO at rates the fixed fleet cannot,
+//	                 while averaging no more shards than the fixed fleet.
 //
 // Each paired set sweeps identical offered rates, so knee indices are
 // directly comparable: cost-aware above heat-only is the capacity the
@@ -448,7 +515,7 @@ const suiteChaosDrill = "kill:0@5"
 // barrier.
 func runSuite(p suiteParams) {
 	fmt.Println(clock.MachineInfo())
-	fmt.Printf("\n=== bench suite: uniform + skew-rebalance + %s cost-aware/heat-only + dominant-key replication pair ===\n", suiteMix)
+	fmt.Printf("\n=== bench suite: uniform + skew-rebalance + %s cost-aware/heat-only + dominant-key replication pair + kill drill + elastic pair ===\n", suiteMix)
 
 	as, err := backend.DefaultCatalog().ParseMix(suiteMix)
 	if err != nil {
@@ -501,6 +568,23 @@ func runSuite(p suiteParams) {
 	chaosKill.Chaos = suiteChaosDrill
 	chaosKill.RewarmBudgetCycles = chaos.DefaultRewarmBudgetCycles
 
+	// The elastic pair: a fixed 4-shard fleet swept past its knee vs the
+	// SLO-autoscaled 2..6-shard fleet on the identical rate grid. Uniform
+	// keys over more clients than the ceiling's shard count, so the
+	// migrating balancer can spread load over every shard the autoscaler
+	// adds; half of each point's epochs are the adaptation window.
+	elasticFixed := base
+	elasticFixed.Shards = suiteElasticFixed
+	elasticFixed.Clients = suiteElasticClients
+	elasticFixed.Epochs = suiteElasticEpochs
+	elasticFixed.WarmupEpochs = suiteElasticWarmup
+	elasticFixed.LoadManager = lm(false)
+
+	elasticSLO := elasticFixed
+	elasticSLO.SLOMicros = suiteElasticSLO
+	elasticSLO.AutoMin = suiteElasticMin
+	elasticSLO.AutoMax = suiteElasticMax
+
 	curves := []measure.NamedCurve{
 		{Name: "uniform", Config: uniform},
 		{Name: "skew-rebalance", Config: skewed},
@@ -509,6 +593,8 @@ func runSuite(p suiteParams) {
 		{Name: "skew-dominant", Config: dominant},
 		{Name: "skew-replicated", Config: replicated},
 		{Name: "chaos-kill", Config: chaosKill},
+		{Name: "elastic-fixed", Config: elasticFixed},
+		{Name: "elastic-slo", Config: elasticSLO},
 	}
 	// Each A/B pair shares one rate sweep (computed for its first
 	// curve) so the knees are comparable; the others get their own.
@@ -516,14 +602,22 @@ func runSuite(p suiteParams) {
 		"mix-heatonly":    "mix-costaware",
 		"skew-replicated": "skew-dominant",
 		"chaos-kill":      "skew-dominant",
+		"elastic-slo":     "elastic-fixed",
 	}
+	// Per-curve utilization grids: the elastic pair sweeps deeper past
+	// the fixed fleet's knee so the autoscaled headroom is visible.
+	utilOf := map[string]string{"elastic-fixed": suiteElasticUtils}
 	rates := map[string][]float64{}
 	for i := range curves {
 		cfg := &curves[i].Config
 		if src, ok := shared[curves[i].Name]; ok && rates[src] != nil {
 			cfg.Rates = rates[src]
 		} else {
-			rs, err := autoRates(*cfg, p.utilList)
+			utils := p.utilList
+			if u, ok := utilOf[curves[i].Name]; ok {
+				utils = u
+			}
+			rs, err := autoRates(*cfg, utils)
 			if err != nil {
 				fatal(fmt.Errorf("%s: %w", curves[i].Name, err))
 			}
@@ -554,6 +648,24 @@ func runSuite(p suiteParams) {
 		suiteDominantZipf, kneeOf("skew-replicated"), kneeOf("skew-dominant"))
 	fmt.Printf("availability knees (%s drill, identical rate sweeps): chaos-kill index %d vs healthy replicated index %d\n",
 		suiteChaosDrill, kneeOf("chaos-kill"), kneeOf("skew-replicated"))
+	sloHolds := func(name string) (held, total int) {
+		for _, c := range curves {
+			if c.Name != name {
+				continue
+			}
+			total = len(c.Points)
+			for _, pt := range c.Points {
+				if pt.P99Micros <= suiteElasticSLO {
+					held++
+				}
+			}
+		}
+		return held, total
+	}
+	sloHeld, sloTotal := sloHolds("elastic-slo")
+	fixHeld, fixTotal := sloHolds("elastic-fixed")
+	fmt.Printf("elastic pair (p99 SLO %.0f us, identical rate sweeps): autoscaled holds %d/%d points, fixed %d-shard holds %d/%d\n",
+		suiteElasticSLO, sloHeld, sloTotal, suiteElasticFixed, fixHeld, fixTotal)
 
 	jsonPath := p.jsonPath
 	if jsonPath == "" {

@@ -1,0 +1,168 @@
+// Package autoscale closes the elastic-fleet control loop: a
+// deterministic controller that watches the fleet's live tail-latency
+// estimate per rebalance-barrier window and decides, window by window,
+// whether to add a shard, drain one, or hold — targeting the cheapest
+// fleet (sum of backend.Profile.UnitPrice over live shards) that keeps
+// p99 latency under a configured SLO.
+//
+// The controller is pure policy: it never touches the fleet. The fleet
+// layer feeds it one Window per barrier (the merged per-shard latency
+// histogram's p99 upper bound, the call count, and the live shard
+// inventory with prices) and executes the returned Action through its
+// own AddShard/DrainShard machinery, so every decision lands at a
+// barrier and the whole loop replays bit for bit under RunPlan /
+// RunSchedule — an autoscaled drill is as reproducible as a chaos
+// drill.
+//
+// Policy, deliberately simple and fully deterministic:
+//
+//   - Breach (p99 > SLO) with headroom below Max: add one shard of the
+//     configured profile. One shard per window — capacity arrives at
+//     the next barrier and the next window is measured on the grown
+//     fleet, so the controller never over-commits on one bad window.
+//   - Comfortably under the SLO (p99 <= DownFraction x SLO) and above
+//     Min: after HoldWindows consecutive such windows, drain the most
+//     expensive live shard (highest UnitPrice, highest id on ties —
+//     the newest of an equal-cost class retires first). The hold
+//     hysteresis keeps a load dip from flapping the fleet.
+//   - Anything else — in the comfort band, an empty window, or at the
+//     bounds — holds.
+package autoscale
+
+import "repro/internal/backend"
+
+// DefaultDownFraction is the scale-down comfort threshold when
+// Config.DownFraction is zero: shrink only when p99 sits at or below
+// half the SLO, leaving a full 2x margin for the load the drained
+// shard's keys add to the survivors.
+const DefaultDownFraction = 0.5
+
+// DefaultHoldWindows is how many consecutive comfortable windows must
+// pass before a scale-down when Config.HoldWindows is zero.
+const DefaultHoldWindows = 2
+
+// Config tunes a Controller.
+type Config struct {
+	// SLOMicros is the p99 latency target in simulated microseconds
+	// (> 0). The controller scales up whenever a window's p99 estimate
+	// exceeds it.
+	SLOMicros float64
+	// Min and Max bound the live shard count the controller will steer
+	// between (1 <= Min <= Max).
+	Min, Max int
+	// Profile is the machine class of every added shard (zero value =
+	// backend.Default()).
+	Profile backend.Profile
+	// DownFraction is the scale-down threshold as a fraction of the SLO
+	// (0 = DefaultDownFraction).
+	DownFraction float64
+	// HoldWindows is the scale-down hysteresis: that many consecutive
+	// comfortable windows before a drain (0 = DefaultHoldWindows).
+	HoldWindows int
+}
+
+// ShardInfo is one live shard in a Window's inventory.
+type ShardInfo struct {
+	ID    int
+	Price float64 // per-window cost (backend.Profile.UnitPrice)
+}
+
+// Window is one barrier window's observation.
+type Window struct {
+	// P99Micros is the window's p99 latency upper-bound estimate in
+	// simulated microseconds (0 when the window served no calls).
+	P99Micros float64
+	// Calls is how many calls the window's histogram covers.
+	Calls uint64
+	// Live is the current live shard inventory, ascending by ID.
+	Live []ShardInfo
+}
+
+// Action is a Controller decision: at most one resize per window.
+type Action struct {
+	// Add, when non-nil, is the profile of one shard to add.
+	Add *backend.Profile
+	// Drain, when >= 0, is the id of one live shard to drain.
+	Drain int
+}
+
+// Controller is the deterministic SLO autoscaler. Not safe for
+// concurrent use; the fleet drives it from its barrier path only.
+type Controller struct {
+	cfg Config
+	// lowStreak counts consecutive comfortable windows toward the
+	// scale-down hysteresis.
+	lowStreak int
+	adds      int
+	drains    int
+}
+
+// New builds a Controller, filling Config defaults.
+func New(cfg Config) *Controller {
+	if cfg.DownFraction <= 0 || cfg.DownFraction >= 1 {
+		cfg.DownFraction = DefaultDownFraction
+	}
+	if cfg.HoldWindows <= 0 {
+		cfg.HoldWindows = DefaultHoldWindows
+	}
+	if cfg.Min < 1 {
+		cfg.Min = 1
+	}
+	if cfg.Max < cfg.Min {
+		cfg.Max = cfg.Min
+	}
+	if cfg.Profile.Name == "" && cfg.Profile.Scale == 0 {
+		cfg.Profile = backend.Default()
+	}
+	return &Controller{cfg: cfg}
+}
+
+// Config returns the controller's resolved configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Resizes reports how many shards the controller has added and
+// drained so far.
+func (c *Controller) Resizes() (adds, drains int) { return c.adds, c.drains }
+
+// Decide consumes one window and returns the resize action for the
+// upcoming barrier. An empty window (zero calls) always holds and
+// resets the scale-down streak — no traffic is no evidence the fleet
+// is oversized, only that nothing was measured.
+func (c *Controller) Decide(w Window) Action {
+	act := Action{Drain: -1}
+	live := len(w.Live)
+	if w.Calls == 0 || live == 0 {
+		c.lowStreak = 0
+		return act
+	}
+	switch {
+	case w.P99Micros > c.cfg.SLOMicros && live < c.cfg.Max:
+		c.lowStreak = 0
+		p := c.cfg.Profile
+		act.Add = &p
+		c.adds++
+	case w.P99Micros <= c.cfg.SLOMicros*c.cfg.DownFraction && live > c.cfg.Min:
+		c.lowStreak++
+		if c.lowStreak >= c.cfg.HoldWindows {
+			c.lowStreak = 0
+			act.Drain = drainVictim(w.Live)
+			c.drains++
+		}
+	default:
+		c.lowStreak = 0
+	}
+	return act
+}
+
+// drainVictim picks the most expensive live shard, highest id on ties:
+// of an equal-cost class the newest arrival retires first, so a fleet
+// that grew under a burst unwinds in reverse order.
+func drainVictim(live []ShardInfo) int {
+	victim := live[0]
+	for _, s := range live[1:] {
+		if s.Price > victim.Price || (s.Price == victim.Price && s.ID > victim.ID) {
+			victim = s
+		}
+	}
+	return victim.ID
+}

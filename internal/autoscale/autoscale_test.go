@@ -1,0 +1,112 @@
+package autoscale
+
+import (
+	"testing"
+
+	"repro/internal/backend"
+)
+
+func window(p99 float64, live ...ShardInfo) Window {
+	return Window{P99Micros: p99, Calls: 100, Live: live}
+}
+
+func shards(n int) []ShardInfo {
+	out := make([]ShardInfo, n)
+	for i := range out {
+		out[i] = ShardInfo{ID: i, Price: 1}
+	}
+	return out
+}
+
+func TestDefaultsFilled(t *testing.T) {
+	c := New(Config{SLOMicros: 10}).Config()
+	if c.DownFraction != DefaultDownFraction {
+		t.Fatalf("DownFraction = %g, want %g", c.DownFraction, DefaultDownFraction)
+	}
+	if c.HoldWindows != DefaultHoldWindows {
+		t.Fatalf("HoldWindows = %d, want %d", c.HoldWindows, DefaultHoldWindows)
+	}
+	if c.Min != 1 || c.Max != 1 {
+		t.Fatalf("Min/Max = %d/%d, want 1/1", c.Min, c.Max)
+	}
+	if c.Profile != backend.Default() {
+		t.Fatalf("Profile = %+v, want default", c.Profile)
+	}
+}
+
+func TestBreachAddsOneShard(t *testing.T) {
+	c := New(Config{SLOMicros: 10, Min: 1, Max: 4})
+	act := c.Decide(window(11, shards(2)...))
+	if act.Add == nil || act.Drain != -1 {
+		t.Fatalf("breach decided %+v, want one add", act)
+	}
+	if *act.Add != c.Config().Profile {
+		t.Fatalf("added profile %+v, want configured %+v", *act.Add, c.Config().Profile)
+	}
+	if adds, drains := c.Resizes(); adds != 1 || drains != 0 {
+		t.Fatalf("Resizes = %d/%d, want 1/0", adds, drains)
+	}
+}
+
+func TestBreachAtMaxHolds(t *testing.T) {
+	c := New(Config{SLOMicros: 10, Min: 1, Max: 2})
+	if act := c.Decide(window(100, shards(2)...)); act.Add != nil || act.Drain != -1 {
+		t.Fatalf("breach at Max decided %+v, want hold", act)
+	}
+}
+
+func TestComfortDrainsAfterHoldWindows(t *testing.T) {
+	c := New(Config{SLOMicros: 10, Min: 1, Max: 4, HoldWindows: 2})
+	if act := c.Decide(window(4, shards(3)...)); act.Drain != -1 {
+		t.Fatalf("first comfortable window drained %d, want hold", act.Drain)
+	}
+	act := c.Decide(window(4, shards(3)...))
+	if act.Drain != 2 {
+		t.Fatalf("second comfortable window decided %+v, want drain of shard 2", act)
+	}
+	// The streak resets after a drain: the next comfortable window holds.
+	if act := c.Decide(window(4, shards(2)...)); act.Drain != -1 {
+		t.Fatalf("post-drain window drained %d, want hold", act.Drain)
+	}
+}
+
+func TestComfortBandHoldsAndResetsStreak(t *testing.T) {
+	c := New(Config{SLOMicros: 10, Min: 1, Max: 4, HoldWindows: 2})
+	c.Decide(window(4, shards(3)...)) // streak 1
+	// In-band window (above DownFraction x SLO, below SLO): resets.
+	if act := c.Decide(window(7, shards(3)...)); act.Add != nil || act.Drain != -1 {
+		t.Fatalf("in-band window decided %+v, want hold", act)
+	}
+	if act := c.Decide(window(4, shards(3)...)); act.Drain != -1 {
+		t.Fatalf("streak survived the in-band window: %+v", act)
+	}
+}
+
+func TestEmptyWindowHoldsAndResetsStreak(t *testing.T) {
+	c := New(Config{SLOMicros: 10, Min: 1, Max: 4, HoldWindows: 2})
+	c.Decide(window(4, shards(3)...)) // streak 1
+	if act := c.Decide(Window{Live: shards(3)}); act.Add != nil || act.Drain != -1 {
+		t.Fatalf("empty window decided %+v, want hold", act)
+	}
+	if act := c.Decide(window(4, shards(3)...)); act.Drain != -1 {
+		t.Fatalf("streak survived the empty window: %+v", act)
+	}
+}
+
+func TestComfortAtMinHolds(t *testing.T) {
+	c := New(Config{SLOMicros: 10, Min: 2, Max: 4, HoldWindows: 1})
+	if act := c.Decide(window(1, shards(2)...)); act.Drain != -1 {
+		t.Fatalf("comfort at Min drained %d, want hold", act.Drain)
+	}
+}
+
+func TestDrainVictimPriciestThenNewest(t *testing.T) {
+	live := []ShardInfo{{ID: 0, Price: 1}, {ID: 1, Price: 3}, {ID: 2, Price: 1}}
+	if got := drainVictim(live); got != 1 {
+		t.Fatalf("victim = %d, want 1 (priciest)", got)
+	}
+	flat := []ShardInfo{{ID: 0, Price: 1}, {ID: 1, Price: 1}, {ID: 2, Price: 1}}
+	if got := drainVictim(flat); got != 2 {
+		t.Fatalf("victim = %d, want 2 (newest of the equal-cost class)", got)
+	}
+}

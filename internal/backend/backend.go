@@ -85,6 +85,12 @@ type Profile struct {
 	CallOverhead uint64 `json:"call_overhead,omitempty"`
 	// Flavor selects plaintext vs modcrypt-encrypted provisioning.
 	Flavor Flavor `json:"flavor,omitempty"`
+	// Price is the cost of keeping one shard of this class live for one
+	// barrier window, in arbitrary fleet-cost units — what the SLO
+	// autoscaler minimizes the sum of while holding its latency target,
+	// and what it ranks drain victims by. <= 0 derives UnitPrice's
+	// default from the cost factor.
+	Price float64 `json:"price,omitempty"`
 }
 
 // scale returns the effective clock scale factor.
@@ -109,6 +115,17 @@ func (p Profile) Costs() clock.Costs {
 // this machine class.
 func (p Profile) CostFactor() float64 {
 	return p.scale() + float64(p.CallOverhead)/baselineCallCycles
+}
+
+// UnitPrice is the profile's per-window cost of one live shard: Price
+// when set, else 1/CostFactor() — a machine doing twice the work per
+// cycle costs twice as much to keep running, so scaling decisions trade
+// capacity against spend instead of getting fast shards for free.
+func (p Profile) UnitPrice() float64 {
+	if p.Price > 0 {
+		return p.Price
+	}
+	return 1 / p.CostFactor()
 }
 
 func (p Profile) String() string {

@@ -58,6 +58,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/autoscale"
 	"repro/internal/backend"
 	"repro/internal/chaos"
 	"repro/internal/loadmgr"
@@ -131,6 +132,14 @@ type Stats struct {
 	StallCycles     uint64
 	SessionsDropped uint64
 	CorruptWarms    uint64
+	// Elastic resize aggregates (zero on a fixed fleet): shards added /
+	// drained so far (drained shards are retired on purpose and counted
+	// apart from chaos kills in ShardsDown), and the costliest single
+	// session warm-in (migration, replica, or re-warm) in cycles — the
+	// number an elastic drill's re-warm budget gates.
+	ShardsAdded   int
+	ShardsDrained int
+	WarmMaxCycles uint64
 }
 
 // merge folds per-shard snapshots into fleet aggregates.
@@ -152,6 +161,9 @@ func merge(per []ShardStats) Stats {
 		st.CorruptWarms += s.CorruptWarms
 		if s.RewarmMaxCycles > st.RewarmMaxCycles {
 			st.RewarmMaxCycles = s.RewarmMaxCycles
+		}
+		if s.WarmMaxCycles > st.WarmMaxCycles {
+			st.WarmMaxCycles = s.WarmMaxCycles
 		}
 		if s.Cycles > st.MakespanCycles {
 			st.MakespanCycles = s.Cycles
@@ -176,14 +188,31 @@ type Fleet struct {
 	// the top of every Rebalance barrier (see WithChaos).
 	chaosEng *chaos.Engine
 
+	// auto, when non-nil, is the SLO autoscaler stepped at every
+	// Rebalance barrier (see WithAutoscaler).
+	auto *autoscale.Controller
+
 	// mu guards closed, down, and corrupt and, as a reader lock, every
 	// inbox send: Close (and a chaos kill) takes the write side before
 	// closing an inbox so no sender can race a closed channel.
 	mu     sync.RWMutex
 	closed bool
-	// down marks shards killed by chaos faults: their inboxes are closed
-	// and they are skipped by sends, Release broadcasts, and Close.
+	// down marks dead shards — chaos-killed or drained and retired:
+	// their inboxes are closed and they are skipped by sends, Release
+	// broadcasts, and Close.
 	down []bool
+	// draining marks shards with a drain queued or in progress; drained
+	// marks shards retired on purpose (a subset of down, counted apart
+	// from chaos kills in Stats).
+	draining []bool
+	drained  []bool
+	// pendingAdds and pendingDrains queue shard-lifecycle operations
+	// until the next rebalance barrier applies them (FIFO, adds first),
+	// keeping RunPlan/RunSchedule deterministic.
+	pendingAdds   []backend.Profile
+	pendingDrains []int
+	added         int
+	drainedN      int
 	// corrupt marks keys whose next warm-in is poisoned (CorruptWarm).
 	corrupt map[string]bool
 	wg      sync.WaitGroup
@@ -193,14 +222,31 @@ type Fleet struct {
 	closeErr  error
 }
 
-// ErrClosed is returned by operations on a closed fleet.
-var ErrClosed = errors.New("fleet: closed")
+// Sentinel errors on the fleet surface, all checked via errors.Is.
+var (
+	// ErrFleetClosed is returned by operations on a closed fleet.
+	ErrFleetClosed = errors.New("fleet: closed")
 
-// ErrShardDown is returned by sends targeting a chaos-killed shard.
-// Routing never produces one (the placement layer reclaims a dead
-// shard's bindings before its inbox closes), so the error marks a
-// caller holding a stale shard id across a kill.
-var ErrShardDown = errors.New("fleet: shard down")
+	// ErrShardDown is returned by sends targeting a dead shard — chaos-
+	// killed or drained and retired. Routing never produces one (the
+	// placement layer reclaims a dead shard's bindings before its inbox
+	// closes), so the error marks a caller holding a stale shard id.
+	ErrShardDown = errors.New("fleet: shard down")
+
+	// ErrUnknownShard is returned by shard-lifecycle operations naming a
+	// shard id the fleet never had.
+	ErrUnknownShard = errors.New("fleet: unknown shard")
+
+	// ErrDrainInProgress is returned by DrainShard when the shard is
+	// already draining (queued or mid-evacuation).
+	ErrDrainInProgress = errors.New("fleet: drain in progress")
+)
+
+// ErrClosed is returned by operations on a closed fleet.
+//
+// Deprecated: use ErrFleetClosed (the same error instance; errors.Is
+// matches either name).
+var ErrClosed = ErrFleetClosed
 
 // Open builds and starts a fleet from functional options. WithModule,
 // WithProvision, and a fleet size (WithShards or WithBackends) are
@@ -219,7 +265,12 @@ func Open(opts ...Option) (*Fleet, error) {
 		place:    cfg.place,
 		chaosEng: cfg.chaosEng,
 		down:     make([]bool, cfg.shards),
+		draining: make([]bool, cfg.shards),
+		drained:  make([]bool, cfg.shards),
 		corrupt:  map[string]bool{},
+	}
+	if cfg.auto != nil {
+		f.auto = autoscale.New(*cfg.auto)
 	}
 	for i := 0; i < cfg.shards; i++ {
 		var cache *loadmgr.ResultCache
@@ -544,6 +595,18 @@ func (f *Fleet) Rebalance() (int, error) {
 	if err := f.applyChaos(); err != nil {
 		return 0, err
 	}
+	// Then the autoscaler reads the closing barrier window and may queue
+	// a resize, and every queued add/drain — autoscaled or explicit —
+	// takes effect, so the rebalance below plans over the resized fleet
+	// (new shards are the coldest targets; drained shards are gone).
+	if f.auto != nil {
+		if err := f.autoStep(); err != nil {
+			return 0, err
+		}
+	}
+	if err := f.applyElastic(); err != nil {
+		return 0, err
+	}
 	moves := f.place.Rebalance()
 	if len(moves) == 0 {
 		return 0, nil
@@ -621,7 +684,13 @@ func (f *Fleet) Stats() Stats {
 		per[jobSid[i]] = j.stats
 	}
 	st := merge(per)
-	st.ShardsDown = downCount
+	f.mu.RLock()
+	st.ShardsAdded = f.added
+	st.ShardsDrained = f.drainedN
+	// downCount covers every dead shard; drained ones retired on purpose
+	// and are reported separately from chaos kills.
+	st.ShardsDown = downCount - f.drainedN
+	f.mu.RUnlock()
 	return st
 }
 
@@ -658,7 +727,9 @@ func (f *Fleet) Close() error {
 			}
 		}
 		f.final = merge(per)
-		f.final.ShardsDown = downCount
+		f.final.ShardsAdded = f.added
+		f.final.ShardsDrained = f.drainedN
+		f.final.ShardsDown = downCount - f.drainedN
 	})
 	return f.closeErr
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/autoscale"
 	"repro/internal/backend"
 	"repro/internal/chaos"
 	"repro/internal/core"
@@ -37,6 +38,7 @@ type config struct {
 	place       placement.Placement
 	cacheSize   int
 	chaosEng    *chaos.Engine
+	auto        *autoscale.Config
 }
 
 // Option configures Open.
@@ -91,6 +93,27 @@ func WithPlacement(p placement.Placement) Option {
 // drill, one engine. Omitted means no faults.
 func WithChaos(e *chaos.Engine) Option { return func(c *config) { c.chaosEng = e } }
 
+// WithAutoscaler installs the deterministic SLO autoscaler (see
+// internal/autoscale) with its default policy knobs: at every rebalance
+// barrier the fleet feeds the controller the window's merged p99
+// latency estimate and the controller steers the live shard count
+// between min and max — adding a shard on an SLO breach, draining the
+// priciest one after sustained comfort — to hold p99 at or under
+// sloMicros (simulated microseconds) at minimum fleet cost. Added
+// shards take the profile of shard 0 unless WithAutoscalerConfig says
+// otherwise. Resizes land at barriers only, so an autoscaled run
+// replays bit for bit.
+func WithAutoscaler(sloMicros float64, min, max int) Option {
+	return WithAutoscalerConfig(autoscale.Config{SLOMicros: sloMicros, Min: min, Max: max})
+}
+
+// WithAutoscalerConfig installs the SLO autoscaler with full control
+// over its policy knobs (scale-down fraction, hold hysteresis, the
+// profile of added shards). A zero-value Profile defaults to shard 0's.
+func WithAutoscalerConfig(cfg autoscale.Config) Option {
+	return func(c *config) { c.auto = &cfg }
+}
+
 // WithResultCache gives every shard a bounded LRU result cache of the
 // given capacity (entries) memoizing the module's spec-declared
 // idempotent functions. 0 disables caching.
@@ -134,6 +157,14 @@ func (c *config) resolve() error {
 	}
 	if c.place == nil {
 		c.place = placement.NewSticky()
+	}
+	if c.auto != nil {
+		if c.auto.SLOMicros <= 0 {
+			return fmt.Errorf("fleet: autoscaler SLO must be > 0, got %g", c.auto.SLOMicros)
+		}
+		if c.auto.Profile.Name == "" && c.auto.Profile.Scale == 0 {
+			c.auto.Profile = c.backends[0].Profile
+		}
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/backend"
@@ -80,7 +81,16 @@ const (
 	jobRewarm
 	jobStall
 	jobDrop
+	// jobWindow snapshots and resets the shard's latency-window
+	// histogram — the autoscaler's per-barrier observation feed. A
+	// control job like the others, it costs no simulated cycles.
+	jobWindow
 )
+
+// latBuckets sizes the power-of-2 latency histograms: bucket i counts
+// completions whose latency has bit length i (bucket 0 is latency 0),
+// so the worst case (full uint64) lands in bucket 64.
+const latBuckets = 65
 
 // job is one unit of work sent to a shard: a batch of calls (immediate
 // or on a timed arrival schedule), a stats snapshot request, or a
@@ -116,7 +126,9 @@ type job struct {
 	// payload failed verification, and the key re-allocates cold.
 	corrupt bool
 	stats   ShardStats
-	done    chan struct{}
+	// hist carries a jobWindow's histogram snapshot back to the fleet.
+	hist []uint64
+	done chan struct{}
 }
 
 // timedCursor walks one admitted jobTimed's arrival schedule.
@@ -168,6 +180,10 @@ type ShardStats struct {
 	StallCycles     uint64
 	SessionsDropped uint64
 	CorruptWarms    uint64
+	// WarmMaxCycles is the costliest single session warm-in on this
+	// shard (migration warm-in, replica warm, or orphan re-warm) — the
+	// per-shard number elastic drills gate against the re-warm budget.
+	WarmMaxCycles uint64
 }
 
 // shard is one independent simulated kernel plus its routing state.
@@ -232,6 +248,12 @@ type shard struct {
 	stallCycles  uint64
 	drops        uint64
 	corruptWarms uint64
+	warmMax      uint64
+
+	// winHist buckets completed-call latencies by bit length since the
+	// last jobWindow collection — host-side counters only, so recording
+	// never perturbs the simulated clocks.
+	winHist [latBuckets]uint64
 
 	// stopped closes when the shard goroutine has fully wound down
 	// (final stats ready) — the handshake a chaos kill waits on.
@@ -326,6 +348,9 @@ func (sh *shard) finish(pc *pendingCall, resp Response) {
 // arrivals (which have no pendingCall and count nothing against the
 // stretch).
 func (sh *shard) finishSlot(j *job, idx int, resp Response) {
+	if resp.Err == nil {
+		sh.winHist[bits.Len64(resp.LatencyCycles)]++
+	}
 	j.results[idx] = resp
 	j.pending--
 	if j.pending == 0 {
@@ -412,13 +437,17 @@ func (sh *shard) loop() {
 			sh.migratedOut++
 			close(j.done)
 		case jobWarmIn:
+			before := sh.k.Clk.Cycles()
 			if sh.warmChecked(j) {
 				sh.migratedIn++
+				sh.noteWarm(before)
 			}
 			close(j.done)
 		case jobReplicaIn:
+			before := sh.k.Clk.Cycles()
 			if sh.warmChecked(j) {
 				sh.replicasIn++
+				sh.noteWarm(before)
 			}
 			close(j.done)
 		case jobReplicaOut:
@@ -432,6 +461,7 @@ func (sh *shard) loop() {
 				if d := sh.k.Clk.Cycles() - before; d > sh.rewarmMax {
 					sh.rewarmMax = d
 				}
+				sh.noteWarm(before)
 			}
 			close(j.done)
 		case jobStall:
@@ -443,6 +473,10 @@ func (sh *shard) loop() {
 				sh.evict(j.key)
 				sh.drops++
 			}
+			close(j.done)
+		case jobWindow:
+			j.hist = append(j.hist[:0], sh.winHist[:]...)
+			sh.winHist = [latBuckets]uint64{}
 			close(j.done)
 		}
 	}
@@ -679,6 +713,14 @@ func (sh *shard) evict(key string) {
 	}
 }
 
+// noteWarm folds one completed warm-in's cycle cost (from `before` to
+// now, on the shard clock) into the warm-max counter.
+func (sh *shard) noteWarm(before uint64) {
+	if d := sh.k.Clk.Cycles() - before; d > sh.warmMax {
+		sh.warmMax = d
+	}
+}
+
 // warm pre-attaches key's session so a migrated-in key serves its
 // first call from a warm session instead of paying find + policy +
 // fork on the new shard. The client is spawned (possibly LRU-evicting
@@ -737,6 +779,7 @@ func (sh *shard) snapshot() ShardStats {
 		StallCycles:     sh.stallCycles,
 		SessionsDropped: sh.drops,
 		CorruptWarms:    sh.corruptWarms,
+		WarmMaxCycles:   sh.warmMax,
 	}
 	if sh.cache != nil {
 		st.CacheHits, st.CacheMisses, st.CacheEvictions = sh.cache.Stats()

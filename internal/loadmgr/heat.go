@@ -88,6 +88,16 @@ func (h *HeatTracker) Advance() {
 	h.rounds++
 }
 
+// AddShard grows the tracker by one shard with zero heat — the
+// elastic-resize hook. The new shard accumulates heat from its first
+// Record; existing aggregates are untouched.
+func (h *HeatTracker) AddShard() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.shardHeat = append(h.shardHeat, 0)
+	h.shardWin = append(h.shardWin, 0)
+}
+
 // Rounds returns how many rounds have been closed.
 func (h *HeatTracker) Rounds() uint64 {
 	h.mu.Lock()

@@ -89,8 +89,26 @@ type LoadCurveConfig struct {
 	// RewarmBudgetCycles declares the re-warm budget the drill is gated
 	// on: no orphan re-warm may exceed it (0 means
 	// chaos.DefaultRewarmBudgetCycles). Recorded in the BENCH document
-	// so cmd/benchdiff can enforce it.
+	// so cmd/benchdiff can enforce it. Elastic (SLO-autoscaled) curves
+	// reuse the same budget for their resize warm-ins.
 	RewarmBudgetCycles uint64
+
+	// SLOMicros, when > 0, runs every point on an elastic fleet: the
+	// fleet opens at AutoMin shards and the SLO autoscaler
+	// (internal/autoscale) steers the live count between AutoMin and
+	// AutoMax at the epoch barriers — growing on a p99 breach, draining
+	// the newest shard after sustained comfort. Shards then only names
+	// the fixed-fleet reference size the auto rate sweep derives its
+	// grid from. Homogeneous fleets only (Backends must be nil).
+	SLOMicros float64
+	// AutoMin and AutoMax bound the autoscaled fleet (SLOMicros > 0).
+	AutoMin, AutoMax int
+	// WarmupEpochs excludes the first n epochs of every point from the
+	// latency quantiles (the calls still run and still count toward
+	// achieved throughput and the makespan): for elastic points this is
+	// the adaptation window in which the autoscaler is still sizing the
+	// fleet for the point's offered rate.
+	WarmupEpochs int
 }
 
 // Mix returns the canonical backend mix label ("fast=2,slow=2"), or ""
@@ -140,6 +158,15 @@ type LoadPoint struct {
 	ShardsDown      int    `json:"shards_down,omitempty"`
 	Rewarms         uint64 `json:"rewarms,omitempty"`
 	RewarmMaxCycles uint64 `json:"rewarm_max_cycles,omitempty"`
+	// Elastic-fleet outcome (SLO-autoscaled sweeps only): mean live
+	// shards and mean fleet cost (sum of backend unit prices) sampled at
+	// every epoch barrier, the lifecycle counts, and the slowest single
+	// warm-in any resize paid — the number the warm budget gate checks.
+	AvgShards     float64 `json:"avg_shards,omitempty"`
+	CostUnits     float64 `json:"cost_units,omitempty"`
+	ShardsAdded   int     `json:"shards_added,omitempty"`
+	ShardsDrained int     `json:"shards_drained,omitempty"`
+	WarmMaxCycles uint64  `json:"warm_max_cycles,omitempty"`
 }
 
 // ReplicaHit is one shard's share of the hottest replicated key's
@@ -205,6 +232,18 @@ const SatAchievedFraction = 0.9
 // LoadPoint per rate. Every point runs on a fresh fleet with the same
 // seed, so points differ only in offered load.
 func RunFleetLoadCurve(cfg LoadCurveConfig) ([]LoadPoint, error) {
+	if cfg.SLOMicros > 0 {
+		if len(cfg.Backends) > 0 {
+			return nil, fmt.Errorf("measure: elastic (SLO-autoscaled) sweeps run on the homogeneous baseline fleet only")
+		}
+		if cfg.AutoMin < 1 || cfg.AutoMax < cfg.AutoMin {
+			return nil, fmt.Errorf("measure: elastic sweep needs 1 <= AutoMin <= AutoMax, got %d..%d",
+				cfg.AutoMin, cfg.AutoMax)
+		}
+		if cfg.Shards < 1 {
+			cfg.Shards = cfg.AutoMin
+		}
+	}
 	if cfg.Shards < 1 && len(cfg.Backends) > 0 {
 		cfg.Shards = len(cfg.Backends)
 	}
@@ -323,7 +362,15 @@ func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error
 		}
 		placeOpts = append(placeOpts, fleet.WithChaos(chaos.NewEngine(sched)))
 	}
-	f, err := fleet.Open(append(benchFleetOpts(cfg.Shards, 0, cfg.Backends), placeOpts...)...)
+	openShards := cfg.Shards
+	elastic := cfg.SLOMicros > 0
+	if elastic {
+		// Elastic points open at the floor and let the autoscaler earn
+		// every extra shard at the epoch barriers.
+		openShards = cfg.AutoMin
+		placeOpts = append(placeOpts, fleet.WithAutoscaler(cfg.SLOMicros, cfg.AutoMin, cfg.AutoMax))
+	}
+	f, err := fleet.Open(append(benchFleetOpts(openShards, 0, cfg.Backends), placeOpts...)...)
 	if err != nil {
 		return LoadPoint{}, err
 	}
@@ -356,7 +403,13 @@ func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error
 	if epochs > len(treqs) {
 		epochs = len(treqs)
 	}
+	warmup := cfg.WarmupEpochs
+	if warmup >= epochs {
+		warmup = epochs - 1
+	}
 	var rec LatencyRecorder
+	var shardsSum, costSum float64
+	samples := 0
 	per := (len(treqs) + epochs - 1) / epochs
 	for start := 0; start < len(treqs); start += per {
 		end := start + per
@@ -373,6 +426,7 @@ func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error
 		if err != nil {
 			return LoadPoint{}, err
 		}
+		measured := start/per >= warmup
 		for i, r := range resps {
 			if r.Err != nil {
 				return LoadPoint{}, fmt.Errorf("call %d: %w", start+i, r.Err)
@@ -380,7 +434,14 @@ func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error
 			if r.Errno != 0 {
 				return LoadPoint{}, fmt.Errorf("call %d: errno %d", start+i, r.Errno)
 			}
-			rec.Record(r.LatencyCycles)
+			if measured {
+				rec.Record(r.LatencyCycles)
+			}
+		}
+		if elastic {
+			shardsSum += float64(f.LiveShards())
+			costSum += f.LiveCostUnits()
+			samples++
 		}
 	}
 	after := f.Stats()
@@ -412,6 +473,13 @@ func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error
 		ShardsDown:      after.ShardsDown,
 		Rewarms:         after.Rewarms - before.Rewarms,
 		RewarmMaxCycles: after.RewarmMaxCycles,
+	}
+	if elastic && samples > 0 {
+		point.AvgShards = shardsSum / float64(samples)
+		point.CostUnits = costSum / float64(samples)
+		point.ShardsAdded = after.ShardsAdded - before.ShardsAdded
+		point.ShardsDrained = after.ShardsDrained - before.ShardsDrained
+		point.WarmMaxCycles = after.WarmMaxCycles
 	}
 	if rep != nil {
 		point.ReplicaKey, point.ReplicaHits = hottestReplica(rep)
@@ -508,11 +576,18 @@ type BenchLoadCurve struct {
 	// Chaos records the fault drill every point of the curve replayed
 	// (chaos.Parse syntax; "" = healthy run), and RewarmBudgetCycles the
 	// declared per-re-warm cycle budget cmd/benchdiff gates on.
-	Chaos              string      `json:"chaos,omitempty"`
-	RewarmBudgetCycles uint64      `json:"rewarm_budget_cycles,omitempty"`
-	Points             []LoadPoint `json:"points"`
-	KneeOfferedCPS     float64     `json:"knee_offered_cps"` // 0 = never saturated
-	KneeIndex          int         `json:"knee_index"`       // -1 = never saturated
+	Chaos              string `json:"chaos,omitempty"`
+	RewarmBudgetCycles uint64 `json:"rewarm_budget_cycles,omitempty"`
+	// SLOMicros/AutoMin/AutoMax record that the curve ran on an elastic
+	// SLO-autoscaled fleet (SLOMicros > 0), and WarmupEpochs how many
+	// leading epochs per point were excluded from the latency quantiles.
+	SLOMicros      float64     `json:"slo_us,omitempty"`
+	AutoMin        int         `json:"auto_min,omitempty"`
+	AutoMax        int         `json:"auto_max,omitempty"`
+	WarmupEpochs   int         `json:"warmup_epochs,omitempty"`
+	Points         []LoadPoint `json:"points"`
+	KneeOfferedCPS float64     `json:"knee_offered_cps"` // 0 = never saturated
+	KneeIndex      int         `json:"knee_index"`       // -1 = never saturated
 }
 
 // BenchFleet is the machine-readable BENCH_fleet.json document the CI
@@ -586,10 +661,14 @@ func buildCurve(name string, cfg LoadCurveConfig, points []LoadPoint) *BenchLoad
 		Epochs:        cfg.Epochs,
 		Replicas:      cfg.Replicas,
 		Chaos:         cfg.Chaos,
+		SLOMicros:     cfg.SLOMicros,
+		AutoMin:       cfg.AutoMin,
+		AutoMax:       cfg.AutoMax,
+		WarmupEpochs:  cfg.WarmupEpochs,
 		Points:        points,
 		KneeIndex:     KneeIndex(points),
 	}
-	if cfg.Chaos != "" {
+	if cfg.Chaos != "" || cfg.SLOMicros > 0 {
 		lc.RewarmBudgetCycles = cfg.RewarmBudgetCycles
 		if lc.RewarmBudgetCycles == 0 {
 			lc.RewarmBudgetCycles = chaos.DefaultRewarmBudgetCycles

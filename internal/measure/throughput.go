@@ -112,7 +112,13 @@ func warmFleet(f *fleet.Fleet, incr uint32, clients int) error {
 func makespanDelta(before, after fleet.Stats) uint64 {
 	var makespan uint64
 	for i := range after.PerShard {
-		if d := after.PerShard[i].Cycles - before.PerShard[i].Cycles; d > makespan {
+		var prev uint64
+		if i < len(before.PerShard) {
+			prev = before.PerShard[i].Cycles
+		}
+		// Shards added by an elastic resize have no "before" row: their
+		// whole clock (provisioning included) counts toward the makespan.
+		if d := after.PerShard[i].Cycles - prev; d > makespan {
 			makespan = d
 		}
 	}

@@ -298,6 +298,195 @@ func TestConformanceShardDownFailover(t *testing.T) {
 	}
 }
 
+// TestConformanceShardUpExpandsFleet: after OnShardUp, every strategy
+// must route onto the new shard (it is the coldest target), keep load
+// accounting sized to the grown fleet, and stay deterministic — two
+// instances fed the same grow-and-route sequence agree exactly.
+func TestConformanceShardUpExpandsFleet(t *testing.T) {
+	for _, s := range strategies() {
+		t.Run(s.name, func(t *testing.T) {
+			a, b := s.mk(), s.mk()
+			for _, p := range []Placement{a, b} {
+				if err := p.Bind(2, []float64{1, 1}); err != nil {
+					t.Fatal(err)
+				}
+				for round := 0; round < 3; round++ {
+					skewedSequence(p, 8, 16)
+					for _, mv := range p.Rebalance() {
+						p.Commit(mv)
+					}
+				}
+				p.OnShardUp(2, 1.0)
+			}
+			if got := len(a.Load()); got != 3 {
+				t.Fatalf("Load() tracks %d shards after OnShardUp, want 3", got)
+			}
+			// Existing bindings stay put through the grow.
+			for c := 0; c < 8; c++ {
+				key := fmt.Sprintf("h%d", c)
+				if _, ok := a.Lookup(key); !ok {
+					t.Fatalf("key %q lost its binding across OnShardUp", key)
+				}
+			}
+			// Fresh keys land on the cold new shard first (both instances,
+			// keeping their op sequences identical for the replay below).
+			if sid := a.Route(Call{Key: "fresh-0"}); sid != 2 {
+				t.Fatalf("first fresh key routed to %d, want the new shard 2", sid)
+			}
+			b.Route(Call{Key: "fresh-0"})
+			// Determinism across instances, through further rounds.
+			for round := 0; round < 4; round++ {
+				skewedSequence(a, 12, 20)
+				skewedSequence(b, 12, 20)
+				ma, mb := a.Rebalance(), b.Rebalance()
+				if !reflect.DeepEqual(ma, mb) {
+					t.Fatalf("round %d post-grow plans diverge:\n  a: %+v\n  b: %+v", round, ma, mb)
+				}
+				for i := range ma {
+					a.Commit(ma[i])
+					b.Commit(mb[i])
+				}
+			}
+			if !reflect.DeepEqual(a.Load(), b.Load()) {
+				t.Fatalf("post-grow load diverges: %v vs %v", a.Load(), b.Load())
+			}
+		})
+	}
+}
+
+// TestConformancePlanDrainEvacuates: PlanDrain must cover every binding
+// on the shard with valid committable moves; after committing them and
+// running the OnShardDown fence, the drained shard holds zero load,
+// every key survives elsewhere, accounting stays exact, and future
+// routes and plans avoid the shard — and the whole evacuation is
+// identical across two instances fed the same sequence (the shuffled
+// map-order pin: PlanDrain sweeps internal maps).
+func TestConformancePlanDrainEvacuates(t *testing.T) {
+	const shards, victim = 3, 0
+	for _, s := range strategies() {
+		t.Run(s.name, func(t *testing.T) {
+			a, b := s.mk(), s.mk()
+			for _, p := range []Placement{a, b} {
+				if err := p.Bind(shards, []float64{1, 1, 2.5}); err != nil {
+					t.Fatal(err)
+				}
+				for round := 0; round < 4; round++ {
+					skewedSequence(p, 10, 24)
+					for _, mv := range p.Rebalance() {
+						p.Commit(mv)
+					}
+				}
+			}
+			bound := map[string]bool{}
+			for c := 0; c < 10; c++ {
+				key := fmt.Sprintf("h%d", c)
+				if _, ok := a.Lookup(key); ok {
+					bound[key] = true
+				}
+			}
+			ma, mb := a.PlanDrain(victim), b.PlanDrain(victim)
+			if !reflect.DeepEqual(ma, mb) {
+				t.Fatalf("drain plans diverge across identical instances:\n  a: %+v\n  b: %+v", ma, mb)
+			}
+			for _, mv := range ma {
+				if mv.From != victim {
+					t.Fatalf("drain plan moves from %d, want %d: %+v", mv.From, victim, mv)
+				}
+				if mv.Kind != MoveDrain && (mv.To == victim || mv.To < 0 || mv.To >= shards) {
+					t.Fatalf("drain plan targets invalid shard: %+v", mv)
+				}
+				if !a.Commit(mv) {
+					t.Fatalf("commit of freshly planned drain move refused: %+v", mv)
+				}
+				b.Commit(mv)
+			}
+			ra, rb := a.OnShardDown(victim), b.OnShardDown(victim)
+			if !reflect.DeepEqual(ra, rb) {
+				t.Fatalf("drain fences diverge: %v vs %v", ra, rb)
+			}
+			if load := a.Load(); load[victim] != 0 {
+				t.Fatalf("drained shard still carries load: %v", load)
+			}
+			total := 0
+			for key := range bound {
+				reps := a.Replicas(key)
+				if len(reps) == 0 {
+					t.Fatalf("key %q lost its binding in the drain", key)
+				}
+				for _, sid := range reps {
+					if sid == victim {
+						t.Fatalf("key %q still bound to drained shard: %v", key, reps)
+					}
+				}
+				total += len(reps)
+			}
+			sum := 0
+			for _, n := range a.Load() {
+				if n < 0 {
+					t.Fatalf("negative load after drain: %v", a.Load())
+				}
+				sum += n
+			}
+			if sum != total {
+				t.Fatalf("load sum %d != bindings %d after drain (load %v)", sum, total, a.Load())
+			}
+			for round := 0; round < 3; round++ {
+				skewedSequence(a, 12, 24)
+				for _, mv := range a.Rebalance() {
+					if mv.From == victim || mv.To == victim {
+						t.Fatalf("post-drain plan references drained shard: %+v", mv)
+					}
+					a.Commit(mv)
+				}
+			}
+			for c := 0; c < 12; c++ {
+				if sid := a.Route(Call{Key: fmt.Sprintf("h%d", c), Idempotent: true}); sid == victim {
+					t.Fatal("post-drain route hit the drained shard")
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceGrowThenDrainRoundTrip: the elastic round trip at the
+// strategy boundary — grow by one shard, shift load onto it, then drain
+// it again. The fleet-level acceptance test pins the same sequence with
+// kernels; this pins it per strategy in microseconds.
+func TestConformanceGrowThenDrainRoundTrip(t *testing.T) {
+	for _, s := range strategies() {
+		t.Run(s.name, func(t *testing.T) {
+			p := s.mk()
+			if err := p.Bind(2, nil); err != nil {
+				t.Fatal(err)
+			}
+			skewedSequence(p, 8, 16)
+			p.OnShardUp(2, 1.0)
+			// Land traffic on the new shard: fresh keys go there first.
+			for c := 0; c < 4; c++ {
+				p.Route(Call{Key: fmt.Sprintf("g%d", c), Idempotent: true})
+			}
+			if p.Load()[2] == 0 {
+				t.Fatal("new shard took no load; drain leg is vacuous")
+			}
+			for _, mv := range p.PlanDrain(2) {
+				p.Commit(mv)
+			}
+			p.OnShardDown(2)
+			if load := p.Load(); load[2] != 0 {
+				t.Fatalf("round-tripped shard still carries load: %v", load)
+			}
+			for c := 0; c < 4; c++ {
+				key := fmt.Sprintf("g%d", c)
+				if sid, ok := p.Lookup(key); !ok {
+					t.Fatalf("key %q lost in the round trip", key)
+				} else if sid == 2 {
+					t.Fatalf("key %q still on the drained shard", key)
+				}
+			}
+		})
+	}
+}
+
 // TestConformanceLoadAccounting: across a busy mixed sequence of
 // routes, rebalances, releases, and evictions, per-shard load always
 // sums to the total binding count and never goes negative.

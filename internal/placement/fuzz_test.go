@@ -2,12 +2,12 @@ package placement
 
 // FuzzPlacementOps is the kernel-free placement conformance fuzzer the
 // ROADMAP calls for: a random interleaving of Route / Rebalance+Commit
-// / Release / Evicted / OnShardDown ops — decoded from fuzz bytes —
-// runs against all four strategies, checking the strategy invariants
-// after every op and replaying the whole sequence on a second instance
-// to pin determinism. No kernels are stood up, so the fuzzer explores
-// orders of magnitude more interleavings per second than the fleet
-// fuzz targets.
+// / Release / Evicted / OnShardDown / OnShardUp / PlanDrain ops —
+// decoded from fuzz bytes — runs against all four strategies, checking
+// the strategy invariants after every op and replaying the whole
+// sequence on a second instance to pin determinism. No kernels are
+// stood up, so the fuzzer explores orders of magnitude more
+// interleavings per second than the fleet fuzz targets.
 
 import (
 	"fmt"
@@ -17,20 +17,23 @@ import (
 )
 
 const (
-	fuzzShards = 3
-	fuzzKeys   = 8
+	fuzzShards    = 3
+	fuzzKeys      = 8
+	fuzzMaxShards = 6 // shard-up cap, bounding per-input fleet growth
 )
 
 // placeOp is one decoded operation.
 type placeOp struct {
-	kind byte // 0/1 route (idempotent/not), 2 rebalance, 3 release, 4 evict, 5 shard-down
+	kind byte // 0/1 route (idempotent/not), 2 rebalance, 3 release, 4 evict, 5 shard-down, 6 shard-up, 7 drain
 	key  string
 	arg  int
 }
 
-// decodePlaceOps maps each fuzz byte to one op: low 3 bits the key,
-// next 3 bits the op selector (routes weighted heaviest), top bits an
-// argument (the shard-down target).
+// decodePlaceOps maps each fuzz byte to one op: low 3 bits the key
+// (doubling as the lifecycle-target shard, taken modulo the live fleet
+// size at execution time), next 3 bits the op selector (routes weighted
+// heaviest), top bits sub-dispatching the lifecycle ops between
+// shard-down, shard-up, and drain.
 func decodePlaceOps(data []byte) []placeOp {
 	const maxOps = 256
 	if len(data) > maxOps {
@@ -38,7 +41,7 @@ func decodePlaceOps(data []byte) []placeOp {
 	}
 	ops := make([]placeOp, 0, len(data))
 	for _, b := range data {
-		op := placeOp{key: fmt.Sprintf("p%d", int(b&7)%fuzzKeys), arg: int(b>>6) % fuzzShards}
+		op := placeOp{key: fmt.Sprintf("p%d", int(b&7)%fuzzKeys), arg: int(b & 7)}
 		switch (b >> 3) & 7 {
 		case 0, 1, 2:
 			op.kind = 0 // idempotent route
@@ -49,7 +52,7 @@ func decodePlaceOps(data []byte) []placeOp {
 		case 6:
 			op.kind = byte(3 + int(b>>6)%2) // release / evict
 		default:
-			op.kind = 5 // shard down
+			op.kind = byte(5 + int(b>>6)%3) // shard down / up / drain
 		}
 		ops = append(ops, op)
 	}
@@ -136,10 +139,12 @@ func runPlaceOps(t *testing.T, p Placement, ops []placeOp) placeTrace {
 	}
 
 	for i, op := range ops {
+		n := len(down)
+		target := op.arg % n
 		switch op.kind {
 		case 0, 1:
 			sid := p.Route(Call{Key: op.key, Idempotent: op.kind == 0})
-			if sid < 0 || sid >= fuzzShards {
+			if sid < 0 || sid >= n {
 				t.Fatalf("step %d: Route(%s) = %d out of range", i, op.key, sid)
 			}
 			if down[sid] {
@@ -148,7 +153,7 @@ func runPlaceOps(t *testing.T, p Placement, ops []placeOp) placeTrace {
 			tr.routes = append(tr.routes, sid)
 		case 2:
 			for _, mv := range p.Rebalance() {
-				if mv.From < 0 || mv.From >= fuzzShards || mv.To < 0 || mv.To >= fuzzShards {
+				if mv.From < 0 || mv.From >= n || mv.To < 0 || mv.To >= n {
 					t.Fatalf("step %d: move references invalid shard: %+v", i, mv)
 				}
 				if down[mv.From] || down[mv.To] {
@@ -166,14 +171,42 @@ func runPlaceOps(t *testing.T, p Placement, ops []placeOp) placeTrace {
 				p.Evicted(op.key, sid)
 			}
 		case 5:
-			if live <= 1 || down[op.arg] {
+			if live <= 1 || down[target] {
 				break // mirror the fleet's last-survivor guard
 			}
-			down[op.arg] = true
+			down[target] = true
 			live--
-			for _, rh := range p.OnShardDown(op.arg) {
-				if rh.To < 0 || rh.To >= fuzzShards || down[rh.To] {
+			for _, rh := range p.OnShardDown(target) {
+				if rh.To < 0 || rh.To >= n || down[rh.To] {
 					t.Fatalf("step %d: orphan %q re-homed to invalid/dead shard %d", i, rh.Key, rh.To)
+				}
+			}
+		case 6:
+			if n >= fuzzMaxShards {
+				break // growth cap, mirroring the autoscaler's Max
+			}
+			p.OnShardUp(n, 1.5)
+			down = append(down, false)
+			live++
+		case 7:
+			// The fleet's drain sequence: plan, commit, fence, retire.
+			if live <= 1 || down[target] {
+				break
+			}
+			for _, mv := range p.PlanDrain(target) {
+				if mv.From != target {
+					t.Fatalf("step %d: drain plan moves from %d, want %d: %+v", i, mv.From, target, mv)
+				}
+				if mv.Kind != MoveDrain && (mv.To < 0 || mv.To >= n || down[mv.To] || mv.To == target) {
+					t.Fatalf("step %d: drain plan targets invalid shard: %+v", i, mv)
+				}
+				p.Commit(mv)
+			}
+			down[target] = true
+			live--
+			for _, rh := range p.OnShardDown(target) {
+				if rh.To < 0 || rh.To >= n || down[rh.To] {
+					t.Fatalf("step %d: drain straggler %q re-homed to invalid/dead shard %d", i, rh.Key, rh.To)
 				}
 			}
 		}
@@ -191,6 +224,9 @@ func FuzzPlacementOps(f *testing.F) {
 	f.Add([]byte{0, 0, 1, 1, 2, 2, 56, 0, 1, 2, 41, 3})
 	f.Add([]byte{0, 48, 1, 49, 2, 50, 3, 51, 0, 0})
 	f.Add([]byte{0, 0, 56, 120, 184, 0, 1, 2, 41, 0})
+	// Elastic churn: grow, route onto the new capacity, rebalance, drain
+	// it back, then keep routing (up=120..127, drain=184..191).
+	f.Add([]byte{0, 1, 120, 0, 1, 2, 41, 187, 0, 1, 121, 41, 188, 2, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ops := decodePlaceOps(data)
 		if len(ops) == 0 {

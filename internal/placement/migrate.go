@@ -67,12 +67,44 @@ func (b *balancer) route(c Call) int {
 // The caller owns the heat.Advance — exactly one per barrier, however
 // many planning passes a strategy layers on top.
 func (b *balancer) planMigrations(skip map[string]bool) []Move {
+	// The migrator must treat draining shards like dead ones: they carry
+	// heat until their drain moves land, but nothing new may target them.
+	mask := append([]bool(nil), b.down...)
+	for i, d := range b.pool.DrainingShards() {
+		if d && i < len(mask) {
+			mask[i] = true
+		}
+	}
 	var moves []Move
-	for _, mv := range b.mig.PlanLive(b.heat, b.costw, skip, b.down) {
+	for _, mv := range b.mig.PlanLive(b.heat, b.costw, skip, mask) {
 		moves = append(moves, Move{Kind: MoveMigrate, Key: mv.Key, From: mv.From, To: mv.To})
 	}
 	return moves
 }
+
+// OnShardUp implements Placement for every balancer-based strategy:
+// grow the pool, the heat tracker, and the migrator's masks by one
+// shard. The new shard starts cold and empty, so first-sight keys land
+// there immediately and the very next Rebalance offloads hot keys onto
+// it (it is the coldest target by construction).
+func (b *balancer) OnShardUp(shard int, costFactor float64) {
+	b.pool.AddShard(costFactor)
+	b.heat.AddShard()
+	b.down = append(b.down, false)
+	if b.useCost {
+		w := costFactor
+		if w <= 0 {
+			w = 1
+		}
+		b.costw = append(b.costw, w)
+	}
+}
+
+// PlanDrain implements Placement for every balancer-based strategy:
+// the pool plans the evacuation (sorted keys, spread targets); each
+// committed move carries the key's EWMA heat to its new home via the
+// commit hook below.
+func (b *balancer) PlanDrain(shard int) []Move { return b.pool.PlanDrain(shard) }
 
 // OnShardDown implements Placement for every balancer-based strategy:
 // reclaim the dead shard's bindings (failing replicated keys over to a
@@ -98,17 +130,16 @@ func (b *balancer) OnShardDown(shard int) []Rehome {
 	return out
 }
 
-// commit applies one move's routing change.
+// commit applies one move's routing change. Migrates and promotes
+// carry the key's heat to its new shard (idempotent for migrator plans,
+// which already rebound heat at plan time — Rebind to the same target
+// is a no-op), so drain evacuations keep the imbalance view honest.
 func (b *balancer) commit(mv Move) bool {
-	switch mv.Kind {
-	case MoveMigrate:
-		return b.pool.Rebind(mv.Key, mv.From, mv.To)
-	case MoveReplicate:
-		return b.pool.AddReplica(mv.Key, mv.From, mv.To)
-	case MoveDrain:
-		return b.pool.DropReplica(mv.Key, mv.From)
+	ok := commitPoolMove(b.pool, mv)
+	if ok && (mv.Kind == MoveMigrate || mv.Kind == MovePromote) {
+		b.heat.Rebind(mv.Key, mv.To)
 	}
-	return false
+	return ok
 }
 
 func (b *balancer) Release(key string)            { b.pool.Put(key) }

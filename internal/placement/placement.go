@@ -56,6 +56,11 @@ const (
 	// MoveDrain removes the replica on From (the key stays live on its
 	// remaining shards).
 	MoveDrain
+	// MovePromote retires a replicated key's primary on From, promoting
+	// the next replica to primary (To, for reporting) — the drain-plan
+	// move for keys whose primary sits on a retiring shard. Nothing
+	// warms; the promoted replica's session is already live.
+	MovePromote
 )
 
 func (k MoveKind) String() string {
@@ -66,6 +71,8 @@ func (k MoveKind) String() string {
 		return "replicate"
 	case MoveDrain:
 		return "drain"
+	case MovePromote:
+		return "promote"
 	}
 	return fmt.Sprintf("movekind(%d)", int(k))
 }
@@ -127,6 +134,28 @@ type Placement interface {
 	// a surviving replica to primary when the primary was evicted.
 	Evicted(key string, shard int)
 
+	// OnShardUp reports that a new shard joined the fleet. Its id is
+	// always the current shard count (ids grow monotonically and are
+	// never reused, even after a shard dies or drains); costFactor is
+	// its machine-class weight (1.0 = baseline). The shard starts empty
+	// and immediately competes for new keys — being the least loaded it
+	// wins first-sight allocations, and heat-driven strategies offload
+	// hot keys onto it at the same barrier's Rebalance. Called from the
+	// fleet's barrier path.
+	OnShardUp(shard int, costFactor float64)
+
+	// PlanDrain marks shard as draining — no new keys, rebinds, or
+	// replicas land there from this point on — and plans the moves that
+	// evacuate every binding it holds, in deterministic (sorted-key)
+	// order: singly-bound keys get a MoveMigrate to the least-loaded
+	// live shard, replicated primaries a MovePromote onto their next
+	// replica, and plain replicas a MoveDrain. The fleet commits and
+	// executes the plan like a Rebalance, then calls OnShardDown(shard)
+	// as the final fence so any binding that raced the plan is
+	// reclaimed too — after which the shard holds zero bindings and can
+	// retire. Draining a down or already-draining shard returns nil.
+	PlanDrain(shard int) []Move
+
 	// OnShardDown reports that a shard died. The strategy reclaims
 	// every binding the shard held (the ipam dead-owner reclaim): keys
 	// with surviving replicas fail over to one — the promoted replica
@@ -149,6 +178,24 @@ type Placement interface {
 
 	// Assigned returns the number of keys with at least one binding.
 	Assigned() int
+}
+
+// commitPoolMove applies one move's routing change to a pool — the
+// shared Commit core: each kind maps onto the pool primitive that
+// validates the plan against the current binding, so stale moves are
+// refused instead of corrupting the load accounting.
+func commitPoolMove(p *Pool, mv Move) bool {
+	switch mv.Kind {
+	case MoveMigrate:
+		return p.Rebind(mv.Key, mv.From, mv.To)
+	case MoveReplicate:
+		return p.AddReplica(mv.Key, mv.From, mv.To)
+	case MoveDrain:
+		return p.DropReplica(mv.Key, mv.From)
+	case MovePromote:
+		return p.Promote(mv.Key, mv.From)
+	}
+	return false
 }
 
 // bindFactors validates a Bind call's arguments for the strategies.

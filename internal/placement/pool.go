@@ -36,15 +36,166 @@ type Pool struct {
 	weight []float64
 	// down marks dead shards: never allocated, never a move target.
 	down []bool
+	// draining marks shards being retired on purpose: existing bindings
+	// keep routing there until their drain moves commit, but the shard
+	// takes no new keys, rebinds, or replicas.
+	draining []bool
 }
 
 // NewPool returns an empty pool over the given number of shards.
 func NewPool(shards int) *Pool {
 	return &Pool{
-		assign: map[string][]int{},
-		load:   make([]int, shards),
-		down:   make([]bool, shards),
+		assign:   map[string][]int{},
+		load:     make([]int, shards),
+		down:     make([]bool, shards),
+		draining: make([]bool, shards),
 	}
+}
+
+// AddShard grows the pool by one shard with the given cost factor
+// (weight <= 0 means baseline) and returns its id. The new shard
+// starts empty and immediately competes for allocations — on a warm
+// pool it is the least loaded by construction, so fresh keys land
+// there first.
+func (p *Pool) AddShard(weight float64) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sid := len(p.load)
+	p.load = append(p.load, 0)
+	p.down = append(p.down, false)
+	p.draining = append(p.draining, false)
+	if p.weight != nil || (weight > 0 && weight != 1.0) {
+		for len(p.weight) < sid {
+			p.weight = append(p.weight, 1.0)
+		}
+		w := weight
+		if w <= 0 {
+			w = 1.0
+		}
+		p.weight = append(p.weight, w)
+	}
+	return sid
+}
+
+// SetDraining marks shard sid as draining: it keeps its current
+// bindings (they still route to it) but is excluded from every new
+// allocation, rebind target, and replica target until the drain
+// completes and the shard is reclaimed. It reports whether the shard
+// was live (not down, not already draining).
+func (p *Pool) SetDraining(sid int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if sid < 0 || sid >= len(p.load) || p.down[sid] || p.draining[sid] {
+		return false
+	}
+	p.draining[sid] = true
+	return true
+}
+
+// Draining reports whether shard sid is currently draining.
+func (p *Pool) Draining(sid int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return sid >= 0 && sid < len(p.draining) && p.draining[sid]
+}
+
+// KeysOn returns every key holding a binding on shard sid, sorted —
+// the deterministic sweep list a drain plan is built from.
+func (p *Pool) KeysOn(sid int) []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var keys []string
+	for key, set := range p.assign {
+		for _, s := range set {
+			if s == sid {
+				keys = append(keys, key)
+				break
+			}
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PlanDrain marks shard sid draining and plans the evacuation of every
+// binding it holds, visiting keys in sorted order so the plan is
+// deterministic. Singly-bound keys are planned a MoveMigrate onto the
+// least-loaded live shard (counting the loads the plan itself adds, so
+// a big drain spreads instead of dogpiling one target), replicated
+// primaries a MovePromote onto their next replica, and plain replicas
+// a MoveDrain. Planning against a down or already-draining shard
+// returns nil.
+func (p *Pool) PlanDrain(sid int) []Move {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if sid < 0 || sid >= len(p.load) || p.down[sid] || p.draining[sid] {
+		return nil
+	}
+	p.draining[sid] = true
+	var keys []string
+	for key, set := range p.assign {
+		for _, s := range set {
+			if s == sid {
+				keys = append(keys, key)
+				break
+			}
+		}
+	}
+	sort.Strings(keys)
+	extra := make([]int, len(p.load))
+	var moves []Move
+	for _, key := range keys {
+		set := p.assign[key]
+		switch {
+		case len(set) == 1:
+			to, ok := p.leastLoadedPlanned(extra)
+			if !ok {
+				continue // nowhere to go; the OnShardDown fence will retry
+			}
+			extra[to]++
+			moves = append(moves, Move{Kind: MoveMigrate, Key: key, From: sid, To: to})
+		case set[0] == sid:
+			moves = append(moves, Move{Kind: MovePromote, Key: key, From: sid, To: set[1]})
+		default:
+			moves = append(moves, Move{Kind: MoveDrain, Key: key, From: sid})
+		}
+	}
+	return moves
+}
+
+// leastLoadedPlanned is LeastLoadedExcluding plus the extra bindings an
+// in-progress plan has already assigned per shard. Caller holds p.mu.
+func (p *Pool) leastLoadedPlanned(extra []int) (int, bool) {
+	sid, best, found := 0, 0.0, false
+	for i := range p.load {
+		if p.down[i] || p.draining[i] {
+			continue
+		}
+		w := 1.0
+		if i < len(p.weight) && p.weight[i] > 0 {
+			w = p.weight[i]
+		}
+		c := float64(p.load[i]+extra[i]+1) * w
+		if !found || c < best {
+			sid, best, found = i, c, true
+		}
+	}
+	return sid, found
+}
+
+// Promote drops key's primary binding on `from`, promoting the next
+// replica to primary — the drain primitive for replicated keys, where
+// Rebind (singly-bound only) and DropReplica (never the primary) both
+// refuse. It fails unless the key's primary is still `from` and at
+// least one other binding survives to take over.
+func (p *Pool) Promote(key string, from int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	set, ok := p.assign[key]
+	if !ok || len(set) < 2 || set[0] != from {
+		return false
+	}
+	return p.dropLocked(key, from)
 }
 
 // NewWeightedPool returns an empty pool whose allocation weighs each
@@ -70,7 +221,7 @@ func (p *Pool) getLocked(key string) int {
 	}
 	sid, best := -1, 0.0
 	for i := 0; i < len(p.load); i++ {
-		if p.down[i] {
+		if p.down[i] || p.draining[i] {
 			continue
 		}
 		if c := p.slotCost(i); sid < 0 || c < best {
@@ -79,7 +230,8 @@ func (p *Pool) getLocked(key string) int {
 	}
 	if sid < 0 {
 		// Every shard down — the fleet never lets this happen (the last
-		// live shard cannot be killed); fall back to 0 rather than panic.
+		// live shard cannot be killed or drained); fall back to 0 rather
+		// than panic.
 		sid = 0
 	}
 	p.assign[key] = []int{sid}
@@ -181,7 +333,7 @@ func (p *Pool) Rebind(key string, from, to int) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	set, ok := p.assign[key]
-	if !ok || len(set) != 1 || set[0] != from || to < 0 || to >= len(p.load) || p.down[to] {
+	if !ok || len(set) != 1 || set[0] != from || to < 0 || to >= len(p.load) || p.down[to] || p.draining[to] {
 		return false
 	}
 	p.assign[key] = []int{to}
@@ -200,7 +352,7 @@ func (p *Pool) AddReplica(key string, from, to int) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	set, ok := p.assign[key]
-	if !ok || set[0] != from || to < 0 || to >= len(p.load) || p.down[to] {
+	if !ok || set[0] != from || to < 0 || to >= len(p.load) || p.down[to] || p.draining[to] {
 		return false
 	}
 	for _, cur := range set {
@@ -234,7 +386,7 @@ func (p *Pool) LeastLoadedExcluding(excl map[int]bool) (int, bool) {
 	defer p.mu.Unlock()
 	sid, best, found := 0, 0.0, false
 	for i := 0; i < len(p.load); i++ {
-		if excl[i] || p.down[i] {
+		if excl[i] || p.down[i] || p.draining[i] {
 			continue
 		}
 		if c := p.slotCost(i); !found || c < best {
@@ -315,13 +467,21 @@ func (p *Pool) DownShards() []bool {
 	return append([]bool(nil), p.down...)
 }
 
-// LiveShards returns how many shards are still allocatable.
+// DrainingShards returns a copy of the per-shard draining mask.
+func (p *Pool) DrainingShards() []bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]bool(nil), p.draining...)
+}
+
+// LiveShards returns how many shards are still allocatable — neither
+// down nor draining.
 func (p *Pool) LiveShards() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	n := 0
-	for _, d := range p.down {
-		if !d {
+	for i, d := range p.down {
+		if !d && !p.draining[i] {
 			n++
 		}
 	}

@@ -68,8 +68,12 @@ type ReplicatedConfig struct {
 type Replicated struct {
 	balancer
 	maxReplicas int
-	budget      int
-	targetFrac  float64
+	// wantMax is the configured cap before the fleet-size clamp (<= 0 =
+	// track the fleet), so an elastic fleet growing past the original
+	// shard count raises maxReplicas with it.
+	wantMax    int
+	budget     int
+	targetFrac float64
 
 	mu sync.Mutex
 	// rr holds per-key round-robin cursors over the replica set.
@@ -87,6 +91,7 @@ func NewReplicated(cfg ReplicatedConfig) *Replicated {
 	r := &Replicated{
 		balancer:    newBalancer(cfg.Options, !cfg.HeatOnly),
 		maxReplicas: cfg.MaxReplicas,
+		wantMax:     cfg.MaxReplicas,
 		budget:      cfg.Budget,
 		targetFrac:  cfg.TargetFraction,
 		rr:          map[string]uint64{},
@@ -112,6 +117,20 @@ func (r *Replicated) Bind(shards int, costFactors []float64) error {
 		r.maxReplicas = shards
 	}
 	return nil
+}
+
+// OnShardUp implements Placement: grow the shared balancer state, then
+// re-derive the replica cap — a fleet-tracking cap (MaxReplicas <= 0,
+// or one the fleet size clamped at Bind) rises with the new shard, so
+// hot keys can fan out onto added capacity.
+func (r *Replicated) OnShardUp(shard int, costFactor float64) {
+	r.balancer.OnShardUp(shard, costFactor)
+	shards := len(r.pool.Load())
+	if r.wantMax <= 0 || r.wantMax > shards {
+		r.maxReplicas = shards
+	} else {
+		r.maxReplicas = r.wantMax
+	}
 }
 
 // Route implements Placement: idempotent calls of a replicated key
@@ -218,14 +237,16 @@ func (r *Replicated) planReplicas() ([]Move, map[string]bool) {
 		return cands[i].key < cands[j].key
 	})
 
-	// Mean shard heat over *live* shards: a dead shard neither carries
-	// heat nor counts as capacity, so replica sizing after a kill spreads
-	// keys across what actually survives.
+	// Mean shard heat over *live* shards: a dead or draining shard
+	// neither carries heat forward nor counts as capacity, so replica
+	// sizing after a kill or mid-drain spreads keys across what actually
+	// remains.
 	shardHeat := r.heat.ShardHeat()
+	draining := r.pool.DrainingShards()
 	var total float64
 	live := 0
 	for i, v := range shardHeat {
-		if i < len(r.down) && r.down[i] {
+		if (i < len(r.down) && r.down[i]) || (i < len(draining) && draining[i]) {
 			continue
 		}
 		total += v

@@ -30,9 +30,21 @@ func (s *Sticky) Route(c Call) int { return s.pool.Get(c.Key) }
 // Rebalance implements Placement: Sticky never moves a session.
 func (s *Sticky) Rebalance() []Move { return nil }
 
-// Commit implements Placement; Sticky plans no moves, so there is
-// nothing valid to commit.
-func (s *Sticky) Commit(Move) bool { return false }
+// Commit implements Placement. Sticky's Rebalance plans no moves, but
+// PlanDrain does — those commit through the pool like any other
+// strategy's; a move whose binding changed since the plan is refused.
+func (s *Sticky) Commit(mv Move) bool { return commitPoolMove(s.pool, mv) }
+
+// OnShardUp implements Placement: grow the pool by one shard. Being
+// empty, the new shard wins first-sight allocations until it catches
+// up with the fleet's cost-weighted load.
+func (s *Sticky) OnShardUp(shard int, costFactor float64) {
+	s.pool.AddShard(costFactor)
+}
+
+// PlanDrain implements Placement: mark the shard draining and plan a
+// MoveMigrate for every key it holds, spread over the live shards.
+func (s *Sticky) PlanDrain(shard int) []Move { return s.pool.PlanDrain(shard) }
 
 // Release implements Placement.
 func (s *Sticky) Release(key string) { s.pool.Put(key) }
