@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all ci lint build vet test race fuzz-short bench bench-json bench-check loadcurve fleet fig8 mix chaos elastic
+.PHONY: all ci lint build vet test race fuzz-short bench bench-json bench-check loadcurve fleet fig8 mix chaos elastic observe trace
 
 all: ci
 
@@ -52,6 +52,7 @@ fuzz-short:
 	$(GO) test -run=NONE -fuzz=FuzzFleetRoute -fuzztime=10s ./internal/fleet
 	$(GO) test -run=NONE -fuzz=FuzzChaosRoute -fuzztime=10s ./internal/fleet
 	$(GO) test -run=NONE -fuzz=FuzzPlacementOps -fuzztime=10s ./internal/placement
+	$(GO) test -run=NONE -fuzz=FuzzTraceEvents -fuzztime=10s ./internal/trace
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -114,6 +115,30 @@ elastic:
 	$(GO) run ./cmd/smodfleet -loadcurve -lcshards 4 -clients 24 -lccalls 200 \
 		-epochs 10 -warmup 5 -rebalance -util 0.3,0.6,0.9,1.2 \
 		-autoscale -slo 60 -asmin 2 -asmax 6 -json BENCH_elastic.json
+
+# The observability gates (see README "Deterministic observability"):
+# the flight recorder and metrics registry unit tests plus the fleet's
+# zero-perturbation drills under the race detector, then the CI-gated
+# microbenchmark — the per-call emission path with no recorder attached
+# must report exactly 0 allocs/op (the "free when off" invariant).
+observe:
+	$(GO) test -race ./internal/trace ./internal/metrics
+	$(GO) test -race -run 'Observability|TraceExport|ZeroAllocs' ./internal/fleet
+	@out="$$($(GO) test -run=NONE -bench=BenchmarkEmitDisabled -benchmem ./internal/fleet)"; \
+		echo "$$out"; \
+		echo "$$out" | grep -Eq 'BenchmarkEmitDisabled.*[^0-9]0 allocs/op' || \
+		{ echo "FAIL: disabled emission path allocates"; exit 1; }
+
+# A flight-recorded kill-drill load curve: writes the latency table to
+# stdout, the Chrome trace-event document to TRACE_fleet.json (drop it
+# on https://ui.perfetto.dev or chrome://tracing), and the raw event
+# log to TRACE_fleet.jsonl. Tracing moves zero simulated cycles, so the
+# curve matches an untraced run bit for bit.
+trace:
+	$(GO) run ./cmd/smodfleet -loadcurve -lcshards 2 -clients 8 -lccalls 120 \
+		-skew 1.5 -epochs 6 -replicas 2 -chaos kill:0@4 \
+		-json /tmp/BENCH_trace_drill.json \
+		-trace TRACE_fleet.json -events TRACE_fleet.jsonl
 
 # The paper's Figure 8 table (scaled down; see cmd/smodbench -h).
 fig8:

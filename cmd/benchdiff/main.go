@@ -24,6 +24,11 @@
 // the candidate dropped fails; a curve the candidate added is noted
 // and accepted as its first baseline.
 //
+// Every run — passing or failing — ends with a per-curve verdict
+// table: one pass/FAIL/new row per curve (knee movement and worst
+// pre-knee p95 shift) plus one row per cross-curve invariant, so a
+// green CI log still records what each gate measured.
+//
 // On top of the per-curve gates, cross-curve invariants are enforced
 // inside the candidate document. When it carries the dominant-key
 // replication pair ("skew-replicated" and its migration-only twin
@@ -100,6 +105,36 @@ func main() {
 	fmt.Println("\nbenchdiff: no regression against baseline")
 }
 
+// verdictRow is one line of the final per-curve verdict table, printed
+// on success and failure alike so a green run still shows what each
+// gate measured.
+type verdictRow struct {
+	name   string
+	status string // "pass", "FAIL", "new", or "n/a"
+	detail string
+}
+
+// verdictTable renders the verdict rows.
+func verdictTable(rows []verdictRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n== verdicts ==\n%-22s %-5s %s\n", "gate", "", "detail")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %-5s %s\n", r.name, r.status, r.detail)
+	}
+	return b.String()
+}
+
+// invariantRow summarizes one cross-curve invariant for the table.
+func invariantRow(name string, applicable bool, fails []string) verdictRow {
+	switch {
+	case !applicable:
+		return verdictRow{name, "n/a", "no gated curves in candidate"}
+	case len(fails) > 0:
+		return verdictRow{name, "FAIL", fmt.Sprintf("%d failure(s); see failure list", len(fails))}
+	}
+	return verdictRow{name, "pass", "invariant holds"}
+}
+
 // readBench loads and validates one document.
 func readBench(path string) (*measure.BenchFleet, error) {
 	raw, err := os.ReadFile(path)
@@ -116,18 +151,30 @@ func readBench(path string) (*measure.BenchFleet, error) {
 	return &doc, nil
 }
 
-// compare gates every baseline curve against its same-named candidate
-// and returns the list of regressions (empty = pass).
+// compare gates every baseline curve against its same-named candidate,
+// prints the per-curve verdict table, and returns the list of
+// regressions (empty = pass).
 func compare(oldDoc, newDoc *measure.BenchFleet, p95Tol, availFloor float64) []string {
+	fails, rows := compareVerdicts(oldDoc, newDoc, p95Tol, availFloor)
+	if len(rows) > 0 {
+		fmt.Print(verdictTable(rows))
+	}
+	return fails
+}
+
+// compareVerdicts runs every gate and returns the failures alongside
+// one verdict row per curve and cross-curve invariant.
+func compareVerdicts(oldDoc, newDoc *measure.BenchFleet, p95Tol, availFloor float64) ([]string, []verdictRow) {
 	var fails []string
+	var rows []verdictRow
 	oldCurves, newCurves := oldDoc.AllCurves(), newDoc.AllCurves()
 	switch {
 	case len(oldCurves) == 0 && len(newCurves) == 0:
 		fails = append(fails, "neither document has a load curve; nothing to gate")
-		return fails
+		return fails, nil
 	case len(oldCurves) == 0:
 		fmt.Println("baseline has no load curve; candidate accepted as the first")
-		return nil
+		return nil, nil
 	}
 	newByName := map[string]*measure.BenchLoadCurve{}
 	for _, c := range newCurves {
@@ -138,21 +185,42 @@ func compare(oldDoc, newDoc *measure.BenchFleet, p95Tol, availFloor float64) []s
 		nc, ok := newByName[oc.Name]
 		if !ok {
 			fails = append(fails, fmt.Sprintf("candidate lost curve %q", oc.Name))
+			rows = append(rows, verdictRow{oc.Name, "FAIL", "curve missing from candidate"})
 			continue
 		}
 		matched[oc.Name] = true
 		fmt.Printf("\n== curve %q ==\n", oc.Name)
-		fails = append(fails, compareCurve(oc, nc, p95Tol)...)
+		curveFails, detail := compareCurve(oc, nc, p95Tol)
+		fails = append(fails, curveFails...)
+		if len(curveFails) > 0 {
+			rows = append(rows, verdictRow{oc.Name, "FAIL",
+				fmt.Sprintf("%d failure(s); see failure list", len(curveFails))})
+		} else {
+			rows = append(rows, verdictRow{oc.Name, "pass", detail})
+		}
 	}
 	for _, nc := range newCurves {
 		if !matched[nc.Name] {
 			fmt.Printf("note: new curve %q has no baseline; accepted as the first\n", nc.Name)
+			rows = append(rows, verdictRow{nc.Name, "new", "no baseline; accepted as the first"})
 		}
 	}
-	fails = append(fails, replicationInvariant(newCurves)...)
-	fails = append(fails, availabilityInvariant(newCurves, availFloor)...)
-	fails = append(fails, elasticInvariant(newCurves)...)
-	return fails
+	repFails := replicationInvariant(newCurves)
+	availFails := availabilityInvariant(newCurves, availFloor)
+	elasticFails := elasticInvariant(newCurves)
+	fails = append(fails, repFails...)
+	fails = append(fails, availFails...)
+	fails = append(fails, elasticFails...)
+	hasChaos, hasElastic := false, false
+	for _, c := range newCurves {
+		hasChaos = hasChaos || c.Chaos != ""
+		hasElastic = hasElastic || c.SLOMicros > 0
+	}
+	rows = append(rows,
+		invariantRow("replication invariant", newByName["skew-replicated"] != nil, repFails),
+		invariantRow("availability invariant", hasChaos, availFails),
+		invariantRow("elastic invariant", hasElastic, elasticFails))
+	return fails, rows
 }
 
 // elasticInvariant gates the candidate's SLO-autoscaled curves. Every
@@ -351,17 +419,19 @@ func kneeOffered(c *measure.BenchLoadCurve) (float64, bool) {
 	return c.Points[k].OfferedPerSec, true
 }
 
-// compareCurve gates one matched pair of curves.
-func compareCurve(oc, nc *measure.BenchLoadCurve, p95Tol float64) []string {
+// compareCurve gates one matched pair of curves. The detail string
+// summarizes what was measured (knee movement, worst p95 shift) for
+// the verdict table; it is only meaningful when no failures returned.
+func compareCurve(oc, nc *measure.BenchLoadCurve, p95Tol float64) ([]string, string) {
 	var fails []string
 	if msg := configMismatch(oc, nc); msg != "" {
 		fails = append(fails, msg)
-		return fails
+		return fails, "workload shape changed"
 	}
 	if len(nc.Points) != len(oc.Points) {
 		fails = append(fails, fmt.Sprintf("%s: point count changed: %d -> %d (sweep incomparable)",
 			oc.Name, len(oc.Points), len(nc.Points)))
-		return fails
+		return fails, "point count changed"
 	}
 
 	oldKnee := measure.KneeIndex(oc.Points)
@@ -391,6 +461,7 @@ func compareCurve(oc, nc *measure.BenchLoadCurve, p95Tol float64) []string {
 		preKnee = oldKnee
 	}
 	fmt.Printf("%-5s %14s %14s %9s\n", "point", "base p95(us)", "cand p95(us)", "shift")
+	var maxShift float64
 	for i := 0; i < preKnee; i++ {
 		op, np := oc.Points[i], nc.Points[i]
 		shift := 0.0
@@ -399,6 +470,9 @@ func compareCurve(oc, nc *measure.BenchLoadCurve, p95Tol float64) []string {
 		} else if np.P95Micros > 0 {
 			shift = math.Inf(1)
 		}
+		if math.Abs(shift) > math.Abs(maxShift) {
+			maxShift = shift
+		}
 		fmt.Printf("%-5d %14.1f %14.1f %8.1f%%\n", i, op.P95Micros, np.P95Micros, 100*shift)
 		if math.Abs(shift) > p95Tol {
 			fails = append(fails, fmt.Sprintf(
@@ -406,7 +480,9 @@ func compareCurve(oc, nc *measure.BenchLoadCurve, p95Tol float64) []string {
 				oc.Name, i, op.OfferedPerSec, op.P95Micros, np.P95Micros, 100*shift, 100*p95Tol))
 		}
 	}
-	return fails
+	detail := fmt.Sprintf("knee %s -> %s; worst p95 shift %+.1f%% over %d pre-knee point(s)",
+		kneeStr(oldKnee), kneeStr(newKnee), 100*maxShift, preKnee)
+	return fails, detail
 }
 
 // sameRates reports whether two point lists sweep one offered-rate

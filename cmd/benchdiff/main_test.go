@@ -418,3 +418,72 @@ func TestCompareChaosShape(t *testing.T) {
 		t.Fatal("re-warm budget change passed")
 	}
 }
+
+// TestCompareVerdictRows: the verdict table carries one row per curve
+// and per invariant, on passing runs too.
+func TestCompareVerdictRows(t *testing.T) {
+	base := multiDoc(map[string][]measure.LoadPoint{
+		"uniform":        {pt(100, 10, false), pt(300, 90, true)},
+		"skew-rebalance": {pt(100, 20, false), pt(300, 120, true)},
+	})
+	cand := multiDoc(map[string][]measure.LoadPoint{
+		"uniform":        {pt(100, 10, false), pt(300, 90, true)},
+		"skew-rebalance": {pt(100, 20, false), pt(300, 120, true)},
+	})
+	fails, rows := compareVerdicts(base, cand, 0.15, 0.5)
+	if len(fails) != 0 {
+		t.Fatalf("clean pair failed: %v", fails)
+	}
+	// 2 curves + 3 invariant rows.
+	if len(rows) != 5 {
+		t.Fatalf("got %d verdict rows, want 5: %+v", len(rows), rows)
+	}
+	status := map[string]string{}
+	for _, r := range rows {
+		status[r.name] = r.status
+	}
+	for _, name := range []string{"uniform", "skew-rebalance"} {
+		if status[name] != "pass" {
+			t.Fatalf("curve %s status = %q, want pass", name, status[name])
+		}
+	}
+	// No replicated/chaos/elastic curves in the candidate: invariants n/a.
+	for _, name := range []string{"replication invariant", "availability invariant", "elastic invariant"} {
+		if status[name] != "n/a" {
+			t.Fatalf("%s status = %q, want n/a", name, status[name])
+		}
+	}
+	// A pass row summarizes the knee and the worst pre-knee p95 shift.
+	for _, r := range rows {
+		if r.status == "pass" && !strings.Contains(r.detail, "knee") {
+			t.Fatalf("pass row %q lacks knee detail: %q", r.name, r.detail)
+		}
+	}
+}
+
+// TestCompareVerdictRowsFailAndLost: failing and missing curves are
+// marked in the table.
+func TestCompareVerdictRowsFailAndLost(t *testing.T) {
+	base := multiDoc(map[string][]measure.LoadPoint{
+		"uniform":        {pt(100, 10, false), pt(300, 90, true)},
+		"skew-rebalance": {pt(100, 20, false), pt(300, 120, true)},
+	})
+	cand := multiDoc(map[string][]measure.LoadPoint{
+		// p95 doubles pre-knee: uniform fails; skew-rebalance is lost.
+		"uniform": {pt(100, 20, false), pt(300, 90, true)},
+	})
+	fails, rows := compareVerdicts(base, cand, 0.15, 0.5)
+	if len(fails) == 0 {
+		t.Fatal("regressed pair passed")
+	}
+	status := map[string]string{}
+	for _, r := range rows {
+		status[r.name] = r.status
+	}
+	if status["uniform"] != "FAIL" {
+		t.Fatalf("uniform status = %q, want FAIL", status["uniform"])
+	}
+	if status["skew-rebalance"] != "FAIL" {
+		t.Fatalf("lost curve status = %q, want FAIL", status["skew-rebalance"])
+	}
+}

@@ -77,6 +77,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -86,6 +89,8 @@ import (
 	"repro/internal/clock"
 	"repro/internal/loadmgr"
 	"repro/internal/measure"
+	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -119,6 +124,10 @@ func main() {
 		rewarmBudget = flag.Uint64("rewarmbudget", chaos.DefaultRewarmBudgetCycles, "load curve: declared per-re-warm cycle budget recorded with -chaos curves (benchdiff gates on it)")
 		suite        = flag.Bool("suite", false, "run the CI gate suite (uniform + skewed + mixed cost-aware/heat-only + dominant-key replicated pair + kill-drill + elastic fixed/autoscaled pair) into one BENCH document")
 
+		tracePath   = flag.String("trace", "", "write the run's flight recorder as Chrome trace-event JSON (Perfetto-loadable) to this path (-loadcurve/-suite modes)")
+		eventsPath  = flag.String("events", "", "write the run's flight recorder as a JSONL event log to this path (-loadcurve/-suite modes)")
+		metricsAddr = flag.String("metrics", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof on this address for the duration of the run")
+
 		autoscale = flag.Bool("autoscale", false, "load curve: run every point on an SLO-autoscaled elastic fleet (see -slo/-asmin/-asmax)")
 		slo       = flag.Float64("slo", 60, "load curve: autoscaler p99 target in simulated microseconds (-autoscale)")
 		asMin     = flag.Int("asmin", 2, "load curve: elastic fleet floor (-autoscale)")
@@ -132,6 +141,12 @@ func main() {
 		fatal(err)
 	}
 
+	obs, err := openObservability(*tracePath, *eventsPath, *metricsAddr, *loadCurve || *suite)
+	if err != nil {
+		fatal(err)
+	}
+	defer obs.export()
+
 	if *suite {
 		runSuite(suiteParams{
 			uniformShards: *lcShards,
@@ -141,6 +156,7 @@ func main() {
 			kind:          kind,
 			utilList:      *utilList,
 			jsonPath:      *jsonPath,
+			obs:           obs,
 		})
 		return
 	}
@@ -185,6 +201,7 @@ func main() {
 			lcCfg.Backends = as
 			lcCfg.Shards = len(as)
 		}
+		obs.apply(&lcCfg)
 		runLoadCurve(lcCfg, *rateList, *utilList, *jsonPath)
 		return
 	}
@@ -214,6 +231,80 @@ func main() {
 		if err := writeJSON(*jsonPath, doc); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// observability carries the optional flight recorder, metrics registry,
+// and export paths of one CLI run — groundwork for smodfleetd, where
+// the same recorder and endpoints outlive a single sweep.
+type observability struct {
+	rec        *trace.Recorder
+	reg        *metrics.Registry
+	tracePath  string
+	eventsPath string
+}
+
+// openObservability builds whatever the -trace/-events/-metrics flags
+// ask for and starts the metrics endpoint. The trace flags require a
+// curve mode: only curve fleets take the recorder today.
+func openObservability(tracePath, eventsPath, metricsAddr string, curveMode bool) (*observability, error) {
+	o := &observability{tracePath: tracePath, eventsPath: eventsPath}
+	if tracePath != "" || eventsPath != "" {
+		if !curveMode {
+			return nil, fmt.Errorf("-trace/-events need -loadcurve or -suite")
+		}
+		o.rec = trace.New(trace.Config{})
+	}
+	if metricsAddr != "" {
+		o.reg = metrics.NewRegistry()
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("metrics: serving /metrics, /debug/vars, /debug/pprof on http://%s\n", ln.Addr())
+		go func() { _ = http.Serve(ln, metrics.NewMux(o.reg)) }()
+	}
+	return o, nil
+}
+
+// apply threads the recorder and registry into one curve config.
+func (o *observability) apply(cfg *measure.LoadCurveConfig) {
+	cfg.Trace = o.rec
+	cfg.Metrics = o.reg
+}
+
+// export writes the flight recorder to the -trace/-events paths: the
+// Chrome trace loads in Perfetto (ui.perfetto.dev), the JSONL log is
+// one event per line for ad-hoc tooling.
+func (o *observability) export() {
+	if o.rec == nil {
+		return
+	}
+	events := o.rec.Snapshot()
+	emitted, dropped := o.rec.Counts()
+	write := func(path string, enc func(io.Writer, []trace.Event) error) {
+		f, err := os.Create(path)
+		if err == nil {
+			if werr := enc(f, events); werr != nil {
+				err = werr
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smodfleet: trace export:", err)
+			return
+		}
+		fmt.Printf("wrote %s (%d events held; %d emitted, %d overwritten)\n",
+			path, len(events), emitted, dropped)
+	}
+	if o.tracePath != "" {
+		write(o.tracePath, trace.WriteChromeTrace)
+		fmt.Println("open the trace at https://ui.perfetto.dev")
+	}
+	if o.eventsPath != "" {
+		write(o.eventsPath, trace.WriteJSONL)
 	}
 }
 
@@ -449,6 +540,7 @@ type suiteParams struct {
 	kind          measure.ArrivalKind
 	utilList      string
 	jsonPath      string
+	obs           *observability
 }
 
 // suiteMix is the heterogeneous composition the gate suite sweeps: the
@@ -610,6 +702,9 @@ func runSuite(p suiteParams) {
 	rates := map[string][]float64{}
 	for i := range curves {
 		cfg := &curves[i].Config
+		if p.obs != nil {
+			p.obs.apply(cfg)
+		}
 		if src, ok := shared[curves[i].Name]; ok && rates[src] != nil {
 			cfg.Rates = rates[src]
 		} else {

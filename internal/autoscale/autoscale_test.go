@@ -110,3 +110,70 @@ func TestDrainVictimPriciestThenNewest(t *testing.T) {
 		t.Fatalf("victim = %d, want 2 (newest of the equal-cost class)", got)
 	}
 }
+
+// TestP99ExactlyAtSLOHolds: the breach test is strictly greater-than,
+// so a window sitting exactly on the SLO neither adds a shard nor
+// counts toward the comfort streak (100 us is above the 50 us comfort
+// threshold) — the boundary belongs to the hold band.
+func TestP99ExactlyAtSLOHolds(t *testing.T) {
+	c := New(Config{SLOMicros: 100, Min: 1, Max: 4, HoldWindows: 1})
+	for i := 0; i < 5; i++ {
+		act := c.Decide(window(100, shards(2)...))
+		if act.Add != nil || act.Drain != -1 {
+			t.Fatalf("window %d at p99 == SLO resized: %+v", i, act)
+		}
+	}
+	if adds, drains := c.Resizes(); adds != 0 || drains != 0 {
+		t.Fatalf("resizes = %d/%d, want 0/0", adds, drains)
+	}
+}
+
+// TestComfortExactlyAtThresholdCounts: the comfort test is inclusive
+// (p99 <= SLO*DownFraction), so a window sitting exactly on the
+// threshold feeds the streak and drains on schedule.
+func TestComfortExactlyAtThresholdCounts(t *testing.T) {
+	c := New(Config{SLOMicros: 100, Min: 1, Max: 4, DownFraction: 0.5, HoldWindows: 2})
+	if act := c.Decide(window(50, shards(2)...)); act.Drain != -1 {
+		t.Fatalf("drained before the hold hysteresis elapsed: %+v", act)
+	}
+	if act := c.Decide(window(50, shards(2)...)); act.Drain != 1 {
+		t.Fatalf("second threshold window did not drain shard 1: %+v", act)
+	}
+}
+
+// TestPinnedFleetNeverResizes: with Min == Max the controller has no
+// room in either direction — breaches and sustained comfort both hold,
+// whatever the windows say.
+func TestPinnedFleetNeverResizes(t *testing.T) {
+	c := New(Config{SLOMicros: 100, Min: 2, Max: 2, HoldWindows: 1})
+	for i, p99 := range []float64{500, 500, 1, 1, 1, 1} {
+		act := c.Decide(window(p99, shards(2)...))
+		if act.Add != nil || act.Drain != -1 {
+			t.Fatalf("pinned fleet resized at window %d (p99 %.0f): %+v", i, p99, act)
+		}
+	}
+	if adds, drains := c.Resizes(); adds != 0 || drains != 0 {
+		t.Fatalf("resizes = %d/%d, want 0/0", adds, drains)
+	}
+}
+
+// TestBreachBlipResetsComfortStreak: one breach window in the middle
+// of a comfortable run restarts the scale-down hysteresis from zero —
+// the drain needs HoldWindows consecutive comfortable windows after
+// the blip, not merely in total.
+func TestBreachBlipResetsComfortStreak(t *testing.T) {
+	c := New(Config{SLOMicros: 100, Min: 1, Max: 2, HoldWindows: 2})
+	if act := c.Decide(window(10, shards(2)...)); act.Drain != -1 {
+		t.Fatalf("drained on the first comfortable window: %+v", act)
+	}
+	// The blip: a breach at Max adds nothing but must reset the streak.
+	if act := c.Decide(window(500, shards(2)...)); act.Add != nil || act.Drain != -1 {
+		t.Fatalf("breach at Max resized: %+v", act)
+	}
+	if act := c.Decide(window(10, shards(2)...)); act.Drain != -1 {
+		t.Fatalf("drained one window after the blip (streak not reset): %+v", act)
+	}
+	if act := c.Decide(window(10, shards(2)...)); act.Drain != 1 {
+		t.Fatalf("streak rebuilt, second comfortable window should drain: %+v", act)
+	}
+}

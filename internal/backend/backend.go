@@ -132,6 +132,17 @@ func (p Profile) String() string {
 	return fmt.Sprintf("%s(x%.2f+%d,%s)", p.Name, p.scale(), p.CallOverhead, p.Flavor)
 }
 
+// Label renders the compact "name@unitprice" annotation flight-recorder
+// events and autoscaler decisions carry — the catalog name plus the
+// per-window price the scaling policy weighs, e.g. "fast@0.40".
+func (p Profile) Label() string {
+	name := p.Name
+	if name == "" {
+		name = "default"
+	}
+	return fmt.Sprintf("%s@%.2f", name, p.UnitPrice())
+}
+
 // Assignment binds one fleet shard to a profile.
 type Assignment struct {
 	Shard   int     `json:"shard"`

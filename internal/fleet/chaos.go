@@ -1,6 +1,9 @@
 package fleet
 
-import "repro/internal/chaos"
+import (
+	"repro/internal/chaos"
+	"repro/internal/trace"
+)
 
 // This file is the fleet half of the chaos engine (see internal/chaos):
 // fault execution at rebalance barriers. Faults run in schedule order
@@ -18,6 +21,17 @@ func (f *Fleet) applyChaos() error {
 		return nil
 	}
 	for _, ft := range f.chaosEng.Step() {
+		if f.tr != nil {
+			f.tr.EmitControl(trace.Event{
+				Kind: trace.KFault,
+				Key:  ft.Key,
+				Val:  int64(ft.Shard),
+				Note: ft.String(),
+			})
+		}
+		if f.met != nil {
+			f.met.faults.Inc()
+		}
 		switch ft.Kind {
 		case chaos.KillShard:
 			if err := f.killShard(ft.Shard); err != nil {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/loadmgr"
 	"repro/internal/placement"
+	"repro/internal/trace"
 )
 
 // This file is the fleet half of elastic resize: shards that arrive
@@ -159,6 +160,10 @@ func (f *Fleet) growShard(p backend.Profile) error {
 	f.cfg.backends = append(f.cfg.backends, backend.Assignment{Shard: id, Profile: p})
 	f.added++
 	f.mu.Unlock()
+	if f.tr != nil {
+		sh.ring = f.tr.ShardRing(id)
+		f.tr.EmitControl(trace.Event{Kind: trace.KShardUp, Val: int64(id), Note: p.Label()})
+	}
 	f.place.OnShardUp(id, p.CostFactor())
 	f.wg.Add(1)
 	go func() {
@@ -181,6 +186,9 @@ func (f *Fleet) retireShard(sid int) error {
 	f.mu.RUnlock()
 	if dead {
 		return nil // chaos killed it first (or the fleet closed): nothing to drain
+	}
+	if f.tr != nil {
+		f.tr.EmitControl(trace.Event{Kind: trace.KShardDrain, Val: int64(sid)})
 	}
 	moves := f.place.PlanDrain(sid)
 	var jobs []*job
@@ -274,6 +282,35 @@ func (f *Fleet) autoStep() error {
 	}
 	f.mu.RUnlock()
 	act := f.auto.Decide(autoscale.Window{P99Micros: p99us, Calls: calls, Live: live})
+	if f.met != nil {
+		f.met.autoP99.Set(p99us)
+		f.met.autoWindowCalls.Set(float64(calls))
+		if act.Add != nil {
+			f.met.autoAdds.Inc()
+		}
+		if act.Drain >= 0 {
+			f.met.autoDrains.Inc()
+		}
+	}
+	if f.tr != nil {
+		// One decision event per window: the observation (p99 vs SLO over
+		// how many calls), the action, and — when resizing — the priced
+		// shard it acts on.
+		e := trace.Event{Kind: trace.KAutoscale, Val: -1}
+		switch {
+		case act.Add != nil:
+			e.Note = fmt.Sprintf("p99=%.1fus slo=%.0fus calls=%d add=%s",
+				p99us, f.cfg.auto.SLOMicros, calls, act.Add.Label())
+		case act.Drain >= 0:
+			e.Val = int64(act.Drain)
+			e.Note = fmt.Sprintf("p99=%.1fus slo=%.0fus calls=%d drain=%d",
+				p99us, f.cfg.auto.SLOMicros, calls, act.Drain)
+		default:
+			e.Note = fmt.Sprintf("p99=%.1fus slo=%.0fus calls=%d hold",
+				p99us, f.cfg.auto.SLOMicros, calls)
+		}
+		f.tr.EmitControl(e)
+	}
 	if act.Add != nil {
 		if _, err := f.AddShard(*act.Add); err != nil {
 			return err

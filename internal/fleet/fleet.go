@@ -56,13 +56,16 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/autoscale"
 	"repro/internal/backend"
 	"repro/internal/chaos"
 	"repro/internal/loadmgr"
 	"repro/internal/placement"
+	"repro/internal/trace"
 )
 
 // Request is one protected call addressed by client key.
@@ -100,14 +103,16 @@ type TimedRequest struct {
 
 // Stats aggregates the fleet. Per-shard entries are each in their own
 // simulated clock domain; MakespanCycles is the maximum shard clock,
-// the fleet-wide simulated elapsed time.
+// the fleet-wide simulated elapsed time. The struct marshals directly
+// (snake_case JSON), and Delta turns two snapshots into the per-epoch
+// view a measured phase reports.
 type Stats struct {
-	Shards         int
-	PerShard       []ShardStats
-	TotalCalls     uint64
-	SessionsOpened uint64
-	Evictions      uint64
-	MakespanCycles uint64
+	Shards         int          `json:"shards"`
+	PerShard       []ShardStats `json:"per_shard,omitempty"`
+	TotalCalls     uint64       `json:"total_calls"`
+	SessionsOpened uint64       `json:"sessions_opened"`
+	Evictions      uint64       `json:"evictions"`
+	MakespanCycles uint64       `json:"makespan_cycles"`
 	// Placement and cache aggregates: the result-cache counters summed
 	// over shards (nonzero whenever WithResultCache is set, under any
 	// strategy), Migrations — completed cross-shard session moves (the
@@ -115,31 +120,94 @@ type Stats struct {
 	// — replica sessions warmed in / drained by the replicating
 	// strategy. The move counters are zero under the default sticky
 	// strategy.
-	CacheHits       uint64
-	CacheMisses     uint64
-	CacheEvictions  uint64
-	Migrations      uint64
-	ReplicasAdded   uint64
-	ReplicasDropped uint64
+	CacheHits       uint64 `json:"cache_hits"`
+	CacheMisses     uint64 `json:"cache_misses"`
+	CacheEvictions  uint64 `json:"cache_evictions"`
+	Migrations      uint64 `json:"migrations"`
+	ReplicasAdded   uint64 `json:"replicas_added"`
+	ReplicasDropped uint64 `json:"replicas_dropped"`
 	// Chaos drill aggregates (zero without WithChaos): shards killed so
 	// far, orphaned keys re-warmed after shard deaths (with the single
 	// costliest recovery in cycles — the number a drill's re-warm budget
 	// gates), stall cycles injected, sessions dropped by drop faults,
 	// and warm-ins discarded as corrupt.
-	ShardsDown      int
-	Rewarms         uint64
-	RewarmMaxCycles uint64
-	StallCycles     uint64
-	SessionsDropped uint64
-	CorruptWarms    uint64
+	ShardsDown      int    `json:"shards_down"`
+	Rewarms         uint64 `json:"rewarms"`
+	RewarmMaxCycles uint64 `json:"rewarm_max_cycles"`
+	StallCycles     uint64 `json:"stall_cycles"`
+	SessionsDropped uint64 `json:"sessions_dropped"`
+	CorruptWarms    uint64 `json:"corrupt_warms"`
 	// Elastic resize aggregates (zero on a fixed fleet): shards added /
 	// drained so far (drained shards are retired on purpose and counted
 	// apart from chaos kills in ShardsDown), and the costliest single
 	// session warm-in (migration, replica, or re-warm) in cycles — the
 	// number an elastic drill's re-warm budget gates.
-	ShardsAdded   int
-	ShardsDrained int
-	WarmMaxCycles uint64
+	ShardsAdded   int    `json:"shards_added"`
+	ShardsDrained int    `json:"shards_drained"`
+	WarmMaxCycles uint64 `json:"warm_max_cycles"`
+}
+
+// Delta returns the change from a prior snapshot prev to s — the
+// per-epoch view a measured phase reports, so callers stop subtracting
+// fields by hand. Cumulative counters are subtracted (fleet-wide and
+// per-shard); point-in-time fields (Shards, ShardsDown, LiveSessions)
+// and the high-water marks (RewarmMaxCycles, WarmMaxCycles) keep the
+// receiver's current values, a maximum being un-subtractable.
+// MakespanCycles becomes the fleet-wide simulated elapsed time of the
+// interval: the maximum per-shard cycle delta, where a shard with no
+// row in prev (added by an elastic resize mid-interval) counts its
+// whole clock, provisioning included.
+func (s Stats) Delta(prev Stats) Stats {
+	d := s
+	d.TotalCalls -= prev.TotalCalls
+	d.SessionsOpened -= prev.SessionsOpened
+	d.Evictions -= prev.Evictions
+	d.CacheHits -= prev.CacheHits
+	d.CacheMisses -= prev.CacheMisses
+	d.CacheEvictions -= prev.CacheEvictions
+	d.Migrations -= prev.Migrations
+	d.ReplicasAdded -= prev.ReplicasAdded
+	d.ReplicasDropped -= prev.ReplicasDropped
+	d.Rewarms -= prev.Rewarms
+	d.StallCycles -= prev.StallCycles
+	d.SessionsDropped -= prev.SessionsDropped
+	d.CorruptWarms -= prev.CorruptWarms
+	d.ShardsAdded -= prev.ShardsAdded
+	d.ShardsDrained -= prev.ShardsDrained
+
+	d.PerShard = make([]ShardStats, len(s.PerShard))
+	d.MakespanCycles = 0
+	for i, a := range s.PerShard {
+		var b ShardStats
+		if i < len(prev.PerShard) {
+			b = prev.PerShard[i]
+		}
+		a.Cycles -= b.Cycles
+		a.Ticks -= b.Ticks
+		a.Calls -= b.Calls
+		a.SessionsOpened -= b.SessionsOpened
+		a.PolicyChecks -= b.PolicyChecks
+		a.ContextSwitches -= b.ContextSwitches
+		a.Syscalls -= b.Syscalls
+		a.Evictions -= b.Evictions
+		a.CacheHits -= b.CacheHits
+		a.CacheMisses -= b.CacheMisses
+		a.CacheEvictions -= b.CacheEvictions
+		a.MigratedOut -= b.MigratedOut
+		a.MigratedIn -= b.MigratedIn
+		a.ReplicasIn -= b.ReplicasIn
+		a.ReplicasOut -= b.ReplicasOut
+		a.IdleCycles -= b.IdleCycles
+		a.Rewarms -= b.Rewarms
+		a.StallCycles -= b.StallCycles
+		a.SessionsDropped -= b.SessionsDropped
+		a.CorruptWarms -= b.CorruptWarms
+		d.PerShard[i] = a
+		if a.Cycles > d.MakespanCycles {
+			d.MakespanCycles = a.Cycles
+		}
+	}
+	return d
 }
 
 // merge folds per-shard snapshots into fleet aggregates.
@@ -191,6 +259,16 @@ type Fleet struct {
 	// auto, when non-nil, is the SLO autoscaler stepped at every
 	// Rebalance barrier (see WithAutoscaler).
 	auto *autoscale.Controller
+
+	// tr, when non-nil, is the flight recorder (WithTrace); met, when
+	// non-nil, holds the pre-resolved metric series (WithMetrics). Both
+	// observe only — every emission site is nil-guarded, so a fleet
+	// without them pays one branch per site and zero allocations.
+	tr  *trace.Recorder
+	met *fleetMetrics
+	// barriers counts executed Rebalance barriers — the epoch number
+	// stamped on trace events and published to the metrics registry.
+	barriers atomic.Uint64
 
 	// mu guards closed, down, and corrupt and, as a reader lock, every
 	// inbox send: Close (and a chaos kill) takes the write side before
@@ -264,6 +342,7 @@ func Open(opts ...Option) (*Fleet, error) {
 		cfg:      cfg,
 		place:    cfg.place,
 		chaosEng: cfg.chaosEng,
+		tr:       cfg.tr,
 		down:     make([]bool, cfg.shards),
 		draining: make([]bool, cfg.shards),
 		drained:  make([]bool, cfg.shards),
@@ -271,6 +350,9 @@ func Open(opts ...Option) (*Fleet, error) {
 	}
 	if cfg.auto != nil {
 		f.auto = autoscale.New(*cfg.auto)
+	}
+	if cfg.met != nil {
+		f.met = newFleetMetrics(cfg.met)
 	}
 	for i := 0; i < cfg.shards; i++ {
 		var cache *loadmgr.ResultCache
@@ -282,12 +364,29 @@ func Open(opts ...Option) (*Fleet, error) {
 			return nil, err
 		}
 		sh.onEvict = func(key string) { f.place.Evicted(key, sh.id) }
+		if f.tr != nil {
+			sh.ring = f.tr.ShardRing(i)
+		}
 		f.shards = append(f.shards, sh)
 	}
 	// Bind the strategy only once every shard provisioned cleanly, so a
 	// failed Open does not burn the caller's single-use instance.
 	if err := cfg.place.Bind(cfg.shards, backend.CostFactors(cfg.backends)); err != nil {
 		return nil, err
+	}
+	// With tracing on, record replica promotions (primary failovers on
+	// kills and drains) through the strategy's optional observer hook.
+	if f.tr != nil {
+		if po, ok := f.place.(placement.PromoteObserver); ok {
+			po.ObservePromotions(func(key string, from, to int) {
+				f.tr.EmitControl(trace.Event{
+					Kind: trace.KPromote,
+					Key:  key,
+					Val:  int64(to),
+					Note: "from shard " + strconv.Itoa(from),
+				})
+			})
+		}
 	}
 	// One derivation of the module's idempotent funcIDs, shared by the
 	// routing layer and every shard's result cache (the map is
@@ -348,6 +447,9 @@ func (f *Fleet) route(req *Request, j *job) (int, error) {
 		return -1, ErrClosed
 	}
 	sid := f.place.Route(placement.Call{Key: req.Key, Idempotent: f.idemp[req.FuncID]})
+	if f.tr != nil {
+		f.tr.EmitRoute(trace.Event{Key: req.Key, FuncID: req.FuncID, Val: int64(sid)})
+	}
 	f.shards[sid].inbox <- j
 	return sid, nil
 }
@@ -452,6 +554,9 @@ func (f *Fleet) submitGrouped(n int, reqOf func(int) *Request,
 	for i := 0; i < n; i++ {
 		req := reqOf(i)
 		sid := f.place.Route(placement.Call{Key: req.Key, Idempotent: f.idemp[req.FuncID]})
+		if f.tr != nil {
+			f.tr.EmitRoute(trace.Event{Key: req.Key, FuncID: req.FuncID, Val: int64(sid)})
+		}
 		perShard[sid] = append(perShard[sid], i)
 	}
 	var jobs []*job
@@ -589,6 +694,27 @@ func (f *Fleet) Release(key string) error {
 // assignment yet enqueue behind the eviction, which would silently
 // respawn a cold session the strategy no longer accounts for.
 func (f *Fleet) Rebalance() (int, error) {
+	applied, err := f.rebalance()
+	// The barrier closes with one metrics publication — the coherent
+	// snapshot the registry's snapshot-at-barrier semantics promise. The
+	// underlying jobStats control jobs cost zero simulated cycles, so a
+	// metered run replays bit for bit.
+	if err == nil && f.met != nil {
+		f.publishMetrics(f.Stats())
+	}
+	return applied, err
+}
+
+// rebalance is the barrier body: chaos, autoscale, elastic resize,
+// then the placement moves.
+func (f *Fleet) rebalance() (int, error) {
+	// Every barrier advances the epoch stamped on trace events; the
+	// counter advances even untraced so metrics report it.
+	barrier := f.barriers.Add(1)
+	if f.tr != nil {
+		f.tr.SetBarrier(barrier)
+		f.tr.EmitControl(trace.Event{Kind: trace.KBarrier, Val: int64(barrier)})
+	}
 	// Chaos faults fire first: every barrier steps the fault schedule,
 	// so the rebalance below already plans over the post-fault fleet
 	// (dead shards reclaimed, dropped sessions evicted).
@@ -730,6 +856,9 @@ func (f *Fleet) Close() error {
 		f.final.ShardsAdded = f.added
 		f.final.ShardsDrained = f.drainedN
 		f.final.ShardsDown = downCount - f.drainedN
+		// One last publication so scrapes after Close see the final
+		// counters rather than the last barrier's.
+		f.publishMetrics(f.final)
 	})
 	return f.closeErr
 }

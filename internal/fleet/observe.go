@@ -1,0 +1,148 @@
+package fleet
+
+import (
+	"strconv"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// This file is the fleet's observability seam: the metric families the
+// fleet publishes (WithMetrics) and the barrier-path publication that
+// feeds them. The companion trace emissions live inline at the sites
+// they observe (route, shard.go, chaos.go, elastic.go), each behind a
+// nil-ring check so the disabled path stays allocation-free.
+//
+// Publication follows snapshot-at-barrier semantics: every rebalance
+// barrier ends with one publishMetrics call, which reads the fleet's
+// coherent Stats snapshot (the zero-simulated-cycle jobStats path) and
+// stores each value into its pre-resolved series. Nothing here touches
+// a simulated clock, so a metered run replays bit for bit.
+
+// fleetMetrics pre-resolves every series handle once at Open so the
+// per-barrier publication is map-lookup-free.
+type fleetMetrics struct {
+	reg *metrics.Registry
+
+	calls, sessions, evictions             *metrics.Series
+	cacheHits, cacheMisses, cacheEvictions *metrics.Series
+	migrations, replicasAdded, replicasDropped,
+	rewarms, rewarmMax, stallCycles, dropped,
+	corruptWarms, warmMax *metrics.Series
+
+	shardsLive, shardsDown, shardsAdded, shardsDrained *metrics.Series
+	liveSessions, costUnits, makespan, barriers        *metrics.Series
+
+	autoAdds, autoDrains, autoP99, autoWindowCalls *metrics.Series
+	faults                                         *metrics.Series
+	traceEvents, traceDropped                      *metrics.Series
+
+	// Per-shard families, labeled {shard="N"}.
+	bindings, shardCycles, shardCalls *metrics.Family
+}
+
+func newFleetMetrics(reg *metrics.Registry) *fleetMetrics {
+	return &fleetMetrics{
+		reg: reg,
+
+		calls:          reg.Counter("smod_calls_total", "Completed smod_call dispatches across the fleet."),
+		sessions:       reg.Counter("smod_sessions_opened_total", "Warm client sessions opened."),
+		evictions:      reg.Counter("smod_evictions_total", "Sessions reclaimed by the LRU cap."),
+		cacheHits:      reg.Counter("smod_cache_hits_total", "Idempotent calls answered from the result cache."),
+		cacheMisses:    reg.Counter("smod_cache_misses_total", "Result-cache lookups that missed."),
+		cacheEvictions: reg.Counter("smod_cache_evictions_total", "Result-cache entries evicted."),
+
+		migrations:      reg.Counter("smod_migrations_total", "Completed cross-shard session migrations."),
+		replicasAdded:   reg.Counter("smod_replicas_added_total", "Hot-key replica sessions warmed in."),
+		replicasDropped: reg.Counter("smod_replicas_dropped_total", "Hot-key replica sessions drained."),
+		rewarms:         reg.Counter("smod_rewarms_total", "Orphaned keys re-warmed after shard deaths."),
+		rewarmMax:       reg.Gauge("smod_rewarm_max_cycles", "Costliest single orphan re-warm, in cycles (the chaos budget gate)."),
+		stallCycles:     reg.Counter("smod_stall_cycles_total", "Clock cycles injected by chaos stall faults."),
+		dropped:         reg.Counter("smod_sessions_dropped_total", "Live sessions torn down by chaos drop faults."),
+		corruptWarms:    reg.Counter("smod_corrupt_warms_total", "Warm-ins discarded as corrupt."),
+		warmMax:         reg.Gauge("smod_warm_max_cycles", "Costliest single session warm-in, in cycles (the elastic budget gate)."),
+
+		shardsLive:    reg.Gauge("smod_shards_live", "Shards currently serving."),
+		shardsDown:    reg.Gauge("smod_shards_down", "Shards killed by chaos faults."),
+		shardsAdded:   reg.Counter("smod_shards_added_total", "Shards added by elastic resize."),
+		shardsDrained: reg.Counter("smod_shards_drained_total", "Shards drained and retired on purpose."),
+		liveSessions:  reg.Gauge("smod_sessions_live", "Warm client sessions currently held."),
+		costUnits:     reg.Gauge("smod_cost_units", "Sum of UnitPrice over live shards — the fleet's running cost."),
+		makespan:      reg.Gauge("smod_makespan_cycles", "Maximum per-shard simulated clock — the fleet's elapsed time."),
+		barriers:      reg.Counter("smod_barriers_total", "Rebalance barriers executed."),
+
+		autoAdds:        reg.Counter("smod_autoscale_adds_total", "Shards the autoscaler added on SLO breaches."),
+		autoDrains:      reg.Counter("smod_autoscale_drains_total", "Shards the autoscaler drained after sustained comfort."),
+		autoP99:         reg.Gauge("smod_autoscale_window_p99_us", "The last barrier window's merged p99 estimate, simulated µs."),
+		autoWindowCalls: reg.Gauge("smod_autoscale_window_calls", "Calls covered by the last barrier window."),
+		faults:          reg.Counter("smod_chaos_faults_total", "Chaos faults fired."),
+		traceEvents:     reg.Counter("smod_trace_events_total", "Flight-recorder events emitted."),
+		traceDropped:    reg.Counter("smod_trace_events_dropped_total", "Flight-recorder events overwritten by ring wraparound."),
+
+		bindings:    reg.Family("smod_pool_bindings", "Placement bindings per shard (replicas each count once).", metrics.Gauge),
+		shardCycles: reg.Family("smod_shard_cycles", "Per-shard simulated clock, in cycles.", metrics.Gauge),
+		shardCalls:  reg.Family("smod_shard_calls_total", "Per-shard completed smod_call dispatches.", metrics.Counter),
+	}
+}
+
+// shardLabel renders the {shard="N"} label of the per-shard families.
+func shardLabel(id int) metrics.Label {
+	return metrics.Label{Name: "shard", Value: strconv.Itoa(id)}
+}
+
+// publish stores one barrier snapshot. Cumulative Stats fields land in
+// counters (monotone because the source is), point-in-time fields in
+// gauges.
+func (m *fleetMetrics) publish(st Stats, load []int, live int, cost float64, barriers uint64, tr *trace.Recorder) {
+	m.calls.Set(float64(st.TotalCalls))
+	m.sessions.Set(float64(st.SessionsOpened))
+	m.evictions.Set(float64(st.Evictions))
+	m.cacheHits.Set(float64(st.CacheHits))
+	m.cacheMisses.Set(float64(st.CacheMisses))
+	m.cacheEvictions.Set(float64(st.CacheEvictions))
+	m.migrations.Set(float64(st.Migrations))
+	m.replicasAdded.Set(float64(st.ReplicasAdded))
+	m.replicasDropped.Set(float64(st.ReplicasDropped))
+	m.rewarms.Set(float64(st.Rewarms))
+	m.rewarmMax.Set(float64(st.RewarmMaxCycles))
+	m.stallCycles.Set(float64(st.StallCycles))
+	m.dropped.Set(float64(st.SessionsDropped))
+	m.corruptWarms.Set(float64(st.CorruptWarms))
+	m.warmMax.Set(float64(st.WarmMaxCycles))
+
+	m.shardsLive.Set(float64(live))
+	m.shardsDown.Set(float64(st.ShardsDown))
+	m.shardsAdded.Set(float64(st.ShardsAdded))
+	m.shardsDrained.Set(float64(st.ShardsDrained))
+	m.costUnits.Set(cost)
+	m.makespan.Set(float64(st.MakespanCycles))
+	m.barriers.Set(float64(barriers))
+
+	liveSessions := 0
+	for _, ps := range st.PerShard {
+		liveSessions += ps.LiveSessions
+		m.shardCycles.With(shardLabel(ps.Shard)).Set(float64(ps.Cycles))
+		m.shardCalls.With(shardLabel(ps.Shard)).Set(float64(ps.Calls))
+	}
+	m.liveSessions.Set(float64(liveSessions))
+	for sid, n := range load {
+		m.bindings.With(shardLabel(sid)).Set(float64(n))
+	}
+	if tr != nil {
+		emitted, droppedEvents := tr.Counts()
+		m.traceEvents.Set(float64(emitted))
+		m.traceDropped.Set(float64(droppedEvents))
+	}
+}
+
+// publishMetrics pushes one barrier snapshot into the registry. Runs
+// at the end of every Rebalance and once more at Close (with the final
+// stats). The Stats snapshot rides jobStats control jobs, which cost
+// zero simulated cycles — so metering a run cannot change it.
+func (f *Fleet) publishMetrics(st Stats) {
+	if f.met == nil {
+		return
+	}
+	f.met.publish(st, f.place.Load(), f.LiveShards(), f.LiveCostUnits(),
+		f.barriers.Load(), f.tr)
+}

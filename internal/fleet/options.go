@@ -10,7 +10,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/kern"
 	"repro/internal/loadmgr"
+	"repro/internal/metrics"
 	"repro/internal/placement"
+	"repro/internal/trace"
 )
 
 // ProvisionFunc registers modules (and any keys) on one shard's fresh
@@ -39,6 +41,8 @@ type config struct {
 	cacheSize   int
 	chaosEng    *chaos.Engine
 	auto        *autoscale.Config
+	tr          *trace.Recorder
+	met         *metrics.Registry
 }
 
 // Option configures Open.
@@ -113,6 +117,28 @@ func WithAutoscaler(sloMicros float64, min, max int) Option {
 func WithAutoscalerConfig(cfg autoscale.Config) Option {
 	return func(c *config) { c.auto = &cfg }
 }
+
+// WithTrace attaches a flight recorder (see internal/trace): every
+// call's lifecycle (route → admit → inject → execute → finish), every
+// control job (migrations, replica warms, re-warms, drains), and every
+// barrier-path decision (chaos faults, autoscaler actions, replica
+// promotions) is recorded in simulated cycles, annotated with the
+// rebalance-barrier number. Recording reads clocks and counters but
+// never advances them, so enabling it does not move a single simulated
+// cycle; with no recorder the emission sites cost one nil check and
+// zero allocations (both pinned by tests). A recorder may be shared
+// across sequential fleets (flight-recorder tail semantics) but never
+// across two fleets at once.
+func WithTrace(r *trace.Recorder) Option { return func(c *config) { c.tr = r } }
+
+// WithMetrics publishes the fleet's counters into a metrics registry
+// (see internal/metrics) with snapshot-at-barrier semantics: at every
+// rebalance barrier — and once more at Close — the fleet pushes its
+// cumulative Stats, per-shard pool bindings, live-shard gauges, and
+// autoscaler observations under the smod_* namespace. Publication
+// rides the zero-cycle stats path, so it cannot perturb a
+// deterministic run.
+func WithMetrics(reg *metrics.Registry) Option { return func(c *config) { c.met = reg } }
 
 // WithResultCache gives every shard a bounded LRU result cache of the
 // given capacity (entries) memoizing the module's spec-declared

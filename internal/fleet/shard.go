@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kern"
 	"repro/internal/loadmgr"
+	"repro/internal/trace"
 )
 
 // SysParkNo is the fleet-only syscall a shard's client processes use to
@@ -141,49 +142,49 @@ type timedCursor struct {
 // ShardStats is one shard's merged counters, all in that shard's own
 // simulated clock domain.
 type ShardStats struct {
-	Shard int
+	Shard int `json:"shard"`
 	// Profile names the shard's backend machine class ("fast", "slow",
 	// "crypto", ...), for per-profile aggregation in the bench layer.
-	Profile         string
-	Cycles          uint64
-	Ticks           uint64
-	Calls           uint64 // completed smod_call dispatches
-	SessionsOpened  uint64
-	PolicyChecks    uint64
-	ContextSwitches uint64
-	Syscalls        uint64
-	LiveSessions    int
-	Evictions       uint64
+	Profile         string `json:"profile,omitempty"`
+	Cycles          uint64 `json:"cycles"`
+	Ticks           uint64 `json:"ticks"`
+	Calls           uint64 `json:"calls"` // completed smod_call dispatches
+	SessionsOpened  uint64 `json:"sessions_opened"`
+	PolicyChecks    uint64 `json:"policy_checks"`
+	ContextSwitches uint64 `json:"context_switches"`
+	Syscalls        uint64 `json:"syscalls"`
+	LiveSessions    int    `json:"live_sessions"`
+	Evictions       uint64 `json:"evictions"`
 	// Result-cache counters (zero unless the fleet runs a loadmgr
 	// manager with caching enabled).
-	CacheHits      uint64
-	CacheMisses    uint64
-	CacheEvictions uint64
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheEvictions uint64 `json:"cache_evictions"`
 	// Migration counters: sessions handed off this shard / warmed onto
 	// it by the placement strategy.
-	MigratedOut uint64
-	MigratedIn  uint64
+	MigratedOut uint64 `json:"migrated_out"`
+	MigratedIn  uint64 `json:"migrated_in"`
 	// Replica counters: hot-key replicas warmed onto this shard /
 	// drained from it by the replicating strategy.
-	ReplicasIn  uint64
-	ReplicasOut uint64
+	ReplicasIn  uint64 `json:"replicas_in"`
+	ReplicasOut uint64 `json:"replicas_out"`
 	// IdleCycles counts clock advances over idle arrival gaps (timed
 	// schedules only). Cycles - IdleCycles is the shard's busy time,
 	// the numerator of per-shard utilization in mixed-fleet sweeps.
-	IdleCycles uint64
+	IdleCycles uint64 `json:"idle_cycles"`
 	// Chaos drill counters: orphaned keys re-warmed onto this shard
 	// after another shard's death (with the costliest single recovery),
 	// clock cycles injected by stall faults, sessions dropped by drop
 	// faults, and warm-ins discarded as corrupt.
-	Rewarms         uint64
-	RewarmMaxCycles uint64
-	StallCycles     uint64
-	SessionsDropped uint64
-	CorruptWarms    uint64
+	Rewarms         uint64 `json:"rewarms"`
+	RewarmMaxCycles uint64 `json:"rewarm_max_cycles"`
+	StallCycles     uint64 `json:"stall_cycles"`
+	SessionsDropped uint64 `json:"sessions_dropped"`
+	CorruptWarms    uint64 `json:"corrupt_warms"`
 	// WarmMaxCycles is the costliest single session warm-in on this
 	// shard (migration warm-in, replica warm, or orphan re-warm) — the
 	// per-shard number elastic drills gate against the re-warm budget.
-	WarmMaxCycles uint64
+	WarmMaxCycles uint64 `json:"warm_max_cycles"`
 }
 
 // shard is one independent simulated kernel plus its routing state.
@@ -254,6 +255,13 @@ type shard struct {
 	// last jobWindow collection — host-side counters only, so recording
 	// never perturbs the simulated clocks.
 	winHist [latBuckets]uint64
+
+	// ring is the shard's flight-recorder lane (nil without WithTrace).
+	// It is written only under the shard's strict-alternation execution
+	// — the shard goroutine or the one running native client — so
+	// emission takes no lock; like winHist it records host-side only
+	// and never touches the simulated clock.
+	ring *trace.Ring
 
 	// stopped closes when the shard goroutine has fully wound down
 	// (final stats ready) — the handshake a chaos kill waits on.
@@ -337,6 +345,22 @@ func (sh *shard) finish(pc *pendingCall, resp Response) {
 	resp.Shard = sh.id
 	resp.LatencyCycles = sh.k.Clk.Cycles() - pc.at
 	sh.completed++
+	if sh.ring != nil {
+		e := trace.Event{
+			Kind:   trace.KCall,
+			Shard:  sh.id,
+			Cycles: pc.at,
+			Dur:    resp.LatencyCycles,
+			Key:    pc.cp.key,
+			FuncID: pc.funcID,
+		}
+		if resp.Err != nil {
+			e.Note = "error"
+		} else if resp.Errno != 0 {
+			e.Val = int64(resp.Errno)
+		}
+		sh.ring.Emit(e)
+	}
 	if sh.cache != nil && resp.Err == nil && resp.Errno == 0 && sh.idemp[pc.funcID] {
 		sh.cache.Put(sh.mid, pc.funcID, pc.args, resp.Val)
 	}
@@ -386,6 +410,17 @@ func (sh *shard) clientMain(cp *clientProc) func(*kern.Sys) int {
 					// no-op, skipping avoids the wasted call.
 					continue
 				}
+				if sh.ring != nil {
+					// The execute instant: queue wait is this minus the
+					// call's inject event.
+					sh.ring.Emit(trace.Event{
+						Kind:   trace.KExec,
+						Shard:  sh.id,
+						Cycles: sh.k.Clk.Cycles(),
+						Key:    cp.key,
+						FuncID: pc.funcID,
+					})
+				}
 				v, errno := nc.Call(pc.funcID, pc.args...)
 				sh.finish(pc, Response{Val: v, Errno: errno})
 			}
@@ -433,14 +468,19 @@ func (sh *shard) loop() {
 			sh.evict(j.key)
 			close(j.done)
 		case jobMigrateOut:
+			before := sh.k.Clk.Cycles()
 			sh.evict(j.key)
 			sh.migratedOut++
+			sh.emitSpan(trace.KMigrateOut, before, j.key, "")
 			close(j.done)
 		case jobWarmIn:
 			before := sh.k.Clk.Cycles()
 			if sh.warmChecked(j) {
 				sh.migratedIn++
 				sh.noteWarm(before)
+				sh.emitSpan(trace.KWarmIn, before, j.key, "")
+			} else {
+				sh.emitSpan(trace.KWarmIn, before, j.key, "corrupt")
 			}
 			close(j.done)
 		case jobReplicaIn:
@@ -448,11 +488,16 @@ func (sh *shard) loop() {
 			if sh.warmChecked(j) {
 				sh.replicasIn++
 				sh.noteWarm(before)
+				sh.emitSpan(trace.KReplicaIn, before, j.key, "")
+			} else {
+				sh.emitSpan(trace.KReplicaIn, before, j.key, "corrupt")
 			}
 			close(j.done)
 		case jobReplicaOut:
+			before := sh.k.Clk.Cycles()
 			sh.evict(j.key)
 			sh.replicasOut++
+			sh.emitSpan(trace.KReplicaOut, before, j.key, "")
 			close(j.done)
 		case jobRewarm:
 			before := sh.k.Clk.Cycles()
@@ -462,16 +507,29 @@ func (sh *shard) loop() {
 					sh.rewarmMax = d
 				}
 				sh.noteWarm(before)
+				sh.emitSpan(trace.KRewarm, before, j.key, "")
+			} else {
+				sh.emitSpan(trace.KRewarm, before, j.key, "corrupt")
 			}
 			close(j.done)
 		case jobStall:
+			before := sh.k.Clk.Cycles()
 			sh.k.Clk.Advance(j.cycles)
 			sh.stallCycles += j.cycles
+			sh.emitSpan(trace.KStall, before, "", "")
 			close(j.done)
 		case jobDrop:
 			if sh.clients[j.key] != nil {
 				sh.evict(j.key)
 				sh.drops++
+				if sh.ring != nil {
+					sh.ring.Emit(trace.Event{
+						Kind:   trace.KDrop,
+						Shard:  sh.id,
+						Cycles: sh.k.Clk.Cycles(),
+						Key:    j.key,
+					})
+				}
 			}
 			close(j.done)
 		case jobWindow:
@@ -491,6 +549,14 @@ func (sh *shard) admit(j *job) {
 	sh.seq++
 	sh.jobsInStretch++
 	j.pending = len(j.reqs)
+	if sh.ring != nil {
+		sh.ring.Emit(trace.Event{
+			Kind:   trace.KAdmit,
+			Shard:  sh.id,
+			Cycles: sh.k.Clk.Cycles(),
+			Val:    int64(len(j.reqs)),
+		})
+	}
 	if j.kind == jobTimed {
 		cur := &timedCursor{j: j, base: sh.k.Clk.Cycles()}
 		sh.cursors = append(sh.cursors, cur)
@@ -509,9 +575,28 @@ func (sh *shard) admit(j *job) {
 // dispatch — for the cost of one memo-table probe.
 func (sh *shard) inject(j *job, i int, at uint64) {
 	r := &j.reqs[i]
+	if sh.ring != nil {
+		sh.ring.Emit(trace.Event{
+			Kind:   trace.KInject,
+			Shard:  sh.id,
+			Cycles: at,
+			Key:    r.Key,
+			FuncID: r.FuncID,
+		})
+	}
 	if sh.cache != nil && sh.idemp[r.FuncID] {
 		sh.k.Clk.Advance(sh.k.Costs.CacheLookup)
 		if val, ok := sh.cache.Get(sh.mid, r.FuncID, r.Args); ok {
+			if sh.ring != nil {
+				sh.ring.Emit(trace.Event{
+					Kind:   trace.KCacheHit,
+					Shard:  sh.id,
+					Cycles: at,
+					Dur:    sh.k.Clk.Cycles() - at,
+					Key:    r.Key,
+					FuncID: r.FuncID,
+				})
+			}
 			sh.finishSlot(j, i, Response{
 				Val:           val,
 				Shard:         sh.id,
@@ -705,12 +790,36 @@ func (sh *shard) evict(key string) {
 	if cp == nil {
 		return
 	}
+	if sh.ring != nil {
+		sh.ring.Emit(trace.Event{
+			Kind:   trace.KEvict,
+			Shard:  sh.id,
+			Cycles: sh.k.Clk.Cycles(),
+			Key:    key,
+		})
+	}
 	delete(sh.clients, key)
 	delete(sh.byPID, cp.proc.PID)
 	sh.k.Kill(cp.proc, kern.SIGKILL)
 	if sh.onEvict != nil {
 		sh.onEvict(key)
 	}
+}
+
+// emitSpan records one control-job span from `before` to the current
+// clock on the shard's flight-recorder lane (no-op without tracing).
+func (sh *shard) emitSpan(kind trace.Kind, before uint64, key, note string) {
+	if sh.ring == nil {
+		return
+	}
+	sh.ring.Emit(trace.Event{
+		Kind:   kind,
+		Shard:  sh.id,
+		Cycles: before,
+		Dur:    sh.k.Clk.Cycles() - before,
+		Key:    key,
+		Note:   note,
+	})
 }
 
 // noteWarm folds one completed warm-in's cycle cost (from `before` to
@@ -782,7 +891,8 @@ func (sh *shard) snapshot() ShardStats {
 		WarmMaxCycles:   sh.warmMax,
 	}
 	if sh.cache != nil {
-		st.CacheHits, st.CacheMisses, st.CacheEvictions = sh.cache.Stats()
+		cs := sh.cache.Snapshot()
+		st.CacheHits, st.CacheMisses, st.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
 	}
 	return st
 }

@@ -1,0 +1,103 @@
+package fleet
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestStatsDelta pins the per-epoch snapshot arithmetic: cumulative
+// counters subtract, point-in-time fields and high-water marks keep
+// the current value, and the makespan becomes the max per-shard cycle
+// delta — with an elastic-added shard counting its whole clock.
+func TestStatsDelta(t *testing.T) {
+	before := Stats{
+		Shards: 2,
+		PerShard: []ShardStats{
+			{Shard: 0, Cycles: 1000, Calls: 10, SessionsOpened: 2, IdleCycles: 100},
+			{Shard: 1, Cycles: 4000, Calls: 40, SessionsOpened: 3, IdleCycles: 0},
+		},
+		TotalCalls:      50,
+		SessionsOpened:  5,
+		MakespanCycles:  4000,
+		CacheHits:       7,
+		Migrations:      1,
+		Rewarms:         2,
+		RewarmMaxCycles: 900,
+		ShardsAdded:     0,
+	}
+	after := Stats{
+		Shards: 3,
+		PerShard: []ShardStats{
+			{Shard: 0, Cycles: 3000, Calls: 30, SessionsOpened: 2, IdleCycles: 150, LiveSessions: 4},
+			{Shard: 1, Cycles: 4500, Calls: 45, SessionsOpened: 3, IdleCycles: 0},
+			// Added mid-interval: no before row, whole clock counts.
+			{Shard: 2, Cycles: 2600, Calls: 5, SessionsOpened: 5},
+		},
+		TotalCalls:      80,
+		SessionsOpened:  10,
+		MakespanCycles:  4500,
+		CacheHits:       9,
+		Migrations:      4,
+		Rewarms:         2,
+		RewarmMaxCycles: 1200,
+		ShardsDown:      1,
+		ShardsAdded:     1,
+		WarmMaxCycles:   600,
+	}
+	d := after.Delta(before)
+
+	if d.TotalCalls != 30 || d.SessionsOpened != 5 || d.CacheHits != 2 || d.Migrations != 3 {
+		t.Fatalf("cumulative deltas wrong: %+v", d)
+	}
+	if d.Rewarms != 0 || d.ShardsAdded != 1 {
+		t.Fatalf("chaos/elastic deltas wrong: rewarms=%d added=%d", d.Rewarms, d.ShardsAdded)
+	}
+	// Point-in-time and high-water fields keep the current value.
+	if d.Shards != 3 || d.ShardsDown != 1 || d.RewarmMaxCycles != 1200 || d.WarmMaxCycles != 600 {
+		t.Fatalf("point-in-time fields not preserved: %+v", d)
+	}
+	// Max per-shard delta: shard 0 moved 2000, shard 1 moved 500, shard
+	// 2 contributes its whole 2600-cycle clock.
+	if d.MakespanCycles != 2600 {
+		t.Fatalf("MakespanCycles = %d, want 2600", d.MakespanCycles)
+	}
+	if len(d.PerShard) != 3 {
+		t.Fatalf("PerShard len = %d, want 3", len(d.PerShard))
+	}
+	if d.PerShard[0].Cycles != 2000 || d.PerShard[0].Calls != 20 || d.PerShard[0].IdleCycles != 50 {
+		t.Fatalf("shard 0 delta wrong: %+v", d.PerShard[0])
+	}
+	if d.PerShard[0].LiveSessions != 4 {
+		t.Fatalf("LiveSessions should stay point-in-time, got %d", d.PerShard[0].LiveSessions)
+	}
+	if d.PerShard[2].Cycles != 2600 || d.PerShard[2].SessionsOpened != 5 {
+		t.Fatalf("added shard must count whole clock: %+v", d.PerShard[2])
+	}
+	// The receiver is untouched (Delta is by value).
+	if after.TotalCalls != 80 || after.PerShard[0].Cycles != 3000 {
+		t.Fatalf("Delta mutated its receiver: %+v", after)
+	}
+}
+
+// TestStatsMarshalJSON pins the snake_case wire shape tools consume.
+func TestStatsMarshalJSON(t *testing.T) {
+	raw, err := json.Marshal(Stats{
+		Shards:         1,
+		PerShard:       []ShardStats{{Shard: 0, Cycles: 42, Profile: "fast"}},
+		TotalCalls:     7,
+		MakespanCycles: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	for _, want := range []string{
+		`"shards":1`, `"total_calls":7`, `"makespan_cycles":42`,
+		`"per_shard":[`, `"cycles":42`, `"profile":"fast"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("marshaled Stats missing %s:\n%s", want, s)
+		}
+	}
+}

@@ -131,3 +131,18 @@ func (c *ResultCache) Len() int { return c.lru.Len() }
 func (c *ResultCache) Stats() (hits, misses, evictions uint64) {
 	return c.hits, c.misses, c.evictions
 }
+
+// CacheStats is a marshal-friendly counter snapshot: what the fleet's
+// stats merge and the metrics registry read instead of positional
+// Stats() returns.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Live      int    `json:"live"`
+}
+
+// Snapshot returns the current counters and live entry count.
+func (c *ResultCache) Snapshot() CacheStats {
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Live: c.lru.Len()}
+}

@@ -22,7 +22,9 @@ import (
 	"repro/internal/clock"
 	"repro/internal/fleet"
 	"repro/internal/loadmgr"
+	"repro/internal/metrics"
 	"repro/internal/placement"
+	"repro/internal/trace"
 )
 
 // LoadCurveConfig describes one load-curve sweep.
@@ -109,6 +111,19 @@ type LoadCurveConfig struct {
 	// the adaptation window in which the autoscaler is still sizing the
 	// fleet for the point's offered rate.
 	WarmupEpochs int
+
+	// Trace, when non-nil, attaches the flight recorder to every fleet
+	// the sweep opens (fleet.WithTrace): spans and control events from
+	// all points accumulate in its rings, oldest overwritten first, so
+	// what survives is the tail of the run. Metrics, when non-nil,
+	// likewise attaches the registry (fleet.WithMetrics); each point's
+	// fleet republishes into the same families at its barriers.
+	// Neither moves a single simulated cycle (see internal/trace), so
+	// an instrumented sweep reproduces the bare BENCH numbers bit for
+	// bit. Not part of the workload shape: never recorded in BENCH
+	// documents.
+	Trace   *trace.Recorder
+	Metrics *metrics.Registry
 }
 
 // Mix returns the canonical backend mix label ("fast=2,slow=2"), or ""
@@ -187,17 +202,16 @@ type ProfileLoad struct {
 	Utilization float64 `json:"utilization"`
 }
 
-// profileBreakdown folds per-shard deltas into per-profile rows, in
-// shard order of first appearance.
-func profileBreakdown(before, after fleet.Stats, makespan uint64) []ProfileLoad {
-	if makespan == 0 || len(after.PerShard) != len(before.PerShard) {
+// profileBreakdown folds a fleet.Stats.Delta's per-shard rows into
+// per-profile rows, in shard order of first appearance.
+func profileBreakdown(d fleet.Stats, makespan uint64) []ProfileLoad {
+	if makespan == 0 {
 		return nil
 	}
 	idx := map[string]int{}
 	var out []ProfileLoad
 	busy := map[string]uint64{}
-	for i := range after.PerShard {
-		b, a := before.PerShard[i], after.PerShard[i]
+	for _, a := range d.PerShard {
 		name := a.Profile
 		j, ok := idx[name]
 		if !ok {
@@ -206,9 +220,8 @@ func profileBreakdown(before, after fleet.Stats, makespan uint64) []ProfileLoad 
 			out = append(out, ProfileLoad{Name: name})
 		}
 		out[j].Shards++
-		out[j].Calls += a.Calls - b.Calls
-		cyc := a.Cycles - b.Cycles
-		idle := a.IdleCycles - b.IdleCycles
+		out[j].Calls += a.Calls
+		cyc, idle := a.Cycles, a.IdleCycles
 		if idle > cyc {
 			idle = cyc
 		}
@@ -362,6 +375,12 @@ func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error
 		}
 		placeOpts = append(placeOpts, fleet.WithChaos(chaos.NewEngine(sched)))
 	}
+	if cfg.Trace != nil {
+		placeOpts = append(placeOpts, fleet.WithTrace(cfg.Trace))
+	}
+	if cfg.Metrics != nil {
+		placeOpts = append(placeOpts, fleet.WithMetrics(cfg.Metrics))
+	}
 	openShards := cfg.Shards
 	elastic := cfg.SLOMicros > 0
 	if elastic {
@@ -444,13 +463,16 @@ func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error
 			samples++
 		}
 	}
-	after := f.Stats()
+	// The measured phase is the snapshot delta: cumulative counters
+	// subtracted, makespan the max per-shard cycle delta, high-water
+	// marks (RewarmMaxCycles, WarmMaxCycles) carried through.
+	d := f.Stats().Delta(before)
 
-	makespan := makespanDelta(before, after)
+	makespan := d.MakespanCycles
 	achieved := clock.PerSec(cfg.Calls, makespan)
 	var profiles []ProfileLoad
 	if len(cfg.Backends) > 0 {
-		profiles = profileBreakdown(before, after, makespan)
+		profiles = profileBreakdown(d, makespan)
 	}
 	point = LoadPoint{
 		OfferedPerSec:   rate,
@@ -464,22 +486,22 @@ func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error
 		MakespanMicros:  clock.Micros(makespan),
 		Saturated:       achieved < SatAchievedFraction*rate,
 		Hist:            rec.Histogram(),
-		Migrations:      after.Migrations - before.Migrations,
-		CacheHits:       after.CacheHits - before.CacheHits,
-		CacheMisses:     after.CacheMisses - before.CacheMisses,
-		ReplicasAdded:   after.ReplicasAdded - before.ReplicasAdded,
-		ReplicasDropped: after.ReplicasDropped - before.ReplicasDropped,
+		Migrations:      d.Migrations,
+		CacheHits:       d.CacheHits,
+		CacheMisses:     d.CacheMisses,
+		ReplicasAdded:   d.ReplicasAdded,
+		ReplicasDropped: d.ReplicasDropped,
 		Profiles:        profiles,
-		ShardsDown:      after.ShardsDown,
-		Rewarms:         after.Rewarms - before.Rewarms,
-		RewarmMaxCycles: after.RewarmMaxCycles,
+		ShardsDown:      d.ShardsDown,
+		Rewarms:         d.Rewarms,
+		RewarmMaxCycles: d.RewarmMaxCycles,
 	}
 	if elastic && samples > 0 {
 		point.AvgShards = shardsSum / float64(samples)
 		point.CostUnits = costSum / float64(samples)
-		point.ShardsAdded = after.ShardsAdded - before.ShardsAdded
-		point.ShardsDrained = after.ShardsDrained - before.ShardsDrained
-		point.WarmMaxCycles = after.WarmMaxCycles
+		point.ShardsAdded = d.ShardsAdded
+		point.ShardsDrained = d.ShardsDrained
+		point.WarmMaxCycles = d.WarmMaxCycles
 	}
 	if rep != nil {
 		point.ReplicaKey, point.ReplicaHits = hottestReplica(rep)

@@ -82,15 +82,6 @@ func benchFleetOpts(shards, maxSessions int, backends []backend.Assignment) []fl
 	}
 }
 
-// snapshotCycles returns per-shard cycle counters.
-func snapshotCycles(st fleet.Stats) []uint64 {
-	out := make([]uint64, len(st.PerShard))
-	for i, s := range st.PerShard {
-		out[i] = s.Cycles
-	}
-	return out
-}
-
 // benchKey names the c-th warm sticky client key.
 func benchKey(c int) string { return fmt.Sprintf("c%04d", c) }
 
@@ -107,43 +98,23 @@ func warmFleet(f *fleet.Fleet, incr uint32, clients int) error {
 	return nil
 }
 
-// makespanDelta returns the fleet-wide simulated elapsed time of a
-// measured phase: the maximum per-shard cycle delta between snapshots.
-func makespanDelta(before, after fleet.Stats) uint64 {
-	var makespan uint64
-	for i := range after.PerShard {
-		var prev uint64
-		if i < len(before.PerShard) {
-			prev = before.PerShard[i].Cycles
-		}
-		// Shards added by an elastic resize have no "before" row: their
-		// whole clock (provisioning included) counts toward the makespan.
-		if d := after.PerShard[i].Cycles - prev; d > makespan {
-			makespan = d
-		}
-	}
-	return makespan
-}
-
-// throughputRow derives a ThroughputStats from before/after snapshots.
+// throughputRow derives a ThroughputStats from before/after snapshots
+// via fleet.Stats.Delta: the measured phase is the delta, its makespan
+// the maximum per-shard cycle delta.
 func throughputRow(name string, shards, clients, calls int, before, after fleet.Stats) ThroughputStats {
-	b, a := snapshotCycles(before), snapshotCycles(after)
+	d := after.Delta(before)
 	row := ThroughputStats{
 		Name: name, Shards: shards, Clients: clients, TotalCalls: calls,
-		Sessions:  after.SessionsOpened - before.SessionsOpened,
-		Evictions: after.Evictions - before.Evictions,
+		Sessions:  d.SessionsOpened,
+		Evictions: d.Evictions,
 	}
-	var makespan, sum uint64
-	for i := range a {
-		d := a[i] - b[i]
-		row.PerShardCycles = append(row.PerShardCycles, d)
-		sum += d
-		if d > makespan {
-			makespan = d
-		}
+	var sum uint64
+	for _, ps := range d.PerShard {
+		row.PerShardCycles = append(row.PerShardCycles, ps.Cycles)
+		sum += ps.Cycles
 	}
-	row.MakespanMicros = clock.Micros(makespan)
-	row.CallsPerSec = clock.PerSec(calls, makespan)
+	row.MakespanMicros = clock.Micros(d.MakespanCycles)
+	row.CallsPerSec = clock.PerSec(calls, d.MakespanCycles)
 	if calls > 0 {
 		row.MicrosPerCall = clock.Micros(sum) / float64(calls)
 	}

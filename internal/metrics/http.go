@@ -1,0 +1,33 @@
+package metrics
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry as a Prometheus scrape endpoint.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// NewMux builds the debug mux the CLI (and later smodfleetd) serves on
+// -metrics addr: /metrics for Prometheus scrapes, /debug/vars for
+// expvar, and the /debug/pprof profiler endpoints. The handlers are
+// wired onto a private mux — never http.DefaultServeMux — so embedding
+// the fleet can't leak profiling endpoints onto an application's
+// default listener.
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

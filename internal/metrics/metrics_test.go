@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("smod_calls_total", "calls")
+	c.Set(41)
+	c.Inc()
+	g := r.Gauge("smod_shards_live", "live shards")
+	g.Set(4)
+	hot := r.Gauge("smod_shard_cycles", "per shard", Label{"shard", "2"})
+	hot.Set(1.5)
+
+	snap := r.Snapshot()
+	if snap["smod_calls_total"] != 42 {
+		t.Fatalf("calls = %v, want 42", snap["smod_calls_total"])
+	}
+	if snap["smod_shards_live"] != 4 {
+		t.Fatalf("live = %v, want 4", snap["smod_shards_live"])
+	}
+	if snap[`smod_shard_cycles{shard="2"}`] != 1.5 {
+		t.Fatalf("labeled = %v, want 1.5 (keys: %v)", snap[`smod_shard_cycles{shard="2"}`], snap)
+	}
+}
+
+func TestFamilyIdempotentAndSeriesStable(t *testing.T) {
+	r := NewRegistry()
+	f1 := r.Family("m", "help one", Counter)
+	f2 := r.Family("m", "different help", Gauge)
+	if f1 != f2 {
+		t.Fatal("same name registered two families")
+	}
+	if f1.With(Label{"a", "1"}) != f2.With(Label{"a", "1"}) {
+		t.Fatal("same labels produced two series")
+	}
+}
+
+func TestDropRemovesSeries(t *testing.T) {
+	r := NewRegistry()
+	f := r.Family("smod_pool_bindings", "", Gauge)
+	f.With(Label{"shard", "0"}).Set(3)
+	f.With(Label{"shard", "1"}).Set(5)
+	f.Drop(Label{"shard", "0"})
+	snap := r.Snapshot()
+	if _, ok := snap[`smod_pool_bindings{shard="0"}`]; ok {
+		t.Fatal("dropped series still exported")
+	}
+	if snap[`smod_pool_bindings{shard="1"}`] != 5 {
+		t.Fatal("surviving series lost")
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("smod_calls_total", "Total calls routed.").Set(7)
+	f := r.Family("smod_pool_bindings", "Sessions bound per shard.", Gauge)
+	f.With(Label{"shard", "1"}).Set(2)
+	f.With(Label{"shard", "0"}).Set(3)
+	r.Gauge("smod_window_p99_us", "").Set(12.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "# HELP smod_calls_total Total calls routed.\n" +
+		"# TYPE smod_calls_total counter\n" +
+		"smod_calls_total 7\n" +
+		"# HELP smod_pool_bindings Sessions bound per shard.\n" +
+		"# TYPE smod_pool_bindings gauge\n" +
+		`smod_pool_bindings{shard="0"} 3` + "\n" +
+		`smod_pool_bindings{shard="1"} 2` + "\n" +
+		"# TYPE smod_window_p99_us gauge\n" +
+		"smod_window_p99_us 12.5\n"
+	if got != want {
+		t.Fatalf("exposition mismatch:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("m", "", Label{"key", "a\"b\\c\nd"}).Set(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `m{key="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped: %q", sb.String())
+	}
+}
+
+func TestConcurrentScrapeAndPublish(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("smod_calls_total", "")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Add(1)
+				r.Gauge("smod_shards_live", "").Set(float64(i))
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			_ = r.WritePrometheus(&sb)
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Value(); got != 2000 {
+		t.Fatalf("concurrent adds lost updates: %v, want 2000", got)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("smod_calls_total", "Total calls.").Set(9)
+	mux := NewMux(r)
+
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	for path, want := range map[string]string{
+		"/metrics":      "smod_calls_total 9",
+		"/debug/vars":   "cmdline",
+		"/debug/pprof/": "profile",
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body := make([]byte, 1<<16)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body[:n]), want) {
+			t.Fatalf("GET %s: body missing %q", path, want)
+		}
+	}
+}

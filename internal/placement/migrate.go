@@ -55,6 +55,13 @@ func (b *balancer) bind(shards int, costFactors []float64) error {
 	return nil
 }
 
+// ObservePromotions implements PromoteObserver for every pool-backed
+// heat strategy (HeatMigrate, CostAware, and Replicated inherit it
+// through the embedded balancer). Must be called after Bind.
+func (b *balancer) ObservePromotions(fn func(key string, from, to int)) {
+	b.pool.SetObserver(fn)
+}
+
 // route is the shared hot path: sticky allocation plus the heat feed.
 func (b *balancer) route(c Call) int {
 	sid := b.pool.Get(c.Key)

@@ -180,6 +180,18 @@ type Placement interface {
 	Assigned() int
 }
 
+// PromoteObserver is the optional observation interface pool-backed
+// strategies implement: ObservePromotions installs a callback fired
+// after every primary failover (key's primary on `from` handed off to
+// the promoted replica on `to`), whichever path caused it — an
+// explicit MovePromote commit, a dead-owner reclaim, or a primary
+// eviction. Must be called after Bind and before traffic; the fleet's
+// trace recorder type-asserts for it when tracing is enabled, so a
+// custom strategy that never promotes can simply not implement it.
+type PromoteObserver interface {
+	ObservePromotions(fn func(key string, from, to int))
+}
+
 // commitPoolMove applies one move's routing change to a pool — the
 // shared Commit core: each kind maps onto the pool primitive that
 // validates the plan against the current binding, so stale moves are

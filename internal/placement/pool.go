@@ -40,6 +40,41 @@ type Pool struct {
 	// keep routing there until their drain moves commit, but the shard
 	// takes no new keys, rebinds, or replicas.
 	draining []bool
+	// observe, when set, is called after every primary handoff — the
+	// dropped primary of a replicated key, with the surviving replica
+	// that took over (see SetObserver). Fired outside p.mu.
+	observe func(key string, from, to int)
+}
+
+// SetObserver installs a callback fired after every primary failover:
+// key's primary binding on `from` was dropped and the surviving
+// replica on `to` was promoted in its place. This covers explicit
+// promotions (Promote, the MovePromote commit), dead-owner reclaims
+// (ReclaimShard failovers whose dropped binding was the primary), and
+// primary evictions (PutIf). The callback runs outside the pool lock —
+// it may call back into the pool — but ordering across concurrent pool
+// operations is not defined beyond "after the handoff committed". The
+// fleet's trace recorder is the intended consumer.
+func (p *Pool) SetObserver(fn func(key string, from, to int)) {
+	p.mu.Lock()
+	p.observe = fn
+	p.mu.Unlock()
+}
+
+// dropPromoting drops key's binding on sid like dropLocked and returns
+// the newly promoted primary when the dropped binding was the primary
+// of a replicated key, -1 otherwise. Caller holds p.mu and fires the
+// observer after unlocking.
+func (p *Pool) dropPromoting(key string, sid int) int {
+	set := p.assign[key]
+	wasPrimary := len(set) > 1 && set[0] == sid
+	if !p.dropLocked(key, sid) {
+		return -1
+	}
+	if wasPrimary {
+		return p.assign[key][0]
+	}
+	return -1
 }
 
 // NewPool returns an empty pool over the given number of shards.
@@ -190,12 +225,18 @@ func (p *Pool) leastLoadedPlanned(extra []int) (int, bool) {
 // least one other binding survives to take over.
 func (p *Pool) Promote(key string, from int) bool {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	set, ok := p.assign[key]
 	if !ok || len(set) < 2 || set[0] != from {
+		p.mu.Unlock()
 		return false
 	}
-	return p.dropLocked(key, from)
+	to := p.dropPromoting(key, from)
+	obs := p.observe
+	p.mu.Unlock()
+	if to >= 0 && obs != nil {
+		obs(key, from, to)
+	}
+	return to >= 0
 }
 
 // NewWeightedPool returns an empty pool whose allocation weighs each
@@ -298,8 +339,12 @@ func (p *Pool) Put(key string) {
 // binding would corrupt the load accounting).
 func (p *Pool) PutIf(key string, sid int) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.dropLocked(key, sid)
+	to := p.dropPromoting(key, sid)
+	obs := p.observe
+	p.mu.Unlock()
+	if to >= 0 && obs != nil {
+		obs(key, sid, to)
+	}
 }
 
 // dropLocked removes key's binding on sid, if present.
@@ -427,8 +472,8 @@ func (p *Pool) ReplicatedKeys() []string {
 // shard is a no-op.
 func (p *Pool) ReclaimShard(sid int) (orphans, failovers []string) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if sid < 0 || sid >= len(p.load) || p.down[sid] {
+		p.mu.Unlock()
 		return nil, nil
 	}
 	p.down[sid] = true
@@ -442,12 +487,26 @@ func (p *Pool) ReclaimShard(sid int) (orphans, failovers []string) {
 		}
 	}
 	sort.Strings(keys)
+	type promo struct {
+		key string
+		to  int
+	}
+	var promos []promo
 	for _, key := range keys {
-		p.dropLocked(key, sid)
+		if to := p.dropPromoting(key, sid); to >= 0 {
+			promos = append(promos, promo{key, to})
+		}
 		if _, survives := p.assign[key]; survives {
 			failovers = append(failovers, key)
 		} else {
 			orphans = append(orphans, key)
+		}
+	}
+	obs := p.observe
+	p.mu.Unlock()
+	if obs != nil {
+		for _, pr := range promos {
+			obs(pr.key, sid, pr.to)
 		}
 	}
 	return orphans, failovers

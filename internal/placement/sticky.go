@@ -74,3 +74,11 @@ func (s *Sticky) Load() []int { return s.pool.Load() }
 
 // Assigned implements Placement.
 func (s *Sticky) Assigned() int { return s.pool.Assigned() }
+
+// ObservePromotions implements PromoteObserver. A sticky key is always
+// singly bound, so the callback only ever fires through PlanDrain's
+// MovePromote commits — which Sticky never plans — making this a
+// uniformity hook: the fleet installs it unconditionally.
+func (s *Sticky) ObservePromotions(fn func(key string, from, to int)) {
+	s.pool.SetObserver(fn)
+}

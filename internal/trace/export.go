@@ -1,0 +1,285 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"unicode/utf8"
+
+	"repro/internal/clock"
+)
+
+// The exporters hand-build their JSON with append-style helpers rather
+// than encoding/json: the output must be byte-identical across runs of
+// the same seeded drill (the determinism tests diff it), every escape
+// decision should be explicit, and the fuzz target can then pin "any
+// event sequence encodes to valid JSON" against a real decoder.
+
+// appendQuoted appends s as a JSON string literal, escaping per RFC
+// 8259 and replacing invalid UTF-8 with U+FFFD so arbitrary fuzzed
+// bytes still encode to valid JSON.
+func appendQuoted(b []byte, s string) []byte {
+	const hexDigits = "0123456789abcdef"
+	b = append(b, '"')
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			switch {
+			case c == '"':
+				b = append(b, '\\', '"')
+			case c == '\\':
+				b = append(b, '\\', '\\')
+			case c >= 0x20:
+				b = append(b, c)
+			case c == '\n':
+				b = append(b, '\\', 'n')
+			case c == '\r':
+				b = append(b, '\\', 'r')
+			case c == '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0',
+					hexDigits[c>>4], hexDigits[c&0xf])
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i++
+			continue
+		}
+		b = append(b, s[i:i+size]...)
+		i += size
+	}
+	return append(b, '"')
+}
+
+// micros converts a simulated-cycle timestamp to the trace-event
+// microsecond scale. Formatted with the shortest round-trip
+// representation so identical cycle counts always print identically.
+func micros(cycles uint64) []byte {
+	us := float64(cycles) / clock.CyclesPerMicrosecond
+	return strconv.AppendFloat(nil, us, 'f', -1, 64)
+}
+
+// chromePID maps an event's shard to a trace-event process id: the
+// fleet control plane is process 0, shard N is process N+1.
+func chromePID(shard int) int {
+	if shard < 0 {
+		return 0
+	}
+	return shard + 1
+}
+
+// WriteJSONL writes every retained event as one JSON object per line,
+// in Snapshot order (control ring first, then shards in id order).
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	var b []byte
+	for _, e := range events {
+		b = appendEventJSON(b[:0], e)
+		b = append(b, '\n')
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func appendEventJSON(b []byte, e Event) []byte {
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, e.Seq, 10)
+	b = append(b, `,"barrier":`...)
+	b = strconv.AppendUint(b, e.Barrier, 10)
+	b = append(b, `,"kind":`...)
+	b = appendQuoted(b, e.Kind.String())
+	b = append(b, `,"shard":`...)
+	b = strconv.AppendInt(b, int64(e.Shard), 10)
+	b = append(b, `,"cycles":`...)
+	b = strconv.AppendUint(b, e.Cycles, 10)
+	if e.Dur != 0 {
+		b = append(b, `,"dur_cycles":`...)
+		b = strconv.AppendUint(b, e.Dur, 10)
+	}
+	if e.Key != "" {
+		b = append(b, `,"key":`...)
+		b = appendQuoted(b, e.Key)
+	}
+	if e.FuncID != 0 {
+		b = append(b, `,"func":`...)
+		b = strconv.AppendUint(b, uint64(e.FuncID), 10)
+	}
+	if e.Val != 0 {
+		b = append(b, `,"val":`...)
+		b = strconv.AppendInt(b, e.Val, 10)
+	}
+	if e.Note != "" {
+		b = append(b, `,"note":`...)
+		b = appendQuoted(b, e.Note)
+	}
+	return append(b, '}')
+}
+
+// WriteChromeTrace writes the events as a Chrome trace-event JSON
+// document ({"traceEvents":[...]}) that loads directly in Perfetto or
+// chrome://tracing.
+//
+// Layout: the fleet control plane is process 0; shard N is process
+// N+1, with its kernel-level events on thread 0 and one thread per
+// client key (numbered in first-appearance order, which is
+// deterministic for seeded runs). Span kinds become complete "X"
+// events with ts/dur on the simulated-microsecond scale
+// (cycles / clock.CyclesPerMicrosecond); everything else becomes a
+// thread-scoped instant. Seq and barrier ride along in args, so the
+// barrier structure is recoverable from the rendered trace.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+
+	// Thread ids: per (shard, key), first appearance wins. Thread 0 of
+	// every process is its kernel/control lane.
+	type lane struct {
+		shard int
+		key   string
+	}
+	tids := map[lane]int{}
+	nextTid := map[int]int{}
+	laneOf := func(e Event) int {
+		if e.Key == "" {
+			return 0
+		}
+		l := lane{e.Shard, e.Key}
+		if id, ok := tids[l]; ok {
+			return id
+		}
+		nextTid[e.Shard]++
+		tids[l] = nextTid[e.Shard]
+		return tids[l]
+	}
+
+	var b []byte
+	first := true
+	emit := func() error {
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := bw.Write(b)
+		return err
+	}
+
+	// Metadata: process names, then per-key thread names once the lane
+	// assignment below discovers them. Process metadata first keeps
+	// viewers from showing bare pids while the trace streams in.
+	seenPid := map[int]bool{}
+	for _, e := range events {
+		pid := chromePID(e.Shard)
+		if seenPid[pid] {
+			continue
+		}
+		seenPid[pid] = true
+		b = append(b[:0], `{"ph":"M","name":"process_name","pid":`...)
+		b = strconv.AppendInt(b, int64(pid), 10)
+		b = append(b, `,"tid":0,"args":{"name":`...)
+		if pid == 0 {
+			b = appendQuoted(b, "fleet")
+		} else {
+			b = appendQuoted(b, "shard "+strconv.Itoa(pid-1))
+		}
+		b = append(b, `}}`...)
+		if err := emit(); err != nil {
+			return err
+		}
+	}
+	for _, e := range events {
+		laneOf(e) // assign tids in event order
+	}
+	type namedLane struct {
+		pid, tid int
+		name     string
+	}
+	var lanes []namedLane
+	for l, tid := range tids {
+		lanes = append(lanes, namedLane{chromePID(l.shard), tid, "key " + l.key})
+	}
+	sort.Slice(lanes, func(i, j int) bool {
+		if lanes[i].pid != lanes[j].pid {
+			return lanes[i].pid < lanes[j].pid
+		}
+		return lanes[i].tid < lanes[j].tid
+	})
+	for _, l := range lanes {
+		b = append(b[:0], `{"ph":"M","name":"thread_name","pid":`...)
+		b = strconv.AppendInt(b, int64(l.pid), 10)
+		b = append(b, `,"tid":`...)
+		b = strconv.AppendInt(b, int64(l.tid), 10)
+		b = append(b, `,"args":{"name":`...)
+		b = appendQuoted(b, l.name)
+		b = append(b, `}}`...)
+		if err := emit(); err != nil {
+			return err
+		}
+	}
+
+	for _, e := range events {
+		b = b[:0]
+		if e.Kind.Span() {
+			b = append(b, `{"ph":"X","name":`...)
+		} else {
+			b = append(b, `{"ph":"i","s":"t","name":`...)
+		}
+		b = appendQuoted(b, e.Kind.String())
+		b = append(b, `,"cat":`...)
+		if e.Shard < 0 {
+			b = appendQuoted(b, "control")
+		} else {
+			b = appendQuoted(b, "shard")
+		}
+		b = append(b, `,"pid":`...)
+		b = strconv.AppendInt(b, int64(chromePID(e.Shard)), 10)
+		b = append(b, `,"tid":`...)
+		b = strconv.AppendInt(b, int64(laneOf(e)), 10)
+		b = append(b, `,"ts":`...)
+		b = append(b, micros(e.Cycles)...)
+		if e.Kind.Span() {
+			b = append(b, `,"dur":`...)
+			b = append(b, micros(e.Dur)...)
+		}
+		b = append(b, `,"args":{"seq":`...)
+		b = strconv.AppendUint(b, e.Seq, 10)
+		b = append(b, `,"barrier":`...)
+		b = strconv.AppendUint(b, e.Barrier, 10)
+		if e.Key != "" {
+			b = append(b, `,"key":`...)
+			b = appendQuoted(b, e.Key)
+		}
+		if e.FuncID != 0 {
+			b = append(b, `,"func":`...)
+			b = strconv.AppendUint(b, uint64(e.FuncID), 10)
+		}
+		if e.Val != 0 {
+			b = append(b, `,"val":`...)
+			b = strconv.AppendInt(b, e.Val, 10)
+		}
+		if e.Note != "" {
+			b = append(b, `,"note":`...)
+			b = appendQuoted(b, e.Note)
+		}
+		b = append(b, `}}`...)
+		if err := emit(); err != nil {
+			return err
+		}
+	}
+
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

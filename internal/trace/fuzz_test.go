@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzTraceEvents decodes arbitrary bytes into an event sequence and
+// asserts the invariant the exporters promise the rest of the repo:
+// ANY span/event mix — hostile keys, invalid UTF-8, extreme cycle
+// counts, out-of-range kinds — encodes to valid JSON with no panics,
+// in both the Chrome trace-event document and the JSONL log.
+func FuzzTraceEvents(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07})
+	// A call span with a quote-heavy key, then a control fault.
+	f.Add([]byte{byte(KCall), 0, 8, 0, 0, 0, 0, 0, 0, 0, 4, '"', '\\', 0xff, 'k',
+		byte(KFault), 0x80, 1, 0, 0, 0, 0, 0, 0, 0, 2, 'a', 'b'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := New(Config{RingCap: 128})
+		rings := map[int]*Ring{}
+		for len(data) >= 11 {
+			var e Event
+			e.Kind = Kind(data[0] % byte(kindCount+2)) // include out-of-range kinds
+			shard := int(data[1]&0x7) - 1              // -1 (control) .. 6
+			e.Cycles = binary.LittleEndian.Uint64(data[2:10])
+			if e.Kind.Span() {
+				e.Dur = e.Cycles / 3
+			}
+			n := int(data[10]) % 16
+			data = data[11:]
+			if n > len(data) {
+				n = len(data)
+			}
+			e.Key = string(data[:n])
+			data = data[n:]
+			e.FuncID = uint32(n)
+			e.Val = int64(shard)
+			e.Note = e.Key
+			if shard < 0 {
+				r.EmitControl(e)
+				continue
+			}
+			e.Shard = shard
+			g := rings[shard]
+			if g == nil {
+				g = r.ShardRing(shard)
+				rings[shard] = g
+			}
+			g.Emit(e)
+			r.SetBarrier(e.Cycles % 97)
+		}
+		events := r.Snapshot()
+
+		var chrome bytes.Buffer
+		if err := WriteChromeTrace(&chrome, events); err != nil {
+			t.Fatalf("WriteChromeTrace: %v", err)
+		}
+		if !json.Valid(chrome.Bytes()) {
+			t.Fatalf("chrome trace is not valid JSON: %s", chrome.Bytes())
+		}
+
+		var jsonl bytes.Buffer
+		if err := WriteJSONL(&jsonl, events); err != nil {
+			t.Fatalf("WriteJSONL: %v", err)
+		}
+		for _, line := range bytes.Split(jsonl.Bytes(), []byte{'\n'}) {
+			if len(line) == 0 {
+				continue
+			}
+			if !json.Valid(line) {
+				t.Fatalf("JSONL line is not valid JSON: %s", line)
+			}
+		}
+	})
+}

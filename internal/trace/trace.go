@@ -1,0 +1,304 @@
+// Package trace is the fleet's deterministic flight recorder:
+// per-call lifecycle spans and control-plane events, timestamped in
+// simulated cycles on each shard's own clock, collected into
+// fixed-size ring buffers and exported as Chrome trace-event JSON
+// (loads directly in Perfetto / chrome://tracing) or a JSONL event
+// log.
+//
+// The recorder is built around two invariants the fleet tests pin:
+//
+//   - Free when off. Every emission site in the fleet is guarded by a
+//     nil check on its ring; with no recorder attached the hot path
+//     (route -> inject -> finish) pays one predictable branch and zero
+//     allocations per call.
+//   - Deterministic when on. Recording only READS simulated state —
+//     shard clocks, barrier numbers, counters — and writes host-side
+//     ring memory. It never advances a clock, never takes a kernel
+//     resource, and never changes a routing decision, so enabling
+//     tracing cannot move a single simulated cycle. Two identical
+//     seeded runs produce byte-identical exports.
+//
+// Ownership mirrors the fleet's concurrency structure: each shard gets
+// its own Ring, written only under the shard's strict-alternation
+// execution (the shard goroutine or the one running native client),
+// so per-call emission takes no lock at all. Fleet-level events —
+// routing decisions, rebalance barriers, chaos faults, autoscaler
+// decisions, placement promotions — go to a shared control ring under
+// a host mutex (they are barrier-path or reader-locked already).
+//
+// A ring holds the most recent Cap events and silently overwrites the
+// oldest — flight-recorder semantics: after a crash or at the end of a
+// long run, the tail of history is what you get, plus a dropped count
+// so truncation is never mistaken for completeness.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Kind enumerates the recorded event types. Per-call lifecycle kinds
+// follow one request through its shard; control kinds mark the
+// fleet-level decisions that explain why the per-call picture changed.
+type Kind uint8
+
+const (
+	// KRoute: the placement strategy assigned a request to a shard
+	// (control ring; Val = chosen shard).
+	KRoute Kind = iota
+	// KAdmit: a job entered a shard's kernel stretch (Val = requests).
+	KAdmit
+	// KInject: one call entered its client's queue on the shard.
+	KInject
+	// KExec: the client process began serving the call (queue wait is
+	// KExec minus KInject).
+	KExec
+	// KCall: one completed call, as a span — Cycles is the arrival
+	// instant, Dur the queueing delay plus service time.
+	KCall
+	// KCacheHit: an idempotent call answered from the result cache
+	// (span of one memo-table probe).
+	KCacheHit
+	// Control-job spans on the shard clock: session handoffs between
+	// shards and chaos/elastic recovery work.
+	KMigrateOut
+	KWarmIn
+	KReplicaIn
+	KReplicaOut
+	KRewarm
+	// KStall: a chaos stall advanced the shard clock (Dur = cycles).
+	KStall
+	// KDrop: a chaos fault tore down a live session.
+	KDrop
+	// KEvict: a session was torn down (release, LRU, migration drain).
+	KEvict
+	// KBarrier: one rebalance barrier (control ring; Val = barrier).
+	KBarrier
+	// KFault: a chaos fault fired (control ring; Note = fault spec).
+	KFault
+	// KAutoscale: one autoscaler window decision (control ring; Note =
+	// p99/SLO/action summary, Val = the acted-on shard when resizing).
+	KAutoscale
+	// KShardUp / KShardDrain: elastic lifecycle (control ring).
+	KShardUp
+	KShardDrain
+	// KPromote: a replicated key's primary failed over or drained and a
+	// surviving replica was promoted (control ring; Val = new primary).
+	KPromote
+	kindCount
+)
+
+var kindNames = [kindCount]string{
+	"route", "admit", "inject", "exec", "call", "cache_hit",
+	"migrate_out", "warm_in", "replica_in", "replica_out", "rewarm",
+	"stall", "drop", "evict", "barrier", "fault", "autoscale",
+	"shard_up", "shard_drain", "promote",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// MarshalJSON renders the kind as its name, keeping JSONL logs
+// greppable without a decoder table.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return appendQuoted(nil, k.String()), nil
+}
+
+// Span reports whether events of this kind carry a duration (rendered
+// as complete "X" trace events; everything else is an instant).
+func (k Kind) Span() bool {
+	switch k {
+	case KCall, KCacheHit, KMigrateOut, KWarmIn, KReplicaIn, KReplicaOut,
+		KRewarm, KStall:
+		return true
+	}
+	return false
+}
+
+// FleetShard is the Shard value of fleet-level (control ring) events:
+// they happen outside any single shard's clock domain.
+const FleetShard = -1
+
+// Event is one recorded occurrence. The struct is a flat value type —
+// emitting one copies it into preallocated ring memory and allocates
+// nothing.
+type Event struct {
+	// Seq orders events within their ring (assigned by Emit).
+	Seq uint64 `json:"seq"`
+	// Barrier is the rebalance-barrier number current at emission
+	// (stamped by Emit), tying every event to the epoch structure the
+	// chaos engine and autoscaler act on.
+	Barrier uint64 `json:"barrier"`
+	Kind    Kind   `json:"kind"`
+	// Shard is the emitting shard, or FleetShard for control events.
+	Shard int `json:"shard"`
+	// Cycles is the event's timestamp on its shard's simulated clock
+	// (span start for span kinds; 0 for fleet-level events, which have
+	// no clock of their own).
+	Cycles uint64 `json:"cycles"`
+	// Dur is the span length in cycles (span kinds only).
+	Dur uint64 `json:"dur_cycles,omitempty"`
+	// Key is the client key of per-call and per-session events.
+	Key string `json:"key,omitempty"`
+	// FuncID is the called function of per-call events.
+	FuncID uint32 `json:"func,omitempty"`
+	// Val is a kind-specific numeric detail: the routed/promoted/acted
+	// shard, a barrier number, a request count.
+	Val int64 `json:"val,omitempty"`
+	// Note is a kind-specific annotation (fault spec, autoscaler
+	// decision summary, backend profile).
+	Note string `json:"note,omitempty"`
+}
+
+// Ring is one fixed-size event buffer. A Ring is single-writer: the
+// fleet gives each shard its own (written only under the shard's
+// strict-alternation execution) and funnels everything else through
+// the recorder's locked control ring.
+type Ring struct {
+	rec *Recorder
+	buf []Event
+	// next is the total number of events ever emitted; next % cap is
+	// the slot the next event lands in.
+	next uint64
+}
+
+// Emit records one event, stamping its sequence number and the current
+// barrier. The oldest event is overwritten when the ring is full.
+// Allocation-free: e is copied into preallocated ring memory.
+func (g *Ring) Emit(e Event) {
+	e.Seq = g.next
+	e.Barrier = g.rec.barrier.Load()
+	g.buf[g.next%uint64(len(g.buf))] = e
+	g.next++
+	g.rec.emitted.Add(1)
+	if g.next > uint64(len(g.buf)) {
+		g.rec.dropped.Add(1)
+	}
+}
+
+// snapshot appends the ring's retained events, oldest first.
+func (g *Ring) snapshot(out []Event) []Event {
+	n := g.next
+	c := uint64(len(g.buf))
+	start := uint64(0)
+	if n > c {
+		start = n - c
+	}
+	for i := start; i < n; i++ {
+		out = append(out, g.buf[i%c])
+	}
+	return out
+}
+
+// DefaultRingCap is the per-ring event capacity when Config leaves it
+// zero: enough for the tail of a load-curve point without unbounded
+// memory on long runs.
+const DefaultRingCap = 8192
+
+// Config tunes a Recorder.
+type Config struct {
+	// RingCap is the event capacity of every ring — one per shard plus
+	// the control ring (0 = DefaultRingCap).
+	RingCap int
+}
+
+// Recorder is the flight recorder: one control ring plus one ring per
+// shard, created on demand. A Recorder may outlive a fleet (the rings
+// keep their tails), but at most one fleet may write to it at a time.
+type Recorder struct {
+	cap     int
+	barrier atomic.Uint64
+	emitted atomic.Uint64
+	dropped atomic.Uint64
+
+	mu      sync.Mutex
+	control *Ring
+	// routes is the routing decisions' own ring: route events arrive at
+	// call rate, and sharing the control ring would wrap it and evict
+	// the rare events (faults, barriers, autoscaler decisions) a flight
+	// recorder exists to keep.
+	routes *Ring
+	shards []*Ring // indexed by shard id; nil until first requested
+}
+
+// New builds a Recorder.
+func New(cfg Config) *Recorder {
+	if cfg.RingCap <= 0 {
+		cfg.RingCap = DefaultRingCap
+	}
+	r := &Recorder{cap: cfg.RingCap}
+	r.control = &Ring{rec: r, buf: make([]Event, cfg.RingCap)}
+	r.routes = &Ring{rec: r, buf: make([]Event, cfg.RingCap)}
+	return r
+}
+
+// ShardRing returns shard id's ring, creating it on first request.
+// Safe to call from any goroutine; the RETURNED ring is single-writer
+// (the caller must own all writes to it).
+func (r *Recorder) ShardRing(id int) *Ring {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.shards) <= id {
+		r.shards = append(r.shards, nil)
+	}
+	if r.shards[id] == nil {
+		r.shards[id] = &Ring{rec: r, buf: make([]Event, r.cap)}
+	}
+	return r.shards[id]
+}
+
+// EmitControl records one fleet-level event on the control ring. Safe
+// for concurrent use.
+func (r *Recorder) EmitControl(e Event) {
+	e.Shard = FleetShard
+	r.mu.Lock()
+	r.control.Emit(e)
+	r.mu.Unlock()
+}
+
+// EmitRoute records one routing decision on the route ring. Safe for
+// concurrent use; under live traffic the interleaving follows host
+// scheduling, under RunPlan/RunSchedule routing is serial and the ring
+// order is deterministic.
+func (r *Recorder) EmitRoute(e Event) {
+	e.Kind = KRoute
+	e.Shard = FleetShard
+	r.mu.Lock()
+	r.routes.Emit(e)
+	r.mu.Unlock()
+}
+
+// SetBarrier advances the barrier number stamped on every subsequent
+// event. The fleet calls it at the top of each rebalance barrier.
+func (r *Recorder) SetBarrier(n uint64) { r.barrier.Store(n) }
+
+// Barrier returns the current barrier number.
+func (r *Recorder) Barrier() uint64 { return r.barrier.Load() }
+
+// Counts reports how many events were emitted in total and how many
+// were overwritten by ring wraparound (the flight-recorder truncation
+// indicator).
+func (r *Recorder) Counts() (emitted, dropped uint64) {
+	return r.emitted.Load(), r.dropped.Load()
+}
+
+// Snapshot returns every retained event: control ring first, then the
+// route ring, then each shard ring in id order, each oldest-first. The
+// order is a pure function of the emission history, so deterministic
+// runs snapshot identically.
+func (r *Recorder) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.control.snapshot(nil)
+	out = r.routes.snapshot(out)
+	for _, g := range r.shards {
+		if g != nil {
+			out = g.snapshot(out)
+		}
+	}
+	return out
+}

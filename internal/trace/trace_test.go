@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRingSeqAndBarrierStamping(t *testing.T) {
+	r := New(Config{RingCap: 8})
+	g := r.ShardRing(0)
+	g.Emit(Event{Kind: KInject, Shard: 0, Cycles: 10})
+	r.SetBarrier(3)
+	g.Emit(Event{Kind: KCall, Shard: 0, Cycles: 20, Dur: 5})
+	ev := r.Snapshot()
+	if len(ev) != 2 {
+		t.Fatalf("got %d events, want 2", len(ev))
+	}
+	if ev[0].Seq != 0 || ev[1].Seq != 1 {
+		t.Fatalf("seq = %d,%d, want 0,1", ev[0].Seq, ev[1].Seq)
+	}
+	if ev[0].Barrier != 0 || ev[1].Barrier != 3 {
+		t.Fatalf("barrier = %d,%d, want 0,3", ev[0].Barrier, ev[1].Barrier)
+	}
+}
+
+func TestRingWraparoundKeepsTail(t *testing.T) {
+	r := New(Config{RingCap: 4})
+	g := r.ShardRing(2)
+	for i := 0; i < 10; i++ {
+		g.Emit(Event{Kind: KExec, Shard: 2, Cycles: uint64(i)})
+	}
+	ev := r.Snapshot()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d events, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if want := uint64(6 + i); e.Cycles != want {
+			t.Fatalf("event %d cycles = %d, want %d (oldest-first tail)",
+				i, e.Cycles, want)
+		}
+	}
+	emitted, dropped := r.Counts()
+	if emitted != 10 || dropped != 6 {
+		t.Fatalf("counts = %d emitted, %d dropped; want 10, 6", emitted, dropped)
+	}
+}
+
+func TestSnapshotOrderControlThenShards(t *testing.T) {
+	r := New(Config{RingCap: 8})
+	g1 := r.ShardRing(1)
+	g0 := r.ShardRing(0)
+	g1.Emit(Event{Kind: KExec, Shard: 1})
+	r.EmitControl(Event{Kind: KBarrier, Val: 1})
+	g0.Emit(Event{Kind: KExec, Shard: 0})
+	ev := r.Snapshot()
+	if len(ev) != 3 {
+		t.Fatalf("got %d events, want 3", len(ev))
+	}
+	if ev[0].Kind != KBarrier || ev[0].Shard != FleetShard {
+		t.Fatalf("first event = %v shard %d, want control barrier", ev[0].Kind, ev[0].Shard)
+	}
+	if ev[1].Shard != 0 || ev[2].Shard != 1 {
+		t.Fatalf("shard order = %d,%d, want 0,1", ev[1].Shard, ev[2].Shard)
+	}
+}
+
+func TestShardRingIsStable(t *testing.T) {
+	r := New(Config{})
+	if r.ShardRing(3) != r.ShardRing(3) {
+		t.Fatal("ShardRing(3) returned two different rings")
+	}
+	if r.ShardRing(3) == r.ShardRing(1) {
+		t.Fatal("distinct shards share a ring")
+	}
+}
+
+func TestKindNamesComplete(t *testing.T) {
+	for k := Kind(0); k < kindCount; k++ {
+		if k.String() == "" || k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if Kind(250).String() != "unknown" {
+		t.Fatalf("out-of-range kind = %q, want unknown", Kind(250).String())
+	}
+}
+
+func TestWriteJSONLValidAndRoundTrips(t *testing.T) {
+	events := []Event{
+		{Seq: 0, Barrier: 2, Kind: KCall, Shard: 1, Cycles: 599, Dur: 1198,
+			Key: "k\"\\\nodd", FuncID: 7, Val: -3, Note: "svc"},
+		{Seq: 1, Kind: KFault, Shard: FleetShard, Note: "kill:0@5"},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var got struct {
+		Seq     uint64 `json:"seq"`
+		Barrier uint64 `json:"barrier"`
+		Kind    string `json:"kind"`
+		Shard   int    `json:"shard"`
+		Cycles  uint64 `json:"cycles"`
+		Dur     uint64 `json:"dur_cycles"`
+		Key     string `json:"key"`
+		Func    uint32 `json:"func"`
+		Val     int64  `json:"val"`
+		Note    string `json:"note"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
+		t.Fatalf("line 0 not valid JSON: %v", err)
+	}
+	if got.Kind != "call" || got.Key != "k\"\\\nodd" || got.Dur != 1198 ||
+		got.Val != -3 || got.Barrier != 2 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &got); err != nil {
+		t.Fatalf("line 1 not valid JSON: %v", err)
+	}
+	if got.Kind != "fault" || got.Note != "kill:0@5" || got.Shard != FleetShard {
+		t.Fatalf("fault line mismatch: %+v", got)
+	}
+}
+
+func TestWriteChromeTraceShape(t *testing.T) {
+	events := []Event{
+		{Kind: KFault, Shard: FleetShard, Note: "kill:0@5", Barrier: 5},
+		{Kind: KCall, Shard: 0, Cycles: 599, Dur: 5990, Key: "alpha", FuncID: 2},
+		{Kind: KInject, Shard: 0, Cycles: 300, Key: "alpha"},
+		{Kind: KRewarm, Shard: 1, Cycles: 1000, Dur: 250, Key: "beta"},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v\n%s", err, buf.String())
+	}
+	var names []string
+	spans := 0
+	for _, te := range doc.TraceEvents {
+		names = append(names, te["name"].(string))
+		if te["ph"] == "X" {
+			spans++
+			if te["dur"] == nil {
+				t.Fatalf("span event missing dur: %v", te)
+			}
+		}
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"process_name", "thread_name", "fault", "call", "inject", "rewarm"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("trace missing %q events: %s", want, joined)
+		}
+	}
+	if spans != 2 {
+		t.Fatalf("got %d span events, want 2 (call + rewarm)", spans)
+	}
+	// The 599-cycle call must land at ts=1µs on the trace timebase.
+	for _, te := range doc.TraceEvents {
+		if te["name"] == "call" {
+			if ts := te["ts"].(float64); ts != 1 {
+				t.Fatalf("call ts = %v µs, want 1", ts)
+			}
+			args := te["args"].(map[string]any)
+			if args["barrier"].(float64) != 0 || args["key"].(string) != "alpha" {
+				t.Fatalf("call args mismatch: %v", args)
+			}
+		}
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	events := []Event{
+		{Kind: KCall, Shard: 0, Cycles: 10, Dur: 4, Key: "b"},
+		{Kind: KCall, Shard: 0, Cycles: 12, Dur: 4, Key: "a"},
+		{Kind: KCall, Shard: 1, Cycles: 14, Dur: 4, Key: "a"},
+		{Kind: KBarrier, Shard: FleetShard, Val: 1},
+	}
+	var one, two bytes.Buffer
+	if err := WriteChromeTrace(&one, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&two, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Fatal("identical event slices exported differently")
+	}
+}
+
+func TestAppendQuotedInvalidUTF8(t *testing.T) {
+	q := appendQuoted(nil, "ok\xffbad\x00ctl")
+	var s string
+	if err := json.Unmarshal(q, &s); err != nil {
+		t.Fatalf("quoted invalid UTF-8 is not valid JSON: %v (%s)", err, q)
+	}
+	if !strings.Contains(s, "�") {
+		t.Fatalf("invalid byte not replaced: %q", s)
+	}
+}
+
+func TestEmitDisabledPathAllocs(t *testing.T) {
+	// The fleet's guard pattern: a nil ring costs one branch. This pins
+	// the enabled path too — Emit into a preallocated ring must not
+	// allocate, or tracing would perturb the host GC while the fleet
+	// races the simulated clock.
+	r := New(Config{RingCap: 64})
+	g := r.ShardRing(0)
+	e := Event{Kind: KCall, Shard: 0, Cycles: 1, Dur: 2, Key: "k"}
+	if n := testing.AllocsPerRun(200, func() { g.Emit(e) }); n != 0 {
+		t.Fatalf("Ring.Emit allocates %v per op, want 0", n)
+	}
+}
