@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all ci lint build vet test race fuzz-short bench bench-json bench-check loadcurve fleet fig8 mix chaos elastic observe trace
+.PHONY: all ci lint build vet test race fuzz-short bench bench-json bench-check loadcurve fleet fig8 mix chaos elastic observe trace serve
 
 all: ci
 
@@ -53,6 +53,7 @@ fuzz-short:
 	$(GO) test -run=NONE -fuzz=FuzzChaosRoute -fuzztime=10s ./internal/fleet
 	$(GO) test -run=NONE -fuzz=FuzzPlacementOps -fuzztime=10s ./internal/placement
 	$(GO) test -run=NONE -fuzz=FuzzTraceEvents -fuzztime=10s ./internal/trace
+	$(GO) test -run=NONE -fuzz=FuzzSpecParse -fuzztime=10s ./internal/spec
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -139,6 +140,15 @@ trace:
 		-skew 1.5 -epochs 6 -replicas 2 -chaos kill:0@4 \
 		-json /tmp/BENCH_trace_drill.json \
 		-trace TRACE_fleet.json -events TRACE_fleet.jsonl
+
+# The serving smoke drill (see README "Running as a server"): build
+# smodfleetd/smodfleetctl, boot the daemon on loopback from a 4-shard
+# spec, run a wall-clock client burst, apply a live 4 -> 2 spec edit
+# over SIGHUP, assert reconcile convergence via /reconcile, and shut
+# down gracefully. The spec/reconcile unit layer runs first.
+serve:
+	$(GO) test -race ./internal/spec ./internal/reconcile ./cmd/smodfleetd
+	sh scripts/serve-smoke.sh
 
 # The paper's Figure 8 table (scaled down; see cmd/smodbench -h).
 fig8:

@@ -86,7 +86,7 @@ func (f *Fleet) killShard(sid int) error {
 	f.down[sid] = true
 	f.mu.Unlock()
 
-	rehomes := f.place.OnShardDown(sid)
+	rehomes := f.placement().OnShardDown(sid)
 
 	f.mu.Lock()
 	close(f.shards[sid].inbox)
@@ -148,7 +148,7 @@ func (f *Fleet) stallShard(sid int, cycles uint64) {
 // binding is reclaimed through the eviction hook and the key recovers
 // by re-attaching (cold) on its next call.
 func (f *Fleet) dropSession(key string) {
-	sid, ok := f.place.Lookup(key)
+	sid, ok := f.placement().Lookup(key)
 	if !ok {
 		return
 	}

@@ -316,7 +316,7 @@ func TestChaosCorruptWarmRecovers(t *testing.T) {
 	if err := respErr(f.RunPlan(plan)); err != nil {
 		t.Fatal(err)
 	}
-	if sid, ok := f.place.Lookup("k00"); !ok || sid != 0 {
+	if sid, ok := f.placement().Lookup("k00"); !ok || sid != 0 {
 		t.Fatalf("k00 on shard %d (ok=%v), want 0; test is vacuous", sid, ok)
 	}
 	if err := respErr(f.RunPlan(plan)); err != nil { // kill + corrupt fire, then calls
@@ -328,7 +328,7 @@ func TestChaosCorruptWarmRecovers(t *testing.T) {
 	}
 	// k00's poisoned re-warm was discarded, so it re-attached cold on
 	// the post-kill call; its binding must be live and load consistent.
-	if sid, ok := f.place.Lookup("k00"); !ok || sid != 1 {
+	if sid, ok := f.placement().Lookup("k00"); !ok || sid != 1 {
 		t.Fatalf("k00 on shard %d (ok=%v) after recovery, want 1", sid, ok)
 	}
 	if load := f.PoolLoad(); load[0] != 0 || load[1] != 4 {
@@ -400,7 +400,7 @@ func TestReleaseDuringMigrationNoOrphanedBinding(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if n := f.place.Assigned(); n != 0 {
+	if n := f.placement().Assigned(); n != 0 {
 		t.Fatalf("%d keys still assigned after releasing all", n)
 	}
 	for sid, n := range f.PoolLoad() {

@@ -51,6 +51,15 @@ func (f *Fleet) AddShard(p backend.Profile) (int, error) {
 // Errors, all matchable with errors.Is: ErrFleetClosed, ErrUnknownShard
 // (no such id), ErrShardDown (already dead), ErrDrainInProgress
 // (already queued or draining). The last live shard is never drained.
+//
+// When two control planes race a drain of the same shard onto the same
+// barrier, first queued wins: the draining mark is set here, under the
+// lock, the moment the drain is accepted, so the later caller —
+// typically the SLO autoscaler deciding inside the barrier after a
+// reconcile loop queued its drain before it — gets ErrDrainInProgress
+// and must treat the shard as already handled (autoStep does, holding
+// its window). The winner is deterministic because queueing order is:
+// all pre-barrier callers first, then the autoscaler's autoStep.
 func (f *Fleet) DrainShard(sid int) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -144,7 +153,7 @@ func (f *Fleet) growShard(p backend.Profile) error {
 	if err != nil {
 		return fmt.Errorf("fleet: add shard %d: %w", id, err)
 	}
-	sh.onEvict = func(key string) { f.place.Evicted(key, sh.id) }
+	sh.onEvict = func(key string) { f.placement().Evicted(key, sh.id) }
 	if sh.cache != nil {
 		sh.idemp = f.idemp
 	}
@@ -164,7 +173,7 @@ func (f *Fleet) growShard(p backend.Profile) error {
 		sh.ring = f.tr.ShardRing(id)
 		f.tr.EmitControl(trace.Event{Kind: trace.KShardUp, Val: int64(id), Note: p.Label()})
 	}
-	f.place.OnShardUp(id, p.CostFactor())
+	f.placement().OnShardUp(id, p.CostFactor())
 	f.wg.Add(1)
 	go func() {
 		defer f.wg.Done()
@@ -190,7 +199,7 @@ func (f *Fleet) retireShard(sid int) error {
 	if f.tr != nil {
 		f.tr.EmitControl(trace.Event{Kind: trace.KShardDrain, Val: int64(sid)})
 	}
-	moves := f.place.PlanDrain(sid)
+	moves := f.placement().PlanDrain(sid)
 	var jobs []*job
 	f.mu.Lock()
 	if f.closed {
@@ -201,7 +210,7 @@ func (f *Fleet) retireShard(sid int) error {
 		if f.down[mv.From] || (mv.To >= 0 && mv.To < len(f.down) && f.down[mv.To]) {
 			continue
 		}
-		if !f.place.Commit(mv) {
+		if !f.placement().Commit(mv) {
 			continue // released or re-homed since the plan: skip
 		}
 		switch mv.Kind {
@@ -228,7 +237,7 @@ func (f *Fleet) retireShard(sid int) error {
 	// Final fence: reclaim whatever the plan missed (a concurrent
 	// allocation that slipped in before the draining mark, a refused
 	// commit). Usually empty; orphans re-warm on their new homes below.
-	rehomes := f.place.OnShardDown(sid)
+	rehomes := f.placement().OnShardDown(sid)
 
 	f.mu.Lock()
 	if f.closed {
@@ -266,8 +275,10 @@ func (f *Fleet) retireShard(sid int) error {
 // autoStep feeds the autoscaler one barrier window — the merged
 // per-shard latency histogram since the previous barrier — and queues
 // the resize it decides. Runs on the barrier path, before applyElastic,
-// so a decision takes effect at this same barrier.
-func (f *Fleet) autoStep() error {
+// so a decision takes effect at this same barrier. The controller is
+// passed in (read once under the lock) because SetAutoscaler may
+// replace it between barriers.
+func (f *Fleet) autoStep(auto *autoscale.Controller) error {
 	p99us, calls := f.collectWindow()
 	f.mu.RLock()
 	if f.closed {
@@ -281,7 +292,7 @@ func (f *Fleet) autoStep() error {
 		}
 	}
 	f.mu.RUnlock()
-	act := f.auto.Decide(autoscale.Window{P99Micros: p99us, Calls: calls, Live: live})
+	act := auto.Decide(autoscale.Window{P99Micros: p99us, Calls: calls, Live: live})
 	if f.met != nil {
 		f.met.autoP99.Set(p99us)
 		f.met.autoWindowCalls.Set(float64(calls))
@@ -300,14 +311,14 @@ func (f *Fleet) autoStep() error {
 		switch {
 		case act.Add != nil:
 			e.Note = fmt.Sprintf("p99=%.1fus slo=%.0fus calls=%d add=%s",
-				p99us, f.cfg.auto.SLOMicros, calls, act.Add.Label())
+				p99us, auto.Config().SLOMicros, calls, act.Add.Label())
 		case act.Drain >= 0:
 			e.Val = int64(act.Drain)
 			e.Note = fmt.Sprintf("p99=%.1fus slo=%.0fus calls=%d drain=%d",
-				p99us, f.cfg.auto.SLOMicros, calls, act.Drain)
+				p99us, auto.Config().SLOMicros, calls, act.Drain)
 		default:
 			e.Note = fmt.Sprintf("p99=%.1fus slo=%.0fus calls=%d hold",
-				p99us, f.cfg.auto.SLOMicros, calls)
+				p99us, auto.Config().SLOMicros, calls)
 		}
 		f.tr.EmitControl(e)
 	}

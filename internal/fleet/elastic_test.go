@@ -62,7 +62,7 @@ func TestAddShardJoinsAtBarrier(t *testing.T) {
 	if len(load) != 3 || load[2] == 0 {
 		t.Fatalf("new shard took no keys: load = %v", load)
 	}
-	if sid, ok := f.place.Lookup("new-a"); !ok || sid != 2 {
+	if sid, ok := f.placement().Lookup("new-a"); !ok || sid != 2 {
 		t.Fatalf("new-a on shard %d (ok=%v), want 2", sid, ok)
 	}
 	if st := f.Stats(); st.ShardsAdded != 1 || st.ShardsDrained != 0 || st.ShardsDown != 0 {

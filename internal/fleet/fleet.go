@@ -56,7 +56,6 @@ package fleet
 import (
 	"errors"
 	"fmt"
-	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -244,8 +243,11 @@ func merge(per []ShardStats) Stats {
 type Fleet struct {
 	cfg    config
 	shards []*shard
-	// place owns routing, rebalancing, and replica fan-out.
-	place placement.Placement
+	// place owns routing, rebalancing, and replica fan-out. It is an
+	// atomic pointer because SwapPlacement replaces the strategy at a
+	// rebalance barrier while shard goroutines may be reporting
+	// evictions concurrently; every reader goes through placement().
+	place atomic.Pointer[placeBox]
 	// idemp marks the module's spec-declared idempotent funcIDs (from
 	// shard 0; provisioning is identical across shards). Routing passes
 	// the flag to the placement strategy — only idempotent calls may be
@@ -291,6 +293,14 @@ type Fleet struct {
 	pendingDrains []int
 	added         int
 	drainedN      int
+	// pendingSwap and pendingAuto queue control-plane replacements —
+	// a new placement strategy, a new (or nil) autoscaler config —
+	// applied at the next rebalance barrier (see reconcile.go). Both
+	// are nil/false on a fleet that never calls the reconcile hooks,
+	// so the barrier path is unchanged for every existing caller.
+	pendingSwap    placement.Placement
+	pendingAuto    *autoscale.Config
+	pendingAutoSet bool
 	// corrupt marks keys whose next warm-in is poisoned (CorruptWarm).
 	corrupt map[string]bool
 	wg      sync.WaitGroup
@@ -316,7 +326,14 @@ var (
 	ErrUnknownShard = errors.New("fleet: unknown shard")
 
 	// ErrDrainInProgress is returned by DrainShard when the shard is
-	// already draining (queued or mid-evacuation).
+	// already draining (queued or mid-evacuation). It is how the fleet
+	// picks one winner when two control planes target the same shard in
+	// the same barrier: the drain queued first wins, and every later
+	// DrainShard for that shard reports ErrDrainInProgress. In
+	// particular, a reconcile drain queued before a barrier always
+	// beats the autoscaler's decision inside that barrier — autoStep
+	// tolerates the error and simply holds its window, so exactly one
+	// drain executes (the regression test pins this).
 	ErrDrainInProgress = errors.New("fleet: drain in progress")
 )
 
@@ -340,7 +357,6 @@ func Open(opts ...Option) (*Fleet, error) {
 	}
 	f := &Fleet{
 		cfg:      cfg,
-		place:    cfg.place,
 		chaosEng: cfg.chaosEng,
 		tr:       cfg.tr,
 		down:     make([]bool, cfg.shards),
@@ -348,6 +364,7 @@ func Open(opts ...Option) (*Fleet, error) {
 		drained:  make([]bool, cfg.shards),
 		corrupt:  map[string]bool{},
 	}
+	f.place.Store(&placeBox{p: cfg.place})
 	if cfg.auto != nil {
 		f.auto = autoscale.New(*cfg.auto)
 	}
@@ -363,7 +380,7 @@ func Open(opts ...Option) (*Fleet, error) {
 		if err != nil {
 			return nil, err
 		}
-		sh.onEvict = func(key string) { f.place.Evicted(key, sh.id) }
+		sh.onEvict = func(key string) { f.placement().Evicted(key, sh.id) }
 		if f.tr != nil {
 			sh.ring = f.tr.ShardRing(i)
 		}
@@ -376,18 +393,7 @@ func Open(opts ...Option) (*Fleet, error) {
 	}
 	// With tracing on, record replica promotions (primary failovers on
 	// kills and drains) through the strategy's optional observer hook.
-	if f.tr != nil {
-		if po, ok := f.place.(placement.PromoteObserver); ok {
-			po.ObservePromotions(func(key string, from, to int) {
-				f.tr.EmitControl(trace.Event{
-					Kind: trace.KPromote,
-					Key:  key,
-					Val:  int64(to),
-					Note: "from shard " + strconv.Itoa(from),
-				})
-			})
-		}
-	}
+	f.installPromoteObserver(cfg.place)
 	// One derivation of the module's idempotent funcIDs, shared by the
 	// routing layer and every shard's result cache (the map is
 	// read-only once the shard goroutines start below).
@@ -446,7 +452,7 @@ func (f *Fleet) route(req *Request, j *job) (int, error) {
 	if f.closed {
 		return -1, ErrClosed
 	}
-	sid := f.place.Route(placement.Call{Key: req.Key, Idempotent: f.idemp[req.FuncID]})
+	sid := f.placement().Route(placement.Call{Key: req.Key, Idempotent: f.idemp[req.FuncID]})
 	if f.tr != nil {
 		f.tr.EmitRoute(trace.Event{Key: req.Key, FuncID: req.FuncID, Val: int64(sid)})
 	}
@@ -553,7 +559,7 @@ func (f *Fleet) submitGrouped(n int, reqOf func(int) *Request,
 	perShard := make([][]int, len(f.shards))
 	for i := 0; i < n; i++ {
 		req := reqOf(i)
-		sid := f.place.Route(placement.Call{Key: req.Key, Idempotent: f.idemp[req.FuncID]})
+		sid := f.placement().Route(placement.Call{Key: req.Key, Idempotent: f.idemp[req.FuncID]})
 		if f.tr != nil {
 			f.tr.EmitRoute(trace.Event{Key: req.Key, FuncID: req.FuncID, Val: int64(sid)})
 		}
@@ -651,7 +657,7 @@ func (f *Fleet) RunSchedule(treqs []TimedRequest) ([]Response, error) {
 // passes its shard; such a session is reclaimed by the next Release (or
 // LRU cap).
 func (f *Fleet) Release(key string) error {
-	f.place.Release(key)
+	f.placement().Release(key)
 	var jobs []*job
 	for sid := range f.shards {
 		j := &job{kind: jobRelease, key: key, done: make(chan struct{})}
@@ -721,19 +727,27 @@ func (f *Fleet) rebalance() (int, error) {
 	if err := f.applyChaos(); err != nil {
 		return 0, err
 	}
+	// A queued autoscaler replacement (SetAutoscaler) lands before the
+	// window read, so a new band steers this same barrier's decision.
+	f.applyAutoConfig()
 	// Then the autoscaler reads the closing barrier window and may queue
 	// a resize, and every queued add/drain — autoscaled or explicit —
 	// takes effect, so the rebalance below plans over the resized fleet
 	// (new shards are the coldest targets; drained shards are gone).
-	if f.auto != nil {
-		if err := f.autoStep(); err != nil {
+	if auto := f.autoController(); auto != nil {
+		if err := f.autoStep(auto); err != nil {
 			return 0, err
 		}
 	}
 	if err := f.applyElastic(); err != nil {
 		return 0, err
 	}
-	moves := f.place.Rebalance()
+	// A queued strategy replacement (SwapPlacement) binds over the
+	// post-resize shard set and routes everything from here on.
+	if err := f.applySwap(); err != nil {
+		return 0, err
+	}
+	moves := f.placement().Rebalance()
 	if len(moves) == 0 {
 		return 0, nil
 	}
@@ -751,7 +765,7 @@ func (f *Fleet) rebalance() (int, error) {
 		if f.down[mv.From] || f.down[mv.To] {
 			continue
 		}
-		if !f.place.Commit(mv) {
+		if !f.placement().Commit(mv) {
 			continue // released or re-homed since the plan: skip
 		}
 		applied++
@@ -822,7 +836,7 @@ func (f *Fleet) Stats() Stats {
 
 // PoolLoad exposes the placement strategy's per-shard binding counts
 // (replica bindings each count once).
-func (f *Fleet) PoolLoad() []int { return f.place.Load() }
+func (f *Fleet) PoolLoad() []int { return f.placement().Load() }
 
 // Close shuts the fleet down: every shard drains its inbox, unparks
 // its clients with the shutdown flag, and runs its kernel until all

@@ -171,8 +171,8 @@ func TestReleaseReclaimsSessionAndPoolSlot(t *testing.T) {
 	if _, err := f.Call("tenant", incr, 7); err != nil {
 		t.Fatal(err)
 	}
-	if f.place.Assigned() != 1 {
-		t.Fatalf("assigned = %d, want 1", f.place.Assigned())
+	if f.placement().Assigned() != 1 {
+		t.Fatalf("assigned = %d, want 1", f.placement().Assigned())
 	}
 	st := f.Stats()
 	var live int
@@ -186,8 +186,8 @@ func TestReleaseReclaimsSessionAndPoolSlot(t *testing.T) {
 	if err := f.Release("tenant"); err != nil {
 		t.Fatal(err)
 	}
-	if f.place.Assigned() != 0 {
-		t.Errorf("assigned after Release = %d, want 0", f.place.Assigned())
+	if f.placement().Assigned() != 0 {
+		t.Errorf("assigned after Release = %d, want 0", f.placement().Assigned())
 	}
 	st = f.Stats()
 	live = 0
@@ -230,7 +230,7 @@ func TestLRUEviction(t *testing.T) {
 	}
 	// Eviction reclaims the pool slot along with the session, so pool
 	// assignments track live sessions rather than every key ever seen.
-	if got := f.place.Assigned(); got > 2 {
+	if got := f.placement().Assigned(); got > 2 {
 		t.Errorf("pool assignments = %d, want <= cap 2 (eviction must reclaim slots)", got)
 	}
 }

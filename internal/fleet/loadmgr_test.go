@@ -82,7 +82,7 @@ func TestMigrationRebalancesSkewedLoad(t *testing.T) {
 		}
 		if round == 0 {
 			for _, k := range keys {
-				sid, ok := f.place.Lookup(k)
+				sid, ok := f.placement().Lookup(k)
 				if !ok {
 					t.Fatalf("%s unassigned after first plan", k)
 				}
@@ -105,7 +105,7 @@ func TestMigrationRebalancesSkewedLoad(t *testing.T) {
 	hotShard := before["k00"]
 	stillThere := 0
 	for _, k := range keys {
-		if sid, ok := f.place.Lookup(k); ok && before[k] == hotShard && sid == hotShard {
+		if sid, ok := f.placement().Lookup(k); ok && before[k] == hotShard && sid == hotShard {
 			stillThere++
 		}
 	}
@@ -372,7 +372,7 @@ func TestWarmSessionAfterMigration(t *testing.T) {
 		}
 		if round == 0 {
 			for _, k := range keys {
-				before[k], _ = f.place.Lookup(k)
+				before[k], _ = f.placement().Lookup(k)
 			}
 		}
 	}
@@ -383,7 +383,7 @@ func TestWarmSessionAfterMigration(t *testing.T) {
 	// Find a key that actually moved and its new home.
 	moved, sid := "", -1
 	for _, k := range keys {
-		if cur, ok := f.place.Lookup(k); ok && cur != before[k] {
+		if cur, ok := f.placement().Lookup(k); ok && cur != before[k] {
 			moved, sid = k, cur
 			break
 		}
@@ -422,7 +422,7 @@ func TestReleaseAfterMigration(t *testing.T) {
 	if err := f.Release("k00"); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := f.place.Lookup("k00"); ok {
+	if _, ok := f.placement().Lookup("k00"); ok {
 		t.Fatal("k00 still assigned after Release")
 	}
 	v, err := f.Call("k00", incr, 9)

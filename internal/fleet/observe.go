@@ -143,6 +143,6 @@ func (f *Fleet) publishMetrics(st Stats) {
 	if f.met == nil {
 		return
 	}
-	f.met.publish(st, f.place.Load(), f.LiveShards(), f.LiveCostUnits(),
+	f.met.publish(st, f.placement().Load(), f.LiveShards(), f.LiveCostUnits(),
 		f.barriers.Load(), f.tr)
 }

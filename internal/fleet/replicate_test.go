@@ -49,7 +49,7 @@ func replicate(t *testing.T, f *Fleet, rounds int) {
 			t.Fatalf("round %d: %v", round, err)
 		}
 	}
-	if got := len(f.place.Replicas("hot")); got < 2 {
+	if got := len(f.placement().Replicas("hot")); got < 2 {
 		t.Fatalf("hot key holds %d bindings after %d dominant rounds, want >= 2", got, rounds)
 	}
 }
@@ -94,7 +94,7 @@ func TestNonIdempotentPinsToPrimary(t *testing.T) {
 	if !ok {
 		t.Fatal("libc lacks getpid")
 	}
-	primary, _ := f.place.Lookup("hot")
+	primary, _ := f.placement().Lookup("hot")
 	for i := 0; i < 6; i++ {
 		resps, err := f.RunPlan([]Request{{Key: "hot", FuncID: getpid}})
 		if err != nil || resps[0].Err != nil || resps[0].Errno != 0 {
@@ -116,11 +116,11 @@ func TestReleaseDrainsReplicaSet(t *testing.T) {
 	replicate(t, f, 4)
 	incr := incrID(t, f)
 
-	reps := f.place.Replicas("hot")
+	reps := f.placement().Replicas("hot")
 	if err := f.Release("hot"); err != nil {
 		t.Fatal(err)
 	}
-	if got := f.place.Replicas("hot"); len(got) != 0 {
+	if got := f.placement().Replicas("hot"); len(got) != 0 {
 		t.Fatalf("bindings after Release = %v, want none (replica set must drain)", got)
 	}
 	// The other three keys keep exactly one binding each: the released
@@ -191,7 +191,7 @@ func TestReplicaShrinksWhenHeatFades(t *testing.T) {
 	f := newTestFleet(t, opts...)
 	replicate(t, f, 4)
 	incr := incrID(t, f)
-	grown := len(f.place.Replicas("hot"))
+	grown := len(f.placement().Replicas("hot"))
 	// Cold rounds: only the background keys call; the hot key's EWMA
 	// decays and the sizing drops replicas at each barrier.
 	for round := 0; round < 6; round++ {
@@ -203,7 +203,7 @@ func TestReplicaShrinksWhenHeatFades(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	shrunk := len(f.place.Replicas("hot"))
+	shrunk := len(f.placement().Replicas("hot"))
 	if shrunk >= grown {
 		t.Fatalf("replica set did not shrink after cooling: %d -> %d", grown, shrunk)
 	}

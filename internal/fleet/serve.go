@@ -1,0 +1,33 @@
+package fleet
+
+// Network-serving adapter: the three methods that structurally satisfy
+// rpc.FleetBackend, so smodfleetd can front a fleet with
+// rpc.RegisterFleetService without the rpc package ever importing this
+// one. These are thin shims over the live submission path (SubmitAsync
+// — no implicit barrier), which is exactly the wall-clock open-loop
+// mode a daemon serves in: calls land between barriers, and barrier
+// work (rebalance, reconcile actions, autoscaler windows) happens only
+// when the reconcile loop calls Rebalance.
+
+// FleetCall submits one call under the sticky session key and waits
+// for its response, returning the value, the simulated kernel errno
+// (0 = success), and the serving shard. Fleet-level failures (closed
+// fleet, dead shard) come back as the error; a nonzero errno is a
+// normal reply.
+func (f *Fleet) FleetCall(key string, funcID uint32, args []uint32) (uint32, int32, int32, error) {
+	fu, err := f.SubmitAsync(Request{Key: key, FuncID: funcID, Args: args})
+	if err != nil {
+		return 0, 0, -1, err
+	}
+	r := fu.Response()
+	if r.Err != nil {
+		return 0, 0, int32(r.Shard), r.Err
+	}
+	return r.Val, int32(r.Errno), int32(r.Shard), nil
+}
+
+// FleetRelease evicts the key's warm sessions fleet-wide.
+func (f *Fleet) FleetRelease(key string) error { return f.Release(key) }
+
+// FleetFuncID resolves a registered module function name.
+func (f *Fleet) FleetFuncID(name string) (uint32, bool) { return f.FuncID(name) }

@@ -1,0 +1,346 @@
+// Package reconcile converges a live fleet onto a declarative
+// FleetSpec (internal/spec) — the k8s-style reconcile loop: observe
+// the live shard inventory, diff it against the desired state, apply a
+// bounded batch of actions through the fleet's barrier-point
+// primitives, repeat until the diff is empty. A spec edit therefore
+// becomes a sequence of ordinary rebalance barriers — resize, re-mix,
+// strategy swap, and autoscaler changes all land without a restart and
+// without losing a single in-flight call, because every primitive the
+// loop drives (AddShard, DrainShard, SwapPlacement, SetAutoscaler)
+// already queues and applies at barriers only.
+//
+// The loop is deterministic: Step consumes only the inventory and the
+// target spec, plans with spec.Diff (itself deterministic), and
+// applies at most MaxActionsPerBarrier shard actions per barrier, so a
+// reconcile drill under simulated time replays bit for bit. A failed
+// grow rolls the target back to the last converged spec, and a drain
+// the autoscaler already queued for the same shard is counted as done,
+// not raced (first queued wins; see fleet.ErrDrainInProgress).
+package reconcile
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/autoscale"
+	"repro/internal/backend"
+	"repro/internal/fleet"
+	"repro/internal/placement"
+	"repro/internal/spec"
+)
+
+// Driver is the slice of *fleet.Fleet the loop needs; a fake driver
+// stands in for failure-path tests.
+type Driver interface {
+	AddShard(p backend.Profile) (int, error)
+	DrainShard(sid int) error
+	SwapPlacement(p placement.Placement) error
+	SetAutoscaler(cfg *autoscale.Config) error
+	Rebalance() (int, error)
+	Inventory() []fleet.ShardInventory
+	Barriers() uint64
+}
+
+// historyCap bounds the retained per-action status records.
+const historyCap = 64
+
+// ActionStatus records one applied (or failed/skipped) action.
+type ActionStatus struct {
+	// Barrier is the fleet's barrier count when the action was queued;
+	// the action itself lands at barrier+1.
+	Barrier uint64      `json:"barrier"`
+	Action  spec.Action `json:"action"`
+	// Outcome: "applied", "skipped" (another control plane already did
+	// it), or "failed".
+	Outcome string `json:"outcome"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// Status is the loop's observable state, served by smodfleetd's
+// /reconcile endpoint.
+type Status struct {
+	// Target is the spec the loop is converging toward; Applied the
+	// last spec that fully converged (nil until the first convergence).
+	Target  *spec.FleetSpec `json:"target"`
+	Applied *spec.FleetSpec `json:"applied,omitempty"`
+	// Converged reports an empty diff as of the last Step.
+	Converged bool `json:"converged"`
+	// Steps counts Step calls; Barrier mirrors the fleet's barrier
+	// counter at the last Step.
+	Steps   uint64 `json:"steps"`
+	Barrier uint64 `json:"barrier"`
+	// Live is the shard inventory observed at the last Step.
+	Live []spec.ShardState `json:"live"`
+	// Pending is the plan remainder the last Step did not reach
+	// (bounded convergence defers it to the next barrier).
+	Pending []spec.Action `json:"pending,omitempty"`
+	// StaticDrift lists target fields a live fleet cannot change
+	// (restart required), e.g. per-shard cache capacity.
+	StaticDrift []string `json:"static_drift,omitempty"`
+	// RolledBack marks that a failed grow reverted Target to the last
+	// converged spec; LastError keeps the triggering error.
+	RolledBack bool   `json:"rolled_back,omitempty"`
+	LastError  string `json:"last_error,omitempty"`
+	// History holds the most recent action records, oldest first.
+	History []ActionStatus `json:"history,omitempty"`
+}
+
+// Loop drives one fleet toward its target spec. Safe for concurrent
+// use: SetSpec and Status may race Step freely (the daemon's SIGHUP
+// and HTTP handlers do).
+type Loop struct {
+	drv Driver
+
+	mu      sync.Mutex
+	target  *spec.FleetSpec
+	applied *spec.FleetSpec
+	// opened is the spec the fleet was built from; static fields
+	// (caches, caps) can never drift away from it without a restart, so
+	// StaticDrift is always judged against it.
+	opened *spec.FleetSpec
+	// ctl is the spec whose control-plane settings (placement,
+	// autoscaler) are currently installed on the fleet — the "cur"
+	// side of spec.Diff. It trails target by at most one barrier.
+	ctl        *spec.FleetSpec
+	steps      uint64
+	converged  bool
+	rolledBack bool
+	lastErr    string
+	pending    []spec.Action
+	live       []spec.ShardState
+	history    []ActionStatus
+}
+
+// New builds a loop for drv. applied is the spec the fleet was opened
+// from: its sizing is trusted as converged and its control-plane
+// settings as installed, so the first Step plans only genuine drift.
+func New(drv Driver, applied *spec.FleetSpec) *Loop {
+	return &Loop{drv: drv, target: applied, applied: applied, ctl: applied, opened: applied}
+}
+
+// SetSpec replaces the target. The next Step starts converging toward
+// it; an in-progress convergence simply replans from the live
+// inventory, so switching targets mid-flight never double-applies.
+func (l *Loop) SetSpec(fs *spec.FleetSpec) error {
+	if fs == nil {
+		return errors.New("reconcile: nil spec")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.target = fs
+	l.converged = false
+	l.rolledBack = false
+	l.lastErr = ""
+	return nil
+}
+
+// Target returns the current target spec.
+func (l *Loop) Target() *spec.FleetSpec {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.target
+}
+
+// Converged reports whether the last Step found an empty diff.
+func (l *Loop) Converged() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.converged
+}
+
+// Status snapshots the loop.
+func (l *Loop) Status() Status {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Status{
+		Target:      l.target,
+		Applied:     l.applied,
+		Converged:   l.converged,
+		Steps:       l.steps,
+		Barrier:     l.drv.Barriers(),
+		Live:        append([]spec.ShardState(nil), l.live...),
+		Pending:     append([]spec.Action(nil), l.pending...),
+		RolledBack:  l.rolledBack,
+		LastError:   l.lastErr,
+		History:     append([]ActionStatus(nil), l.history...),
+		StaticDrift: l.target.StaticDrift(l.opened),
+	}
+	return st
+}
+
+// shardStates maps the fleet inventory onto the planner's view.
+func shardStates(inv []fleet.ShardInventory) []spec.ShardState {
+	out := make([]spec.ShardState, len(inv))
+	for i, s := range inv {
+		out[i] = spec.ShardState{ID: s.ID, Profile: s.Profile.Name, Draining: s.Draining}
+	}
+	return out
+}
+
+// Step runs one reconcile iteration: observe, plan, queue a bounded
+// action batch, run one rebalance barrier, update status. It returns
+// the number of shard actions queued this barrier. Queue errors on a
+// grow roll the target back to the last converged spec (the shrink
+// back is planned by the following Steps); a drain already queued by
+// another control plane (the autoscaler) counts as done.
+func (l *Loop) Step() (int, error) {
+	l.mu.Lock()
+	target, ctl := l.target, l.ctl
+	l.mu.Unlock()
+
+	inv := shardStates(l.drv.Inventory())
+	plan := target.Diff(ctl, inv)
+	barrier := l.drv.Barriers()
+
+	var records []ActionStatus
+	queued, grewThisStep, growFailed := 0, false, false
+	budget := target.MaxActionsPerBarrier
+	var deferred []spec.Action
+	var stepErr error
+
+	for i, act := range plan {
+		if stepErr != nil {
+			deferred = append(deferred, plan[i:]...)
+			break
+		}
+		rec := ActionStatus{Barrier: barrier, Action: act, Outcome: "applied"}
+		switch act.Kind {
+		case spec.ActionSwapPlacement:
+			if err := l.drv.SwapPlacement(target.NewPlacement()); err != nil {
+				rec.Outcome, rec.Detail = "failed", err.Error()
+				stepErr = err
+			}
+		case spec.ActionSetAutoscaler:
+			if err := l.drv.SetAutoscaler(target.AutoscaleConfig()); err != nil {
+				rec.Outcome, rec.Detail = "failed", err.Error()
+				stepErr = err
+			}
+		case spec.ActionAddShard:
+			if queued >= budget {
+				deferred = append(deferred, plan[i:]...)
+				rec = ActionStatus{}
+			} else {
+				p, ok := backend.DefaultCatalog().Lookup(act.Profile)
+				if !ok {
+					p = backend.Default()
+				}
+				if _, err := l.drv.AddShard(p); err != nil {
+					rec.Outcome, rec.Detail = "failed", err.Error()
+					stepErr = fmt.Errorf("reconcile: grow %s: %w", act.Profile, err)
+					growFailed = true
+				} else {
+					queued++
+					grewThisStep = true
+				}
+			}
+		case spec.ActionDrainShard:
+			if queued >= budget {
+				deferred = append(deferred, plan[i:]...)
+				rec = ActionStatus{}
+			} else {
+				switch err := l.drv.DrainShard(act.Shard); {
+				case err == nil:
+					queued++
+				case errors.Is(err, fleet.ErrDrainInProgress), errors.Is(err, fleet.ErrShardDown):
+					// Deterministic loser of the drain race: the shard is
+					// already on its way out (first queued wins), so the
+					// desired state arrives without us.
+					rec.Outcome, rec.Detail = "skipped", err.Error()
+				default:
+					rec.Outcome, rec.Detail = "failed", err.Error()
+					stepErr = err
+				}
+			}
+		}
+		if rec.Outcome != "" {
+			records = append(records, rec)
+		}
+		if rec.Outcome == "" {
+			break // budget exhausted: everything from here is deferred
+		}
+	}
+
+	// One barrier applies everything queued above. A grow failure
+	// surfaces here too (shard provisioning runs inside the barrier).
+	if stepErr == nil {
+		if _, err := l.drv.Rebalance(); err != nil {
+			if grewThisStep {
+				stepErr = fmt.Errorf("reconcile: grow barrier: %w", err)
+				growFailed = true
+			} else {
+				stepErr = err
+			}
+		}
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.steps++
+	l.live = shardStates(l.drv.Inventory())
+	l.pending = deferred
+	l.history = append(l.history, records...)
+	if n := len(l.history); n > historyCap {
+		l.history = append([]ActionStatus(nil), l.history[n-historyCap:]...)
+	}
+	if stepErr != nil {
+		l.lastErr = stepErr.Error()
+		l.converged = false
+		// Rollback on a failed grow: revert to the last spec known to
+		// fit this fleet; subsequent Steps drain whatever surplus the
+		// partial grow left behind.
+		if growFailed && l.applied != nil && l.target != l.applied {
+			l.target = l.applied
+			l.ctl = l.applied
+			l.rolledBack = true
+			l.history = append(l.history, ActionStatus{
+				Barrier: l.drv.Barriers(),
+				Action:  spec.Action{Kind: spec.ActionSetAutoscaler, Detail: "rollback"},
+				Outcome: "applied",
+				Detail:  "target reverted to last converged spec",
+			})
+		}
+		return queued, stepErr
+	}
+	if l.target == target {
+		// Control-plane settings now match the target we just applied.
+		// Convergence is recomputed every step — an autoscaler moving
+		// the count outside an edited band un-converges the loop.
+		l.ctl = target
+		l.converged = len(deferred) == 0 && target.Converged(l.live)
+		if l.converged {
+			l.applied = target
+			l.rolledBack = false
+		}
+	}
+	return queued, nil
+}
+
+// Run steps the loop at every tick until ctx is done — the wall-clock
+// mode smodfleetd uses, choosing the fleet's entire barrier cadence
+// with one ticker. Deterministic callers (tests, drills) call Step
+// directly instead.
+func (l *Loop) Run(ctx context.Context, interval time.Duration, onErr func(error)) {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			if _, err := l.Step(); err != nil {
+				if onErr != nil {
+					onErr(err)
+				}
+				if errors.Is(err, fleet.ErrFleetClosed) {
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package rpc
+
+// Fleet service: the wire protocol smodfleetd serves to real network
+// clients. Where simrpc measures the paper's local-RPC baseline inside
+// the machine simulator, this program runs over the real transports
+// (ServeTCP/ServeUDP) and fronts a live fleet: each call names a
+// sticky client key, a registered function id, and its arguments, and
+// the reply carries the value, the simulated kernel errno, and the
+// shard that served it. The service layer stays ignorant of the fleet
+// package — the daemon adapts *fleet.Fleet onto FleetBackend — so the
+// dependency arrow keeps pointing rpc <- fleet, never back.
+
+import (
+	"fmt"
+
+	"repro/internal/xdr"
+)
+
+// Fleet program identity.
+const (
+	FleetProg = 0x20050200
+	FleetVers = 1
+
+	// ProcFleetCall: (key string, funcID uint32, args uint32[]) ->
+	// (val uint32, errno int32, shard int32).
+	ProcFleetCall = 1
+	// ProcFleetRelease: (key string) -> (void). Evicts the key's warm
+	// sessions fleet-wide.
+	ProcFleetRelease = 2
+	// ProcFleetFuncID: (name string) -> (ok bool, id uint32). Resolves
+	// a registered module function name.
+	ProcFleetFuncID = 3
+)
+
+// FleetBackend is the slice of the fleet the service needs. Errors
+// returned here become RPC system errors on the wire (the transport
+// stays up); a nonzero errno is a normal reply.
+type FleetBackend interface {
+	FleetCall(key string, funcID uint32, args []uint32) (val uint32, errno int32, shard int32, err error)
+	FleetRelease(key string) error
+	FleetFuncID(name string) (uint32, bool)
+}
+
+// RegisterFleetService wires the fleet program onto s.
+func RegisterFleetService(s *Server, b FleetBackend) {
+	s.Register(FleetProg, FleetVers, ProcFleetCall, func(args []byte) ([]byte, error) {
+		d := xdr.NewDecoder(args)
+		key, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		funcID, err := d.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		fnArgs, err := d.Uint32s()
+		if err != nil {
+			return nil, err
+		}
+		val, errno, shard, err := b.FleetCall(key, funcID, fnArgs)
+		if err != nil {
+			return nil, err
+		}
+		e := xdr.NewEncoder()
+		e.PutUint32(val)
+		e.PutInt32(errno)
+		e.PutInt32(shard)
+		return e.Bytes(), nil
+	})
+	s.Register(FleetProg, FleetVers, ProcFleetRelease, func(args []byte) ([]byte, error) {
+		d := xdr.NewDecoder(args)
+		key, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		if err := b.FleetRelease(key); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+	s.Register(FleetProg, FleetVers, ProcFleetFuncID, func(args []byte) ([]byte, error) {
+		d := xdr.NewDecoder(args)
+		name, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		id, ok := b.FleetFuncID(name)
+		e := xdr.NewEncoder()
+		e.PutBool(ok)
+		e.PutUint32(id)
+		return e.Bytes(), nil
+	})
+}
+
+// FleetClient is a typed client for the fleet program over any Client
+// transport (TCP, UDP, or in-process pipe). Safe for concurrent use
+// exactly when the underlying Client is (TCP and pipe clients are;
+// UDP clients are single-flight).
+type FleetClient struct {
+	C *Client
+}
+
+// Call invokes funcID under the sticky session key and returns the
+// value, the simulated kernel errno (0 = success), and the serving
+// shard.
+func (fc *FleetClient) Call(key string, funcID uint32, args ...uint32) (val uint32, errno int32, shard int32, err error) {
+	e := xdr.NewEncoder()
+	e.PutString(key)
+	e.PutUint32(funcID)
+	e.PutUint32s(args)
+	reply, err := fc.C.Call(FleetProg, FleetVers, ProcFleetCall, e.Bytes())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	d := xdr.NewDecoder(reply)
+	if val, err = d.Uint32(); err != nil {
+		return 0, 0, 0, err
+	}
+	if errno, err = d.Int32(); err != nil {
+		return 0, 0, 0, err
+	}
+	if shard, err = d.Int32(); err != nil {
+		return 0, 0, 0, err
+	}
+	return val, errno, shard, nil
+}
+
+// Release evicts the key's warm sessions fleet-wide.
+func (fc *FleetClient) Release(key string) error {
+	e := xdr.NewEncoder()
+	e.PutString(key)
+	_, err := fc.C.Call(FleetProg, FleetVers, ProcFleetRelease, e.Bytes())
+	return err
+}
+
+// FuncID resolves a registered function name on the server.
+func (fc *FleetClient) FuncID(name string) (uint32, error) {
+	e := xdr.NewEncoder()
+	e.PutString(name)
+	reply, err := fc.C.Call(FleetProg, FleetVers, ProcFleetFuncID, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	d := xdr.NewDecoder(reply)
+	ok, err := d.Bool()
+	if err != nil {
+		return 0, err
+	}
+	id, err := d.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("rpc: unknown function %q", name)
+	}
+	return id, nil
+}
