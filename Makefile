@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all ci lint build vet test race fuzz-short bench bench-json bench-check loadcurve fleet fig8 mix chaos elastic observe trace serve
+.PHONY: all ci lint build vet test race fuzz-short bench bench-json bench-check loadcurve fleet fig8 mix chaos elastic observe trace serve qos
 
 all: ci
 
@@ -54,6 +54,7 @@ fuzz-short:
 	$(GO) test -run=NONE -fuzz=FuzzPlacementOps -fuzztime=10s ./internal/placement
 	$(GO) test -run=NONE -fuzz=FuzzTraceEvents -fuzztime=10s ./internal/trace
 	$(GO) test -run=NONE -fuzz=FuzzSpecParse -fuzztime=10s ./internal/spec
+	$(GO) test -run=NONE -fuzz=FuzzTenantAdmission -fuzztime=10s ./internal/tenant
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -64,10 +65,11 @@ bench:
 loadcurve:
 	$(GO) run ./cmd/smodfleet -loadcurve
 
-# CI bench artifact: the gate suite — nine named curves (uniform,
+# CI bench artifact: the gate suite — eleven named curves (uniform,
 # skew-rebalance, the fast=2,slow=2 mixed-fleet cost-aware/heat-only
 # pair, the dominant-key replication pair, the chaos-kill availability
-# drill, and the elastic fixed-vs-autoscaled pair) in one
+# drill, the elastic fixed-vs-autoscaled pair, and the multi-tenant
+# qos-solo/qos-isolation pair) in one
 # BENCH_fleet.json, recorded per commit by the bench job. All numbers
 # are simulated-time, so they are comparable across runners. Refreshing
 # the committed baseline (after an intentional perf change) is just
@@ -79,9 +81,11 @@ bench-json:
 # on a knee-index regression, a >15% pre-knee p95 shift in ANY of the
 # named curves against the committed BENCH_fleet.json, a chaos re-warm
 # past the declared budget, a chaos-kill knee below the availability
-# floor of the healthy replicated knee, or an elastic-invariant breach
+# floor of the healthy replicated knee, an elastic-invariant breach
 # (resize warm-in over budget, or the autoscaled fleet failing to hold
-# the p99 SLO past the fixed fleet at no more average shards; see
+# the p99 SLO past the fixed fleet at no more average shards), or a
+# tenant-isolation breach (aggressor overload moving the victim's p99
+# more than 10% off its solo baseline at the overloaded rates; see
 # cmd/benchdiff). The sweep params MUST match bench-json or the
 # documents are incomparable by construction.
 bench-check:
@@ -116,6 +120,20 @@ elastic:
 	$(GO) run ./cmd/smodfleet -loadcurve -lcshards 4 -clients 24 -lccalls 200 \
 		-epochs 10 -warmup 5 -rebalance -util 0.3,0.6,0.9,1.2 \
 		-autoscale -slo 60 -asmin 2 -asmax 6 -json BENCH_elastic.json
+
+# The multi-tenant QoS drills under the race detector: the tenant
+# scheduling core (token buckets, DRR, the shed rule), the fleet's
+# admission/WFQ/shed/replay-determinism property tests, the
+# spec+reconcile tenants block, then a tenanted aggressor-vs-victim
+# load-curve smoke. The CI qos job runs exactly this; the isolation
+# invariant itself is gated by `make bench-check`.
+qos:
+	$(GO) test -race ./internal/tenant
+	$(GO) test -race -run 'Tenant|Sentinel|Overload' \
+		./internal/fleet ./internal/spec ./internal/reconcile
+	$(GO) run ./cmd/smodfleet -loadcurve -lcshards 2 -clients 8 -lccalls 120 \
+		-tenants victim:64:4:1,aggressor:1:4:6 -tenantknee 64 -tenantwindow 1 \
+		-util 0.5,1.1 -json /tmp/BENCH_qos_smoke.json
 
 # The observability gates (see README "Deterministic observability"):
 # the flight recorder and metrics registry unit tests plus the fleet's

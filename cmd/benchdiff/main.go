@@ -59,6 +59,14 @@
 // at a strictly higher offered rate than the fixed fleet does, while
 // averaging no more shards across the sweep than the fixed fleet runs.
 //
+// When the candidate carries the multi-tenant QoS pair ("qos-solo" and
+// "qos-isolation", shared rate grid, identical victim arrival streams),
+// the isolation invariant applies: over the top half of the grid — the
+// overload regime where the aggressor floods at several times its fair
+// share — every victim class's p99 may inflate by at most -isotol
+// (default 10%) relative to its solo baseline, and the aggressor must
+// actually have been shed there.
+//
 // Usage:
 //
 //	benchdiff -old BENCH_fleet.json -new BENCH_new.json
@@ -83,6 +91,7 @@ func main() {
 		newPath    = flag.String("new", "BENCH_new.json", "candidate BENCH document (fresh run)")
 		p95Tol     = flag.Float64("p95tol", 0.15, "allowed relative p95 shift at pre-knee points")
 		availFloor = flag.Float64("availfloor", 0.5, "minimum chaos-kill knee rate as a fraction of the healthy skew-replicated knee")
+		isoTol     = flag.Float64("isotol", 0.10, "allowed relative victim p99 inflation between the qos-solo/qos-isolation pair at overloaded rates")
 	)
 	flag.Parse()
 
@@ -94,7 +103,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	failures := compare(oldDoc, newDoc, *p95Tol, *availFloor)
+	failures := compare(oldDoc, newDoc, *p95Tol, *availFloor, *isoTol)
 	if len(failures) > 0 {
 		fmt.Println("\nBENCH REGRESSION:")
 		for _, f := range failures {
@@ -154,8 +163,8 @@ func readBench(path string) (*measure.BenchFleet, error) {
 // compare gates every baseline curve against its same-named candidate,
 // prints the per-curve verdict table, and returns the list of
 // regressions (empty = pass).
-func compare(oldDoc, newDoc *measure.BenchFleet, p95Tol, availFloor float64) []string {
-	fails, rows := compareVerdicts(oldDoc, newDoc, p95Tol, availFloor)
+func compare(oldDoc, newDoc *measure.BenchFleet, p95Tol, availFloor, isoTol float64) []string {
+	fails, rows := compareVerdicts(oldDoc, newDoc, p95Tol, availFloor, isoTol)
 	if len(rows) > 0 {
 		fmt.Print(verdictTable(rows))
 	}
@@ -164,7 +173,7 @@ func compare(oldDoc, newDoc *measure.BenchFleet, p95Tol, availFloor float64) []s
 
 // compareVerdicts runs every gate and returns the failures alongside
 // one verdict row per curve and cross-curve invariant.
-func compareVerdicts(oldDoc, newDoc *measure.BenchFleet, p95Tol, availFloor float64) ([]string, []verdictRow) {
+func compareVerdicts(oldDoc, newDoc *measure.BenchFleet, p95Tol, availFloor, isoTol float64) ([]string, []verdictRow) {
 	var fails []string
 	var rows []verdictRow
 	oldCurves, newCurves := oldDoc.AllCurves(), newDoc.AllCurves()
@@ -208,9 +217,11 @@ func compareVerdicts(oldDoc, newDoc *measure.BenchFleet, p95Tol, availFloor floa
 	repFails := replicationInvariant(newCurves)
 	availFails := availabilityInvariant(newCurves, availFloor)
 	elasticFails := elasticInvariant(newCurves)
+	isoFails := isolationInvariant(newCurves, isoTol)
 	fails = append(fails, repFails...)
 	fails = append(fails, availFails...)
 	fails = append(fails, elasticFails...)
+	fails = append(fails, isoFails...)
 	hasChaos, hasElastic := false, false
 	for _, c := range newCurves {
 		hasChaos = hasChaos || c.Chaos != ""
@@ -219,8 +230,91 @@ func compareVerdicts(oldDoc, newDoc *measure.BenchFleet, p95Tol, availFloor floa
 	rows = append(rows,
 		invariantRow("replication invariant", newByName["skew-replicated"] != nil, repFails),
 		invariantRow("availability invariant", hasChaos, availFails),
-		invariantRow("elastic invariant", hasElastic, elasticFails))
+		invariantRow("elastic invariant", hasElastic, elasticFails),
+		invariantRow("isolation invariant",
+			newByName["qos-isolation"] != nil && newByName["qos-solo"] != nil, isoFails))
 	return fails, rows
+}
+
+// isolationInvariant gates the candidate's multi-tenant QoS pair: the
+// "qos-solo" and "qos-isolation" curves sweep one shared nominal rate
+// grid, with every class whose declaration (clients, boost) is
+// identical across the pair a *victim* — its arrival stream is
+// bit-identical in both curves — and every class whose boost grew an
+// *aggressor*. Over the top half of the grid (the overload regime the
+// pair is built to probe), the victim classes' p99 may inflate by at
+// most isoTol relative to solo, and the aggressors must actually have
+// been shed there — a drill in which nothing was refused never pushed
+// past the knee and gates nothing. Documents without the pair pass
+// untouched.
+func isolationInvariant(curves []*measure.BenchLoadCurve, isoTol float64) []string {
+	byName := map[string]*measure.BenchLoadCurve{}
+	for _, c := range curves {
+		byName[c.Name] = c
+	}
+	iso, solo := byName["qos-isolation"], byName["qos-solo"]
+	if iso == nil || solo == nil {
+		return nil
+	}
+	if !sameRates(iso.Points, solo.Points) {
+		return []string{
+			"isolation invariant: qos-isolation and qos-solo were swept over different rate grids; pair incomparable"}
+	}
+	soloTL := map[string]measure.TenantLoad{}
+	for _, tl := range solo.Tenants {
+		soloTL[tl.Name] = tl
+	}
+	var victims, aggressors []string
+	for _, tl := range iso.Tenants {
+		st, ok := soloTL[tl.Name]
+		if !ok {
+			continue
+		}
+		switch {
+		case st.Clients == tl.Clients && st.Boost == tl.Boost && tl.Boost > 0:
+			victims = append(victims, tl.Name)
+		case tl.Boost > st.Boost:
+			aggressors = append(aggressors, tl.Name)
+		}
+	}
+	if len(victims) == 0 || len(aggressors) == 0 {
+		return []string{
+			"isolation invariant: qos pair lacks a shared-stream victim class and a boosted aggressor class"}
+	}
+	var fails []string
+	from := len(iso.Points) / 2
+	sheds, worst := 0, 0.0
+	for i := from; i < len(iso.Points); i++ {
+		sp, ip := solo.Points[i], iso.Points[i]
+		for _, v := range victims {
+			sv, iv := sp.Tenants[v], ip.Tenants[v]
+			if sv.P99Micros <= 0 {
+				fails = append(fails, fmt.Sprintf(
+					"isolation invariant: qos-solo point %d (offered %.0f/s): victim %q has no p99 baseline",
+					i, sp.OfferedPerSec, v))
+				continue
+			}
+			ratio := iv.P99Micros / sv.P99Micros
+			if ratio > worst {
+				worst = ratio
+			}
+			if ratio > 1+isoTol {
+				fails = append(fails, fmt.Sprintf(
+					"isolation invariant: point %d (offered %.0f/s): victim %q p99 %.1fus under aggression vs %.1fus solo (%.2fx, tolerance %.2fx)",
+					i, sp.OfferedPerSec, v, iv.P99Micros, sv.P99Micros, ratio, 1+isoTol))
+			}
+		}
+		for _, a := range aggressors {
+			sheds += ip.Tenants[a].Shed
+		}
+	}
+	fmt.Printf("\n== isolation invariant ==\nvictim p99 inflation over the top %d of %d shared rates: worst %.2fx (tolerance %.2fx); %d aggressor call(s) shed there\n",
+		len(iso.Points)-from, len(iso.Points), worst, 1+isoTol, sheds)
+	if sheds == 0 {
+		fails = append(fails,
+			"isolation invariant: aggressor never shed a call at the overloaded rates — the drill never pushed past the knee")
+	}
+	return fails
 }
 
 // elasticInvariant gates the candidate's SLO-autoscaled curves. Every
@@ -485,6 +579,20 @@ func compareCurve(oc, nc *measure.BenchLoadCurve, p95Tol float64) ([]string, str
 	return fails, detail
 }
 
+// tenantsLabel folds a curve's tenant-class declarations into one
+// comparable string for the workload-shape check (slices cannot sit in
+// the comparable shape struct directly).
+func tenantsLabel(tls []measure.TenantLoad) string {
+	if len(tls) == 0 {
+		return ""
+	}
+	parts := make([]string, len(tls))
+	for i, tl := range tls {
+		parts[i] = fmt.Sprintf("%s:%d:%d:%g:%d:%d", tl.Name, tl.Weight, tl.Clients, tl.Boost, tl.Rate, tl.Burst)
+	}
+	return strings.Join(parts, ",")
+}
+
 // sameRates reports whether two point lists sweep one offered-rate
 // grid.
 func sameRates(a, b []measure.LoadPoint) bool {
@@ -515,13 +623,17 @@ func configMismatch(oc, nc *measure.BenchLoadCurve) string {
 		RewarmBudget              uint64
 		SLOMicros                 float64
 		AutoMin, AutoMax, Warmup  int
+		Tenants                   string
+		TenantKnee, TenantWindow  int
 	}
 	o := shape{oc.Mix, oc.HeatOnly, oc.Shards, oc.Clients, oc.CallsPerPoint, oc.Process, oc.Seed,
 		oc.ZipfS, oc.ArgsCard, oc.Epochs, oc.CacheSize, oc.Rebalance, oc.Replicas,
-		oc.Chaos, oc.RewarmBudgetCycles, oc.SLOMicros, oc.AutoMin, oc.AutoMax, oc.WarmupEpochs}
+		oc.Chaos, oc.RewarmBudgetCycles, oc.SLOMicros, oc.AutoMin, oc.AutoMax, oc.WarmupEpochs,
+		tenantsLabel(oc.Tenants), oc.TenantKnee, oc.TenantWindow}
 	n := shape{nc.Mix, nc.HeatOnly, nc.Shards, nc.Clients, nc.CallsPerPoint, nc.Process, nc.Seed,
 		nc.ZipfS, nc.ArgsCard, nc.Epochs, nc.CacheSize, nc.Rebalance, nc.Replicas,
-		nc.Chaos, nc.RewarmBudgetCycles, nc.SLOMicros, nc.AutoMin, nc.AutoMax, nc.WarmupEpochs}
+		nc.Chaos, nc.RewarmBudgetCycles, nc.SLOMicros, nc.AutoMin, nc.AutoMax, nc.WarmupEpochs,
+		tenantsLabel(nc.Tenants), nc.TenantKnee, nc.TenantWindow}
 	if o != n {
 		return fmt.Sprintf("%s: workload shape changed, documents incomparable: baseline %+v, candidate %+v",
 			oc.Name, o, n)

@@ -26,7 +26,7 @@ func pt(offered, p95 float64, sat bool) measure.LoadPoint {
 func TestCompareCleanPass(t *testing.T) {
 	base := doc(pt(100, 10, false), pt(200, 12, false), pt(300, 90, true))
 	cand := doc(pt(100, 10.5, false), pt(200, 12.1, false), pt(300, 500, true))
-	if fails := compare(base, cand, 0.15, 0.5); len(fails) != 0 {
+	if fails := compare(base, cand, 0.15, 0.5, 0.10); len(fails) != 0 {
 		t.Fatalf("clean comparison failed: %v", fails)
 	}
 	// Post-knee p95 blowups are not gated (they measure queue growth).
@@ -35,7 +35,7 @@ func TestCompareCleanPass(t *testing.T) {
 func TestCompareKneeRegression(t *testing.T) {
 	base := doc(pt(100, 10, false), pt(200, 12, false), pt(300, 90, true))
 	cand := doc(pt(100, 10, false), pt(200, 80, true), pt(300, 90, true))
-	fails := compare(base, cand, 0.15, 0.5)
+	fails := compare(base, cand, 0.15, 0.5, 0.10)
 	if len(fails) == 0 {
 		t.Fatal("earlier knee passed")
 	}
@@ -47,11 +47,11 @@ func TestCompareKneeRegression(t *testing.T) {
 func TestCompareNeverSaturatedBaseline(t *testing.T) {
 	base := doc(pt(100, 10, false), pt(200, 12, false))
 	cand := doc(pt(100, 10, false), pt(200, 60, true))
-	if fails := compare(base, cand, 0.15, 0.5); len(fails) == 0 {
+	if fails := compare(base, cand, 0.15, 0.5, 0.10); len(fails) == 0 {
 		t.Fatal("candidate saturating an unsaturated baseline sweep passed")
 	}
 	// The reverse — knee disappears — is an improvement.
-	if fails := compare(cand, base, 0.15, 0.5); len(fails) != 0 {
+	if fails := compare(cand, base, 0.15, 0.5, 0.10); len(fails) != 0 {
 		t.Fatalf("knee improvement flagged: %v", fails)
 	}
 }
@@ -59,7 +59,7 @@ func TestCompareNeverSaturatedBaseline(t *testing.T) {
 func TestCompareP95Shift(t *testing.T) {
 	base := doc(pt(100, 10, false), pt(200, 12, false), pt(300, 90, true))
 	worse := doc(pt(100, 10, false), pt(200, 14.5, false), pt(300, 90, true)) // +20.8%
-	fails := compare(base, worse, 0.15, 0.5)
+	fails := compare(base, worse, 0.15, 0.5, 0.10)
 	if len(fails) == 0 {
 		t.Fatal(">15% pre-knee p95 shift passed")
 	}
@@ -67,13 +67,13 @@ func TestCompareP95Shift(t *testing.T) {
 		t.Fatalf("missing p95 failure: %v", fails)
 	}
 	within := doc(pt(100, 10.9, false), pt(200, 13, false), pt(300, 1, true)) // <=15%
-	if fails := compare(base, within, 0.15, 0.5); len(fails) != 0 {
+	if fails := compare(base, within, 0.15, 0.5, 0.10); len(fails) != 0 {
 		t.Fatalf("within-tolerance shift flagged: %v", fails)
 	}
 	// Large improvements are also flagged: they mean the baseline is
 	// stale and should be refreshed, keeping the gate honest.
 	better := doc(pt(100, 5, false), pt(200, 6, false), pt(300, 90, true))
-	if fails := compare(base, better, 0.15, 0.5); len(fails) == 0 {
+	if fails := compare(base, better, 0.15, 0.5, 0.10); len(fails) == 0 {
 		t.Fatal("halved p95 silently passed; baseline staleness undetected")
 	}
 }
@@ -82,11 +82,11 @@ func TestCompareShapeMismatch(t *testing.T) {
 	base := doc(pt(100, 10, false))
 	cand := doc(pt(100, 10, false))
 	cand.LoadCurve.Shards = 4
-	if fails := compare(base, cand, 0.15, 0.5); len(fails) == 0 {
+	if fails := compare(base, cand, 0.15, 0.5, 0.10); len(fails) == 0 {
 		t.Fatal("shard-count mismatch passed")
 	}
 	cand2 := doc(pt(100, 10, false), pt(200, 11, false))
-	if fails := compare(base, cand2, 0.15, 0.5); len(fails) == 0 {
+	if fails := compare(base, cand2, 0.15, 0.5, 0.10); len(fails) == 0 {
 		t.Fatal("point-count mismatch passed")
 	}
 }
@@ -130,7 +130,7 @@ func TestCompareMultiCurve(t *testing.T) {
 		"mix-costaware":  {pt(100, 15.1, false), pt(300, 99, true)},
 		"mix-heatonly":   {pt(100, 41, true), pt(300, 210, true)},
 	})
-	if fails := compare(base, clean, 0.15, 0.5); len(fails) != 0 {
+	if fails := compare(base, clean, 0.15, 0.5, 0.10); len(fails) != 0 {
 		t.Fatalf("clean multi-curve comparison failed: %v", fails)
 	}
 	// Skewed curve saturates a point earlier: must fail even though the
@@ -141,7 +141,7 @@ func TestCompareMultiCurve(t *testing.T) {
 		"mix-costaware":  {pt(100, 15, false), pt(300, 100, true)},
 		"mix-heatonly":   {pt(100, 40, true), pt(300, 200, true)},
 	})
-	fails := compare(base, skewReg, 0.15, 0.5)
+	fails := compare(base, skewReg, 0.15, 0.5, 0.10)
 	if len(fails) == 0 {
 		t.Fatal("skew-rebalance knee regression passed")
 	}
@@ -153,7 +153,7 @@ func TestCompareMultiCurve(t *testing.T) {
 		"uniform":        {pt(100, 10, false), pt(300, 90, true)},
 		"skew-rebalance": {pt(100, 20, false), pt(300, 120, true)},
 	})
-	if fails := compare(base, lost, 0.15, 0.5); len(fails) < 2 {
+	if fails := compare(base, lost, 0.15, 0.5, 0.10); len(fails) < 2 {
 		t.Fatalf("lost mixed curves not flagged: %v", fails)
 	}
 	// A legacy single-curve baseline gates against the suite's
@@ -165,7 +165,7 @@ func TestCompareMultiCurve(t *testing.T) {
 			Points: []measure.LoadPoint{pt(100, 10, false), pt(300, 90, true)},
 		},
 	}
-	if fails := compare(legacy, clean, 0.15, 0.5); len(fails) != 0 {
+	if fails := compare(legacy, clean, 0.15, 0.5, 0.10); len(fails) != 0 {
 		t.Fatalf("legacy baseline vs suite candidate failed: %v", fails)
 	}
 }
@@ -173,11 +173,11 @@ func TestCompareMultiCurve(t *testing.T) {
 func TestCompareMissingCurve(t *testing.T) {
 	base := doc(pt(100, 10, false))
 	empty := &measure.BenchFleet{Schema: "smod-bench-fleet/v1"}
-	if fails := compare(base, empty, 0.15, 0.5); len(fails) == 0 {
+	if fails := compare(base, empty, 0.15, 0.5, 0.10); len(fails) == 0 {
 		t.Fatal("candidate without a load curve passed")
 	}
 	// First-ever baseline: accept the candidate.
-	if fails := compare(empty, base, 0.15, 0.5); len(fails) != 0 {
+	if fails := compare(empty, base, 0.15, 0.5, 0.10); len(fails) != 0 {
 		t.Fatalf("first candidate rejected: %v", fails)
 	}
 }
@@ -282,7 +282,7 @@ func TestCompareReplicasShape(t *testing.T) {
 	cand := doc(pt(100, 10, false))
 	base.LoadCurve.Replicas = 4
 	cand.LoadCurve.Replicas = 2
-	if fails := compare(base, cand, 0.15, 0.5); len(fails) == 0 {
+	if fails := compare(base, cand, 0.15, 0.5, 0.10); len(fails) == 0 {
 		t.Fatal("replica-count shape change passed")
 	}
 }
@@ -409,12 +409,12 @@ func TestCompareChaosShape(t *testing.T) {
 	base.LoadCurve.RewarmBudgetCycles = 250000
 	cand.LoadCurve.Chaos = "kill:1@5"
 	cand.LoadCurve.RewarmBudgetCycles = 250000
-	if fails := compare(base, cand, 0.15, 0.5); len(fails) == 0 {
+	if fails := compare(base, cand, 0.15, 0.5, 0.10); len(fails) == 0 {
 		t.Fatal("chaos drill change passed")
 	}
 	cand.LoadCurve.Chaos = "kill:0@5"
 	cand.LoadCurve.RewarmBudgetCycles = 100000
-	if fails := compare(base, cand, 0.15, 0.5); len(fails) == 0 {
+	if fails := compare(base, cand, 0.15, 0.5, 0.10); len(fails) == 0 {
 		t.Fatal("re-warm budget change passed")
 	}
 }
@@ -430,13 +430,13 @@ func TestCompareVerdictRows(t *testing.T) {
 		"uniform":        {pt(100, 10, false), pt(300, 90, true)},
 		"skew-rebalance": {pt(100, 20, false), pt(300, 120, true)},
 	})
-	fails, rows := compareVerdicts(base, cand, 0.15, 0.5)
+	fails, rows := compareVerdicts(base, cand, 0.15, 0.5, 0.10)
 	if len(fails) != 0 {
 		t.Fatalf("clean pair failed: %v", fails)
 	}
-	// 2 curves + 3 invariant rows.
-	if len(rows) != 5 {
-		t.Fatalf("got %d verdict rows, want 5: %+v", len(rows), rows)
+	// 2 curves + 4 invariant rows.
+	if len(rows) != 6 {
+		t.Fatalf("got %d verdict rows, want 6: %+v", len(rows), rows)
 	}
 	status := map[string]string{}
 	for _, r := range rows {
@@ -447,8 +447,8 @@ func TestCompareVerdictRows(t *testing.T) {
 			t.Fatalf("curve %s status = %q, want pass", name, status[name])
 		}
 	}
-	// No replicated/chaos/elastic curves in the candidate: invariants n/a.
-	for _, name := range []string{"replication invariant", "availability invariant", "elastic invariant"} {
+	// No replicated/chaos/elastic/qos curves in the candidate: invariants n/a.
+	for _, name := range []string{"replication invariant", "availability invariant", "elastic invariant", "isolation invariant"} {
 		if status[name] != "n/a" {
 			t.Fatalf("%s status = %q, want n/a", name, status[name])
 		}
@@ -458,6 +458,79 @@ func TestCompareVerdictRows(t *testing.T) {
 		if r.status == "pass" && !strings.Contains(r.detail, "knee") {
 			t.Fatalf("pass row %q lacks knee detail: %q", r.name, r.detail)
 		}
+	}
+}
+
+// qosDoc builds a document carrying the qos-solo/qos-isolation pair:
+// per-point victim p99s for each curve plus the isolation curve's
+// per-point aggressor shed counts.
+func qosDoc(soloP99, isoP99 []float64, aggShed []int) *measure.BenchFleet {
+	mk := func(name string, boost float64, p99s []float64, sheds []int) *measure.BenchLoadCurve {
+		lc := &measure.BenchLoadCurve{
+			Name: name, Shards: 2, Clients: 8, CallsPerPoint: 200, Process: "poisson", Seed: 1,
+			Tenants: []measure.TenantLoad{
+				{Name: "victim", Weight: 64, Clients: 4, Boost: 1},
+				{Name: "aggressor", Weight: 1, Clients: 4, Boost: boost},
+			},
+			TenantKnee: 64, TenantWindow: 1,
+		}
+		for i, p := range p99s {
+			shed := 0
+			if sheds != nil {
+				shed = sheds[i]
+			}
+			lc.Points = append(lc.Points, measure.LoadPoint{
+				OfferedPerSec: float64(100 * (i + 1)),
+				P99Micros:     p,
+				Tenants: map[string]measure.TenantPoint{
+					"victim":    {Weight: 64, Boost: 1, P99Micros: p},
+					"aggressor": {Weight: 1, Boost: boost, Shed: shed},
+				},
+			})
+		}
+		return lc
+	}
+	d := &measure.BenchFleet{Schema: "smod-bench-fleet/v1"}
+	d.Curves = append(d.Curves,
+		mk("qos-solo", 0, soloP99, nil),
+		mk("qos-isolation", 6, isoP99, aggShed))
+	return d
+}
+
+// TestIsolationInvariant: the qos pair is gated over the top half of
+// the shared grid — victim p99 within tolerance of solo, aggressor
+// actually shed — and documents without the pair pass untouched.
+func TestIsolationInvariant(t *testing.T) {
+	// Clean: gated indices 2,3 hold 1.05x/1.07x; low-rate inflation at
+	// indices 0,1 sits outside the overload regime and is not gated.
+	clean := qosDoc([]float64{10, 20, 40, 60}, []float64{15, 30, 42, 64}, []int{0, 0, 50, 80})
+	if fails := isolationInvariant(clean.AllCurves(), 0.10); len(fails) != 0 {
+		t.Fatalf("clean qos pair failed: %v", fails)
+	}
+	// A victim p99 breach in the top half fails.
+	breach := qosDoc([]float64{10, 20, 40, 60}, []float64{10, 20, 60, 64}, []int{0, 0, 50, 80})
+	fails := isolationInvariant(breach.AllCurves(), 0.10)
+	if len(fails) == 0 {
+		t.Fatal("victim p99 breach passed")
+	}
+	if !strings.Contains(strings.Join(fails, "\n"), "isolation invariant") {
+		t.Fatalf("missing isolation failure: %v", fails)
+	}
+	// No sheds at the overloaded rates: the drill never pushed past the
+	// knee and proves nothing.
+	noshed := qosDoc([]float64{10, 20, 40, 60}, []float64{10, 21, 42, 63}, []int{0, 0, 0, 0})
+	if fails := isolationInvariant(noshed.AllCurves(), 0.10); len(fails) == 0 {
+		t.Fatal("shed-free drill passed")
+	}
+	// Divergent rate grids are incomparable, not silently skipped.
+	skewed := qosDoc([]float64{10, 20, 40, 60}, []float64{10, 21, 42, 63}, []int{0, 0, 50, 80})
+	skewed.Curves[1].Points[3].OfferedPerSec = 999
+	if fails := isolationInvariant(skewed.AllCurves(), 0.10); len(fails) == 0 {
+		t.Fatal("divergent rate grids passed")
+	}
+	// Documents without the pair pass untouched.
+	if fails := isolationInvariant(doc(pt(100, 10, false)).AllCurves(), 0.10); len(fails) != 0 {
+		t.Fatalf("pairless document failed: %v", fails)
 	}
 }
 
@@ -472,7 +545,7 @@ func TestCompareVerdictRowsFailAndLost(t *testing.T) {
 		// p95 doubles pre-knee: uniform fails; skew-rebalance is lost.
 		"uniform": {pt(100, 20, false), pt(300, 90, true)},
 	})
-	fails, rows := compareVerdicts(base, cand, 0.15, 0.5)
+	fails, rows := compareVerdicts(base, cand, 0.15, 0.5, 0.10)
 	if len(fails) == 0 {
 		t.Fatal("regressed pair passed")
 	}

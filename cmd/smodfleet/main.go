@@ -122,11 +122,15 @@ func main() {
 		replicas     = flag.Int("replicas", 0, "load curve: serve idempotent hot keys from up to N shards at once (placement.Replicated; implies rebalancing at epoch barriers)")
 		chaosSpec    = flag.String("chaos", "", "load curve: deterministic fault drill replayed at every point, e.g. kill:0@5 or kill:0@4;stall:1@6+50000 (chaos.Parse syntax; barriers count warm-up as 1)")
 		rewarmBudget = flag.Uint64("rewarmbudget", chaos.DefaultRewarmBudgetCycles, "load curve: declared per-re-warm cycle budget recorded with -chaos curves (benchdiff gates on it)")
-		suite        = flag.Bool("suite", false, "run the CI gate suite (uniform + skewed + mixed cost-aware/heat-only + dominant-key replicated pair + kill-drill + elastic fixed/autoscaled pair) into one BENCH document")
+		suite        = flag.Bool("suite", false, "run the CI gate suite (uniform + skewed + mixed cost-aware/heat-only + dominant-key replicated pair + kill-drill + elastic fixed/autoscaled pair + qos isolation pair) into one BENCH document")
 
 		tracePath   = flag.String("trace", "", "write the run's flight recorder as Chrome trace-event JSON (Perfetto-loadable) to this path (-loadcurve/-suite modes)")
 		eventsPath  = flag.String("events", "", "write the run's flight recorder as a JSONL event log to this path (-loadcurve/-suite modes)")
 		metricsAddr = flag.String("metrics", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof on this address for the duration of the run")
+
+		tenants      = flag.String("tenants", "", "load curve: run every point multi-tenant; QoS classes name:weight:clients[:boost[:rate[:burst]]], comma-separated (e.g. gold:4:4,free:1:4:6)")
+		tenantKnee   = flag.Int("tenantknee", 0, "load curve: per-shard queue-depth shed knee for -tenants (0 = tenant package default)")
+		tenantWindow = flag.Int("tenantwindow", 0, "load curve: per-shard inflight window for -tenants; small values keep WFQ in charge of ordering (0 = tenant package default)")
 
 		autoscale = flag.Bool("autoscale", false, "load curve: run every point on an SLO-autoscaled elastic fleet (see -slo/-asmin/-asmax)")
 		slo       = flag.Float64("slo", 60, "load curve: autoscaler p99 target in simulated microseconds (-autoscale)")
@@ -192,6 +196,21 @@ func main() {
 			lcCfg.SLOMicros = *slo
 			lcCfg.AutoMin = *asMin
 			lcCfg.AutoMax = *asMax
+		}
+		if *tenants != "" {
+			tls, err := parseTenants(*tenants)
+			if err != nil {
+				fatal(err)
+			}
+			lcCfg.Tenants = tls
+			lcCfg.TenantKnee = *tenantKnee
+			lcCfg.TenantWindow = *tenantWindow
+			// The classes own the key space; keep the capacity probe's
+			// warm-key count in step with it.
+			lcCfg.Clients = 0
+			for _, tl := range tls {
+				lcCfg.Clients += tl.Clients
+			}
 		}
 		if *mix != "" {
 			as, err := backend.DefaultCatalog().ParseMix(*mix)
@@ -415,6 +434,13 @@ func describeCurve(cfg measure.LoadCurveConfig) {
 	if cfg.WarmupEpochs > 0 {
 		fmt.Printf("warm-up: first %d epoch(s) per point excluded from latency quantiles\n", cfg.WarmupEpochs)
 	}
+	if len(cfg.Tenants) > 0 {
+		fmt.Printf("tenancy: knee %d, classes:", cfg.TenantKnee)
+		for _, tl := range cfg.Tenants {
+			fmt.Printf(" %s(w=%d c=%d boost=%g)", tl.Name, max(tl.Weight, 1), tl.Clients, tl.Boost)
+		}
+		fmt.Println()
+	}
 	fmt.Println()
 }
 
@@ -461,6 +487,16 @@ func reportCurve(cfg measure.LoadCurveConfig, points []measure.LoadPoint) {
 			fmt.Printf("  %8.0f/s  avg %.2f shards (cost %.2f)  +%d/-%d resizes  p99 %8.1f us  SLO %s\n",
 				p.OfferedPerSec, p.AvgShards, p.CostUnits,
 				p.ShardsAdded, p.ShardsDrained, p.P99Micros, held)
+		}
+	}
+	if len(cfg.Tenants) > 0 {
+		fmt.Println("\nper-tenant outcome per offered rate:")
+		for _, p := range points {
+			for _, tl := range cfg.Tenants {
+				tp := p.Tenants[tl.Name]
+				fmt.Printf("  %8.0f/s  %-10s w=%d  offered %8.0f/s  %5d served  %5d shed  p99 %10.1f us\n",
+					p.OfferedPerSec, tl.Name, tp.Weight, tp.Offered, tp.Calls, tp.Shed, tp.P99Micros)
+			}
 		}
 	}
 	k := measure.KneeIndex(points)
@@ -577,7 +613,33 @@ const (
 	suiteElasticWarmup  = 5
 )
 
-// runSuite measures the gate suite — six named curves in one BENCH
+// QoS-pair parameters: a 2-shard fleet with two tenant classes sweeping
+// the same nominal rate grid twice. In qos-solo the aggressor class is
+// declared but silent (boost 0), so the victim's arrival stream is the
+// whole load; in qos-isolation the aggressor offers suiteQoSBoost times
+// its fair share — far past the shed knee at the upper rates — while
+// the victim's stream is bit-identical to solo (per-class streams are
+// independent). The 64:1 weight ratio approximates strict priority (a
+// DRR round serves up to 64 victim calls per aggressor call), and the
+// inflight window of 1 keeps WFQ in charge of every dispatch — both are
+// what the isolation invariant in cmd/benchdiff needs to hold the
+// victim's p99 within 10% of solo at the overloaded upper rates.
+const (
+	suiteQoSKnee   = 64  // per-shard queue-depth shed knee
+	suiteQoSWindow = 1   // per-shard inflight window
+	suiteQoSBoost  = 6.0 // aggressor's multiple of its proportional share
+)
+
+// suiteQoSTenants builds the pair's class declarations; aggBoost is 0
+// (solo) or suiteQoSBoost (isolation).
+func suiteQoSTenants(aggBoost float64) []measure.TenantLoad {
+	return []measure.TenantLoad{
+		{Name: "victim", Weight: 64, Clients: 4, Boost: 1},
+		{Name: "aggressor", Weight: 1, Clients: 4, Boost: aggBoost},
+	}
+}
+
+// runSuite measures the gate suite — eleven named curves in one BENCH
 // document:
 //
 //	uniform:         homogeneous fleet, uniform keys (the historical gate);
@@ -595,7 +657,14 @@ const (
 //	elastic-slo:     same workload and rates on the SLO-autoscaled
 //	                 2..6-shard fleet — the elasticity curve: it must
 //	                 hold the p99 SLO at rates the fixed fleet cannot,
-//	                 while averaging no more shards than the fixed fleet.
+//	                 while averaging no more shards than the fixed fleet;
+//	qos-solo:        a 2-shard tenanted fleet where the weight-4 victim
+//	                 class runs alone (the weight-1 aggressor is declared
+//	                 but silent) — the victim's baseline quantiles;
+//	qos-isolation:   the identical fleet and victim stream with the
+//	                 aggressor flooding at several times its fair share —
+//	                 WFQ and the shed knee must hold the victim's p99
+//	                 within 10% of solo (the isolation invariant).
 //
 // Each paired set sweeps identical offered rates, so knee indices are
 // directly comparable: cost-aware above heat-only is the capacity the
@@ -607,7 +676,7 @@ const (
 // barrier.
 func runSuite(p suiteParams) {
 	fmt.Println(clock.MachineInfo())
-	fmt.Printf("\n=== bench suite: uniform + skew-rebalance + %s cost-aware/heat-only + dominant-key replication pair + kill drill + elastic pair ===\n", suiteMix)
+	fmt.Printf("\n=== bench suite: uniform + skew-rebalance + %s cost-aware/heat-only + dominant-key replication pair + kill drill + elastic pair + qos pair ===\n", suiteMix)
 
 	as, err := backend.DefaultCatalog().ParseMix(suiteMix)
 	if err != nil {
@@ -677,6 +746,21 @@ func runSuite(p suiteParams) {
 	elasticSLO.AutoMin = suiteElasticMin
 	elasticSLO.AutoMax = suiteElasticMax
 
+	// The QoS pair: same 2-shard fleet and nominal rate grid, the victim
+	// class's arrival stream bit-identical across both curves, and only
+	// the aggressor's boost differing (0 = silent baseline). WFQ weights
+	// 4:1 plus the shed knee are what must keep the victim's quantiles
+	// in place when the aggressor floods.
+	qosSolo := base
+	qosSolo.Shards = 2
+	qosSolo.Clients = 8 // the classes own the key space: 4 + 4
+	qosSolo.TenantKnee = suiteQoSKnee
+	qosSolo.TenantWindow = suiteQoSWindow
+	qosSolo.Tenants = suiteQoSTenants(0)
+
+	qosIso := qosSolo
+	qosIso.Tenants = suiteQoSTenants(suiteQoSBoost)
+
 	curves := []measure.NamedCurve{
 		{Name: "uniform", Config: uniform},
 		{Name: "skew-rebalance", Config: skewed},
@@ -687,6 +771,8 @@ func runSuite(p suiteParams) {
 		{Name: "chaos-kill", Config: chaosKill},
 		{Name: "elastic-fixed", Config: elasticFixed},
 		{Name: "elastic-slo", Config: elasticSLO},
+		{Name: "qos-solo", Config: qosSolo},
+		{Name: "qos-isolation", Config: qosIso},
 	}
 	// Each A/B pair shares one rate sweep (computed for its first
 	// curve) so the knees are comparable; the others get their own.
@@ -695,6 +781,7 @@ func runSuite(p suiteParams) {
 		"skew-replicated": "skew-dominant",
 		"chaos-kill":      "skew-dominant",
 		"elastic-slo":     "elastic-fixed",
+		"qos-isolation":   "qos-solo",
 	}
 	// Per-curve utilization grids: the elastic pair sweeps deeper past
 	// the fixed fleet's knee so the autoscaled headroom is visible.
@@ -761,6 +848,29 @@ func runSuite(p suiteParams) {
 	fixHeld, fixTotal := sloHolds("elastic-fixed")
 	fmt.Printf("elastic pair (p99 SLO %.0f us, identical rate sweeps): autoscaled holds %d/%d points, fixed %d-shard holds %d/%d\n",
 		suiteElasticSLO, sloHeld, sloTotal, suiteElasticFixed, fixHeld, fixTotal)
+	curveOf := func(name string) *measure.NamedCurve {
+		for i := range curves {
+			if curves[i].Name == name {
+				return &curves[i]
+			}
+		}
+		return nil
+	}
+	if solo, iso := curveOf("qos-solo"), curveOf("qos-isolation"); solo != nil && iso != nil {
+		fmt.Printf("qos pair (aggressor boost %.0fx, identical victim streams): victim p99 iso/solo per rate:", suiteQoSBoost)
+		sheds := 0
+		for i := range solo.Points {
+			sp := solo.Points[i].Tenants["victim"]
+			ip := iso.Points[i].Tenants["victim"]
+			ratio := 0.0
+			if sp.P99Micros > 0 {
+				ratio = ip.P99Micros / sp.P99Micros
+			}
+			fmt.Printf(" %.2f", ratio)
+			sheds += iso.Points[i].Tenants["aggressor"].Shed
+		}
+		fmt.Printf("  (%d aggressor calls shed)\n", sheds)
+	}
 
 	jsonPath := p.jsonPath
 	if jsonPath == "" {
@@ -792,6 +902,39 @@ func parseList(s string, min int) ([]int, error) {
 			return nil, fmt.Errorf("bad count %q", part)
 		}
 		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parseTenants parses the -tenants flag: one QoS class per comma-
+// separated entry, name:weight:clients[:boost[:rate[:burst]]]. Boost
+// defaults to 1 (the class offers exactly its proportional share);
+// rate/burst default to 0 (no admission bucket).
+func parseTenants(s string) ([]measure.TenantLoad, error) {
+	var out []measure.TenantLoad
+	for _, entry := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if len(parts) < 3 || len(parts) > 6 || parts[0] == "" {
+			return nil, fmt.Errorf("bad tenant %q (want name:weight:clients[:boost[:rate[:burst]]])", entry)
+		}
+		tl := measure.TenantLoad{Name: parts[0], Boost: 1}
+		ints := []*int{&tl.Weight, &tl.Clients, nil, &tl.Rate, &tl.Burst}
+		for i, p := range parts[1:] {
+			if i == 2 { // boost is the one float field
+				b, err := strconv.ParseFloat(p, 64)
+				if err != nil || b < 0 {
+					return nil, fmt.Errorf("bad tenant boost %q in %q", p, entry)
+				}
+				tl.Boost = b
+				continue
+			}
+			n, err := strconv.Atoi(p)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad tenant field %q in %q", p, entry)
+			}
+			*ints[i] = n
+		}
+		out = append(out, tl)
 	}
 	return out, nil
 }

@@ -138,6 +138,9 @@ func openFleet(fs *spec.FleetSpec, reg *metrics.Registry) (*fleet.Fleet, error) 
 	if ac := fs.AutoscaleConfig(); ac != nil {
 		opts = append(opts, fleet.WithAutoscalerConfig(*ac))
 	}
+	if fs.Tenants != nil {
+		opts = append(opts, fleet.WithTenants(fs.Tenants))
+	}
 	return fleet.Open(opts...)
 }
 

@@ -12,6 +12,12 @@
 // kernel-side compliance checker, invisible to and untamperable by the
 // client.
 //
+// The fleet epilogues scale the same concern out: the session quota
+// survives sharding untouched, and multi-tenant QoS (internal/tenant)
+// meters whole classes of traffic — weighted fair queueing plus
+// overload shedding — so a batch burst cannot flat-line interactive
+// callers sharing the fleet.
+//
 // Run: go run ./examples/metered
 package main
 
@@ -28,6 +34,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/kern"
 	"repro/internal/obj"
+	"repro/internal/tenant"
 )
 
 // registerCrunch assembles and registers the metered module with its
@@ -167,5 +174,68 @@ func run(out io.Writer) error {
 	}
 	fmt.Fprintf(out, "fleet: 2 batch jobs x 7 calls over 2 shards: %d served, %d cut off by quota\n",
 		served, denied)
+
+	// Metering the fleet itself, per tenant instead of per session: a
+	// tenanted fleet weighs "interactive" eight times heavier than
+	// "batch" in the per-shard fair queue, and past the shed knee a
+	// class holding at least its weighted share of the backlog is
+	// refused with ErrOverload. A batch burst therefore sheds itself
+	// while the interactive work riding alongside is served in full.
+	qset := &tenant.Set{
+		Knee:   8,
+		Window: 1,
+		Classes: []tenant.Config{
+			{Name: "interactive", Weight: 8},
+			{Name: "batch", Weight: 1},
+		},
+	}
+	qfl, err := fleet.Open(
+		fleet.WithShards(1),
+		fleet.WithModule("crunch", 1),
+		fleet.WithClient(50, "batchuser"),
+		fleet.WithTenants(qset),
+		fleet.WithProvision(func(_ *kern.Kernel, sm *core.SMod, _ backend.Profile) error {
+			_, err := registerCrunch(sm)
+			return err
+		}),
+	)
+	if err != nil {
+		return err
+	}
+	defer qfl.Close()
+	qcrunch, _ := qfl.FuncID("crunch")
+	var plan []fleet.Request
+	for i := 0; i < 24; i++ {
+		// 24 batch calls over 6 job keys (4 each, under the session
+		// quota) with 6 interactive calls interleaved.
+		plan = append(plan, fleet.Request{
+			Key: fmt.Sprintf("spill-%d", i/4), FuncID: qcrunch,
+			Args: []uint32{100}, Tenant: "batch",
+		})
+		if i%4 == 0 {
+			plan = append(plan, fleet.Request{
+				Key: fmt.Sprintf("fg-%d", i/12), FuncID: qcrunch,
+				Args: []uint32{100}, Tenant: "interactive",
+			})
+		}
+	}
+	resps, err := qfl.RunPlan(plan)
+	if err != nil {
+		return err
+	}
+	qserved, qshed := map[string]int{}, map[string]int{}
+	for i, r := range resps {
+		switch {
+		case r.Err == nil && r.Errno == 0:
+			qserved[plan[i].Tenant]++
+		case fleet.IsOverload(r.Err):
+			qshed[plan[i].Tenant]++
+		default:
+			return fmt.Errorf("qos call %d: errno %d err %v", i, r.Errno, r.Err)
+		}
+	}
+	fmt.Fprintf(out, "fleet qos: interactive (w=8) %d served %d shed; batch (w=1) %d served %d shed (knee %d)\n",
+		qserved["interactive"], qshed["interactive"],
+		qserved["batch"], qshed["batch"], qset.Knee)
 	return nil
 }

@@ -18,6 +18,7 @@ func TestRun(t *testing.T) {
 		"call 8: DENIED by quota policy (EACCES)",
 		"completed dispatches: 5",
 		"fleet: 2 batch jobs x 7 calls over 2 shards: 10 served, 4 cut off by quota",
+		"fleet qos: interactive (w=8) 6 served 0 shed; batch (w=1) 6 served 18 shed (knee 8)",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output lacks %q:\n%s", want, out)

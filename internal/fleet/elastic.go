@@ -157,6 +157,11 @@ func (f *Fleet) growShard(p backend.Profile) error {
 	if sh.cache != nil {
 		sh.idemp = f.idemp
 	}
+	// QoS state is installed before the goroutine starts so a call that
+	// races the barrier onto the new shard already queues fairly; the
+	// applyTenants re-split later in this same barrier fixes up the
+	// bucket rates for the exact post-resize live count.
+	sh.installQOS(f.tenantSet(), f.LiveShards()+1)
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()

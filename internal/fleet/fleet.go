@@ -64,14 +64,22 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/loadmgr"
 	"repro/internal/placement"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 )
 
-// Request is one protected call addressed by client key.
+// Request is one protected call addressed by client key. Tenant names
+// the request's QoS class when the fleet runs with WithTenants: the
+// class's weight sets its fair share at dispatch, its token bucket
+// rate-limits admission, and past the shed knee overloaded classes are
+// refused with ErrOverload. "" joins the implicit default class; a
+// name the tenant set does not declare is rejected at routing with
+// ErrTenantUnknown. Without WithTenants the field is ignored.
 type Request struct {
 	Key    string
 	FuncID uint32
 	Args   []uint32
+	Tenant string
 }
 
 // Response is the outcome of one request.
@@ -144,6 +152,20 @@ type Stats struct {
 	ShardsAdded   int    `json:"shards_added"`
 	ShardsDrained int    `json:"shards_drained"`
 	WarmMaxCycles uint64 `json:"warm_max_cycles"`
+	// Tenants aggregates per-class QoS counters across shards (nil
+	// without WithTenants, so existing bench JSON is byte-identical).
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
+}
+
+// TenantStats is one QoS class's counters: calls admitted through the
+// class's token bucket into its fair queue, calls refused by the shed
+// policy or the bucket, the deepest its queue ever got on any one shard,
+// and the warm sessions it currently holds.
+type TenantStats struct {
+	Admitted uint64 `json:"admitted"`
+	Shed     uint64 `json:"shed"`
+	QueueMax int    `json:"queue_max"`
+	Sessions int    `json:"sessions"`
 }
 
 // Delta returns the change from a prior snapshot prev to s — the
@@ -173,6 +195,7 @@ func (s Stats) Delta(prev Stats) Stats {
 	d.CorruptWarms -= prev.CorruptWarms
 	d.ShardsAdded -= prev.ShardsAdded
 	d.ShardsDrained -= prev.ShardsDrained
+	d.Tenants = deltaTenants(s.Tenants, prev.Tenants)
 
 	d.PerShard = make([]ShardStats, len(s.PerShard))
 	d.MakespanCycles = 0
@@ -201,12 +224,31 @@ func (s Stats) Delta(prev Stats) Stats {
 		a.StallCycles -= b.StallCycles
 		a.SessionsDropped -= b.SessionsDropped
 		a.CorruptWarms -= b.CorruptWarms
+		a.Tenants = deltaTenants(a.Tenants, b.Tenants)
 		d.PerShard[i] = a
 		if a.Cycles > d.MakespanCycles {
 			d.MakespanCycles = a.Cycles
 		}
 	}
 	return d
+}
+
+// deltaTenants subtracts the cumulative per-class counters (Admitted,
+// Shed); QueueMax — a high-water mark — and Sessions — point-in-time —
+// keep the current values. A fresh map is built so the source snapshot
+// is never mutated.
+func deltaTenants(cur, prev map[string]TenantStats) map[string]TenantStats {
+	if len(cur) == 0 {
+		return nil
+	}
+	out := make(map[string]TenantStats, len(cur))
+	for name, a := range cur {
+		b := prev[name]
+		a.Admitted -= b.Admitted
+		a.Shed -= b.Shed
+		out[name] = a
+	}
+	return out
 }
 
 // merge folds per-shard snapshots into fleet aggregates.
@@ -235,6 +277,19 @@ func merge(per []ShardStats) Stats {
 		if s.Cycles > st.MakespanCycles {
 			st.MakespanCycles = s.Cycles
 		}
+		for name, ts := range s.Tenants {
+			agg := st.Tenants[name]
+			agg.Admitted += ts.Admitted
+			agg.Shed += ts.Shed
+			agg.Sessions += ts.Sessions
+			if ts.QueueMax > agg.QueueMax {
+				agg.QueueMax = ts.QueueMax
+			}
+			if st.Tenants == nil {
+				st.Tenants = map[string]TenantStats{}
+			}
+			st.Tenants[name] = agg
+		}
 	}
 	return st
 }
@@ -253,6 +308,12 @@ type Fleet struct {
 	// the flag to the placement strategy — only idempotent calls may be
 	// served by a replica.
 	idemp map[uint32]bool
+
+	// tenants is the active QoS tenant set (nil = tenancy off). Atomic
+	// because routing validates tenant names on the live path while
+	// SetTenants swaps the set at a barrier; every reader goes through
+	// tenantSet().
+	tenants atomic.Pointer[tenant.Set]
 
 	// chaosEng, when non-nil, schedules deterministic faults executed at
 	// the top of every Rebalance barrier (see WithChaos).
@@ -301,6 +362,13 @@ type Fleet struct {
 	pendingSwap    placement.Placement
 	pendingAuto    *autoscale.Config
 	pendingAutoSet bool
+	// pendingTenants queues a SetTenants replacement (nil = disable),
+	// applied at the next barrier; tenantShards remembers the live
+	// shard count the per-shard bucket rates were last split over, so
+	// an elastic resize re-splits them at the same barrier (qos.go).
+	pendingTenants    *tenant.Set
+	pendingTenantsSet bool
+	tenantShards      int
 	// corrupt marks keys whose next warm-in is poisoned (CorruptWarm).
 	corrupt map[string]bool
 	wg      sync.WaitGroup
@@ -335,6 +403,18 @@ var (
 	// tolerates the error and simply holds its window, so exactly one
 	// drain executes (the regression test pins this).
 	ErrDrainInProgress = errors.New("fleet: drain in progress")
+
+	// ErrOverload is the QoS shed sentinel: the request was refused —
+	// never injected — because its tenant class was over its admission
+	// rate or past its weighted share of a queue beyond the shed knee.
+	// Responses carry it in Err with Errno 0; the rpc layer maps it to
+	// rpc.ErrnoOverload on the wire. The call is safe to retry later.
+	ErrOverload = errors.New("fleet: overloaded, call shed")
+
+	// ErrTenantUnknown is returned at routing when a request names a
+	// tenant the active WithTenants/SetTenants set does not declare.
+	// Without tenancy configured, tenant names are not checked.
+	ErrTenantUnknown = errors.New("fleet: unknown tenant")
 )
 
 // ErrClosed is returned by operations on a closed fleet.
@@ -365,6 +445,8 @@ func Open(opts ...Option) (*Fleet, error) {
 		corrupt:  map[string]bool{},
 	}
 	f.place.Store(&placeBox{p: cfg.place})
+	f.tenants.Store(cfg.tenants)
+	f.tenantShards = cfg.shards
 	if cfg.auto != nil {
 		f.auto = autoscale.New(*cfg.auto)
 	}
@@ -384,6 +466,7 @@ func Open(opts ...Option) (*Fleet, error) {
 		if f.tr != nil {
 			sh.ring = f.tr.ShardRing(i)
 		}
+		sh.installQOS(cfg.tenants, cfg.shards)
 		f.shards = append(f.shards, sh)
 	}
 	// Bind the strategy only once every shard provisioned cleanly, so a
@@ -394,6 +477,9 @@ func Open(opts ...Option) (*Fleet, error) {
 	// With tracing on, record replica promotions (primary failovers on
 	// kills and drains) through the strategy's optional observer hook.
 	f.installPromoteObserver(cfg.place)
+	if cfg.tenants != nil {
+		f.applyTenantWeights(cfg.place, cfg.tenants)
+	}
 	// One derivation of the module's idempotent funcIDs, shared by the
 	// routing layer and every shard's result cache (the map is
 	// read-only once the shard goroutines start below).
@@ -452,7 +538,10 @@ func (f *Fleet) route(req *Request, j *job) (int, error) {
 	if f.closed {
 		return -1, ErrClosed
 	}
-	sid := f.placement().Route(placement.Call{Key: req.Key, Idempotent: f.idemp[req.FuncID]})
+	if err := f.checkTenant(req.Tenant); err != nil {
+		return -1, err
+	}
+	sid := f.placement().Route(placement.Call{Key: req.Key, Idempotent: f.idemp[req.FuncID], Tenant: req.Tenant})
 	if f.tr != nil {
 		f.tr.EmitRoute(trace.Event{Key: req.Key, FuncID: req.FuncID, Val: int64(sid)})
 	}
@@ -559,7 +648,11 @@ func (f *Fleet) submitGrouped(n int, reqOf func(int) *Request,
 	perShard := make([][]int, len(f.shards))
 	for i := 0; i < n; i++ {
 		req := reqOf(i)
-		sid := f.placement().Route(placement.Call{Key: req.Key, Idempotent: f.idemp[req.FuncID]})
+		if err := f.checkTenant(req.Tenant); err != nil {
+			f.mu.RUnlock()
+			return nil, err
+		}
+		sid := f.placement().Route(placement.Call{Key: req.Key, Idempotent: f.idemp[req.FuncID], Tenant: req.Tenant})
 		if f.tr != nil {
 			f.tr.EmitRoute(trace.Event{Key: req.Key, FuncID: req.FuncID, Val: int64(sid)})
 		}
@@ -740,6 +833,13 @@ func (f *Fleet) rebalance() (int, error) {
 		}
 	}
 	if err := f.applyElastic(); err != nil {
+		return 0, err
+	}
+	// A queued tenant-set replacement (SetTenants) lands after the
+	// resize so per-shard bucket rates split over the post-resize live
+	// count; with no replacement queued this re-splits only when the
+	// live count actually changed, and is a no-op on untenanted fleets.
+	if err := f.applyTenants(); err != nil {
 		return 0, err
 	}
 	// A queued strategy replacement (SwapPlacement) binds over the

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"sort"
 	"strconv"
 
 	"repro/internal/metrics"
@@ -39,6 +40,10 @@ type fleetMetrics struct {
 
 	// Per-shard families, labeled {shard="N"}.
 	bindings, shardCycles, shardCalls *metrics.Family
+
+	// Per-tenant QoS families, labeled {tenant="name"} (series appear
+	// only on tenanted fleets).
+	tenantAdmitted, tenantShed, tenantQueueMax, tenantSessions *metrics.Family
 }
 
 func newFleetMetrics(reg *metrics.Registry) *fleetMetrics {
@@ -82,6 +87,11 @@ func newFleetMetrics(reg *metrics.Registry) *fleetMetrics {
 		bindings:    reg.Family("smod_pool_bindings", "Placement bindings per shard (replicas each count once).", metrics.Gauge),
 		shardCycles: reg.Family("smod_shard_cycles", "Per-shard simulated clock, in cycles.", metrics.Gauge),
 		shardCalls:  reg.Family("smod_shard_calls_total", "Per-shard completed smod_call dispatches.", metrics.Counter),
+
+		tenantAdmitted: reg.Family("smod_tenant_admitted_total", "Calls admitted into a tenant's fair queue.", metrics.Counter),
+		tenantShed:     reg.Family("smod_tenant_shed_total", "Calls refused by a tenant's bucket or the shed knee.", metrics.Counter),
+		tenantQueueMax: reg.Family("smod_tenant_queue_max", "Deepest per-shard tenant queue observed.", metrics.Gauge),
+		tenantSessions: reg.Family("smod_tenant_sessions", "Warm sessions currently held per tenant.", metrics.Gauge),
 	}
 }
 
@@ -127,6 +137,21 @@ func (m *fleetMetrics) publish(st Stats, load []int, live int, cost float64, bar
 	m.liveSessions.Set(float64(liveSessions))
 	for sid, n := range load {
 		m.bindings.With(shardLabel(sid)).Set(float64(n))
+	}
+	if len(st.Tenants) > 0 {
+		names := make([]string, 0, len(st.Tenants))
+		for name := range st.Tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names) // deterministic series creation order
+		for _, name := range names {
+			ts := st.Tenants[name]
+			lbl := metrics.Label{Name: "tenant", Value: name}
+			m.tenantAdmitted.With(lbl).Set(float64(ts.Admitted))
+			m.tenantShed.With(lbl).Set(float64(ts.Shed))
+			m.tenantQueueMax.With(lbl).Set(float64(ts.QueueMax))
+			m.tenantSessions.With(lbl).Set(float64(ts.Sessions))
+		}
 	}
 	if tr != nil {
 		emitted, droppedEvents := tr.Counts()

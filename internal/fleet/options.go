@@ -12,6 +12,7 @@ import (
 	"repro/internal/loadmgr"
 	"repro/internal/metrics"
 	"repro/internal/placement"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 )
 
@@ -43,6 +44,7 @@ type config struct {
 	auto        *autoscale.Config
 	tr          *trace.Recorder
 	met         *metrics.Registry
+	tenants     *tenant.Set
 }
 
 // Option configures Open.
@@ -140,6 +142,20 @@ func WithTrace(r *trace.Recorder) Option { return func(c *config) { c.tr = r } }
 // deterministic run.
 func WithMetrics(reg *metrics.Registry) Option { return func(c *config) { c.met = reg } }
 
+// WithTenants enables multi-tenant QoS (see internal/tenant): each
+// shard replaces its FIFO admit with deficit-round-robin weighted fair
+// queueing across per-tenant queues, admission runs through each
+// class's token bucket (fleet-wide rates split evenly over live
+// shards), and past the set's queue-depth knee overloaded classes are
+// shed with ErrOverload — lowest weight first, by weighted share.
+// Requests join the class named by Request.Tenant ("" joins the
+// implicit "default" class; declare a class named "default" to govern
+// untenanted traffic too). The set is cloned and normalized at Open;
+// nil leaves tenancy off and the dispatch path byte-identical to an
+// untenanted fleet. Weights, rates, and the knee can be re-applied
+// live at a barrier with Fleet.SetTenants.
+func WithTenants(set *tenant.Set) Option { return func(c *config) { c.tenants = set } }
+
 // WithResultCache gives every shard a bounded LRU result cache of the
 // given capacity (entries) memoizing the module's spec-declared
 // idempotent functions. 0 disables caching.
@@ -183,6 +199,12 @@ func (c *config) resolve() error {
 	}
 	if c.place == nil {
 		c.place = placement.NewSticky()
+	}
+	if c.tenants != nil {
+		c.tenants = c.tenants.Clone()
+		if err := c.tenants.Normalize(); err != nil {
+			return err
+		}
 	}
 	if c.auto != nil {
 		if c.auto.SLOMicros <= 0 {

@@ -194,6 +194,11 @@ func (f *Fleet) applySwap() error {
 	}
 	f.place.Store(&placeBox{p: p})
 	f.mu.Unlock()
+	// A tenanted fleet re-applies its QoS weight bias to the fresh
+	// strategy (the old one carried it from Open or SetTenants).
+	if set := f.tenants.Load(); set != nil {
+		f.applyTenantWeights(p, set)
+	}
 	if f.tr != nil {
 		f.tr.EmitControl(trace.Event{Kind: trace.KBarrier, Val: int64(f.barriers.Load()),
 			Note: "placement swapped"})

@@ -1,5 +1,11 @@
 package fleet
 
+import (
+	"errors"
+
+	"repro/internal/rpc"
+)
+
 // Network-serving adapter: the three methods that structurally satisfy
 // rpc.FleetBackend, so smodfleetd can front a fleet with
 // rpc.RegisterFleetService without the rpc package ever importing this
@@ -13,14 +19,26 @@ package fleet
 // for its response, returning the value, the simulated kernel errno
 // (0 = success), and the serving shard. Fleet-level failures (closed
 // fleet, dead shard) come back as the error; a nonzero errno is a
-// normal reply.
+// normal reply. A QoS shed (ErrOverload) is also a normal reply — the
+// transport stays up — carrying the distinct rpc.ErrnoOverload so
+// clients (smodfleetctl burst) can count sheds apart from module
+// errnos.
 func (f *Fleet) FleetCall(key string, funcID uint32, args []uint32) (uint32, int32, int32, error) {
-	fu, err := f.SubmitAsync(Request{Key: key, FuncID: funcID, Args: args})
+	return f.FleetCallTenant("", key, funcID, args)
+}
+
+// FleetCallTenant is FleetCall with an explicit QoS tenant class (""
+// joins the default class).
+func (f *Fleet) FleetCallTenant(tenantName, key string, funcID uint32, args []uint32) (uint32, int32, int32, error) {
+	fu, err := f.SubmitAsync(Request{Key: key, FuncID: funcID, Args: args, Tenant: tenantName})
 	if err != nil {
 		return 0, 0, -1, err
 	}
 	r := fu.Response()
 	if r.Err != nil {
+		if errors.Is(r.Err, ErrOverload) {
+			return 0, rpc.ErrnoOverload, int32(r.Shard), nil
+		}
 		return 0, 0, int32(r.Shard), r.Err
 	}
 	return r.Val, int32(r.Errno), int32(r.Shard), nil

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kern"
 	"repro/internal/loadmgr"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 )
 
@@ -49,6 +50,10 @@ type clientProc struct {
 	// inflight counts injected-but-unfinished calls (queued or being
 	// served); a client with calls in flight is never LRU-evicted.
 	inflight int
+	// tenant is the QoS class that last used this session ("" without
+	// tenancy) — the signal the tenant-aware LRU uses to evict an
+	// over-share class's sessions before an under-share class's.
+	tenant string
 }
 
 // jobKind discriminates the shard inbox messages.
@@ -86,6 +91,10 @@ const (
 	// histogram — the autoscaler's per-barrier observation feed. A
 	// control job like the others, it costs no simulated cycles.
 	jobWindow
+	// jobTenants swaps the shard's QoS state (tenant set + per-shard
+	// bucket rates) between stretches — the SetTenants barrier
+	// broadcast and the post-resize rate re-split (see qos.go).
+	jobTenants
 )
 
 // latBuckets sizes the power-of-2 latency histograms: bucket i counts
@@ -129,7 +138,12 @@ type job struct {
 	stats   ShardStats
 	// hist carries a jobWindow's histogram snapshot back to the fleet.
 	hist []uint64
-	done chan struct{}
+	// tset and tshards carry a jobTenants swap: the new tenant set (nil
+	// disables tenancy) and the live shard count its bucket rates split
+	// over.
+	tset    *tenant.Set
+	tshards int
+	done    chan struct{}
 }
 
 // timedCursor walks one admitted jobTimed's arrival schedule.
@@ -185,6 +199,9 @@ type ShardStats struct {
 	// shard (migration warm-in, replica warm, or orphan re-warm) — the
 	// per-shard number elastic drills gate against the re-warm budget.
 	WarmMaxCycles uint64 `json:"warm_max_cycles"`
+	// Tenants holds per-QoS-class counters (nil without WithTenants,
+	// keeping untenanted snapshots byte-identical).
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
 }
 
 // shard is one independent simulated kernel plus its routing state.
@@ -250,6 +267,11 @@ type shard struct {
 	drops        uint64
 	corruptWarms uint64
 	warmMax      uint64
+
+	// qos, when non-nil, replaces the FIFO admit with the per-tenant
+	// admission pipeline (see qos.go). Owned by the shard goroutine;
+	// swapped only between stretches (jobTenants).
+	qos *shardQOS
 
 	// winHist buckets completed-call latencies by bit length since the
 	// last jobWindow collection — host-side counters only, so recording
@@ -342,6 +364,12 @@ func (sh *shard) finish(pc *pendingCall, resp Response) {
 	}
 	pc.done = true
 	pc.cp.inflight--
+	if sh.qos != nil {
+		// Frees one window slot; the pump refills it from the tenant
+		// queues at the next stretchDone check, never from here (finish
+		// runs on the native client goroutine, and injection must not).
+		sh.qos.inflight--
+	}
 	resp.Shard = sh.id
 	resp.LatencyCycles = sh.k.Clk.Cycles() - pc.at
 	sh.completed++
@@ -536,6 +564,9 @@ func (sh *shard) loop() {
 			j.hist = append(j.hist[:0], sh.winHist[:]...)
 			sh.winHist = [latBuckets]uint64{}
 			close(j.done)
+		case jobTenants:
+			sh.installQOS(j.tset, j.tshards)
+			close(j.done)
 		}
 	}
 }
@@ -564,8 +595,18 @@ func (sh *shard) admit(j *job) {
 	}
 	now := sh.k.Clk.Cycles()
 	for i := range j.reqs {
-		sh.inject(j, i, now)
+		sh.arrive(j, i, now)
 	}
+}
+
+// arrive is the admission dispatch: the tenanted pipeline when QoS is
+// on, the historical direct inject otherwise.
+func (sh *shard) arrive(j *job, i int, at uint64) {
+	if sh.qos != nil {
+		sh.qosArrive(j, i, at)
+		return
+	}
+	sh.inject(j, i, at)
 }
 
 // inject routes request i of job j into its client's queue, waking the
@@ -606,6 +647,9 @@ func (sh *shard) inject(j *job, i int, at uint64) {
 		}
 	}
 	cp := sh.ensureClient(r.Key)
+	if sh.qos != nil {
+		cp.tenant = r.Tenant
+	}
 	pc := &pendingCall{funcID: r.FuncID, args: r.Args, job: j, idx: i, cp: cp, at: at}
 	cp.inflight++
 	cp.queue = append(cp.queue, pc)
@@ -645,7 +689,7 @@ func (sh *shard) injectDue() {
 	live := sh.cursors[:0]
 	for _, cur := range sh.cursors {
 		for cur.pos < len(cur.j.reqs) && cur.base+cur.j.arrivals[cur.pos] <= now {
-			sh.inject(cur.j, cur.pos, cur.base+cur.j.arrivals[cur.pos])
+			sh.arrive(cur.j, cur.pos, cur.base+cur.j.arrivals[cur.pos])
 			cur.pos++
 		}
 		if cur.pos < len(cur.j.reqs) {
@@ -680,9 +724,20 @@ func (sh *shard) nextArrival() (uint64, bool) {
 func (sh *shard) stretchDone() bool {
 	sh.drainInbox()
 	sh.injectDue()
+	if sh.qos != nil {
+		sh.qosPump()
+	}
 	for {
 		if sh.completed < sh.submitted {
 			return false
+		}
+		if sh.qos != nil && sh.qos.drr.Len() > 0 {
+			// Nothing in flight but tenant queues hold work: pump. With
+			// a window >= 1 the pump either injects a real call (the
+			// check above then returns false) or drains the rest via the
+			// result cache — either way this loop strictly progresses.
+			sh.qosPump()
+			continue
 		}
 		at, ok := sh.nextArrival()
 		if !ok {
@@ -714,7 +769,8 @@ func (sh *shard) runStretch(first *job) {
 	sh.admit(first)
 	runErr := sh.k.RunUntil(sh.stretchDone, 0)
 
-	if runErr != nil || sh.completed < sh.submitted || len(sh.cursors) > 0 {
+	if runErr != nil || sh.completed < sh.submitted || len(sh.cursors) > 0 ||
+		(sh.qos != nil && sh.qos.drr.Len() > 0) {
 		err := runErr
 		if err == nil {
 			err = errors.New("request not served")
@@ -729,6 +785,12 @@ func (sh *shard) runStretch(first *job) {
 			}
 		}
 		sh.cursors = sh.cursors[:0]
+		if sh.qos != nil {
+			// Never-injected arrivals still queued by tenant resolve
+			// like the cursors above; no pump runs after RunUntil
+			// returned, so this drains to empty.
+			sh.qosFail(resp)
+		}
 	}
 	sh.pcs = sh.pcs[:0]
 }
@@ -762,8 +824,15 @@ func (sh *shard) ensureClient(key string) *clientProc {
 // evictLRU reclaims the least-recently-used idle session (deterministic
 // tie-break on spawn order). Clients with calls in flight, or touched
 // by the job currently being admitted, are never evicted; if every
-// session is busy the cap is soft.
+// session is busy the cap is soft. With QoS on, the victim comes from
+// the class furthest over its weighted session share first — so an
+// aggressor's key churn recycles the aggressor's own warm sessions
+// instead of evicting a victim tenant's.
 func (sh *shard) evictLRU() {
+	if sh.qos != nil {
+		sh.evictLRUTenant()
+		return
+	}
 	var victim *clientProc
 	for _, cp := range sh.clients {
 		if cp.inflight > 0 || cp.lastUse == sh.seq {
@@ -772,6 +841,40 @@ func (sh *shard) evictLRU() {
 		if victim == nil || cp.lastUse < victim.lastUse ||
 			(cp.lastUse == victim.lastUse && cp.born < victim.born) {
 			victim = cp
+		}
+	}
+	if victim != nil {
+		sh.evict(victim.key)
+		sh.evictions++
+	}
+}
+
+// evictLRUTenant is the QoS victim selection: rank eligible sessions by
+// how far their class sits over its weighted share of warm sessions
+// (overShare = classSessions*totalWeight - classWeight*totalSessions,
+// positive means over-share), then LRU, then spawn order. The ordering
+// is a strict total order on integers with a unique final tie-break
+// (born), so the choice is independent of map iteration order.
+func (sh *shard) evictLRUTenant() {
+	q := sh.qos
+	counts := make([]int, len(q.names))
+	total := 0
+	for _, cp := range sh.clients {
+		counts[q.classOf(cp.tenant)]++
+		total++
+	}
+	var victim *clientProc
+	var vOver int
+	for _, cp := range sh.clients {
+		if cp.inflight > 0 || cp.lastUse == sh.seq {
+			continue
+		}
+		c := q.classOf(cp.tenant)
+		over := counts[c]*q.totalW - q.weight[c]*total
+		if victim == nil || over > vOver ||
+			(over == vOver && (cp.lastUse < victim.lastUse ||
+				(cp.lastUse == victim.lastUse && cp.born < victim.born))) {
+			victim, vOver = cp, over
 		}
 	}
 	if victim != nil {
@@ -893,6 +996,23 @@ func (sh *shard) snapshot() ShardStats {
 	if sh.cache != nil {
 		cs := sh.cache.Snapshot()
 		st.CacheHits, st.CacheMisses, st.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
+	}
+	if q := sh.qos; q != nil {
+		sessions := make([]int, len(q.names))
+		for _, cp := range sh.clients {
+			if cp.proc.State != kern.StateZombie && cp.proc.State != kern.StateDead {
+				sessions[q.classOf(cp.tenant)]++
+			}
+		}
+		st.Tenants = make(map[string]TenantStats, len(q.names))
+		for i, name := range q.names {
+			st.Tenants[name] = TenantStats{
+				Admitted: q.admitted[i],
+				Shed:     q.shed[i],
+				QueueMax: q.queueMax[i],
+				Sessions: sessions[i],
+			}
+		}
 	}
 	return st
 }

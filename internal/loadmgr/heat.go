@@ -20,6 +20,13 @@ type HeatTracker struct {
 	keyWin   map[string]float64 // current round's counts per key
 	keyShard map[string]int     // tracker's view of key placement
 
+	// Tenant heat (QoS): which tenant class each key last called under,
+	// and per-tenant EWMA demand. Populated only by RecordTenant with a
+	// non-empty tenant, so untenanted fleets never touch these maps.
+	keyTenant  map[string]string
+	tenantHeat map[string]float64
+	tenantWin  map[string]float64
+
 	shardHeat []float64 // EWMA calls/round per shard
 	shardWin  []float64 // current round's counts per shard
 
@@ -33,17 +40,28 @@ func NewHeatTracker(shards int, alpha float64) *HeatTracker {
 		alpha = DefaultAlpha
 	}
 	return &HeatTracker{
-		alpha:     alpha,
-		keyHeat:   map[string]float64{},
-		keyWin:    map[string]float64{},
-		keyShard:  map[string]int{},
-		shardHeat: make([]float64, shards),
-		shardWin:  make([]float64, shards),
+		alpha:      alpha,
+		keyHeat:    map[string]float64{},
+		keyWin:     map[string]float64{},
+		keyShard:   map[string]int{},
+		keyTenant:  map[string]string{},
+		tenantHeat: map[string]float64{},
+		tenantWin:  map[string]float64{},
+		shardHeat:  make([]float64, shards),
+		shardWin:   make([]float64, shards),
 	}
 }
 
 // Record counts n calls for key routed to shard in the current round.
 func (h *HeatTracker) Record(key string, shard int, n float64) {
+	h.RecordTenant(key, "", shard, n)
+}
+
+// RecordTenant is Record with the tenant class the call ran under.
+// Empty tenant is plain Record; otherwise the call also feeds the
+// tenant's demand EWMA and tags the key with its latest class, which
+// is what lets the migrator tell an aggressor's keys from a victim's.
+func (h *HeatTracker) RecordTenant(key, tenantName string, shard int, n float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if shard < 0 || shard >= len(h.shardWin) {
@@ -52,6 +70,10 @@ func (h *HeatTracker) Record(key string, shard int, n float64) {
 	h.keyWin[key] += n
 	h.shardWin[shard] += n
 	h.keyShard[key] = shard
+	if tenantName != "" {
+		h.keyTenant[key] = tenantName
+		h.tenantWin[tenantName] += n
+	}
 }
 
 // Advance closes the current round: every key's and shard's window
@@ -65,6 +87,7 @@ func (h *HeatTracker) Advance() {
 		if next < minHeat {
 			delete(h.keyHeat, key)
 			delete(h.keyShard, key)
+			delete(h.keyTenant, key)
 			continue
 		}
 		h.keyHeat[key] = next
@@ -78,6 +101,7 @@ func (h *HeatTracker) Advance() {
 		} else {
 			// Too faint to track: drop the placement entry Record left.
 			delete(h.keyShard, key)
+			delete(h.keyTenant, key)
 		}
 	}
 	h.keyWin = map[string]float64{}
@@ -85,6 +109,23 @@ func (h *HeatTracker) Advance() {
 		h.shardHeat[i] = h.alpha*h.shardWin[i] + (1-h.alpha)*heat
 		h.shardWin[i] = 0
 	}
+	for tn, heat := range h.tenantHeat {
+		next := h.alpha*h.tenantWin[tn] + (1-h.alpha)*heat
+		if next < minHeat {
+			delete(h.tenantHeat, tn)
+			continue
+		}
+		h.tenantHeat[tn] = next
+	}
+	for tn, win := range h.tenantWin {
+		if _, known := h.tenantHeat[tn]; known || win <= 0 {
+			continue
+		}
+		if next := h.alpha * win; next >= minHeat {
+			h.tenantHeat[tn] = next
+		}
+	}
+	h.tenantWin = map[string]float64{}
 	h.rounds++
 }
 
@@ -123,6 +164,26 @@ func (h *HeatTracker) KeyHeat(key string) (heat float64, shard int) {
 		return h.keyHeat[key], sid
 	}
 	return h.keyHeat[key], -1
+}
+
+// TenantHeat returns a snapshot of per-tenant EWMA demand. Empty on
+// untenanted fleets.
+func (h *HeatTracker) TenantHeat() map[string]float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]float64, len(h.tenantHeat))
+	for tn, v := range h.tenantHeat {
+		out[tn] = v
+	}
+	return out
+}
+
+// KeyTenant returns the tenant class key last called under ("" when
+// untracked or untenanted).
+func (h *HeatTracker) KeyTenant(key string) string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.keyTenant[key]
 }
 
 // ImbalanceScore is max shard heat over mean shard heat: 1 is perfect

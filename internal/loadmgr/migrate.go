@@ -30,6 +30,28 @@ type Migrator struct {
 	rng      *rand.Rand
 	round    uint64
 	cooldown map[string]uint64 // key -> round at which it thaws
+
+	// tweights is the QoS tenant weight table (nil = untenanted). When
+	// set, candidates on the hot shard are ordered by their tenant's
+	// overshare — demand share minus weight share — before heat, so an
+	// aggressor's keys move (and churn sessions) before a victim's warm
+	// keys are ever touched. With no weights every key ties at overshare
+	// zero and the plan is the historical heat order bit for bit.
+	tweights map[string]int
+}
+
+// SetTenantWeights installs (or, with nil, clears) the QoS tenant
+// weight table the candidate ordering biases by.
+func (m *Migrator) SetTenantWeights(weights map[string]int) {
+	if len(weights) == 0 {
+		m.tweights = nil
+		return
+	}
+	w := make(map[string]int, len(weights))
+	for tn, v := range weights {
+		w[tn] = v
+	}
+	m.tweights = w
 }
 
 // NewMigrator builds a migrator from (defaulted) options.
@@ -42,10 +64,37 @@ func NewMigrator(opts Options) *Migrator {
 	}
 }
 
-// candidate is one movable key on the costliest shard.
+// candidate is one movable key on the costliest shard. prio is the
+// key's tenant overshare (0 on untenanted fleets).
 type candidate struct {
 	key  string
 	heat float64
+	prio float64
+}
+
+// tenantOvershare computes each weighted tenant's demand share minus
+// its weight share from the tracker's tenant heat: positive for a
+// class pulling more than its fair share (the aggressor), negative for
+// one under it (the victim). Nil when the bias cannot apply.
+func (m *Migrator) tenantOvershare(h *HeatTracker) map[string]float64 {
+	if len(m.tweights) == 0 {
+		return nil
+	}
+	th := h.TenantHeat()
+	var totHeat float64
+	var totW int
+	for tn, w := range m.tweights {
+		totW += w
+		totHeat += th[tn]
+	}
+	if totHeat <= 0 || totW <= 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(m.tweights))
+	for tn, w := range m.tweights {
+		out[tn] = th[tn]/totHeat - float64(w)/float64(totW)
+	}
+	return out
 }
 
 // weightOf resolves shard i's cost factor from a weight vector that
@@ -131,6 +180,7 @@ func (m *Migrator) planOne(h *HeatTracker, costw []float64, skip map[string]bool
 	gap := cost[hot] - cost[cold]
 	wCold := weightOf(costw, cold)
 
+	overshare := m.tenantOvershare(h)
 	cands := make([]candidate, 0, 8)
 	for key, kh := range h.keysOn(hot) {
 		if kh <= 0 || skip[key] {
@@ -139,13 +189,18 @@ func (m *Migrator) planOne(h *HeatTracker, costw []float64, skip map[string]bool
 		if until, cooling := m.cooldown[key]; cooling && until > m.round {
 			continue
 		}
-		cands = append(cands, candidate{key, kh})
+		cands = append(cands, candidate{key, kh, overshare[h.KeyTenant(key)]})
 	}
-	// Hottest first; key order breaks exact heat ties deterministically
-	// before the seeded pick below chooses among them. The sort gives a
-	// total order, which is what keeps the plan independent of the map
-	// iteration order cands were collected in.
+	// Aggressor tenants' keys first (highest overshare), hottest first
+	// within a tenant tier; key order breaks exact ties
+	// deterministically before the seeded pick below chooses among
+	// them. The sort gives a total order, which is what keeps the plan
+	// independent of the map iteration order cands were collected in.
+	// Untenanted, every prio is 0 and this is the historical heat order.
 	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].prio != cands[j].prio {
+			return cands[i].prio > cands[j].prio
+		}
 		if cands[i].heat != cands[j].heat {
 			return cands[i].heat > cands[j].heat
 		}
@@ -163,7 +218,7 @@ func (m *Migrator) planOne(h *HeatTracker, costw []float64, skip map[string]bool
 		// the "keyed by seed" knob that decorrelates repeated sweeps
 		// while staying reproducible run-to-run.
 		j := i
-		for j+1 < len(cands) && cands[j+1].heat == c.heat {
+		for j+1 < len(cands) && cands[j+1].heat == c.heat && cands[j+1].prio == c.prio {
 			j++
 		}
 		pick := cands[i+m.rng.Intn(j-i+1)]

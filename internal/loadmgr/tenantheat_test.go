@@ -1,0 +1,77 @@
+package loadmgr
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRecordTenantHeat(t *testing.T) {
+	h := NewHeatTracker(2, 0.5)
+	h.RecordTenant("a1", "agg", 0, 6)
+	h.RecordTenant("v1", "vic", 1, 2)
+	h.Record("plain", 0, 1) // untenanted traffic stays untagged
+	h.Advance()
+
+	th := h.TenantHeat()
+	if got := th["agg"]; math.Abs(got-3) > 1e-9 {
+		t.Fatalf("agg heat = %v, want 3", got)
+	}
+	if got := th["vic"]; math.Abs(got-1) > 1e-9 {
+		t.Fatalf("vic heat = %v, want 1", got)
+	}
+	if _, ok := th[""]; ok {
+		t.Fatal("untenanted traffic leaked into tenant heat")
+	}
+	if got := h.KeyTenant("a1"); got != "agg" {
+		t.Fatalf("KeyTenant(a1) = %q", got)
+	}
+	if got := h.KeyTenant("plain"); got != "" {
+		t.Fatalf("KeyTenant(plain) = %q, want empty", got)
+	}
+
+	// Idle tenants decay out like idle keys.
+	for i := 0; i < 20; i++ {
+		h.Advance()
+	}
+	if th := h.TenantHeat(); len(th) != 0 {
+		t.Fatalf("idle tenant heat not reclaimed: %v", th)
+	}
+	if got := h.KeyTenant("a1"); got != "" {
+		t.Fatalf("decayed key kept its tenant tag: %q", got)
+	}
+}
+
+// TestMigratorTenantBias pins the QoS eviction guard: with the weight
+// table installed, the aggressor's key moves off the hot shard even
+// though the victim's key is hotter; without it, raw heat order picks
+// the victim's.
+func TestMigratorTenantBias(t *testing.T) {
+	build := func() *HeatTracker {
+		h := NewHeatTracker(2, 1.0)
+		h.RecordTenant("vic-key", "vic", 0, 6)
+		h.RecordTenant("agg-key", "agg", 0, 5)
+		h.RecordTenant("cold", "agg", 1, 1)
+		h.Advance()
+		return h
+	}
+
+	m := NewMigrator(Options{Migrate: true, MaxMovesPerRound: 1})
+	moves := m.Plan(build(), nil, nil)
+	if len(moves) != 1 || moves[0].Key != "vic-key" {
+		t.Fatalf("unbiased plan = %v, want the hottest key vic-key", moves)
+	}
+
+	m = NewMigrator(Options{Migrate: true, MaxMovesPerRound: 1})
+	m.SetTenantWeights(map[string]int{"vic": 4, "agg": 1})
+	moves = m.Plan(build(), nil, nil)
+	if len(moves) != 1 || moves[0].Key != "agg-key" {
+		t.Fatalf("biased plan = %v, want the aggressor's agg-key", moves)
+	}
+
+	// Clearing the table restores the historical order.
+	m.SetTenantWeights(nil)
+	moves = m.Plan(build(), nil, nil)
+	if len(moves) != 1 || moves[0].Key != "vic-key" {
+		t.Fatalf("cleared plan = %v, want vic-key again", moves)
+	}
+}

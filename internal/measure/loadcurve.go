@@ -13,8 +13,11 @@ package measure
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"repro/internal/backend"
@@ -24,6 +27,7 @@ import (
 	"repro/internal/loadmgr"
 	"repro/internal/metrics"
 	"repro/internal/placement"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 )
 
@@ -112,6 +116,22 @@ type LoadCurveConfig struct {
 	// fleet for the point's offered rate.
 	WarmupEpochs int
 
+	// Tenants, when non-empty, runs every point multi-tenant: the QoS
+	// classes (weight, admission rate, burst) are installed on the
+	// measured fleet at a barrier after warm-up, total arrivals split
+	// into one independent stream per class (see TenantLoad), and the
+	// point reports per-class latency quantiles and shed counts next to
+	// the merged row. The recorded OfferedPerSec stays the nominal grid
+	// rate — what the fleet would see with every Boost at 1 — so curve
+	// pairs that differ only in one class's Boost (the aggressor/victim
+	// isolation pair) stay comparable point by point. nil keeps the
+	// untenanted baseline bit for bit.
+	Tenants []TenantLoad
+	// TenantKnee and TenantWindow configure the QoS set's shed knee and
+	// per-shard inflight window (0 = the tenant package defaults).
+	TenantKnee   int
+	TenantWindow int
+
 	// Trace, when non-nil, attaches the flight recorder to every fleet
 	// the sweep opens (fleet.WithTrace): spans and control events from
 	// all points accumulate in its rings, oldest overwritten first, so
@@ -133,6 +153,35 @@ func (cfg LoadCurveConfig) Mix() string {
 		return ""
 	}
 	return backend.MixLabel(cfg.Backends)
+}
+
+// TenantLoad declares one QoS class of a multi-tenant sweep: its
+// tenant configuration plus its slice of the offered load. The class
+// owns Clients sticky keys (contiguous, in declaration order) and
+// offers Boost times its proportional share of the nominal rate — so
+// Boost 1 everywhere reproduces the untenanted arrival mix, Boost > 1
+// is an aggressor driving past its share, and Boost 0 silences the
+// class entirely (the solo-baseline trick: declare the aggressor, so
+// weights and key ranges match the paired curve, but send nothing).
+type TenantLoad struct {
+	Name    string  `json:"name"`
+	Weight  int     `json:"weight,omitempty"`
+	Rate    int     `json:"rate,omitempty"`
+	Burst   int     `json:"burst,omitempty"`
+	Clients int     `json:"clients"`
+	Boost   float64 `json:"boost"`
+}
+
+// TenantPoint is one class's slice of a load point.
+type TenantPoint struct {
+	Weight    int     `json:"weight"`
+	Boost     float64 `json:"boost"`
+	Offered   float64 `json:"offered_cps"`
+	Calls     int     `json:"calls"`
+	Shed      int     `json:"shed"`
+	P50Micros float64 `json:"p50_us"`
+	P95Micros float64 `json:"p95_us"`
+	P99Micros float64 `json:"p99_us"`
 }
 
 // LoadPoint is one row of the latency-vs-offered-load table.
@@ -182,6 +231,9 @@ type LoadPoint struct {
 	ShardsAdded   int     `json:"shards_added,omitempty"`
 	ShardsDrained int     `json:"shards_drained,omitempty"`
 	WarmMaxCycles uint64  `json:"warm_max_cycles,omitempty"`
+	// Multi-tenant outcome (tenanted sweeps only): each class's served
+	// calls, sheds, and latency quantiles.
+	Tenants map[string]TenantPoint `json:"tenants,omitempty"`
 }
 
 // ReplicaHit is one shard's share of the hottest replicated key's
@@ -279,6 +331,37 @@ func RunFleetLoadCurve(cfg LoadCurveConfig) ([]LoadPoint, error) {
 			return nil, fmt.Errorf("measure: %w", err)
 		}
 	}
+	if len(cfg.Tenants) > 0 {
+		if cfg.ZipfS > 0 {
+			return nil, fmt.Errorf("measure: tenanted sweeps draw keys uniformly per class (ZipfS must be 0)")
+		}
+		total, active := 0, 0
+		seen := map[string]bool{}
+		for _, tl := range cfg.Tenants {
+			if tl.Name == "" {
+				return nil, fmt.Errorf("measure: tenant class with no name")
+			}
+			if seen[tl.Name] {
+				return nil, fmt.Errorf("measure: duplicate tenant class %q", tl.Name)
+			}
+			seen[tl.Name] = true
+			if tl.Clients < 1 {
+				return nil, fmt.Errorf("measure: tenant %q needs clients >= 1", tl.Name)
+			}
+			if tl.Boost < 0 {
+				return nil, fmt.Errorf("measure: tenant %q boost %g is negative", tl.Name, tl.Boost)
+			}
+			if tl.Boost > 0 {
+				active++
+			}
+			total += tl.Clients
+		}
+		if active == 0 {
+			return nil, fmt.Errorf("measure: every tenant class is silent (boost 0)")
+		}
+		// The classes own the key space: Clients is derived, not declared.
+		cfg.Clients = total
+	}
 	points := make([]LoadPoint, 0, len(cfg.Rates))
 	for _, rate := range cfg.Rates {
 		p, err := runLoadPoint(cfg, rate)
@@ -329,6 +412,53 @@ func loadPointSchedule(cfg LoadCurveConfig, rate float64, incr uint32) ([]fleet.
 		}
 	}
 	return treqs, nil
+}
+
+// tenantSchedule builds one multi-tenant point's timed requests: one
+// independent arrival stream per class (its own seed and contiguous
+// key range, at Boost times its proportional share of the nominal
+// rate), merged by arrival instant. A class's stream depends only on
+// its own declaration and the shared grid rate — changing another
+// class's Boost cannot move a single one of its arrivals, which is
+// what lets the isolation gate compare a victim's quantiles across the
+// solo/aggressor curve pair point by point.
+func tenantSchedule(cfg LoadCurveConfig, rate float64, incr uint32) ([]fleet.TimedRequest, error) {
+	total := 0
+	for _, tl := range cfg.Tenants {
+		total += tl.Clients
+	}
+	var all []fleet.TimedRequest
+	base := 0
+	for ti, tl := range cfg.Tenants {
+		share := float64(tl.Clients) * tl.Boost / float64(total)
+		calls := int(math.Round(float64(cfg.Calls) * share))
+		if calls > 0 {
+			seed := cfg.Seed + int64(ti+1)*7919
+			arrivals, err := Arrivals(cfg.Kind, seed, rate*share, calls)
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(seed + 1))
+			for i, at := range arrivals {
+				arg := uint32(i)
+				if cfg.ArgsCardinality > 0 {
+					arg = uint32(rng.Intn(cfg.ArgsCardinality))
+				}
+				all = append(all, fleet.TimedRequest{
+					At: at,
+					Req: fleet.Request{
+						Key:    benchKey(base + rng.Intn(tl.Clients)),
+						FuncID: incr,
+						Args:   []uint32{arg},
+						Tenant: tl.Name,
+					},
+				})
+			}
+		}
+		base += tl.Clients
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].At < all[j].At })
+	return all, nil
 }
 
 // curvePlacement maps the curve config onto the fleet options it
@@ -409,7 +539,26 @@ func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error
 	if err := warmFleet(f, incr, cfg.Clients); err != nil {
 		return LoadPoint{}, err
 	}
-	treqs, err := loadPointSchedule(cfg, rate, incr)
+	tenanted := len(cfg.Tenants) > 0
+	var treqs []fleet.TimedRequest
+	if tenanted {
+		set := &tenant.Set{Knee: cfg.TenantKnee, Window: cfg.TenantWindow}
+		for _, tl := range cfg.Tenants {
+			set.Classes = append(set.Classes, tenant.Config{
+				Name: tl.Name, Weight: tl.Weight, Rate: tl.Rate, Burst: tl.Burst})
+		}
+		// Install at a barrier after warm-up, so session warming never
+		// competes with the classes' admission buckets.
+		if err := f.SetTenants(set); err != nil {
+			return LoadPoint{}, err
+		}
+		if _, err := f.Rebalance(); err != nil {
+			return LoadPoint{}, err
+		}
+		treqs, err = tenantSchedule(cfg, rate, incr)
+	} else {
+		treqs, err = loadPointSchedule(cfg, rate, incr)
+	}
 	if err != nil {
 		return LoadPoint{}, err
 	}
@@ -427,6 +576,9 @@ func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error
 		warmup = epochs - 1
 	}
 	var rec LatencyRecorder
+	trecs := map[string]*LatencyRecorder{}
+	sheds := map[string]int{}
+	shedTotal := 0
 	var shardsSum, costSum float64
 	samples := 0
 	per := (len(treqs) + epochs - 1) / epochs
@@ -448,6 +600,13 @@ func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error
 		measured := start/per >= warmup
 		for i, r := range resps {
 			if r.Err != nil {
+				if tenanted && errors.Is(r.Err, fleet.ErrOverload) {
+					// Shedding is the mechanism under test, not a failure:
+					// count it against the call's class and move on.
+					sheds[chunk[i].Req.Tenant]++
+					shedTotal++
+					continue
+				}
 				return LoadPoint{}, fmt.Errorf("call %d: %w", start+i, r.Err)
 			}
 			if r.Errno != 0 {
@@ -455,6 +614,15 @@ func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error
 			}
 			if measured {
 				rec.Record(r.LatencyCycles)
+				if tenanted {
+					tn := chunk[i].Req.Tenant
+					tr := trecs[tn]
+					if tr == nil {
+						tr = &LatencyRecorder{}
+						trecs[tn] = tr
+					}
+					tr.Record(r.LatencyCycles)
+				}
 			}
 		}
 		if elastic {
@@ -469,7 +637,22 @@ func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error
 	d := f.Stats().Delta(before)
 
 	makespan := d.MakespanCycles
-	achieved := clock.PerSec(cfg.Calls, makespan)
+	served, offered := cfg.Calls, rate
+	if tenanted {
+		// Tenanted schedules round per-class call counts, and shed calls
+		// never reach a shard: achieved reflects what was actually served.
+		// The saturation test likewise compares against the point's true
+		// arrival rate (the boost-weighted share sum), while the recorded
+		// OfferedPerSec stays the nominal grid rate for pair comparability.
+		served = len(treqs) - shedTotal
+		total, active := 0, 0.0
+		for _, tl := range cfg.Tenants {
+			total += tl.Clients
+			active += float64(tl.Clients) * tl.Boost
+		}
+		offered = rate * active / float64(total)
+	}
+	achieved := clock.PerSec(served, makespan)
 	var profiles []ProfileLoad
 	if len(cfg.Backends) > 0 {
 		profiles = profileBreakdown(d, makespan)
@@ -484,7 +667,7 @@ func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error
 		MeanMicros:      rec.MeanMicros(),
 		MaxMicros:       rec.MaxMicros(),
 		MakespanMicros:  clock.Micros(makespan),
-		Saturated:       achieved < SatAchievedFraction*rate,
+		Saturated:       achieved < SatAchievedFraction*offered,
 		Hist:            rec.Histogram(),
 		Migrations:      d.Migrations,
 		CacheHits:       d.CacheHits,
@@ -502,6 +685,33 @@ func runLoadPoint(cfg LoadCurveConfig, rate float64) (point LoadPoint, err error
 		point.ShardsAdded = d.ShardsAdded
 		point.ShardsDrained = d.ShardsDrained
 		point.WarmMaxCycles = d.WarmMaxCycles
+	}
+	if tenanted {
+		point.Tenants = make(map[string]TenantPoint, len(cfg.Tenants))
+		total := 0
+		for _, tl := range cfg.Tenants {
+			total += tl.Clients
+		}
+		for _, tl := range cfg.Tenants {
+			w := tl.Weight
+			if w < 1 {
+				w = 1
+			}
+			tr := trecs[tl.Name]
+			if tr == nil {
+				tr = &LatencyRecorder{}
+			}
+			point.Tenants[tl.Name] = TenantPoint{
+				Weight:    w,
+				Boost:     tl.Boost,
+				Offered:   rate * float64(tl.Clients) * tl.Boost / float64(total),
+				Calls:     tr.Count(),
+				Shed:      sheds[tl.Name],
+				P50Micros: tr.QuantileMicros(0.50),
+				P95Micros: tr.QuantileMicros(0.95),
+				P99Micros: tr.QuantileMicros(0.99),
+			}
+		}
 	}
 	if rep != nil {
 		point.ReplicaKey, point.ReplicaHits = hottestReplica(rep)
@@ -603,13 +813,20 @@ type BenchLoadCurve struct {
 	// SLOMicros/AutoMin/AutoMax record that the curve ran on an elastic
 	// SLO-autoscaled fleet (SLOMicros > 0), and WarmupEpochs how many
 	// leading epochs per point were excluded from the latency quantiles.
-	SLOMicros      float64     `json:"slo_us,omitempty"`
-	AutoMin        int         `json:"auto_min,omitempty"`
-	AutoMax        int         `json:"auto_max,omitempty"`
-	WarmupEpochs   int         `json:"warmup_epochs,omitempty"`
-	Points         []LoadPoint `json:"points"`
-	KneeOfferedCPS float64     `json:"knee_offered_cps"` // 0 = never saturated
-	KneeIndex      int         `json:"knee_index"`       // -1 = never saturated
+	SLOMicros    float64 `json:"slo_us,omitempty"`
+	AutoMin      int     `json:"auto_min,omitempty"`
+	AutoMax      int     `json:"auto_max,omitempty"`
+	WarmupEpochs int     `json:"warmup_epochs,omitempty"`
+	// Tenants records the QoS classes and per-class load split the curve
+	// ran under (multi-tenant curves only), TenantKnee the shed knee —
+	// the configuration the isolation gate in cmd/benchdiff matches
+	// curve pairs by.
+	Tenants        []TenantLoad `json:"tenants,omitempty"`
+	TenantKnee     int          `json:"tenant_knee,omitempty"`
+	TenantWindow   int          `json:"tenant_window,omitempty"`
+	Points         []LoadPoint  `json:"points"`
+	KneeOfferedCPS float64      `json:"knee_offered_cps"` // 0 = never saturated
+	KneeIndex      int          `json:"knee_index"`       // -1 = never saturated
 }
 
 // BenchFleet is the machine-readable BENCH_fleet.json document the CI
@@ -687,6 +904,9 @@ func buildCurve(name string, cfg LoadCurveConfig, points []LoadPoint) *BenchLoad
 		AutoMin:       cfg.AutoMin,
 		AutoMax:       cfg.AutoMax,
 		WarmupEpochs:  cfg.WarmupEpochs,
+		Tenants:       cfg.Tenants,
+		TenantKnee:    cfg.TenantKnee,
+		TenantWindow:  cfg.TenantWindow,
 		Points:        points,
 		KneeIndex:     KneeIndex(points),
 	}

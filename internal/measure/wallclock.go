@@ -51,6 +51,11 @@ type WallClockStats struct {
 	CallsPerClient int
 	TotalCalls     int
 	Errors         int
+	// Sheds counts calls the served fleet's QoS layer rejected with
+	// rpc.ErrnoOverload (tenanted fleets past the shed knee). Sheds are
+	// not errors: the transport round trip succeeded and the reply is a
+	// deliberate admission decision.
+	Sheds int
 	// Elapsed is the real time from first dial to last reply.
 	Elapsed time.Duration
 	// CallsPerSec is TotalCalls over Elapsed, in wall-clock time.
@@ -63,9 +68,13 @@ type WallClockStats struct {
 }
 
 func (w WallClockStats) String() string {
-	return fmt.Sprintf("%d clients x %d calls: %d ok, %d errors, %.0f calls/sec wall, p50 %.1f us, p99 %.1f us",
+	s := fmt.Sprintf("%d clients x %d calls: %d ok, %d errors, %.0f calls/sec wall, p50 %.1f us, p99 %.1f us",
 		w.Clients, w.CallsPerClient, w.TotalCalls, w.Errors,
 		w.CallsPerSec, w.P50Micros, w.P99Micros)
+	if w.Sheds > 0 {
+		s += fmt.Sprintf(", %d shed", w.Sheds)
+	}
+	return s
 }
 
 // RunWallClockBurst drives `clients` concurrent closed-loop clients
@@ -84,6 +93,7 @@ func RunWallClockBurst(dial func() (*rpc.Client, error), clients, callsPerClient
 		lats     []float64
 		firstErr error
 		errs     int
+		sheds    int
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -120,8 +130,16 @@ func RunWallClockBurst(dial func() (*rpc.Client, error), clients, callsPerClient
 					fail(fmt.Errorf("measure: client %d call %d: %w", c, i, err))
 					return
 				}
+				if errno == rpc.ErrnoOverload {
+					// QoS shed: a deliberate admission refusal by the
+					// fleet's tenant layer, not a failure.
+					mu.Lock()
+					sheds++
+					mu.Unlock()
+					continue
+				}
 				if errno != 0 || val != uint32(i)+1 {
-					fail(fmt.Errorf("measure: client %d call %d: val %d errno %d", c, i, val, errno))
+					fail(fmt.Errorf("measure: client %d call %d: val %d want %d errno %d", c, i, val, i+1, errno))
 					return
 				}
 				local = append(local, float64(rtt.Nanoseconds())/1e3)
@@ -139,6 +157,7 @@ func RunWallClockBurst(dial func() (*rpc.Client, error), clients, callsPerClient
 		CallsPerClient: callsPerClient,
 		TotalCalls:     len(lats),
 		Errors:         errs,
+		Sheds:          sheds,
 		Elapsed:        elapsed,
 	}
 	if elapsed > 0 {

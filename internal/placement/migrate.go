@@ -62,11 +62,19 @@ func (b *balancer) ObservePromotions(fn func(key string, from, to int)) {
 	b.pool.SetObserver(fn)
 }
 
-// route is the shared hot path: sticky allocation plus the heat feed.
+// route is the shared hot path: sticky allocation plus the heat feed
+// (tenant-tagged, so the migrator can bias by QoS class).
 func (b *balancer) route(c Call) int {
 	sid := b.pool.Get(c.Key)
-	b.heat.Record(c.Key, sid, 1)
+	b.heat.RecordTenant(c.Key, c.Tenant, sid, 1)
 	return sid
+}
+
+// SetTenantWeights implements TenantAware: the QoS layer hands the
+// migrator its tenant weight table so plans move aggressor keys first.
+// Nil clears the bias. Must be called after Bind.
+func (b *balancer) SetTenantWeights(weights map[string]int) {
+	b.mig.SetTenantWeights(weights)
 }
 
 // planMigrations plans this barrier's migrations over the

@@ -37,10 +37,15 @@ import "fmt"
 // Call is the routing context of one request: the client key and
 // whether the called function is declared idempotent by the module
 // spec (only idempotent calls may be served by a replica; everything
-// else pins to the key's primary shard).
+// else pins to the key's primary shard). Tenant carries the request's
+// QoS class ("" when tenancy is off) so heat-driven strategies can
+// attribute per-key heat per tenant — the signal that keeps one
+// tenant's storm from letting the migrator evict another's warm
+// sessions.
 type Call struct {
 	Key        string
 	Idempotent bool
+	Tenant     string
 }
 
 // MoveKind discriminates the session moves a rebalance plans.
@@ -190,6 +195,17 @@ type Placement interface {
 // custom strategy that never promotes can simply not implement it.
 type PromoteObserver interface {
 	ObservePromotions(fn func(key string, from, to int))
+}
+
+// TenantAware is the optional QoS interface pool-backed strategies
+// implement: SetTenantWeights hands the migrator the tenant weight
+// table so rebalance plans move an overdemanding (aggressor) tenant's
+// keys off a hot shard before a victim's warm keys are ever churned.
+// Nil clears the bias. The fleet type-asserts for it when tenancy is
+// configured; a custom strategy can simply not implement it. Must be
+// called after Bind.
+type TenantAware interface {
+	SetTenantWeights(weights map[string]int)
 }
 
 // commitPoolMove applies one move's routing change to a pool — the

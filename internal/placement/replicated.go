@@ -153,7 +153,7 @@ func (r *Replicated) Route(c Call) int {
 		h[sid]++
 	}
 	r.mu.Unlock()
-	r.heat.Record(c.Key, sid, 1)
+	r.heat.RecordTenant(c.Key, c.Tenant, sid, 1)
 	return sid
 }
 

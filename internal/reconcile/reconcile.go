@@ -30,6 +30,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/placement"
 	"repro/internal/spec"
+	"repro/internal/tenant"
 )
 
 // Driver is the slice of *fleet.Fleet the loop needs; a fake driver
@@ -39,6 +40,7 @@ type Driver interface {
 	DrainShard(sid int) error
 	SwapPlacement(p placement.Placement) error
 	SetAutoscaler(cfg *autoscale.Config) error
+	SetTenants(set *tenant.Set) error
 	Rebalance() (int, error)
 	Inventory() []fleet.ShardInventory
 	Barriers() uint64
@@ -215,6 +217,13 @@ func (l *Loop) Step() (int, error) {
 			}
 		case spec.ActionSetAutoscaler:
 			if err := l.drv.SetAutoscaler(target.AutoscaleConfig()); err != nil {
+				rec.Outcome, rec.Detail = "failed", err.Error()
+				stepErr = err
+			}
+		case spec.ActionSetTenants:
+			// Control-plane like the swap: unbudgeted, lands at the
+			// barrier below.
+			if err := l.drv.SetTenants(target.Tenants); err != nil {
 				rec.Outcome, rec.Detail = "failed", err.Error()
 				stepErr = err
 			}

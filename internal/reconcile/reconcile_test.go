@@ -44,6 +44,9 @@ func openFromSpec(t *testing.T, fs *spec.FleetSpec) *fleet.Fleet {
 	if ac := fs.AutoscaleConfig(); ac != nil {
 		opts = append(opts, fleet.WithAutoscalerConfig(*ac))
 	}
+	if fs.Tenants != nil {
+		opts = append(opts, fleet.WithTenants(fs.Tenants))
+	}
 	f, err := fleet.Open(opts...)
 	if err != nil {
 		t.Fatal(err)
@@ -420,5 +423,63 @@ func TestReconcileStaticDrift(t *testing.T) {
 		if h.Action.Kind == spec.ActionAddShard || h.Action.Kind == spec.ActionDrainShard {
 			t.Fatalf("static drift produced a shard action: %+v", h)
 		}
+	}
+}
+
+// TestReconcileTenants drives the QoS block end to end: a spec edit
+// enables tenancy at a barrier, a weight edit re-applies live, and
+// removing the block disables it again.
+func TestReconcileTenants(t *testing.T) {
+	s0 := mustSpec(t, `{"schema":"smod-fleet-spec/v1","shards":2}`)
+	f := openFromSpec(t, s0)
+	incr, ok := f.FuncID("incr")
+	if !ok {
+		t.Fatal("no incr")
+	}
+	l := New(f, s0)
+	round := 0
+
+	on := mustSpec(t, `{"schema":"smod-fleet-spec/v1","shards":2,`+
+		`"tenants":{"classes":[{"name":"vic","weight":4},{"name":"agg"}]}}`)
+	if err := l.SetSpec(on); err != nil {
+		t.Fatal(err)
+	}
+	converge(t, l, f, incr, &round, 4)
+	if _, err := f.RunPlan([]fleet.Request{{Key: "t1", FuncID: incr, Args: []uint32{1}, Tenant: "vic"}}); err != nil {
+		t.Fatalf("tenanted call after enable: %v", err)
+	}
+	if ts := f.Stats().Tenants; ts == nil || ts["vic"].Admitted == 0 {
+		t.Fatalf("tenancy not applied: %+v", ts)
+	}
+	// Unknown names are now rejected — proof the set is live.
+	if _, err := f.RunPlan([]fleet.Request{{Key: "t2", FuncID: incr, Args: []uint32{1}, Tenant: "nobody"}}); !errors.Is(err, fleet.ErrTenantUnknown) {
+		t.Fatalf("unknown tenant err = %v, want ErrTenantUnknown", err)
+	}
+
+	// Weight edit re-applies without a restart.
+	rew := mustSpec(t, `{"schema":"smod-fleet-spec/v1","shards":2,`+
+		`"tenants":{"classes":[{"name":"vic","weight":8},{"name":"agg"}]}}`)
+	if err := l.SetSpec(rew); err != nil {
+		t.Fatal(err)
+	}
+	converge(t, l, f, incr, &round, 4)
+
+	off := mustSpec(t, `{"schema":"smod-fleet-spec/v1","shards":2}`)
+	if err := l.SetSpec(off); err != nil {
+		t.Fatal(err)
+	}
+	converge(t, l, f, incr, &round, 4)
+	if _, err := f.RunPlan([]fleet.Request{{Key: "t3", FuncID: incr, Args: []uint32{1}, Tenant: "nobody"}}); err != nil {
+		t.Fatalf("untenanted fleet rejected a name after disable: %v", err)
+	}
+
+	var applied int
+	for _, h := range l.Status().History {
+		if h.Action.Kind == spec.ActionSetTenants && h.Outcome == "applied" {
+			applied++
+		}
+	}
+	if applied != 3 {
+		t.Fatalf("set-tenants applied %d times in history, want 3", applied)
 	}
 }

@@ -32,6 +32,13 @@ const (
 	ProcFleetFuncID = 3
 )
 
+// ErrnoOverload is the errno a FleetCall reply carries when the fleet's
+// QoS layer shed the call (fleet.ErrOverload): the request was refused
+// before execution — over its tenant's admission rate or past the shed
+// knee — and is safe to retry. The value sits well above the simulated
+// kernel's errno range, so it can never collide with a module errno.
+const ErrnoOverload int32 = 75
+
 // FleetBackend is the slice of the fleet the service needs. Errors
 // returned here become RPC system errors on the wire (the transport
 // stays up); a nonzero errno is a normal reply.

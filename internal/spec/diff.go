@@ -23,6 +23,9 @@ const (
 	ActionSwapPlacement ActionKind = "swap-placement"
 	// ActionSetAutoscaler replaces (or removes) the SLO autoscaler.
 	ActionSetAutoscaler ActionKind = "set-autoscaler"
+	// ActionSetTenants replaces (or removes) the QoS tenancy
+	// configuration at the next barrier.
+	ActionSetTenants ActionKind = "set-tenants"
 	// ActionAddShard queues one new shard of Profile.
 	ActionAddShard ActionKind = "add-shard"
 	// ActionDrainShard queues the retirement of Shard.
@@ -53,7 +56,7 @@ func (a Action) String() string {
 // the target spec fs. cur is the currently-applied spec (nil when
 // unknown — then the control-plane actions are always emitted) and inv
 // the live shard inventory. The plan is deterministic: control-plane
-// replacements first (placement swap, autoscaler), then adds (profiles
+// replacements first (placement swap, autoscaler, tenants), then adds (profiles
 // in sorted name order), then drains (highest id first within a
 // profile, so the newest equal shards retire first and ids stay dense
 // at the low end).
@@ -76,6 +79,13 @@ func (fs *FleetSpec) Diff(cur *FleetSpec, inv []ShardState) []Action {
 			detail = fmt.Sprintf("%d..%d @ %gus", a.Min, a.Max, a.SLOMicros)
 		}
 		plan = append(plan, Action{Kind: ActionSetAutoscaler, Detail: detail})
+	}
+	if cur == nil || !fs.TenantsEqual(cur) {
+		detail := "off"
+		if ts := fs.Tenants; ts != nil {
+			detail = fmt.Sprintf("%d classes, knee %d", len(ts.Classes), ts.Knee)
+		}
+		plan = append(plan, Action{Kind: ActionSetTenants, Detail: detail})
 	}
 
 	// Live view minus shards already on their way out.

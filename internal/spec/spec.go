@@ -27,6 +27,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/loadmgr"
 	"repro/internal/placement"
+	"repro/internal/tenant"
 )
 
 // SchemaV1 is the only schema this package accepts. Future revisions
@@ -92,6 +93,13 @@ type FleetSpec struct {
 	// reports a drift here as requiring a restart instead of acting.
 	ResultCache int `json:"result_cache,omitempty"`
 	SessionCap  int `json:"session_cap,omitempty"`
+
+	// Tenants declares the multi-tenant QoS configuration (weights,
+	// admission rates, shed knee); nil runs the fleet untenanted. The
+	// block is normalized in place by Validate (classes sorted,
+	// defaults explicit), and the reconcile loop re-applies weight and
+	// rate edits to a live fleet at the next barrier.
+	Tenants *tenant.Set `json:"tenants,omitempty"`
 
 	// RewarmBudgetCycles is the declared per-session re-warm budget in
 	// simulated cycles a resize or drain must stay within (0 = the
@@ -208,6 +216,10 @@ func (fs *FleetSpec) Validate() error {
 	}
 	if max := fs.MaxShards(); fs.Replicas > max {
 		return fmt.Errorf("spec: replica cap %d exceeds fleet size %d", fs.Replicas, max)
+	}
+
+	if err := fs.Tenants.Normalize(); err != nil {
+		return fmt.Errorf("spec: %w", err)
 	}
 
 	if fs.ResultCache < 0 {
@@ -362,6 +374,19 @@ func (fs *FleetSpec) AutoscaleEqual(other *FleetSpec) bool {
 		return true
 	}
 	return *a == *b
+}
+
+// TenantsEqual reports whether two specs declare the same QoS tenancy
+// (both nil counts as equal). Specs are normalized, so field equality
+// is configuration equality.
+func (fs *FleetSpec) TenantsEqual(other *FleetSpec) bool {
+	if other == nil {
+		return fs.Tenants == nil
+	}
+	if fs.Tenants == nil {
+		return other.Tenants == nil
+	}
+	return fs.Tenants.Equal(other.Tenants)
 }
 
 // StaticDrift lists spec fields that differ from cur but cannot be

@@ -240,8 +240,9 @@ func TestDiffControlPlane(t *testing.T) {
 
 	// Unknown current spec: control-plane actions always emitted.
 	plan = cur.Diff(nil, inv(0, 1))
-	if len(plan) != 2 || plan[0].Kind != ActionSwapPlacement || plan[1].Kind != ActionSetAutoscaler {
-		t.Fatalf("bootstrap plan = %v, want swap + set-autoscaler", plan)
+	if len(plan) != 3 || plan[0].Kind != ActionSwapPlacement ||
+		plan[1].Kind != ActionSetAutoscaler || plan[2].Kind != ActionSetTenants {
+		t.Fatalf("bootstrap plan = %v, want swap + set-autoscaler + set-tenants", plan)
 	}
 
 	band := mustParse(t, `{"schema":"smod-fleet-spec/v1","autoscale":{"min":3,"max":5,"slo_us":60}}`)
@@ -280,5 +281,59 @@ func TestStaticDrift(t *testing.T) {
 	}
 	if plan := next.Diff(cur, inv(0, 1)); len(plan) != 0 {
 		t.Errorf("static drift produced actions: %v", plan)
+	}
+}
+
+// TestParseTenants covers the QoS block: normalization to canonical
+// form (fixed-point marshal), rejection of invalid classes, and the
+// diff action it plans.
+func TestParseTenants(t *testing.T) {
+	doc := `{"schema":"smod-fleet-spec/v1","shards":2,` +
+		`"tenants":{"classes":[{"name":"vic","weight":4},{"name":"agg","rate":500}]}}`
+	fs := mustParse(t, doc)
+	ts := fs.Tenants
+	if ts == nil || len(ts.Classes) != 2 {
+		t.Fatalf("tenants = %+v", ts)
+	}
+	// Normalized: sorted by name, defaults explicit.
+	if ts.Classes[0].Name != "agg" || ts.Classes[0].Weight != 1 || ts.Classes[0].Burst != 50 {
+		t.Fatalf("agg class = %+v", ts.Classes[0])
+	}
+	if ts.Knee == 0 || ts.Window == 0 {
+		t.Fatalf("knee/window defaults not filled: %+v", ts)
+	}
+	b, err := fs.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := Parse(b)
+	if err != nil {
+		t.Fatalf("re-parse canonical form: %v", err)
+	}
+	b2, err := fs2.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatalf("marshal not a fixed point:\n%s\nvs\n%s", b, b2)
+	}
+
+	bad := `{"schema":"smod-fleet-spec/v1","shards":2,"tenants":{"classes":[{"name":""}]}}`
+	if _, err := Parse([]byte(bad)); err == nil {
+		t.Fatal("unnamed tenant class accepted")
+	}
+
+	// Diff plans a set-tenants on any tenancy change, including removal.
+	plain := mustParse(t, `{"schema":"smod-fleet-spec/v1","shards":2}`)
+	plan := fs.Diff(plain, inv(0, 1))
+	if len(plan) != 1 || plan[0].Kind != ActionSetTenants {
+		t.Fatalf("enable plan = %v, want one set-tenants", plan)
+	}
+	plan = plain.Diff(fs, inv(0, 1))
+	if len(plan) != 1 || plan[0].Kind != ActionSetTenants || plan[0].Detail != "off" {
+		t.Fatalf("disable plan = %v, want set-tenants off", plan)
+	}
+	if len(fs.Diff(fs, inv(0, 1))) != 0 {
+		t.Fatalf("no-change plan not empty")
 	}
 }

@@ -85,6 +85,9 @@ const (
 	// KPromote: a replicated key's primary failed over or drained and a
 	// surviving replica was promoted (control ring; Val = new primary).
 	KPromote
+	// KShed: QoS overload shedding refused a call past the queue-depth
+	// knee (shard ring; Note = tenant class).
+	KShed
 	kindCount
 )
 
@@ -92,7 +95,7 @@ var kindNames = [kindCount]string{
 	"route", "admit", "inject", "exec", "call", "cache_hit",
 	"migrate_out", "warm_in", "replica_in", "replica_out", "rewarm",
 	"stall", "drop", "evict", "barrier", "fault", "autoscale",
-	"shard_up", "shard_drain", "promote",
+	"shard_up", "shard_drain", "promote", "shed",
 }
 
 func (k Kind) String() string {
